@@ -1,0 +1,55 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section V) at a configurable scale.
+//
+// Usage:
+//
+//	experiments [-exp all|example1|table7|table8|fig5..fig12]
+//	            [-mushroom-scale 0.1] [-quest-scale 0.02]
+//	            [-pfct 0.8] [-eps 0.1] [-delta 0.1]
+//	            [-seed 42] [-budget 60s]
+//
+// Each experiment prints the same rows/series the paper's figure plots;
+// EXPERIMENTS.md records a reference run and the paper-vs-measured
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/probdata/pfcim/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment to run: all, example1, table7, table8, fig5..fig12")
+		mushScale  = flag.Float64("mushroom-scale", 0.1, "Mushroom-like dataset scale (1 = 8124 transactions)")
+		questScale = flag.Float64("quest-scale", 0.02, "T20I10D30KP40 scale (1 = 30000 transactions)")
+		pfct       = flag.Float64("pfct", 0.8, "probabilistic frequent closed threshold")
+		eps        = flag.Float64("eps", 0.1, "ApproxFCP relative tolerance error")
+		delta      = flag.Float64("delta", 0.1, "ApproxFCP confidence parameter")
+		seed       = flag.Int64("seed", 42, "generator and sampler seed")
+		budget     = flag.Duration("budget", 60*time.Second, "per-point time budget; a series exceeding it skips its remaining points")
+		quick      = flag.Bool("quick", false, "trim every sweep to a few representative points")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		MushroomScale: *mushScale,
+		QuestScale:    *questScale,
+		PFCT:          *pfct,
+		Epsilon:       *eps,
+		Delta:         *delta,
+		Seed:          *seed,
+		Budget:        *budget,
+		Quick:         *quick,
+		Out:           os.Stdout,
+	}
+	suite := experiments.NewSuite(cfg)
+	if err := suite.Run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Command gendata generates the uncertain datasets the experiments use and
+// writes them in the text interchange format read by cmd/mpfci.
+//
+// Usage:
+//
+//	gendata -kind mushroom|quest|example [-scale 0.1] [-mean 0.5] [-var 0.5]
+//	        [-seed 42] [-o data.txt]
+//
+// "mushroom" is the dense categorical Mushroom-like dataset, "quest" the
+// IBM-Quest T20I10D30KP40 synthetic dataset, and "example" the 4-tuple
+// running example of the paper's Table II.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pfcim "github.com/probdata/pfcim"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "mushroom", "dataset: mushroom, quest, example")
+		scale    = flag.Float64("scale", 0.1, "dataset scale (1 = paper size)")
+		mean     = flag.Float64("mean", 0.5, "Gaussian mean of tuple probabilities")
+		variance = flag.Float64("var", 0.5, "Gaussian variance of tuple probabilities")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var db *pfcim.Database
+	switch *kind {
+	case "mushroom":
+		data := pfcim.GenerateMushroomLike(*scale, *seed)
+		db = pfcim.AssignGaussian(data, *mean, *variance, *seed+1)
+	case "quest":
+		data := pfcim.GenerateQuest(pfcim.QuestT20I10D30KP40(*scale, *seed))
+		db = pfcim.AssignGaussian(data, *mean, *variance, *seed+1)
+	case "example":
+		db = pfcim.PaperExample()
+	default:
+		fmt.Fprintf(os.Stderr, "gendata: unknown -kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := pfcim.WriteDatabase(w, db); err != nil {
+		fatal(err)
+	}
+	st := db.Stats()
+	fmt.Fprintf(os.Stderr, "gendata: wrote %d transactions, %d items, avg length %.2f, mean prob %.2f\n",
+		st.NumTransactions, st.NumItems, st.AvgLength, st.MeanProb)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gendata:", err)
+	os.Exit(1)
+}

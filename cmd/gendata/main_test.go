@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gendata")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build failed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestGendataKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	bin := buildBinary(t)
+	for _, kind := range []string{"example", "mushroom", "quest"} {
+		out := filepath.Join(t.TempDir(), kind+".txt")
+		cmd := exec.Command(bin, "-kind", kind, "-scale", "0.005", "-o", out)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("gendata -kind %s failed: %v\n%s", kind, err, msg)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines == 0 {
+			t.Errorf("kind %s produced no transactions", kind)
+		}
+		if !strings.Contains(string(data), " : ") {
+			t.Errorf("kind %s output lacks probabilities", kind)
+		}
+	}
+}
+
+func TestGendataExampleContent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-kind", "example").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "0 1 2 3 : 0.9\n0 1 2 : 0.6\n0 1 2 : 0.7\n0 1 2 3 : 0.9\n"
+	if string(out) != want {
+		t.Errorf("example output = %q, want %q", out, want)
+	}
+}
+
+func TestGendataUnknownKind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	bin := buildBinary(t)
+	if err := exec.Command(bin, "-kind", "nonsense").Run(); err == nil {
+		t.Error("unknown kind should exit non-zero")
+	}
+}

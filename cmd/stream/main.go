@@ -1,0 +1,85 @@
+// Command stream consumes an uncertain transaction stream from stdin (one
+// transaction per line, "item item … : prob") through a sliding window and
+// periodically reports the probabilistically frequent items — the
+// continuous-monitoring deployment of the miner.
+//
+// Usage:
+//
+//	gendata -kind quest -scale 0.02 | stream -window 200 -minsup 0.3 -pft 0.8 -report 500
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	pfcim "github.com/probdata/pfcim"
+)
+
+func main() {
+	var (
+		window    = flag.Int("window", 1000, "sliding window size (transactions)")
+		minsupRel = flag.Float64("minsup", 0.3, "relative minimum support within the window")
+		pft       = flag.Float64("pft", 0.8, "probabilistic frequent threshold")
+		report    = flag.Int("report", 1000, "report every N transactions")
+		topK      = flag.Int("top", 10, "report at most this many items")
+	)
+	flag.Parse()
+
+	w, err := pfcim.NewStreamWindow(*window)
+	if err != nil {
+		fatal(err)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		db, err := pfcim.ReadDatabase(strings.NewReader(line))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stream: line %d skipped: %v\n", lineNo, err)
+			continue
+		}
+		if _, _, err := w.Push(db.Transaction(0)); err != nil {
+			fmt.Fprintf(os.Stderr, "stream: line %d skipped: %v\n", lineNo, err)
+			continue
+		}
+		if w.Pushes()%*report == 0 {
+			emit(w, *minsupRel, *pft, *topK)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	// Final report, unless the last push already triggered one.
+	if w.Len() > 0 && w.Pushes()%*report != 0 {
+		emit(w, *minsupRel, *pft, *topK)
+	}
+}
+
+func emit(w *pfcim.StreamWindow, minsupRel, pft float64, topK int) {
+	minSup := pfcim.AbsoluteMinSup(w.Len(), minsupRel)
+	items := w.FrequentItems(minSup, pft)
+	fmt.Printf("after %d transactions (window %d, min_sup %d): %d frequent items:",
+		w.Pushes(), w.Len(), minSup, len(items))
+	for i, it := range items {
+		if i >= topK {
+			fmt.Printf(" …")
+			break
+		}
+		fmt.Printf(" %d(%.2f)", it.Item, it.FreqProb)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stream:", err)
+	os.Exit(1)
+}

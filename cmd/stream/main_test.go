@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "stream")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build failed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestStreamCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	bin := buildBinary(t)
+	feed := strings.Repeat("1 2 : 0.9\n", 30) + strings.Repeat("3 : 0.4\n# comment\n", 10)
+	cmd := exec.Command(bin, "-window", "20", "-minsup", "0.5", "-pft", "0.8", "-report", "25")
+	cmd.Stdin = strings.NewReader(feed)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("stream failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "after 25 transactions") {
+		t.Errorf("missing periodic report:\n%s", text)
+	}
+	if !strings.Contains(text, "after 40 transactions") {
+		t.Errorf("missing final report:\n%s", text)
+	}
+	// Early window is dominated by items 1 and 2.
+	if !strings.Contains(text, "1(") || !strings.Contains(text, "2(") {
+		t.Errorf("expected items 1 and 2 frequent early:\n%s", text)
+	}
+}
+
+func TestStreamCLISkipsBadLines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, "-window", "5", "-report", "100")
+	cmd.Stdin = strings.NewReader("garbage line\n1 2 : 0.9\n")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("stream should survive bad lines: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "skipped") {
+		t.Errorf("bad line should be reported as skipped:\n%s", out)
+	}
+}

@@ -1,0 +1,52 @@
+// Dnfcount makes the paper's #P-hardness proof (Theorem 3.1) executable:
+// it counts the satisfying assignments of a monotone DNF formula by
+// building the reduction's uncertain transaction database and reading the
+// answer off the closed probability of the target itemset, then checks the
+// count by brute force.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/probdata/pfcim/internal/dnf"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/world"
+)
+
+func main() {
+	// The formula from the paper's proof sketch:
+	//   F = (v1 ∧ v2 ∧ v3) ∨ (v1 ∧ v2 ∧ v4) ∨ (v2 ∧ v3 ∧ v4)
+	f := dnf.Monotone{
+		NumVars: 4,
+		Clauses: [][]int{{0, 1, 2}, {0, 1, 3}, {1, 2, 3}},
+	}
+
+	db, err := dnf.ReductionDB(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reduction database (each tuple has probability 1/2):")
+	for i := 0; i < db.N(); i++ {
+		fmt.Printf("  T%d: %v\n", i+1, db.Transaction(i).Items)
+	}
+
+	closedProb, err := world.ClosedProb(db, itemset.Itemset{dnf.ReductionTarget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	viaReduction := dnf.CountFromClosedProb(f, closedProb)
+	direct, err := f.CountBruteForce()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nPr_C(X) over the reduction database = %.6f\n", closedProb)
+	fmt.Printf("satisfying assignments via reduction  = %d\n", viaReduction)
+	fmt.Printf("satisfying assignments by brute force = %d\n", direct)
+	if viaReduction != direct {
+		log.Fatal("reduction disagrees with brute force — Theorem 3.1 violated!")
+	}
+	fmt.Println("\nTheorem 3.1 verified: #MDNF reduces to computing a closed probability,")
+	fmt.Println("so computing Pr_C (and hence Pr_FC) is #P-hard.")
+}

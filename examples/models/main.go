@@ -1,0 +1,75 @@
+// Models contrasts the four uncertainty-aware mining semantics this
+// repository implements, on the paper's Table IV database (the running
+// example plus two low-confidence tuples):
+//
+//  1. expected-support frequent itemsets (U-Apriori / UF-growth),
+//  2. probabilistic frequent itemsets (Definition 3.5),
+//  3. "probabilistic frequent closed" itemsets under the competing
+//     probabilistic-support definition of related work, and
+//  4. probabilistic frequent closed itemsets (this paper).
+//
+// It reproduces the paper's §II argument: the competing definition's
+// result set changes when the threshold moves from 0.9 to 0.8 even though
+// the underlying frequent probabilities satisfy both, while the
+// Pr_FC-based result stays {a b c}, {a b c d} with stable probabilities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pfcim "github.com/probdata/pfcim"
+)
+
+func main() {
+	db := pfcim.PaperExampleExtended()
+	const minSup = 2
+
+	fmt.Println("Table IV database:")
+	for i, tr := range db.Transactions() {
+		fmt.Printf("  T%d: %-12v p=%.1f\n", i+1, tr.Items, tr.Prob)
+	}
+
+	fmt.Printf("\n(1) expected-support model, minExpSup = %d:\n", minSup)
+	for _, p := range pfcim.UFGrowth(db, minSup) {
+		fmt.Printf("  %-12v expSup=%.2f\n", p.Items, p.ExpectedSupport)
+	}
+
+	fmt.Printf("\n(2) probabilistic frequent model, min_sup=%d, pft=0.8: ", minSup)
+	pfis := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: minSup, PFT: 0.8})
+	fmt.Printf("%d itemsets (every subset shows up — no compression)\n", len(pfis))
+
+	fmt.Println("\n(3) competing probabilistic-support closed model:")
+	for _, pft := range []float64{0.9, 0.8} {
+		res := pfcim.MineProbSupportClosed(db, minSup, pft)
+		fmt.Printf("  pft=%.1f:", pft)
+		for _, r := range res {
+			fmt.Printf("  %v(psup=%d)", r.Items, r.PSup)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  → the result set shifts with the threshold, and its extra members")
+	fmt.Println("    have low true frequent closed probability:")
+	for _, key := range [][]int{{0}, {0, 1}} {
+		x := pfcim.NewItemset(key...)
+		p, err := pfcim.FreqClosedProb(db, x, minSup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    Pr_FC(%v) = %.3f\n", x, p)
+	}
+
+	fmt.Println("\n(4) this paper's probabilistic frequent closed model:")
+	for _, pfct := range []float64{0.8, 0.7, 0.6} {
+		res, err := pfcim.Mine(db, pfcim.Options{MinSup: minSup, PFCT: pfct, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  pfct=%.1f:", pfct)
+		for _, r := range res.Itemsets {
+			fmt.Printf("  %v(Pr_FC=%.3f)", r.Items, r.Prob)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  → the same two itemsets at every threshold, with exact semantics.")
+}

@@ -1,0 +1,3 @@
+module github.com/probdata/pfcim
+
+go 1.22

@@ -1,0 +1,60 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSets(n int) (*Bitset, *Bitset) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := New(n), New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			x.Set(i)
+		}
+		if rng.Intn(2) == 0 {
+			y.Set(i)
+		}
+	}
+	return x, y
+}
+
+func BenchmarkAndCount8192(b *testing.B) {
+	x, y := benchSets(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AndCount(x, y)
+	}
+}
+
+func BenchmarkAndInto8192(b *testing.B) {
+	x, y := benchSets(8192)
+	dst := New(8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndInto(dst, x, y)
+	}
+}
+
+func BenchmarkForEach8192(b *testing.B) {
+	x, _ := benchSets(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := 0
+		x.ForEach(func(int) bool {
+			c++
+			return true
+		})
+	}
+}
+
+func BenchmarkIsSubset8192(b *testing.B) {
+	x, y := benchSets(8192)
+	sub := And(x, y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IsSubset(sub, x)
+	}
+}

@@ -1,0 +1,247 @@
+// Package bitset provides a dense, fixed-capacity bit set used throughout
+// the miner as a transaction-id set (tidset). Operations that dominate the
+// mining inner loops — intersection, population count, and iteration — are
+// implemented over 64-bit words with math/bits intrinsics.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitset is a set of non-negative integers in [0, Len()). The zero value is
+// an empty set of capacity zero; use New to create one with room for n bits.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Bitset able to hold bits 0..n-1, all clear.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a Bitset of capacity n with the given bits set.
+func FromIndices(n int, idx ...int) *Bitset {
+	b := New(n)
+	for _, i := range idx {
+		b.Set(i)
+	}
+	return b
+}
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) {
+	b.check(i)
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) {
+	b.check(i)
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is set.
+func (b *Bitset) Test(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (b *Bitset) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of b.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// CopyFrom overwrites b with the contents of src. The two sets must have
+// the same capacity.
+func (b *Bitset) CopyFrom(src *Bitset) {
+	if b.n != src.n {
+		panic("bitset: CopyFrom capacity mismatch")
+	}
+	copy(b.words, src.words)
+}
+
+// AndInto stores x ∩ y into dst and returns the resulting population count.
+// All three sets must share the same capacity; dst may alias x or y.
+func AndInto(dst, x, y *Bitset) int {
+	if dst.n != x.n || x.n != y.n {
+		panic("bitset: AndInto capacity mismatch")
+	}
+	c := 0
+	for i := range dst.words {
+		w := x.words[i] & y.words[i]
+		dst.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And returns a new set x ∩ y.
+func And(x, y *Bitset) *Bitset {
+	dst := New(x.n)
+	AndInto(dst, x, y)
+	return dst
+}
+
+// AndCount returns |x ∩ y| without allocating.
+func AndCount(x, y *Bitset) int {
+	if x.n != y.n {
+		panic("bitset: AndCount capacity mismatch")
+	}
+	c := 0
+	for i := range x.words {
+		c += bits.OnesCount64(x.words[i] & y.words[i])
+	}
+	return c
+}
+
+// Or returns a new set x ∪ y.
+func Or(x, y *Bitset) *Bitset {
+	if x.n != y.n {
+		panic("bitset: Or capacity mismatch")
+	}
+	dst := New(x.n)
+	for i := range dst.words {
+		dst.words[i] = x.words[i] | y.words[i]
+	}
+	return dst
+}
+
+// AndNot returns a new set x \ y.
+func AndNot(x, y *Bitset) *Bitset {
+	if x.n != y.n {
+		panic("bitset: AndNot capacity mismatch")
+	}
+	dst := New(x.n)
+	for i := range dst.words {
+		dst.words[i] = x.words[i] &^ y.words[i]
+	}
+	return dst
+}
+
+// IsSubset reports whether every bit of x is also set in y.
+func IsSubset(x, y *Bitset) bool {
+	if x.n != y.n {
+		panic("bitset: IsSubset capacity mismatch")
+	}
+	for i := range x.words {
+		if x.words[i]&^y.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether x and y contain exactly the same bits.
+func Equal(x, y *Bitset) bool {
+	if x.n != y.n {
+		return false
+	}
+	for i := range x.words {
+		if x.words[i] != y.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order. Iteration stops
+// early if fn returns false.
+func (b *Bitset) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the set bits in ascending order.
+func (b *Bitset) Indices() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// SetAll sets every bit in [0, Len()).
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// trim clears the unused high bits of the final word so that Count and
+// word-level comparisons stay correct.
+func (b *Bitset) trim() {
+	if r := b.n % wordBits; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// String renders the set as {i1, i2, …} for debugging.
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	b.ForEach(func(i int) bool {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

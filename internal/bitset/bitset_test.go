@@ -1,0 +1,198 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	b := New(0)
+	if b.Len() != 0 || b.Count() != 0 || b.Any() {
+		t.Errorf("empty bitset misbehaves: len=%d count=%d any=%v", b.Len(), b.Count(), b.Any())
+	}
+}
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Errorf("bit %d set before Set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Errorf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if b.Count() != 7 {
+		t.Errorf("Count = %d, want 7", b.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(*Bitset){
+		func(b *Bitset) { b.Set(-1) },
+		func(b *Bitset) { b.Set(10) },
+		func(b *Bitset) { b.Test(10) },
+		func(b *Bitset) { b.Clear(10) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on out-of-range access", i)
+				}
+			}()
+			fn(New(10))
+		}()
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	a, b := New(10), New(20)
+	for i, fn := range []func(){
+		func() { And(a, b) },
+		func() { Or(a, b) },
+		func() { AndNot(a, b) },
+		func() { AndCount(a, b) },
+		func() { IsSubset(a, b) },
+		func() { a.CopyFrom(b) },
+		func() { AndInto(New(10), a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on capacity mismatch", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSetAllTrim(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		b := New(n)
+		b.SetAll()
+		if b.Count() != n {
+			t.Errorf("n=%d: SetAll Count = %d", n, b.Count())
+		}
+	}
+}
+
+func TestIndicesAndForEach(t *testing.T) {
+	b := FromIndices(200, 3, 70, 199, 0)
+	want := []int{0, 3, 70, 199}
+	got := b.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	visited := 0
+	b.ForEach(func(i int) bool {
+		visited++
+		return visited < 2
+	})
+	if visited != 2 {
+		t.Errorf("ForEach early stop visited %d, want 2", visited)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := FromIndices(10, 1, 3).String(); s != "{1, 3}" {
+		t.Errorf("String = %q", s)
+	}
+	if s := New(4).String(); s != "{}" {
+		t.Errorf("empty String = %q", s)
+	}
+}
+
+// randomSet builds a bitset and the reference map from a random seed.
+func randomSet(rng *rand.Rand, n int) (*Bitset, map[int]bool) {
+	b := New(n)
+	ref := map[int]bool{}
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			b.Set(i)
+			ref[i] = true
+		}
+	}
+	return b, ref
+}
+
+func TestPropertySetOperations(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%150 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x, rx := randomSet(rng, n)
+		y, ry := randomSet(rng, n)
+
+		and := And(x, y)
+		or := Or(x, y)
+		diff := AndNot(x, y)
+		for i := 0; i < n; i++ {
+			if and.Test(i) != (rx[i] && ry[i]) {
+				return false
+			}
+			if or.Test(i) != (rx[i] || ry[i]) {
+				return false
+			}
+			if diff.Test(i) != (rx[i] && !ry[i]) {
+				return false
+			}
+		}
+		if AndCount(x, y) != and.Count() {
+			return false
+		}
+		if IsSubset(and, x) != true || IsSubset(and, y) != true {
+			return false
+		}
+		if IsSubset(x, or) != true {
+			return false
+		}
+		// |x| + |y| = |x∧y| + |x∨y|
+		if x.Count()+y.Count() != and.Count()+or.Count() {
+			return false
+		}
+		// Clone independence.
+		c := x.Clone()
+		if !Equal(c, x) {
+			return false
+		}
+		if n > 0 {
+			i := rng.Intn(n)
+			was := c.Test(i)
+			c.Set(i)
+			if !was && x.Test(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndIntoAliasing(t *testing.T) {
+	x := FromIndices(100, 1, 2, 3, 64, 65)
+	y := FromIndices(100, 2, 3, 4, 65, 99)
+	want := And(x, y)
+	// dst aliases x.
+	cnt := AndInto(x, x, y)
+	if cnt != want.Count() || !Equal(x, want) {
+		t.Errorf("AndInto aliasing x: got %v count=%d, want %v", x, cnt, want)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+)
+
+// bfsNode is one itemset of the current level in the breadth-first
+// framework.
+type bfsNode struct {
+	items itemset.Itemset
+	tids  *bitset.Bitset
+	cnt   int
+	prF   float64
+	pos   int // candidate position of the last item (for prefix extension)
+}
+
+// mineBFS is the level-wise MPFCI-BFS framework: every probabilistically
+// frequent itemset of level k is fully evaluated before level k+1 is
+// generated. Superset and subset pruning do not apply — their triggering
+// conditions relate a node to its DFS prefix path, which level-wise
+// enumeration never materializes — so only Chernoff-Hoeffding pruning and
+// the Lemma 4.4 bounds are available, exactly as in the paper's
+// experimental comparison (Fig. 12).
+func (m *miner) mineBFS() error {
+	level := make([]bfsNode, 0, len(m.cands))
+	for pos, c := range m.cands {
+		level = append(level, bfsNode{
+			items: itemset.Itemset{c.item},
+			tids:  c.tids.Clone(),
+			cnt:   c.cnt,
+			prF:   c.prF,
+			pos:   pos,
+		})
+	}
+	for len(level) > 0 {
+		var next []bfsNode
+		for _, node := range level {
+			if m.ctx != nil {
+				if err := m.ctx.Err(); err != nil {
+					return err
+				}
+			}
+			m.stats.NodesVisited++
+			ev, err := m.evaluate(node.items, node.tids, node.cnt, node.prF)
+			if err != nil {
+				return err
+			}
+			if ev.accepted {
+				m.results = append(m.results, ResultItem{
+					Items:    node.items.Clone(),
+					Prob:     ev.prob,
+					Lower:    ev.lower,
+					Upper:    ev.upper,
+					FreqProb: node.prF,
+					Method:   ev.method,
+				})
+			}
+			for pos := node.pos + 1; pos < len(m.cands); pos++ {
+				c := m.cands[pos]
+				child := bitset.And(node.tids, c.tids)
+				cc := child.Count()
+				if cc < m.opts.MinSup {
+					continue
+				}
+				probs := m.probsOf(child)
+				if !m.opts.DisableCH {
+					if poibin.TailUpperBound(probs, m.opts.MinSup) <= m.opts.PFCT {
+						m.stats.CHPruned++
+						continue
+					}
+				}
+				m.stats.TailEvaluations++
+				prF := poibin.Tail(probs, m.opts.MinSup)
+				if prF <= m.opts.PFCT {
+					m.stats.FreqPruned++
+					continue
+				}
+				next = append(next, bfsNode{
+					items: node.items.Extend(c.item),
+					tids:  child,
+					cnt:   cc,
+					prF:   prF,
+					pos:   pos,
+				})
+			}
+		}
+		level = next
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// TestBFSPaperExample pins the BFS framework to the running example.
+func TestBFSPaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	res, err := Mine(db, Options{MinSup: 2, PFCT: 0.8, Seed: 1, Search: BFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Itemsets) != 2 {
+		t.Fatalf("BFS found %d itemsets, want 2", len(res.Itemsets))
+	}
+	if math.Abs(res.Itemsets[0].Prob-0.8754) > 1e-9 {
+		t.Errorf("BFS Pr_FC(abc) = %v", res.Itemsets[0].Prob)
+	}
+	// BFS visits every probabilistically frequent node — more than DFS with
+	// superset/subset pruning.
+	dfs, err := Mine(db, Options{MinSup: 2, PFCT: 0.8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NodesVisited < dfs.Stats.NodesVisited {
+		t.Errorf("BFS visited %d nodes, DFS %d — BFS cannot visit fewer",
+			res.Stats.NodesVisited, dfs.Stats.NodesVisited)
+	}
+	// BFS never exercises the DFS-only prunings.
+	if res.Stats.SupersetPruned != 0 || res.Stats.SubsetPruned != 0 {
+		t.Errorf("BFS used superset/subset pruning: %+v", res.Stats)
+	}
+}
+
+// TestBFSEmptyAndSingleton covers the degenerate level-wise cases.
+func TestBFSEmptyAndSingleton(t *testing.T) {
+	db := uncertain.MustNewDB([]uncertain.Transaction{
+		{Items: itemset.FromInts(0), Prob: 0.9},
+	})
+	// min_sup 1, tight threshold: single item qualifies.
+	res, err := Mine(db, Options{MinSup: 1, PFCT: 0.5, Seed: 1, Search: BFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Itemsets) != 1 {
+		t.Fatalf("singleton db: %v", res.Itemsets)
+	}
+	// Threshold above the only frequent probability: nothing survives.
+	res, err = Mine(db, Options{MinSup: 1, PFCT: 0.95, Seed: 1, Search: BFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Itemsets) != 0 {
+		t.Fatalf("nothing should survive pfct 0.95: %v", res.Itemsets)
+	}
+}
+
+// TestBFSAgainstDFSLarger cross-checks the frameworks on databases big
+// enough to have multi-level structure.
+func TestBFSAgainstDFSLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		db := randomDB(rng, 20, 8)
+		opts := Options{MinSup: 3, PFCT: 0.5, Seed: 3}
+		dfs, err := Mine(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Search = BFS
+		bfs, err := Mine(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dfs.Itemsets) != len(bfs.Itemsets) {
+			t.Fatalf("trial %d: DFS %d vs BFS %d itemsets", trial, len(dfs.Itemsets), len(bfs.Itemsets))
+		}
+		for i := range dfs.Itemsets {
+			if !itemset.Equal(dfs.Itemsets[i].Items, bfs.Itemsets[i].Items) {
+				t.Fatalf("trial %d: itemset %d differs", trial, i)
+			}
+		}
+	}
+}

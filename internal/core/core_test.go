@@ -1,0 +1,542 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdata/pfcim/internal/exact"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+	"github.com/probdata/pfcim/internal/world"
+)
+
+func randomDB(rng *rand.Rand, maxN, maxItems int) *uncertain.DB {
+	n := rng.Intn(maxN) + 1
+	trans := make([]uncertain.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		var items []itemset.Item
+		for j := 0; j < maxItems; j++ {
+			if rng.Float64() < 0.55 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		if len(items) == 0 {
+			items = []itemset.Item{itemset.Item(rng.Intn(maxItems))}
+		}
+		trans = append(trans, uncertain.Transaction{
+			Items: itemset.New(items...),
+			Prob:  rng.Float64()*0.98 + 0.01,
+		})
+	}
+	return uncertain.MustNewDB(trans)
+}
+
+// sameItemsets compares result itemsets against oracle results.
+func sameItemsets(got []ResultItem, want []world.Result) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if !itemset.Equal(got[i].Items, want[i].Items) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRandomOracle cross-checks the full miner against exhaustive
+// enumeration on many random small databases, for every variant.
+func TestRandomOracle(t *testing.T) {
+	variants := []struct {
+		name   string
+		modify func(*Options)
+	}{
+		{"MPFCI", func(*Options) {}},
+		{"NoCH", func(o *Options) { o.DisableCH = true }},
+		{"NoSuper", func(o *Options) { o.DisableSuperset = true }},
+		{"NoSub", func(o *Options) { o.DisableSubset = true }},
+		{"NoBound", func(o *Options) { o.DisableBounds = true }},
+		{"BFS", func(o *Options) { o.Search = BFS }},
+		{"AllOff", func(o *Options) {
+			o.DisableCH = true
+			o.DisableSuperset = true
+			o.DisableSubset = true
+			o.DisableBounds = true
+		}},
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		db := randomDB(rng, 8, 5)
+		minSup := rng.Intn(3) + 1
+		pfct := []float64{0.3, 0.5, 0.8}[rng.Intn(3)]
+		want, err := world.MineExact(db, minSup, pfct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range variants {
+			opts := Options{MinSup: minSup, PFCT: pfct, Seed: int64(trial)}
+			v.modify(&opts)
+			got, err := Mine(db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameItemsets(got.Itemsets, want) {
+				t.Fatalf("trial %d variant %s (ms=%d pfct=%v): got %v, oracle %v",
+					trial, v.name, minSup, pfct, got.Itemsets, want)
+			}
+			for i, r := range got.Itemsets {
+				if r.Method == MethodBoundAccepted {
+					// Bound-accepted results report the bound midpoint and
+					// guarantee only the interval.
+					if want[i].Prob < r.Lower-1e-6 || want[i].Prob > r.Upper+1e-6 {
+						t.Fatalf("trial %d variant %s: %v oracle prob %v outside bounds [%v,%v]",
+							trial, v.name, r.Items, want[i].Prob, r.Lower, r.Upper)
+					}
+					continue
+				}
+				if math.Abs(r.Prob-want[i].Prob) > 0.03 {
+					t.Fatalf("trial %d variant %s: %v prob %v, oracle %v",
+						trial, v.name, r.Items, r.Prob, want[i].Prob)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomOracleSamplingOnly forces the Monte-Carlo checking path
+// (no exact unions, no bound short-circuits) and verifies the result set
+// is still correct within the sampler's guarantees on thresholds that are
+// not razor-thin.
+func TestRandomOracleSamplingOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	mismatches := 0
+	trials := 25
+	for trial := 0; trial < trials; trial++ {
+		db := randomDB(rng, 8, 5)
+		minSup := rng.Intn(2) + 1
+		const pfct = 0.5
+		want, err := world.MineExact(db, minSup, pfct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{
+			MinSup: minSup, PFCT: pfct, Seed: int64(trial),
+			DisableBounds: true, MaxExactClauses: -1,
+			Epsilon: 0.05, Delta: 0.05,
+		}
+		got, err := Mine(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameItemsets(got.Itemsets, want) {
+			// A sampled decision may flip for itemsets whose Pr_FC sits
+			// within ε of the threshold; count rather than fail outright,
+			// but any itemset decided wrongly *far* from the threshold is a
+			// hard failure.
+			mismatches++
+			wantItems := make([]ResultItem, len(want))
+			for i, w := range want {
+				wantItems[i] = ResultItem{Items: w.Items}
+			}
+			for _, x := range symmetricDiff(got.Itemsets, wantItems) {
+				p, _ := world.FreqClosedProb(db, x, minSup)
+				if math.Abs(p-pfct) > 0.1 {
+					t.Fatalf("trial %d: sampled decision on %v (exact Pr_FC=%v) far from threshold %v",
+						trial, x, p, pfct)
+				}
+			}
+		}
+	}
+	if mismatches > trials/3 {
+		t.Errorf("sampling-only mining disagreed with the oracle on %d/%d trials", mismatches, trials)
+	}
+}
+
+// TestBoundsSandwichExact verifies that for accepted results, the reported
+// [Lower, Upper] interval contains the exact frequent closed probability.
+func TestBoundsSandwichExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		db := randomDB(rng, 8, 5)
+		minSup := rng.Intn(2) + 1
+		got, err := Mine(db, Options{MinSup: minSup, PFCT: 0.4, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range got.Itemsets {
+			exact, err := world.FreqClosedProb(db, r.Items, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact < r.Lower-1e-6 || exact > r.Upper+1e-6 {
+				t.Errorf("trial %d: %v exact Pr_FC %v outside [%v, %v] (method %v)",
+					trial, r.Items, exact, r.Lower, r.Upper, r.Method)
+			}
+			if r.Prob > r.FreqProb+1e-9 {
+				t.Errorf("%v: Pr_FC %v exceeds Pr_F %v", r.Items, r.Prob, r.FreqProb)
+			}
+		}
+	}
+}
+
+// TestPrunedImpliesZero: every itemset cut by superset/subset pruning must
+// have zero frequent closed probability. We verify indirectly — itemsets
+// NOT in the result set at pfct→0⁺ must have Pr_FC ≈ 0 when they are
+// probabilistic frequent.
+func TestPrunedImpliesZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		db := randomDB(rng, 7, 4)
+		const minSup = 1
+		const pfct = 0.01
+		got, err := Mine(db, Options{MinSup: minSup, PFCT: pfct, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inResult := map[string]bool{}
+		for _, r := range got.Itemsets {
+			inResult[r.Items.Key()] = true
+		}
+		items := db.Items()
+		for mask := 1; mask < 1<<uint(len(items)); mask++ {
+			var x itemset.Itemset
+			for i, it := range items {
+				if mask&(1<<uint(i)) != 0 {
+					x = append(x, it)
+				}
+			}
+			if inResult[x.Key()] {
+				continue
+			}
+			exact, err := world.FreqClosedProb(db, x, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact > pfct+0.05 {
+				t.Fatalf("trial %d: %v with exact Pr_FC %v missing from result", trial, x, exact)
+			}
+			x = nil
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	db := uncertain.PaperExample()
+	bad := []Options{
+		{MinSup: 0, PFCT: 0.5},
+		{MinSup: 2, PFCT: 0},
+		{MinSup: 2, PFCT: 1},
+		{MinSup: 2, PFCT: -0.5},
+		{MinSup: 2, PFCT: 0.5, Epsilon: 2},
+		{MinSup: 2, PFCT: 0.5, Delta: -1},
+	}
+	for i, o := range bad {
+		if _, err := Mine(db, o); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestAbsoluteMinSup(t *testing.T) {
+	cases := []struct {
+		n    int
+		rel  float64
+		want int
+	}{
+		{100, 0.4, 40},
+		{101, 0.4, 40},
+		{10, 0.05, 1},
+		{4, 0.5, 2},
+		{1000, 0.0001, 1},
+	}
+	for _, tc := range cases {
+		if got := AbsoluteMinSup(tc.n, tc.rel); got != tc.want {
+			t.Errorf("AbsoluteMinSup(%d, %v) = %d, want %d", tc.n, tc.rel, got, tc.want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db := randomDB(rng, 12, 6)
+	opts := Options{MinSup: 2, PFCT: 0.5, Seed: 77, MaxExactClauses: -1, DisableBounds: true}
+	a, err := Mine(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Itemsets) != len(b.Itemsets) {
+		t.Fatalf("same seed, different result sizes: %d vs %d", len(a.Itemsets), len(b.Itemsets))
+	}
+	for i := range a.Itemsets {
+		if a.Itemsets[i].Prob != b.Itemsets[i].Prob {
+			t.Errorf("same seed, different estimates at %d: %v vs %v", i, a.Itemsets[i].Prob, b.Itemsets[i].Prob)
+		}
+	}
+}
+
+func TestNaiveAgreesWithMine(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		db := randomDB(rng, 8, 5)
+		opts := Options{MinSup: 2, PFCT: 0.7, Seed: int64(trial)}
+		a, err := Mine(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NaiveMine(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Itemsets) != len(b.Itemsets) {
+			// The naive path samples; tolerate only threshold-adjacent
+			// disagreements.
+			for _, r := range symmetricDiff(a.Itemsets, b.Itemsets) {
+				exact, _ := world.FreqClosedProb(db, r, 2)
+				if math.Abs(exact-0.7) > 0.1 {
+					t.Fatalf("trial %d: naive and MPFCI disagree on %v (exact %v)", trial, r, exact)
+				}
+			}
+			continue
+		}
+		for i := range a.Itemsets {
+			if !itemset.Equal(a.Itemsets[i].Items, b.Itemsets[i].Items) {
+				t.Fatalf("trial %d: result %d differs: %v vs %v", trial, i, a.Itemsets[i].Items, b.Itemsets[i].Items)
+			}
+		}
+	}
+}
+
+func symmetricDiff(a, b []ResultItem) []itemset.Itemset {
+	am := map[string]itemset.Itemset{}
+	bm := map[string]itemset.Itemset{}
+	for _, r := range a {
+		am[r.Items.Key()] = r.Items
+	}
+	for _, r := range b {
+		bm[r.Items.Key()] = r.Items
+	}
+	var out []itemset.Itemset
+	for k, v := range am {
+		if _, ok := bm[k]; !ok {
+			out = append(out, v)
+		}
+	}
+	for k, v := range bm {
+		if _, ok := am[k]; !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestVariantEquivalenceProperty: all pruning variants and both frameworks
+// return the same itemsets on random inputs (pruning affects speed, never
+// the result).
+func TestVariantEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 9, 5)
+		minSup := rng.Intn(3) + 1
+		base := Options{MinSup: minSup, PFCT: 0.6, Seed: seed}
+		ref, err := Mine(db, base)
+		if err != nil {
+			return false
+		}
+		for _, mod := range []func(*Options){
+			func(o *Options) { o.DisableCH = true },
+			func(o *Options) { o.DisableSuperset = true },
+			func(o *Options) { o.DisableSubset = true },
+			func(o *Options) { o.Search = BFS },
+		} {
+			o := base
+			mod(&o)
+			got, err := Mine(db, o)
+			if err != nil || len(got.Itemsets) != len(ref.Itemsets) {
+				return false
+			}
+			for i := range got.Itemsets {
+				if !itemset.Equal(got.Itemsets[i].Items, ref.Itemsets[i].Items) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := uncertain.PaperExample()
+	res, err := Mine(db, Options{MinSup: 2, PFCT: 0.8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.CandidateItems != 4 {
+		t.Errorf("candidates = %d, want 4", s.CandidateItems)
+	}
+	if s.NodesVisited == 0 {
+		t.Error("no nodes visited")
+	}
+	if s.Evaluated == 0 {
+		t.Error("nothing evaluated")
+	}
+	// Subset pruning fires on this example ({a}.count == {ab}.count).
+	if s.SubsetPruned == 0 {
+		t.Error("subset pruning should fire on the paper example")
+	}
+}
+
+func TestResultSortedLexicographically(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	db := randomDB(rng, 10, 6)
+	res, err := Mine(db, Options{MinSup: 1, PFCT: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Itemsets); i++ {
+		if itemset.Compare(res.Itemsets[i-1].Items, res.Itemsets[i].Items) >= 0 {
+			t.Fatalf("results not sorted at %d: %v then %v", i, res.Itemsets[i-1].Items, res.Itemsets[i].Items)
+		}
+	}
+}
+
+func TestSearchString(t *testing.T) {
+	if DFS.String() != "DFS" || BFS.String() != "BFS" {
+		t.Error("Search.String wrong")
+	}
+	for m, want := range map[Method]string{
+		MethodExact: "exact", MethodSampled: "sampled",
+		MethodBoundAccepted: "bound-accepted", MethodNoClauses: "no-clauses",
+		Method(99): "unknown",
+	} {
+		if m.String() != want {
+			t.Errorf("Method(%d).String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestMineContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	db := randomDB(rng, 16, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MineContext(ctx, db, Options{MinSup: 1, PFCT: 0.1, Seed: 1}); err == nil {
+		t.Error("cancelled context should abort DFS mining")
+	}
+	bfsOpts := Options{MinSup: 1, PFCT: 0.1, Seed: 1, Search: BFS}
+	if _, err := MineContext(ctx, db, bfsOpts); err == nil {
+		t.Error("cancelled context should abort BFS mining")
+	}
+	parOpts := Options{MinSup: 1, PFCT: 0.1, Seed: 1, Parallelism: 3}
+	if _, err := MineContext(ctx, db, parOpts); err == nil {
+		t.Error("cancelled context should abort parallel mining")
+	}
+	// A live context behaves exactly like Mine.
+	got, err := MineContext(context.Background(), db, Options{MinSup: 2, PFCT: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Mine(db, Options{MinSup: 2, PFCT: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Itemsets) != len(want.Itemsets) {
+		t.Errorf("context run found %d itemsets, plain run %d", len(got.Itemsets), len(want.Itemsets))
+	}
+}
+
+// TestCertainDataReducesToExactClosed: with every tuple probability 1 the
+// possible-world distribution is a point mass, so MPFCI at any pfct < 1
+// must return exactly the classical frequent closed itemsets, each with
+// Pr_FC = 1.
+func TestCertainDataReducesToExactClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(20) + 2
+		var data []itemset.Itemset
+		trans := make([]uncertain.Transaction, 0, n)
+		for i := 0; i < n; i++ {
+			var items []itemset.Item
+			for j := 0; j < 8; j++ {
+				if rng.Float64() < 0.5 {
+					items = append(items, itemset.Item(j))
+				}
+			}
+			if len(items) == 0 {
+				items = []itemset.Item{itemset.Item(rng.Intn(8))}
+			}
+			is := itemset.New(items...)
+			data = append(data, is)
+			trans = append(trans, uncertain.Transaction{Items: is, Prob: 1})
+		}
+		db := uncertain.MustNewDB(trans)
+		minSup := rng.Intn(n/2) + 1
+
+		got, err := Mine(db, Options{MinSup: minSup, PFCT: 0.9, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact.MineClosed(exact.Dataset(data), minSup)
+		if len(got.Itemsets) != len(want) {
+			t.Fatalf("trial %d (n=%d ms=%d): MPFCI found %d itemsets, exact closed miner %d\nmpfci=%v\nexact=%v",
+				trial, n, minSup, len(got.Itemsets), len(want), got.Itemsets, want)
+		}
+		for i := range want {
+			if !itemset.Equal(got.Itemsets[i].Items, want[i].Items) {
+				t.Fatalf("trial %d: itemset %d: %v vs %v", trial, i, got.Itemsets[i].Items, want[i].Items)
+			}
+			if math.Abs(got.Itemsets[i].Prob-1) > 1e-9 {
+				t.Errorf("trial %d: %v has Pr_FC %v on certain data, want 1",
+					trial, got.Itemsets[i].Items, got.Itemsets[i].Prob)
+			}
+		}
+	}
+}
+
+// TestMidScaleAgainstWorldSampler cross-checks the miner on databases too
+// large for exhaustive world enumeration: every mined probability must
+// agree with the independent whole-world Monte-Carlo estimator, which
+// shares no code with the evaluation pipeline (no clause systems, no
+// bounds, no Karp-Luby).
+func TestMidScaleAgainstWorldSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 5; trial++ {
+		db := randomDB(rng, 40, 7)
+		if db.N() < 10 {
+			continue
+		}
+		minSup := db.N() / 4
+		if minSup < 1 {
+			minSup = 1
+		}
+		res, err := Mine(db, Options{MinSup: minSup, PFCT: 0.3, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := NewWorldSampler(db, int64(trial)+500)
+		for _, r := range res.Itemsets {
+			est, err := ws.FreqClosedProb(r.Items, minSup, 40000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Bound-accepted results guarantee only their interval.
+			if est >= r.Lower-0.02 && est <= r.Upper+0.02 {
+				continue
+			}
+			if math.Abs(est-r.Prob) > 0.03 {
+				t.Errorf("trial %d: %v mined Pr_FC=%v [%v,%v], world-sampled %v",
+					trial, r.Items, r.Prob, r.Lower, r.Upper, est)
+			}
+		}
+	}
+}

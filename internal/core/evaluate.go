@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/dnf"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+)
+
+// evaluation is the verdict on one candidate itemset.
+type evaluation struct {
+	accepted     bool
+	prob         float64 // estimated Pr_FC
+	lower, upper float64 // Pr_FC sandwich (equal to prob when exact)
+	method       Method
+}
+
+// clause is one extension event C_i, prepared for the union machinery.
+type clause struct {
+	item itemset.Item
+	b    *bitset.Bitset // tidset of X + e_i (within tids of X)
+	prob float64        // Pr(C_i)
+}
+
+// evaluate decides whether X (with tidset tids, |tids| = count and exact
+// frequent probability prF) is a probabilistic frequent closed itemset.
+// It follows §IV.B: clause probabilities, Lemma 4.4 bound pruning, then
+// exact inclusion–exclusion or the ApproxFCP sampler for the survivors.
+func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64) (evaluation, error) {
+	m.stats.Evaluated++
+
+	clauses, slack, dead := m.buildClauses(x, tids, count)
+	defer func() {
+		// The clause tidsets come from the miner's freelist and are dead
+		// once the verdict is in.
+		for _, c := range clauses {
+			m.putBuf(c.b)
+		}
+	}()
+	if dead {
+		// Some extension always co-occurs with X: Pr_FC(X) = 0.
+		return evaluation{accepted: false, method: MethodExact}, nil
+	}
+	if len(clauses) == 0 && slack == 0 {
+		// No extension event is possible: X is closed whenever frequent.
+		ev := evaluation{prob: prF, lower: prF, upper: prF, method: MethodNoClauses}
+		ev.accepted = ev.prob > m.opts.PFCT
+		return ev, nil
+	}
+
+	// Sort by descending clause probability so that the pairwise bound
+	// budget and the Karp–Luby min-index check concentrate on the clauses
+	// that matter.
+	sort.Slice(clauses, func(i, j int) bool { return clauses[i].prob > clauses[j].prob })
+
+	sys, probs, err := m.clauseSystem(tids, clauses)
+	if err != nil {
+		return evaluation{}, err
+	}
+
+	// First-order bounds are free: union ≥ max Pr(C_i), union ≤ min(1, ΣPr(C_i)).
+	s1, maxClause := 0.0, 0.0
+	for _, p := range probs {
+		s1 += p
+		if p > maxClause {
+			maxClause = p
+		}
+	}
+	unionLower := maxClause
+	unionUpper := s1 + slack
+	if unionUpper > 1 {
+		unionUpper = 1
+	}
+
+	if !m.opts.DisableBounds {
+		if ev, done := m.decideByBounds(prF, unionLower, unionUpper); done {
+			return ev, nil
+		}
+		// Second-order (Lemma 4.4) bounds over the most probable clauses.
+		lo, hi := m.pairwiseBounds(sys, probs, slack)
+		if lo > unionLower {
+			unionLower = lo
+		}
+		if hi < unionUpper {
+			unionUpper = hi
+		}
+		if ev, done := m.decideByBounds(prF, unionLower, unionUpper); done {
+			return ev, nil
+		}
+	}
+
+	// Checking phase: exact inclusion–exclusion when the clause system is
+	// small, the FPRAS sampler otherwise.
+	var union float64
+	method := MethodExact
+	if m.opts.MaxExactClauses >= 0 && len(clauses) <= m.opts.MaxExactClauses {
+		union, err = sys.ExactUnion()
+		if err != nil {
+			return evaluation{}, err
+		}
+		m.stats.ExactUnions++
+	} else {
+		n := dnf.SampleSize(len(clauses), m.opts.Epsilon, m.opts.Delta)
+		union, err = sys.KarpLuby(m.rng, probs, n)
+		if err != nil {
+			return evaluation{}, err
+		}
+		m.stats.Sampled++
+		m.stats.SamplesDrawn += n
+		method = MethodSampled
+	}
+	union += slack / 2 // dropped-clause slack, ≤ len(clauses)·1e-15
+	// Keep the estimate inside the analytic sandwich.
+	if union < unionLower {
+		union = unionLower
+	}
+	if union > unionUpper {
+		union = unionUpper
+	}
+	ev := evaluation{
+		prob:   clamp01(prF - union),
+		lower:  clamp01(prF - unionUpper),
+		upper:  clamp01(prF - unionLower),
+		method: method,
+	}
+	ev.accepted = ev.prob > m.opts.PFCT
+	return ev, nil
+}
+
+// decideByBounds applies the Lemma 4.4 pruning rules: reject when the upper
+// bound on Pr_FC cannot exceed pfct, accept when the lower bound already
+// does, and report "not done" otherwise.
+func (m *miner) decideByBounds(prF, unionLower, unionUpper float64) (evaluation, bool) {
+	fcLower := clamp01(prF - unionUpper)
+	fcUpper := clamp01(prF - unionLower)
+	if fcUpper <= m.opts.PFCT {
+		m.stats.BoundRejected++
+		return evaluation{accepted: false, lower: fcLower, upper: fcUpper, prob: (fcLower + fcUpper) / 2, method: MethodBoundAccepted}, true
+	}
+	if fcLower > m.opts.PFCT {
+		m.stats.BoundAccepted++
+		return evaluation{accepted: true, lower: fcLower, upper: fcUpper, prob: (fcLower + fcUpper) / 2, method: MethodBoundAccepted}, true
+	}
+	return evaluation{}, false
+}
+
+// buildClauses computes the extension events of Definition 4.1 for every
+// item not in X. It returns the clauses with non-negligible probability,
+// the total probability mass of dropped clauses (slack), and dead = true
+// when some extension provably always co-occurs with X (count equality), in
+// which case Pr_FC(X) = 0.
+func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int) (clauses []clause, slack float64, dead bool) {
+	for _, e := range m.allItems {
+		if x.Contains(e) {
+			continue
+		}
+		b := m.getBuf()
+		bc := bitset.AndInto(b, tids, m.itemTids[e])
+		if bc == count {
+			// tids(X) ⊆ tids(e): X and X+e always appear together. Release
+			// everything collected so far; the caller sees dead = true.
+			m.putBuf(b)
+			for _, c := range clauses {
+				m.putBuf(c.b)
+			}
+			return nil, 0, true
+		}
+		if bc < m.opts.MinSup {
+			// Pr_F(X+e) = 0, hence Pr(C_e) = 0.
+			m.putBuf(b)
+			continue
+		}
+		// Pr(C_e) = Π_{T ∈ tids\b}(1−p_T) · Pr_F(X+e).
+		absent := 1.0
+		negligible := false
+		tids.ForEach(func(tid int) bool {
+			if b.Test(tid) {
+				return true
+			}
+			absent *= 1 - m.probs[tid]
+			if absent < zeroClauseEps {
+				negligible = true
+				return false
+			}
+			return true
+		})
+		if negligible {
+			slack += zeroClauseEps // conservative cap on the dropped mass
+			m.putBuf(b)
+			continue
+		}
+		m.stats.TailEvaluations++
+		p := absent * poibin.Tail(m.probsOf(b), m.opts.MinSup)
+		m.stats.ClauseEvaluated++
+		if p < zeroClauseEps {
+			slack += p
+			m.putBuf(b)
+			continue
+		}
+		clauses = append(clauses, clause{item: e, b: b, prob: p})
+	}
+	return clauses, slack, false
+}
+
+// clauseSystem wraps the kept clauses in a dnf.System plus the probability
+// vector aligned with it.
+func (m *miner) clauseSystem(tids *bitset.Bitset, clauses []clause) (*dnf.System, []float64, error) {
+	bs := make([]*bitset.Bitset, len(clauses))
+	probs := make([]float64, len(clauses))
+	for i, c := range clauses {
+		bs[i] = c.b
+		probs[i] = c.prob
+	}
+	sys, err := dnf.NewSystem(tids, m.probs, m.opts.MinSup, bs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: building clause system: %w", err)
+	}
+	return sys, probs, nil
+}
+
+// pairwiseBounds computes the de Caen / Kwerel sandwich of Lemma 4.4 over
+// the top MaxPairClauses clauses (sorted by descending probability) and
+// extends it soundly to the full clause set: the partial de Caen bound is a
+// valid lower bound on the full union, and the remaining clauses join the
+// upper bound additively.
+func (m *miner) pairwiseBounds(sys *dnf.System, probs []float64, slack float64) (lo, hi float64) {
+	k := len(probs)
+	if k > m.opts.MaxPairClauses {
+		k = m.opts.MaxPairClauses
+	}
+	sub := &dnf.System{Base: sys.Base, Probs: sys.Probs, MinSup: sys.MinSup, Clauses: sys.Clauses[:k]}
+	sums := sub.ComputeSums()
+	m.stats.ClauseEvaluated += k * (k - 1) / 2
+	lo, hi = dnf.UnionBounds(sums)
+	rest := slack
+	for _, p := range probs[k:] {
+		rest += p
+	}
+	hi += rest
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// probsOf collects the existence probabilities of the tids in b into a
+// buffer owned by the miner. Every caller consumes the slice (via a
+// Poisson-binomial computation, which never retains it) before calling
+// probsOf again, so one buffer per miner suffices.
+func (m *miner) probsOf(b *bitset.Bitset) []float64 {
+	m.probsBuf = m.probsBuf[:0]
+	b.ForEach(func(tid int) bool {
+		m.probsBuf = append(m.probsBuf, m.probs[tid])
+		return true
+	})
+	return m.probsBuf
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/probdata/pfcim/internal/dnf"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// This file exposes the frequent-closed-probability computation for a
+// single itemset, outside of a mining run: the exact inclusion–exclusion
+// path (feasible when the itemset has few non-trivial extension events,
+// regardless of database size — unlike the possible-world oracle, which is
+// limited to ~26 transactions) and the raw ApproxFCP estimator. The
+// approximation-quality experiment (Fig. 11) measures the estimator
+// against the exact value through these entry points.
+
+// fcpContext prepares the clause system of one itemset.
+type fcpContext struct {
+	m      *miner
+	x      itemset.Itemset
+	prF    float64
+	system *dnf.System
+	probs  []float64
+	slack  float64
+	dead   bool
+	count  int
+}
+
+func newFCPContext(db *uncertain.DB, x itemset.Itemset, minSup int) (*fcpContext, error) {
+	opts, err := Options{MinSup: minSup, PFCT: 0.5}.normalize()
+	if err != nil {
+		return nil, err
+	}
+	idx := db.Index()
+	m := &miner{
+		opts:     opts,
+		db:       db,
+		probs:    db.Probs(),
+		allItems: idx.Items,
+		itemTids: idx.Tidsets,
+	}
+	tids := idx.TidsetOf(x)
+	count := tids.Count()
+	ctx := &fcpContext{m: m, x: x, count: count}
+	if count < minSup {
+		ctx.prF = 0
+		return ctx, nil
+	}
+	ctx.prF = poibin.Tail(m.probsOf(tids), minSup)
+	clauses, slack, dead := m.buildClauses(x, tids, count)
+	ctx.slack, ctx.dead = slack, dead
+	if dead || len(clauses) == 0 {
+		return ctx, nil
+	}
+	sys, probs, err := m.clauseSystem(tids, clauses)
+	if err != nil {
+		return nil, err
+	}
+	ctx.system, ctx.probs = sys, probs
+	return ctx, nil
+}
+
+// SamplerActive reports whether estimating this itemset's Pr_FC actually
+// requires Monte-Carlo work: it has at least one non-negligible extension
+// event and is not trivially zero.
+func (c *fcpContext) samplerActive() bool {
+	return !c.dead && c.system != nil
+}
+
+// ExactFCP computes Pr_FC(x) exactly: Pr_F(x) minus the inclusion–exclusion
+// union of the extension events. It fails if the itemset has more than
+// dnf.ExactUnionLimit non-trivial extension events.
+func ExactFCP(db *uncertain.DB, x itemset.Itemset, minSup int) (float64, error) {
+	ctx, err := newFCPContext(db, x, minSup)
+	if err != nil {
+		return 0, err
+	}
+	if ctx.dead {
+		return 0, nil
+	}
+	if ctx.prF == 0 {
+		return 0, nil
+	}
+	if ctx.system == nil {
+		return clamp01(ctx.prF - ctx.slack/2), nil
+	}
+	union, err := ctx.system.ExactUnion()
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(ctx.prF - union - ctx.slack/2), nil
+}
+
+// EstimateFCP runs the ApproxFCP Monte-Carlo estimator (Fig. 2 of the
+// paper) on a single itemset with the given tolerance ε and confidence
+// parameter δ, returning the estimated Pr_FC(x).
+func EstimateFCP(db *uncertain.DB, x itemset.Itemset, minSup int, eps, delta float64, seed int64) (float64, error) {
+	ctx, err := newFCPContext(db, x, minSup)
+	if err != nil {
+		return 0, err
+	}
+	if ctx.dead {
+		return 0, nil
+	}
+	if ctx.prF == 0 {
+		return 0, nil
+	}
+	if ctx.system == nil {
+		return clamp01(ctx.prF - ctx.slack/2), nil
+	}
+	n := dnf.SampleSize(len(ctx.probs), eps, delta)
+	union, err := ctx.system.KarpLuby(rand.New(rand.NewSource(seed)), ctx.probs, n)
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(ctx.prF - union - ctx.slack/2), nil
+}
+
+// SamplerActiveItemset reports whether EstimateFCP on x involves actual
+// sampling (at least one non-negligible extension event). Fig. 11 uses it
+// to select itemsets on which approximation error is observable.
+func SamplerActiveItemset(db *uncertain.DB, x itemset.Itemset, minSup int) (bool, error) {
+	ctx, err := newFCPContext(db, x, minSup)
+	if err != nil {
+		return false, err
+	}
+	return ctx.samplerActive(), nil
+}
+
+// ClauseCount returns the number of non-negligible extension events of x —
+// the m of the ApproxFCP DNF. With m ≤ 1 the Karp–Luby estimator is exact
+// (a single clause's probability is computed, not sampled), so estimation
+// error is only observable for m ≥ 2.
+func ClauseCount(db *uncertain.DB, x itemset.Itemset, minSup int) (int, error) {
+	ctx, err := newFCPContext(db, x, minSup)
+	if err != nil {
+		return 0, err
+	}
+	if ctx.dead || ctx.system == nil {
+		return 0, nil
+	}
+	return len(ctx.probs), nil
+}

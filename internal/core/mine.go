@@ -1,0 +1,304 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// miner carries the run state shared by the DFS and BFS frameworks.
+type miner struct {
+	opts     Options
+	db       *uncertain.DB
+	probs    []float64 // tuple existence probabilities by tid
+	allItems itemset.Itemset
+	itemTids map[itemset.Item]*bitset.Bitset
+	cands    []candidate // probabilistic frequent single-item candidates
+	rng      *rand.Rand
+	stats    Stats
+	results  []ResultItem
+	ctx      context.Context
+
+	// Reusable scratch, one owner per miner (parallel sub-miners get their
+	// own): depthBufs[d] holds the child tidset being probed at recursion
+	// depth d, and probsBuf backs probsOf. Both are safe because tidsets
+	// are never mutated once built and every probsOf result is consumed
+	// before the next call.
+	depthBufs []*bitset.Bitset
+	probsBuf  []float64
+	freeBufs  []*bitset.Bitset
+}
+
+// getBuf returns a tidset-sized scratch bitset from the miner's freelist.
+func (m *miner) getBuf() *bitset.Bitset {
+	if n := len(m.freeBufs); n > 0 {
+		b := m.freeBufs[n-1]
+		m.freeBufs = m.freeBufs[:n-1]
+		return b
+	}
+	return bitset.New(m.db.N())
+}
+
+// putBuf returns scratch bitsets to the freelist.
+func (m *miner) putBuf(bufs ...*bitset.Bitset) {
+	m.freeBufs = append(m.freeBufs, bufs...)
+}
+
+// childBuf returns the scratch tidset for recursion depth d.
+func (m *miner) childBuf(d int) *bitset.Bitset {
+	for len(m.depthBufs) <= d {
+		m.depthBufs = append(m.depthBufs, bitset.New(m.db.N()))
+	}
+	return m.depthBufs[d]
+}
+
+// candidate is a single item that survived the candidate phase, with its
+// tidset, count and exact frequent probability.
+type candidate struct {
+	item itemset.Item
+	tids *bitset.Bitset
+	cnt  int
+	prF  float64
+}
+
+// Mine runs MPFCI (or the configured variant) over db and returns every
+// probabilistic frequent closed itemset, sorted lexicographically.
+func Mine(db *uncertain.DB, opts Options) (*Result, error) {
+	return MineContext(context.Background(), db, opts)
+}
+
+// MineContext is Mine with cancellation: the run aborts with ctx.Err() at
+// the next enumeration-tree node once ctx is done. Long mining runs at low
+// support thresholds can take minutes; this is the production off-switch.
+func MineContext(ctx context.Context, db *uncertain.DB, opts Options) (*Result, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	idx := db.Index()
+	m := &miner{
+		opts:     opts,
+		db:       db,
+		probs:    db.Probs(),
+		allItems: idx.Items,
+		itemTids: idx.Tidsets,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		ctx:      ctx,
+	}
+	m.buildCandidates()
+
+	switch opts.Search {
+	case BFS:
+		err = m.mineBFS()
+	default:
+		err = m.mineDFS()
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(m.results, func(i, j int) bool {
+		return itemset.Compare(m.results[i].Items, m.results[j].Items) < 0
+	})
+	return &Result{Itemsets: m.results, Stats: m.stats, Options: opts}, nil
+}
+
+// buildCandidates is the first phase of Fig. 1: construct the single-item
+// candidate set with Chernoff-Hoeffding pruning (Lemma 4.1) and the exact
+// frequent-probability test. Items whose frequent probability cannot exceed
+// pfct cannot occur in any probabilistic frequent closed itemset because
+// Pr_F is anti-monotone and Pr_FC(X) ≤ Pr_F(X).
+func (m *miner) buildCandidates() {
+	for _, e := range m.allItems {
+		tids := m.itemTids[e]
+		cnt := tids.Count()
+		if cnt < m.opts.MinSup {
+			continue
+		}
+		probs := m.probsOf(tids)
+		if !m.opts.DisableCH {
+			if poibin.TailUpperBound(probs, m.opts.MinSup) <= m.opts.PFCT {
+				m.stats.CHPruned++
+				continue
+			}
+		}
+		m.stats.TailEvaluations++
+		prF := poibin.Tail(probs, m.opts.MinSup)
+		if prF <= m.opts.PFCT {
+			m.stats.FreqPruned++
+			continue
+		}
+		m.cands = append(m.cands, candidate{item: e, tids: tids, cnt: cnt, prF: prF})
+	}
+	m.stats.CandidateItems = len(m.cands)
+}
+
+// trace logs one enumeration event when tracing is enabled.
+func (m *miner) trace(format string, args ...interface{}) {
+	if m.opts.Trace != nil {
+		fmt.Fprintf(m.opts.Trace, format+"\n", args...)
+	}
+}
+
+// mineDFS drives the ProbFC recursion of Fig. 3 from the root.
+func (m *miner) mineDFS() error {
+	if m.opts.Parallelism > 1 && m.opts.Trace == nil {
+		return m.mineDFSParallel()
+	}
+	for pos := 0; pos < len(m.cands); pos++ {
+		c := m.cands[pos]
+		if err := m.probFC(itemset.Itemset{c.item}, c.tids.Clone(), c.cnt, c.prF, pos+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mineDFSParallel distributes the first-level subtrees over a worker pool.
+// Each worker owns an independent sub-miner (own stats, results and RNG);
+// the RNG seed depends only on Options.Seed and the subtree position, so
+// estimates do not depend on goroutine scheduling.
+func (m *miner) mineDFSParallel() error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, m.opts.Parallelism)
+	for pos := range m.cands {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pos int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := m.cands[pos]
+			sub := &miner{
+				opts:     m.opts,
+				db:       m.db,
+				probs:    m.probs,
+				allItems: m.allItems,
+				itemTids: m.itemTids,
+				cands:    m.cands,
+				rng:      rand.New(rand.NewSource(m.opts.Seed + int64(pos)*1000003)),
+				ctx:      m.ctx,
+			}
+			err := sub.probFC(itemset.Itemset{c.item}, c.tids.Clone(), c.cnt, c.prF, pos+1)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			m.results = append(m.results, sub.results...)
+			m.stats.add(sub.stats)
+		}(pos)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// probFC is one node of the depth-first enumeration: X with tidset tids,
+// count = |tids|, exact frequent probability prF; extensions come from
+// candidate positions ≥ startPos.
+func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error {
+	if m.ctx != nil {
+		if err := m.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	m.stats.NodesVisited++
+	m.trace("visit %v (count=%d, PrF=%.4f)", x, count, prF)
+
+	// Superset pruning (Lemma 4.2): if some item e smaller than the last
+	// item of X (so X is not a prefix of X+e) and not in X satisfies
+	// count(X+e) = count(X), then X and every superset with X as prefix
+	// have zero frequent closed probability — abandon the subtree.
+	if !m.opts.DisableSuperset {
+		last := x.Last()
+		for _, c := range m.cands {
+			if c.item >= last {
+				break
+			}
+			if x.Contains(c.item) {
+				continue
+			}
+			if bitset.AndCount(tids, c.tids) == count {
+				m.stats.SupersetPruned++
+				m.trace("  superset-prune %v: count(%v+%v) = count — subtree dead (Lemma 4.2)", x, x, itemset.Itemset{c.item})
+				return nil
+			}
+		}
+	}
+
+	selfDead := false
+	for pos := startPos; pos < len(m.cands); pos++ {
+		c := m.cands[pos]
+		// Depth-indexed scratch: the buffer is reused for the next sibling
+		// only after the recursive call into this child has returned, and
+		// no callee ever mutates its tids argument.
+		child := m.childBuf(len(x))
+		cc := bitset.AndInto(child, tids, c.tids)
+		if cc < m.opts.MinSup {
+			continue
+		}
+		childProbs := m.probsOf(child)
+		// Chernoff-Hoeffding pruning of the extension (Lemma 4.1).
+		if !m.opts.DisableCH {
+			if poibin.TailUpperBound(childProbs, m.opts.MinSup) <= m.opts.PFCT {
+				m.stats.CHPruned++
+				m.trace("  ch-prune %v (Lemma 4.1 bound ≤ pfct)", x.Extend(c.item))
+				continue
+			}
+		}
+		m.stats.TailEvaluations++
+		childPrF := poibin.Tail(childProbs, m.opts.MinSup)
+		if childPrF <= m.opts.PFCT {
+			// Pr_F is anti-monotone, so the whole X+e subtree is out.
+			m.stats.FreqPruned++
+			m.trace("  freq-prune %v (PrF=%.4f ≤ pfct)", x.Extend(c.item), childPrF)
+			continue
+		}
+		if !m.opts.DisableSubset && cc == count {
+			m.trace("  subset-absorb %v into %v: later siblings skipped (Lemma 4.3)", x, x.Extend(c.item))
+			// Subset pruning (Lemma 4.3): X+e always co-occurs with X, so
+			// X is never closed, and every later sibling X+f (f > e) and
+			// its descendants avoid e and are therefore never closed
+			// either. Only the X+e subtree can contain closed itemsets.
+			selfDead = true
+			m.stats.SubsetPruned++
+			if err := m.probFC(x.Extend(c.item), child, cc, childPrF, pos+1); err != nil {
+				return err
+			}
+			break
+		}
+		if err := m.probFC(x.Extend(c.item), child, cc, childPrF, pos+1); err != nil {
+			return err
+		}
+	}
+
+	if selfDead {
+		return nil
+	}
+	ev, err := m.evaluate(x, tids, count, prF)
+	if err != nil {
+		return err
+	}
+	m.trace("  evaluate %v: PrFC≈%.4f in [%.4f, %.4f] via %v → accepted=%v",
+		x, ev.prob, ev.lower, ev.upper, ev.method, ev.accepted)
+	if ev.accepted {
+		m.results = append(m.results, ResultItem{
+			Items:    x.Clone(),
+			Prob:     ev.prob,
+			Lower:    ev.lower,
+			Upper:    ev.upper,
+			FreqProb: prF,
+			Method:   ev.method,
+		})
+	}
+	return nil
+}

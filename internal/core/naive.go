@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/pfim"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// NaiveMine is the Fig. 5 baseline: first enumerate every probabilistic
+// frequent itemset (the TODIS-equivalent result set of pfim.Mine), then
+// run the ApproxFCP Monte-Carlo estimator on each one, with no bounding or
+// pruning. Pr_FC(X) ≤ Pr_F(X), so restricting to probabilistic frequent
+// itemsets at threshold pfct loses no results.
+func NaiveMine(db *uncertain.DB, opts Options) (*Result, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	// Force the naive configuration: every candidate is resolved by the
+	// sampler; no bound short-circuits.
+	opts.DisableBounds = true
+	opts.MaxExactClauses = -1
+
+	pfis := pfim.Mine(db, pfim.Options{MinSup: opts.MinSup, PFT: opts.PFCT})
+
+	idx := db.Index()
+	m := &miner{
+		opts:     opts,
+		db:       db,
+		probs:    db.Probs(),
+		allItems: idx.Items,
+		itemTids: idx.Tidsets,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	for _, pfi := range pfis {
+		m.stats.NodesVisited++
+		tids := idx.TidsetOf(pfi.Items)
+		ev, err := m.evaluate(pfi.Items, tids, tids.Count(), pfi.FreqProb)
+		if err != nil {
+			return nil, err
+		}
+		if ev.accepted {
+			m.results = append(m.results, ResultItem{
+				Items:    pfi.Items.Clone(),
+				Prob:     ev.prob,
+				Lower:    ev.lower,
+				Upper:    ev.upper,
+				FreqProb: pfi.FreqProb,
+				Method:   ev.method,
+			})
+		}
+	}
+	sort.Slice(m.results, func(i, j int) bool {
+		return itemset.Compare(m.results[i].Items, m.results[j].Items) < 0
+	})
+	return &Result{Itemsets: m.results, Stats: m.stats, Options: opts}, nil
+}

@@ -1,0 +1,227 @@
+// Package core implements MPFCI, the paper's depth-first
+// Bounding–Pruning–Checking miner for probabilistic threshold-based
+// frequent closed itemsets, together with the breadth-first variant and the
+// ablation switches of Table VII.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+// Search selects the enumeration framework (Table VII's last column).
+type Search int
+
+const (
+	// DFS is the depth-first ProbFC enumeration of Fig. 3.
+	DFS Search = iota
+	// BFS is the level-wise MPFCI-BFS variant. It cannot apply superset or
+	// subset pruning (those conditions never arise in level-wise
+	// enumeration), matching the paper's experimental setup.
+	BFS
+)
+
+func (s Search) String() string {
+	if s == BFS {
+		return "BFS"
+	}
+	return "DFS"
+}
+
+// Options configures a mining run. MinSup and PFCT are required; the
+// remaining fields have sensible defaults applied by normalize.
+type Options struct {
+	// MinSup is the absolute minimum support threshold (the paper's
+	// min_sup; the experiments quote it as a fraction of |UTD| — use
+	// AbsoluteMinSup to convert).
+	MinSup int
+	// PFCT is the probabilistic frequent closed threshold in (0, 1).
+	PFCT float64
+
+	// Epsilon is the relative tolerance error ε of ApproxFCP. Default 0.1.
+	Epsilon float64
+	// Delta is the failure probability δ of ApproxFCP (the paper's
+	// probabilistic confidence degree is 1−δ). Default 0.1.
+	Delta float64
+	// Seed makes the Monte-Carlo estimator deterministic.
+	Seed int64
+
+	// Ablation switches (Table VII). All false = full MPFCI.
+	DisableCH       bool // drop Chernoff-Hoeffding bound pruning (MPFCI-NoCH)
+	DisableSuperset bool // drop superset pruning, Lemma 4.2 (MPFCI-NoSuper)
+	DisableSubset   bool // drop subset pruning, Lemma 4.3 (MPFCI-NoSub)
+	DisableBounds   bool // drop Pr_FC bound pruning, Lemma 4.4 (MPFCI-NoBound)
+
+	// Search selects DFS (default) or BFS.
+	Search Search
+
+	// MaxExactClauses: when a surviving candidate has at most this many
+	// non-trivial clauses, the frequent non-closed probability is computed
+	// exactly by inclusion–exclusion instead of sampling. 0 means use the
+	// default (6); set negative to always sample. The ablation benchmarks
+	// in bench_test.go show the crossover: each of the 2^m inclusion-
+	// exclusion terms costs a Poisson-binomial tail over the intersected
+	// tidset, so exact checking wins only for small clause systems.
+	MaxExactClauses int
+
+	// MaxPairClauses caps how many clauses (the most probable ones)
+	// participate in the pairwise de Caen/Kwerel bound computation; the
+	// bounds remain sound for the full clause set. 0 means default (16).
+	MaxPairClauses int
+
+	// Parallelism is the number of goroutines mining first-level subtrees
+	// concurrently (DFS framework only; BFS ignores it). 0 or 1 runs
+	// serially. The result set is identical to a serial run; Monte-Carlo
+	// estimates remain deterministic because each subtree derives its
+	// sampler seed from Seed and the subtree's candidate position, not
+	// from scheduling order.
+	Parallelism int
+
+	// Trace, when non-nil, receives a line-per-event log of the DFS
+	// enumeration — node visits, every pruning decision, and every
+	// evaluation verdict — the walk-through the paper's Fig. 4 depicts.
+	// Tracing forces serial DFS (Parallelism is ignored).
+	Trace io.Writer
+}
+
+const (
+	defaultEpsilon         = 0.1
+	defaultDelta           = 0.1
+	defaultMaxExactClauses = 6
+	defaultMaxPairClauses  = 16
+
+	// zeroClauseEps: clauses whose probability falls below this are dropped
+	// from the union computation and accounted as slack; the slack is
+	// orders of magnitude below every ε the estimator supports.
+	zeroClauseEps = 1e-15
+)
+
+func (o Options) normalize() (Options, error) {
+	if o.MinSup < 1 {
+		return o, fmt.Errorf("core: MinSup must be ≥ 1, got %d", o.MinSup)
+	}
+	if o.PFCT <= 0 || o.PFCT >= 1 {
+		return o, fmt.Errorf("core: PFCT must be in (0,1), got %v", o.PFCT)
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = defaultEpsilon
+	}
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		return o, fmt.Errorf("core: Epsilon must be in (0,1), got %v", o.Epsilon)
+	}
+	if o.Delta == 0 {
+		o.Delta = defaultDelta
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return o, fmt.Errorf("core: Delta must be in (0,1), got %v", o.Delta)
+	}
+	if o.MaxExactClauses == 0 {
+		o.MaxExactClauses = defaultMaxExactClauses
+	}
+	if o.MaxPairClauses == 0 {
+		o.MaxPairClauses = defaultMaxPairClauses
+	}
+	return o, nil
+}
+
+// AbsoluteMinSup converts a relative support threshold (fraction of the
+// database size, as the paper's experiments quote it) to the absolute count
+// used by Options.MinSup.
+func AbsoluteMinSup(n int, rel float64) int {
+	ms := int(rel*float64(n) + 0.5)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// Method records how a result's frequent closed probability was resolved.
+type Method int
+
+const (
+	// MethodExact means inclusion–exclusion produced the exact value.
+	MethodExact Method = iota
+	// MethodSampled means the Karp–Luby ApproxFCP estimate was used.
+	MethodSampled
+	// MethodBoundAccepted means the Lemma 4.4 lower bound already exceeded
+	// pfct, so the value reported is the bound midpoint.
+	MethodBoundAccepted
+	// MethodNoClauses means no extension event had positive probability, so
+	// Pr_FC(X) = Pr_F(X) exactly.
+	MethodNoClauses
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodExact:
+		return "exact"
+	case MethodSampled:
+		return "sampled"
+	case MethodBoundAccepted:
+		return "bound-accepted"
+	case MethodNoClauses:
+		return "no-clauses"
+	}
+	return "unknown"
+}
+
+// ResultItem is one probabilistic frequent closed itemset.
+type ResultItem struct {
+	Items itemset.Itemset
+	// Prob is the (estimated) frequent closed probability Pr_FC.
+	Prob float64
+	// Lower and Upper bracket Pr_FC when bounds were computed; for sampled
+	// results they are the analytic Lemma 4.4 sandwich.
+	Lower, Upper float64
+	// FreqProb is the exact frequent probability Pr_F (an upper bound on
+	// Prob by definition).
+	FreqProb float64
+	Method   Method
+}
+
+// Result is the full outcome of a mining run.
+type Result struct {
+	Itemsets []ResultItem
+	Stats    Stats
+	Options  Options
+}
+
+// Stats counts the work the pruning rules saved; the ablation experiments
+// (Fig. 6–9) read these.
+type Stats struct {
+	NodesVisited    int // enumeration-tree nodes expanded
+	CandidateItems  int // single items surviving the candidate phase
+	CHPruned        int // extensions cut by Chernoff-Hoeffding bound (Lemma 4.1)
+	FreqPruned      int // extensions cut by exact Pr_F ≤ pfct
+	SupersetPruned  int // subtrees cut by superset pruning (Lemma 4.2)
+	SubsetPruned    int // sibling groups cut by subset pruning (Lemma 4.3)
+	BoundRejected   int // candidates rejected by the Pr_FC upper bound (Lemma 4.4)
+	BoundAccepted   int // candidates accepted by the Pr_FC lower bound
+	ExactUnions     int // candidates resolved by inclusion-exclusion
+	Sampled         int // candidates resolved by ApproxFCP sampling
+	SamplesDrawn    int // total Monte-Carlo samples drawn
+	Evaluated       int // candidates whose Pr_FC was evaluated at all
+	TailEvaluations int // Poisson-binomial tails computed
+	ClauseEvaluated int // clause probabilities computed
+}
+
+// add accumulates another Stats into s (used when merging parallel
+// sub-miners).
+func (s *Stats) add(o Stats) {
+	s.NodesVisited += o.NodesVisited
+	s.CandidateItems += o.CandidateItems
+	s.CHPruned += o.CHPruned
+	s.FreqPruned += o.FreqPruned
+	s.SupersetPruned += o.SupersetPruned
+	s.SubsetPruned += o.SubsetPruned
+	s.BoundRejected += o.BoundRejected
+	s.BoundAccepted += o.BoundAccepted
+	s.ExactUnions += o.ExactUnions
+	s.Sampled += o.Sampled
+	s.SamplesDrawn += o.SamplesDrawn
+	s.Evaluated += o.Evaluated
+	s.TailEvaluations += o.TailEvaluations
+	s.ClauseEvaluated += o.ClauseEvaluated
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+	"github.com/probdata/pfcim/internal/world"
+)
+
+// TestPaperExample reproduces Example 1.2 / Example 4.3: on the Table II
+// database with min_sup = 2 and pfct = 0.8 the only probabilistic frequent
+// closed itemsets are {a b c} (Pr_FC = 0.8754) and {a b c d} (Pr_FC = 0.81).
+func TestPaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	res, err := Mine(db, Options{MinSup: 2, PFCT: 0.8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Itemsets) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(res.Itemsets), res.Itemsets)
+	}
+	abc := itemset.FromInts(0, 1, 2)
+	abcd := itemset.FromInts(0, 1, 2, 3)
+	if !itemset.Equal(res.Itemsets[0].Items, abc) {
+		t.Errorf("first result = %v, want %v", res.Itemsets[0].Items, abc)
+	}
+	if !itemset.Equal(res.Itemsets[1].Items, abcd) {
+		t.Errorf("second result = %v, want %v", res.Itemsets[1].Items, abcd)
+	}
+	if got := res.Itemsets[0].Prob; math.Abs(got-0.8754) > 1e-9 {
+		t.Errorf("Pr_FC(abc) = %v, want 0.8754", got)
+	}
+	if got := res.Itemsets[1].Prob; math.Abs(got-0.81) > 1e-9 {
+		t.Errorf("Pr_FC(abcd) = %v, want 0.81", got)
+	}
+}
+
+// TestAgainstOracle cross-checks the full miner against exhaustive
+// possible-world enumeration on the paper example for several thresholds.
+func TestAgainstOracle(t *testing.T) {
+	db := uncertain.PaperExample()
+	for _, ms := range []int{1, 2, 3, 4} {
+		for _, pfct := range []float64{0.1, 0.5, 0.8, 0.95} {
+			want, err := world.MineExact(db, ms, pfct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Mine(db, Options{MinSup: ms, PFCT: pfct, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Itemsets) != len(want) {
+				t.Fatalf("ms=%d pfct=%v: got %d results, oracle %d\ngot=%v\nwant=%v",
+					ms, pfct, len(got.Itemsets), len(want), got.Itemsets, want)
+			}
+			for i := range want {
+				if !itemset.Equal(got.Itemsets[i].Items, want[i].Items) {
+					t.Errorf("ms=%d pfct=%v result %d: got %v want %v", ms, pfct, i, got.Itemsets[i].Items, want[i].Items)
+					continue
+				}
+				if math.Abs(got.Itemsets[i].Prob-want[i].Prob) > 0.02 {
+					t.Errorf("ms=%d pfct=%v %v: prob %v, oracle %v", ms, pfct, want[i].Items, got.Itemsets[i].Prob, want[i].Prob)
+				}
+			}
+		}
+	}
+}
+
+// TestExample43Trace reproduces the paper's Example 4.3 / Fig. 4: the
+// enumeration absorbs {a}→{a b}→{a b c} by subset pruning, kills the
+// {b}, {c}, {d} subtrees by superset pruning, and evaluates exactly the
+// two surviving nodes.
+func TestExample43Trace(t *testing.T) {
+	db := uncertain.PaperExample()
+	var buf bytes.Buffer
+	res, err := Mine(db, Options{MinSup: 2, PFCT: 0.8, Seed: 1, Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Itemsets) != 2 {
+		t.Fatalf("trace run found %d itemsets", len(res.Itemsets))
+	}
+	trace := buf.String()
+	for _, want := range []string{
+		"subset-absorb {a} into {a b}",
+		"subset-absorb {a b} into {a b c}",
+		"superset-prune {b}",
+		"superset-prune {c}",
+		"superset-prune {d}",
+		"evaluate {a b c d}",
+		"evaluate {a b c}",
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+	// Exactly 7 nodes are visited: a, ab, abc, abcd, b, c, d.
+	if got := strings.Count(trace, "visit "); got != 7 {
+		t.Errorf("trace visits %d nodes, want 7:\n%s", got, trace)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// TestParallelMatchesSerial: the parallel DFS must return the same itemset
+// set as the serial run, with probabilities that agree wherever the
+// evaluation is deterministic (everything except re-seeded sampling).
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 15; trial++ {
+		db := randomDB(rng, 14, 7)
+		serial := Options{MinSup: 2, PFCT: 0.5, Seed: 9}
+		parallel := serial
+		parallel.Parallelism = 4
+		a, err := Mine(db, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Mine(db, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Itemsets) != len(b.Itemsets) {
+			t.Fatalf("trial %d: serial %d itemsets, parallel %d", trial, len(a.Itemsets), len(b.Itemsets))
+		}
+		for i := range a.Itemsets {
+			if !itemset.Equal(a.Itemsets[i].Items, b.Itemsets[i].Items) {
+				t.Fatalf("trial %d: itemset %d differs: %v vs %v", trial, i, a.Itemsets[i].Items, b.Itemsets[i].Items)
+			}
+			if math.Abs(a.Itemsets[i].Prob-b.Itemsets[i].Prob) > 0.05 {
+				t.Fatalf("trial %d: %v probability drifted: %v vs %v",
+					trial, a.Itemsets[i].Items, a.Itemsets[i].Prob, b.Itemsets[i].Prob)
+			}
+		}
+		// Per-node statistics must be preserved by the merge.
+		if a.Stats.NodesVisited != b.Stats.NodesVisited {
+			t.Fatalf("trial %d: node counts differ: %d vs %d", trial, a.Stats.NodesVisited, b.Stats.NodesVisited)
+		}
+	}
+}
+
+// TestParallelDeterministic: two parallel runs with the same seed produce
+// byte-identical results regardless of scheduling.
+func TestParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	db := randomDB(rng, 16, 7)
+	opts := Options{MinSup: 2, PFCT: 0.5, Seed: 13, Parallelism: 4, MaxExactClauses: -1, DisableBounds: true}
+	a, err := Mine(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Itemsets) != len(b.Itemsets) {
+		t.Fatalf("non-deterministic result size: %d vs %d", len(a.Itemsets), len(b.Itemsets))
+	}
+	for i := range a.Itemsets {
+		if a.Itemsets[i].Prob != b.Itemsets[i].Prob {
+			t.Fatalf("non-deterministic estimate for %v: %v vs %v",
+				a.Itemsets[i].Items, a.Itemsets[i].Prob, b.Itemsets[i].Prob)
+		}
+	}
+}
+
+func TestParallelPaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	res, err := Mine(db, Options{MinSup: 2, PFCT: 0.8, Seed: 1, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Itemsets) != 2 {
+		t.Fatalf("parallel run on the paper example found %d itemsets", len(res.Itemsets))
+	}
+	if math.Abs(res.Itemsets[0].Prob-0.8754) > 1e-9 {
+		t.Errorf("Pr_FC(abc) = %v", res.Itemsets[0].Prob)
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// MineTopK returns the k itemsets with the highest frequent closed
+// probability at the given minimum support, without a user-supplied pfct:
+// the threshold rises dynamically to the current k-th best probability, so
+// all of MPFCI's prunings keep their bite once the heap fills. Results are
+// sorted by descending probability (ties lexicographically).
+//
+// Ranking uses each itemset's estimated Pr_FC; candidates resolved by the
+// Lemma 4.4 bounds carry the bound midpoint, so orderings between itemsets
+// whose probability intervals overlap are best-effort (exact for the
+// common case of well-separated probabilities).
+func MineTopK(db *uncertain.DB, minSup, k int, opts Options) ([]ResultItem, error) {
+	opts.MinSup = minSup
+	// Seed threshold: accept anything with non-trivial probability until k
+	// results exist.
+	const floor = 1e-9
+	opts.PFCT = floor
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, nil
+	}
+	idx := db.Index()
+	m := &miner{
+		opts:     opts,
+		db:       db,
+		probs:    db.Probs(),
+		allItems: idx.Items,
+		itemTids: idx.Tidsets,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	m.buildCandidates()
+
+	h := &resultHeap{}
+	heap.Init(h)
+	threshold := func() float64 {
+		if h.Len() < k {
+			return floor
+		}
+		return (*h)[0].Prob
+	}
+
+	var rec func(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error
+	rec = func(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error {
+		m.stats.NodesVisited++
+		// Superset pruning is threshold-independent.
+		if !m.opts.DisableSuperset {
+			last := x.Last()
+			for _, c := range m.cands {
+				if c.item >= last {
+					break
+				}
+				if x.Contains(c.item) {
+					continue
+				}
+				if bitset.AndCount(tids, c.tids) == count {
+					m.stats.SupersetPruned++
+					return nil
+				}
+			}
+		}
+		selfDead := false
+		for pos := startPos; pos < len(m.cands); pos++ {
+			c := m.cands[pos]
+			child := m.childBuf(len(x))
+			cc := bitset.AndInto(child, tids, c.tids)
+			if cc < m.opts.MinSup {
+				continue
+			}
+			childProbs := m.probsOf(child)
+			// Anything that cannot beat the current k-th best is out:
+			// Pr_FC ≤ Pr_F, and the threshold only rises.
+			if poibin.TailUpperBound(childProbs, m.opts.MinSup) <= threshold() {
+				m.stats.CHPruned++
+				continue
+			}
+			childPrF := poibin.Tail(childProbs, m.opts.MinSup)
+			if childPrF <= threshold() {
+				m.stats.FreqPruned++
+				continue
+			}
+			if !m.opts.DisableSubset && cc == count {
+				selfDead = true
+				m.stats.SubsetPruned++
+				if err := rec(x.Extend(c.item), child, cc, childPrF, pos+1); err != nil {
+					return err
+				}
+				break
+			}
+			if err := rec(x.Extend(c.item), child, cc, childPrF, pos+1); err != nil {
+				return err
+			}
+		}
+		if selfDead {
+			return nil
+		}
+		// Evaluate against the current threshold.
+		m.opts.PFCT = threshold()
+		ev, err := m.evaluate(x, tids, count, prF)
+		if err != nil {
+			return err
+		}
+		if ev.accepted {
+			heap.Push(h, ResultItem{
+				Items:    x.Clone(),
+				Prob:     ev.prob,
+				Lower:    ev.lower,
+				Upper:    ev.upper,
+				FreqProb: prF,
+				Method:   ev.method,
+			})
+			if h.Len() > k {
+				heap.Pop(h)
+			}
+		}
+		return nil
+	}
+	for pos := 0; pos < len(m.cands); pos++ {
+		c := m.cands[pos]
+		if c.prF <= threshold() {
+			continue
+		}
+		if err := rec(itemset.Itemset{c.item}, c.tids.Clone(), c.cnt, c.prF, pos+1); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]ResultItem, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(ResultItem)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return itemset.Compare(out[i].Items, out[j].Items) < 0
+	})
+	return out, nil
+}
+
+// resultHeap is a min-heap on Prob, so the root is the k-th best.
+type resultHeap []ResultItem
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Prob < h[j].Prob }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(ResultItem)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// This file implements the "naïve sampling method" of the paper's §IV.B.4:
+// estimate an itemset's frequent closed probability by sampling whole
+// possible worlds and counting the fraction in which the itemset is a
+// frequent closed itemset. Unlike the Karp–Luby coverage sampler
+// (ApproxFCP), this estimator has no a-priori sample bound relative to the
+// quantity being estimated — exactly the shortcoming the paper points out
+// ("we cannot know the exact number of samplings that we need to run") —
+// but it is simple and unbiased, and serves as an independent check on the
+// fast path in the tests and as an ablation benchmark.
+
+// WorldSampler estimates frequent closed probabilities by direct possible-
+// world simulation over one database.
+type WorldSampler struct {
+	db    *uncertain.DB
+	idx   *uncertain.Index
+	probs []float64
+	rng   *rand.Rand
+}
+
+// NewWorldSampler prepares a sampler with the given seed.
+func NewWorldSampler(db *uncertain.DB, seed int64) *WorldSampler {
+	return &WorldSampler{
+		db:    db,
+		idx:   db.Index(),
+		probs: db.Probs(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// FreqClosedProb estimates Pr_FC(x) from n sampled worlds. The standard
+// error is √(p(1−p)/n); use EstimateSamples to size n for a target
+// additive error.
+func (ws *WorldSampler) FreqClosedProb(x itemset.Itemset, minSup, n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("core: world sampler needs n > 0 samples, got %d", n)
+	}
+	if minSup < 1 {
+		return 0, fmt.Errorf("core: world sampler needs minSup ≥ 1, got %d", minSup)
+	}
+	xTids := ws.idx.TidsetOf(x)
+
+	// Precompute the tidsets of all single-item extensions once.
+	type ext struct {
+		tids *bitset.Bitset
+	}
+	var exts []ext
+	for _, e := range ws.idx.Items {
+		if x.Contains(e) {
+			continue
+		}
+		exts = append(exts, ext{tids: bitset.And(xTids, ws.idx.Tidsets[e])})
+	}
+
+	present := bitset.New(ws.db.N())
+	hits := 0
+	for s := 0; s < n; s++ {
+		// Sample the world restricted to the transactions containing x —
+		// transactions outside tids(x) affect neither sup(x) nor the
+		// support of any superset of x.
+		present.Reset()
+		sup := 0
+		xTids.ForEach(func(tid int) bool {
+			if ws.rng.Float64() < ws.probs[tid] {
+				present.Set(tid)
+				sup++
+			}
+			return true
+		})
+		if sup < minSup {
+			continue
+		}
+		closed := true
+		for _, e := range exts {
+			// x is non-closed via e when every present x-transaction also
+			// contains e.
+			if bitset.IsSubset(present, e.tids) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n), nil
+}
+
+// EstimateSamples returns the number of world samples needed for an
+// additive error ε with confidence 1−δ by the Hoeffding bound:
+// n = ⌈ln(2/δ) / (2ε²)⌉.
+func EstimateSamples(eps, delta float64) int {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return 0
+	}
+	n := int(math.Log(2/delta)/(2*eps*eps)) + 1
+	return n
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+	"github.com/probdata/pfcim/internal/world"
+)
+
+func TestWorldSamplerPaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	ws := NewWorldSampler(db, 7)
+	abc := itemset.FromInts(0, 1, 2)
+	got, err := ws.FreqClosedProb(abc, 2, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.8754) > 0.01 {
+		t.Errorf("sampled Pr_FC(abc) = %v, want ≈ 0.8754", got)
+	}
+	abcd := itemset.FromInts(0, 1, 2, 3)
+	got, err = ws.FreqClosedProb(abcd, 2, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.81) > 0.01 {
+		t.Errorf("sampled Pr_FC(abcd) = %v, want ≈ 0.81", got)
+	}
+}
+
+func TestWorldSamplerRandomAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		db := randomDB(rng, 8, 5)
+		items := db.Items()
+		x := itemset.Itemset{items[rng.Intn(len(items))]}
+		minSup := rng.Intn(2) + 1
+		exact, err := world.FreqClosedProb(db, x, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := NewWorldSampler(db, int64(trial))
+		got, err := ws.FreqClosedProb(x, minSup, 60000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-exact) > 0.02 {
+			t.Errorf("trial %d: sampled %v, exact %v for %v", trial, got, exact, x)
+		}
+	}
+}
+
+func TestWorldSamplerValidation(t *testing.T) {
+	ws := NewWorldSampler(uncertain.PaperExample(), 1)
+	if _, err := ws.FreqClosedProb(itemset.FromInts(0), 2, 0); err == nil {
+		t.Error("n = 0 should fail")
+	}
+	if _, err := ws.FreqClosedProb(itemset.FromInts(0), 0, 10); err == nil {
+		t.Error("minSup = 0 should fail")
+	}
+}
+
+func TestWorldSamplerAbsentItemset(t *testing.T) {
+	db := uncertain.PaperExample()
+	ws := NewWorldSampler(db, 1)
+	// d alone appears in only 2 transactions; at minSup 3 the probability
+	// is exactly 0.
+	got, err := ws.FreqClosedProb(itemset.FromInts(3), 3, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("impossible event sampled at %v", got)
+	}
+}
+
+func TestEstimateSamples(t *testing.T) {
+	n := EstimateSamples(0.01, 0.05)
+	// ln(40)/0.0002 ≈ 18445.
+	if n < 18000 || n > 19000 {
+		t.Errorf("EstimateSamples(0.01, 0.05) = %d", n)
+	}
+	if EstimateSamples(0, 0.1) != 0 || EstimateSamples(0.1, 1) != 0 {
+		t.Error("invalid parameters should give 0")
+	}
+	// Halving ε quadruples the count.
+	a, b := EstimateSamples(0.1, 0.1), EstimateSamples(0.05, 0.1)
+	if ratio := float64(b) / float64(a); math.Abs(ratio-4) > 0.05 {
+		t.Errorf("sample scaling = %v, want 4", ratio)
+	}
+}

@@ -1,0 +1,225 @@
+package dnf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdata/pfcim/internal/bitset"
+)
+
+// randomSystem builds a random clause system over ≤ maxN tuples.
+func randomSystem(rng *rand.Rand, maxN, maxM int) *System {
+	n := rng.Intn(maxN) + 2
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = rng.Float64()*0.9 + 0.05
+	}
+	base := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.8 {
+			base.Set(i)
+		}
+	}
+	if !base.Any() {
+		base.Set(0)
+	}
+	m := rng.Intn(maxM) + 1
+	clauses := make([]*bitset.Bitset, m)
+	for ci := range clauses {
+		b := bitset.New(n)
+		base.ForEach(func(tid int) bool {
+			if rng.Float64() < 0.6 {
+				b.Set(tid)
+			}
+			return true
+		})
+		clauses[ci] = b
+	}
+	minSup := rng.Intn(base.Count()) + 1
+	sys, err := NewSystem(base, probs, minSup, clauses)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// unionByEnumeration computes Pr(∪C_i) by enumerating every world over the
+// base tuples.
+func unionByEnumeration(s *System) float64 {
+	tids := s.Base.Indices()
+	total := 0.0
+	for mask := 0; mask < 1<<uint(len(tids)); mask++ {
+		p := 1.0
+		present := bitset.New(s.Base.Len())
+		for bi, tid := range tids {
+			if mask&(1<<uint(bi)) != 0 {
+				p *= s.Probs[tid]
+				present.Set(tid)
+			} else {
+				p *= 1 - s.Probs[tid]
+			}
+		}
+		satisfied := false
+		for _, b := range s.Clauses {
+			if bitset.IsSubset(present, b) && bitset.AndCount(present, b) >= s.MinSup {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			total += p
+		}
+	}
+	return total
+}
+
+func TestClauseProbAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		s := randomSystem(rng, 8, 1)
+		got := s.ClauseProb(0)
+		want := unionByEnumeration(s)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: ClauseProb = %v, enumeration = %v", trial, got, want)
+		}
+	}
+}
+
+func TestExactUnionAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		s := randomSystem(rng, 8, 5)
+		got, err := s.ExactUnion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := unionByEnumeration(s)
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("trial %d: ExactUnion = %v, enumeration = %v", trial, got, want)
+		}
+	}
+}
+
+func TestExactUnionLimits(t *testing.T) {
+	s := randomSystem(rand.New(rand.NewSource(3)), 5, 2)
+	s.Clauses = make([]*bitset.Bitset, ExactUnionLimit+1)
+	for i := range s.Clauses {
+		s.Clauses[i] = s.Base.Clone()
+	}
+	if _, err := s.ExactUnion(); err == nil {
+		t.Error("ExactUnion beyond the clause limit should fail")
+	}
+	s.Clauses = nil
+	u, err := s.ExactUnion()
+	if err != nil || u != 0 {
+		t.Errorf("ExactUnion of empty system = %v, %v", u, err)
+	}
+}
+
+func TestPairProbSymmetricAndDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randomSystem(rng, 8, 4)
+	m := s.M()
+	for i := 0; i < m; i++ {
+		if got, want := s.PairProb(i, i), s.ClauseProb(i); math.Abs(got-want) > 1e-15 {
+			t.Errorf("PairProb(%d,%d) = %v, want clause prob %v", i, i, got, want)
+		}
+		for j := i + 1; j < m; j++ {
+			if a, b := s.PairProb(i, j), s.PairProb(j, i); math.Abs(a-b) > 1e-15 {
+				t.Errorf("PairProb not symmetric: %v vs %v", a, b)
+			}
+			// Pr(C_i ∩ C_j) ≤ min(Pr(C_i), Pr(C_j)).
+			if p := s.PairProb(i, j); p > s.ClauseProb(i)+1e-12 || p > s.ClauseProb(j)+1e-12 {
+				t.Errorf("pair prob exceeds clause prob")
+			}
+		}
+	}
+}
+
+func TestBoundsSandwichExactUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSystem(rng, 9, 6)
+		exact, err := s.ExactUnion()
+		if err != nil {
+			return false
+		}
+		sums := s.ComputeSums()
+		lo, hi := UnionBounds(sums)
+		return lo <= exact+1e-9 && exact <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeCaenKwerelIndividually(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		s := randomSystem(rng, 8, 5)
+		exact, err := s.ExactUnion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := s.ComputeSums()
+		if lo := DeCaenLower(sums); lo > exact+1e-9 {
+			t.Fatalf("de Caen lower bound %v exceeds exact union %v", lo, exact)
+		}
+		if hi := KwerelUpper(sums); hi < exact-1e-9 {
+			t.Fatalf("Kwerel upper bound %v below exact union %v", hi, exact)
+		}
+	}
+}
+
+func TestKarpLubyAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		s := randomSystem(rng, 10, 6)
+		exact, err := s.ExactUnion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := s.ComputeSums()
+		n := SampleSize(s.M(), 0.05, 0.05)
+		est, err := s.KarpLuby(rand.New(rand.NewSource(int64(trial))), sums.Clause, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-exact) > 0.05 {
+			t.Errorf("trial %d: KarpLuby = %v, exact = %v (n=%d)", trial, est, exact, n)
+		}
+	}
+}
+
+func TestKarpLubyDegenerate(t *testing.T) {
+	s := randomSystem(rand.New(rand.NewSource(7)), 6, 3)
+	rng := rand.New(rand.NewSource(8))
+	// Zero samples / zero clauses.
+	if est, err := s.KarpLuby(rng, make([]float64, s.M()), 100); err != nil || est != 0 {
+		t.Errorf("all-zero clause probs should estimate 0, got %v, %v", est, err)
+	}
+	if _, err := s.KarpLuby(rng, []float64{1}, 10); s.M() != 1 && err == nil {
+		t.Error("mismatched clause prob vector should fail")
+	}
+}
+
+func TestSampleSize(t *testing.T) {
+	if SampleSize(0, 0.1, 0.1) != 0 {
+		t.Error("no clauses should need no samples")
+	}
+	n1 := SampleSize(10, 0.1, 0.1)
+	n2 := SampleSize(10, 0.05, 0.1)
+	if n2 <= n1 {
+		t.Error("halving epsilon must increase the sample size")
+	}
+	// 1/ε² scaling.
+	if ratio := float64(n2) / float64(n1); math.Abs(ratio-4) > 0.01 {
+		t.Errorf("sample size ratio for ε/2 = %v, want 4", ratio)
+	}
+	n3 := SampleSize(10, 0.1, 0.05)
+	if n3 <= n1 {
+		t.Error("lowering delta must increase the sample size")
+	}
+}

@@ -1,0 +1,127 @@
+package dnf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/poibin"
+)
+
+// KarpLuby estimates Pr(C_1 ∪ … ∪ C_m) by coverage sampling (the
+// ApproxFCP sampler of the paper's Fig. 2): each sample draws a clause C_i
+// with probability Pr(C_i)/Z, then a possible world conditioned on C_i, and
+// scores iff i is the smallest index of a clause the world satisfies. The
+// estimate is Z · hits / N.
+//
+// A world conditioned on C_i forces Base\B_i absent and draws the tids of
+// B_i from the Poisson-binomial law conditioned on "≥ MinSup present"
+// (poibin.CondSampler). Because every present tid then lies inside B_i,
+// clause C_j is satisfied by the sample exactly when the present set is a
+// subset of B_j, which keeps the per-sample check to m bitset subset tests.
+//
+// clauseProbs must be the exact Pr(C_i) values (e.g. Sums.Clause). The
+// estimator is unbiased; with nSamples = SampleSize(m, ε, δ) it is an
+// (ε, δ) additive approximation.
+func (s *System) KarpLuby(rng *rand.Rand, clauseProbs []float64, nSamples int) (float64, error) {
+	m := len(s.Clauses)
+	if len(clauseProbs) != m {
+		return 0, fmt.Errorf("dnf: KarpLuby got %d clause probs for %d clauses", len(clauseProbs), m)
+	}
+	if m == 0 || nSamples <= 0 {
+		return 0, nil
+	}
+	z := 0.0
+	for _, p := range clauseProbs {
+		z += p
+	}
+	if z == 0 {
+		return 0, nil
+	}
+
+	// Allocate each clause its multinomial share of the sample budget up
+	// front so that one conditional sampler per clause serves all of that
+	// clause's draws.
+	counts := multinomial(rng, nSamples, clauseProbs, z)
+
+	hits := 0
+	present := bitset.New(s.Base.Len())
+	for i, ni := range counts {
+		if ni == 0 {
+			continue
+		}
+		bi := s.Clauses[i]
+		tids := bi.Indices()
+		probs := make([]float64, len(tids))
+		for t, tid := range tids {
+			probs[t] = s.Probs[tid]
+		}
+		cs, err := poibin.NewCondSampler(probs, s.MinSup)
+		if err != nil {
+			// Pr(C_i) > 0 guarantees the constraint is satisfiable; a
+			// failure here indicates an inconsistent clause system.
+			return 0, fmt.Errorf("dnf: clause %d: %w", i, err)
+		}
+		draw := make([]bool, len(tids))
+		for k := 0; k < ni; k++ {
+			cs.Sample(rng, draw)
+			present.Reset()
+			for t, on := range draw {
+				if on {
+					present.Set(tids[t])
+				}
+			}
+			if s.minSatisfied(present, clauseProbs) == i {
+				hits++
+			}
+		}
+	}
+	est := z * float64(hits) / float64(nSamples)
+	if est > 1 {
+		est = 1
+	}
+	return est, nil
+}
+
+// minSatisfied returns the smallest clause index whose event holds for the
+// sampled present-set, or -1 if none does (impossible for a correctly
+// conditioned sample, but handled defensively). Clauses with zero
+// probability can never be satisfied and are skipped.
+func (s *System) minSatisfied(present *bitset.Bitset, clauseProbs []float64) int {
+	for j, bj := range s.Clauses {
+		if clauseProbs[j] == 0 {
+			continue
+		}
+		if bitset.IsSubset(present, bj) {
+			return j
+		}
+	}
+	return -1
+}
+
+// multinomial splits n samples across clauses proportionally to
+// clauseProbs/z by drawing each sample's clause index independently.
+func multinomial(rng *rand.Rand, n int, clauseProbs []float64, z float64) []int {
+	cum := make([]float64, len(clauseProbs))
+	acc := 0.0
+	for i, p := range clauseProbs {
+		acc += p / z
+		cum[i] = acc
+	}
+	counts := make([]int, len(clauseProbs))
+	for k := 0; k < n; k++ {
+		u := rng.Float64()
+		// Binary search over the cumulative weights.
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		counts[lo]++
+	}
+	return counts
+}

@@ -1,0 +1,128 @@
+package dnf
+
+import (
+	"fmt"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// This file makes the paper's Theorem 3.1 executable: counting satisfying
+// assignments of a monotone DNF formula (#MDNF, #P-complete) reduces to
+// computing the closed probability of an itemset in an uncertain
+// transaction database. It is both a regression test for the possible-world
+// oracle and a demonstration binary (examples/dnfcount).
+
+// Monotone is a monotone DNF formula over variables 0..NumVars-1. Each
+// clause is a set of variable indices (a conjunction); the formula is the
+// disjunction of its clauses. No negations appear.
+type Monotone struct {
+	NumVars int
+	Clauses [][]int
+}
+
+// Validate checks variable indices and clause shapes.
+func (f Monotone) Validate() error {
+	if f.NumVars <= 0 {
+		return fmt.Errorf("mdnf: formula needs at least one variable")
+	}
+	if len(f.Clauses) == 0 {
+		return fmt.Errorf("mdnf: formula needs at least one clause")
+	}
+	for ci, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("mdnf: clause %d is empty", ci)
+		}
+		seen := map[int]bool{}
+		for _, v := range c {
+			if v < 0 || v >= f.NumVars {
+				return fmt.Errorf("mdnf: clause %d references variable %d outside [0,%d)", ci, v, f.NumVars)
+			}
+			if seen[v] {
+				return fmt.Errorf("mdnf: clause %d repeats variable %d", ci, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// Eval evaluates the formula under an assignment.
+func (f Monotone) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := true
+		for _, v := range c {
+			if !assign[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// CountBruteForce counts satisfying assignments by enumerating all 2^m
+// assignments (m ≤ 30).
+func (f Monotone) CountBruteForce() (int64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if f.NumVars > 30 {
+		return 0, fmt.Errorf("mdnf: %d variables exceed brute-force limit 30", f.NumVars)
+	}
+	assign := make([]bool, f.NumVars)
+	var count int64
+	for mask := 0; mask < 1<<uint(f.NumVars); mask++ {
+		for v := 0; v < f.NumVars; v++ {
+			assign[v] = mask&(1<<uint(v)) != 0
+		}
+		if f.Eval(assign) {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// ReductionTarget is the item whose closed probability encodes the count.
+const ReductionTarget itemset.Item = 0
+
+// ReductionDB builds the uncertain transaction database of Theorem 3.1:
+// one transaction T_j (probability ½) per variable v_j containing the
+// target item X plus e_i for every clause C_i that v_j does NOT appear in
+// (clause item e_i is item i+1). The count of satisfying assignments is
+// then (1 − Pr_C(X)) · 2^m.
+func ReductionDB(f Monotone) (*uncertain.DB, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	inClause := make([]map[int]bool, len(f.Clauses))
+	for ci, c := range f.Clauses {
+		inClause[ci] = map[int]bool{}
+		for _, v := range c {
+			inClause[ci][v] = true
+		}
+	}
+	trans := make([]uncertain.Transaction, f.NumVars)
+	for j := 0; j < f.NumVars; j++ {
+		items := itemset.Itemset{ReductionTarget}
+		for ci := range f.Clauses {
+			if !inClause[ci][j] {
+				items = append(items, itemset.Item(ci+1))
+			}
+		}
+		trans[j] = uncertain.Transaction{Items: itemset.New(items...), Prob: 0.5}
+	}
+	return uncertain.NewDB(trans)
+}
+
+// CountFromClosedProb inverts the reduction: given Pr_C(X) over the
+// reduction database, return the number of satisfying assignments
+// N = (1 − Pr_C) · 2^m rounded to the nearest integer.
+func CountFromClosedProb(f Monotone, closedProb float64) int64 {
+	worlds := float64(int64(1) << uint(f.NumVars))
+	n := (1 - closedProb) * worlds
+	return int64(n + 0.5)
+}

@@ -1,0 +1,119 @@
+package dnf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/world"
+)
+
+func TestMonotoneValidate(t *testing.T) {
+	cases := []struct {
+		f  Monotone
+		ok bool
+	}{
+		{Monotone{NumVars: 2, Clauses: [][]int{{0}}}, true},
+		{Monotone{NumVars: 0, Clauses: [][]int{{0}}}, false},
+		{Monotone{NumVars: 2, Clauses: nil}, false},
+		{Monotone{NumVars: 2, Clauses: [][]int{{}}}, false},
+		{Monotone{NumVars: 2, Clauses: [][]int{{2}}}, false},
+		{Monotone{NumVars: 2, Clauses: [][]int{{0, 0}}}, false},
+	}
+	for i, tc := range cases {
+		if err := tc.f.Validate(); (err == nil) != tc.ok {
+			t.Errorf("case %d: Validate() err=%v, want ok=%v", i, err, tc.ok)
+		}
+	}
+}
+
+func TestCountBruteForceKnown(t *testing.T) {
+	// F = v0 ∨ v1 over 2 vars: 3 satisfying assignments.
+	f := Monotone{NumVars: 2, Clauses: [][]int{{0}, {1}}}
+	n, err := f.CountBruteForce()
+	if err != nil || n != 3 {
+		t.Errorf("count = %d, %v; want 3", n, err)
+	}
+	// F = v0 ∧ v1: 1 satisfying assignment.
+	f = Monotone{NumVars: 2, Clauses: [][]int{{0, 1}}}
+	if n, _ := f.CountBruteForce(); n != 1 {
+		t.Errorf("count = %d, want 1", n)
+	}
+}
+
+// TestReductionTheorem31 is the executable form of the paper's #P-hardness
+// proof: for random monotone DNF formulas, the satisfying-assignment count
+// recovered from the closed probability of the reduction database equals
+// the brute-force count.
+func TestReductionTheorem31(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numVars := rng.Intn(6) + 2
+		numClauses := rng.Intn(4) + 1
+		formula := Monotone{NumVars: numVars}
+		for c := 0; c < numClauses; c++ {
+			size := rng.Intn(numVars) + 1
+			perm := rng.Perm(numVars)
+			formula.Clauses = append(formula.Clauses, perm[:size])
+		}
+		db, err := ReductionDB(formula)
+		if err != nil {
+			return false
+		}
+		closedProb, err := world.ClosedProb(db, itemset.Itemset{ReductionTarget})
+		if err != nil {
+			return false
+		}
+		viaReduction := CountFromClosedProb(formula, closedProb)
+		direct, err := formula.CountBruteForce()
+		if err != nil {
+			return false
+		}
+		return viaReduction == direct
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReductionPaperInstance checks the exact database of the paper's
+// Table VI: F = (v1∧v2∧v3) ∨ (v1∧v2∧v4) ∨ (v2∧v3∧v4).
+func TestReductionPaperInstance(t *testing.T) {
+	f := Monotone{NumVars: 4, Clauses: [][]int{{0, 1, 2}, {0, 1, 3}, {1, 2, 3}}}
+	db, err := ReductionDB(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected transactions (X=0, e1=1, e2=2, e3=3):
+	//   T1 (v1): in clauses 1,2 → items {X, e3}        = {0,3}
+	//   T2 (v2): in all clauses → items {X}            = {0}
+	//   T3 (v3): in clauses 1,3 → items {X, e2}        = {0,2}
+	//   T4 (v4): in clauses 2,3 → items {X, e1}        = {0,1}
+	want := []itemset.Itemset{
+		itemset.FromInts(0, 3),
+		itemset.FromInts(0),
+		itemset.FromInts(0, 2),
+		itemset.FromInts(0, 1),
+	}
+	if db.N() != len(want) {
+		t.Fatalf("reduction has %d tuples, want %d", db.N(), len(want))
+	}
+	for i, w := range want {
+		tr := db.Transaction(i)
+		if !itemset.Equal(tr.Items, w) {
+			t.Errorf("T%d = %v, want %v", i+1, tr.Items, w)
+		}
+		if tr.Prob != 0.5 {
+			t.Errorf("T%d prob = %v, want 0.5", i+1, tr.Prob)
+		}
+	}
+	cp, err := world.ClosedProb(db, itemset.Itemset{ReductionTarget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := f.CountBruteForce()
+	if got := CountFromClosedProb(f, cp); got != direct {
+		t.Errorf("reduction count = %d, brute force = %d", got, direct)
+	}
+}

@@ -1,0 +1,100 @@
+package exact
+
+import (
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+// Apriori mines all frequent itemsets with support ≥ minSup using the
+// classical level-wise candidate-generation algorithm of Agrawal & Srikant.
+// It serves as the reference implementation the faster miners are tested
+// against.
+func Apriori(d Dataset, minSup int) []Pattern {
+	if minSup < 1 {
+		minSup = 1
+	}
+	var out []Pattern
+
+	// L1.
+	counts := map[itemset.Item]int{}
+	for _, t := range d {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	var level []itemset.Itemset
+	for it, c := range counts {
+		if c >= minSup {
+			level = append(level, itemset.Itemset{it})
+			out = append(out, Pattern{Items: itemset.Itemset{it}, Support: c})
+		}
+	}
+	sort.Slice(level, func(i, j int) bool { return level[i][0] < level[j][0] })
+
+	for len(level) > 0 {
+		cands := aprioriGen(level)
+		if len(cands) == 0 {
+			break
+		}
+		supp := make([]int, len(cands))
+		for _, t := range d {
+			for ci, c := range cands {
+				if itemset.IsSubset(c, t) {
+					supp[ci]++
+				}
+			}
+		}
+		var next []itemset.Itemset
+		for ci, c := range cands {
+			if supp[ci] >= minSup {
+				next = append(next, c)
+				out = append(out, Pattern{Items: c, Support: supp[ci]})
+			}
+		}
+		level = next
+	}
+	SortPatterns(out)
+	return out
+}
+
+// aprioriGen joins the frequent k-itemsets sharing a (k−1)-prefix and
+// prunes candidates with an infrequent subset.
+func aprioriGen(level []itemset.Itemset) []itemset.Itemset {
+	freq := map[string]bool{}
+	for _, s := range level {
+		freq[s.Key()] = true
+	}
+	var cands []itemset.Itemset
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !itemset.Equal(a[:k-1], b[:k-1]) {
+				// level is lexicographically sorted, so once prefixes
+				// diverge no later j matches either.
+				break
+			}
+			var cand itemset.Itemset
+			if a[k-1] < b[k-1] {
+				cand = a.Extend(b[k-1])
+			} else {
+				cand = b.Extend(a[k-1])
+			}
+			if hasInfrequentSubset(cand, freq) {
+				continue
+			}
+			cands = append(cands, cand)
+		}
+	}
+	return cands
+}
+
+func hasInfrequentSubset(cand itemset.Itemset, freq map[string]bool) bool {
+	for _, drop := range cand {
+		if !freq[cand.Remove(drop).Key()] {
+			return true
+		}
+	}
+	return false
+}

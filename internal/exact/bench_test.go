@@ -1,0 +1,50 @@
+package exact
+
+import (
+	"testing"
+
+	"github.com/probdata/pfcim/internal/gen"
+)
+
+// Miner comparison on the dense Mushroom-like workload: FP-growth should
+// dominate Apriori, and the closed miner should beat both on output size.
+
+func benchDataset() Dataset {
+	return Dataset(gen.MushroomLike(0.08, 7))
+}
+
+func BenchmarkAprioriMushroom(b *testing.B) {
+	d := benchDataset()
+	ms := len(d) * 3 / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Apriori(d, ms); len(got) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+func BenchmarkFPGrowthMushroom(b *testing.B) {
+	d := benchDataset()
+	ms := len(d) * 3 / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := FPGrowth(d, ms); len(got) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+func BenchmarkMineClosedMushroom(b *testing.B) {
+	d := benchDataset()
+	ms := len(d) * 3 / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := MineClosed(d, ms); len(got) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package exact
+
+import (
+	"sort"
+
+	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+// MineClosed returns all frequent closed itemsets (support ≥ minSup and no
+// proper superset with equal support) using a depth-first tidset-based
+// enumeration in the style of DCI-Closed / CHARM: closure extension along
+// the search path plus a duplicate check against pre-order items. It is the
+// exact-data counterpart of MPFCI's superset/subset pruning and stands in
+// for Closet+ in the Fig. 10 comparison.
+func MineClosed(d Dataset, minSup int) []Pattern {
+	if minSup < 1 {
+		minSup = 1
+	}
+	tidsets := d.Tidsets()
+	items := d.Items()
+	type cand struct {
+		item itemset.Item
+		tids *bitset.Bitset
+		cnt  int
+	}
+	var cands []cand
+	for _, it := range items {
+		ts := tidsets[it]
+		if c := ts.Count(); c >= minSup {
+			cands = append(cands, cand{item: it, tids: ts, cnt: c})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].item < cands[j].item })
+
+	var out []Pattern
+	var rec func(x itemset.Itemset, tids *bitset.Bitset, count, startPos int)
+	rec = func(x itemset.Itemset, tids *bitset.Bitset, count, startPos int) {
+		// Pre-order duplicate check: if some earlier item not in X covers
+		// tids(X) entirely, this branch re-derives an itemset already found
+		// with that item included — skip it (the analogue of Lemma 4.2).
+		last := x.Last()
+		for _, c := range cands {
+			if c.item >= last {
+				break
+			}
+			if x.Contains(c.item) {
+				continue
+			}
+			if bitset.AndCount(tids, c.tids) == count {
+				return
+			}
+		}
+		selfClosed := true
+		for pos := startPos; pos < len(cands); pos++ {
+			c := cands[pos]
+			child := bitset.And(tids, c.tids)
+			cc := child.Count()
+			if cc < minSup {
+				if cc == count {
+					// Cannot happen when count ≥ minSup; kept for clarity.
+					selfClosed = false
+				}
+				continue
+			}
+			if cc == count {
+				// Closure extension: c.item belongs to the closure of X
+				// (analogue of Lemma 4.3). X itself is not closed; the only
+				// live branch absorbs the item.
+				selfClosed = false
+				rec(x.Extend(c.item), child, cc, pos+1)
+				break
+			}
+			rec(x.Extend(c.item), child, cc, pos+1)
+		}
+		if selfClosed {
+			out = append(out, Pattern{Items: x.Clone(), Support: count})
+		}
+	}
+	for pos, c := range cands {
+		rec(itemset.Itemset{c.item}, c.tids.Clone(), c.cnt, pos+1)
+	}
+	SortPatterns(out)
+	return out
+}
+
+// IsClosed reports whether x is closed in d: it appears and no single-item
+// extension has the same support. Used by the property tests.
+func IsClosed(d Dataset, x itemset.Itemset) bool {
+	sup := d.Support(x)
+	if sup == 0 {
+		return false
+	}
+	for _, e := range d.Items() {
+		if x.Contains(e) {
+			continue
+		}
+		if d.Support(x.Add(e)) == sup {
+			return false
+		}
+	}
+	return true
+}
+
+// ClosedBruteForce mines frequent closed itemsets by enumerating every
+// subset of the item universe; a test oracle for small datasets.
+func ClosedBruteForce(d Dataset, minSup int) []Pattern {
+	items := d.Items()
+	if len(items) > 20 {
+		panic("exact: ClosedBruteForce limited to 20 items")
+	}
+	var out []Pattern
+	for mask := 1; mask < 1<<uint(len(items)); mask++ {
+		var x itemset.Itemset
+		for i, it := range items {
+			if mask&(1<<uint(i)) != 0 {
+				x = append(x, it)
+			}
+		}
+		sup := d.Support(x)
+		if sup >= minSup && IsClosed(d, x) {
+			out = append(out, Pattern{Items: x.Clone(), Support: sup})
+		}
+	}
+	SortPatterns(out)
+	return out
+}

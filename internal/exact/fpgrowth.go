@@ -1,0 +1,152 @@
+package exact
+
+import (
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+// fpNode is one node of an FP-tree.
+type fpNode struct {
+	item     itemset.Item
+	count    int
+	parent   *fpNode
+	children map[itemset.Item]*fpNode
+	next     *fpNode // header-table chain
+}
+
+// fpTree is the prefix-tree of Han et al.'s FP-growth, with a header table
+// threading all nodes of each item.
+type fpTree struct {
+	root   *fpNode
+	heads  map[itemset.Item]*fpNode
+	counts map[itemset.Item]int
+	order  []itemset.Item // items by descending frequency (insertion order)
+}
+
+func newFPTree() *fpTree {
+	return &fpTree{
+		root:   &fpNode{children: map[itemset.Item]*fpNode{}},
+		heads:  map[itemset.Item]*fpNode{},
+		counts: map[itemset.Item]int{},
+	}
+}
+
+// insert adds one (ordered) transaction with the given count.
+func (t *fpTree) insert(items []itemset.Item, count int) {
+	node := t.root
+	for _, it := range items {
+		child, ok := node.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: node, children: map[itemset.Item]*fpNode{}}
+			child.next = t.heads[it]
+			t.heads[it] = child
+			node.children[it] = child
+		}
+		child.count += count
+		node = child
+	}
+	for _, it := range items {
+		t.counts[it] += count
+	}
+}
+
+// weightedTrans is a transaction with a multiplicity, used for conditional
+// pattern bases.
+type weightedTrans struct {
+	items []itemset.Item
+	count int
+}
+
+// buildFPTree constructs a tree over the weighted transactions, keeping
+// only items with support ≥ minSup and ordering each transaction by
+// descending global frequency (ties by item id) — the canonical FP-tree
+// construction.
+func buildFPTree(trans []weightedTrans, minSup int) *fpTree {
+	counts := map[itemset.Item]int{}
+	for _, wt := range trans {
+		for _, it := range wt.items {
+			counts[it] += wt.count
+		}
+	}
+	var keep []itemset.Item
+	for it, c := range counts {
+		if c >= minSup {
+			keep = append(keep, it)
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool {
+		if counts[keep[i]] != counts[keep[j]] {
+			return counts[keep[i]] > counts[keep[j]]
+		}
+		return keep[i] < keep[j]
+	})
+	rank := map[itemset.Item]int{}
+	for i, it := range keep {
+		rank[it] = i
+	}
+	tree := newFPTree()
+	tree.order = keep
+	buf := make([]itemset.Item, 0, 32)
+	for _, wt := range trans {
+		buf = buf[:0]
+		for _, it := range wt.items {
+			if _, ok := rank[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		sort.Slice(buf, func(i, j int) bool { return rank[buf[i]] < rank[buf[j]] })
+		if len(buf) > 0 {
+			tree.insert(buf, wt.count)
+		}
+	}
+	return tree
+}
+
+// FPGrowth mines all frequent itemsets with support ≥ minSup using the
+// FP-growth algorithm [13]. Its output is identical to Apriori's.
+func FPGrowth(d Dataset, minSup int) []Pattern {
+	if minSup < 1 {
+		minSup = 1
+	}
+	trans := make([]weightedTrans, len(d))
+	for i, t := range d {
+		trans[i] = weightedTrans{items: t, count: 1}
+	}
+	var out []Pattern
+	fpMine(buildFPTree(trans, minSup), nil, minSup, &out)
+	SortPatterns(out)
+	return out
+}
+
+// fpMine recursively mines tree with the given suffix.
+func fpMine(tree *fpTree, suffix itemset.Itemset, minSup int, out *[]Pattern) {
+	// Process items in reverse frequency order (least frequent first), the
+	// standard FP-growth recursion order.
+	for i := len(tree.order) - 1; i >= 0; i-- {
+		it := tree.order[i]
+		sup := tree.counts[it]
+		if sup < minSup {
+			continue
+		}
+		pattern := suffix.Add(it)
+		*out = append(*out, Pattern{Items: pattern, Support: sup})
+		// Conditional pattern base: prefix paths of every node of it.
+		var base []weightedTrans
+		for node := tree.heads[it]; node != nil; node = node.next {
+			var path []itemset.Item
+			for p := node.parent; p != nil && p.parent != nil; p = p.parent {
+				path = append(path, p.item)
+			}
+			if len(path) > 0 {
+				base = append(base, weightedTrans{items: path, count: node.count})
+			}
+		}
+		if len(base) > 0 {
+			cond := buildFPTree(base, minSup)
+			if len(cond.order) > 0 {
+				fpMine(cond, pattern, minSup, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinySuite builds a suite small enough that the whole experiment matrix
+// runs in a couple of seconds.
+func tinySuite(buf *bytes.Buffer) *Suite {
+	return NewSuite(Config{
+		MushroomScale: 0.015, // ~122 transactions
+		QuestScale:    0.003,
+		Seed:          1,
+		Budget:        2 * time.Second,
+		Quick:         true,
+		Out:           buf,
+	})
+}
+
+func TestSuiteDefaults(t *testing.T) {
+	s := NewSuite(Config{Out: nil})
+	if s.Cfg.PFCT != 0.8 || s.Cfg.Epsilon != 0.1 || s.Cfg.Delta != 0.1 {
+		t.Errorf("defaults wrong: %+v", s.Cfg)
+	}
+	if s.Mushroom.DB.N() == 0 || s.Quest.DB.N() == 0 {
+		t.Error("datasets not generated")
+	}
+	if s.Mushroom.DefaultMinSup != 0.4 || s.Quest.DefaultMinSup != 0.3 {
+		t.Error("paper default min_sups wrong")
+	}
+}
+
+func TestExample1Output(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Example1(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table II", "Table III", "PW16",
+		"{a b c}", "{a b c d}", "0.8754", "0.8100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Example1 output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Table7(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Table8(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MPFCI-NoBound", "BFS", "Mushroom-like", "T20I10D30KP40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables output missing %q", want)
+		}
+	}
+}
+
+func TestFig5Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Fig5(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Naive") {
+		t.Error("Fig5 output missing Naive column")
+	}
+}
+
+func TestFig10And11Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Fig10(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fig11(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"PFCI/PFI", "precision", "recall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Run("table7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run("nonsense"); err == nil {
+		t.Error("unknown experiment name should fail")
+	}
+}
+
+func TestSeriesRunnerBudget(t *testing.T) {
+	sr := newSeriesRunner(time.Millisecond)
+	cell, err := sr.run("s", func() (time.Duration, error) { return 5 * time.Millisecond, nil })
+	if err != nil || cell == ">budget" {
+		t.Fatalf("first run should execute: %q, %v", cell, err)
+	}
+	cell, err = sr.run("s", func() (time.Duration, error) {
+		t.Fatal("second run should have been skipped")
+		return 0, nil
+	})
+	if err != nil || cell != ">budget" {
+		t.Fatalf("second run should be skipped: %q, %v", cell, err)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Microsecond:  "500µs",
+		2500 * time.Microsecond: "2.5ms",
+		1500 * time.Millisecond: "1.50s",
+	}
+	for d, want := range cases {
+		if got := formatDuration(d); got != want {
+			t.Errorf("formatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestExtraRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Run("extra"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"parallel DFS scaling", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extra output missing %q", want)
+		}
+	}
+}
+
+func TestFig4Trace(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf)
+	if err := s.Run("fig4"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"visit {a}", "subset-absorb", "superset-prune", "fcp: 0.8754"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig4 output missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestExample1Golden locks the full example1 output — Tables II and III
+// with all world probabilities, and the Example 1.2 result — against a
+// golden file. Regenerate with:
+//
+//	go run ./cmd/experiments -exp example1 > internal/experiments/testdata/example1.golden
+func TestExample1Golden(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(Config{Seed: 42, Out: &buf})
+	if err := s.Example1(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/example1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("example1 output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), want)
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/pfim"
+)
+
+// Extra runs the supplementary experiments that go beyond the paper's
+// evaluation: parallel scaling of the DFS framework and a head-to-head of
+// the two Monte-Carlo estimators (the Karp–Luby clause-coverage sampler
+// inside ApproxFCP vs the naive whole-world sampler of §IV.B.4). These
+// back the engineering claims DESIGN.md makes about the extensions.
+func (s *Suite) Extra() error {
+	if err := s.ExtraParallel(); err != nil {
+		return err
+	}
+	return s.ExtraEstimators()
+}
+
+// ExtraParallel measures wall-clock speedup of Options.Parallelism on the
+// Quest workload (whose first-level subtrees are numerous and balanced
+// enough to parallelize).
+func (s *Suite) ExtraParallel() error {
+	ds := s.Quest
+	rel := ds.DefaultMinSup
+	fmt.Fprintf(s.Cfg.Out, "\nExtra A (%s): parallel DFS scaling at min_sup=%.2f\n", ds.Name, rel)
+	t := newTable(s.Cfg.Out)
+	t.row("parallelism", "time", "speedup")
+	var base time.Duration
+	for _, par := range []int{1, 2, 4, 8} {
+		opts := s.baseOptions(ds.DB, rel)
+		opts.Parallelism = par
+		d, _, _, err := timedRun(ds.DB, opts)
+		if err != nil {
+			return err
+		}
+		if par == 1 {
+			base = d
+		}
+		t.row(fmt.Sprintf("%d", par), formatDuration(d), fmt.Sprintf("%.2fx", float64(base)/float64(d)))
+	}
+	t.flush()
+	return nil
+}
+
+// ExtraEstimators compares the two frequent-closed-probability estimators
+// on the sampler-active itemsets of the Mushroom-like workload at matched
+// (ε, δ) targets: per-itemset time and mean absolute error against the
+// exact inclusion–exclusion value.
+func (s *Suite) ExtraEstimators() error {
+	ds := s.Mushroom
+	minSup := core.AbsoluteMinSup(ds.DB.N(), ds.SamplerMinSup)
+
+	// Collect the evaluation targets.
+	pfis := pfim.Mine(ds.DB, pfim.Options{MinSup: minSup, PFT: 0.1})
+	var picked []pfim.Itemset
+	var exacts []float64
+	for _, p := range pfis {
+		m, err := core.ClauseCount(ds.DB, p.Items, minSup)
+		if err != nil {
+			return err
+		}
+		if m < 1 {
+			continue
+		}
+		exact, err := core.ExactFCP(ds.DB, p.Items, minSup)
+		if err != nil {
+			continue
+		}
+		picked = append(picked, p)
+		exacts = append(exacts, exact)
+		if len(picked) >= 32 {
+			break
+		}
+	}
+	if len(picked) == 0 {
+		fmt.Fprintf(s.Cfg.Out, "\nExtra B: no sampler-active itemsets at this scale\n")
+		return nil
+	}
+
+	fmt.Fprintf(s.Cfg.Out, "\nExtra B (%s): ApproxFCP (Karp–Luby) vs naive world sampling on %d itemsets (min_sup=%.2f, ε=δ=0.1)\n",
+		ds.Name, len(picked), ds.SamplerMinSup)
+	t := newTable(s.Cfg.Out)
+	t.row("estimator", "total time", "mean |est-exact|")
+
+	// Karp–Luby clause-coverage estimator.
+	start := time.Now()
+	klErr := 0.0
+	for i, p := range picked {
+		est, err := core.EstimateFCP(ds.DB, p.Items, minSup, s.Cfg.Epsilon, s.Cfg.Delta, s.Cfg.Seed+int64(i))
+		if err != nil {
+			return err
+		}
+		klErr += abs(est - exacts[i])
+	}
+	klTime := time.Since(start)
+
+	// Naive world sampler at the Hoeffding sample size for the same target.
+	ws := core.NewWorldSampler(ds.DB, s.Cfg.Seed)
+	n := core.EstimateSamples(s.Cfg.Epsilon, s.Cfg.Delta)
+	start = time.Now()
+	wsErr := 0.0
+	for i, p := range picked {
+		est, err := ws.FreqClosedProb(p.Items, minSup, n)
+		if err != nil {
+			return err
+		}
+		wsErr += abs(est - exacts[i])
+	}
+	wsTime := time.Since(start)
+
+	t.row("ApproxFCP (Karp–Luby)", formatDuration(klTime), fmt.Sprintf("%.4f", klErr/float64(len(picked))))
+	t.row(fmt.Sprintf("world sampler (n=%d)", n), formatDuration(wsTime), fmt.Sprintf("%.4f", wsErr/float64(len(picked))))
+	t.flush()
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

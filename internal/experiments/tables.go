@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/uncertain"
+	"github.com/probdata/pfcim/internal/world"
+)
+
+// Table7 prints the algorithm feature matrix of the paper's Table VII:
+// which pruning rules each experimental variant uses and which framework
+// it runs on.
+func (s *Suite) Table7() error {
+	fmt.Fprintf(s.Cfg.Out, "\nTable VII: individual features of the compared algorithms\n")
+	t := newTable(s.Cfg.Out)
+	t.row("Algorithm", "CH", "Super", "Sub", "PB", "Framework")
+	rows := []struct {
+		name string
+		opts core.Options
+	}{
+		{"MPFCI", core.Options{}},
+		{"MPFCI-NoCH", core.Options{DisableCH: true}},
+		{"MPFCI-NoBound", core.Options{DisableBounds: true}},
+		{"MPFCI-NoSuper", core.Options{DisableSuperset: true}},
+		{"MPFCI-NoSub", core.Options{DisableSubset: true}},
+		{"MPFCI-BFS", core.Options{Search: core.BFS, DisableSuperset: true, DisableSubset: true}},
+	}
+	mark := func(disabled bool) string {
+		if disabled {
+			return "-"
+		}
+		return "yes"
+	}
+	for _, r := range rows {
+		super := r.opts.DisableSuperset || r.opts.Search == core.BFS
+		sub := r.opts.DisableSubset || r.opts.Search == core.BFS
+		t.row(r.name, mark(r.opts.DisableCH), mark(super), mark(sub), mark(r.opts.DisableBounds), r.opts.Search.String())
+	}
+	t.flush()
+	return nil
+}
+
+// Table8 prints the dataset characteristics (the paper's Table VIII) for
+// the generated workloads at the configured scale.
+func (s *Suite) Table8() error {
+	fmt.Fprintf(s.Cfg.Out, "\nTable VIII: characteristics of datasets\n")
+	t := newTable(s.Cfg.Out)
+	t.row("Dataset", "NumTrans", "NumItems", "AvgLen", "MaxLen", "MeanProb")
+	for _, ds := range s.Datasets() {
+		st := ds.DB.Stats()
+		t.row(ds.Name, d2(st.NumTransactions), d2(st.NumItems),
+			f2(st.AvgLength), d2(st.MaxLength), f2(st.MeanProb))
+	}
+	t.flush()
+	return nil
+}
+
+// Example1 reproduces the running example end to end: Table II's database,
+// the possible worlds of Table III with their frequent closed itemsets,
+// and the Example 1.2 / 4.3 result set.
+func (s *Suite) Example1() error {
+	db := uncertain.PaperExample()
+	const minSup = 2
+
+	fmt.Fprintf(s.Cfg.Out, "\nTable II: the running-example uncertain database\n")
+	t := newTable(s.Cfg.Out)
+	t.row("TID", "Transaction", "Prob")
+	for i := 0; i < db.N(); i++ {
+		tr := db.Transaction(i)
+		t.row(fmt.Sprintf("T%d", i+1), tr.Items.String(), f2(tr.Prob))
+	}
+	t.flush()
+
+	fmt.Fprintf(s.Cfg.Out, "\nTable III: possible worlds, probabilities and frequent closed itemsets (min_sup=%d)\n", minSup)
+	t = newTable(s.Cfg.Out)
+	t.row("World", "Transactions", "Prob", "Frequent closed itemsets")
+	type row struct {
+		mask  uint32
+		prob  float64
+		items string
+		fcis  string
+	}
+	var rows []row
+	if err := world.Enumerate(db, func(w world.World) {
+		var trs string
+		for i := 0; i < db.N(); i++ {
+			if w.Mask&(1<<uint(i)) != 0 {
+				if trs != "" {
+					trs += ","
+				}
+				trs += fmt.Sprintf("T%d", i+1)
+			}
+		}
+		fcis, err := world.FrequentClosedIn(db, w, minSup)
+		if err != nil {
+			return
+		}
+		var fstr string
+		for _, f := range fcis {
+			if fstr != "" {
+				fstr += " "
+			}
+			fstr += f.String()
+		}
+		if fstr == "" {
+			fstr = "{}"
+		}
+		rows = append(rows, row{mask: w.Mask, prob: w.Prob, items: trs, fcis: fstr})
+	}); err != nil {
+		return err
+	}
+	// Present fuller worlds first, as the paper's Table III does.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].mask > rows[j].mask })
+	for i, r := range rows {
+		if r.items == "" {
+			r.items = "(empty)"
+		}
+		t.row(fmt.Sprintf("PW%d", i+1), r.items, fmt.Sprintf("%.4f", r.prob), r.fcis)
+	}
+	t.flush()
+
+	res, err := core.Mine(db, core.Options{MinSup: minSup, PFCT: s.Cfg.PFCT, Seed: s.Cfg.Seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.Cfg.Out, "\nExample 1.2 result (min_sup=%d, pfct=%.1f):\n", minSup, s.Cfg.PFCT)
+	t = newTable(s.Cfg.Out)
+	t.row("Itemset", "Pr_FC", "Pr_F", "Method")
+	for _, r := range res.Itemsets {
+		t.row(r.Items.String(), fmt.Sprintf("%.4f", r.Prob), fmt.Sprintf("%.4f", r.FreqProb), r.Method.String())
+	}
+	t.flush()
+	return nil
+}
+
+// Fig4 reproduces the paper's Fig. 4: the depth-first enumeration trace of
+// the running example, with every pruning decision annotated.
+func (s *Suite) Fig4() error {
+	db := uncertain.PaperExample()
+	fmt.Fprintf(s.Cfg.Out, "\nFig 4: ProbFC enumeration trace on the Table II database (min_sup=2, pfct=%.1f)\n", s.Cfg.PFCT)
+	opts := core.Options{MinSup: 2, PFCT: s.Cfg.PFCT, Seed: s.Cfg.Seed, Trace: s.Cfg.Out}
+	res, err := core.Mine(db, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.Cfg.Out, "result:")
+	for _, r := range res.Itemsets {
+		fmt.Fprintf(s.Cfg.Out, " {%v fcp: %.4f}", r.Items, r.Prob)
+	}
+	fmt.Fprintln(s.Cfg.Out)
+	return nil
+}
+
+// All runs every experiment in paper order.
+func (s *Suite) All() error {
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"example1", s.Example1},
+		{"table7", s.Table7},
+		{"table8", s.Table8},
+		{"fig4", s.Fig4},
+		{"fig5", s.Fig5},
+		{"fig6", s.Fig6},
+		{"fig7", s.Fig7},
+		{"fig8", s.Fig8},
+		{"fig9", s.Fig9},
+		{"fig10", s.Fig10},
+		{"fig11", s.Fig11},
+		{"fig12", s.Fig12},
+	}
+	for _, st := range steps {
+		if err := st.fn(); err != nil {
+			return fmt.Errorf("%s: %w", st.name, err)
+		}
+	}
+	return nil
+}
+
+// Run dispatches one experiment by name ("all", "example1", "table7",
+// "table8", "fig5" … "fig12").
+func (s *Suite) Run(name string) error {
+	switch name {
+	case "all", "":
+		return s.All()
+	case "example1":
+		return s.Example1()
+	case "table7":
+		return s.Table7()
+	case "table8":
+		return s.Table8()
+	case "fig4":
+		return s.Fig4()
+	case "fig5":
+		return s.Fig5()
+	case "fig6":
+		return s.Fig6()
+	case "fig7":
+		return s.Fig7()
+	case "fig8":
+		return s.Fig8()
+	case "fig9":
+		return s.Fig9()
+	case "fig10":
+		return s.Fig10()
+	case "fig11":
+		return s.Fig11()
+	case "fig12":
+		return s.Fig12()
+	case "extra":
+		return s.Extra()
+	}
+	return fmt.Errorf("experiments: unknown experiment %q", name)
+}

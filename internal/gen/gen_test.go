@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/exact"
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+func TestQuestShape(t *testing.T) {
+	cfg := QuestT20I10D30KP40(0.01, 7) // 300 transactions
+	data := Quest(cfg)
+	if len(data) != 300 {
+		t.Fatalf("generated %d transactions, want 300", len(data))
+	}
+	totalLen := 0
+	maxItem := itemset.Item(0)
+	for _, tr := range data {
+		if len(tr) == 0 {
+			t.Fatal("empty transaction generated")
+		}
+		totalLen += len(tr)
+		for i := 1; i < len(tr); i++ {
+			if tr[i-1] >= tr[i] {
+				t.Fatal("transaction not sorted/deduplicated")
+			}
+		}
+		if last := tr.Last(); last > maxItem {
+			maxItem = last
+		}
+	}
+	avg := float64(totalLen) / float64(len(data))
+	if avg < 12 || avg > 28 {
+		t.Errorf("average transaction length %.1f too far from T=20", avg)
+	}
+	if int(maxItem) >= cfg.NumItems {
+		t.Errorf("item %d outside universe of %d", maxItem, cfg.NumItems)
+	}
+}
+
+func TestQuestDeterminism(t *testing.T) {
+	a := Quest(QuestT20I10D30KP40(0.01, 5))
+	b := Quest(QuestT20I10D30KP40(0.01, 5))
+	if len(a) != len(b) {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range a {
+		if !itemset.Equal(a[i], b[i]) {
+			t.Fatalf("same seed, different transaction %d", i)
+		}
+	}
+	c := Quest(QuestT20I10D30KP40(0.01, 6))
+	same := true
+	for i := range a {
+		if !itemset.Equal(a[i], c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestQuestScaleFloor(t *testing.T) {
+	cfg := QuestT20I10D30KP40(0, 1)
+	if cfg.NumTrans != 1 {
+		t.Errorf("zero scale should floor to 1 transaction, got %d", cfg.NumTrans)
+	}
+}
+
+func TestMushroomShape(t *testing.T) {
+	cfg := MushroomConfig{NumTrans: 500, Seed: 11}.withDefaults()
+	data := Mushroom(cfg)
+	if len(data) != 500 {
+		t.Fatalf("generated %d transactions, want 500", len(data))
+	}
+	for _, tr := range data {
+		if len(tr) != cfg.NumAttributes {
+			t.Fatalf("transaction length %d, want exactly %d (one item per attribute)", len(tr), cfg.NumAttributes)
+		}
+	}
+	// Attribute ranges are disjoint: every transaction has exactly one item
+	// per attribute range, so the universe ≈ Σ valueCounts but each
+	// transaction never repeats a range.
+	universe := map[itemset.Item]bool{}
+	for _, tr := range data {
+		for _, it := range tr {
+			universe[it] = true
+		}
+	}
+	if len(universe) < 40 {
+		t.Errorf("only %d distinct items; generator should give ≈119", len(universe))
+	}
+}
+
+func TestMushroomConstantsAndMirrors(t *testing.T) {
+	data := MushroomLike(0.05, 13) // 406 transactions
+	d := exact.Dataset(data)
+	// Constant attributes: at least one item must appear in every
+	// transaction.
+	counts := map[itemset.Item]int{}
+	for _, tr := range data {
+		for _, it := range tr {
+			counts[it]++
+		}
+	}
+	constant := 0
+	for _, c := range counts {
+		if c == len(data) {
+			constant++
+		}
+	}
+	if constant < 2 {
+		t.Errorf("found %d constant items, want ≥ 2", constant)
+	}
+	// Compression: closed itemsets must be strictly fewer than frequent
+	// itemsets at a moderate threshold — the property Fig. 10 depends on.
+	minSup := len(data) * 3 / 10
+	fi := exact.FPGrowth(d, minSup)
+	fci := exact.MineClosed(d, minSup)
+	if len(fci) == 0 || len(fi) <= len(fci) {
+		t.Errorf("no compression: FI=%d FCI=%d", len(fi), len(fci))
+	}
+	if ratio := float64(len(fi)) / float64(len(fci)); ratio < 2 {
+		t.Errorf("compression ratio %.1f too weak for a Mushroom-like dataset", ratio)
+	}
+}
+
+func TestMushroomDeterminism(t *testing.T) {
+	a := MushroomLike(0.02, 3)
+	b := MushroomLike(0.02, 3)
+	for i := range a {
+		if !itemset.Equal(a[i], b[i]) {
+			t.Fatalf("same seed, different transaction %d", i)
+		}
+	}
+}
+
+func TestAssignGaussian(t *testing.T) {
+	data := MushroomLike(0.05, 1)
+	db := AssignGaussian(data, 0.8, 0.01, 2)
+	if db.N() != len(data) {
+		t.Fatalf("db has %d tuples, want %d", db.N(), len(data))
+	}
+	sum := 0.0
+	for i := 0; i < db.N(); i++ {
+		p := db.Prob(i)
+		if p < 0.01 || p > 1 {
+			t.Fatalf("probability %v outside (0,1]", p)
+		}
+		sum += p
+	}
+	mean := sum / float64(db.N())
+	if math.Abs(mean-0.8) > 0.05 {
+		t.Errorf("mean probability %.3f, want ≈ 0.8", mean)
+	}
+	// High-variance regime must clamp, not fail.
+	db = AssignGaussian(data, 0.5, 0.5, 3)
+	for i := 0; i < db.N(); i++ {
+		if p := db.Prob(i); p < 0.01 || p > 1 {
+			t.Fatalf("clamped probability %v outside (0,1]", p)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := newTestRand(9)
+	n := 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 10)
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-10) > 0.3 {
+		t.Errorf("poisson mean %.2f, want ≈ 10", mean)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive mean should give 0")
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	rng := newTestRand(10)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[weightedPick(rng, weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("weight ratio %.2f, want ≈ 3", ratio)
+	}
+}
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

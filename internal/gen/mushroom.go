@@ -1,0 +1,246 @@
+package gen
+
+import (
+	"math/rand"
+
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+// MushroomConfig parameterizes the Mushroom-like generator. The real UCI
+// Mushroom dataset (8124 transactions, 119 item values, every transaction
+// exactly 23 items — one value per categorical attribute) is not available
+// offline, so this generator reproduces its structural properties instead:
+// fixed-length dense transactions, a two-class latent structure
+// (edible/poisonous) that induces long, heavily overlapping closed
+// patterns, and a skewed per-attribute value distribution.
+type MushroomConfig struct {
+	NumTrans      int // default 8124
+	NumAttributes int // default 23 (one item per attribute per transaction)
+	ValuesPerAttr int // average distinct values per attribute, default 5 (≈ 119 items total)
+	// NumClasses is the number of latent clusters ("species"); each has its
+	// own typical value per attribute. More classes produce more distinct
+	// long closed patterns. Default 8.
+	NumClasses int
+	// NumMirrors is the number of attributes that are deterministic
+	// functions of another attribute (the real dataset has several, e.g.
+	// the constant veil-type and the ring/veil dependencies). Mirrors
+	// create exact support ties, which is what gives closed itemsets their
+	// compression power on this dataset. Default NumAttributes/3.
+	NumMirrors int
+	// NumConstants is the number of attributes with a single value across
+	// all transactions (like the real dataset's veil-type). Each constant
+	// item doubles the frequent-itemset count while leaving the closed
+	// count unchanged. Default 2.
+	NumConstants int
+	// MirrorNoise is the probability that a mirror attribute deviates from
+	// its deterministic map. A small positive value creates the *near*-tied
+	// item pairs that make frequent-non-closed probabilities non-trivial —
+	// the regime in which the Monte-Carlo estimator actually runs.
+	// Default 0.02; set negative for exact mirrors.
+	MirrorNoise float64
+	// NumNearConstants is the number of attributes that take a single value
+	// in all but NearConstantExceptions transactions (the real dataset's
+	// gill-attachment and veil-color are ≈97% one value). Near-constant
+	// items give almost every itemset several non-negligible extension
+	// events, which is what makes the frequent-non-closed DNF genuinely
+	// multi-clause. Default 2.
+	NumNearConstants int
+	// NearConstantExceptions is the absolute number of rows in which each
+	// near-constant attribute deviates; keeping it an absolute count (not a
+	// fraction) keeps the extension-event probabilities scale-independent.
+	// Default 4.
+	NearConstantExceptions int
+	// ClassCoherence is the mean probability that an attribute takes its
+	// class-typical value rather than a random one; the per-attribute
+	// coherence is spread around this mean. High coherence yields the long
+	// heavily-overlapping closed itemsets Mushroom is known for.
+	// Default 0.8.
+	ClassCoherence float64
+	Seed           int64
+}
+
+func (c MushroomConfig) withDefaults() MushroomConfig {
+	if c.NumTrans == 0 {
+		c.NumTrans = 8124
+	}
+	if c.NumAttributes == 0 {
+		c.NumAttributes = 23
+	}
+	if c.ValuesPerAttr == 0 {
+		c.ValuesPerAttr = 5
+	}
+	if c.NumClasses == 0 {
+		c.NumClasses = 8
+	}
+	if c.ClassCoherence == 0 {
+		c.ClassCoherence = 0.8
+	}
+	if c.NumMirrors == 0 {
+		c.NumMirrors = c.NumAttributes / 3
+	}
+	if c.NumConstants == 0 {
+		c.NumConstants = 2
+	}
+	if c.MirrorNoise == 0 {
+		c.MirrorNoise = 0.02
+	}
+	if c.MirrorNoise < 0 {
+		c.MirrorNoise = 0
+	}
+	if c.NumNearConstants == 0 {
+		c.NumNearConstants = 2
+	}
+	if c.NearConstantExceptions == 0 {
+		c.NearConstantExceptions = 4
+	}
+	if c.NumConstants+c.NumNearConstants+c.NumMirrors >= c.NumAttributes {
+		c.NumMirrors = c.NumAttributes - c.NumConstants - c.NumNearConstants - 1
+		if c.NumMirrors < 0 {
+			c.NumMirrors = 0
+			c.NumNearConstants = 0
+			c.NumConstants = c.NumAttributes - 1
+		}
+	}
+	return c
+}
+
+// MushroomLike returns the default-shaped dataset scaled by the given
+// factor (scale = 1 ≈ the real dataset's 8124 transactions).
+func MushroomLike(scale float64, seed int64) []itemset.Itemset {
+	cfg := MushroomConfig{Seed: seed}.withDefaults()
+	cfg.NumTrans = int(float64(cfg.NumTrans) * scale)
+	if cfg.NumTrans < 1 {
+		cfg.NumTrans = 1
+	}
+	return Mushroom(cfg)
+}
+
+// Mushroom generates the dense categorical dataset described by cfg. Items
+// are numbered attribute-major: attribute k's values occupy a contiguous
+// id range, so every transaction has exactly NumAttributes items drawn from
+// disjoint ranges — the same encoding as the classical itemset version of
+// the UCI dataset.
+func Mushroom(cfg MushroomConfig) []itemset.Itemset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Per-attribute value counts: average ValuesPerAttr, at least 2.
+	valueCounts := make([]int, cfg.NumAttributes)
+	offsets := make([]int, cfg.NumAttributes)
+	next := 0
+	for k := range valueCounts {
+		v := cfg.ValuesPerAttr + rng.Intn(5) - 2
+		if v < 2 {
+			v = 2
+		}
+		valueCounts[k] = v
+		offsets[k] = next
+		next += v
+	}
+
+	// Latent classes with class-typical values per attribute. Classes share
+	// values for many attributes (values are drawn from a small pool), so
+	// frequent patterns of different lengths overlap as in the real data.
+	typical := make([][]int, cfg.NumClasses)
+	for c := range typical {
+		typical[c] = make([]int, cfg.NumAttributes)
+		for k, v := range valueCounts {
+			// Bias towards low value ids so classes collide on common
+			// values; occasionally pick a class-specific one.
+			if rng.Float64() < 0.6 {
+				typical[c][k] = rng.Intn(2)
+			} else {
+				typical[c][k] = rng.Intn(v)
+			}
+		}
+	}
+	// Class weights (skewed) and per-attribute coherence around the mean.
+	classWeights := make([]float64, cfg.NumClasses)
+	for c := range classWeights {
+		classWeights[c] = 1 / float64(c+1)
+	}
+	coherence := make([]float64, cfg.NumAttributes)
+	for k := range coherence {
+		coherence[k] = cfg.ClassCoherence + (rng.Float64()-0.5)*0.3
+		if coherence[k] > 0.98 {
+			coherence[k] = 0.98
+		}
+		if coherence[k] < 0.4 {
+			coherence[k] = 0.4
+		}
+	}
+	// Skewed fallback weights (Zipf-like) per attribute.
+	fallback := make([][]float64, cfg.NumAttributes)
+	for k, v := range valueCounts {
+		w := make([]float64, v)
+		for j := range w {
+			w[j] = 1 / float64(j+1)
+		}
+		fallback[k] = w
+	}
+
+	// Attribute layout: [0, NumConstants) are constant, then the
+	// near-constant attributes, then the free attributes, and the last
+	// NumMirrors attributes are deterministic functions of a random free
+	// ("source") attribute via a fixed value map.
+	firstNearConst := cfg.NumConstants
+	firstFree := cfg.NumConstants + cfg.NumNearConstants
+	firstMirror := cfg.NumAttributes - cfg.NumMirrors
+
+	// Pick the exception rows of each near-constant attribute up front so
+	// each attribute deviates in exactly NearConstantExceptions rows.
+	exception := make([]map[int]bool, cfg.NumAttributes)
+	for k := firstNearConst; k < firstFree; k++ {
+		exception[k] = map[int]bool{}
+		for len(exception[k]) < cfg.NearConstantExceptions && len(exception[k]) < cfg.NumTrans {
+			exception[k][rng.Intn(cfg.NumTrans)] = true
+		}
+	}
+	mirrorSrc := make([]int, cfg.NumAttributes)
+	mirrorMap := make([][]int, cfg.NumAttributes)
+	for k := firstMirror; k < cfg.NumAttributes; k++ {
+		src := firstFree + rng.Intn(firstMirror-firstFree)
+		mirrorSrc[k] = src
+		m := make([]int, valueCounts[src])
+		for v := range m {
+			m[v] = v % valueCounts[k]
+		}
+		mirrorMap[k] = m
+	}
+
+	out := make([]itemset.Itemset, cfg.NumTrans)
+	values := make([]int, cfg.NumAttributes)
+	for i := range out {
+		class := weightedPick(rng, classWeights)
+		for k := 0; k < firstNearConst; k++ {
+			values[k] = 0
+		}
+		for k := firstNearConst; k < firstFree; k++ {
+			if exception[k][i] {
+				values[k] = 1 + rng.Intn(valueCounts[k]-1)
+			} else {
+				values[k] = 0
+			}
+		}
+		for k := firstFree; k < firstMirror; k++ {
+			if rng.Float64() < coherence[k] {
+				values[k] = typical[class][k]
+			} else {
+				values[k] = weightedPick(rng, fallback[k])
+			}
+		}
+		for k := firstMirror; k < cfg.NumAttributes; k++ {
+			if cfg.MirrorNoise > 0 && rng.Float64() < cfg.MirrorNoise {
+				values[k] = rng.Intn(valueCounts[k])
+			} else {
+				values[k] = mirrorMap[k][values[mirrorSrc[k]]]
+			}
+		}
+		items := make([]itemset.Item, cfg.NumAttributes)
+		for k, v := range values {
+			items[k] = itemset.Item(offsets[k] + v)
+		}
+		out[i] = itemset.New(items...)
+	}
+	return out
+}

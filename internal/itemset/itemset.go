@@ -1,0 +1,293 @@
+// Package itemset defines the Item and Itemset value types shared by every
+// miner in this repository, together with the small algebra the algorithms
+// need: ordered insertion, subset tests, unions, prefix comparisons and a
+// canonical string form usable as a map key.
+//
+// An Itemset is always kept sorted in ascending item order with no
+// duplicates; every constructor and operation preserves that invariant.
+// The "alphabetic order" of the paper is this item order.
+package itemset
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Item identifies a distinct item of the universe I = {i_1, …, i_n}.
+type Item int32
+
+// Itemset is a sorted, duplicate-free set of items. The zero value is the
+// empty itemset.
+type Itemset []Item
+
+// New returns an Itemset holding the given items, sorted and deduplicated.
+func New(items ...Item) Itemset {
+	if len(items) == 0 {
+		return nil
+	}
+	s := make(Itemset, len(items))
+	copy(s, items)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, it := range s[1:] {
+		if it != out[len(out)-1] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// FromInts converts a slice of ints; convenient for tests and generators.
+func FromInts(items ...int) Itemset {
+	s := make([]Item, len(items))
+	for i, v := range items {
+		s[i] = Item(v)
+	}
+	return New(s...)
+}
+
+// Len returns the number of items (the paper's |X|, so X is an l-itemset
+// when Len() == l).
+func (s Itemset) Len() int { return len(s) }
+
+// Empty reports whether the itemset has no items.
+func (s Itemset) Empty() bool { return len(s) == 0 }
+
+// Contains reports whether item x is a member.
+func (s Itemset) Contains(x Item) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// Last returns the greatest item. It panics on the empty set.
+func (s Itemset) Last() Item {
+	if len(s) == 0 {
+		panic("itemset: Last of empty set")
+	}
+	return s[len(s)-1]
+}
+
+// Extend returns a new itemset s ∪ {x} where x must be greater than every
+// item of s (the DFS prefix-extension step). It panics otherwise, because
+// silently reordering would break the enumeration invariants.
+func (s Itemset) Extend(x Item) Itemset {
+	if len(s) > 0 && x <= s.Last() {
+		panic(fmt.Sprintf("itemset: Extend(%d) not greater than last item %d", x, s.Last()))
+	}
+	out := make(Itemset, len(s)+1)
+	copy(out, s)
+	out[len(s)] = x
+	return out
+}
+
+// Add returns s ∪ {x} regardless of order.
+func (s Itemset) Add(x Item) Itemset {
+	if s.Contains(x) {
+		return s.Clone()
+	}
+	out := append(s.Clone(), x)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Remove returns s \ {x}.
+func (s Itemset) Remove(x Item) Itemset {
+	out := make(Itemset, 0, len(s))
+	for _, it := range s {
+		if it != x {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (s Itemset) Clone() Itemset {
+	if s == nil {
+		return nil
+	}
+	out := make(Itemset, len(s))
+	copy(out, s)
+	return out
+}
+
+// Union returns s ∪ t.
+func Union(s, t Itemset) Itemset {
+	out := make(Itemset, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Intersect returns s ∩ t.
+func Intersect(s, t Itemset) Itemset {
+	var out Itemset
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Diff returns s \ t.
+func Diff(s, t Itemset) Itemset {
+	var out Itemset
+	j := 0
+	for _, it := range s {
+		for j < len(t) && t[j] < it {
+			j++
+		}
+		if j >= len(t) || t[j] != it {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// IsSubset reports whether every item of s appears in t (s ⊆ t).
+func IsSubset(s, t Itemset) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	j := 0
+	for _, it := range s {
+		for j < len(t) && t[j] < it {
+			j++
+		}
+		if j >= len(t) || t[j] != it {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// IsProperSubset reports s ⊂ t.
+func IsProperSubset(s, t Itemset) bool {
+	return len(s) < len(t) && IsSubset(s, t)
+}
+
+// Equal reports whether s and t contain exactly the same items.
+func Equal(s, t Itemset) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders itemsets lexicographically by item sequence; shorter
+// prefixes sort first. It returns -1, 0 or +1.
+func Compare(s, t Itemset) int {
+	for i := 0; i < len(s) && i < len(t); i++ {
+		switch {
+		case s[i] < t[i]:
+			return -1
+		case s[i] > t[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(s) < len(t):
+		return -1
+	case len(s) > len(t):
+		return 1
+	}
+	return 0
+}
+
+// HasPrefix reports whether p is a prefix of s in the item order — the
+// paper's "superset with X as prefix" relation.
+func HasPrefix(s, p Itemset) bool {
+	if len(p) > len(s) {
+		return false
+	}
+	for i := range p {
+		if s[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string usable as a map key ("1 5 9").
+func (s Itemset) Key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, it := range s {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(int(it)))
+	}
+	return sb.String()
+}
+
+// ParseKey inverts Key.
+func ParseKey(key string) (Itemset, error) {
+	if key == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(key)
+	items := make([]Item, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("itemset: parse key %q: %w", key, err)
+		}
+		items[i] = Item(v)
+	}
+	return New(items...), nil
+}
+
+// String renders the itemset as {a b c} using letters for small items
+// (0→a … 25→z) and numbers beyond, which makes test output match the
+// paper's running example.
+func (s Itemset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, it := range s {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if it >= 0 && it < 26 {
+			sb.WriteByte(byte('a' + it))
+		} else {
+			sb.WriteString(strconv.Itoa(int(it)))
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

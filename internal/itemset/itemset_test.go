@@ -1,0 +1,217 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedupes(t *testing.T) {
+	s := New(5, 1, 3, 1, 5, 2)
+	want := Itemset{1, 2, 3, 5}
+	if !Equal(s, want) {
+		t.Errorf("New = %v, want %v", s, want)
+	}
+	if New().Len() != 0 {
+		t.Error("New() should be empty")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := FromInts(1, 3, 5)
+	for _, tc := range []struct {
+		x    Item
+		want bool
+	}{{0, false}, {1, true}, {2, false}, {3, true}, {5, true}, {6, false}} {
+		if got := s.Contains(tc.x); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestExtend(t *testing.T) {
+	s := FromInts(1, 3)
+	e := s.Extend(7)
+	if !Equal(e, FromInts(1, 3, 7)) {
+		t.Errorf("Extend = %v", e)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Extend with non-greater item should panic")
+		}
+	}()
+	s.Extend(2)
+}
+
+func TestAddRemove(t *testing.T) {
+	s := FromInts(2, 4)
+	if got := s.Add(3); !Equal(got, FromInts(2, 3, 4)) {
+		t.Errorf("Add middle = %v", got)
+	}
+	if got := s.Add(2); !Equal(got, s) {
+		t.Errorf("Add existing = %v", got)
+	}
+	if got := s.Remove(2); !Equal(got, FromInts(4)) {
+		t.Errorf("Remove = %v", got)
+	}
+	if got := s.Remove(99); !Equal(got, s) {
+		t.Errorf("Remove missing = %v", got)
+	}
+}
+
+func TestSubsetPrefix(t *testing.T) {
+	if !IsSubset(FromInts(1, 3), FromInts(1, 2, 3)) {
+		t.Error("IsSubset false negative")
+	}
+	if IsSubset(FromInts(1, 4), FromInts(1, 2, 3)) {
+		t.Error("IsSubset false positive")
+	}
+	if !IsSubset(nil, FromInts(1)) {
+		t.Error("empty set must be subset of everything")
+	}
+	if IsProperSubset(FromInts(1, 2), FromInts(1, 2)) {
+		t.Error("IsProperSubset of equal sets")
+	}
+	if !HasPrefix(FromInts(1, 2, 3), FromInts(1, 2)) {
+		t.Error("HasPrefix false negative")
+	}
+	if HasPrefix(FromInts(1, 3, 4), FromInts(1, 2)) {
+		t.Error("HasPrefix false positive")
+	}
+	if !HasPrefix(FromInts(1), nil) {
+		t.Error("empty prefix should match")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Itemset
+		want int
+	}{
+		{FromInts(1), FromInts(2), -1},
+		{FromInts(2), FromInts(1), 1},
+		{FromInts(1, 2), FromInts(1, 2), 0},
+		{FromInts(1), FromInts(1, 2), -1},
+		{FromInts(1, 3), FromInts(1, 2, 9), 1},
+	}
+	for _, tc := range cases {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestKeyRoundtrip(t *testing.T) {
+	for _, s := range []Itemset{nil, FromInts(0), FromInts(3, 1, 4, 15)} {
+		got, err := ParseKey(s.Key())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", s.Key(), err)
+		}
+		if !Equal(got, s) {
+			t.Errorf("roundtrip of %v gave %v", s, got)
+		}
+	}
+	if _, err := ParseKey("1 x"); err == nil {
+		t.Error("ParseKey should fail on garbage")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromInts(0, 2, 26).String(); got != "{a c 26}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Itemset(nil).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestLastPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Last of empty set should panic")
+		}
+	}()
+	Itemset(nil).Last()
+}
+
+// reference set-algebra via maps.
+func toMap(s Itemset) map[Item]bool {
+	m := map[Item]bool{}
+	for _, it := range s {
+		m[it] = true
+	}
+	return m
+}
+
+func sorted(s Itemset) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomItemset(rng *rand.Rand) Itemset {
+	n := rng.Intn(12)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item(rng.Intn(20))
+	}
+	return New(items...)
+}
+
+func TestPropertyAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomItemset(rng)
+		b := randomItemset(rng)
+		u, i, d := Union(a, b), Intersect(a, b), Diff(a, b)
+		if !sorted(u) || !sorted(i) || !sorted(d) {
+			return false
+		}
+		ma, mb := toMap(a), toMap(b)
+		for it := Item(0); it < 20; it++ {
+			if u.Contains(it) != (ma[it] || mb[it]) {
+				return false
+			}
+			if i.Contains(it) != (ma[it] && mb[it]) {
+				return false
+			}
+			if d.Contains(it) != (ma[it] && !mb[it]) {
+				return false
+			}
+		}
+		// |A| + |B| = |A∪B| + |A∩B|
+		if a.Len()+b.Len() != u.Len()+i.Len() {
+			return false
+		}
+		// Subset coherence.
+		if !IsSubset(i, a) || !IsSubset(i, b) || !IsSubset(a, u) || !IsSubset(d, a) {
+			return false
+		}
+		// Compare is a total order consistent with equality.
+		if (Compare(a, b) == 0) != Equal(a, b) {
+			return false
+		}
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromInts(1, 2, 3)
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+	if Itemset(nil).Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}

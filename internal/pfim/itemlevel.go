@@ -1,0 +1,133 @@
+package pfim
+
+import (
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// This file runs the cited expected-support and probabilistic-frequent
+// algorithms in their native *attribute-level* uncertainty model
+// (uncertain.ItemDB): U-Apriori's expected support is Σ_T Π_{x∈X} p_T(x),
+// and sup(X) is Poisson-binomial over the per-transaction containment
+// probabilities.
+
+// ItemLevelExpectedSupportMine returns all itemsets whose expected support
+// in the attribute-level model reaches minExpSup. Expected support remains
+// anti-monotone (adding an item multiplies each containment probability by
+// a factor ≤ 1), so the depth-first enumeration prunes subtrees soundly.
+func ItemLevelExpectedSupportMine(db *uncertain.ItemDB, minExpSup float64) []Itemset {
+	items := db.Items()
+	n := db.N()
+
+	// weights[i] = Pr[X ⊆ T_i] for the current prefix X; extensions
+	// multiply elementwise by the item's per-transaction probability.
+	var out []Itemset
+	var rec func(x itemset.Itemset, weights []float64, exp float64, startPos int)
+	rec = func(x itemset.Itemset, weights []float64, exp float64, startPos int) {
+		cnt := 0
+		for _, w := range weights {
+			if w > 0 {
+				cnt++
+			}
+		}
+		out = append(out, Itemset{Items: x.Clone(), ExpectedSupport: exp, Count: cnt})
+		for pos := startPos; pos < len(items); pos++ {
+			e := items[pos]
+			child := make([]float64, n)
+			childExp := 0.0
+			for i := range weights {
+				if weights[i] == 0 {
+					continue
+				}
+				w := weights[i] * db.ItemProb(i, e)
+				child[i] = w
+				childExp += w
+			}
+			if childExp >= minExpSup {
+				rec(x.Extend(e), child, childExp, pos+1)
+			}
+		}
+	}
+	for pos, e := range items {
+		weights := make([]float64, n)
+		exp := 0.0
+		for i := 0; i < n; i++ {
+			weights[i] = db.ItemProb(i, e)
+			exp += weights[i]
+		}
+		if exp >= minExpSup {
+			rec(itemset.Itemset{e}, weights, exp, pos+1)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return itemset.Compare(out[i].Items, out[j].Items) < 0 })
+	return out
+}
+
+// ItemLevelMine returns all probabilistic frequent itemsets of the
+// attribute-level model: Pr[sup(X) ≥ minSup] > pft with sup(X) the
+// Poisson-binomial sum of per-transaction containment probabilities. The
+// frequent probability is anti-monotone in this model too (containment
+// probabilities only shrink as X grows), so subtree pruning applies.
+func ItemLevelMine(db *uncertain.ItemDB, opts Options) []Itemset {
+	if opts.MinSup < 1 {
+		opts.MinSup = 1
+	}
+	items := db.Items()
+	n := db.N()
+
+	check := func(weights []float64) (float64, bool) {
+		probs := make([]float64, 0, n)
+		for _, w := range weights {
+			if w > 0 {
+				probs = append(probs, w)
+			}
+		}
+		if len(probs) < opts.MinSup {
+			return 0, false
+		}
+		if !opts.DisableCH && poibin.TailUpperBound(probs, opts.MinSup) <= opts.PFT {
+			return 0, false
+		}
+		prF := poibin.Tail(probs, opts.MinSup)
+		return prF, prF > opts.PFT
+	}
+
+	var out []Itemset
+	var rec func(x itemset.Itemset, weights []float64, prF float64, startPos int)
+	rec = func(x itemset.Itemset, weights []float64, prF float64, startPos int) {
+		exp, cnt := 0.0, 0
+		for _, w := range weights {
+			exp += w
+			if w > 0 {
+				cnt++
+			}
+		}
+		out = append(out, Itemset{Items: x.Clone(), FreqProb: prF, ExpectedSupport: exp, Count: cnt})
+		for pos := startPos; pos < len(items); pos++ {
+			e := items[pos]
+			child := make([]float64, n)
+			for i := range weights {
+				if weights[i] > 0 {
+					child[i] = weights[i] * db.ItemProb(i, e)
+				}
+			}
+			if childPrF, ok := check(child); ok {
+				rec(x.Extend(e), child, childPrF, pos+1)
+			}
+		}
+	}
+	for pos, e := range items {
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			weights[i] = db.ItemProb(i, e)
+		}
+		if prF, ok := check(weights); ok {
+			rec(itemset.Itemset{e}, weights, prF, pos+1)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return itemset.Compare(out[i].Items, out[j].Items) < 0 })
+	return out
+}

@@ -1,0 +1,182 @@
+package pfim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+func randomItemDB(rng *rand.Rand, maxN, maxItems int) *uncertain.ItemDB {
+	n := rng.Intn(maxN) + 1
+	trans := make([]uncertain.ItemTransaction, 0, n)
+	for i := 0; i < n; i++ {
+		var items []uncertain.ProbItem
+		for j := 0; j < maxItems; j++ {
+			if rng.Float64() < 0.6 {
+				items = append(items, uncertain.ProbItem{
+					Item: itemset.Item(j),
+					Prob: rng.Float64()*0.98 + 0.01,
+				})
+			}
+		}
+		if len(items) == 0 {
+			items = []uncertain.ProbItem{{Item: itemset.Item(rng.Intn(maxItems)), Prob: 0.5}}
+		}
+		trans = append(trans, uncertain.ItemTransaction{Items: items})
+	}
+	return uncertain.MustNewItemDB(trans)
+}
+
+// expectedSupportBruteForce enumerates every itemset and thresholds its
+// expected support directly from the definition.
+func expectedSupportBruteForce(db *uncertain.ItemDB, minExp float64) []Itemset {
+	items := db.Items()
+	var out []Itemset
+	for mask := 1; mask < 1<<uint(len(items)); mask++ {
+		var x itemset.Itemset
+		for i, it := range items {
+			if mask&(1<<uint(i)) != 0 {
+				x = append(x, it)
+			}
+		}
+		if exp := db.ExpectedSupport(x); exp >= minExp {
+			out = append(out, Itemset{Items: x.Clone(), ExpectedSupport: exp})
+		}
+	}
+	return out
+}
+
+func TestItemLevelExpectedSupportAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomItemDB(rng, 8, 5)
+		minExp := rng.Float64()*2 + 0.2
+		got := ItemLevelExpectedSupportMine(db, minExp)
+		want := expectedSupportBruteForce(db, minExp)
+		if len(got) != len(want) {
+			return false
+		}
+		gotKeys := map[string]float64{}
+		for _, p := range got {
+			gotKeys[p.Items.Key()] = p.ExpectedSupport
+		}
+		for _, w := range want {
+			g, ok := gotKeys[w.Items.Key()]
+			if !ok || math.Abs(g-w.ExpectedSupport) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemLevelMineAgainstDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		db := randomItemDB(rng, 8, 4)
+		minSup := rng.Intn(2) + 1
+		const pft = 0.4
+		got := ItemLevelMine(db, Options{MinSup: minSup, PFT: pft})
+		gotKeys := map[string]float64{}
+		for _, p := range got {
+			gotKeys[p.Items.Key()] = p.FreqProb
+		}
+		items := db.Items()
+		for mask := 1; mask < 1<<uint(len(items)); mask++ {
+			var x itemset.Itemset
+			for i, it := range items {
+				if mask&(1<<uint(i)) != 0 {
+					x = append(x, it)
+				}
+			}
+			var probs []float64
+			for _, p := range db.ContainProbs(x) {
+				if p > 0 {
+					probs = append(probs, p)
+				}
+			}
+			prF := poibin.Tail(probs, minSup)
+			g, found := gotKeys[x.Key()]
+			if (prF > pft) != found {
+				t.Fatalf("trial %d: %v has Pr_F=%v, in result=%v", trial, x, prF, found)
+			}
+			if found && math.Abs(g-prF) > 1e-9 {
+				t.Fatalf("trial %d: %v Pr_F mismatch %v vs %v", trial, x, g, prF)
+			}
+		}
+	}
+}
+
+func TestItemLevelCertainDataDegenerates(t *testing.T) {
+	// With all item probabilities 1, the item-level expected support equals
+	// the exact support, so mining must match the tuple-level result on the
+	// same certain data.
+	data := []itemset.Itemset{
+		itemset.FromInts(0, 1, 2),
+		itemset.FromInts(0, 1),
+		itemset.FromInts(1, 2),
+	}
+	idb := uncertain.CertainItemDB(data)
+	got := ItemLevelExpectedSupportMine(idb, 2)
+	if len(got) != 5 {
+		t.Fatalf("got %d itemsets, want 5: %v", len(got), got)
+	}
+	for _, p := range got {
+		if math.Abs(p.ExpectedSupport-float64(p.Count)) > 1e-12 {
+			t.Errorf("%v: expected support %v != count %d on certain data", p.Items, p.ExpectedSupport, p.Count)
+		}
+	}
+}
+
+func TestItemDBValidation(t *testing.T) {
+	bad := [][]uncertain.ItemTransaction{
+		{{Items: nil}},
+		{{Items: []uncertain.ProbItem{{Item: 1, Prob: 0}}}},
+		{{Items: []uncertain.ProbItem{{Item: 1, Prob: 1.5}}}},
+		{{Items: []uncertain.ProbItem{{Item: 1, Prob: 0.5}, {Item: 1, Prob: 0.6}}}},
+	}
+	for i, trans := range bad {
+		if _, err := uncertain.NewItemDB(trans); err == nil {
+			t.Errorf("case %d: invalid item-level db accepted", i)
+		}
+	}
+	db := uncertain.MustNewItemDB([]uncertain.ItemTransaction{
+		{Items: []uncertain.ProbItem{{Item: 2, Prob: 0.5}, {Item: 1, Prob: 0.25}}},
+	})
+	if got := db.ItemProb(0, 1); got != 0.25 {
+		t.Errorf("ItemProb = %v", got)
+	}
+	if got := db.ItemProb(0, 9); got != 0 {
+		t.Errorf("missing item prob = %v", got)
+	}
+	if got := db.ContainProb(0, itemset.FromInts(1, 2)); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("ContainProb = %v", got)
+	}
+	if got := db.ExpectedSupport(itemset.FromInts(1)); got != 0.25 {
+		t.Errorf("ExpectedSupport = %v", got)
+	}
+}
+
+func TestItemDBToTupleLevel(t *testing.T) {
+	db := uncertain.MustNewItemDB([]uncertain.ItemTransaction{
+		{Items: []uncertain.ProbItem{{Item: 0, Prob: 0.5}, {Item: 1, Prob: 0.8}}},
+	})
+	tdb, err := db.ToTupleLevel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdb.N() != 1 {
+		t.Fatalf("tuple db has %d transactions", tdb.N())
+	}
+	if got := tdb.Prob(0); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("collapsed probability = %v, want 0.4", got)
+	}
+}

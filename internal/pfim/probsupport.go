@@ -1,0 +1,130 @@
+package pfim
+
+import (
+	"sort"
+
+	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// This file implements the *probabilistic support* model of the related
+// work the paper contrasts itself with in §II ([34]): given a probabilistic
+// frequent threshold pft, the probabilistic support of an itemset is the
+// largest support value it reaches with probability at least pft. Under
+// that model an itemset is a "probabilistic frequent closed itemset" when
+// its probabilistic support meets min_sup and strictly exceeds the
+// probabilistic support of every proper superset.
+//
+// The paper's §II argues this definition is unstable: the result set can
+// change as pft moves even when the underlying frequent probabilities
+// don't, and its members can have near-zero true frequent closed
+// probability. The tests reproduce that argument on the paper's Table IV
+// database.
+
+// ProbabilisticSupport returns max{s ≥ 0 : Pr[sup(X) ≥ s] ≥ pft}. Since
+// Pr[sup ≥ 0] = 1 ≥ pft for any pft ≤ 1, the result is well defined.
+func ProbabilisticSupport(db *uncertain.DB, x itemset.Itemset, pft float64) int {
+	var probs []float64
+	for i := 0; i < db.N(); i++ {
+		if itemset.IsSubset(x, db.Transaction(i).Items) {
+			probs = append(probs, db.Prob(i))
+		}
+	}
+	return probSupportOf(probs, pft)
+}
+
+func probSupportOf(probs []float64, pft float64) int {
+	tails := poibin.TailAll(probs)
+	// tails is non-increasing; find the largest s with tails[s] ≥ pft.
+	s := 0
+	for k := 1; k < len(tails); k++ {
+		if tails[k] >= pft {
+			s = k
+		} else {
+			break
+		}
+	}
+	return s
+}
+
+// ProbSupportItemset is one result of the probabilistic-support model.
+type ProbSupportItemset struct {
+	Items itemset.Itemset
+	// PSup is the probabilistic support at the queried pft.
+	PSup int
+}
+
+// MineProbSupportClosed mines the "probabilistic frequent closed itemsets"
+// of the related-work definition: psup(X) ≥ minSup and psup(Y) < psup(X)
+// for every proper superset Y. It enumerates the itemsets with
+// psup ≥ minSup (psup is anti-monotone, so DFS subtree pruning applies)
+// and then filters by the superset condition, which only needs single-item
+// extensions: psup is monotone under ⊆, so if any superset ties, a
+// single-item extension ties.
+func MineProbSupportClosed(db *uncertain.DB, minSup int, pft float64) []ProbSupportItemset {
+	idx := db.Index()
+	probs := db.Probs()
+
+	psupOf := func(b *bitset.Bitset) int {
+		ps := make([]float64, 0, b.Count())
+		b.ForEach(func(tid int) bool {
+			ps = append(ps, probs[tid])
+			return true
+		})
+		return probSupportOf(ps, pft)
+	}
+
+	type cand struct {
+		item itemset.Item
+		tids *bitset.Bitset
+	}
+	var cands []cand
+	for _, it := range idx.Items {
+		if psupOf(idx.Tidsets[it]) >= minSup {
+			cands = append(cands, cand{item: it, tids: idx.Tidsets[it]})
+		}
+	}
+
+	type node struct {
+		items itemset.Itemset
+		tids  *bitset.Bitset
+		psup  int
+	}
+	var all []node
+	var rec func(x itemset.Itemset, tids *bitset.Bitset, psup, startPos int)
+	rec = func(x itemset.Itemset, tids *bitset.Bitset, psup, startPos int) {
+		all = append(all, node{items: x.Clone(), tids: tids, psup: psup})
+		for pos := startPos; pos < len(cands); pos++ {
+			child := bitset.And(tids, cands[pos].tids)
+			if p := psupOf(child); p >= minSup {
+				rec(x.Extend(cands[pos].item), child, p, pos+1)
+			}
+		}
+	}
+	for pos, c := range cands {
+		tids := c.tids.Clone()
+		rec(itemset.Itemset{c.item}, tids, psupOf(tids), pos+1)
+	}
+
+	var out []ProbSupportItemset
+	for _, n := range all {
+		closed := true
+		for _, e := range idx.Items {
+			if n.items.Contains(e) {
+				continue
+			}
+			super := bitset.And(n.tids, idx.Tidsets[e])
+			if psupOf(super) >= n.psup {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, ProbSupportItemset{Items: n.items, PSup: n.psup})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return itemset.Compare(out[i].Items, out[j].Items) < 0 })
+	return out
+}

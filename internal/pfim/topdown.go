@@ -1,0 +1,176 @@
+package pfim
+
+import (
+	"sort"
+
+	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// MineTopDown returns the same result set as Mine using the top-down
+// strategy of the TODIS algorithm [22]: because the frequent probability
+// is anti-monotone, the probabilistic frequent itemsets are exactly the
+// non-empty subsets of the *maximal* probabilistic frequent itemsets. The
+// miner first discovers the maximal PFIs with a depth-first search (the
+// bottom-up pass), then derives every subset top-down, deduplicates, and
+// fills in the exact frequent probabilities.
+//
+// Its purpose in this repository is twofold: it is the second of the two
+// strategies of [22] the paper cites ("two efficient algorithms, the
+// bottom-up and the top-down"), and it cross-checks Mine in the tests.
+func MineTopDown(db *uncertain.DB, opts Options) []Itemset {
+	if opts.MinSup < 1 {
+		opts.MinSup = 1
+	}
+	idx := db.Index()
+	probs := db.Probs()
+
+	probsOf := func(b *bitset.Bitset) []float64 {
+		ps := make([]float64, 0, b.Count())
+		b.ForEach(func(tid int) bool {
+			ps = append(ps, probs[tid])
+			return true
+		})
+		return ps
+	}
+	isPF := func(b *bitset.Bitset) bool {
+		if b.Count() < opts.MinSup {
+			return false
+		}
+		ps := probsOf(b)
+		if !opts.DisableCH && poibin.TailUpperBound(ps, opts.MinSup) <= opts.PFT {
+			return false
+		}
+		return poibin.Tail(ps, opts.MinSup) > opts.PFT
+	}
+
+	type cand struct {
+		item itemset.Item
+		tids *bitset.Bitset
+	}
+	var cands []cand
+	for _, it := range idx.Items {
+		if isPF(idx.Tidsets[it]) {
+			cands = append(cands, cand{item: it, tids: idx.Tidsets[it]})
+		}
+	}
+
+	// Phase 1: maximal PFIs. An enumeration node is maximal iff no
+	// extension — by any other candidate item, not just tail items — keeps
+	// it probabilistically frequent, and it is not already covered by a
+	// previously found maximal itemset.
+	var maximal []itemset.Itemset
+	covered := func(x itemset.Itemset) bool {
+		for _, m := range maximal {
+			if itemset.IsSubset(x, m) {
+				return true
+			}
+		}
+		return false
+	}
+	var rec func(x itemset.Itemset, tids *bitset.Bitset, startPos int)
+	rec = func(x itemset.Itemset, tids *bitset.Bitset, startPos int) {
+		extended := false
+		for pos := startPos; pos < len(cands); pos++ {
+			child := bitset.And(tids, cands[pos].tids)
+			if isPF(child) {
+				extended = true
+				rec(x.Extend(cands[pos].item), child, pos+1)
+			}
+		}
+		if extended {
+			return
+		}
+		// No tail extension survives. Candidate items greater than the last
+		// item of x were all covered by the loop above; items smaller than
+		// it must still be checked before declaring maximality — an itemset
+		// extendable by an earlier item is handled by the branch that
+		// includes that item.
+		for _, c := range cands {
+			if c.item >= x.Last() {
+				break
+			}
+			if x.Contains(c.item) {
+				continue
+			}
+			if isPF(bitset.And(tids, c.tids)) {
+				return
+			}
+		}
+		if !covered(x) {
+			maximal = append(maximal, x.Clone())
+		}
+	}
+	for pos, c := range cands {
+		rec(itemset.Itemset{c.item}, c.tids.Clone(), pos+1)
+	}
+
+	// Phase 2: derive all subsets of the maximal itemsets.
+	seen := map[string]itemset.Itemset{}
+	var addSubsets func(x itemset.Itemset)
+	addSubsets = func(x itemset.Itemset) {
+		if len(x) == 0 {
+			return
+		}
+		key := x.Key()
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = x.Clone()
+		for _, drop := range x {
+			addSubsets(x.Remove(drop))
+		}
+	}
+	for _, m := range maximal {
+		addSubsets(m)
+	}
+
+	// Phase 3: exact frequent probabilities for the output.
+	out := make([]Itemset, 0, len(seen))
+	for _, x := range seen {
+		tids := idx.TidsetOf(x)
+		ps := probsOf(tids)
+		exp := 0.0
+		for _, p := range ps {
+			exp += p
+		}
+		out = append(out, Itemset{
+			Items:           x,
+			FreqProb:        poibin.Tail(ps, opts.MinSup),
+			Count:           tids.Count(),
+			ExpectedSupport: exp,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return itemset.Compare(out[i].Items, out[j].Items) < 0 })
+	return out
+}
+
+// MaximalFrequent returns only the maximal probabilistic frequent itemsets
+// — the compact border representation the top-down strategy is built on.
+func MaximalFrequent(db *uncertain.DB, opts Options) []itemset.Itemset {
+	full := MineTopDown(db, opts)
+	keys := map[string]bool{}
+	for _, p := range full {
+		keys[p.Items.Key()] = true
+	}
+	items := db.Items()
+	var out []itemset.Itemset
+	for _, p := range full {
+		isMax := true
+		for _, e := range items {
+			if p.Items.Contains(e) {
+				continue
+			}
+			if keys[p.Items.Add(e).Key()] {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			out = append(out, p.Items)
+		}
+	}
+	return out
+}

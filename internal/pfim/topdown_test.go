@@ -1,0 +1,207 @@
+package pfim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+	"github.com/probdata/pfcim/internal/world"
+)
+
+// TestTopDownEqualsBottomUp: the two strategies of [22] must return
+// identical result sets with identical probabilities.
+func TestTopDownEqualsBottomUp(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 9, 5)
+		minSup := rng.Intn(3) + 1
+		pft := []float64{0.3, 0.6, 0.8}[rng.Intn(3)]
+		opts := Options{MinSup: minSup, PFT: pft}
+		a := Mine(db, opts)
+		b := MineTopDown(db, opts)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !itemset.Equal(a[i].Items, b[i].Items) {
+				return false
+			}
+			if math.Abs(a[i].FreqProb-b[i].FreqProb) > 1e-9 {
+				return false
+			}
+			if a[i].Count != b[i].Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopDownPaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	res := MineTopDown(db, Options{MinSup: 2, PFT: 0.8})
+	if len(res) != 15 {
+		t.Fatalf("top-down found %d PFIs, want 15", len(res))
+	}
+}
+
+func TestMaximalFrequent(t *testing.T) {
+	db := uncertain.PaperExample()
+	maxes := MaximalFrequent(db, Options{MinSup: 2, PFT: 0.8})
+	// All 15 PFIs are subsets of abcd, so abcd is the single maximal PFI.
+	if len(maxes) != 1 || !itemset.Equal(maxes[0], itemset.FromInts(0, 1, 2, 3)) {
+		t.Fatalf("maximal PFIs = %v, want [{a b c d}]", maxes)
+	}
+}
+
+func TestMaximalCoverProperty(t *testing.T) {
+	// Every PFI is a subset of some maximal PFI; no maximal PFI is a
+	// proper subset of another.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		db := randomDB(rng, 10, 6)
+		opts := Options{MinSup: 2, PFT: 0.5}
+		all := Mine(db, opts)
+		maxes := MaximalFrequent(db, opts)
+		for _, p := range all {
+			found := false
+			for _, m := range maxes {
+				if itemset.IsSubset(p.Items, m) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("PFI %v not covered by any maximal itemset %v", p.Items, maxes)
+			}
+		}
+		for i, a := range maxes {
+			for j, b := range maxes {
+				if i != j && itemset.IsProperSubset(a, b) {
+					t.Fatalf("maximal itemset %v is a subset of %v", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestProbabilisticSupport(t *testing.T) {
+	db := uncertain.PaperExample()
+	abc := itemset.FromInts(0, 1, 2)
+	// Pr[sup(abc) ≥ s] for s = 0..4 over probs {.9,.6,.7,.9}.
+	// psup at pft=0.9 must satisfy Pr[sup ≥ psup] ≥ 0.9.
+	for _, pft := range []float64{0.5, 0.8, 0.9, 0.99} {
+		psup := ProbabilisticSupport(db, abc, pft)
+		got, err := world.FreqProb(db, abc, psup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < pft {
+			t.Errorf("pft=%v: Pr[sup ≥ psup=%d] = %v < pft", pft, psup, got)
+		}
+		above, err := world.FreqProb(db, abc, psup+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above >= pft {
+			t.Errorf("pft=%v: psup=%d not maximal (Pr[sup ≥ %d] = %v)", pft, psup, psup+1, above)
+		}
+	}
+	// Itemset missing from the database: psup = 0.
+	if got := ProbabilisticSupport(db, itemset.FromInts(9), 0.5); got != 0 {
+		t.Errorf("psup of absent itemset = %d", got)
+	}
+}
+
+// TestProbSupportModelInstability reproduces the paper's §II critique on
+// the Table IV database: under the probabilistic-support definition of
+// related work the result set CHANGES when pft moves from 0.9 to 0.8 even
+// though the relevant frequent probabilities (≈ 0.99) already satisfy both
+// thresholds — while the paper's definition returns the same two itemsets
+// at every threshold.
+func TestProbSupportModelInstability(t *testing.T) {
+	db := uncertain.PaperExampleExtended()
+	const minSup = 2
+
+	at09 := MineProbSupportClosed(db, minSup, 0.9)
+	at08 := MineProbSupportClosed(db, minSup, 0.8)
+	if sameSets(at09, at08) {
+		t.Errorf("expected the probabilistic-support result set to change between pft 0.9 (%v) and 0.8 (%v)", at09, at08)
+	}
+
+	// The paper's semantics: {abc} and {abcd} are the only itemsets with
+	// non-trivial frequent closed probability, regardless of threshold.
+	abc := itemset.FromInts(0, 1, 2)
+	abcd := itemset.FromInts(0, 1, 2, 3)
+	pABC, err := world.FreqClosedProb(db, abc, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pABCD, err := world.FreqClosedProb(db, abcd, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pABC < 0.8 || pABCD < 0.8 {
+		t.Errorf("Pr_FC(abc)=%v, Pr_FC(abcd)=%v; both should stay above 0.8 on Table IV", pABC, pABCD)
+	}
+	// And the itemsets the competing model returns that ours does not have
+	// low true frequent closed probability (the paper quotes 0.4 for {a}
+	// and {ab}).
+	for _, r := range append(append([]ProbSupportItemset{}, at09...), at08...) {
+		if itemset.Equal(r.Items, abc) || itemset.Equal(r.Items, abcd) {
+			continue
+		}
+		p, err := world.FreqClosedProb(db, r.Items, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > 0.6 {
+			t.Errorf("competing-model result %v has Pr_FC=%v; expected it to be low", r.Items, p)
+		}
+	}
+}
+
+func sameSets(a, b []ProbSupportItemset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !itemset.Equal(a[i].Items, b[i].Items) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestProbSupportClosedBasic sanity-checks the model on the paper example:
+// results must have psup ≥ minSup and every superset strictly lower psup.
+func TestProbSupportClosedBasic(t *testing.T) {
+	db := uncertain.PaperExample()
+	res := MineProbSupportClosed(db, 2, 0.8)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	items := db.Items()
+	for _, r := range res {
+		if r.PSup < 2 {
+			t.Errorf("%v psup %d below minSup", r.Items, r.PSup)
+		}
+		if got := ProbabilisticSupport(db, r.Items, 0.8); got != r.PSup {
+			t.Errorf("%v psup mismatch: %d vs %d", r.Items, r.PSup, got)
+		}
+		for _, e := range items {
+			if r.Items.Contains(e) {
+				continue
+			}
+			if sup := ProbabilisticSupport(db, r.Items.Add(e), 0.8); sup >= r.PSup {
+				t.Errorf("%v not closed under the model: %v has psup %d ≥ %d", r.Items, r.Items.Add(e), sup, r.PSup)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package pfim
+
+import (
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// This file implements UF-growth [15]: expected-support frequent itemset
+// mining with an FP-growth-style prefix tree whose node counts are sums of
+// tuple probabilities rather than integers. Under the paper's
+// tuple-uncertainty model the expected support of X is Σ_{T ⊇ X} p_T, so
+// the tree stores one weight per path and the usual conditional-pattern-
+// base recursion applies unchanged. The result set is identical to
+// ExpectedSupportMine; UF-growth exists here as the cited related-work
+// algorithm and as an independent implementation the tests cross-check.
+
+// ufNode is one node of the weighted prefix tree.
+type ufNode struct {
+	item     itemset.Item
+	weight   float64
+	parent   *ufNode
+	children map[itemset.Item]*ufNode
+	next     *ufNode
+}
+
+type ufTree struct {
+	root    *ufNode
+	heads   map[itemset.Item]*ufNode
+	weights map[itemset.Item]float64
+	order   []itemset.Item
+}
+
+type ufTrans struct {
+	items  []itemset.Item
+	weight float64
+}
+
+func buildUFTree(trans []ufTrans, minExpSup float64) *ufTree {
+	weights := map[itemset.Item]float64{}
+	for _, tr := range trans {
+		for _, it := range tr.items {
+			weights[it] += tr.weight
+		}
+	}
+	var keep []itemset.Item
+	for it, w := range weights {
+		if w >= minExpSup {
+			keep = append(keep, it)
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool {
+		if weights[keep[i]] != weights[keep[j]] {
+			return weights[keep[i]] > weights[keep[j]]
+		}
+		return keep[i] < keep[j]
+	})
+	rank := map[itemset.Item]int{}
+	for i, it := range keep {
+		rank[it] = i
+	}
+	t := &ufTree{
+		root:    &ufNode{children: map[itemset.Item]*ufNode{}},
+		heads:   map[itemset.Item]*ufNode{},
+		weights: map[itemset.Item]float64{},
+		order:   keep,
+	}
+	buf := make([]itemset.Item, 0, 32)
+	for _, tr := range trans {
+		buf = buf[:0]
+		for _, it := range tr.items {
+			if _, ok := rank[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sort.Slice(buf, func(i, j int) bool { return rank[buf[i]] < rank[buf[j]] })
+		node := t.root
+		for _, it := range buf {
+			child, ok := node.children[it]
+			if !ok {
+				child = &ufNode{item: it, parent: node, children: map[itemset.Item]*ufNode{}}
+				child.next = t.heads[it]
+				t.heads[it] = child
+				node.children[it] = child
+			}
+			child.weight += tr.weight
+			t.weights[it] += tr.weight
+			node = child
+		}
+	}
+	return t
+}
+
+// UFGrowth mines all itemsets whose expected support reaches minExpSup.
+func UFGrowth(db *uncertain.DB, minExpSup float64) []Itemset {
+	trans := make([]ufTrans, db.N())
+	for i := 0; i < db.N(); i++ {
+		tr := db.Transaction(i)
+		trans[i] = ufTrans{items: tr.Items, weight: tr.Prob}
+	}
+	var out []Itemset
+	ufMine(buildUFTree(trans, minExpSup), nil, minExpSup, &out)
+	// Counts are not tracked by the tree; fill them from the database for
+	// output parity with the other miners.
+	for i := range out {
+		out[i].Count = db.Count(out[i].Items)
+	}
+	sort.Slice(out, func(i, j int) bool { return itemset.Compare(out[i].Items, out[j].Items) < 0 })
+	return out
+}
+
+func ufMine(tree *ufTree, suffix itemset.Itemset, minExpSup float64, out *[]Itemset) {
+	for i := len(tree.order) - 1; i >= 0; i-- {
+		it := tree.order[i]
+		w := tree.weights[it]
+		if w < minExpSup {
+			continue
+		}
+		pattern := suffix.Add(it)
+		*out = append(*out, Itemset{Items: pattern, ExpectedSupport: w})
+		var base []ufTrans
+		for node := tree.heads[it]; node != nil; node = node.next {
+			var path []itemset.Item
+			for p := node.parent; p != nil && p.parent != nil; p = p.parent {
+				path = append(path, p.item)
+			}
+			if len(path) > 0 {
+				base = append(base, ufTrans{items: path, weight: node.weight})
+			}
+		}
+		if len(base) > 0 {
+			cond := buildUFTree(base, minExpSup)
+			if len(cond.order) > 0 {
+				ufMine(cond, pattern, minExpSup, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package pfim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// TestUFGrowthEqualsExpectedSupportMine: the prefix-tree miner and the
+// tidset miner implement the same model and must agree exactly.
+func TestUFGrowthEqualsExpectedSupportMine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 12, 6)
+		minExp := rng.Float64()*3 + 0.5
+		a := UFGrowth(db, minExp)
+		b := ExpectedSupportMine(db, minExp)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !itemset.Equal(a[i].Items, b[i].Items) {
+				return false
+			}
+			if math.Abs(a[i].ExpectedSupport-b[i].ExpectedSupport) > 1e-9 {
+				return false
+			}
+			if a[i].Count != b[i].Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUFGrowthPaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	res := UFGrowth(db, 2.0)
+	// Expected supports: subsets of {a,b,c} have 3.1; anything with d has
+	// 1.8 — so exactly the 7 non-empty subsets of abc qualify.
+	if len(res) != 7 {
+		t.Fatalf("UF-growth found %d itemsets, want 7: %v", len(res), res)
+	}
+	for _, p := range res {
+		if math.Abs(p.ExpectedSupport-3.1) > 1e-9 {
+			t.Errorf("%v expected support %v, want 3.1", p.Items, p.ExpectedSupport)
+		}
+	}
+}
+
+func TestUFGrowthEmptyResult(t *testing.T) {
+	db := uncertain.PaperExample()
+	if res := UFGrowth(db, 100); len(res) != 0 {
+		t.Errorf("unreachable threshold should yield nothing, got %v", res)
+	}
+}
+
+func TestUFGrowthCertainDataMatchesExactCounts(t *testing.T) {
+	// With all probabilities 1, expected support equals exact support, so
+	// UF-growth must reproduce exact frequent itemset counts.
+	trans := []uncertain.Transaction{
+		{Items: itemset.FromInts(0, 1, 2), Prob: 1},
+		{Items: itemset.FromInts(0, 1), Prob: 1},
+		{Items: itemset.FromInts(1, 2), Prob: 1},
+	}
+	db := uncertain.MustNewDB(trans)
+	res := UFGrowth(db, 2)
+	want := map[string]float64{"1": 3, "0": 2, "2": 2, "0 1": 2, "1 2": 2}
+	if len(res) != len(want) {
+		t.Fatalf("got %d itemsets %v, want %d", len(res), res, len(want))
+	}
+	for _, p := range res {
+		if w, ok := want[p.Items.Key()]; !ok || math.Abs(p.ExpectedSupport-w) > 1e-12 {
+			t.Errorf("unexpected result %v (%v)", p.Items, p.ExpectedSupport)
+		}
+	}
+}
+
+func TestUHMineEqualsExpectedSupportMine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 12, 6)
+		minExp := rng.Float64()*3 + 0.5
+		a := UHMine(db, minExp)
+		b := ExpectedSupportMine(db, minExp)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !itemset.Equal(a[i].Items, b[i].Items) {
+				return false
+			}
+			if math.Abs(a[i].ExpectedSupport-b[i].ExpectedSupport) > 1e-9 {
+				return false
+			}
+			if a[i].Count != b[i].Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUHMinePaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	res := UHMine(db, 2.0)
+	if len(res) != 7 {
+		t.Fatalf("UH-mine found %d itemsets, want 7", len(res))
+	}
+}

@@ -1,0 +1,85 @@
+package pfim
+
+import (
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// UHMine implements the UH-mine algorithm of Aggarwal et al. [12]: H-mine's
+// hyper-structure mining adapted to uncertain data, thresholding on
+// expected support. Under the tuple-uncertainty model a transaction's
+// weight is its existence probability, so each hyper-link carries the
+// tuple weight and expected supports accumulate along the links. The
+// result set is identical to ExpectedSupportMine and UFGrowth; all three
+// are cross-checked in the tests.
+func UHMine(db *uncertain.DB, minExpSup float64) []Itemset {
+	// Globally "frequent" items by expected support.
+	expCount := map[itemset.Item]float64{}
+	for i := 0; i < db.N(); i++ {
+		t := db.Transaction(i)
+		for _, it := range t.Items {
+			expCount[it] += t.Prob
+		}
+	}
+	type row struct {
+		items  []itemset.Item
+		weight float64
+	}
+	trans := make([]row, 0, db.N())
+	for i := 0; i < db.N(); i++ {
+		t := db.Transaction(i)
+		items := make([]itemset.Item, 0, len(t.Items))
+		for _, it := range t.Items {
+			if expCount[it] >= minExpSup {
+				items = append(items, it)
+			}
+		}
+		if len(items) > 0 {
+			trans = append(trans, row{items: items, weight: t.Prob})
+		}
+	}
+
+	type link struct {
+		tid, pos int
+	}
+	var out []Itemset
+	var mine func(prefix itemset.Itemset, links []link)
+	mine = func(prefix itemset.Itemset, links []link) {
+		headers := map[itemset.Item][]link{}
+		weights := map[itemset.Item]float64{}
+		for _, l := range links {
+			r := trans[l.tid]
+			for p := l.pos + 1; p < len(r.items); p++ {
+				it := r.items[p]
+				headers[it] = append(headers[it], link{tid: l.tid, pos: p})
+				weights[it] += r.weight
+			}
+		}
+		items := make([]itemset.Item, 0, len(headers))
+		for it, w := range weights {
+			if w >= minExpSup {
+				items = append(items, it)
+			}
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		for _, it := range items {
+			pat := prefix.Extend(it)
+			out = append(out, Itemset{
+				Items:           pat,
+				ExpectedSupport: weights[it],
+				Count:           len(headers[it]),
+			})
+			mine(pat, headers[it])
+		}
+	}
+
+	roots := make([]link, len(trans))
+	for tid := range trans {
+		roots[tid] = link{tid: tid, pos: -1}
+	}
+	mine(nil, roots)
+	sort.Slice(out, func(i, j int) bool { return itemset.Compare(out[i].Items, out[j].Items) < 0 })
+	return out
+}

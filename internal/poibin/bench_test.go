@@ -1,0 +1,77 @@
+package poibin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchProbs(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	ps := make([]float64, n)
+	for i := range ps {
+		ps[i] = rng.Float64()
+	}
+	return ps
+}
+
+// The exact DP tail is the miner's hottest numeric kernel; the analytic
+// bounds and the normal approximation are its cheap stand-ins. These
+// benchmarks quantify the gap that makes Chernoff-Hoeffding pruning
+// (Lemma 4.1) worthwhile.
+
+func BenchmarkTailExactN1000K300(b *testing.B) {
+	probs := benchProbs(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tail(probs, 300)
+	}
+}
+
+func BenchmarkTailExactN1000K10(b *testing.B) {
+	probs := benchProbs(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tail(probs, 10)
+	}
+}
+
+func BenchmarkTailUpperBoundN1000(b *testing.B) {
+	probs := benchProbs(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TailUpperBound(probs, 600)
+	}
+}
+
+func BenchmarkNormalTailN1000(b *testing.B) {
+	probs := benchProbs(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NormalTail(probs, 600)
+	}
+}
+
+func BenchmarkCondSamplerBuildN500K150(b *testing.B) {
+	probs := benchProbs(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCondSampler(probs, 150); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCondSamplerDrawN500K150(b *testing.B) {
+	probs := benchProbs(500)
+	cs, err := NewCondSampler(probs, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	dst := make([]bool, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Sample(rng, dst)
+	}
+}

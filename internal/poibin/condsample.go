@@ -1,0 +1,94 @@
+package poibin
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CondSampler draws Bernoulli vectors x ∈ {0,1}ⁿ with x_i ~ Bernoulli(p_i)
+// independently, conditioned on Σ x_i ≥ k. ApproxFCP uses it to sample
+// possible worlds that satisfy a clause C_i (whose support part requires
+// sup(X+e_i) ≥ min_sup).
+//
+// Construction costs O(n·k) time and memory for the suffix-tail table
+//
+//	tail[i][r] = Pr[ x_i + … + x_{n-1} ≥ r ]
+//
+// after which each Sample costs O(n). Build the sampler once per clause and
+// reuse it across that clause's samples.
+type CondSampler struct {
+	probs []float64
+	k     int
+	// tail is an (n+1)×(k+1) table in row-major order.
+	tail []float64
+	n    int
+}
+
+// NewCondSampler builds a sampler for the constraint Σ x_i ≥ k. It returns
+// an error if the constraint is unsatisfiable (k > n) or has probability
+// zero.
+func NewCondSampler(probs []float64, k int) (*CondSampler, error) {
+	n := len(probs)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		return nil, fmt.Errorf("poibin: constraint sum ≥ %d unsatisfiable with %d variables", k, n)
+	}
+	cs := &CondSampler{probs: append([]float64(nil), probs...), k: k, n: n}
+	cs.tail = make([]float64, (n+1)*(k+1))
+	// Base row i = n: tail ≥ 0 is certain, ≥ r>0 impossible.
+	cs.tail[n*(k+1)+0] = 1
+	for i := n - 1; i >= 0; i-- {
+		p := probs[i]
+		row := cs.tail[i*(k+1) : (i+1)*(k+1)]
+		next := cs.tail[(i+1)*(k+1) : (i+2)*(k+1)]
+		row[0] = 1
+		for r := 1; r <= k; r++ {
+			succ := next[r-1]
+			row[r] = p*succ + (1-p)*next[r]
+		}
+	}
+	if cs.tail[k] <= 0 {
+		return nil, fmt.Errorf("poibin: constraint sum ≥ %d has probability 0", k)
+	}
+	return cs, nil
+}
+
+// Prob returns Pr[Σ x_i ≥ k] for the unconditioned vector — the
+// normalizing constant of the sampler.
+func (cs *CondSampler) Prob() float64 { return cs.tail[cs.k] }
+
+// Sample fills dst (length n) with one conditioned draw. It panics if dst
+// has the wrong length.
+func (cs *CondSampler) Sample(rng *rand.Rand, dst []bool) {
+	if len(dst) != cs.n {
+		panic(fmt.Sprintf("poibin: Sample dst length %d, want %d", len(dst), cs.n))
+	}
+	r := cs.k
+	for i := 0; i < cs.n; i++ {
+		if r == 0 {
+			// Constraint met; the rest is unconditioned.
+			dst[i] = rng.Float64() < cs.probs[i]
+			continue
+		}
+		row := cs.tail[i*(cs.k+1) : (i+1)*(cs.k+1)]
+		next := cs.tail[(i+1)*(cs.k+1) : (i+2)*(cs.k+1)]
+		// Pr[x_i = 1 | suffix from i ≥ r] = p_i · Pr[suffix from i+1 ≥ r−1] / Pr[suffix from i ≥ r].
+		denom := row[r]
+		if denom <= 0 {
+			// Numerically impossible branch: force the success path, which
+			// is the only way to still satisfy the constraint.
+			dst[i] = true
+			r--
+			continue
+		}
+		pOne := cs.probs[i] * next[r-1] / denom
+		if rng.Float64() < pOne {
+			dst[i] = true
+			r--
+		} else {
+			dst[i] = false
+		}
+	}
+}

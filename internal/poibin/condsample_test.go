@@ -1,0 +1,156 @@
+package poibin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCondSamplerUnsatisfiable(t *testing.T) {
+	if _, err := NewCondSampler([]float64{0.5, 0.5}, 3); err == nil {
+		t.Error("k > n should fail")
+	}
+	if _, err := NewCondSampler([]float64{0, 0}, 1); err == nil {
+		t.Error("zero-probability constraint should fail")
+	}
+}
+
+func TestCondSamplerProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(8) + 1
+		probs := randomProbs(rng, n)
+		k := rng.Intn(n + 1)
+		cs, err := NewCondSampler(probs, k)
+		if err != nil {
+			// Possible only if Tail == 0, which randomProbs makes
+			// vanishingly unlikely; regenerate.
+			continue
+		}
+		if got, want := cs.Prob(), Tail(probs, k); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Prob() = %v, want Tail = %v", got, want)
+		}
+	}
+}
+
+// TestCondSamplerDistribution verifies that the sampler reproduces the true
+// conditional distribution Pr[x | Σx ≥ k] on a small instance, comparing
+// empirical outcome frequencies with exact conditional probabilities.
+func TestCondSamplerDistribution(t *testing.T) {
+	probs := []float64{0.9, 0.3, 0.6, 0.5}
+	const k = 2
+	n := len(probs)
+
+	// Exact conditional distribution over the 2^4 outcomes.
+	tail := Tail(probs, k)
+	exact := map[int]float64{}
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		p := 1.0
+		c := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				p *= probs[i]
+				c++
+			} else {
+				p *= 1 - probs[i]
+			}
+		}
+		if c >= k {
+			exact[mask] = p / tail
+		}
+	}
+
+	cs, err := NewCondSampler(probs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const samples = 200000
+	counts := map[int]int{}
+	draw := make([]bool, n)
+	for s := 0; s < samples; s++ {
+		cs.Sample(rng, draw)
+		mask := 0
+		c := 0
+		for i, on := range draw {
+			if on {
+				mask |= 1 << uint(i)
+				c++
+			}
+		}
+		if c < k {
+			t.Fatalf("sample violates constraint: %v", draw)
+		}
+		counts[mask]++
+	}
+	for mask, want := range exact {
+		got := float64(counts[mask]) / samples
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("outcome %04b: empirical %.4f, exact %.4f", mask, got, want)
+		}
+	}
+	for mask := range counts {
+		if _, ok := exact[mask]; !ok {
+			t.Errorf("sampled impossible outcome %04b", mask)
+		}
+	}
+}
+
+func TestCondSamplerUnconstrained(t *testing.T) {
+	// k = 0 must reduce to independent sampling.
+	probs := []float64{0.2, 0.8}
+	cs, err := NewCondSampler(probs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const samples = 100000
+	ones := make([]int, len(probs))
+	draw := make([]bool, len(probs))
+	for s := 0; s < samples; s++ {
+		cs.Sample(rng, draw)
+		for i, on := range draw {
+			if on {
+				ones[i]++
+			}
+		}
+	}
+	for i, p := range probs {
+		got := float64(ones[i]) / samples
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("var %d: empirical %.3f, want %.3f", i, got, p)
+		}
+	}
+}
+
+func TestCondSamplerWrongLengthPanics(t *testing.T) {
+	cs, err := NewCondSampler([]float64{0.5, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Sample with wrong dst length should panic")
+		}
+	}()
+	cs.Sample(rand.New(rand.NewSource(1)), make([]bool, 3))
+}
+
+func TestCondSamplerTightConstraint(t *testing.T) {
+	// k = n forces the all-ones vector.
+	probs := []float64{0.9, 0.1, 0.5}
+	cs, err := NewCondSampler(probs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	draw := make([]bool, 3)
+	for s := 0; s < 100; s++ {
+		cs.Sample(rng, draw)
+		for i, on := range draw {
+			if !on {
+				t.Fatalf("k=n sample has a zero at %d", i)
+			}
+		}
+	}
+}

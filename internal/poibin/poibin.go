@@ -1,0 +1,203 @@
+// Package poibin implements the Poisson binomial distribution — the
+// distribution of sup(X) when each transaction containing X exists
+// independently with its own probability. It provides the exact dynamic-
+// programming tail used for frequent probabilities (Definition 3.4), the
+// Chernoff/Hoeffding tail upper bounds behind Lemma 4.1, a normal
+// approximation (the accelerated model of related work [23]), and
+// conditional sampling of the underlying Bernoulli vector given
+// "sum ≥ k", which the ApproxFCP Monte-Carlo estimator requires.
+package poibin
+
+import (
+	"math"
+)
+
+// Mean returns E[S] = Σ p_i, the expected support.
+func Mean(probs []float64) float64 {
+	s := 0.0
+	for _, p := range probs {
+		s += p
+	}
+	return s
+}
+
+// Variance returns Var[S] = Σ p_i (1 − p_i).
+func Variance(probs []float64) float64 {
+	s := 0.0
+	for _, p := range probs {
+		s += p * (1 - p)
+	}
+	return s
+}
+
+// Tail returns Pr[S ≥ k] exactly, where S = Σ Bernoulli(p_i), by dynamic
+// programming over counts truncated at k. Time O(n·min(k, n+1)), space
+// O(min(k, n+1)).
+//
+// This is the paper's "dynamic programming approach [22]" for computing the
+// frequent probability Pr{sup(X) ≥ min_sup}.
+func Tail(probs []float64, k int) float64 {
+	n := len(probs)
+	switch {
+	case k <= 0:
+		return 1
+	case k > n:
+		return 0
+	}
+	// dist[c] = Pr[min(count so far, k) = c]; dist[k] absorbs ≥ k.
+	dist := make([]float64, k+1)
+	dist[0] = 1
+	hi := 0 // highest index that can be non-zero
+	for _, p := range probs {
+		if hi < k {
+			hi++
+		}
+		q := 1 - p
+		// Walk downward so each dist[c] still holds the previous round.
+		if hi == k {
+			dist[k] += dist[k-1] * p // absorb into ≥ k
+		}
+		for c := min(hi, k-1); c >= 1; c-- {
+			dist[c] = dist[c]*q + dist[c-1]*p
+		}
+		dist[0] *= q
+	}
+	return dist[k]
+}
+
+// TailAll returns Pr[S ≥ k] for every k in 0..n in one O(n²) pass.
+func TailAll(probs []float64) []float64 {
+	pmf := PMF(probs)
+	n := len(probs)
+	tails := make([]float64, n+2)
+	for k := n; k >= 0; k-- {
+		tails[k] = tails[k+1] + pmf[k]
+	}
+	tails = tails[:n+1]
+	if tails[0] > 1 {
+		tails[0] = 1
+	}
+	return tails
+}
+
+// PMF returns the full probability mass function Pr[S = c] for c in 0..n by
+// the standard O(n²) convolution DP.
+func PMF(probs []float64) []float64 {
+	n := len(probs)
+	pmf := make([]float64, n+1)
+	pmf[0] = 1
+	for i, p := range probs {
+		q := 1 - p
+		for c := i + 1; c >= 1; c-- {
+			pmf[c] = pmf[c]*q + pmf[c-1]*p
+		}
+		pmf[0] *= q
+	}
+	return pmf
+}
+
+// HoeffdingUpper returns the Hoeffding upper bound on Pr[S ≥ k]:
+// exp(−2 t² / n) with t = k − μ, valid whenever k > μ; otherwise 1.
+func HoeffdingUpper(probs []float64, k int) float64 {
+	n := len(probs)
+	if n == 0 {
+		if k <= 0 {
+			return 1
+		}
+		return 0
+	}
+	mu := Mean(probs)
+	t := float64(k) - mu
+	if t <= 0 {
+		return 1
+	}
+	return math.Exp(-2 * t * t / float64(n))
+}
+
+// ChernoffUpper returns the multiplicative Chernoff upper bound on
+// Pr[S ≥ k] = Pr[S ≥ (1+δ)μ]: exp(−δ²μ / (2+δ)), valid for k > μ;
+// otherwise 1. This is the Chernoff-Hoeffding-style bound Lemma 4.1 prunes
+// with.
+func ChernoffUpper(probs []float64, k int) float64 {
+	mu := Mean(probs)
+	if mu <= 0 {
+		if k <= 0 {
+			return 1
+		}
+		return 0
+	}
+	d := (float64(k) - mu) / mu
+	if d <= 0 {
+		return 1
+	}
+	return math.Exp(-d * d * mu / (2 + d))
+}
+
+// TailUpperBound returns the tightest of the implemented analytic upper
+// bounds on Pr[S ≥ k]. It is always ≥ Tail(probs, k), so pruning an itemset
+// whenever TailUpperBound ≤ pfct is sound.
+func TailUpperBound(probs []float64, k int) float64 {
+	if k > len(probs) {
+		return 0
+	}
+	h := HoeffdingUpper(probs, k)
+	c := ChernoffUpper(probs, k)
+	if c < h {
+		return c
+	}
+	return h
+}
+
+// TailLowerBound returns an analytic lower bound on Pr[S ≥ k]: by Hoeffding
+// on the complement, Pr[S ≤ k−1] ≤ exp(−2(μ−k+1)²/n) whenever μ > k−1, so
+// Pr[S ≥ k] ≥ 1 − exp(−2(μ−k+1)²/n); otherwise the trivial bound 0. It is
+// always ≤ Tail(probs, k), so accepting an itemset as probabilistically
+// frequent whenever TailLowerBound > pft is sound — the acceptance
+// counterpart of Lemma 4.1's rejection, in the spirit of the
+// approximation-accelerated exact mining of related work [23].
+func TailLowerBound(probs []float64, k int) float64 {
+	n := len(probs)
+	if k <= 0 {
+		return 1
+	}
+	if k > n || n == 0 {
+		return 0
+	}
+	t := Mean(probs) - float64(k-1)
+	if t <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-2*t*t/float64(n))
+}
+
+// NormalTail approximates Pr[S ≥ k] with the central-limit normal
+// approximation plus continuity correction, as in the Poisson-binomial
+// acceleration of related work [23]. It is not used for exact answers, only
+// as an optional fast filter and for the approximation-model ablation.
+func NormalTail(probs []float64, k int) float64 {
+	n := len(probs)
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	mu := Mean(probs)
+	v := Variance(probs)
+	if v == 0 {
+		// Deterministic sum.
+		if float64(k) <= mu+1e-12 {
+			return 1
+		}
+		return 0
+	}
+	z := (float64(k) - 0.5 - mu) / math.Sqrt(v)
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+// Package rules derives association rules from mined probabilistic
+// frequent (closed) itemsets — the downstream use the paper's introduction
+// motivates ("the gate of HKUST crossroad always has a traffic jam at
+// 2-3 p.m."). Over uncertain data a rule's confidence is itself a random
+// variable across possible worlds; the package offers the standard
+// expected-confidence score for ranking plus the exact and Monte-Carlo
+// confidence probability Pr[conf(X ⇒ Y) ≥ minConf].
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+	"github.com/probdata/pfcim/internal/world"
+)
+
+// Rule is one association rule Antecedent ⇒ Consequent.
+type Rule struct {
+	Antecedent, Consequent itemset.Itemset
+	// ExpSupport is the expected support of Antecedent ∪ Consequent.
+	ExpSupport float64
+	// ExpConfidence is expSup(A ∪ C) / expSup(A) — the expected-support
+	// confidence used for ranking.
+	ExpConfidence float64
+}
+
+// String renders "{a b} => {c} (conf 0.92)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (conf %.3f)", r.Antecedent, r.Consequent, r.ExpConfidence)
+}
+
+// Options bounds rule generation.
+type Options struct {
+	// MinConfidence filters rules by expected confidence. Required, in (0, 1].
+	MinConfidence float64
+	// MaxItems skips source itemsets with more items than this (the
+	// antecedent enumeration is exponential in the itemset size).
+	// Default 12.
+	MaxItems int
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.MinConfidence <= 0 || o.MinConfidence > 1 {
+		return o, fmt.Errorf("rules: MinConfidence must be in (0,1], got %v", o.MinConfidence)
+	}
+	if o.MaxItems == 0 {
+		o.MaxItems = 12
+	}
+	return o, nil
+}
+
+// Generate derives all rules X ⇒ Z\X from each source itemset Z (typically
+// the probabilistic frequent closed itemsets of a mining run) whose
+// expected confidence reaches MinConfidence. Rules are sorted by
+// descending expected confidence, ties broken lexicographically.
+func Generate(db *uncertain.DB, sources []itemset.Itemset, opts Options) ([]Rule, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	// Cache expected supports of all antecedents encountered.
+	expCache := map[string]float64{}
+	expOf := func(x itemset.Itemset) float64 {
+		key := x.Key()
+		if v, ok := expCache[key]; ok {
+			return v
+		}
+		v := db.ExpectedSupport(x)
+		expCache[key] = v
+		return v
+	}
+
+	seen := map[string]bool{}
+	var out []Rule
+	for _, z := range sources {
+		if z.Len() < 2 || z.Len() > opts.MaxItems {
+			continue
+		}
+		expZ := expOf(z)
+		if expZ == 0 {
+			continue
+		}
+		// Every non-empty proper subset of z as antecedent.
+		n := z.Len()
+		for mask := 1; mask < (1<<uint(n))-1; mask++ {
+			var ante itemset.Itemset
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					ante = append(ante, z[i])
+				}
+			}
+			conf := expZ / expOf(ante)
+			if conf < opts.MinConfidence {
+				continue
+			}
+			cons := itemset.Diff(z, ante)
+			key := ante.Key() + "=>" + cons.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Rule{
+				Antecedent:    ante.Clone(),
+				Consequent:    cons,
+				ExpSupport:    expZ,
+				ExpConfidence: conf,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExpConfidence != out[j].ExpConfidence {
+			return out[i].ExpConfidence > out[j].ExpConfidence
+		}
+		if c := itemset.Compare(out[i].Antecedent, out[j].Antecedent); c != 0 {
+			return c < 0
+		}
+		return itemset.Compare(out[i].Consequent, out[j].Consequent) < 0
+	})
+	return out, nil
+}
+
+// ConfidenceProb estimates Pr[conf_w(X ⇒ Y) ≥ minConf] — the probability
+// over possible worlds that the rule's confidence reaches minConf — by
+// sampling n worlds. Worlds where the antecedent is absent contribute 0
+// (a rule with no support is not considered to hold). The estimator is
+// unbiased with standard error √(p(1−p)/n).
+func ConfidenceProb(db *uncertain.DB, x, y itemset.Itemset, minConf float64, n int, seed int64) (float64, error) {
+	if err := checkRule(x, y); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("rules: need n > 0 samples")
+	}
+	union := itemset.Union(x, y)
+	xTids := db.Tidset(x)
+	uTids := db.Tidset(union)
+	probs := db.Probs()
+	rng := rand.New(rand.NewSource(seed))
+
+	hits := 0
+	for s := 0; s < n; s++ {
+		supX, supU := 0, 0
+		xTids.ForEach(func(tid int) bool {
+			if rng.Float64() < probs[tid] {
+				supX++
+				if uTids.Test(tid) {
+					supU++
+				}
+			}
+			return true
+		})
+		if supX > 0 && float64(supU) >= minConf*float64(supX) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n), nil
+}
+
+// ExactConfidenceProb computes Pr[conf_w(X ⇒ Y) ≥ minConf] exactly by
+// possible-world enumeration; db must fit world.MaxTransactions.
+func ExactConfidenceProb(db *uncertain.DB, x, y itemset.Itemset, minConf float64) (float64, error) {
+	if err := checkRule(x, y); err != nil {
+		return 0, err
+	}
+	union := itemset.Union(x, y)
+	total := 0.0
+	err := world.Enumerate(db, func(w world.World) {
+		supX := world.SupportIn(db, w, x)
+		if supX == 0 {
+			return
+		}
+		supU := world.SupportIn(db, w, union)
+		if float64(supU) >= minConf*float64(supX) {
+			total += w.Prob
+		}
+	})
+	return total, err
+}
+
+func checkRule(x, y itemset.Itemset) error {
+	if x.Len() == 0 || y.Len() == 0 {
+		return fmt.Errorf("rules: antecedent and consequent must be non-empty")
+	}
+	if itemset.Intersect(x, y).Len() != 0 {
+		return fmt.Errorf("rules: antecedent %v and consequent %v overlap", x, y)
+	}
+	return nil
+}

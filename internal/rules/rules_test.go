@@ -1,0 +1,191 @@
+package rules
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+func TestGeneratePaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	sources := []itemset.Itemset{
+		itemset.FromInts(0, 1, 2),    // {a b c}, expSup 3.1
+		itemset.FromInts(0, 1, 2, 3), // {a b c d}, expSup 1.8
+	}
+	rules, err := Generate(db, sources, Options{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules generated")
+	}
+	// Every rule from {a b c}: both sides within abc, expSup(any subset)=3.1
+	// so conf = 1 for those; rules from abcd mixing in d have conf 1.8/3.1.
+	for _, r := range rules {
+		u := itemset.Union(r.Antecedent, r.Consequent)
+		wantConf := db.ExpectedSupport(u) / db.ExpectedSupport(r.Antecedent)
+		if math.Abs(r.ExpConfidence-wantConf) > 1e-12 {
+			t.Errorf("%v: conf %v, want %v", r, r.ExpConfidence, wantConf)
+		}
+		if r.ExpConfidence < 0.5 {
+			t.Errorf("%v below MinConfidence", r)
+		}
+		if itemset.Intersect(r.Antecedent, r.Consequent).Len() != 0 {
+			t.Errorf("%v: sides overlap", r)
+		}
+	}
+	// Sorted by descending confidence.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].ExpConfidence > rules[i-1].ExpConfidence+1e-12 {
+			t.Fatal("rules not sorted by confidence")
+		}
+	}
+	// The fully-confident rules within {a b c} (conf exactly 1) exist.
+	found := false
+	for _, r := range rules {
+		if itemset.Equal(r.Antecedent, itemset.FromInts(0)) &&
+			itemset.Equal(r.Consequent, itemset.FromInts(1, 2)) {
+			found = true
+			if math.Abs(r.ExpConfidence-1) > 1e-12 {
+				t.Errorf("a => bc should have confidence 1, got %v", r.ExpConfidence)
+			}
+		}
+	}
+	if !found {
+		t.Error("rule {a} => {b c} missing")
+	}
+}
+
+func TestGenerateThresholdAndDedup(t *testing.T) {
+	db := uncertain.PaperExample()
+	sources := []itemset.Itemset{
+		itemset.FromInts(0, 1, 2, 3),
+		itemset.FromInts(0, 1, 2, 3), // duplicate source must not duplicate rules
+	}
+	loose, err := Generate(db, sources, Options{MinConfidence: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Generate(db, sources, Options{MinConfidence: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight) >= len(loose) {
+		t.Errorf("tighter confidence should give fewer rules: %d vs %d", len(tight), len(loose))
+	}
+	seen := map[string]bool{}
+	for _, r := range loose {
+		key := r.Antecedent.Key() + ">" + r.Consequent.Key()
+		if seen[key] {
+			t.Fatalf("duplicate rule %v", r)
+		}
+		seen[key] = true
+	}
+	// A 4-itemset yields 2^4 − 2 = 14 antecedent choices.
+	if len(loose) != 14 {
+		t.Errorf("got %d rules from abcd, want 14", len(loose))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	db := uncertain.PaperExample()
+	if _, err := Generate(db, nil, Options{MinConfidence: 0}); err == nil {
+		t.Error("zero MinConfidence should fail")
+	}
+	if _, err := Generate(db, nil, Options{MinConfidence: 1.5}); err == nil {
+		t.Error("MinConfidence > 1 should fail")
+	}
+	// Oversized sources are skipped, not errors.
+	big := make(itemset.Itemset, 20)
+	for i := range big {
+		big[i] = itemset.Item(i)
+	}
+	rules, err := Generate(db, []itemset.Itemset{big}, Options{MinConfidence: 0.5, MaxItems: 12})
+	if err != nil || len(rules) != 0 {
+		t.Errorf("oversized source should be skipped: %v, %v", rules, err)
+	}
+}
+
+func TestConfidenceProbAgainstExact(t *testing.T) {
+	db := uncertain.PaperExample()
+	x := itemset.FromInts(0, 1, 2)
+	y := itemset.FromInts(3)
+	for _, minConf := range []float64{0.3, 0.5, 0.9} {
+		exact, err := ExactConfidenceProb(db, x, y, minConf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := ConfidenceProb(db, x, y, minConf, 200000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-exact) > 0.01 {
+			t.Errorf("minConf=%v: sampled %v, exact %v", minConf, est, exact)
+		}
+	}
+}
+
+func TestConfidenceProbRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		db := randomDB(rng, 7, 4)
+		items := db.Items()
+		if len(items) < 2 {
+			continue
+		}
+		x := itemset.Itemset{items[0]}
+		y := itemset.Itemset{items[1]}
+		exact, err := ExactConfidenceProb(db, x, y, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := ConfidenceProb(db, x, y, 0.5, 60000, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-exact) > 0.02 {
+			t.Errorf("trial %d: sampled %v, exact %v", trial, est, exact)
+		}
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	db := uncertain.PaperExample()
+	a, b := itemset.FromInts(0), itemset.FromInts(0, 1)
+	if _, err := ConfidenceProb(db, a, b, 0.5, 100, 1); err == nil {
+		t.Error("overlapping rule sides should fail")
+	}
+	if _, err := ConfidenceProb(db, nil, b, 0.5, 100, 1); err == nil {
+		t.Error("empty antecedent should fail")
+	}
+	if _, err := ConfidenceProb(db, a, itemset.FromInts(2), 0.5, 0, 1); err == nil {
+		t.Error("zero samples should fail")
+	}
+	if _, err := ExactConfidenceProb(db, a, b, 0.5); err == nil {
+		t.Error("overlapping rule sides should fail exactly too")
+	}
+}
+
+func randomDB(rng *rand.Rand, maxN, maxItems int) *uncertain.DB {
+	n := rng.Intn(maxN) + 1
+	trans := make([]uncertain.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		var items []itemset.Item
+		for j := 0; j < maxItems; j++ {
+			if rng.Float64() < 0.6 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		if len(items) == 0 {
+			items = []itemset.Item{itemset.Item(rng.Intn(maxItems))}
+		}
+		trans = append(trans, uncertain.Transaction{
+			Items: itemset.New(items...),
+			Prob:  rng.Float64()*0.98 + 0.01,
+		})
+	}
+	return uncertain.MustNewDB(trans)
+}

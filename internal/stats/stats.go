@@ -1,0 +1,89 @@
+// Package stats holds the small statistical helpers the experiment harness
+// needs: precision/recall of result sets and summary statistics.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+// PrecisionRecall compares a found result set FR against the true set TI by
+// itemset identity: precision = |FR ∩ TI| / |FR|, recall = |FR ∩ TI| / |TI|
+// (Fig. 11's metrics). Empty denominators yield 1, matching the convention
+// that an empty answer to an empty truth is perfect.
+func PrecisionRecall(found, truth []itemset.Itemset) (precision, recall float64) {
+	truthSet := make(map[string]bool, len(truth))
+	for _, t := range truth {
+		truthSet[t.Key()] = true
+	}
+	hit := 0
+	for _, f := range found {
+		if truthSet[f.Key()] {
+			hit++
+		}
+	}
+	if len(found) == 0 {
+		precision = 1
+	} else {
+		precision = float64(hit) / float64(len(found))
+	}
+	if len(truth) == 0 {
+		recall = 1
+	} else {
+		recall = float64(hit) / float64(len(truth))
+	}
+	return precision, recall
+}
+
+// F1 combines precision and recall.
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+}
+
+// Summarize computes a Summary; an empty sample yields the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+func sets(keys ...string) []itemset.Itemset {
+	out := make([]itemset.Itemset, len(keys))
+	for i, k := range keys {
+		s, err := itemset.ParseKey(k)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	cases := []struct {
+		name         string
+		found, truth []itemset.Itemset
+		p, r         float64
+	}{
+		{"perfect", sets("1", "2 3"), sets("1", "2 3"), 1, 1},
+		{"half precision", sets("1", "4"), sets("1", "2"), 0.5, 0.5},
+		{"superset found", sets("1", "2", "3"), sets("1"), 1.0 / 3, 1},
+		{"subset found", sets("1"), sets("1", "2"), 1, 0.5},
+		{"disjoint", sets("9"), sets("1"), 0, 0},
+		{"both empty", nil, nil, 1, 1},
+		{"found empty", nil, sets("1"), 1, 0},
+		{"truth empty", sets("1"), nil, 0, 1},
+	}
+	for _, tc := range cases {
+		p, r := PrecisionRecall(tc.found, tc.truth)
+		if math.Abs(p-tc.p) > 1e-12 || math.Abs(r-tc.r) > 1e-12 {
+			t.Errorf("%s: got p=%v r=%v, want p=%v r=%v", tc.name, p, r, tc.p, tc.r)
+		}
+	}
+}
+
+func TestF1(t *testing.T) {
+	if got := F1(1, 1); got != 1 {
+		t.Errorf("F1(1,1) = %v", got)
+	}
+	if got := F1(0, 0); got != 0 {
+		t.Errorf("F1(0,0) = %v", got)
+	}
+	if got := F1(0.5, 1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1(.5,1) = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-2) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-1) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	// Even count → median is the midpoint.
+	s = Summarize([]float64{1, 2, 3, 4})
+	if s.Median != 2.5 {
+		t.Errorf("even-count median = %v", s.Median)
+	}
+	// Empty and singleton.
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if s := Summarize([]float64{7}); s.Std != 0 || s.Median != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}

@@ -1,0 +1,198 @@
+// Package stream maintains probabilistic frequent items over a sliding
+// window of an uncertain transaction stream — the setting of the related
+// work the paper cites as [30] (likely frequent items in probabilistic
+// data streams). Each arriving transaction carries an existence
+// probability; the window keeps the most recent Size transactions, and
+// queries ask which items are probabilistically frequent inside it.
+//
+// Expected supports are maintained incrementally in O(items-per-
+// transaction) per arrival; exact frequent probabilities are computed on
+// demand with the same Poisson-binomial dynamic programming as the batch
+// miners, after a Chernoff-Hoeffding prefilter.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// Window is a fixed-size sliding window over an uncertain transaction
+// stream. The zero value is not usable; construct with NewWindow.
+type Window struct {
+	size int
+	ring []uncertain.Transaction
+	head int // position of the next write
+	n    int // number of live transactions (≤ size)
+
+	// Incremental per-item aggregates over the live window.
+	expSup map[itemset.Item]float64
+	count  map[itemset.Item]int
+
+	pushes int
+}
+
+// NewWindow creates a sliding window holding the most recent size
+// transactions.
+func NewWindow(size int) (*Window, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("stream: window size must be ≥ 1, got %d", size)
+	}
+	return &Window{
+		size:   size,
+		ring:   make([]uncertain.Transaction, size),
+		expSup: map[itemset.Item]float64{},
+		count:  map[itemset.Item]int{},
+	}, nil
+}
+
+// Push appends a transaction, evicting the oldest one once the window is
+// full. It returns the evicted transaction and whether an eviction
+// happened.
+func (w *Window) Push(t uncertain.Transaction) (evicted uncertain.Transaction, didEvict bool, err error) {
+	if t.Prob <= 0 || t.Prob > 1 {
+		return evicted, false, fmt.Errorf("stream: probability %v outside (0,1]", t.Prob)
+	}
+	if len(t.Items) == 0 {
+		return evicted, false, fmt.Errorf("stream: empty transaction")
+	}
+	if w.n == w.size {
+		evicted = w.ring[w.head]
+		didEvict = true
+		for _, it := range evicted.Items {
+			w.expSup[it] -= evicted.Prob
+			w.count[it]--
+			if w.count[it] == 0 {
+				delete(w.count, it)
+				delete(w.expSup, it)
+			}
+		}
+		w.n--
+	}
+	stored := uncertain.Transaction{Items: t.Items.Clone(), Prob: t.Prob}
+	w.ring[w.head] = stored
+	w.head = (w.head + 1) % w.size
+	w.n++
+	w.pushes++
+	for _, it := range stored.Items {
+		w.expSup[it] += stored.Prob
+		w.count[it]++
+	}
+	return evicted, didEvict, nil
+}
+
+// Len returns the number of live transactions.
+func (w *Window) Len() int { return w.n }
+
+// Pushes returns the total number of transactions ever pushed.
+func (w *Window) Pushes() int { return w.pushes }
+
+// ExpectedSupport returns the expected support of item x in the window,
+// maintained incrementally.
+func (w *Window) ExpectedSupport(x itemset.Item) float64 { return w.expSup[x] }
+
+// Count returns the number of window transactions possibly containing x.
+func (w *Window) Count(x itemset.Item) int { return w.count[x] }
+
+// itemProbs collects the existence probabilities of the live transactions
+// containing x, in arrival order.
+func (w *Window) itemProbs(x itemset.Item) []float64 {
+	out := make([]float64, 0, w.count[x])
+	w.forEachLive(func(t uncertain.Transaction) {
+		if t.Items.Contains(x) {
+			out = append(out, t.Prob)
+		}
+	})
+	return out
+}
+
+func (w *Window) forEachLive(fn func(uncertain.Transaction)) {
+	start := w.head - w.n
+	if start < 0 {
+		start += w.size
+	}
+	for i := 0; i < w.n; i++ {
+		fn(w.ring[(start+i)%w.size])
+	}
+}
+
+// FreqProb returns the exact frequent probability Pr[sup(x) ≥ minSup] of
+// item x over the current window.
+func (w *Window) FreqProb(x itemset.Item, minSup int) float64 {
+	return poibin.Tail(w.itemProbs(x), minSup)
+}
+
+// ItemResult is one probabilistically frequent item of the window.
+type ItemResult struct {
+	Item            itemset.Item
+	FreqProb        float64
+	ExpectedSupport float64
+	Count           int
+}
+
+// FrequentItems returns every item with Pr[sup ≥ minSup] > pft in the
+// current window, sorted by descending frequent probability (ties by item
+// id). A Chernoff-Hoeffding prefilter avoids the exact dynamic program for
+// clearly infrequent items.
+func (w *Window) FrequentItems(minSup int, pft float64) []ItemResult {
+	var out []ItemResult
+	for it, c := range w.count {
+		if c < minSup {
+			continue
+		}
+		probs := w.itemProbs(it)
+		if poibin.TailUpperBound(probs, minSup) <= pft {
+			continue
+		}
+		prF := poibin.Tail(probs, minSup)
+		if prF > pft {
+			out = append(out, ItemResult{
+				Item:            it,
+				FreqProb:        prF,
+				ExpectedSupport: w.expSup[it],
+				Count:           c,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FreqProb != out[j].FreqProb {
+			return out[i].FreqProb > out[j].FreqProb
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// TopK returns the k items with the highest expected support.
+func (w *Window) TopK(k int) []ItemResult {
+	out := make([]ItemResult, 0, len(w.expSup))
+	for it, e := range w.expSup {
+		out = append(out, ItemResult{Item: it, ExpectedSupport: e, Count: w.count[it]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExpectedSupport != out[j].ExpectedSupport {
+			return out[i].ExpectedSupport > out[j].ExpectedSupport
+		}
+		return out[i].Item < out[j].Item
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Snapshot materializes the live window as an uncertain database, so that
+// the batch miners (including MPFCI) can run over it.
+func (w *Window) Snapshot() (*uncertain.DB, error) {
+	if w.n == 0 {
+		return nil, fmt.Errorf("stream: empty window")
+	}
+	trans := make([]uncertain.Transaction, 0, w.n)
+	w.forEachLive(func(t uncertain.Transaction) {
+		trans = append(trans, t)
+	})
+	return uncertain.NewDB(trans)
+}

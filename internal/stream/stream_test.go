@@ -1,0 +1,197 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+func tr(prob float64, items ...int) uncertain.Transaction {
+	return uncertain.Transaction{Items: itemset.FromInts(items...), Prob: prob}
+}
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Error("size 0 should fail")
+	}
+	w, err := NewWindow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Push(tr(0, 1)); err == nil {
+		t.Error("zero probability should fail")
+	}
+	if _, _, err := w.Push(uncertain.Transaction{Prob: 0.5}); err == nil {
+		t.Error("empty transaction should fail")
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w, _ := NewWindow(2)
+	if _, evicted, _ := w.Push(tr(0.5, 1)); evicted {
+		t.Error("no eviction expected on first push")
+	}
+	w.Push(tr(0.6, 2))
+	ev, evicted, err := w.Push(tr(0.7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !evicted || ev.Prob != 0.5 {
+		t.Errorf("expected the first transaction evicted, got %v/%v", ev, evicted)
+	}
+	if w.Len() != 2 || w.Pushes() != 3 {
+		t.Errorf("Len=%d Pushes=%d", w.Len(), w.Pushes())
+	}
+	// Item 1 must have left the aggregates entirely.
+	if w.Count(1) != 0 || w.ExpectedSupport(1) != 0 {
+		t.Errorf("evicted item still tracked: count=%d exp=%v", w.Count(1), w.ExpectedSupport(1))
+	}
+}
+
+// TestWindowAgainstBatch: after any stream of pushes, every window query
+// must agree with recomputing from the window's snapshot.
+func TestWindowAgainstBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(8) + 1
+		w, err := NewWindow(size)
+		if err != nil {
+			return false
+		}
+		pushes := rng.Intn(25) + 1
+		for p := 0; p < pushes; p++ {
+			var items []itemset.Item
+			for j := 0; j < 5; j++ {
+				if rng.Float64() < 0.5 {
+					items = append(items, itemset.Item(j))
+				}
+			}
+			if len(items) == 0 {
+				items = []itemset.Item{itemset.Item(rng.Intn(5))}
+			}
+			if _, _, err := w.Push(uncertain.Transaction{
+				Items: itemset.New(items...),
+				Prob:  rng.Float64()*0.98 + 0.01,
+			}); err != nil {
+				return false
+			}
+		}
+		db, err := w.Snapshot()
+		if err != nil {
+			return false
+		}
+		if db.N() != w.Len() {
+			return false
+		}
+		minSup := rng.Intn(size) + 1
+		for j := 0; j < 5; j++ {
+			it := itemset.Item(j)
+			x := itemset.Itemset{it}
+			if math.Abs(w.ExpectedSupport(it)-db.ExpectedSupport(x)) > 1e-9 {
+				return false
+			}
+			if w.Count(it) != db.Count(x) {
+				return false
+			}
+			var probs []float64
+			for i := 0; i < db.N(); i++ {
+				if db.Transaction(i).Items.Contains(it) {
+					probs = append(probs, db.Prob(i))
+				}
+			}
+			if math.Abs(w.FreqProb(it, minSup)-poibin.Tail(probs, minSup)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrequentItems(t *testing.T) {
+	w, _ := NewWindow(4)
+	w.Push(tr(0.9, 1, 2))
+	w.Push(tr(0.9, 1))
+	w.Push(tr(0.9, 1, 2))
+	w.Push(tr(0.2, 3))
+	res := w.FrequentItems(2, 0.5)
+	if len(res) != 2 {
+		t.Fatalf("FrequentItems = %v, want items 1 and 2", res)
+	}
+	if res[0].Item != 1 {
+		t.Errorf("item 1 should rank first: %v", res)
+	}
+	// Item 1: probs {.9,.9,.9}, Pr[≥2] = 3·.81·.1 + .729 = 0.972.
+	if math.Abs(res[0].FreqProb-0.972) > 1e-9 {
+		t.Errorf("Pr_F(item 1) = %v, want 0.972", res[0].FreqProb)
+	}
+	// Item 3 has count 1 < minSup.
+	for _, r := range res {
+		if r.Item == 3 {
+			t.Error("item 3 should not be frequent")
+		}
+	}
+	// Tighter threshold excludes item 2 (probs {.9,.9}, Pr[≥2]=0.81).
+	res = w.FrequentItems(2, 0.9)
+	if len(res) != 1 || res[0].Item != 1 {
+		t.Errorf("at pft=0.9 only item 1 qualifies: %v", res)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	w, _ := NewWindow(3)
+	w.Push(tr(0.9, 1, 2))
+	w.Push(tr(0.8, 1))
+	w.Push(tr(0.3, 2, 3))
+	top := w.TopK(2)
+	if len(top) != 2 || top[0].Item != 1 || top[1].Item != 2 {
+		t.Errorf("TopK = %v", top)
+	}
+	if got := w.TopK(99); len(got) != 3 {
+		t.Errorf("TopK(99) should return all items, got %v", got)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	w, _ := NewWindow(3)
+	if _, err := w.Snapshot(); err == nil {
+		t.Error("empty window snapshot should fail")
+	}
+}
+
+// TestSlidingSemantics: the window must behave like "the last W
+// transactions" at every step of a long stream.
+func TestSlidingSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const size = 5
+	w, _ := NewWindow(size)
+	var history []uncertain.Transaction
+	for step := 0; step < 40; step++ {
+		next := tr(rng.Float64()*0.9+0.05, rng.Intn(4), 4+rng.Intn(2))
+		history = append(history, next)
+		w.Push(next)
+		lo := len(history) - size
+		if lo < 0 {
+			lo = 0
+		}
+		live := history[lo:]
+		for j := itemset.Item(0); j < 6; j++ {
+			exp := 0.0
+			for _, h := range live {
+				if h.Items.Contains(j) {
+					exp += h.Prob
+				}
+			}
+			if math.Abs(w.ExpectedSupport(j)-exp) > 1e-9 {
+				t.Fatalf("step %d item %d: window exp %v, reference %v", step, j, w.ExpectedSupport(j), exp)
+			}
+		}
+	}
+}

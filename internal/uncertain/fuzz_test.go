@@ -1,0 +1,42 @@
+package uncertain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the text-format parser never panics and that
+// everything it accepts round-trips losslessly.
+func FuzzRead(f *testing.F) {
+	f.Add("1 2 3 : 0.5\n7\n")
+	f.Add("# comment\n\n4 4 4 : 1\n")
+	f.Add(": 0.5")
+	f.Add("1 : 2")
+	f.Add("-1")
+	f.Add("1 2 : 0.5 : 0.7")
+	f.Add("999999999999999999999999")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, db); err != nil {
+			t.Fatalf("Write of parsed db failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written db failed: %v\noriginal: %q\nwritten: %q", err, input, buf.String())
+		}
+		if back.N() != db.N() {
+			t.Fatalf("roundtrip changed size: %d vs %d", back.N(), db.N())
+		}
+		for i := 0; i < db.N(); i++ {
+			a, b := db.Transaction(i), back.Transaction(i)
+			if a.Prob != b.Prob || len(a.Items) != len(b.Items) {
+				t.Fatalf("roundtrip changed tuple %d: %v/%v vs %v/%v", i, a.Items, a.Prob, b.Items, b.Prob)
+			}
+		}
+	})
+}

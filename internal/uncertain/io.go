@@ -1,0 +1,95 @@
+package uncertain
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+// The text interchange format is one transaction per line:
+//
+//	item item item ... : probability
+//
+// Items are non-negative integers. Blank lines and lines starting with '#'
+// are ignored. The probability part may be omitted, in which case the tuple
+// is certain (p = 1), so ordinary market-basket files load unchanged.
+
+// Write serializes db in the text format.
+func Write(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < db.N(); i++ {
+		t := db.Transaction(i)
+		for j, it := range t.Items {
+			if j > 0 {
+				if _, err := bw.WriteString(" "); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(it))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, " : %g\n", t.Prob); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format into a database.
+func Read(r io.Reader) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var trans []Transaction
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: line %d: %w", lineNo, err)
+		}
+		trans = append(trans, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewDB(trans)
+}
+
+func parseLine(line string) (Transaction, error) {
+	prob := 1.0
+	itemsPart := line
+	if i := strings.LastIndex(line, ":"); i >= 0 {
+		p, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+		if err != nil {
+			return Transaction{}, fmt.Errorf("bad probability %q: %w", line[i+1:], err)
+		}
+		prob = p
+		itemsPart = line[:i]
+	}
+	fields := strings.Fields(itemsPart)
+	if len(fields) == 0 {
+		return Transaction{}, fmt.Errorf("no items")
+	}
+	items := make([]itemset.Item, len(fields))
+	for j, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return Transaction{}, fmt.Errorf("bad item %q: %w", f, err)
+		}
+		if v < 0 || v > math.MaxInt32 {
+			return Transaction{}, fmt.Errorf("item %d outside the valid id range [0, %d]", v, math.MaxInt32)
+		}
+		items[j] = itemset.Item(v)
+	}
+	return Transaction{Items: itemset.New(items...), Prob: prob}, nil
+}

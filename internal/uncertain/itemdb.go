@@ -1,0 +1,164 @@
+package uncertain
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+// This file implements the *attribute-level* (item-level) uncertainty
+// model: each item occurs in a transaction with its own probability,
+// independently of the other items. This is the native model of the
+// expected-support literature the paper cites (U-Apriori [9],
+// UF-growth [15]); the paper's own algorithms use the tuple-level model of
+// DB, and the two coexist here so the cited baselines can be run in their
+// original setting.
+
+// ProbItem is one item occurrence with its existence probability.
+type ProbItem struct {
+	Item itemset.Item
+	Prob float64
+}
+
+// ItemTransaction is a transaction whose items are individually uncertain.
+type ItemTransaction struct {
+	Items []ProbItem
+}
+
+// ItemDB is an attribute-level uncertain transaction database.
+type ItemDB struct {
+	trans []ItemTransaction
+	items itemset.Itemset
+}
+
+// NewItemDB validates probabilities (each in (0, 1]) and normalizes each
+// transaction: items sorted, duplicates rejected.
+func NewItemDB(trans []ItemTransaction) (*ItemDB, error) {
+	universe := map[itemset.Item]struct{}{}
+	cp := make([]ItemTransaction, len(trans))
+	for ti, t := range trans {
+		if len(t.Items) == 0 {
+			return nil, fmt.Errorf("uncertain: item-level transaction %d is empty", ti)
+		}
+		items := make([]ProbItem, len(t.Items))
+		copy(items, t.Items)
+		sort.Slice(items, func(i, j int) bool { return items[i].Item < items[j].Item })
+		for i, pi := range items {
+			if pi.Prob <= 0 || pi.Prob > 1 {
+				return nil, fmt.Errorf("uncertain: transaction %d item %d has probability %v outside (0,1]", ti, pi.Item, pi.Prob)
+			}
+			if i > 0 && items[i-1].Item == pi.Item {
+				return nil, fmt.Errorf("uncertain: transaction %d repeats item %d", ti, pi.Item)
+			}
+			universe[pi.Item] = struct{}{}
+		}
+		cp[ti] = ItemTransaction{Items: items}
+	}
+	items := make(itemset.Itemset, 0, len(universe))
+	for it := range universe {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return &ItemDB{trans: cp, items: items}, nil
+}
+
+// MustNewItemDB is NewItemDB that panics on error.
+func MustNewItemDB(trans []ItemTransaction) *ItemDB {
+	db, err := NewItemDB(trans)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// N returns the number of transactions.
+func (db *ItemDB) N() int { return len(db.trans) }
+
+// Items returns the sorted item universe.
+func (db *ItemDB) Items() itemset.Itemset { return db.items.Clone() }
+
+// Transaction returns transaction i.
+func (db *ItemDB) Transaction(i int) ItemTransaction { return db.trans[i] }
+
+// ItemProb returns the probability that transaction i contains item x
+// (0 when the item does not occur at all).
+func (db *ItemDB) ItemProb(i int, x itemset.Item) float64 {
+	items := db.trans[i].Items
+	lo := sort.Search(len(items), func(j int) bool { return items[j].Item >= x })
+	if lo < len(items) && items[lo].Item == x {
+		return items[lo].Prob
+	}
+	return 0
+}
+
+// ContainProb returns Pr[X ⊆ T_i] = Π_{x ∈ X} p_i(x) under item
+// independence.
+func (db *ItemDB) ContainProb(i int, x itemset.Itemset) float64 {
+	p := 1.0
+	for _, it := range x {
+		pi := db.ItemProb(i, it)
+		if pi == 0 {
+			return 0
+		}
+		p *= pi
+	}
+	return p
+}
+
+// ExpectedSupport returns Σ_i Pr[X ⊆ T_i], the expected support of X in
+// the attribute-level model (the quantity U-Apriori thresholds on).
+func (db *ItemDB) ExpectedSupport(x itemset.Itemset) float64 {
+	s := 0.0
+	for i := range db.trans {
+		s += db.ContainProb(i, x)
+	}
+	return s
+}
+
+// ContainProbs returns Pr[X ⊆ T_i] for every transaction — the Poisson-
+// binomial parameter vector of sup(X), from which frequent probabilities
+// in the attribute-level model follow.
+func (db *ItemDB) ContainProbs(x itemset.Itemset) []float64 {
+	out := make([]float64, len(db.trans))
+	for i := range db.trans {
+		out[i] = db.ContainProb(i, x)
+	}
+	return out
+}
+
+// ToTupleLevel collapses the item-level database into the tuple-level
+// model by treating each transaction's full itemset as certain content
+// with the transaction existing with probability equal to the product of
+// its item probabilities. This is a lossy approximation (it correlates the
+// items completely); it exists for interoperability, not equivalence.
+func (db *ItemDB) ToTupleLevel() (*DB, error) {
+	trans := make([]Transaction, len(db.trans))
+	for i, t := range db.trans {
+		items := make(itemset.Itemset, len(t.Items))
+		p := 1.0
+		for j, pi := range t.Items {
+			items[j] = pi.Item
+			p *= pi.Prob
+		}
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		trans[i] = Transaction{Items: items, Prob: p}
+	}
+	return NewDB(trans)
+}
+
+// CertainItemDB lifts an exact dataset into the item-level model with all
+// probabilities 1.
+func CertainItemDB(data []itemset.Itemset) *ItemDB {
+	trans := make([]ItemTransaction, len(data))
+	for i, t := range data {
+		items := make([]ProbItem, len(t))
+		for j, it := range t {
+			items[j] = ProbItem{Item: it, Prob: 1}
+		}
+		trans[i] = ItemTransaction{Items: items}
+	}
+	return MustNewItemDB(trans)
+}

@@ -1,0 +1,191 @@
+package uncertain
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/itemset"
+)
+
+func TestNewDBValidation(t *testing.T) {
+	ok := []Transaction{{Items: itemset.FromInts(1), Prob: 0.5}}
+	if _, err := NewDB(ok); err != nil {
+		t.Fatalf("valid db rejected: %v", err)
+	}
+	bad := [][]Transaction{
+		{{Items: itemset.FromInts(1), Prob: 0}},
+		{{Items: itemset.FromInts(1), Prob: -0.1}},
+		{{Items: itemset.FromInts(1), Prob: 1.5}},
+		{{Items: nil, Prob: 0.5}},
+	}
+	for i, trans := range bad {
+		if _, err := NewDB(trans); err == nil {
+			t.Errorf("case %d: invalid db accepted", i)
+		}
+	}
+}
+
+func TestDBIsolation(t *testing.T) {
+	items := itemset.FromInts(1, 2)
+	db := MustNewDB([]Transaction{{Items: items, Prob: 0.5}})
+	items[0] = 99
+	if db.Transaction(0).Items[0] != 1 {
+		t.Error("NewDB shares the caller's itemset backing array")
+	}
+	got := db.Items()
+	got[0] = 42
+	if db.Items()[0] != 1 {
+		t.Error("Items() exposes internal state")
+	}
+}
+
+func TestCountsAndSupports(t *testing.T) {
+	db := PaperExample()
+	a, d := itemset.FromInts(0), itemset.FromInts(3)
+	abc := itemset.FromInts(0, 1, 2)
+	abcd := itemset.FromInts(0, 1, 2, 3)
+	if got := db.Count(a); got != 4 {
+		t.Errorf("count(a) = %d, want 4", got)
+	}
+	if got := db.Count(d); got != 2 {
+		t.Errorf("count(d) = %d, want 2", got)
+	}
+	if got := db.Count(abcd); got != 2 {
+		t.Errorf("count(abcd) = %d, want 2 (paper's Definition 4.2 example)", got)
+	}
+	if got := db.ExpectedSupport(abc); math.Abs(got-3.1) > 1e-12 {
+		t.Errorf("expSup(abc) = %v, want 3.1", got)
+	}
+	if got := db.ExpectedSupport(abcd); math.Abs(got-1.8) > 1e-12 {
+		t.Errorf("expSup(abcd) = %v, want 1.8", got)
+	}
+}
+
+func TestTidsetAndIndex(t *testing.T) {
+	db := PaperExample()
+	idx := db.Index()
+	d := itemset.Item(3)
+	ts := idx.Tidsets[d]
+	if got := ts.Indices(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("tidset(d) = %v, want [0 3]", got)
+	}
+	abcd := itemset.FromInts(0, 1, 2, 3)
+	if !equalInts(idx.TidsetOf(abcd).Indices(), []int{0, 3}) {
+		t.Errorf("TidsetOf(abcd) = %v", idx.TidsetOf(abcd).Indices())
+	}
+	if !equalInts(db.Tidset(abcd).Indices(), []int{0, 3}) {
+		t.Errorf("Tidset(abcd) = %v", db.Tidset(abcd).Indices())
+	}
+	// Unknown item → empty tidset.
+	if idx.TidsetOf(itemset.FromInts(99)).Any() {
+		t.Error("tidset of unknown item should be empty")
+	}
+	// Empty itemset → all transactions.
+	if got := idx.TidsetOf(nil).Count(); got != 4 {
+		t.Errorf("TidsetOf(∅) has %d tids, want 4", got)
+	}
+	probs := idx.ProbsOf(ts)
+	if len(probs) != 2 || probs[0] != 0.9 || probs[1] != 0.9 {
+		t.Errorf("ProbsOf = %v", probs)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := PaperExample()
+	st := db.Stats()
+	if st.NumTransactions != 4 || st.NumItems != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.AvgLength-3.5) > 1e-12 || st.MaxLength != 4 {
+		t.Errorf("lengths = %+v", st)
+	}
+	if math.Abs(st.MeanProb-0.775) > 1e-12 {
+		t.Errorf("mean prob = %v, want 0.775", st.MeanProb)
+	}
+}
+
+func TestCertain(t *testing.T) {
+	db := MustNewDB([]Transaction{{Items: itemset.FromInts(1), Prob: 1}})
+	if !db.Certain() {
+		t.Error("all-prob-1 db should be certain")
+	}
+	if PaperExample().Certain() {
+		t.Error("paper example is not certain")
+	}
+}
+
+func TestIORoundtrip(t *testing.T) {
+	db := PaperExample()
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != db.N() {
+		t.Fatalf("roundtrip size %d, want %d", back.N(), db.N())
+	}
+	for i := 0; i < db.N(); i++ {
+		a, b := db.Transaction(i), back.Transaction(i)
+		if !itemset.Equal(a.Items, b.Items) || a.Prob != b.Prob {
+			t.Errorf("transaction %d: %v/%v vs %v/%v", i, a.Items, a.Prob, b.Items, b.Prob)
+		}
+	}
+}
+
+func TestReadFormat(t *testing.T) {
+	in := `
+# a comment
+1 2 3 : 0.5
+
+7
+5 4 : 1.0
+`
+	db, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() != 3 {
+		t.Fatalf("parsed %d transactions, want 3", db.N())
+	}
+	if db.Transaction(1).Prob != 1 {
+		t.Error("missing probability should default to 1")
+	}
+	if !itemset.Equal(db.Transaction(2).Items, itemset.FromInts(4, 5)) {
+		t.Errorf("transaction items not sorted: %v", db.Transaction(2).Items)
+	}
+	for _, bad := range []string{"1 2 : zebra", "1 2 : 1.5", ": 0.5", "-1 : 0.5", "x y"} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("line %q should fail to parse", bad)
+		}
+	}
+}
+
+func TestPaperExampleExtended(t *testing.T) {
+	db := PaperExampleExtended()
+	if db.N() != 6 {
+		t.Fatalf("extended example has %d tuples, want 6", db.N())
+	}
+	if got := db.Transaction(4).Prob; got != 0.4 {
+		t.Errorf("T5 prob = %v, want 0.4", got)
+	}
+	if got := db.Count(itemset.FromInts(0)); got != 6 {
+		t.Errorf("count(a) = %d, want 6", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,190 @@
+// Package world implements exact possible-world semantics for small
+// uncertain databases by exhaustive enumeration of the 2ⁿ worlds. It is the
+// ground-truth oracle: every probability the fast miner computes is checked
+// against this package in the tests, and the paper's Tables I–III and
+// Example 1.2 are reproduced with it.
+package world
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// MaxTransactions bounds enumeration; beyond this the 2ⁿ loop is hopeless.
+const MaxTransactions = 26
+
+// World is one possible world: the subset of tuples that exist, as a
+// bitmask over transaction ids, together with its probability.
+type World struct {
+	Mask uint32
+	Prob float64
+}
+
+// Enumerate calls fn for every possible world of db. It returns an error if
+// db has more than MaxTransactions tuples.
+func Enumerate(db *uncertain.DB, fn func(w World)) error {
+	n := db.N()
+	if n > MaxTransactions {
+		return fmt.Errorf("world: %d transactions exceed enumeration limit %d", n, MaxTransactions)
+	}
+	probs := db.Probs()
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		p := 1.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				p *= probs[i]
+			} else {
+				p *= 1 - probs[i]
+			}
+		}
+		fn(World{Mask: mask, Prob: p})
+	}
+	return nil
+}
+
+// SupportIn returns sup_w(X): the number of present transactions whose
+// itemset contains X.
+func SupportIn(db *uncertain.DB, w World, x itemset.Itemset) int {
+	c := 0
+	for i := 0; i < db.N(); i++ {
+		if w.Mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if itemset.IsSubset(x, db.Transaction(i).Items) {
+			c++
+		}
+	}
+	return c
+}
+
+// IsClosedIn reports whether X is a closed itemset in world w: X appears at
+// least once and no proper superset has the same support. Following the
+// paper's Theorem 3.1 convention, an itemset that does not appear in the
+// world is NOT closed.
+func IsClosedIn(db *uncertain.DB, w World, x itemset.Itemset) bool {
+	sup := SupportIn(db, w, x)
+	if sup == 0 {
+		return false
+	}
+	// It suffices to test single-item extensions: if any superset ties the
+	// support, some single extension does too.
+	for _, e := range db.Items() {
+		if x.Contains(e) {
+			continue
+		}
+		if SupportIn(db, w, x.Add(e)) == sup {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFrequentClosedIn reports whether X is a frequent closed itemset in w.
+func IsFrequentClosedIn(db *uncertain.DB, w World, x itemset.Itemset, minSup int) bool {
+	sup := SupportIn(db, w, x)
+	if sup < minSup || sup == 0 {
+		return false
+	}
+	for _, e := range db.Items() {
+		if x.Contains(e) {
+			continue
+		}
+		if SupportIn(db, w, x.Add(e)) == sup {
+			return false
+		}
+	}
+	return true
+}
+
+// FreqProb returns the exact frequent probability Pr_F(X) = Pr[sup(X) ≥ minSup].
+func FreqProb(db *uncertain.DB, x itemset.Itemset, minSup int) (float64, error) {
+	total := 0.0
+	err := Enumerate(db, func(w World) {
+		if SupportIn(db, w, x) >= minSup {
+			total += w.Prob
+		}
+	})
+	return total, err
+}
+
+// ClosedProb returns the exact closed probability Pr_C(X) (Definition 3.6).
+func ClosedProb(db *uncertain.DB, x itemset.Itemset) (float64, error) {
+	total := 0.0
+	err := Enumerate(db, func(w World) {
+		if IsClosedIn(db, w, x) {
+			total += w.Prob
+		}
+	})
+	return total, err
+}
+
+// FreqClosedProb returns the exact frequent closed probability Pr_FC(X)
+// (Definition 3.7).
+func FreqClosedProb(db *uncertain.DB, x itemset.Itemset, minSup int) (float64, error) {
+	total := 0.0
+	err := Enumerate(db, func(w World) {
+		if IsFrequentClosedIn(db, w, x, minSup) {
+			total += w.Prob
+		}
+	})
+	return total, err
+}
+
+// Result pairs an itemset with its exact frequent closed probability.
+type Result struct {
+	Items itemset.Itemset
+	Prob  float64
+}
+
+// MineExact returns every probabilistic frequent closed itemset of db
+// (Pr_FC(X) > pfct) by enumerating all non-empty itemsets over the item
+// universe and all possible worlds. Usable only for tiny databases.
+func MineExact(db *uncertain.DB, minSup int, pfct float64) ([]Result, error) {
+	items := db.Items()
+	if len(items) > 20 {
+		return nil, fmt.Errorf("world: %d items exceed exact mining limit 20", len(items))
+	}
+	var out []Result
+	for mask := 1; mask < 1<<uint(len(items)); mask++ {
+		var x itemset.Itemset
+		for i, it := range items {
+			if mask&(1<<uint(i)) != 0 {
+				x = append(x, it)
+			}
+		}
+		p, err := FreqClosedProb(db, x, minSup)
+		if err != nil {
+			return nil, err
+		}
+		if p > pfct {
+			out = append(out, Result{Items: x.Clone(), Prob: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return itemset.Compare(out[i].Items, out[j].Items) < 0 })
+	return out, nil
+}
+
+// FrequentClosedIn returns the set of frequent closed itemsets of a single
+// world, as Table III's last column lists them.
+func FrequentClosedIn(db *uncertain.DB, w World, minSup int) ([]itemset.Itemset, error) {
+	items := db.Items()
+	if len(items) > 20 {
+		return nil, fmt.Errorf("world: %d items exceed enumeration limit 20", len(items))
+	}
+	var out []itemset.Itemset
+	for mask := 1; mask < 1<<uint(len(items)); mask++ {
+		var x itemset.Itemset
+		for i, it := range items {
+			if mask&(1<<uint(i)) != 0 {
+				x = append(x, it)
+			}
+		}
+		if IsFrequentClosedIn(db, w, x, minSup) {
+			out = append(out, x.Clone())
+		}
+	}
+	return out, nil
+}

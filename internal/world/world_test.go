@@ -1,0 +1,230 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+func TestEnumerateProbabilitiesSumToOne(t *testing.T) {
+	db := uncertain.PaperExample()
+	total := 0.0
+	count := 0
+	if err := Enumerate(db, func(w World) {
+		total += w.Prob
+		count++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 16 {
+		t.Errorf("enumerated %d worlds, want 16", count)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("world probabilities sum to %v", total)
+	}
+}
+
+func TestTableIIIWorldProbabilities(t *testing.T) {
+	// The paper's PW5 (T1,T2,T3 present, T4 absent) has probability
+	// 0.9·0.6·0.7·(1−0.9) = 0.0378.
+	db := uncertain.PaperExample()
+	var got float64
+	if err := Enumerate(db, func(w World) {
+		if w.Mask == 0b0111 {
+			got = w.Prob
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.0378) > 1e-12 {
+		t.Errorf("Pr(PW{T1,T2,T3}) = %v, want 0.0378", got)
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	trans := make([]uncertain.Transaction, MaxTransactions+1)
+	for i := range trans {
+		trans[i] = uncertain.Transaction{Items: itemset.FromInts(1), Prob: 0.5}
+	}
+	db := uncertain.MustNewDB(trans)
+	if err := Enumerate(db, func(World) {}); err == nil {
+		t.Error("Enumerate should refuse oversized databases")
+	}
+}
+
+func TestSupportAndClosedInWorld(t *testing.T) {
+	db := uncertain.PaperExample()
+	abc := itemset.FromInts(0, 1, 2)
+	abcd := itemset.FromInts(0, 1, 2, 3)
+	all := World{Mask: 0b1111}
+	if got := SupportIn(db, all, abc); got != 4 {
+		t.Errorf("sup(abc) in full world = %d", got)
+	}
+	if got := SupportIn(db, all, abcd); got != 2 {
+		t.Errorf("sup(abcd) in full world = %d", got)
+	}
+	if !IsClosedIn(db, all, abc) || !IsClosedIn(db, all, abcd) {
+		t.Error("abc and abcd are closed in the full world")
+	}
+	if IsClosedIn(db, all, itemset.FromInts(0, 1)) {
+		t.Error("ab is not closed in the full world (abc ties it)")
+	}
+	// In the world {T1, T4}, abc is not closed: abcd has the same support.
+	t1t4 := World{Mask: 0b1001}
+	if IsClosedIn(db, t1t4, abc) {
+		t.Error("abc should not be closed in {T1,T4}")
+	}
+	if !IsFrequentClosedIn(db, t1t4, abcd, 2) {
+		t.Error("abcd should be frequent closed in {T1,T4} at min_sup 2")
+	}
+	// Absent itemset is not closed (Theorem 3.1 convention).
+	empty := World{Mask: 0}
+	if IsClosedIn(db, empty, abc) {
+		t.Error("an itemset absent from the world cannot be closed")
+	}
+}
+
+func TestFreqProbMatchesPoissonBinomial(t *testing.T) {
+	// Pr_F from world enumeration must equal the Poisson-binomial tail over
+	// the containing transactions — on random small databases.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 7, 5)
+		items := db.Items()
+		if len(items) == 0 {
+			return true
+		}
+		x := itemset.Itemset{items[rng.Intn(len(items))]}
+		if rng.Intn(2) == 0 && len(items) > 1 {
+			x = itemset.Union(x, itemset.Itemset{items[rng.Intn(len(items))]})
+		}
+		minSup := rng.Intn(3) + 1
+		exact, err := FreqProb(db, x, minSup)
+		if err != nil {
+			return false
+		}
+		var probs []float64
+		for i := 0; i < db.N(); i++ {
+			if itemset.IsSubset(x, db.Transaction(i).Items) {
+				probs = append(probs, db.Transaction(i).Prob)
+			}
+		}
+		return math.Abs(exact-poibin.Tail(probs, minSup)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperProbabilities(t *testing.T) {
+	db := uncertain.PaperExample()
+	abc := itemset.FromInts(0, 1, 2)
+	abcd := itemset.FromInts(0, 1, 2, 3)
+
+	fp, err := FreqProb(db, abc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fp-0.9726) > 1e-10 {
+		t.Errorf("Pr_F(abc) = %v, want 0.9726", fp)
+	}
+	fcp, err := FreqClosedProb(db, abc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fcp-0.8754) > 1e-10 {
+		t.Errorf("Pr_FC(abc) = %v, want 0.8754", fcp)
+	}
+	fcp2, err := FreqClosedProb(db, abcd, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fcp2-0.81) > 1e-10 {
+		t.Errorf("Pr_FC(abcd) = %v, want 0.81", fcp2)
+	}
+	// All other probabilistic frequent itemsets have Pr_FC = 0 (the paper's
+	// Example 1.2: "frequent closed probabilities of 13 other probabilistic
+	// frequent itemsets are 0").
+	for _, x := range []itemset.Itemset{
+		itemset.FromInts(0), itemset.FromInts(0, 1), itemset.FromInts(1, 2),
+		itemset.FromInts(0, 3), itemset.FromInts(1, 2, 3),
+	} {
+		p, err := FreqClosedProb(db, x, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > 1e-12 {
+			t.Errorf("Pr_FC(%v) = %v, want 0", x, p)
+		}
+	}
+}
+
+func TestClosedProbVsFreqClosedProbAtMinSup1(t *testing.T) {
+	// Definition: computing closed probability is the min_sup = 1 special
+	// case of frequent closed probability.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 6, 4)
+		items := db.Items()
+		if len(items) == 0 {
+			return true
+		}
+		x := itemset.Itemset{items[rng.Intn(len(items))]}
+		cp, err1 := ClosedProb(db, x)
+		fcp, err2 := FreqClosedProb(db, x, 1)
+		return err1 == nil && err2 == nil && math.Abs(cp-fcp) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineExactPaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	res, err := MineExact(db, 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("MineExact found %d itemsets, want 2: %v", len(res), res)
+	}
+}
+
+func TestFrequentClosedInFullWorld(t *testing.T) {
+	db := uncertain.PaperExample()
+	fcis, err := FrequentClosedIn(db, World{Mask: 0b1111}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fcis) != 2 {
+		t.Fatalf("full world has %d FCIs, want 2 ({abc},{abcd}): %v", len(fcis), fcis)
+	}
+}
+
+// randomDB builds a database with ≤ maxN transactions over ≤ maxItems
+// items.
+func randomDB(rng *rand.Rand, maxN, maxItems int) *uncertain.DB {
+	n := rng.Intn(maxN) + 1
+	trans := make([]uncertain.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		var items []itemset.Item
+		for j := 0; j < maxItems; j++ {
+			if rng.Float64() < 0.5 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		if len(items) == 0 {
+			items = []itemset.Item{itemset.Item(rng.Intn(maxItems))}
+		}
+		trans = append(trans, uncertain.Transaction{
+			Items: itemset.New(items...),
+			Prob:  rng.Float64()*0.98 + 0.01,
+		})
+	}
+	return uncertain.MustNewDB(trans)
+}
