@@ -12,6 +12,7 @@ package pfcim_test
 // rows); EXPERIMENTS.md records a full reference run.
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -73,6 +74,19 @@ func BenchmarkTable8DatasetStats(b *testing.B) {
 func BenchmarkFig5MushroomMPFCI(b *testing.B) {
 	load(b)
 	o := mineOpts(benchData.mushroom, 0.2)
+	for i := 0; i < b.N; i++ {
+		mustMine(b, benchData.mushroom, o)
+	}
+}
+
+// BenchmarkFig5MushroomMPFCIParallel runs the same workload on the
+// work-stealing scheduler with one worker per available CPU. Results are
+// byte-identical to the serial run; on a single-CPU host this measures the
+// scheduler's overhead rather than a speedup.
+func BenchmarkFig5MushroomMPFCIParallel(b *testing.B) {
+	load(b)
+	o := mineOpts(benchData.mushroom, 0.2)
+	o.Parallelism = runtime.GOMAXPROCS(0)
 	for i := 0; i < b.N; i++ {
 		mustMine(b, benchData.mushroom, o)
 	}

@@ -7,6 +7,7 @@
 //	            [-mushroom-scale 0.1] [-quest-scale 0.02]
 //	            [-pfct 0.8] [-eps 0.1] [-delta 0.1]
 //	            [-seed 42] [-budget 60s]
+//	experiments -bench-json BENCH.json
 //
 // Each experiment prints the same rows/series the paper's figure plots;
 // EXPERIMENTS.md records a reference run and the paper-vs-measured
@@ -33,6 +34,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "generator and sampler seed")
 		budget     = flag.Duration("budget", 60*time.Second, "per-point time budget; a series exceeding it skips its remaining points")
 		quick      = flag.Bool("quick", false, "trim every sweep to a few representative points")
+		benchJSON  = flag.String("bench-json", "", "run the benchmark suite and write the points to this JSON file, then exit")
 	)
 	flag.Parse()
 
@@ -48,6 +50,22 @@ func main() {
 		Out:           os.Stdout,
 	}
 	suite := experiments.NewSuite(cfg)
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		err = suite.RunBench(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := suite.Run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

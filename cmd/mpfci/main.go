@@ -16,6 +16,10 @@
 //	-no-ch -no-super -no-sub -no-bound   disable individual prunings
 //	-frequent                also print probabilistic frequent itemsets
 //	-stats                   print pruning statistics
+//	-parallel N              mine with N work-stealing workers
+//	-split-depth D           hand subtrees above depth D to idle workers
+//	-cpuprofile f.pb.gz      write a pprof CPU profile of the run
+//	-memprofile f.pb.gz      write a pprof heap profile after the run
 package main
 
 import (
@@ -24,29 +28,34 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	pfcim "github.com/probdata/pfcim"
 )
 
 func main() {
 	var (
-		minsupRel = flag.Float64("minsup", 0.4, "relative minimum support in (0,1], fraction of transactions")
-		minsupAbs = flag.Int("minsup-abs", 0, "absolute minimum support (overrides -minsup when > 0)")
-		pfct      = flag.Float64("pfct", 0.8, "probabilistic frequent closed threshold")
-		eps       = flag.Float64("eps", 0.1, "ApproxFCP relative tolerance error")
-		delta     = flag.Float64("delta", 0.1, "ApproxFCP confidence parameter")
-		seed      = flag.Int64("seed", 1, "sampler seed")
-		algo      = flag.String("algo", "mpfci", "algorithm: mpfci, bfs, naive")
-		noCH      = flag.Bool("no-ch", false, "disable Chernoff-Hoeffding pruning")
-		noSuper   = flag.Bool("no-super", false, "disable superset pruning")
-		noSub     = flag.Bool("no-sub", false, "disable subset pruning")
-		noBound   = flag.Bool("no-bound", false, "disable frequent-closed-probability bound pruning")
-		frequent  = flag.Bool("frequent", false, "also print probabilistic frequent itemsets (the pre-compression set)")
-		maximal   = flag.Bool("maximal", false, "also print the maximal probabilistic frequent itemsets (top-down border)")
-		expSup    = flag.Float64("exp-sup", 0, "when > 0, also print itemsets with expected support ≥ this value (UF-growth)")
-		parallel  = flag.Int("parallel", 0, "number of goroutines mining first-level subtrees (0 = serial)")
-		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
-		showStats = flag.Bool("stats", false, "print pruning statistics")
+		minsupRel  = flag.Float64("minsup", 0.4, "relative minimum support in (0,1], fraction of transactions")
+		minsupAbs  = flag.Int("minsup-abs", 0, "absolute minimum support (overrides -minsup when > 0)")
+		pfct       = flag.Float64("pfct", 0.8, "probabilistic frequent closed threshold")
+		eps        = flag.Float64("eps", 0.1, "ApproxFCP relative tolerance error")
+		delta      = flag.Float64("delta", 0.1, "ApproxFCP confidence parameter")
+		seed       = flag.Int64("seed", 1, "sampler seed")
+		algo       = flag.String("algo", "mpfci", "algorithm: mpfci, bfs, naive")
+		noCH       = flag.Bool("no-ch", false, "disable Chernoff-Hoeffding pruning")
+		noSuper    = flag.Bool("no-super", false, "disable superset pruning")
+		noSub      = flag.Bool("no-sub", false, "disable subset pruning")
+		noBound    = flag.Bool("no-bound", false, "disable frequent-closed-probability bound pruning")
+		frequent   = flag.Bool("frequent", false, "also print probabilistic frequent itemsets (the pre-compression set)")
+		maximal    = flag.Bool("maximal", false, "also print the maximal probabilistic frequent itemsets (top-down border)")
+		expSup     = flag.Float64("exp-sup", 0, "when > 0, also print itemsets with expected support ≥ this value (UF-growth)")
+		parallel   = flag.Int("parallel", 0, "number of work-stealing mining workers (0 = serial)")
+		splitDepth = flag.Int("split-depth", 0, "max enumeration depth at which subtrees are handed to idle workers (0 = default)")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of text")
+		showStats  = flag.Bool("stats", false, "print pruning statistics")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the mining run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after mining) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -80,6 +89,39 @@ func main() {
 		DisableSubset:   *noSub,
 		DisableBounds:   *noBound,
 		Parallelism:     *parallel,
+		SplitDepth:      *splitDepth,
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		// fatal exits through os.Exit, which skips defers, so register the
+		// profile flush where fatal can run it too.
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer flushProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpfci:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the post-run live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mpfci:", err)
+			}
+		}()
 	}
 
 	st := db.Stats()
@@ -177,7 +219,19 @@ func writeJSON(w io.Writer, res *pfcim.Result) error {
 	return enc.Encode(out)
 }
 
+// stopProfile flushes the running CPU profile, if any; fatal calls it
+// because os.Exit does not run defers.
+var stopProfile func()
+
+func flushProfile() {
+	if stopProfile != nil {
+		stopProfile()
+		stopProfile = nil
+	}
+}
+
 func fatal(err error) {
+	flushProfile()
 	fmt.Fprintln(os.Stderr, "mpfci:", err)
 	os.Exit(1)
 }

@@ -58,3 +58,29 @@ func BenchmarkIsSubset8192(b *testing.B) {
 		IsSubset(sub, x)
 	}
 }
+
+func BenchmarkAndCountAtLeastHit8192(b *testing.B) {
+	// k = 1 on dense sets: the ≥ exit fires in the first word.
+	x, y := benchSets(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AndCountAtLeast(x, y, 1)
+	}
+}
+
+func BenchmarkAndCountAtLeastMiss8192(b *testing.B) {
+	// k beyond capacity: the shortfall exit fires once the gap is certain.
+	x, y := benchSets(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AndCountAtLeast(x, y, 8192)
+	}
+}
+
+func BenchmarkHash8192(b *testing.B) {
+	x, _ := benchSets(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Hash()
+	}
+}

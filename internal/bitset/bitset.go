@@ -113,6 +113,36 @@ func AndInto(dst, x, y *Bitset) int {
 	return c
 }
 
+// AndCountAtLeast reports whether |x ∩ y| ≥ k without materializing the
+// intersection, scanning words only until the verdict is certain: it
+// returns true as soon as the running count reaches k, and false as soon
+// as the bits remaining cannot close the gap. For the special case
+// k = Count(x) — "does y cover x?", the miner's superset-pruning and
+// closure tests — IsSubset is strictly better (it exits on the first
+// uncovered word); use AndCountAtLeast for thresholds below a full cover,
+// e.g. minimum-support checks that don't need the intersection itself.
+func AndCountAtLeast(x, y *Bitset, k int) bool {
+	if x.n != y.n {
+		panic("bitset: AndCountAtLeast capacity mismatch")
+	}
+	if k <= 0 {
+		return true
+	}
+	c := 0
+	remaining := len(x.words) * wordBits
+	for i := range x.words {
+		remaining -= wordBits
+		c += bits.OnesCount64(x.words[i] & y.words[i])
+		if c >= k {
+			return true
+		}
+		if c+remaining < k {
+			return false
+		}
+	}
+	return false
+}
+
 // And returns a new set x ∩ y.
 func And(x, y *Bitset) *Bitset {
 	dst := New(x.n)
@@ -167,6 +197,21 @@ func IsSubset(x, y *Bitset) bool {
 		}
 	}
 	return true
+}
+
+// Hash returns a 64-bit FNV-1a digest of the set's contents. Two sets with
+// equal contents (and capacity) hash identically; use Equal to confirm a
+// match. The miner keys its Poisson-binomial memo on this.
+func (b *Bitset) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range b.words {
+		h = (h ^ w) * prime64
+	}
+	return h
 }
 
 // Equal reports whether x and y contain exactly the same bits.

@@ -196,3 +196,66 @@ func TestAndIntoAliasing(t *testing.T) {
 		t.Errorf("AndInto aliasing x: got %v count=%d, want %v", x, cnt, want)
 	}
 }
+
+func TestAndCountAtLeast(t *testing.T) {
+	x := FromIndices(200, 1, 64, 65, 130, 199)
+	y := FromIndices(200, 1, 65, 130, 131)
+	// |x ∩ y| = 3
+	for k := -1; k <= 3; k++ {
+		if !AndCountAtLeast(x, y, k) {
+			t.Errorf("AndCountAtLeast(k=%d) = false, want true", k)
+		}
+	}
+	for _, k := range []int{4, 5, 200, 1 << 20} {
+		if AndCountAtLeast(x, y, k) {
+			t.Errorf("AndCountAtLeast(k=%d) = true, want false", k)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on capacity mismatch")
+		}
+	}()
+	AndCountAtLeast(New(10), New(20), 1)
+}
+
+func TestAndCountAtLeastProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		x, y := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) != 0 {
+				x.Set(i)
+			}
+			if rng.Intn(3) != 0 {
+				y.Set(i)
+			}
+		}
+		c := AndCount(x, y)
+		for _, k := range []int{0, 1, c - 1, c, c + 1, n, n + 63} {
+			if got, want := AndCountAtLeast(x, y, k), c >= k; got != want {
+				t.Fatalf("n=%d |x∩y|=%d k=%d: got %v, want %v", n, c, k, got, want)
+			}
+		}
+	}
+}
+
+func TestHash(t *testing.T) {
+	a := FromIndices(100, 3, 64, 99)
+	b := FromIndices(100, 3, 64, 99)
+	if a.Hash() != b.Hash() {
+		t.Error("equal sets hash differently")
+	}
+	b.Clear(64)
+	if a.Hash() == b.Hash() {
+		t.Error("sets differing in one bit hash identically")
+	}
+	if New(0).Hash() == New(64).Hash() {
+		// Different word counts must not collide on the empty set by
+		// accident of the FNV basis; not a strict requirement, but the two
+		// zero-valued cases the miner can produce should stay distinct
+		// enough for Equal to arbitrate. Equal handles the rest.
+		t.Log("zero-capacity and one-word empty sets collide (tolerated: Equal arbitrates)")
+	}
+}

@@ -23,6 +23,11 @@ type bfsNode struct {
 // enumeration never materializes — so only Chernoff-Hoeffding pruning and
 // the Lemma 4.4 bounds are available, exactly as in the paper's
 // experimental comparison (Fig. 12).
+//
+// Like the DFS framework, each node probes its candidate extensions once,
+// records the intersected tidsets and exact frequent probabilities, and
+// hands the records to evaluate; surviving extensions then take ownership
+// of their tidset as next-level nodes.
 func (m *miner) mineBFS() error {
 	level := make([]bfsNode, 0, len(m.cands))
 	for pos, c := range m.cands {
@@ -43,8 +48,35 @@ func (m *miner) mineBFS() error {
 				}
 			}
 			m.stats.NodesVisited++
-			ev, err := m.evaluate(node.items, node.tids, node.cnt, node.prF)
+			depth := len(node.items)
+			exts := m.extBuf(depth)
+			for pos := node.pos + 1; pos < len(m.cands); pos++ {
+				c := m.cands[pos]
+				buf := m.getBuf()
+				cc := bitset.AndInto(buf, node.tids, c.tids)
+				if cc < m.opts.MinSup {
+					m.putBuf(buf)
+					exts = append(exts, extension{item: c.item, cnt: cc})
+					continue
+				}
+				rec := extension{item: c.item, tids: buf, cnt: cc}
+				probs := m.probsOf(buf)
+				if !m.opts.DisableCH {
+					if poibin.TailUpperBound(probs, m.opts.MinSup) <= m.opts.PFCT {
+						m.stats.CHPruned++
+						exts = append(exts, rec)
+						continue
+					}
+				}
+				rec.prF, rec.hasPrF = m.tailOf(buf, probs), true
+				if rec.prF <= m.opts.PFCT {
+					m.stats.FreqPruned++
+				}
+				exts = append(exts, rec)
+			}
+			ev, err := m.evaluate(node.items, node.tids, node.cnt, node.prF, exts)
 			if err != nil {
+				m.releaseExts(depth, exts)
 				return err
 			}
 			if ev.accepted {
@@ -57,34 +89,22 @@ func (m *miner) mineBFS() error {
 					Method:   ev.method,
 				})
 			}
-			for pos := node.pos + 1; pos < len(m.cands); pos++ {
-				c := m.cands[pos]
-				child := bitset.And(node.tids, c.tids)
-				cc := child.Count()
-				if cc < m.opts.MinSup {
-					continue
-				}
-				probs := m.probsOf(child)
-				if !m.opts.DisableCH {
-					if poibin.TailUpperBound(probs, m.opts.MinSup) <= m.opts.PFCT {
-						m.stats.CHPruned++
-						continue
-					}
-				}
-				m.stats.TailEvaluations++
-				prF := poibin.Tail(probs, m.opts.MinSup)
-				if prF <= m.opts.PFCT {
-					m.stats.FreqPruned++
+			for i := range exts {
+				rec := &exts[i]
+				if !rec.hasPrF || rec.prF <= m.opts.PFCT {
 					continue
 				}
 				next = append(next, bfsNode{
-					items: node.items.Extend(c.item),
-					tids:  child,
-					cnt:   cc,
-					prF:   prF,
-					pos:   pos,
+					items: node.items.Extend(rec.item),
+					tids:  rec.tids,
+					cnt:   rec.cnt,
+					prF:   rec.prF,
+					pos:   node.pos + 1 + i,
 				})
+				rec.tids = nil // ownership moved to the next level
 			}
+			m.releaseExts(depth, exts)
+			m.putBuf(node.tids)
 		}
 		level = next
 	}

@@ -417,7 +417,8 @@ func TestSearchString(t *testing.T) {
 	for m, want := range map[Method]string{
 		MethodExact: "exact", MethodSampled: "sampled",
 		MethodBoundAccepted: "bound-accepted", MethodNoClauses: "no-clauses",
-		Method(99): "unknown",
+		MethodBoundRejected: "bound-rejected",
+		Method(99):          "unknown",
 	} {
 		if m.String() != want {
 			t.Errorf("Method(%d).String() = %q, want %q", m, m.String(), want)

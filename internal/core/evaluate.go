@@ -7,7 +7,6 @@ import (
 	"github.com/probdata/pfcim/internal/bitset"
 	"github.com/probdata/pfcim/internal/dnf"
 	"github.com/probdata/pfcim/internal/itemset"
-	"github.com/probdata/pfcim/internal/poibin"
 )
 
 // evaluation is the verdict on one candidate itemset.
@@ -20,24 +19,31 @@ type evaluation struct {
 
 // clause is one extension event C_i, prepared for the union machinery.
 type clause struct {
-	item itemset.Item
-	b    *bitset.Bitset // tidset of X + e_i (within tids of X)
-	prob float64        // Pr(C_i)
+	item  itemset.Item
+	b     *bitset.Bitset // tidset of X + e_i (within tids of X)
+	prob  float64        // Pr(C_i)
+	owned bool           // b came from the freelist and must return there;
+	// borrowed clauses point into the caller's extension records
 }
 
 // evaluate decides whether X (with tidset tids, |tids| = count and exact
 // frequent probability prF) is a probabilistic frequent closed itemset.
 // It follows §IV.B: clause probabilities, Lemma 4.4 bound pruning, then
 // exact inclusion–exclusion or the ApproxFCP sampler for the survivors.
-func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64) (evaluation, error) {
+// exts, when non-nil, holds the extension records the enumeration loop
+// already computed for candidate positions ≥ startPos; their tidsets and
+// exact frequent probabilities are reused instead of recomputed.
+func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, exts []extension) (evaluation, error) {
 	m.stats.Evaluated++
 
-	clauses, slack, dead := m.buildClauses(x, tids, count)
+	clauses, slack, dead := m.buildClauses(x, tids, count, exts)
 	defer func() {
-		// The clause tidsets come from the miner's freelist and are dead
-		// once the verdict is in.
+		// Freelist-owned clause tidsets are dead once the verdict is in;
+		// borrowed ones are released by the owner of the extension records.
 		for _, c := range clauses {
-			m.putBuf(c.b)
+			if c.owned {
+				m.putBuf(c.b)
+			}
 		}
 	}()
 	if dead {
@@ -104,7 +110,7 @@ func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF 
 		m.stats.ExactUnions++
 	} else {
 		n := dnf.SampleSize(len(clauses), m.opts.Epsilon, m.opts.Delta)
-		union, err = sys.KarpLuby(m.rng, probs, n)
+		union, err = sys.KarpLuby(m.nodeRNG(x), probs, n)
 		if err != nil {
 			return evaluation{}, err
 		}
@@ -138,7 +144,7 @@ func (m *miner) decideByBounds(prF, unionLower, unionUpper float64) (evaluation,
 	fcUpper := clamp01(prF - unionLower)
 	if fcUpper <= m.opts.PFCT {
 		m.stats.BoundRejected++
-		return evaluation{accepted: false, lower: fcLower, upper: fcUpper, prob: (fcLower + fcUpper) / 2, method: MethodBoundAccepted}, true
+		return evaluation{accepted: false, lower: fcLower, upper: fcUpper, prob: (fcLower + fcUpper) / 2, method: MethodBoundRejected}, true
 	}
 	if fcLower > m.opts.PFCT {
 		m.stats.BoundAccepted++
@@ -152,8 +158,58 @@ func (m *miner) decideByBounds(prF, unionLower, unionUpper float64) (evaluation,
 // the total probability mass of dropped clauses (slack), and dead = true
 // when some extension provably always co-occurs with X (count equality), in
 // which case Pr_FC(X) = 0.
-func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int) (clauses []clause, slack float64, dead bool) {
+//
+// exts, when non-nil, are the enumeration loop's extension records in
+// ascending item order; items covered by a record reuse its intersected
+// tidset and (when present) its exact frequent probability, so only items
+// the enumeration never probed — candidate positions below startPos and
+// non-candidate items — pay for an intersection and a Poisson-binomial
+// tail here.
+func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int, exts []extension) (clauses []clause, slack float64, dead bool) {
+	release := func() {
+		for _, c := range clauses {
+			if c.owned {
+				m.putBuf(c.b)
+			}
+		}
+	}
+	j := 0
 	for _, e := range m.allItems {
+		for j < len(exts) && exts[j].item < e {
+			j++
+		}
+		if j < len(exts) && exts[j].item == e {
+			rec := &exts[j]
+			j++
+			if rec.cnt == count {
+				// tids(X) ⊆ tids(e): X and X+e always appear together.
+				release()
+				return nil, 0, true
+			}
+			if rec.cnt < m.opts.MinSup {
+				// Pr_F(X+e) = 0, hence Pr(C_e) = 0.
+				continue
+			}
+			absent, negligible := m.absentFactor(tids, rec.tids)
+			if negligible {
+				slack += zeroClauseEps // conservative cap on the dropped mass
+				continue
+			}
+			p := rec.prF
+			if !rec.hasPrF {
+				// The extension was Chernoff-Hoeffding-pruned, so its exact
+				// tail was never computed; pay for it now.
+				p = m.tailOf(rec.tids, nil)
+			}
+			p *= absent
+			m.stats.ClauseEvaluated++
+			if p < zeroClauseEps {
+				slack += p
+				continue
+			}
+			clauses = append(clauses, clause{item: e, b: rec.tids, prob: p})
+			continue
+		}
 		if x.Contains(e) {
 			continue
 		}
@@ -163,9 +219,7 @@ func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int) 
 			// tids(X) ⊆ tids(e): X and X+e always appear together. Release
 			// everything collected so far; the caller sees dead = true.
 			m.putBuf(b)
-			for _, c := range clauses {
-				m.putBuf(c.b)
-			}
+			release()
 			return nil, 0, true
 		}
 		if bc < m.opts.MinSup {
@@ -173,36 +227,41 @@ func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int) 
 			m.putBuf(b)
 			continue
 		}
-		// Pr(C_e) = Π_{T ∈ tids\b}(1−p_T) · Pr_F(X+e).
-		absent := 1.0
-		negligible := false
-		tids.ForEach(func(tid int) bool {
-			if b.Test(tid) {
-				return true
-			}
-			absent *= 1 - m.probs[tid]
-			if absent < zeroClauseEps {
-				negligible = true
-				return false
-			}
-			return true
-		})
+		absent, negligible := m.absentFactor(tids, b)
 		if negligible {
 			slack += zeroClauseEps // conservative cap on the dropped mass
 			m.putBuf(b)
 			continue
 		}
-		m.stats.TailEvaluations++
-		p := absent * poibin.Tail(m.probsOf(b), m.opts.MinSup)
+		p := absent * m.tailOf(b, nil)
 		m.stats.ClauseEvaluated++
 		if p < zeroClauseEps {
 			slack += p
 			m.putBuf(b)
 			continue
 		}
-		clauses = append(clauses, clause{item: e, b: b, prob: p})
+		clauses = append(clauses, clause{item: e, b: b, prob: p, owned: true})
 	}
 	return clauses, slack, false
+}
+
+// absentFactor returns Pr(C_e)'s tuple-absence product
+// Π_{T ∈ tids\b}(1−p_T), flagging it as negligible once it falls below
+// zeroClauseEps (the clause is then dropped and accounted as slack).
+func (m *miner) absentFactor(tids, b *bitset.Bitset) (absent float64, negligible bool) {
+	absent = 1.0
+	tids.ForEach(func(tid int) bool {
+		if b.Test(tid) {
+			return true
+		}
+		absent *= 1 - m.probs[tid]
+		if absent < zeroClauseEps {
+			negligible = true
+			return false
+		}
+		return true
+	})
+	return absent, negligible
 }
 
 // clauseSystem wraps the kept clauses in a dnf.System plus the probability

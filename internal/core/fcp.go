@@ -50,7 +50,7 @@ func newFCPContext(db *uncertain.DB, x itemset.Itemset, minSup int) (*fcpContext
 		return ctx, nil
 	}
 	ctx.prF = poibin.Tail(m.probsOf(tids), minSup)
-	clauses, slack, dead := m.buildClauses(x, tids, count)
+	clauses, slack, dead := m.buildClauses(x, tids, count, nil)
 	ctx.slack, ctx.dead = slack, dead
 	if dead || len(clauses) == 0 {
 		return ctx, nil

@@ -3,9 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sort"
-	"sync"
 
 	"github.com/probdata/pfcim/internal/bitset"
 	"github.com/probdata/pfcim/internal/itemset"
@@ -21,19 +19,67 @@ type miner struct {
 	allItems itemset.Itemset
 	itemTids map[itemset.Item]*bitset.Bitset
 	cands    []candidate // probabilistic frequent single-item candidates
-	rng      *rand.Rand
 	stats    Stats
 	results  []ResultItem
 	ctx      context.Context
+	worker   *worker // non-nil when mining inside the work-stealing pool
 
 	// Reusable scratch, one owner per miner (parallel sub-miners get their
-	// own): depthBufs[d] holds the child tidset being probed at recursion
-	// depth d, and probsBuf backs probsOf. Both are safe because tidsets
-	// are never mutated once built and every probsOf result is consumed
-	// before the next call.
-	depthBufs []*bitset.Bitset
-	probsBuf  []float64
-	freeBufs  []*bitset.Bitset
+	// own): freeBufs is a freelist of tidset-sized bitsets, extBufs[d] backs
+	// the extension records of the node at recursion depth d, and probsBuf
+	// backs probsOf. All are safe because tidsets are never mutated once
+	// built and every probsOf result is consumed before the next call.
+	probsBuf []float64
+	freeBufs []*bitset.Bitset
+	extBufs  [][]extension
+
+	// tailMemo caches exact Poisson-binomial tails by tidset content: dense
+	// data makes distinct enumeration nodes produce identical intersections
+	// (e.g. a clause tidset at one node equal to a child tidset probed
+	// elsewhere), and Tail is a pure function of the tidset once probs and
+	// MinSup are fixed, so a hit returns a bit-identical value. Keys are
+	// cloned tidsets, verified with Equal on hash match; the memo stops
+	// growing at maxTailMemoEntries.
+	tailMemo     map[uint64][]tailEntry
+	tailMemoSize int
+}
+
+// tailEntry is one memoized Poisson-binomial tail.
+type tailEntry struct {
+	tids *bitset.Bitset
+	prF  float64
+}
+
+// maxTailMemoEntries bounds the tail memo's footprint per miner; beyond it,
+// tails are still served from the memo but no longer added.
+const maxTailMemoEntries = 1 << 16
+
+// tailOf returns Pr_F of the itemset with tidset b — the Poisson-binomial
+// tail Pr[support ≥ MinSup] over b's tuple probabilities — consulting the
+// memo first. probs, when non-nil, must be probsOf(b) (callers that already
+// materialized it for the Chernoff-Hoeffding check pass it to avoid a
+// second scan on a miss).
+func (m *miner) tailOf(b *bitset.Bitset, probs []float64) float64 {
+	h := b.Hash()
+	for _, e := range m.tailMemo[h] {
+		if bitset.Equal(e.tids, b) {
+			m.stats.TailMemoHits++
+			return e.prF
+		}
+	}
+	if probs == nil {
+		probs = m.probsOf(b)
+	}
+	m.stats.TailEvaluations++
+	prF := poibin.Tail(probs, m.opts.MinSup)
+	if m.tailMemoSize < maxTailMemoEntries {
+		if m.tailMemo == nil {
+			m.tailMemo = make(map[uint64][]tailEntry)
+		}
+		m.tailMemo[h] = append(m.tailMemo[h], tailEntry{tids: b.Clone(), prF: prF})
+		m.tailMemoSize++
+	}
+	return prF
 }
 
 // getBuf returns a tidset-sized scratch bitset from the miner's freelist.
@@ -51,12 +97,25 @@ func (m *miner) putBuf(bufs ...*bitset.Bitset) {
 	m.freeBufs = append(m.freeBufs, bufs...)
 }
 
-// childBuf returns the scratch tidset for recursion depth d.
-func (m *miner) childBuf(d int) *bitset.Bitset {
-	for len(m.depthBufs) <= d {
-		m.depthBufs = append(m.depthBufs, bitset.New(m.db.N()))
+// extBuf returns the (empty) extension-record slice for recursion depth d;
+// the backing array is reused across the siblings at that depth.
+func (m *miner) extBuf(d int) []extension {
+	for len(m.extBufs) <= d {
+		m.extBufs = append(m.extBufs, nil)
 	}
-	return m.depthBufs[d]
+	return m.extBufs[d][:0]
+}
+
+// releaseExts returns every retained extension tidset to the freelist and
+// parks the record slice for reuse at depth d.
+func (m *miner) releaseExts(d int, exts []extension) {
+	for i := range exts {
+		if exts[i].tids != nil {
+			m.putBuf(exts[i].tids)
+			exts[i].tids = nil
+		}
+	}
+	m.extBufs[d] = exts[:0]
 }
 
 // candidate is a single item that survived the candidate phase, with its
@@ -66,6 +125,21 @@ type candidate struct {
 	tids *bitset.Bitset
 	cnt  int
 	prF  float64
+}
+
+// extension records one probed child of an enumeration node: the
+// intersected tidset, its count, and — when the extension survived
+// Chernoff-Hoeffding pruning — the exact frequent probability already
+// computed in the extension loop. evaluate consumes these records, so the
+// checking phase never recomputes a Poisson-binomial tail or re-intersects
+// a tidset the enumeration has already paid for. exts[i] always
+// corresponds to candidate position startPos+i.
+type extension struct {
+	item   itemset.Item
+	tids   *bitset.Bitset // nil when cnt < MinSup (tidset not retained)
+	cnt    int
+	prF    float64 // exact Pr_F(X+e), valid only when hasPrF
+	hasPrF bool
 }
 
 // Mine runs MPFCI (or the configured variant) over db and returns every
@@ -89,7 +163,6 @@ func MineContext(ctx context.Context, db *uncertain.DB, opts Options) (*Result, 
 		probs:    db.Probs(),
 		allItems: idx.Items,
 		itemTids: idx.Tidsets,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
 		ctx:      ctx,
 	}
 	m.buildCandidates()
@@ -128,8 +201,7 @@ func (m *miner) buildCandidates() {
 				continue
 			}
 		}
-		m.stats.TailEvaluations++
-		prF := poibin.Tail(probs, m.opts.MinSup)
+		prF := m.tailOf(tids, probs)
 		if prF <= m.opts.PFCT {
 			m.stats.FreqPruned++
 			continue
@@ -160,48 +232,6 @@ func (m *miner) mineDFS() error {
 	return nil
 }
 
-// mineDFSParallel distributes the first-level subtrees over a worker pool.
-// Each worker owns an independent sub-miner (own stats, results and RNG);
-// the RNG seed depends only on Options.Seed and the subtree position, so
-// estimates do not depend on goroutine scheduling.
-func (m *miner) mineDFSParallel() error {
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	sem := make(chan struct{}, m.opts.Parallelism)
-	for pos := range m.cands {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(pos int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			c := m.cands[pos]
-			sub := &miner{
-				opts:     m.opts,
-				db:       m.db,
-				probs:    m.probs,
-				allItems: m.allItems,
-				itemTids: m.itemTids,
-				cands:    m.cands,
-				rng:      rand.New(rand.NewSource(m.opts.Seed + int64(pos)*1000003)),
-				ctx:      m.ctx,
-			}
-			err := sub.probFC(itemset.Itemset{c.item}, c.tids.Clone(), c.cnt, c.prF, pos+1)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			m.results = append(m.results, sub.results...)
-			m.stats.add(sub.stats)
-		}(pos)
-	}
-	wg.Wait()
-	return firstErr
-}
-
 // probFC is one node of the depth-first enumeration: X with tidset tids,
 // count = |tids|, exact frequent probability prF; extensions come from
 // candidate positions ≥ startPos.
@@ -217,7 +247,10 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 	// Superset pruning (Lemma 4.2): if some item e smaller than the last
 	// item of X (so X is not a prefix of X+e) and not in X satisfies
 	// count(X+e) = count(X), then X and every superset with X as prefix
-	// have zero frequent closed probability — abandon the subtree.
+	// have zero frequent closed probability — abandon the subtree. Because
+	// the child tidset is a subset of tids, count equality is exactly
+	// tids ⊆ tids(e), so the word loop bails out at the first uncovered
+	// word instead of finishing a full popcount.
 	if !m.opts.DisableSuperset {
 		last := x.Last()
 		for _, c := range m.cands {
@@ -227,7 +260,7 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 			if x.Contains(c.item) {
 				continue
 			}
-			if bitset.AndCount(tids, c.tids) == count {
+			if bitset.IsSubset(tids, c.tids) {
 				m.stats.SupersetPruned++
 				m.trace("  superset-prune %v: count(%v+%v) = count — subtree dead (Lemma 4.2)", x, x, itemset.Itemset{c.item})
 				return nil
@@ -235,28 +268,34 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 		}
 	}
 
+	depth := len(x)
+	exts := m.extBuf(depth)
 	selfDead := false
+	var err error
 	for pos := startPos; pos < len(m.cands); pos++ {
 		c := m.cands[pos]
-		// Depth-indexed scratch: the buffer is reused for the next sibling
-		// only after the recursive call into this child has returned, and
-		// no callee ever mutates its tids argument.
-		child := m.childBuf(len(x))
-		cc := bitset.AndInto(child, tids, c.tids)
+		buf := m.getBuf()
+		cc := bitset.AndInto(buf, tids, c.tids)
 		if cc < m.opts.MinSup {
+			// Pr_F(X+e) = 0: no subtree, and later no extension event.
+			m.putBuf(buf)
+			exts = append(exts, extension{item: c.item, cnt: cc})
 			continue
 		}
-		childProbs := m.probsOf(child)
+		rec := extension{item: c.item, tids: buf, cnt: cc}
+		childProbs := m.probsOf(buf)
 		// Chernoff-Hoeffding pruning of the extension (Lemma 4.1).
 		if !m.opts.DisableCH {
 			if poibin.TailUpperBound(childProbs, m.opts.MinSup) <= m.opts.PFCT {
 				m.stats.CHPruned++
 				m.trace("  ch-prune %v (Lemma 4.1 bound ≤ pfct)", x.Extend(c.item))
+				exts = append(exts, rec)
 				continue
 			}
 		}
-		m.stats.TailEvaluations++
-		childPrF := poibin.Tail(childProbs, m.opts.MinSup)
+		childPrF := m.tailOf(buf, childProbs)
+		rec.prF, rec.hasPrF = childPrF, true
+		exts = append(exts, rec)
 		if childPrF <= m.opts.PFCT {
 			// Pr_F is anti-monotone, so the whole X+e subtree is out.
 			m.stats.FreqPruned++
@@ -271,20 +310,20 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 			// either. Only the X+e subtree can contain closed itemsets.
 			selfDead = true
 			m.stats.SubsetPruned++
-			if err := m.probFC(x.Extend(c.item), child, cc, childPrF, pos+1); err != nil {
-				return err
-			}
+			err = m.descend(x, c.item, buf, cc, childPrF, pos+1)
 			break
 		}
-		if err := m.probFC(x.Extend(c.item), child, cc, childPrF, pos+1); err != nil {
-			return err
+		if err = m.descend(x, c.item, buf, cc, childPrF, pos+1); err != nil {
+			break
 		}
 	}
 
-	if selfDead {
-		return nil
+	if err != nil || selfDead {
+		m.releaseExts(depth, exts)
+		return err
 	}
-	ev, err := m.evaluate(x, tids, count, prF)
+	ev, err := m.evaluate(x, tids, count, prF, exts)
+	m.releaseExts(depth, exts)
 	if err != nil {
 		return err
 	}
@@ -301,4 +340,18 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 		})
 	}
 	return nil
+}
+
+// descend recurses into the child X+e — inline in the common case, or as a
+// task on the work-stealing pool when the node is shallow enough and some
+// worker is starving. A spawned task owns a clone of the child tidset; the
+// caller's extension record keeps the original for its own evaluation.
+func (m *miner) descend(x itemset.Itemset, e itemset.Item, tids *bitset.Bitset, count int, prF float64, startPos int) error {
+	child := x.Extend(e)
+	if m.spawnable(len(x)) {
+		m.stats.TasksSpawned++
+		m.worker.push(task{items: child, tids: tids.Clone(), count: count, prF: prF, startPos: startPos})
+		return nil
+	}
+	return m.probFC(child, tids, count, prF, startPos)
 }

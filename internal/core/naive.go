@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"sort"
 
 	"github.com/probdata/pfcim/internal/itemset"
@@ -33,12 +32,11 @@ func NaiveMine(db *uncertain.DB, opts Options) (*Result, error) {
 		probs:    db.Probs(),
 		allItems: idx.Items,
 		itemTids: idx.Tidsets,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
 	}
 	for _, pfi := range pfis {
 		m.stats.NodesVisited++
 		tids := idx.TidsetOf(pfi.Items)
-		ev, err := m.evaluate(pfi.Items, tids, tids.Count(), pfi.FreqProb)
+		ev, err := m.evaluate(pfi.Items, tids, tids.Count(), pfi.FreqProb, nil)
 		if err != nil {
 			return nil, err
 		}

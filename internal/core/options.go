@@ -71,13 +71,21 @@ type Options struct {
 	// bounds remain sound for the full clause set. 0 means default (16).
 	MaxPairClauses int
 
-	// Parallelism is the number of goroutines mining first-level subtrees
-	// concurrently (DFS framework only; BFS ignores it). 0 or 1 runs
-	// serially. The result set is identical to a serial run; Monte-Carlo
-	// estimates remain deterministic because each subtree derives its
-	// sampler seed from Seed and the subtree's candidate position, not
-	// from scheduling order.
+	// Parallelism is the number of worker goroutines of the work-stealing
+	// scheduler that distributes enumeration subtrees (DFS framework only;
+	// BFS ignores it). 0 or 1 runs serially. Results and all
+	// scheduling-independent Stats are byte-identical to a serial run:
+	// every node derives its Monte-Carlo sampler seed from (Seed, the
+	// node's itemset), never from scheduling order.
 	Parallelism int
+
+	// SplitDepth bounds how deep in the enumeration tree a node may still
+	// hand children to idle workers: a child is spawned as a task only when
+	// its parent has fewer than SplitDepth items and some worker is
+	// starving. Deeper nodes always recurse inline, so the common case pays
+	// no synchronization. 0 means default (4); negative is an error. Only
+	// consulted when Parallelism > 1.
+	SplitDepth int
 
 	// Trace, when non-nil, receives a line-per-event log of the DFS
 	// enumeration — node visits, every pruning decision, and every
@@ -91,6 +99,7 @@ const (
 	defaultDelta           = 0.1
 	defaultMaxExactClauses = 6
 	defaultMaxPairClauses  = 16
+	defaultSplitDepth      = 4
 
 	// zeroClauseEps: clauses whose probability falls below this are dropped
 	// from the union computation and accounted as slack; the slack is
@@ -123,6 +132,12 @@ func (o Options) normalize() (Options, error) {
 	if o.MaxPairClauses == 0 {
 		o.MaxPairClauses = defaultMaxPairClauses
 	}
+	if o.SplitDepth < 0 {
+		return o, fmt.Errorf("core: SplitDepth must be ≥ 0, got %d", o.SplitDepth)
+	}
+	if o.SplitDepth == 0 {
+		o.SplitDepth = defaultSplitDepth
+	}
 	return o, nil
 }
 
@@ -151,6 +166,11 @@ const (
 	// MethodNoClauses means no extension event had positive probability, so
 	// Pr_FC(X) = Pr_F(X) exactly.
 	MethodNoClauses
+	// MethodBoundRejected means the Lemma 4.4 upper bound already ruled the
+	// candidate out, so the value reported is the bound midpoint. Rejected
+	// evaluations only surface through traces and ablation tooling — Result
+	// holds accepted itemsets only.
+	MethodBoundRejected
 )
 
 func (m Method) String() string {
@@ -163,6 +183,8 @@ func (m Method) String() string {
 		return "bound-accepted"
 	case MethodNoClauses:
 		return "no-clauses"
+	case MethodBoundRejected:
+		return "bound-rejected"
 	}
 	return "unknown"
 }
@@ -203,8 +225,18 @@ type Stats struct {
 	Sampled         int // candidates resolved by ApproxFCP sampling
 	SamplesDrawn    int // total Monte-Carlo samples drawn
 	Evaluated       int // candidates whose Pr_FC was evaluated at all
-	TailEvaluations int // Poisson-binomial tails computed
+	TailEvaluations int // Poisson-binomial tails computed (memo misses)
+	TailMemoHits    int // Poisson-binomial tails served from the memo
 	ClauseEvaluated int // clause probabilities computed
+
+	// Scheduling-dependent counters. Results and all other Stats are
+	// byte-identical for every Parallelism setting, but these may vary
+	// between runs: TasksSpawned/TasksStolen count work-stealing decisions
+	// (which depend on which workers happened to be idle), and the
+	// TailEvaluations/TailMemoHits split shifts with the per-worker memo
+	// partition (their sum, total tail lookups, is invariant).
+	TasksSpawned int // subtrees handed to the work-stealing pool
+	TasksStolen  int // tasks taken from another worker's deque
 }
 
 // add accumulates another Stats into s (used when merging parallel
@@ -223,5 +255,8 @@ func (s *Stats) add(o Stats) {
 	s.SamplesDrawn += o.SamplesDrawn
 	s.Evaluated += o.Evaluated
 	s.TailEvaluations += o.TailEvaluations
+	s.TailMemoHits += o.TailMemoHits
 	s.ClauseEvaluated += o.ClauseEvaluated
+	s.TasksSpawned += o.TasksSpawned
+	s.TasksStolen += o.TasksStolen
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"container/heap"
-	"math/rand"
 	"sort"
 
 	"github.com/probdata/pfcim/internal/bitset"
@@ -41,7 +40,6 @@ func MineTopK(db *uncertain.DB, minSup, k int, opts Options) ([]ResultItem, erro
 		probs:    db.Probs(),
 		allItems: idx.Items,
 		itemTids: idx.Tidsets,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
 	}
 	m.buildCandidates()
 
@@ -57,7 +55,8 @@ func MineTopK(db *uncertain.DB, minSup, k int, opts Options) ([]ResultItem, erro
 	var rec func(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error
 	rec = func(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error {
 		m.stats.NodesVisited++
-		// Superset pruning is threshold-independent.
+		// Superset pruning is threshold-independent. The child tidset is a
+		// subset of tids, so count equality is exactly tids ⊆ tids(e).
 		if !m.opts.DisableSuperset {
 			last := x.Last()
 			for _, c := range m.cands {
@@ -67,28 +66,37 @@ func MineTopK(db *uncertain.DB, minSup, k int, opts Options) ([]ResultItem, erro
 				if x.Contains(c.item) {
 					continue
 				}
-				if bitset.AndCount(tids, c.tids) == count {
+				if bitset.IsSubset(tids, c.tids) {
 					m.stats.SupersetPruned++
 					return nil
 				}
 			}
 		}
+		depth := len(x)
+		exts := m.extBuf(depth)
 		selfDead := false
+		var err error
 		for pos := startPos; pos < len(m.cands); pos++ {
 			c := m.cands[pos]
-			child := m.childBuf(len(x))
-			cc := bitset.AndInto(child, tids, c.tids)
+			buf := m.getBuf()
+			cc := bitset.AndInto(buf, tids, c.tids)
 			if cc < m.opts.MinSup {
+				m.putBuf(buf)
+				exts = append(exts, extension{item: c.item, cnt: cc})
 				continue
 			}
-			childProbs := m.probsOf(child)
+			recX := extension{item: c.item, tids: buf, cnt: cc}
+			childProbs := m.probsOf(buf)
 			// Anything that cannot beat the current k-th best is out:
 			// Pr_FC ≤ Pr_F, and the threshold only rises.
 			if poibin.TailUpperBound(childProbs, m.opts.MinSup) <= threshold() {
 				m.stats.CHPruned++
+				exts = append(exts, recX)
 				continue
 			}
-			childPrF := poibin.Tail(childProbs, m.opts.MinSup)
+			childPrF := m.tailOf(buf, childProbs)
+			recX.prF, recX.hasPrF = childPrF, true
+			exts = append(exts, recX)
 			if childPrF <= threshold() {
 				m.stats.FreqPruned++
 				continue
@@ -96,21 +104,21 @@ func MineTopK(db *uncertain.DB, minSup, k int, opts Options) ([]ResultItem, erro
 			if !m.opts.DisableSubset && cc == count {
 				selfDead = true
 				m.stats.SubsetPruned++
-				if err := rec(x.Extend(c.item), child, cc, childPrF, pos+1); err != nil {
-					return err
-				}
+				err = rec(x.Extend(c.item), buf, cc, childPrF, pos+1)
 				break
 			}
-			if err := rec(x.Extend(c.item), child, cc, childPrF, pos+1); err != nil {
-				return err
+			if err = rec(x.Extend(c.item), buf, cc, childPrF, pos+1); err != nil {
+				break
 			}
 		}
-		if selfDead {
-			return nil
+		if err != nil || selfDead {
+			m.releaseExts(depth, exts)
+			return err
 		}
 		// Evaluate against the current threshold.
 		m.opts.PFCT = threshold()
-		ev, err := m.evaluate(x, tids, count, prF)
+		ev, err := m.evaluate(x, tids, count, prF, exts)
+		m.releaseExts(depth, exts)
 		if err != nil {
 			return err
 		}

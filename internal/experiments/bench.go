@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/core"
+)
+
+// BenchPoint is one benchmark measurement: the workload identity, the
+// testing.Benchmark timings, and the mining statistics of a single
+// representative run (the statistics are deterministic per configuration,
+// so one run characterizes all iterations).
+type BenchPoint struct {
+	Name        string     `json:"name"`
+	Dataset     string     `json:"dataset"`
+	RelMinSup   float64    `json:"rel_min_sup"`
+	PFCT        float64    `json:"pfct"`
+	Parallelism int        `json:"parallelism"`
+	NsPerOp     int64      `json:"ns_per_op"`
+	AllocsPerOp int64      `json:"allocs_per_op"`
+	BytesPerOp  int64      `json:"bytes_per_op"`
+	Itemsets    int        `json:"itemsets"`
+	Stats       core.Stats `json:"stats"`
+}
+
+// benchConfigs are the Fig. 5 / Fig. 7 operating points the bench runner
+// measures: the Fig. 5 running-time comparison at its hardest default point
+// on both datasets (serial and at GOMAXPROCS workers), and the Fig. 7 pfct
+// sweep endpoints on Mushroom, where bound pruning is weakest (0.5) and
+// strongest (0.9).
+func (s *Suite) benchConfigs() []BenchPoint {
+	procs := runtime.GOMAXPROCS(0)
+	cfgs := []BenchPoint{
+		{Name: "fig5-mushroom", Dataset: s.Mushroom.Name, RelMinSup: 0.2, PFCT: s.Cfg.PFCT, Parallelism: 1},
+		{Name: "fig5-mushroom-parallel", Dataset: s.Mushroom.Name, RelMinSup: 0.2, PFCT: s.Cfg.PFCT, Parallelism: procs},
+		{Name: "fig5-quest", Dataset: s.Quest.Name, RelMinSup: 0.4, PFCT: s.Cfg.PFCT, Parallelism: 1},
+		{Name: "fig7-mushroom-pfct0.5", Dataset: s.Mushroom.Name, RelMinSup: 0.4, PFCT: 0.5, Parallelism: 1},
+		{Name: "fig7-mushroom-pfct0.9", Dataset: s.Mushroom.Name, RelMinSup: 0.4, PFCT: 0.9, Parallelism: 1},
+	}
+	return cfgs
+}
+
+// RunBench measures every benchmark configuration with testing.Benchmark
+// and writes the points as an indented JSON array to w (the BENCH_*.json
+// format the repository tracks across optimization work).
+func (s *Suite) RunBench(w io.Writer) error {
+	var points []BenchPoint
+	for _, cfg := range s.benchConfigs() {
+		ds := s.Mushroom
+		if cfg.Dataset == s.Quest.Name {
+			ds = s.Quest
+		}
+		opts := s.baseOptions(ds.DB, cfg.RelMinSup)
+		opts.PFCT = cfg.PFCT
+		opts.Parallelism = cfg.Parallelism
+
+		res, err := core.Mine(ds.DB, opts)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", cfg.Name, err)
+		}
+		cfg.Itemsets = len(res.Itemsets)
+		cfg.Stats = res.Stats
+
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Mine(ds.DB, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cfg.NsPerOp = br.NsPerOp()
+		cfg.AllocsPerOp = br.AllocsPerOp()
+		cfg.BytesPerOp = br.AllocedBytesPerOp()
+		points = append(points, cfg)
+		fmt.Fprintf(s.Cfg.Out, "bench %-24s %12d ns/op %8d allocs/op  itemsets=%d tails=%d memo-hits=%d\n",
+			cfg.Name, cfg.NsPerOp, cfg.AllocsPerOp, cfg.Itemsets, cfg.Stats.TailEvaluations, cfg.Stats.TailMemoHits)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(points)
+}
