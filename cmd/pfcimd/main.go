@@ -1,0 +1,131 @@
+// Command pfcimd is the mining service daemon: a long-lived HTTP/JSON
+// process that amortizes dataset loading across requests, runs MPFCI jobs
+// asynchronously on a bounded worker pool, and serves repeated parameter-
+// sweep points from a result cache (sound because mining is deterministic
+// per (dataset, canonical options) — DESIGN.md §9).
+//
+// Usage:
+//
+//	pfcimd -addr :8080 -workers 4 -cache-size 256 -max-job-time 5m
+//
+// Endpoints:
+//
+//	POST   /v1/datasets       register a dataset (text format body, or
+//	                          {"path": …} JSON with -allow-path-load)
+//	GET    /v1/datasets       list registered datasets
+//	GET    /v1/datasets/{id}  one dataset's stats
+//	POST   /v1/jobs           submit a mining job {dataset, options, timeout_ms}
+//	GET    /v1/jobs           list jobs
+//	GET    /v1/jobs/{id}      job status + result
+//	DELETE /v1/jobs/{id}      cancel a job
+//	GET    /healthz           liveness + load snapshot
+//	GET    /metrics           daemon counters (expvar-style JSON)
+//
+// See README.md "Serving" for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/probdata/pfcim/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers       = flag.Int("workers", 0, "mining worker pool size (0 = GOMAXPROCS)")
+		queueDepth    = flag.Int("queue-depth", 64, "maximum queued jobs before submissions get 503")
+		cacheSize     = flag.Int("cache-size", 128, "result cache entries (-1 disables caching)")
+		maxJobTime    = flag.Duration("max-job-time", 0, "per-job wall-time cap (0 = unlimited)")
+		tailMemo      = flag.Int("tail-memo-entries", 0, "default Options.TailMemoEntries for jobs that leave it unset (0 = library default, negative disables)")
+		maxUpload     = flag.Int64("max-upload-bytes", 256<<20, "dataset upload size limit")
+		allowPathLoad = flag.Bool("allow-path-load", false, "allow clients to register datasets from server-local paths (trusted setups only)")
+		preload       = flag.String("preload", "", "comma-separated dataset files to register at startup")
+		grace         = flag.Duration("shutdown-grace", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
+		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "pfcimd: bad -log-level %q: %v\n", *logLevel, err)
+		return 2
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheSize:       *cacheSize,
+		MaxJobTime:      *maxJobTime,
+		TailMemoEntries: *tailMemo,
+		MaxUploadBytes:  *maxUpload,
+		AllowPathLoad:   *allowPathLoad,
+		Logger:          logger,
+	})
+
+	for _, path := range strings.Split(*preload, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		ds, _, err := srv.Registry().RegisterPath(path)
+		if err != nil {
+			logger.Error("preload failed", "path", path, "error", err)
+			return 1
+		}
+		logger.Info("dataset preloaded", "path", path, "dataset", ds.ID,
+			"transactions", ds.Stats.NumTransactions)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "error", err)
+		return 1
+	}
+	logger.Info("pfcimd listening", "addr", ln.Addr().String(),
+		"workers", *workers, "cache_size", *cacheSize)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		logger.Error("server failed", "error", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain the pool —
+	// running jobs finish (up to the grace period), queued jobs cancel.
+	logger.Info("shutdown signal received, draining", "grace", (*grace).String())
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(graceCtx); err != nil {
+		logger.Warn("http shutdown incomplete", "error", err)
+	}
+	if err := srv.Drain(graceCtx); err != nil {
+		logger.Warn("job drain incomplete, running jobs were canceled", "error", err)
+	} else {
+		logger.Info("drained cleanly")
+	}
+	return 0
+}

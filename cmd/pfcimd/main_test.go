@@ -1,0 +1,200 @@
+package main
+
+// Smoke test of the real daemon binary: start pfcimd on a free port,
+// register the paper's Table II dataset over HTTP, mine Example 1.2, and
+// assert Pr_FC(abcd) = 0.81 — the same oracle the CI smoke step uses —
+// then check graceful shutdown on SIGTERM.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pfcimd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build failed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary on port 0 and scans its structured log
+// for the listen address.
+func startDaemon(t *testing.T, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(buildBinary(t), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			var entry struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &entry); err == nil && entry.Msg == "pfcimd listening" {
+				addrCh <- entry.Addr
+			}
+			// Keep draining so the daemon never blocks on a full pipe.
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never reported its listen address")
+		return nil, ""
+	}
+}
+
+const tableII = "0 1 2 3 : 0.9\n0 1 2 : 0.6\n0 1 2 : 0.7\n0 1 2 3 : 0.9\n"
+
+func TestDaemonSmokePaperExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon smoke test skipped in -short mode")
+	}
+	cmd, base := startDaemon(t)
+
+	// Register Table II.
+	resp, err := http.Post(base+"/v1/datasets", "text/plain", strings.NewReader(tableII))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("dataset registration: status %d", resp.StatusCode)
+	}
+	var ds struct {
+		ID              string `json:"id"`
+		NumTransactions int    `json:"num_transactions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ds.NumTransactions != 4 {
+		t.Fatalf("dataset = %+v, want Table II's 4 transactions", ds)
+	}
+
+	// Mine Example 1.2 (min_sup 2, pfct 0.8) through the job API.
+	submit := func() (status int, job map[string]any) {
+		body := fmt.Sprintf(`{"dataset":%q,"options":{"min_sup":2,"pfct":0.8}}`, ds.ID)
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, job
+	}
+	status, job := submit()
+	if status != http.StatusAccepted {
+		t.Fatalf("job submit: status %d, want 202", status)
+	}
+
+	// Poll to completion.
+	id, _ := job["id"].(string)
+	var final map[string]any
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = nil
+		if err := json.NewDecoder(r.Body).Decode(&final); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if s, _ := final["status"].(string); s == "done" || s == "failed" || s == "canceled" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s, _ := final["status"].(string); s != "done" {
+		t.Fatalf("job = %v, want done", final)
+	}
+
+	// Example 1.2's oracle: results are {abc: 0.8754, abcd: 0.81}.
+	result := final["result"].(map[string]any)
+	itemsets := result["itemsets"].([]any)
+	if len(itemsets) != 2 {
+		t.Fatalf("got %d itemsets, want 2", len(itemsets))
+	}
+	abcd := itemsets[1].(map[string]any)
+	if prob := abcd["prob"].(float64); math.Abs(prob-0.81) > 1e-9 {
+		t.Errorf("Pr_FC(abcd) = %v, want 0.81", prob)
+	}
+
+	// Repeat submission is a cache hit served terminal at submit time.
+	status, job = submit()
+	if status != http.StatusOK {
+		t.Errorf("repeat submit: status %d, want 200 (cache hit)", status)
+	}
+	if cached, _ := job["cached"].(bool); !cached {
+		t.Errorf("repeat submit not served from cache: %v", job)
+	}
+
+	// Observability endpoints.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		r, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, r.StatusCode)
+		}
+		r.Body.Close()
+	}
+
+	// Graceful shutdown: SIGTERM → clean exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exit after SIGTERM: %v, want clean exit", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Error("daemon did not exit within the grace period")
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon smoke test skipped in -short mode")
+	}
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-log-level", "nonsense").CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad -log-level should fail, got:\n%s", out)
+	}
+}

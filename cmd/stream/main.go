@@ -28,6 +28,25 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate every flag up front: -report feeds a modulus (0 would panic
+	// with a divide by zero on the first push), and the thresholds are
+	// silently useless outside their domains.
+	if *report < 1 {
+		fatal(fmt.Errorf("-report must be ≥ 1, got %d", *report))
+	}
+	if *window < 1 {
+		fatal(fmt.Errorf("-window must be ≥ 1, got %d", *window))
+	}
+	if *minsupRel <= 0 || *minsupRel > 1 {
+		fatal(fmt.Errorf("-minsup must be in (0,1], got %v", *minsupRel))
+	}
+	if *pft <= 0 || *pft >= 1 {
+		fatal(fmt.Errorf("-pft must be in (0,1), got %v", *pft))
+	}
+	if *topK < 0 {
+		fatal(fmt.Errorf("-top must be ≥ 0, got %d", *topK))
+	}
+
 	w, err := pfcim.NewStreamWindow(*window)
 	if err != nil {
 		fatal(err)

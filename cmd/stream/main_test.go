@@ -41,6 +41,43 @@ func TestStreamCLI(t *testing.T) {
 	}
 }
 
+// TestStreamCLIRejectsBadFlags is the regression test for the -report 0
+// crash: the old binary panicked with an integer divide by zero at
+// w.Pushes()%*report; flags must now be rejected on startup with a clean
+// error instead.
+func TestStreamCLIRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	bin := buildBinary(t)
+	cases := [][]string{
+		{"-report", "0"},
+		{"-report", "-5"},
+		{"-window", "0"},
+		{"-minsup", "0"},
+		{"-minsup", "1.5"},
+		{"-pft", "0"},
+		{"-pft", "1"},
+		{"-top", "-1"},
+	}
+	for _, args := range cases {
+		cmd := exec.Command(bin, args...)
+		cmd.Stdin = strings.NewReader("1 2 : 0.9\n")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("%v should be rejected, got success:\n%s", args, out)
+			continue
+		}
+		text := string(out)
+		if strings.Contains(text, "panic") {
+			t.Errorf("%v crashed instead of failing cleanly:\n%s", args, text)
+		}
+		if !strings.Contains(text, "stream:") {
+			t.Errorf("%v missing the error prefix:\n%s", args, text)
+		}
+	}
+}
+
 func TestStreamCLISkipsBadLines(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI integration test skipped in -short mode")

@@ -50,9 +50,10 @@ type tailEntry struct {
 	prF  float64
 }
 
-// maxTailMemoEntries bounds the tail memo's footprint per miner; beyond it,
-// tails are still served from the memo but no longer added.
-const maxTailMemoEntries = 1 << 16
+// defaultTailMemoEntries bounds the tail memo's footprint per miner when
+// Options.TailMemoEntries is zero; beyond the cap, tails are still served
+// from the memo but no longer added.
+const defaultTailMemoEntries = 1 << 16
 
 // tailOf returns Pr_F of the itemset with tidset b — the Poisson-binomial
 // tail Pr[support ≥ MinSup] over b's tuple probabilities — consulting the
@@ -60,6 +61,13 @@ const maxTailMemoEntries = 1 << 16
 // materialized it for the Chernoff-Hoeffding check pass it to avoid a
 // second scan on a miss).
 func (m *miner) tailOf(b *bitset.Bitset, probs []float64) float64 {
+	if m.opts.TailMemoEntries < 0 {
+		if probs == nil {
+			probs = m.probsOf(b)
+		}
+		m.stats.TailEvaluations++
+		return poibin.Tail(probs, m.opts.MinSup)
+	}
 	h := b.Hash()
 	for _, e := range m.tailMemo[h] {
 		if bitset.Equal(e.tids, b) {
@@ -72,7 +80,7 @@ func (m *miner) tailOf(b *bitset.Bitset, probs []float64) float64 {
 	}
 	m.stats.TailEvaluations++
 	prF := poibin.Tail(probs, m.opts.MinSup)
-	if m.tailMemoSize < maxTailMemoEntries {
+	if m.opts.TailMemoEntries > 0 && m.tailMemoSize < m.opts.TailMemoEntries {
 		if m.tailMemo == nil {
 			m.tailMemo = make(map[uint64][]tailEntry)
 		}

@@ -87,6 +87,18 @@ type Options struct {
 	// consulted when Parallelism > 1.
 	SplitDepth int
 
+	// TailMemoEntries bounds the per-miner Poisson-binomial tail memo (each
+	// entry holds a cloned tidset plus a float, ≈ N/8 + 24 bytes at N
+	// transactions; parallel runs keep one memo per worker). 0 means the
+	// default (65536); negative disables memoization entirely. The memo
+	// trades memory for time — dense data reuses most tails (Fig. 5
+	// Mushroom serves ~57 % of lookups from it), so shrinking the cap slows
+	// mining but caps resident memory, which is what a memory-constrained
+	// daemon worker running many concurrent jobs wants. Values served from
+	// the memo are bit-identical to recomputation, so this knob never
+	// changes results — it is excluded from CanonicalKey.
+	TailMemoEntries int
+
 	// Trace, when non-nil, receives a line-per-event log of the DFS
 	// enumeration — node visits, every pruning decision, and every
 	// evaluation verdict — the walk-through the paper's Fig. 4 depicts.
@@ -137,6 +149,9 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.SplitDepth == 0 {
 		o.SplitDepth = defaultSplitDepth
+	}
+	if o.TailMemoEntries == 0 {
+		o.TailMemoEntries = defaultTailMemoEntries
 	}
 	return o, nil
 }

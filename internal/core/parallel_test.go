@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/probdata/pfcim/internal/gen"
 	"github.com/probdata/pfcim/internal/itemset"
@@ -128,6 +132,60 @@ func TestParallelismInvariantResults(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestMineCancelParallel: canceling a parallel mine mid-run must return
+// promptly with the context error and leak no worker goroutines — the
+// property pfcimd's DELETE /v1/jobs relies on.
+func TestMineCancelParallel(t *testing.T) {
+	raw := gen.MushroomLike(0.03, 42)
+	db := gen.AssignGaussian(raw, 0.5, 0.5, 43)
+	opts := Options{
+		MinSup:      4, // low support: a run that takes seconds uncanceled
+		PFCT:        0.5,
+		Seed:        7,
+		Parallelism: 4,
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var (
+		res *Result
+		err error
+	)
+	go func() {
+		defer close(done)
+		res, err = MineContext(ctx, db, opts)
+	}()
+	time.Sleep(20 * time.Millisecond) // let workers get into the tree
+	cancel()
+	start := time.Now()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled parallel mine did not return")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("cancellation took %v; workers should abort at the next node", waited)
+	}
+	if err == nil {
+		t.Fatalf("canceled mine returned %d itemsets and no error", len(res.Itemsets))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("canceled mine should return a nil result, got %d itemsets", len(res.Itemsets))
+	}
+	// All pool goroutines must exit. Give the runtime a moment to reap.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before cancel, %d after", before, runtime.NumGoroutine())
 }
 
 func TestParallelPaperExample(t *testing.T) {

@@ -1,0 +1,162 @@
+package core
+
+// Wire forms of Options and Result plus option canonicalization — the
+// substrate the pfcimd service (internal/service) builds its HTTP API and
+// result cache on. Canonicalization answers "do two option structs request
+// the same mining result?"; the JSON forms exist because Options carries an
+// io.Writer (Trace) and Result carries internal types, neither of which
+// belongs on the wire.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Canonical returns the canonical form of o: validation and defaulting
+// applied (exactly as Mine would), and every field that cannot change the
+// mined result — Trace, Parallelism, SplitDepth, TailMemoEntries, all pure
+// execution knobs per DESIGN §8.3 — cleared to the zero value. Two option
+// structs with equal canonical forms produce byte-identical result sets, so
+// the canonical form (or CanonicalKey, its string rendering) is a sound
+// cache key.
+func (o Options) Canonical() (Options, error) {
+	c, err := o.normalize()
+	if err != nil {
+		return Options{}, err
+	}
+	c.Trace = nil
+	c.Parallelism = 0
+	c.SplitDepth = 0
+	c.TailMemoEntries = 0
+	return c, nil
+}
+
+// CanonicalKey renders the canonical form as a deterministic string listing
+// every result-affecting option, suitable as a map key.
+func (o Options) CanonicalKey() (string, error) {
+	c, err := o.Canonical()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("minsup=%d pfct=%g eps=%g delta=%g seed=%d noch=%t nosuper=%t nosub=%t nobound=%t search=%s maxexact=%d maxpair=%d",
+		c.MinSup, c.PFCT, c.Epsilon, c.Delta, c.Seed,
+		c.DisableCH, c.DisableSuperset, c.DisableSubset, c.DisableBounds,
+		c.Search, c.MaxExactClauses, c.MaxPairClauses), nil
+}
+
+// OptionsJSON is the wire form of Options: every field except Trace, with
+// Search as a string. The zero value of every field means "use the
+// default", mirroring Options itself, so a client may send only min_sup and
+// pfct.
+type OptionsJSON struct {
+	MinSup          int     `json:"min_sup"`
+	PFCT            float64 `json:"pfct"`
+	Epsilon         float64 `json:"epsilon,omitempty"`
+	Delta           float64 `json:"delta,omitempty"`
+	Seed            int64   `json:"seed,omitempty"`
+	DisableCH       bool    `json:"disable_ch,omitempty"`
+	DisableSuperset bool    `json:"disable_superset,omitempty"`
+	DisableSubset   bool    `json:"disable_subset,omitempty"`
+	DisableBounds   bool    `json:"disable_bounds,omitempty"`
+	Search          string  `json:"search,omitempty"`
+	MaxExactClauses int     `json:"max_exact_clauses,omitempty"`
+	MaxPairClauses  int     `json:"max_pair_clauses,omitempty"`
+	Parallelism     int     `json:"parallelism,omitempty"`
+	SplitDepth      int     `json:"split_depth,omitempty"`
+	TailMemoEntries int     `json:"tail_memo_entries,omitempty"`
+}
+
+// JSON converts o to its wire form (Trace is dropped).
+func (o Options) JSON() OptionsJSON {
+	search := ""
+	if o.Search == BFS {
+		search = "BFS"
+	}
+	return OptionsJSON{
+		MinSup:          o.MinSup,
+		PFCT:            o.PFCT,
+		Epsilon:         o.Epsilon,
+		Delta:           o.Delta,
+		Seed:            o.Seed,
+		DisableCH:       o.DisableCH,
+		DisableSuperset: o.DisableSuperset,
+		DisableSubset:   o.DisableSubset,
+		DisableBounds:   o.DisableBounds,
+		Search:          search,
+		MaxExactClauses: o.MaxExactClauses,
+		MaxPairClauses:  o.MaxPairClauses,
+		Parallelism:     o.Parallelism,
+		SplitDepth:      o.SplitDepth,
+		TailMemoEntries: o.TailMemoEntries,
+	}
+}
+
+// Options converts the wire form back; an unknown Search string is an
+// error. Validation of the numeric fields is left to Mine's normalization.
+func (oj OptionsJSON) Options() (Options, error) {
+	var search Search
+	switch strings.ToUpper(strings.TrimSpace(oj.Search)) {
+	case "", "DFS":
+		search = DFS
+	case "BFS":
+		search = BFS
+	default:
+		return Options{}, fmt.Errorf("core: unknown search framework %q (want \"DFS\" or \"BFS\")", oj.Search)
+	}
+	return Options{
+		MinSup:          oj.MinSup,
+		PFCT:            oj.PFCT,
+		Epsilon:         oj.Epsilon,
+		Delta:           oj.Delta,
+		Seed:            oj.Seed,
+		DisableCH:       oj.DisableCH,
+		DisableSuperset: oj.DisableSuperset,
+		DisableSubset:   oj.DisableSubset,
+		DisableBounds:   oj.DisableBounds,
+		Search:          search,
+		MaxExactClauses: oj.MaxExactClauses,
+		MaxPairClauses:  oj.MaxPairClauses,
+		Parallelism:     oj.Parallelism,
+		SplitDepth:      oj.SplitDepth,
+		TailMemoEntries: oj.TailMemoEntries,
+	}, nil
+}
+
+// ResultItemJSON is the wire form of one mined itemset.
+type ResultItemJSON struct {
+	Items    []int   `json:"items"`
+	Prob     float64 `json:"prob"`
+	Lower    float64 `json:"lower"`
+	Upper    float64 `json:"upper"`
+	FreqProb float64 `json:"freq_prob"`
+	Method   string  `json:"method"`
+}
+
+// ResultJSON is the wire form of a full mining result.
+type ResultJSON struct {
+	Itemsets []ResultItemJSON `json:"itemsets"`
+	Stats    Stats            `json:"stats"`
+	Options  OptionsJSON      `json:"options"`
+}
+
+// JSON converts the result to its wire form. Itemsets appear in the
+// result's (lexicographic) order, so the wire form is deterministic per
+// (database, canonical options).
+func (r *Result) JSON() ResultJSON {
+	items := make([]ResultItemJSON, len(r.Itemsets))
+	for i, ri := range r.Itemsets {
+		ints := make([]int, len(ri.Items))
+		for j, it := range ri.Items {
+			ints[j] = int(it)
+		}
+		items[i] = ResultItemJSON{
+			Items:    ints,
+			Prob:     ri.Prob,
+			Lower:    ri.Lower,
+			Upper:    ri.Upper,
+			FreqProb: ri.FreqProb,
+			Method:   ri.Method.String(),
+		}
+	}
+	return ResultJSON{Itemsets: items, Stats: r.Stats, Options: r.Options.JSON()}
+}

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/probdata/pfcim/internal/core"
+)
+
+// resultCache is an LRU map from (dataset id, canonical options key) to a
+// finished mining result. Caching is sound because mining is deterministic
+// per (database content, canonical options) — see DESIGN §8.3: results,
+// probabilities, and all scheduling-independent statistics are
+// byte-identical across runs, parallelism settings, and memo budgets — so a
+// cached entry is indistinguishable from re-mining.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res core.ResultJSON
+}
+
+// cacheKey joins the two key halves. The canonical options key contains no
+// newline, so the separator is unambiguous.
+func cacheKey(datasetID, optionsKey string) string {
+	return datasetID + "\n" + optionsKey
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key, promoting it to most recent.
+func (c *resultCache) get(key string) (core.ResultJSON, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return core.ResultJSON{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a result, evicting the least recently used entry beyond the
+// capacity. A zero or negative capacity disables the cache.
+func (c *resultCache) put(key string, res core.ResultJSON) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,366 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// JobStatus is the lifecycle state of a mining job.
+type JobStatus string
+
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	ErrQueueFull    = errors.New("service: job queue is full")
+	ErrShuttingDown = errors.New("service: daemon is shutting down")
+	ErrNoSuchJob    = errors.New("service: no such job")
+)
+
+// job is the manager's internal record; every field after the immutable
+// header is guarded by the manager's mutex.
+type job struct {
+	id       string
+	dataset  string
+	db       *uncertain.DB
+	options  core.OptionsJSON // as submitted, echoed back to clients
+	opts     core.Options     // parsed, with daemon defaults applied
+	cacheKey string
+	timeout  time.Duration
+
+	status       JobStatus
+	cached       bool
+	errMsg       string
+	result       *core.ResultJSON
+	submitted    time.Time
+	started      time.Time
+	finished     time.Time
+	wallMillis   int64
+	cancel       context.CancelFunc
+	userCanceled bool
+}
+
+// JobInfo is an immutable snapshot of a job, safe to serialize.
+type JobInfo struct {
+	ID          string           `json:"id"`
+	Dataset     string           `json:"dataset"`
+	Status      JobStatus        `json:"status"`
+	Cached      bool             `json:"cached,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	Options     core.OptionsJSON `json:"options"`
+	SubmittedAt time.Time        `json:"submitted_at"`
+	StartedAt   *time.Time       `json:"started_at,omitempty"`
+	FinishedAt  *time.Time       `json:"finished_at,omitempty"`
+	WallMillis  int64            `json:"wall_ms,omitempty"`
+	Result      *core.ResultJSON `json:"result,omitempty"`
+}
+
+func (j *job) snapshot() JobInfo {
+	info := JobInfo{
+		ID:          j.id,
+		Dataset:     j.dataset,
+		Status:      j.status,
+		Cached:      j.cached,
+		Error:       j.errMsg,
+		Options:     j.options,
+		SubmittedAt: j.submitted,
+		WallMillis:  j.wallMillis,
+		Result:      j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.FinishedAt = &t
+	}
+	return info
+}
+
+// Manager owns the job table and the bounded worker pool. Submissions that
+// hit the result cache complete synchronously without touching the pool;
+// everything else queues and is mined by one of Workers goroutines under a
+// per-job context.
+type Manager struct {
+	cache      *resultCache
+	metrics    *metrics
+	log        *slog.Logger
+	maxJobTime time.Duration
+	tailMemo   int // default Options.TailMemoEntries for jobs that leave it 0
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	queue      chan *job
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	seq    int
+	closed bool
+}
+
+func newManager(workers, queueDepth int, maxJobTime time.Duration, tailMemo int, cache *resultCache, mtr *metrics, log *slog.Logger) *Manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cache:      cache,
+		metrics:    mtr,
+		log:        log,
+		maxJobTime: maxJobTime,
+		tailMemo:   tailMemo,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, queueDepth),
+		jobs:       make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates the request, consults the result cache, and either
+// completes the job immediately (cache hit) or enqueues it. timeout 0 means
+// the daemon's MaxJobTime; a positive request is capped by it.
+func (m *Manager) Submit(ds *Dataset, oj core.OptionsJSON, timeout time.Duration) (JobInfo, error) {
+	opts, err := oj.Options()
+	if err != nil {
+		return JobInfo{}, err
+	}
+	optKey, err := opts.CanonicalKey()
+	if err != nil {
+		return JobInfo{}, err
+	}
+	if opts.TailMemoEntries == 0 {
+		opts.TailMemoEntries = m.tailMemo
+	}
+	if timeout <= 0 || (m.maxJobTime > 0 && timeout > m.maxJobTime) {
+		timeout = m.maxJobTime
+	}
+
+	j := &job{
+		dataset:   ds.ID,
+		db:        ds.DB(),
+		options:   oj,
+		opts:      opts,
+		cacheKey:  cacheKey(ds.ID, optKey),
+		timeout:   timeout,
+		submitted: time.Now(),
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobInfo{}, ErrShuttingDown
+	}
+	m.seq++
+	j.id = fmt.Sprintf("j%d", m.seq)
+
+	if res, ok := m.cache.get(j.cacheKey); ok {
+		j.status = StatusDone
+		j.cached = true
+		j.result = &res
+		j.finished = time.Now()
+		m.metrics.CacheHits.Add(1)
+		m.metrics.JobsDone.Add(1)
+		m.addLocked(j)
+		m.log.Info("job served from cache", "job", j.id, "dataset", j.dataset)
+		return j.snapshot(), nil
+	}
+	m.metrics.CacheMisses.Add(1)
+
+	j.status = StatusQueued
+	select {
+	case m.queue <- j:
+	default:
+		return JobInfo{}, ErrQueueFull
+	}
+	m.metrics.JobsQueued.Add(1)
+	m.addLocked(j)
+	m.log.Info("job queued", "job", j.id, "dataset", j.dataset)
+	return j.snapshot(), nil
+}
+
+func (m *Manager) addLocked(j *job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+}
+
+// Get returns a snapshot of the job with the given id.
+func (m *Manager) Get(id string) (JobInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobInfo{}, ErrNoSuchJob
+	}
+	return j.snapshot(), nil
+}
+
+// List returns snapshots of every job in submission order.
+func (m *Manager) List() []JobInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobInfo, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].snapshot())
+	}
+	return out
+}
+
+// Cancel aborts the job: a queued job is marked canceled and skipped by the
+// pool; a running job has its context canceled and transitions when the
+// miner returns (MineContext aborts at the next enumeration node).
+// Canceling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (JobInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobInfo{}, ErrNoSuchJob
+	}
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCanceled
+		j.errMsg = "canceled before start"
+		j.finished = time.Now()
+		m.metrics.JobsCanceled.Add(1)
+		m.log.Info("job canceled while queued", "job", j.id)
+	case StatusRunning:
+		j.userCanceled = true
+		j.cancel()
+		m.log.Info("job cancellation requested", "job", j.id)
+	}
+	return j.snapshot(), nil
+}
+
+// Running returns the number of jobs currently executing.
+func (m *Manager) Running() int64 { return m.metrics.JobsRunning.Value() }
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+func (m *Manager) run(j *job) {
+	m.mu.Lock()
+	if j.status != StatusQueued { // canceled while queued
+		m.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	var ctx context.Context
+	if j.timeout > 0 {
+		ctx, j.cancel = context.WithTimeout(m.baseCtx, j.timeout)
+	} else {
+		ctx, j.cancel = context.WithCancel(m.baseCtx)
+	}
+	cancel := j.cancel
+	ds, opts := j.dataset, j.opts
+	m.mu.Unlock()
+	defer cancel()
+
+	m.metrics.JobsRunning.Add(1)
+	m.log.Info("job started", "job", j.id, "dataset", ds,
+		"min_sup", opts.MinSup, "pfct", opts.PFCT)
+	res, err := m.mine(ctx, j)
+	m.metrics.JobsRunning.Add(-1)
+	now := time.Now()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finished = now
+	j.wallMillis = now.Sub(j.started).Milliseconds()
+	switch {
+	case err == nil:
+		rj := res.JSON()
+		j.result = &rj
+		j.status = StatusDone
+		m.cache.put(j.cacheKey, rj)
+		m.metrics.JobsDone.Add(1)
+		m.metrics.MineWallMillis.Add(j.wallMillis)
+		m.metrics.addStats(res.Stats)
+		m.log.Info("job done", "job", j.id, "wall_ms", j.wallMillis,
+			"itemsets", len(rj.Itemsets), "nodes", res.Stats.NodesVisited)
+	case j.userCanceled:
+		j.status = StatusCanceled
+		j.errMsg = err.Error()
+		m.metrics.JobsCanceled.Add(1)
+		m.log.Info("job canceled", "job", j.id, "wall_ms", j.wallMillis)
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+		m.metrics.JobsFailed.Add(1)
+		m.log.Error("job failed", "job", j.id, "wall_ms", j.wallMillis, "error", j.errMsg)
+	}
+}
+
+// mine runs the miner with panic isolation: a panicking job fails with the
+// recovered value and stack instead of killing the daemon's worker.
+func (m *Manager) mine(ctx context.Context, j *job) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return core.MineContext(ctx, j.db, j.opts)
+}
+
+// Drain stops intake, cancels jobs still queued, and waits for running jobs
+// to finish. If ctx expires first, the running jobs' contexts are canceled
+// and Drain keeps waiting for the (now prompt) returns, so workers never
+// leak. Safe to call more than once.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+		for _, j := range m.jobs {
+			if j.status == StatusQueued {
+				j.status = StatusCanceled
+				j.errMsg = "canceled: daemon shutting down"
+				j.finished = time.Now()
+				m.metrics.JobsCanceled.Add(1)
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+
+	"github.com/probdata/pfcim/internal/core"
+)
+
+// metrics is the daemon's counter set, served by /metrics. The counters are
+// expvar vars created per Server rather than published to the global expvar
+// registry, so multiple servers (tests, embedding) never collide on
+// registration; the /metrics handler renders them in expvar's JSON shape.
+type metrics struct {
+	JobsQueued   expvar.Int // jobs accepted into the queue
+	JobsRunning  expvar.Int // jobs currently executing (gauge)
+	JobsDone     expvar.Int // jobs finished successfully (cache hits included)
+	JobsFailed   expvar.Int // jobs finished with an error, timeout, or panic
+	JobsCanceled expvar.Int // jobs canceled by DELETE
+
+	CacheHits   expvar.Int // submissions served from the result cache
+	CacheMisses expvar.Int // submissions that had to mine
+
+	DatasetsRegistered expvar.Int // distinct datasets ever registered
+
+	MineWallMillis expvar.Int // cumulative wall time spent mining
+
+	// Cumulative core.Stats counters across every finished job — the
+	// daemon-level view of Fig. 6–9's per-run statistics.
+	NodesVisited    expvar.Int
+	TailEvaluations expvar.Int
+	TailMemoHits    expvar.Int
+	SamplesDrawn    expvar.Int
+	Evaluated       expvar.Int
+}
+
+// addStats accumulates one finished job's mining statistics.
+func (m *metrics) addStats(s core.Stats) {
+	m.NodesVisited.Add(int64(s.NodesVisited))
+	m.TailEvaluations.Add(int64(s.TailEvaluations))
+	m.TailMemoHits.Add(int64(s.TailMemoHits))
+	m.SamplesDrawn.Add(int64(s.SamplesDrawn))
+	m.Evaluated.Add(int64(s.Evaluated))
+}
+
+// vars lists every counter with its exported name, in serving order.
+func (m *metrics) vars() []struct {
+	Name string
+	Var  *expvar.Int
+} {
+	return []struct {
+		Name string
+		Var  *expvar.Int
+	}{
+		{"jobs_queued", &m.JobsQueued},
+		{"jobs_running", &m.JobsRunning},
+		{"jobs_done", &m.JobsDone},
+		{"jobs_failed", &m.JobsFailed},
+		{"jobs_canceled", &m.JobsCanceled},
+		{"cache_hits", &m.CacheHits},
+		{"cache_misses", &m.CacheMisses},
+		{"datasets_registered", &m.DatasetsRegistered},
+		{"mine_wall_ms", &m.MineWallMillis},
+		{"nodes_visited", &m.NodesVisited},
+		{"tail_evaluations", &m.TailEvaluations},
+		{"tail_memo_hits", &m.TailMemoHits},
+		{"samples_drawn", &m.SamplesDrawn},
+		{"evaluated", &m.Evaluated},
+	}
+}
+
+// snapshot returns the current counter values by name.
+func (m *metrics) snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	for _, v := range m.vars() {
+		out[v.Name] = v.Var.Value()
+	}
+	return out
+}
+
+// serveHTTP renders the counters as a flat JSON object, the same shape
+// expvar serves, under the daemon's own names.
+func (m *metrics) serveHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.snapshot())
+}

@@ -1,0 +1,131 @@
+// Package service implements pfcimd, the long-lived mining daemon: a
+// content-hashed dataset registry, an async job queue running the MPFCI
+// miner on a bounded worker pool, a result cache keyed by (dataset hash,
+// canonical options), and an observability surface (/healthz, /metrics,
+// structured logs). See DESIGN.md §9 for the architecture and the
+// determinism argument that makes the cache sound.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// Dataset is one registered uncertain database. ID is derived from the
+// content hash, so registering the same data twice (regardless of source —
+// upload or path) yields the same Dataset.
+type Dataset struct {
+	// ID is the first 16 hex digits of the SHA-256 of the canonical text
+	// serialization — enough that a collision needs ~2^32 distinct datasets
+	// in one daemon, far beyond any registry this process can hold.
+	ID string
+	// Stats are the Table VIII-style characteristics, computed once at
+	// registration and reported to clients.
+	Stats uncertain.Stats
+	// RegisteredAt is the first registration time.
+	RegisteredAt time.Time
+
+	db *uncertain.DB
+}
+
+// DB returns the registered database. The registry retains ownership; the
+// database is immutable after construction, so concurrent mining jobs share
+// it without copying — that sharing is the point of the daemon.
+func (d *Dataset) DB() *uncertain.DB { return d.db }
+
+// Registry is the thread-safe dataset store.
+type Registry struct {
+	mu   sync.RWMutex
+	byID map[string]*Dataset
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*Dataset)}
+}
+
+// hashDB content-hashes a database via its canonical text serialization
+// (sorted items, %g probabilities — see uncertain.Write), so equal
+// databases hash equal regardless of how they were delivered.
+func hashDB(db *uncertain.DB) (string, error) {
+	h := sha256.New()
+	if err := uncertain.Write(h, db); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}
+
+// Register adds db under its content hash and returns the Dataset plus
+// whether it was newly added (false: the same content was already
+// registered, and the existing record is returned).
+func (r *Registry) Register(db *uncertain.DB) (*Dataset, bool, error) {
+	id, err := hashDB(db)
+	if err != nil {
+		return nil, false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.byID[id]; ok {
+		return d, false, nil
+	}
+	d := &Dataset{ID: id, Stats: db.Stats(), RegisteredAt: time.Now(), db: db}
+	r.byID[id] = d
+	return d, true, nil
+}
+
+// RegisterText parses the text interchange format from rd and registers the
+// result.
+func (r *Registry) RegisterText(rd io.Reader) (*Dataset, bool, error) {
+	db, err := uncertain.Read(rd)
+	if err != nil {
+		return nil, false, err
+	}
+	return r.Register(db)
+}
+
+// RegisterPath loads the text interchange format from a local file and
+// registers the result. The HTTP layer only routes here when the daemon was
+// started with path loading enabled.
+func (r *Registry) RegisterPath(path string) (*Dataset, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("service: load dataset: %w", err)
+	}
+	defer f.Close()
+	return r.RegisterText(f)
+}
+
+// Get returns the dataset with the given id.
+func (r *Registry) Get(id string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byID[id]
+	return d, ok
+}
+
+// List returns every registered dataset, ordered by id.
+func (r *Registry) List() []*Dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Dataset, 0, len(r.byID))
+	for _, d := range r.byID {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}

@@ -1,0 +1,328 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// Config tunes one daemon instance. The zero value is serviceable: defaults
+// are applied by New.
+type Config struct {
+	// Workers is the mining worker pool size. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; a full
+	// queue rejects submissions with 503. Default 64.
+	QueueDepth int
+	// CacheSize bounds the result cache (entries); ≤ -1 disables caching,
+	// 0 means the default 128.
+	CacheSize int
+	// MaxJobTime caps every job's wall time; 0 means no deadline. A job may
+	// request a shorter timeout, never a longer one.
+	MaxJobTime time.Duration
+	// TailMemoEntries is applied to jobs that leave Options.TailMemoEntries
+	// at 0, bounding per-job memory across the pool (see core.Options).
+	TailMemoEntries int
+	// MaxUploadBytes bounds dataset upload bodies. Default 256 MiB.
+	MaxUploadBytes int64
+	// AllowPathLoad enables registering datasets from server-local paths
+	// ({"path": ...} bodies). Off by default: with it on, any client can
+	// read any file the daemon can, so it is for trusted setups only.
+	AllowPathLoad bool
+	// Logger receives structured logs. Default: slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 256 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the pfcimd daemon core: registry + job manager + cache +
+// metrics behind an http.Handler. Create with New, serve Handler(), and
+// call Drain on shutdown.
+type Server struct {
+	cfg      Config
+	log      *slog.Logger
+	registry *Registry
+	jobs     *Manager
+	cache    *resultCache
+	metrics  *metrics
+	started  time.Time
+	mux      *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		registry: NewRegistry(),
+		cache:    newResultCache(cfg.CacheSize),
+		metrics:  &metrics{},
+		started:  time.Now(),
+		mux:      http.NewServeMux(),
+	}
+	s.jobs = newManager(cfg.Workers, cfg.QueueDepth, cfg.MaxJobTime,
+		cfg.TailMemoEntries, s.cache, s.metrics, s.log)
+
+	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics.serveHTTP)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the dataset registry (cmd/pfcimd preloads datasets
+// through it).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Jobs exposes the job manager.
+func (s *Server) Jobs() *Manager { return s.jobs }
+
+// Metrics returns a snapshot of every daemon counter.
+func (s *Server) Metrics() map[string]int64 { return s.metrics.snapshot() }
+
+// Drain gracefully shuts the worker pool down: intake stops, queued jobs
+// are canceled, running jobs finish (until ctx expires, at which point they
+// are canceled and awaited).
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.Drain(ctx) }
+
+// --- wire types ---
+
+// DatasetInfo is the wire form of a registered dataset.
+type DatasetInfo struct {
+	ID              string    `json:"id"`
+	NumTransactions int       `json:"num_transactions"`
+	NumItems        int       `json:"num_items"`
+	AvgLength       float64   `json:"avg_length"`
+	MaxLength       int       `json:"max_length"`
+	MeanProb        float64   `json:"mean_prob"`
+	RegisteredAt    time.Time `json:"registered_at"`
+}
+
+func datasetInfo(d *Dataset) DatasetInfo {
+	return DatasetInfo{
+		ID:              d.ID,
+		NumTransactions: d.Stats.NumTransactions,
+		NumItems:        d.Stats.NumItems,
+		AvgLength:       d.Stats.AvgLength,
+		MaxLength:       d.Stats.MaxLength,
+		MeanProb:        d.Stats.MeanProb,
+		RegisteredAt:    d.RegisteredAt,
+	}
+}
+
+// jobRequest is the POST /v1/jobs body.
+type jobRequest struct {
+	Dataset   string           `json:"dataset"`
+	Options   core.OptionsJSON `json:"options"`
+	TimeoutMS int64            `json:"timeout_ms,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("response encode failed", "error", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// --- dataset handlers ---
+
+// handleRegisterDataset accepts either the text interchange format (any
+// non-JSON content type) or, when path loading is enabled, a JSON body
+// {"path": "/file/on/the/server"}. Registration is idempotent: the same
+// content returns the same id with 200 instead of 201.
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	var (
+		ds    *Dataset
+		fresh bool
+		err   error
+	)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Path string `json:"path"`
+		}
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad JSON body: %w", err))
+			return
+		}
+		if req.Path == "" {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: JSON registration requires \"path\""))
+			return
+		}
+		if !s.cfg.AllowPathLoad {
+			s.writeError(w, http.StatusForbidden, fmt.Errorf("service: path loading is disabled (start pfcimd with -allow-path-load)"))
+			return
+		}
+		ds, fresh, err = s.registry.RegisterPath(req.Path)
+	} else {
+		ds, fresh, err = s.registry.RegisterText(body)
+	}
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusOK
+	if fresh {
+		status = http.StatusCreated
+		s.metrics.DatasetsRegistered.Add(1)
+		s.log.Info("dataset registered", "dataset", ds.ID,
+			"transactions", ds.Stats.NumTransactions, "items", ds.Stats.NumItems)
+	}
+	s.writeJSON(w, status, datasetInfo(ds))
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	list := s.registry.List()
+	out := make([]DatasetInfo, len(list))
+	for i, d := range list {
+		out[i] = datasetInfo(d)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: no such dataset"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, datasetInfo(d))
+}
+
+// --- job handlers ---
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad JSON body: %w", err))
+		return
+	}
+	ds, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: no such dataset %q", req.Dataset))
+		return
+	}
+	info, err := s.jobs.Submit(ds, req.Options, time.Duration(req.TimeoutMS)*time.Millisecond)
+	switch {
+	case err == nil:
+	case err == ErrQueueFull, err == ErrShuttingDown:
+		s.writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if info.Status.Terminal() { // cache hit: already done
+		status = http.StatusOK
+	}
+	s.writeJSON(w, status, info)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	list := s.jobs.List()
+	// Job listings elide results; fetch a single job for its itemsets.
+	for i := range list {
+		list[i].Result = nil
+	}
+	s.writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	info, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	info, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// --- observability ---
+
+// healthResponse is the /healthz body; status is always "ok" while the
+// process serves requests — the endpoint exists so orchestrators can tell
+// "serving" from "gone", and carries a little load snapshot for humans.
+type healthResponse struct {
+	Status      string `json:"status"`
+	UptimeMS    int64  `json:"uptime_ms"`
+	Datasets    int    `json:"datasets"`
+	JobsRunning int64  `json:"jobs_running"`
+	CacheLen    int    `json:"cache_len"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthResponse{
+		Status:      "ok",
+		UptimeMS:    time.Since(s.started).Milliseconds(),
+		Datasets:    s.registry.Len(),
+		JobsRunning: s.jobs.Running(),
+		CacheLen:    s.cache.len(),
+	})
+}
+
+// RegisterDB registers an in-process database (cmd/pfcimd's -preload).
+func (s *Server) RegisterDB(db *uncertain.DB) (DatasetInfo, error) {
+	ds, fresh, err := s.registry.Register(db)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	if fresh {
+		s.metrics.DatasetsRegistered.Add(1)
+	}
+	return datasetInfo(ds), nil
+}

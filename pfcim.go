@@ -105,6 +105,32 @@ type ResultItem = core.ResultItem
 // MineStats counts the work each pruning rule saved during a run.
 type MineStats = core.Stats
 
+// OptionsJSON is the wire (JSON) form of Options: every field except the
+// Trace writer, with the search framework as a string. The zero value of
+// each field means "use the default", so a client needs to send only
+// min_sup and pfct. Convert with Options.JSON and OptionsJSON.Options.
+type OptionsJSON = core.OptionsJSON
+
+// ResultJSON is the wire (JSON) form of a mining Result, produced by
+// Result.JSON; itemsets appear in lexicographic order, so the form is
+// deterministic per (database, canonical options).
+type ResultJSON = core.ResultJSON
+
+// ResultItemJSON is the wire form of one mined itemset.
+type ResultItemJSON = core.ResultItemJSON
+
+// CanonicalOptions validates o, applies the defaults Mine would, and clears
+// every field that cannot change the mined result (Trace and the execution
+// knobs Parallelism, SplitDepth, TailMemoEntries). Two option structs with
+// equal canonical forms produce byte-identical result sets.
+func CanonicalOptions(o Options) (Options, error) { return o.Canonical() }
+
+// OptionsKey renders the canonical form of o as a deterministic string.
+// Because mining is deterministic per (database, canonical options) — see
+// DESIGN §8.3 — (dataset content hash, OptionsKey) is a sound cache key
+// for mining results; pfcimd's result cache uses exactly that.
+func OptionsKey(o Options) (string, error) { return o.CanonicalKey() }
+
 // Mine runs the MPFCI miner (or the variant selected by opts) and returns
 // every probabilistic frequent closed itemset of db.
 func Mine(db *Database, opts Options) (*Result, error) { return core.Mine(db, opts) }
