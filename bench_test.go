@@ -242,8 +242,8 @@ func BenchmarkFig10ProbabilisticFrequent(b *testing.B) {
 	load(b)
 	ms := pfcim.AbsoluteMinSup(benchData.mush81.N(), 0.2)
 	for i := 0; i < b.N; i++ {
-		if got := pfcim.MineFrequent(benchData.mush81, pfcim.FrequentOptions{MinSup: ms, PFT: 0.8}); len(got) == 0 {
-			b.Fatal("no probabilistic frequent itemsets")
+		if got, err := pfcim.MineFrequent(benchData.mush81, pfcim.FrequentOptions{MinSup: ms, PFT: 0.8}); err != nil || len(got) == 0 {
+			b.Fatalf("no probabilistic frequent itemsets (err %v)", err)
 		}
 	}
 }

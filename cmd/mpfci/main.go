@@ -129,14 +129,20 @@ func main() {
 		st.NumTransactions, st.NumItems, st.AvgLength, ms, *pfct)
 
 	if *frequent {
-		pfis := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: ms, PFT: *pfct})
+		pfis, err := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: ms, PFT: *pfct})
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("# %d probabilistic frequent itemsets\n", len(pfis))
 		for _, p := range pfis {
 			fmt.Printf("PFI %s\tPr_F=%.4f\texp_sup=%.2f\n", p.Items, p.FreqProb, p.ExpectedSupport)
 		}
 	}
 	if *maximal {
-		maxes := pfcim.MaximalFrequent(db, pfcim.FrequentOptions{MinSup: ms, PFT: *pfct})
+		maxes, err := pfcim.MaximalFrequent(db, pfcim.FrequentOptions{MinSup: ms, PFT: *pfct})
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("# %d maximal probabilistic frequent itemsets\n", len(maxes))
 		for _, m := range maxes {
 			fmt.Printf("MaxPFI %s\n", m)

@@ -15,7 +15,11 @@
 //	GET    /v1/datasets       list registered datasets
 //	GET    /v1/datasets/{id}  one dataset's stats
 //	POST   /v1/jobs           submit a mining job {dataset, options, timeout_ms}
-//	GET    /v1/jobs           list jobs
+//	POST   /v1/sweeps         submit a parameter sweep {dataset, options,
+//	                          points: [{min_sup, pfct, epsilon, delta}, …]};
+//	                          one enumeration per min_sup group, per-point
+//	                          results shared with the single-job cache
+//	GET    /v1/jobs           list jobs (sweeps included)
 //	GET    /v1/jobs/{id}      job status + result
 //	DELETE /v1/jobs/{id}      cancel a job
 //	GET    /healthz           liveness + load snapshot

@@ -69,7 +69,10 @@ func ExampleExactFreqClosedProb() {
 // strategy mines.
 func ExampleMaximalFrequent() {
 	db := pfcim.PaperExample()
-	maxes := pfcim.MaximalFrequent(db, pfcim.FrequentOptions{MinSup: 2, PFT: 0.8})
+	maxes, err := pfcim.MaximalFrequent(db, pfcim.FrequentOptions{MinSup: 2, PFT: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(maxes)
 	// Output:
 	// [{a b c d}]

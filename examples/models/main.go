@@ -36,7 +36,10 @@ func main() {
 	}
 
 	fmt.Printf("\n(2) probabilistic frequent model, min_sup=%d, pft=0.8: ", minSup)
-	pfis := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: minSup, PFT: 0.8})
+	pfis, err := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: minSup, PFT: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%d itemsets (every subset shows up — no compression)\n", len(pfis))
 
 	fmt.Println("\n(3) competing probabilistic-support closed model:")

@@ -26,7 +26,10 @@ func main() {
 	// All 15 probabilistic frequent itemsets share two frequent
 	// probabilities and cannot be told apart; that's the motivation for
 	// closed mining.
-	pfis := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: minSup, PFT: pfct})
+	pfis, err := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: minSup, PFT: pfct})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("probabilistic frequent itemsets (pft=%.1f): %d\n", pfct, len(pfis))
 	for _, p := range pfis {
 		fmt.Printf("  %-10s Pr_F=%.4f\n", p.Items, p.FreqProb)

@@ -31,7 +31,10 @@ func main() {
 		ms := pfcim.AbsoluteMinSup(db.N(), rel)
 		fi := pfcim.MineFrequentExact(exact, ms)
 		fci := pfcim.MineClosedExact(exact, ms)
-		pfi := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: ms, PFT: 0.8})
+		pfi, err := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: ms, PFT: 0.8})
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := pfcim.Mine(db, pfcim.Options{MinSup: ms, PFCT: 0.8, Seed: 3})
 		if err != nil {
 			log.Fatal(err)

@@ -231,7 +231,10 @@ func TestOptionsValidation(t *testing.T) {
 		{MinSup: 2, PFCT: 1},
 		{MinSup: 2, PFCT: -0.5},
 		{MinSup: 2, PFCT: 0.5, Epsilon: 2},
+		{MinSup: 2, PFCT: 0.5, Epsilon: -0.1},
 		{MinSup: 2, PFCT: 0.5, Delta: -1},
+		{MinSup: 2, PFCT: 0.5, Delta: 1.5},
+		{MinSup: -1, PFCT: 0.5},
 	}
 	for i, o := range bad {
 		if _, err := Mine(db, o); err == nil {

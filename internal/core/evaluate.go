@@ -82,7 +82,7 @@ func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF 
 	}
 
 	if !m.opts.DisableBounds {
-		if ev, done := m.decideByBounds(prF, unionLower, unionUpper); done {
+		if ev, done := m.decideByBounds(prF, unionLower, unionUpper, m.opts.PFCT); done {
 			return ev, nil
 		}
 		// Second-order (Lemma 4.4) bounds over the most probable clauses.
@@ -93,7 +93,7 @@ func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF 
 		if hi < unionUpper {
 			unionUpper = hi
 		}
-		if ev, done := m.decideByBounds(prF, unionLower, unionUpper); done {
+		if ev, done := m.decideByBounds(prF, unionLower, unionUpper, m.opts.PFCT); done {
 			return ev, nil
 		}
 	}
@@ -136,17 +136,20 @@ func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF 
 	return ev, nil
 }
 
-// decideByBounds applies the Lemma 4.4 pruning rules: reject when the upper
-// bound on Pr_FC cannot exceed pfct, accept when the lower bound already
-// does, and report "not done" otherwise.
-func (m *miner) decideByBounds(prF, unionLower, unionUpper float64) (evaluation, bool) {
+// decideByBounds applies the Lemma 4.4 pruning rules at the given
+// threshold: reject when the upper bound on Pr_FC cannot exceed pfct,
+// accept when the lower bound already does, and report "not done"
+// otherwise. The threshold is a parameter (rather than read from opts)
+// because the sweep Evaluator replays the same bounds against tighter
+// thresholds than the base run's.
+func (m *miner) decideByBounds(prF, unionLower, unionUpper, pfct float64) (evaluation, bool) {
 	fcLower := clamp01(prF - unionUpper)
 	fcUpper := clamp01(prF - unionLower)
-	if fcUpper <= m.opts.PFCT {
+	if fcUpper <= pfct {
 		m.stats.BoundRejected++
 		return evaluation{accepted: false, lower: fcLower, upper: fcUpper, prob: (fcLower + fcUpper) / 2, method: MethodBoundRejected}, true
 	}
-	if fcLower > m.opts.PFCT {
+	if fcLower > pfct {
 		m.stats.BoundAccepted++
 		return evaluation{accepted: true, lower: fcLower, upper: fcUpper, prob: (fcLower + fcUpper) / 2, method: MethodBoundAccepted}, true
 	}

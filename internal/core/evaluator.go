@@ -1,0 +1,277 @@
+package core
+
+// Evaluator is the per-candidate re-evaluation hook the sweep engine
+// (internal/sweep) is built on: it decides "is X a probabilistic frequent
+// closed itemset at threshold pfct?" for caller-chosen itemsets and
+// thresholds, reusing the dataset index, the bitset freelist, and the
+// Poisson-binomial tail memo of the miner it wraps.
+//
+// The replay is sound and byte-identical because every quantity the
+// checking cascade of §IV.B computes — the exact frequent probability, the
+// clause system, the first-order and Lemma 4.4 pairwise bounds, and the
+// exact or sampled union (seeded per node from (Options.Seed, itemset),
+// DESIGN §8.3) — is independent of pfct. The threshold only selects the
+// stage at which the cascade stops, so replaying the cached stage values
+// against a different pfct reproduces exactly what an independent Mine at
+// that pfct would have computed for the same itemset. Each stage is
+// evaluated lazily and at most once per itemset: candidates settled by the
+// cached bounds never pay for union re-estimation.
+//
+// An Evaluator is not safe for concurrent use (it shares the miner's
+// scratch buffers).
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/dnf"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// Evaluator re-evaluates single itemsets at arbitrary pfct thresholds.
+// Build one with NewEvaluator, or get one wrapping a full run's state from
+// MineEvaluated.
+type Evaluator struct {
+	m        *miner
+	idx      *uncertain.Index
+	profiles map[string]*evalProfile
+}
+
+// evalProfile caches the pfct-independent checking-cascade state of one
+// itemset. Stages fill lazily: construction computes the frequent
+// probability, the clause system, and the free first-order bounds; the
+// pairwise Lemma 4.4 bounds and the exact/sampled union are only computed
+// when some Evaluate call's threshold needs them.
+type evalProfile struct {
+	x     itemset.Itemset
+	count int
+	prF   float64 // exact frequent probability Pr_F(x)
+
+	dead      bool // some extension always co-occurs: Pr_FC = 0
+	noClauses bool // no extension event possible: Pr_FC = Pr_F
+
+	slack      float64
+	clauses    []clause // sorted by descending probability; nil once released
+	sys        *dnf.System
+	probs      []float64
+	foLo, foHi float64 // first-order union bounds
+
+	pwDone     bool
+	pwLo, pwHi float64 // pairwise (Lemma 4.4) union bounds
+
+	unionDone bool
+	union     float64 // raw exact/sampled union, before slack and clamping
+	method    Method
+}
+
+// NewEvaluator builds a standalone Evaluator over db. opts must carry the
+// MinSup, Epsilon, Delta and Seed the evaluations should use; opts.PFCT
+// participates only in validation (each Evaluate call names its own
+// threshold).
+func NewEvaluator(db *uncertain.DB, opts Options) (*Evaluator, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	idx := db.Index()
+	m := &miner{
+		opts:     opts,
+		db:       db,
+		probs:    db.Probs(),
+		allItems: idx.Items,
+		itemTids: idx.Tidsets,
+	}
+	return &Evaluator{m: m, idx: idx, profiles: make(map[string]*evalProfile)}, nil
+}
+
+// MineEvaluated is MineContext plus the per-candidate re-evaluation hook:
+// the returned Evaluator wraps the finished run's miner, so follow-up
+// Evaluate calls reuse its index, freelist, and tail memo. This is the
+// entry point the sweep engine uses — one full enumeration at the loosest
+// threshold, then per-candidate replay at the tighter ones.
+func MineEvaluated(ctx context.Context, db *uncertain.DB, opts Options) (*Result, *Evaluator, error) {
+	res, m, err := mineWithMiner(ctx, db, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := db.Index()
+	return res, &Evaluator{m: m, idx: idx, profiles: make(map[string]*evalProfile)}, nil
+}
+
+// Stats returns the cumulative work counters of the wrapped miner,
+// including the base run (for MineEvaluated) and every Evaluate call so
+// far. Callers attributing work to phases snapshot before and after and
+// take Stats.Delta.
+func (e *Evaluator) Stats() Stats { return e.m.stats }
+
+// Evaluate decides whether x is a probabilistic frequent closed itemset at
+// threshold pfct, returning its ResultItem exactly as a full Mine at pfct
+// would report it. The boolean is the acceptance verdict; the ResultItem is
+// meaningful whenever the itemset is probabilistically frequent (its fields
+// mirror the stage of the cascade that settled the decision).
+func (e *Evaluator) Evaluate(x itemset.Itemset, pfct float64) (ResultItem, bool, error) {
+	if pfct <= 0 || pfct >= 1 {
+		return ResultItem{}, false, fmt.Errorf("core: pfct must be in (0,1), got %v", pfct)
+	}
+	p, err := e.profile(x)
+	if err != nil {
+		return ResultItem{}, false, err
+	}
+	if p.count < e.m.opts.MinSup || p.dead {
+		return ResultItem{}, false, nil
+	}
+	if p.noClauses {
+		ri := ResultItem{Items: p.x, Prob: p.prF, Lower: p.prF, Upper: p.prF, FreqProb: p.prF, Method: MethodNoClauses}
+		return ri, ri.Prob > pfct, nil
+	}
+
+	lo, hi := p.foLo, p.foHi
+	if !e.m.opts.DisableBounds {
+		if ev, done := e.m.decideByBounds(p.prF, lo, hi, pfct); done {
+			return p.item(ev), ev.accepted, nil
+		}
+		e.ensurePairwise(p)
+		if p.pwLo > lo {
+			lo = p.pwLo
+		}
+		if p.pwHi < hi {
+			hi = p.pwHi
+		}
+		if ev, done := e.m.decideByBounds(p.prF, lo, hi, pfct); done {
+			return p.item(ev), ev.accepted, nil
+		}
+	}
+	if err := e.ensureUnion(p); err != nil {
+		return ResultItem{}, false, err
+	}
+	union := p.union + p.slack/2
+	if union < lo {
+		union = lo
+	}
+	if union > hi {
+		union = hi
+	}
+	ri := ResultItem{
+		Items:    p.x,
+		Prob:     clamp01(p.prF - union),
+		Lower:    clamp01(p.prF - hi),
+		Upper:    clamp01(p.prF - lo),
+		FreqProb: p.prF,
+		Method:   p.method,
+	}
+	return ri, ri.Prob > pfct, nil
+}
+
+// item renders a bound-settled evaluation as the ResultItem a full Mine
+// would emit.
+func (p *evalProfile) item(ev evaluation) ResultItem {
+	return ResultItem{
+		Items:    p.x,
+		Prob:     ev.prob,
+		Lower:    ev.lower,
+		Upper:    ev.upper,
+		FreqProb: p.prF,
+		Method:   ev.method,
+	}
+}
+
+// profile returns x's cached cascade state, constructing the eager stages
+// (tidset, frequent probability, clause system, first-order bounds) on
+// first sight.
+func (e *Evaluator) profile(x itemset.Itemset) (*evalProfile, error) {
+	key := x.Key()
+	if p, ok := e.profiles[key]; ok {
+		return p, nil
+	}
+	m := e.m
+	tids := e.idx.TidsetOf(x)
+	p := &evalProfile{x: x.Clone(), count: tids.Count()}
+	e.profiles[key] = p
+	if p.count < m.opts.MinSup {
+		return p, nil
+	}
+	p.prF = m.tailOf(tids, nil)
+	m.stats.Evaluated++
+
+	clauses, slack, dead := m.buildClauses(x, tids, p.count, nil)
+	p.slack, p.dead = slack, dead
+	if dead {
+		return p, nil
+	}
+	if len(clauses) == 0 && slack == 0 {
+		p.noClauses = true
+		return p, nil
+	}
+	// Mirror evaluate: sort by descending clause probability, then compute
+	// the free first-order bounds in sorted order (the summation order
+	// matters for bit-identity with a direct run).
+	sort.Slice(clauses, func(i, j int) bool { return clauses[i].prob > clauses[j].prob })
+	sys, probs, err := m.clauseSystem(tids, clauses)
+	if err != nil {
+		delete(e.profiles, key)
+		return nil, err
+	}
+	s1, maxClause := 0.0, 0.0
+	for _, pr := range probs {
+		s1 += pr
+		if pr > maxClause {
+			maxClause = pr
+		}
+	}
+	p.clauses, p.sys, p.probs = clauses, sys, probs
+	p.foLo = maxClause
+	p.foHi = s1 + slack
+	if p.foHi > 1 {
+		p.foHi = 1
+	}
+	return p, nil
+}
+
+// ensurePairwise computes the Lemma 4.4 pairwise bounds once per profile.
+func (e *Evaluator) ensurePairwise(p *evalProfile) {
+	if p.pwDone {
+		return
+	}
+	p.pwLo, p.pwHi = e.m.pairwiseBounds(p.sys, p.probs, p.slack)
+	p.pwDone = true
+}
+
+// ensureUnion resolves the extension-event union once per profile — exact
+// inclusion–exclusion for small clause systems, the Karp–Luby ApproxFCP
+// estimator otherwise, with the node's deterministic sampler seed — then
+// releases the clause bitsets back to the miner's freelist.
+func (e *Evaluator) ensureUnion(p *evalProfile) error {
+	if p.unionDone {
+		return nil
+	}
+	m := e.m
+	if m.opts.MaxExactClauses >= 0 && len(p.clauses) <= m.opts.MaxExactClauses {
+		u, err := p.sys.ExactUnion()
+		if err != nil {
+			return err
+		}
+		p.union = u
+		p.method = MethodExact
+		m.stats.ExactUnions++
+	} else {
+		n := dnf.SampleSize(len(p.clauses), m.opts.Epsilon, m.opts.Delta)
+		u, err := p.sys.KarpLuby(m.nodeRNG(p.x), p.probs, n)
+		if err != nil {
+			return err
+		}
+		p.union = u
+		p.method = MethodSampled
+		m.stats.Sampled++
+		m.stats.SamplesDrawn += n
+	}
+	p.unionDone = true
+	for _, c := range p.clauses {
+		if c.owned {
+			m.putBuf(c.b)
+		}
+	}
+	p.clauses, p.sys, p.probs = nil, nil, nil
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/gen"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// TestEvaluatorReplaysMine pins the foundation of the sweep engine: for a
+// base run at the loosest pfct, filtering its accepted itemsets through
+// Evaluator.Evaluate at any tighter pfct reproduces an independent Mine at
+// that pfct exactly — same membership, bit-identical probabilities, bounds
+// and methods.
+func TestEvaluatorReplaysMine(t *testing.T) {
+	cases := []struct {
+		name  string
+		db    *uncertain.DB
+		base  Options
+		pfcts []float64
+	}{
+		{
+			name:  "paper-example",
+			db:    uncertain.PaperExample(),
+			base:  Options{MinSup: 2, PFCT: 0.3, Seed: 1},
+			pfcts: []float64{0.3, 0.5, 0.7, 0.8, 0.81, 0.9},
+		},
+		{
+			name: "quest-sampled",
+			db: gen.AssignGaussian(gen.Quest(gen.QuestT20I10D30KP40(0.01, 7)),
+				0.8, 0.1, 8),
+			// MaxExactClauses -1 forces the Karp–Luby path, exercising the
+			// deterministic per-node sampler seeds in the replay.
+			base:  Options{MinSup: 75, PFCT: 0.3, Seed: 7, MaxExactClauses: -1},
+			pfcts: []float64{0.3, 0.5, 0.7, 0.9},
+		},
+		{
+			name:  "mushroom-bfs",
+			db:    gen.AssignGaussian(gen.MushroomLike(0.01, 42), 0.5, 0.5, 43),
+			base:  Options{MinSup: 20, PFCT: 0.4, Seed: 3, Search: BFS},
+			pfcts: []float64{0.4, 0.6, 0.8},
+		},
+		{
+			name:  "mushroom-parallel-base",
+			db:    gen.AssignGaussian(gen.MushroomLike(0.01, 42), 0.5, 0.5, 43),
+			base:  Options{MinSup: 16, PFCT: 0.5, Seed: 3, Parallelism: 4},
+			pfcts: []float64{0.5, 0.7, 0.9},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, ev, err := MineEvaluated(context.Background(), tc.db, tc.base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pfct := range tc.pfcts {
+				opts := tc.base
+				opts.PFCT = pfct
+				direct, err := Mine(tc.db, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var derived []ResultItem
+				for _, ri := range res.Itemsets {
+					item, ok, err := ev.Evaluate(ri.Items, pfct)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok {
+						derived = append(derived, item)
+					}
+				}
+				if len(derived) != len(direct.Itemsets) {
+					t.Fatalf("pfct %v: derived %d itemsets, direct Mine %d",
+						pfct, len(derived), len(direct.Itemsets))
+				}
+				for i, want := range direct.Itemsets {
+					if !reflect.DeepEqual(derived[i], want) {
+						t.Errorf("pfct %v, itemset %v: derived %+v, want %+v",
+							pfct, want.Items, derived[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluatorStandalone checks NewEvaluator without a base run: verdicts
+// on arbitrary itemsets (including infrequent and non-closed ones) match
+// full mining.
+func TestEvaluatorStandalone(t *testing.T) {
+	db := uncertain.PaperExample()
+	ev, err := NewEvaluator(db, Options{MinSup: 2, PFCT: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abcd := itemset.FromInts(0, 1, 2, 3)
+	ri, ok, err := ev.Evaluate(abcd, 0.8)
+	if err != nil || !ok {
+		t.Fatalf("Evaluate(abcd, 0.8) = ok=%v err=%v, want accepted", ok, err)
+	}
+	if ri.Prob < 0.8099 || ri.Prob > 0.8101 {
+		t.Errorf("Pr_FC(abcd) = %v, want 0.81", ri.Prob)
+	}
+	if _, ok, _ := ev.Evaluate(abcd, 0.82); ok {
+		t.Error("abcd accepted at pfct 0.82, want rejected (Pr_FC = 0.81)")
+	}
+	// {a} is never closed (b and c always co-occur with it): dead at any pfct.
+	if _, ok, _ := ev.Evaluate(itemset.FromInts(0), 0.1); ok {
+		t.Error("{a} accepted, want rejected (never closed)")
+	}
+	// An itemset below MinSup in every world.
+	if _, ok, _ := ev.Evaluate(itemset.FromInts(3), 0.1); ok {
+		// d appears in 2 transactions, so count = 2 ≥ MinSup; it IS a
+		// candidate — but {d} is absorbed by abcd, so it is never closed.
+		t.Error("{d} accepted, want rejected (absorbed by {a b c d})")
+	}
+	if _, ok, _ := ev.Evaluate(itemset.FromInts(9), 0.1); ok {
+		t.Error("unknown item accepted, want rejected")
+	}
+	// Invalid threshold errors.
+	if _, _, err := ev.Evaluate(abcd, 0); err == nil {
+		t.Error("pfct 0 should error")
+	}
+}

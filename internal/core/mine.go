@@ -160,9 +160,17 @@ func Mine(db *uncertain.DB, opts Options) (*Result, error) {
 // the next enumeration-tree node once ctx is done. Long mining runs at low
 // support thresholds can take minutes; this is the production off-switch.
 func MineContext(ctx context.Context, db *uncertain.DB, opts Options) (*Result, error) {
+	res, _, err := mineWithMiner(ctx, db, opts)
+	return res, err
+}
+
+// mineWithMiner runs a full mining pass and additionally returns the miner
+// so MineEvaluated can wrap its state (index, bitset freelist, tail memo)
+// in an Evaluator.
+func mineWithMiner(ctx context.Context, db *uncertain.DB, opts Options) (*Result, *miner, error) {
 	opts, err := opts.normalize()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	idx := db.Index()
 	m := &miner{
@@ -182,12 +190,12 @@ func MineContext(ctx context.Context, db *uncertain.DB, opts Options) (*Result, 
 		err = m.mineDFS()
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sort.Slice(m.results, func(i, j int) bool {
 		return itemset.Compare(m.results[i].Items, m.results[j].Items) < 0
 	})
-	return &Result{Itemsets: m.results, Stats: m.stats, Options: opts}, nil
+	return &Result{Itemsets: m.results, Stats: m.stats, Options: opts}, m, nil
 }
 
 // buildCandidates is the first phase of Fig. 1: construct the single-item

@@ -254,6 +254,31 @@ type Stats struct {
 	TasksStolen  int // tasks taken from another worker's deque
 }
 
+// Delta returns the field-wise difference s − prev. Callers that share one
+// accumulating Stats across phases (the sweep engine's Evaluator) snapshot
+// before and after a phase and attribute the delta to it.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		NodesVisited:    s.NodesVisited - prev.NodesVisited,
+		CandidateItems:  s.CandidateItems - prev.CandidateItems,
+		CHPruned:        s.CHPruned - prev.CHPruned,
+		FreqPruned:      s.FreqPruned - prev.FreqPruned,
+		SupersetPruned:  s.SupersetPruned - prev.SupersetPruned,
+		SubsetPruned:    s.SubsetPruned - prev.SubsetPruned,
+		BoundRejected:   s.BoundRejected - prev.BoundRejected,
+		BoundAccepted:   s.BoundAccepted - prev.BoundAccepted,
+		ExactUnions:     s.ExactUnions - prev.ExactUnions,
+		Sampled:         s.Sampled - prev.Sampled,
+		SamplesDrawn:    s.SamplesDrawn - prev.SamplesDrawn,
+		Evaluated:       s.Evaluated - prev.Evaluated,
+		TailEvaluations: s.TailEvaluations - prev.TailEvaluations,
+		TailMemoHits:    s.TailMemoHits - prev.TailMemoHits,
+		ClauseEvaluated: s.ClauseEvaluated - prev.ClauseEvaluated,
+		TasksSpawned:    s.TasksSpawned - prev.TasksSpawned,
+		TasksStolen:     s.TasksStolen - prev.TasksStolen,
+	}
+}
+
 // add accumulates another Stats into s (used when merging parallel
 // sub-miners).
 func (s *Stats) add(o Stats) {

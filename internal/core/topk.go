@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"github.com/probdata/pfcim/internal/bitset"
@@ -21,6 +22,12 @@ import (
 // whose probability intervals overlap are best-effort (exact for the
 // common case of well-separated probabilities).
 func MineTopK(db *uncertain.DB, minSup, k int, opts Options) ([]ResultItem, error) {
+	return MineTopKContext(context.Background(), db, minSup, k, opts)
+}
+
+// MineTopKContext is MineTopK with cancellation: once ctx is done the run
+// aborts with ctx.Err() at the next enumeration-tree node.
+func MineTopKContext(ctx context.Context, db *uncertain.DB, minSup, k int, opts Options) ([]ResultItem, error) {
 	opts.MinSup = minSup
 	// Seed threshold: accept anything with non-trivial probability until k
 	// results exist.
@@ -40,6 +47,7 @@ func MineTopK(db *uncertain.DB, minSup, k int, opts Options) ([]ResultItem, erro
 		probs:    db.Probs(),
 		allItems: idx.Items,
 		itemTids: idx.Tidsets,
+		ctx:      ctx,
 	}
 	m.buildCandidates()
 
@@ -54,6 +62,11 @@ func MineTopK(db *uncertain.DB, minSup, k int, opts Options) ([]ResultItem, erro
 
 	var rec func(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error
 	rec = func(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error {
+		if m.ctx != nil {
+			if err := m.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		m.stats.NodesVisited++
 		// Superset pruning is threshold-independent. The child tidset is a
 		// subset of tids, so count equality is exactly tids ⊆ tids(e).

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/sweep"
 )
 
 // BenchPoint is one benchmark measurement: the workload identity, the
@@ -25,6 +27,12 @@ type BenchPoint struct {
 	BytesPerOp  int64      `json:"bytes_per_op"`
 	Itemsets    int        `json:"itemsets"`
 	Stats       core.Stats `json:"stats"`
+
+	// Sweep-benchmark fields: the full-grid measurements comparing the
+	// sweep engine against independent per-point mining.
+	Points            int     `json:"points,omitempty"`
+	FullEnumerations  int     `json:"full_enumerations,omitempty"`
+	SpeedupVsPerPoint float64 `json:"speedup_vs_perpoint,omitempty"`
 }
 
 // benchConfigs are the Fig. 5 / Fig. 7 operating points the bench runner
@@ -80,7 +88,82 @@ func (s *Suite) RunBench(w io.Writer) error {
 		fmt.Fprintf(s.Cfg.Out, "bench %-24s %12d ns/op %8d allocs/op  itemsets=%d tails=%d memo-hits=%d\n",
 			cfg.Name, cfg.NsPerOp, cfg.AllocsPerOp, cfg.Itemsets, cfg.Stats.TailEvaluations, cfg.Stats.TailMemoHits)
 	}
+	sweepPoints, err := s.benchFig7Sweep()
+	if err != nil {
+		return err
+	}
+	points = append(points, sweepPoints...)
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(points)
+}
+
+// benchFig7Sweep measures the full Fig. 7 pfct grid on Mushroom two ways:
+// once through the sweep engine (one enumeration at pfct 0.5 plus four
+// Evaluator-derived points) and once as five independent core.Mine runs —
+// the shared-computation speedup the BENCH_*.json series tracks.
+func (s *Suite) benchFig7Sweep() ([]BenchPoint, error) {
+	grid := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	ds := s.Mushroom
+	base := s.baseOptions(ds.DB, ds.DefaultMinSup)
+	pts := make([]sweep.Point, len(grid))
+	for i, p := range grid {
+		pts[i] = sweep.Point{MinSup: base.MinSup, PFCT: p, Epsilon: base.Epsilon, Delta: base.Delta}
+	}
+	ctx := context.Background()
+
+	res, err := sweep.Mine(ctx, ds.DB, pts, base)
+	if err != nil {
+		return nil, fmt.Errorf("bench fig7-sweep: %w", err)
+	}
+	nItems := 0
+	for _, pr := range res.Points {
+		nItems += len(pr.Itemsets)
+	}
+
+	perPoint := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pts {
+				if _, err := core.Mine(ds.DB, p.Apply(base)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	engine := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.Mine(ctx, ds.DB, pts, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	speedup := float64(perPoint.NsPerOp()) / float64(engine.NsPerOp())
+
+	out := []BenchPoint{
+		{
+			Name: "fig7-sweep-perpoint", Dataset: ds.Name,
+			RelMinSup: ds.DefaultMinSup, PFCT: grid[0], Parallelism: 1,
+			NsPerOp: perPoint.NsPerOp(), AllocsPerOp: perPoint.AllocsPerOp(),
+			BytesPerOp: perPoint.AllocedBytesPerOp(),
+			Itemsets:   nItems, Points: len(grid), FullEnumerations: len(grid),
+		},
+		{
+			Name: "fig7-sweep-engine", Dataset: ds.Name,
+			RelMinSup: ds.DefaultMinSup, PFCT: grid[0], Parallelism: 1,
+			NsPerOp: engine.NsPerOp(), AllocsPerOp: engine.AllocsPerOp(),
+			BytesPerOp: engine.AllocedBytesPerOp(),
+			Itemsets:   nItems, Points: len(grid),
+			FullEnumerations:  res.Stats.FullEnumerations,
+			SpeedupVsPerPoint: speedup,
+		},
+	}
+	for _, p := range out {
+		fmt.Fprintf(s.Cfg.Out, "bench %-24s %12d ns/op %8d allocs/op  points=%d enumerations=%d\n",
+			p.Name, p.NsPerOp, p.AllocsPerOp, p.Points, p.FullEnumerations)
+	}
+	fmt.Fprintf(s.Cfg.Out, "fig7 sweep-engine speedup over per-point mining: %.2fx\n", speedup)
+	return out, nil
 }

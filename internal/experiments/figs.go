@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"github.com/probdata/pfcim/internal/itemset"
 	"github.com/probdata/pfcim/internal/pfim"
 	"github.com/probdata/pfcim/internal/stats"
+	"github.com/probdata/pfcim/internal/sweep"
 )
 
 // minSupSweep is the paper's Fig. 5/6/12 x-axis: min_sup from 0.2 to 0.6.
@@ -119,28 +121,78 @@ func (s *Suite) Fig9() error {
 	})
 }
 
+// ablationSweep renders one Fig. 6–9 panel per dataset. The series run
+// through the parameter-sweep engine: each variant's grid is planned into
+// groups (sweep.Groups), each group pays one full enumeration and derives
+// its remaining points by Evaluator filtering, so the Fig. 7 pfct sweep
+// mines each variant once for all thresholds while the min_sup/ε/δ sweeps
+// degenerate to one enumeration per point as before. Derived cells carry a
+// trailing '*'; the per-series budget applies per group.
 func (s *Suite) ablationSweep(fig, xname string, xs []float64, mkOpts func(Dataset, float64) core.Options) error {
+	ctx := context.Background()
 	for _, ds := range s.Datasets() {
 		fmt.Fprintf(s.Cfg.Out, "\n%s (%s): running time vs %s\n", fig, ds.Name, xname)
 		t := newTable(s.Cfg.Out)
 		t.row(append([]string{xname}, ablationSeries...)...)
 		sr := newSeriesRunner(s.Cfg.Budget)
-		for _, x := range xs {
-			cells := []string{f2(x)}
-			for _, name := range ablationSeries {
-				opts := variant(mkOpts(ds, x), name)
+		cols := make(map[string][]string, len(ablationSeries))
+		enums, derived := 0, 0
+		for _, name := range ablationSeries {
+			base := variant(mkOpts(ds, xs[0]), name)
+			grid := make([]sweep.Point, len(xs))
+			for i, x := range xs {
+				o := variant(mkOpts(ds, x), name)
+				grid[i] = sweep.Point{MinSup: o.MinSup, PFCT: o.PFCT, Epsilon: o.Epsilon, Delta: o.Delta}
+			}
+			groups, err := sweep.Groups(grid, base)
+			if err != nil {
+				return err
+			}
+			col := make([]string, len(xs))
+			for _, members := range groups {
+				sub := make([]sweep.Point, len(members))
+				for k, i := range members {
+					sub[k] = grid[i]
+				}
 				cell, err := sr.run(name, func() (time.Duration, error) {
-					d, _, _, err := timedRun(ds.DB, opts)
-					return d, err
+					res, err := sweep.Mine(ctx, ds.DB, sub, base)
+					if err != nil {
+						return 0, err
+					}
+					enums += res.Stats.FullEnumerations
+					derived += res.Stats.DerivedPoints
+					var total time.Duration
+					for k, i := range members {
+						pr := res.Points[k]
+						col[i] = formatDuration(pr.Wall)
+						if pr.Derived {
+							col[i] += "*"
+						}
+						total += pr.Wall
+					}
+					return total, nil
 				})
 				if err != nil {
 					return err
 				}
-				cells = append(cells, cell)
+				if cell == ">budget" {
+					for _, i := range members {
+						col[i] = cell
+					}
+				}
+			}
+			cols[name] = col
+		}
+		for i, x := range xs {
+			cells := []string{f2(x)}
+			for _, name := range ablationSeries {
+				cells = append(cells, cols[name][i])
 			}
 			t.row(cells...)
 		}
 		t.flush()
+		fmt.Fprintf(s.Cfg.Out, "sweep engine: %d full enumerations, %d derived points (* = derived, no re-enumeration)\n",
+			enums, derived)
 	}
 	return nil
 }
@@ -152,9 +204,9 @@ func (s *Suite) ablationSweep(fig, xname string, xs []float64, mkOpts func(Datas
 // (mean .8, var .1), Fig. 10(b) Gaussian (mean .5, var .5), both over the
 // Mushroom-like dataset.
 func (s *Suite) Fig10() error {
-	sweep := []float64{0.3, 0.25, 0.2, 0.15, 0.1}
+	grid := []float64{0.3, 0.25, 0.2, 0.15, 0.1}
 	if s.Cfg.Quick {
-		sweep = []float64{0.3, 0.2}
+		grid = []float64{0.3, 0.2}
 	}
 	regimes := []struct {
 		label    string
@@ -170,7 +222,7 @@ func (s *Suite) Fig10() error {
 		t := newTable(s.Cfg.Out)
 		t.row("min_sup", "FI", "FCI", "PFI", "PFCI", "FCI/FI", "PFCI/PFI")
 		sr := newSeriesRunner(s.Cfg.Budget)
-		for _, rel := range sweep {
+		for _, rel := range grid {
 			ms := core.AbsoluteMinSup(len(d), rel)
 			var nFI, nFCI, nPFI, nPFCI int
 			fiCell, err := sr.run("fi", func() (time.Duration, error) {

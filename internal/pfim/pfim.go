@@ -8,6 +8,7 @@
 package pfim
 
 import (
+	"fmt"
 	"sort"
 
 	"github.com/probdata/pfcim/internal/bitset"
@@ -25,6 +26,25 @@ type Options struct {
 	// DisableCH disables the Chernoff-Hoeffding filter in front of the
 	// exact dynamic-programming check.
 	DisableCH bool
+}
+
+// Canonical validates o, applies the defaults Mine would (MinSup 0 defaults
+// to 1), and clears DisableCH — an execution knob that cannot change the
+// mined result, because the Chernoff-Hoeffding filter only rejects itemsets
+// the exact check rejects too. Mirrors core.Options.Canonical: two option
+// structs with equal canonical forms produce identical result sets.
+func (o Options) Canonical() (Options, error) {
+	if o.MinSup < 0 {
+		return o, fmt.Errorf("pfim: MinSup must be ≥ 1, got %d", o.MinSup)
+	}
+	if o.MinSup == 0 {
+		o.MinSup = 1
+	}
+	if o.PFT < 0 || o.PFT >= 1 {
+		return o, fmt.Errorf("pfim: PFT must be in [0, 1), got %v", o.PFT)
+	}
+	o.DisableCH = false
+	return o, nil
 }
 
 // Itemset is one probabilistic frequent itemset with its exact frequent

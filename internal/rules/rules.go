@@ -46,11 +46,20 @@ func (o Options) normalize() (Options, error) {
 	if o.MinConfidence <= 0 || o.MinConfidence > 1 {
 		return o, fmt.Errorf("rules: MinConfidence must be in (0,1], got %v", o.MinConfidence)
 	}
+	if o.MaxItems < 0 {
+		return o, fmt.Errorf("rules: MaxItems must be ≥ 0, got %d", o.MaxItems)
+	}
 	if o.MaxItems == 0 {
 		o.MaxItems = 12
 	}
 	return o, nil
 }
+
+// Canonical validates o and applies the defaults Generate would. Rule
+// generation has no execution-only knobs, so the canonical form is just the
+// normalized one; the method exists so all option structs validate the same
+// way (compare core.Options.Canonical and pfim's Options.Canonical).
+func (o Options) Canonical() (Options, error) { return o.normalize() }
 
 // Generate derives all rules X ⇒ Z\X from each source itemset Z (typically
 // the probabilistic frequent closed itemsets of a mining run) whose

@@ -10,7 +10,17 @@ import (
 	"time"
 
 	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// JobKind distinguishes single mining jobs from parameter sweeps; both
+// share the job table, worker pool, and lifecycle.
+type JobKind string
+
+const (
+	JobKindMine  JobKind = "" // single mining run (the default, elided on the wire)
+	JobKindSweep JobKind = "sweep"
 )
 
 // JobStatus is the lifecycle state of a mining job.
@@ -40,17 +50,20 @@ var (
 // header is guarded by the manager's mutex.
 type job struct {
 	id       string
+	kind     JobKind
 	dataset  string
 	db       *uncertain.DB
 	options  core.OptionsJSON // as submitted, echoed back to clients
 	opts     core.Options     // parsed, with daemon defaults applied
 	cacheKey string
+	slots    []sweepSlot // sweep jobs: one per grid point
 	timeout  time.Duration
 
 	status       JobStatus
 	cached       bool
 	errMsg       string
 	result       *core.ResultJSON
+	sweepRes     *sweep.ResultJSON
 	submitted    time.Time
 	started      time.Time
 	finished     time.Time
@@ -61,22 +74,25 @@ type job struct {
 
 // JobInfo is an immutable snapshot of a job, safe to serialize.
 type JobInfo struct {
-	ID          string           `json:"id"`
-	Dataset     string           `json:"dataset"`
-	Status      JobStatus        `json:"status"`
-	Cached      bool             `json:"cached,omitempty"`
-	Error       string           `json:"error,omitempty"`
-	Options     core.OptionsJSON `json:"options"`
-	SubmittedAt time.Time        `json:"submitted_at"`
-	StartedAt   *time.Time       `json:"started_at,omitempty"`
-	FinishedAt  *time.Time       `json:"finished_at,omitempty"`
-	WallMillis  int64            `json:"wall_ms,omitempty"`
-	Result      *core.ResultJSON `json:"result,omitempty"`
+	ID          string            `json:"id"`
+	Kind        JobKind           `json:"kind,omitempty"`
+	Dataset     string            `json:"dataset"`
+	Status      JobStatus         `json:"status"`
+	Cached      bool              `json:"cached,omitempty"`
+	Error       string            `json:"error,omitempty"`
+	Options     core.OptionsJSON  `json:"options"`
+	SubmittedAt time.Time         `json:"submitted_at"`
+	StartedAt   *time.Time        `json:"started_at,omitempty"`
+	FinishedAt  *time.Time        `json:"finished_at,omitempty"`
+	WallMillis  int64             `json:"wall_ms,omitempty"`
+	Result      *core.ResultJSON  `json:"result,omitempty"`
+	Sweep       *sweep.ResultJSON `json:"sweep,omitempty"`
 }
 
 func (j *job) snapshot() JobInfo {
 	info := JobInfo{
 		ID:          j.id,
+		Kind:        j.kind,
 		Dataset:     j.dataset,
 		Status:      j.status,
 		Cached:      j.cached,
@@ -85,6 +101,7 @@ func (j *job) snapshot() JobInfo {
 		SubmittedAt: j.submitted,
 		WallMillis:  j.wallMillis,
 		Result:      j.result,
+		Sweep:       j.sweepRes,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -285,9 +302,9 @@ func (m *Manager) run(j *job) {
 	defer cancel()
 
 	m.metrics.JobsRunning.Add(1)
-	m.log.Info("job started", "job", j.id, "dataset", ds,
+	m.log.Info("job started", "job", j.id, "kind", string(j.kind), "dataset", ds,
 		"min_sup", opts.MinSup, "pfct", opts.PFCT)
-	res, err := m.mine(ctx, j)
+	res, sres, err := m.mine(ctx, j)
 	m.metrics.JobsRunning.Add(-1)
 	now := time.Now()
 
@@ -296,6 +313,19 @@ func (m *Manager) run(j *job) {
 	j.finished = now
 	j.wallMillis = now.Sub(j.started).Milliseconds()
 	switch {
+	case err == nil && j.kind == JobKindSweep:
+		j.sweepRes = m.assembleSweep(j, sres)
+		j.status = StatusDone
+		m.metrics.JobsDone.Add(1)
+		m.metrics.SweepsDone.Add(1)
+		m.metrics.SweepPointsComputed.Add(int64(sres.Stats.Points))
+		m.metrics.SweepEnumerations.Add(int64(sres.Stats.FullEnumerations))
+		m.metrics.MineWallMillis.Add(j.wallMillis)
+		for _, pr := range sres.Points {
+			m.metrics.addStats(pr.Stats)
+		}
+		m.log.Info("sweep done", "job", j.id, "wall_ms", j.wallMillis,
+			"points", len(j.slots), "enumerations", sres.Stats.FullEnumerations)
 	case err == nil:
 		rj := res.JSON()
 		j.result = &rj
@@ -319,15 +349,21 @@ func (m *Manager) run(j *job) {
 	}
 }
 
-// mine runs the miner with panic isolation: a panicking job fails with the
-// recovered value and stack instead of killing the daemon's worker.
-func (m *Manager) mine(ctx context.Context, j *job) (res *core.Result, err error) {
+// mine runs the miner (or, for a sweep job, the sweep engine over the
+// points the cache missed) with panic isolation: a panicking job fails with
+// the recovered value and stack instead of killing the daemon's worker.
+func (m *Manager) mine(ctx context.Context, j *job) (res *core.Result, sres *sweep.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("service: job panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return core.MineContext(ctx, j.db, j.opts)
+	if j.kind == JobKindSweep {
+		sres, err = sweep.Mine(ctx, j.db, missingPoints(j), j.opts)
+		return nil, sres, err
+	}
+	res, err = core.MineContext(ctx, j.db, j.opts)
+	return res, nil, err
 }
 
 // Drain stops intake, cancels jobs still queued, and waits for running jobs

@@ -22,6 +22,11 @@ type metrics struct {
 	CacheHits   expvar.Int // submissions served from the result cache
 	CacheMisses expvar.Int // submissions that had to mine
 
+	SweepsDone          expvar.Int // sweep jobs finished successfully
+	SweepPointsCached   expvar.Int // sweep grid points answered from the cache at submit
+	SweepPointsComputed expvar.Int // sweep grid points the engine had to produce
+	SweepEnumerations   expvar.Int // full enumerations sweep jobs actually ran
+
 	DatasetsRegistered expvar.Int // distinct datasets ever registered
 
 	MineWallMillis expvar.Int // cumulative wall time spent mining
@@ -60,6 +65,10 @@ func (m *metrics) vars() []struct {
 		{"jobs_canceled", &m.JobsCanceled},
 		{"cache_hits", &m.CacheHits},
 		{"cache_misses", &m.CacheMisses},
+		{"sweeps_done", &m.SweepsDone},
+		{"sweep_points_cached", &m.SweepPointsCached},
+		{"sweep_points_computed", &m.SweepPointsComputed},
+		{"sweep_enumerations", &m.SweepEnumerations},
 		{"datasets_registered", &m.DatasetsRegistered},
 		{"mine_wall_ms", &m.MineWallMillis},
 		{"nodes_visited", &m.NodesVisited},

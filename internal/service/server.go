@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
 
@@ -94,6 +96,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
@@ -152,8 +155,54 @@ type jobRequest struct {
 	TimeoutMS int64            `json:"timeout_ms,omitempty"`
 }
 
+// sweepRequest is the POST /v1/sweeps body: a base option set plus the grid
+// points, each overriding only the thresholds it sets.
+type sweepRequest struct {
+	Dataset   string            `json:"dataset"`
+	Options   core.OptionsJSON  `json:"options"`
+	Points    []sweep.PointJSON `json:"points"`
+	TimeoutMS int64             `json:"timeout_ms,omitempty"`
+}
+
+// errorResponse is every error body; Field is set when the error is
+// attributable to one request field (e.g. an unknown or mistyped one).
 type errorResponse struct {
 	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+// badFieldError carries the name of the request field that caused a 400.
+type badFieldError struct {
+	field string
+	err   error
+}
+
+func (e *badFieldError) Error() string { return e.err.Error() }
+func (e *badFieldError) Unwrap() error { return e.err }
+
+// decodeStrict decodes a JSON request body rejecting unknown fields, so a
+// misspelled option fails loudly instead of silently falling back to a
+// default. Unknown-field and type errors name the offending field in the
+// structured response.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil {
+		return nil
+	}
+	const marker = `json: unknown field "`
+	if msg := err.Error(); strings.HasPrefix(msg, marker) {
+		field := strings.TrimSuffix(strings.TrimPrefix(msg, marker), `"`)
+		return &badFieldError{field: field,
+			err: fmt.Errorf("service: unknown field %q in request body", field)}
+	}
+	var ute *json.UnmarshalTypeError
+	if errors.As(err, &ute) && ute.Field != "" {
+		return &badFieldError{field: ute.Field,
+			err: fmt.Errorf("service: field %q: cannot decode %s into %s", ute.Field, ute.Value, ute.Type)}
+	}
+	return fmt.Errorf("service: bad JSON body: %w", err)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -167,7 +216,12 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+	resp := errorResponse{Error: err.Error()}
+	var bf *badFieldError
+	if errors.As(err, &bf) {
+		resp.Field = bf.field
+	}
+	s.writeJSON(w, status, resp)
 }
 
 // --- dataset handlers ---
@@ -239,8 +293,8 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad JSON body: %w", err))
+	if err := decodeStrict(io.LimitReader(r.Body, 1<<20), &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	ds, ok := s.registry.Get(req.Dataset)
@@ -249,6 +303,27 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info, err := s.jobs.Submit(ds, req.Options, time.Duration(req.TimeoutMS)*time.Millisecond)
+	s.writeSubmitResult(w, info, err)
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeStrict(io.LimitReader(r.Body, 1<<20), &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ds, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: no such dataset %q", req.Dataset))
+		return
+	}
+	info, err := s.jobs.SubmitSweep(ds, req.Options, req.Points, time.Duration(req.TimeoutMS)*time.Millisecond)
+	s.writeSubmitResult(w, info, err)
+}
+
+// writeSubmitResult maps a submission outcome to the HTTP response shared
+// by jobs and sweeps: 202 queued, 200 cache hit, 503 overload, 400 invalid.
+func (s *Server) writeSubmitResult(w http.ResponseWriter, info JobInfo, err error) {
 	switch {
 	case err == nil:
 	case err == ErrQueueFull, err == ErrShuttingDown:
@@ -270,6 +345,7 @@ func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
 	// Job listings elide results; fetch a single job for its itemsets.
 	for i := range list {
 		list[i].Result = nil
+		list[i].Sweep = nil
 	}
 	s.writeJSON(w, http.StatusOK, list)
 }

@@ -1,0 +1,158 @@
+package service
+
+// Sweep jobs: POST /v1/sweeps decomposes a parameter grid into per-point
+// cache entries. Each grid point's canonical options form the same cache
+// key a single POST /v1/jobs at those options would use, so sweeps consume
+// results cached by earlier jobs (and earlier sweeps) and populate the
+// cache for later ones. Only the points missing from the cache reach the
+// sweep engine, which in turn runs one full enumeration per MinSup group
+// and derives the rest (see internal/sweep).
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/sweep"
+)
+
+// sweepSlot is one grid point of a sweep job: its engine form, its result
+// cache key, and — when the submit-time cache lookup hit — the cached
+// result that spares the engine the point.
+type sweepSlot struct {
+	point  sweep.Point
+	key    string
+	cached *core.ResultJSON
+}
+
+// SubmitSweep validates every grid point, consults the result cache per
+// point, and either completes the sweep immediately (every point cached) or
+// enqueues a job that mines only the missing points.
+func (m *Manager) SubmitSweep(ds *Dataset, oj core.OptionsJSON, pts []sweep.PointJSON, timeout time.Duration) (JobInfo, error) {
+	if len(pts) == 0 {
+		return JobInfo{}, fmt.Errorf("service: sweep needs at least one point")
+	}
+	opts, err := oj.Options()
+	if err != nil {
+		return JobInfo{}, err
+	}
+	if opts.TailMemoEntries == 0 {
+		opts.TailMemoEntries = m.tailMemo
+	}
+	slots := make([]sweepSlot, len(pts))
+	for i, pj := range pts {
+		p := pj.Point()
+		canon, err := p.Apply(opts).Canonical()
+		if err != nil {
+			return JobInfo{}, fmt.Errorf("service: sweep point %d: %w", i, err)
+		}
+		key, err := canon.CanonicalKey()
+		if err != nil {
+			return JobInfo{}, fmt.Errorf("service: sweep point %d: %w", i, err)
+		}
+		slots[i] = sweepSlot{point: p, key: cacheKey(ds.ID, key)}
+	}
+	if timeout <= 0 || (m.maxJobTime > 0 && timeout > m.maxJobTime) {
+		timeout = m.maxJobTime
+	}
+
+	j := &job{
+		kind:      JobKindSweep,
+		dataset:   ds.ID,
+		db:        ds.DB(),
+		options:   oj,
+		opts:      opts,
+		slots:     slots,
+		timeout:   timeout,
+		submitted: time.Now(),
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobInfo{}, ErrShuttingDown
+	}
+	m.seq++
+	j.id = fmt.Sprintf("j%d", m.seq)
+
+	missing := 0
+	for i := range j.slots {
+		if res, ok := m.cache.get(j.slots[i].key); ok {
+			r := res
+			j.slots[i].cached = &r
+			m.metrics.CacheHits.Add(1)
+		} else {
+			m.metrics.CacheMisses.Add(1)
+			missing++
+		}
+	}
+	m.metrics.SweepPointsCached.Add(int64(len(j.slots) - missing))
+
+	if missing == 0 {
+		j.status = StatusDone
+		j.cached = true
+		j.sweepRes = m.assembleSweep(j, nil)
+		j.finished = time.Now()
+		m.metrics.JobsDone.Add(1)
+		m.metrics.SweepsDone.Add(1)
+		m.addLocked(j)
+		m.log.Info("sweep served from cache", "job", j.id, "dataset", j.dataset,
+			"points", len(j.slots))
+		return j.snapshot(), nil
+	}
+
+	j.status = StatusQueued
+	select {
+	case m.queue <- j:
+	default:
+		return JobInfo{}, ErrQueueFull
+	}
+	m.metrics.JobsQueued.Add(1)
+	m.addLocked(j)
+	m.log.Info("sweep queued", "job", j.id, "dataset", j.dataset,
+		"points", len(j.slots), "cached", len(j.slots)-missing)
+	return j.snapshot(), nil
+}
+
+// missingPoints lists the grid points the submit-time cache lookup missed,
+// in request order.
+func missingPoints(j *job) []sweep.Point {
+	var out []sweep.Point
+	for _, s := range j.slots {
+		if s.cached == nil {
+			out = append(out, s.point)
+		}
+	}
+	return out
+}
+
+// assembleSweep merges cached per-point results with the engine's (res is
+// nil when every point was cached), caches every freshly computed point
+// under its single-job key, and returns the wire form in request order.
+func (m *Manager) assembleSweep(j *job, res *sweep.Result) *sweep.ResultJSON {
+	out := &sweep.ResultJSON{Points: make([]sweep.PointResultJSON, len(j.slots))}
+	var engine []sweep.PointResultJSON
+	if res != nil {
+		rj := res.JSON()
+		engine = rj.Points
+		out.Stats = rj.Stats
+	}
+	k := 0
+	for i, s := range j.slots {
+		if s.cached != nil {
+			out.Points[i] = sweep.PointResultJSON{
+				Point:    s.point.JSON(),
+				Options:  s.cached.Options,
+				Cached:   true,
+				Itemsets: s.cached.Itemsets,
+				Stats:    s.cached.Stats,
+			}
+			continue
+		}
+		m.cache.put(s.key, res.Points[k].CoreJSON())
+		out.Points[i] = engine[k]
+		k++
+	}
+	out.Stats.Points = len(j.slots)
+	return out
+}

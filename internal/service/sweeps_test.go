@@ -1,0 +1,248 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/sweep"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// TestStrictRequestDecoding pins the request-validation contract of the two
+// submission endpoints: unknown or mistyped fields are rejected with a
+// structured 400 naming the offending field, instead of being silently
+// dropped by the decoder.
+func TestStrictRequestDecoding(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	ds := uploadDB(t, ts.URL, uncertain.PaperExample())
+
+	cases := []struct {
+		name      string
+		path      string
+		body      string
+		status    int
+		wantField string
+	}{
+		{
+			name:   "jobs valid",
+			path:   "/v1/jobs",
+			body:   `{"dataset": "` + ds.ID + `", "options": {"min_sup": 2, "pfct": 0.8}}`,
+			status: http.StatusAccepted,
+		},
+		{
+			name:      "jobs unknown top-level field",
+			path:      "/v1/jobs",
+			body:      `{"dataset": "` + ds.ID + `", "options": {"min_sup": 2, "pfct": 0.8}, "timeout": 5}`,
+			status:    http.StatusBadRequest,
+			wantField: "timeout",
+		},
+		{
+			name:      "jobs misspelled option",
+			path:      "/v1/jobs",
+			body:      `{"dataset": "` + ds.ID + `", "options": {"minsup": 2, "pfct": 0.8}}`,
+			status:    http.StatusBadRequest,
+			wantField: "minsup",
+		},
+		{
+			name:      "jobs mistyped option",
+			path:      "/v1/jobs",
+			body:      `{"dataset": "` + ds.ID + `", "options": {"min_sup": "two", "pfct": 0.8}}`,
+			status:    http.StatusBadRequest,
+			wantField: "options.min_sup",
+		},
+		{
+			name:   "sweeps valid",
+			path:   "/v1/sweeps",
+			body:   `{"dataset": "` + ds.ID + `", "options": {"min_sup": 2, "pfct": 0.8}, "points": [{"pfct": 0.5}]}`,
+			status: http.StatusAccepted,
+		},
+		{
+			name:      "sweeps unknown point field",
+			path:      "/v1/sweeps",
+			body:      `{"dataset": "` + ds.ID + `", "options": {"min_sup": 2, "pfct": 0.8}, "points": [{"pfcts": 0.5}]}`,
+			status:    http.StatusBadRequest,
+			wantField: "pfcts",
+		},
+		{
+			name:      "sweeps unknown top-level field",
+			path:      "/v1/sweeps",
+			body:      `{"dataset": "` + ds.ID + `", "points": [{"pfct": 0.5}], "grid": true}`,
+			status:    http.StatusBadRequest,
+			wantField: "grid",
+		},
+		{
+			name:   "sweeps no points",
+			path:   "/v1/sweeps",
+			body:   `{"dataset": "` + ds.ID + `", "options": {"min_sup": 2, "pfct": 0.8}, "points": []}`,
+			status: http.StatusBadRequest,
+		},
+		{
+			name:   "sweeps invalid point names its index",
+			path:   "/v1/sweeps",
+			body:   `{"dataset": "` + ds.ID + `", "options": {"min_sup": 2, "pfct": 0.8}, "points": [{"pfct": 0.5}, {"pfct": 1.5}]}`,
+			status: http.StatusBadRequest,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			if tc.status != http.StatusBadRequest {
+				resp.Body.Close()
+				return
+			}
+			er := decode[errorResponse](t, resp)
+			if er.Error == "" {
+				t.Error("400 without error message")
+			}
+			if er.Field != tc.wantField {
+				t.Errorf("field = %q, want %q (error: %s)", er.Field, tc.wantField, er.Error)
+			}
+			if tc.name == "sweeps invalid point names its index" && !strings.Contains(er.Error, "point 1") {
+				t.Errorf("error does not name the bad point: %s", er.Error)
+			}
+		})
+	}
+}
+
+// TestSweepEndpoint drives POST /v1/sweeps end to end on the paper's
+// Table II example: a 3-point pfct sweep costs one enumeration, every
+// point matches an independent direct Mine byte for byte, the per-point
+// results populate the single-job cache, and an all-cached repeat sweep
+// completes synchronously.
+func TestSweepEndpoint(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2})
+	db := uncertain.PaperExample()
+	ds := uploadDB(t, ts.URL, db)
+
+	req := sweepRequest{
+		Dataset: ds.ID,
+		Options: core.OptionsJSON{MinSup: 2, PFCT: 0.8, Seed: 1},
+		Points:  []sweep.PointJSON{{PFCT: 0.5}, {PFCT: 0.8}, {PFCT: 0.9}},
+	}
+	info := decode[JobInfo](t, postJSON(t, ts.URL+"/v1/sweeps", req))
+	if info.Kind != JobKindSweep {
+		t.Errorf("kind = %q, want %q", info.Kind, JobKindSweep)
+	}
+	info = waitJob(t, ts.URL, info.ID)
+	if info.Status != StatusDone || info.Sweep == nil {
+		t.Fatalf("sweep job = %+v, want done with a sweep result", info)
+	}
+	sw := info.Sweep
+	if len(sw.Points) != 3 || sw.Stats.FullEnumerations != 1 {
+		t.Fatalf("sweep stats = %+v over %d points, want 3 points from 1 enumeration",
+			sw.Stats, len(sw.Points))
+	}
+	for i, pfct := range []float64{0.5, 0.8, 0.9} {
+		opts, err := core.OptionsJSON{MinSup: 2, PFCT: pfct, Seed: 1}.Options()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := core.Mine(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mustJSON(t, sw.Points[i].Itemsets)
+		want := mustJSON(t, direct.JSON().Itemsets)
+		if !bytes.Equal(got, want) {
+			t.Errorf("pfct %v: sweep point differs from direct Mine\n got: %s\nwant: %s", pfct, got, want)
+		}
+	}
+	// Table II ground truth: at pfct 0.8, abcd survives with Pr_FC = 0.81.
+	var prABCD float64
+	for _, it := range sw.Points[1].Itemsets {
+		if len(it.Items) == 4 {
+			prABCD = it.Prob
+		}
+	}
+	if prABCD < 0.8099 || prABCD > 0.8101 {
+		t.Errorf("Pr_FC(abcd) at pfct 0.8 = %v, want 0.81", prABCD)
+	}
+
+	// The sweep populated the per-point cache: a single job at one of the
+	// swept points is a cache hit with the identical result.
+	job := decode[JobInfo](t, postJSON(t, ts.URL+"/v1/jobs", jobRequest{
+		Dataset: ds.ID,
+		Options: core.OptionsJSON{MinSup: 2, PFCT: 0.9, Seed: 1},
+	}))
+	if !job.Cached || job.Status != StatusDone {
+		t.Errorf("single job after sweep = cached=%v status=%s, want cache hit", job.Cached, job.Status)
+	} else if !bytes.Equal(mustJSON(t, job.Result.Itemsets), mustJSON(t, sw.Points[2].Itemsets)) {
+		t.Error("cached single-job result differs from the sweep point that produced it")
+	}
+
+	// A repeat sweep is fully cached: done synchronously, every point
+	// flagged Cached, no new enumeration.
+	repeat := decode[JobInfo](t, postJSON(t, ts.URL+"/v1/sweeps", req))
+	if repeat.Status != StatusDone || !repeat.Cached || repeat.Sweep == nil {
+		t.Fatalf("repeat sweep = %+v, want synchronous cache-served completion", repeat)
+	}
+	for i, pr := range repeat.Sweep.Points {
+		if !pr.Cached {
+			t.Errorf("repeat sweep point %d not flagged cached", i)
+		}
+		if !bytes.Equal(mustJSON(t, pr.Itemsets), mustJSON(t, sw.Points[i].Itemsets)) {
+			t.Errorf("repeat sweep point %d differs from the original", i)
+		}
+	}
+	if repeat.Sweep.Stats.FullEnumerations != 0 {
+		t.Errorf("repeat sweep ran %d enumerations, want 0", repeat.Sweep.Stats.FullEnumerations)
+	}
+
+	m := s.Metrics()
+	if m["sweeps_done"] != 2 {
+		t.Errorf("sweeps_done = %d, want 2", m["sweeps_done"])
+	}
+	if m["sweep_enumerations"] != 1 {
+		t.Errorf("sweep_enumerations = %d, want 1 across both sweeps", m["sweep_enumerations"])
+	}
+	if m["sweep_points_cached"] != 3 {
+		t.Errorf("sweep_points_cached = %d, want 3 (the whole repeat grid)", m["sweep_points_cached"])
+	}
+	if m["sweep_points_computed"] != 3 {
+		t.Errorf("sweep_points_computed = %d, want 3 (the first grid)", m["sweep_points_computed"])
+	}
+}
+
+// TestSweepConsumesJobCache checks the other cache direction: points
+// already mined by single jobs are not re-mined by a later sweep.
+func TestSweepConsumesJobCache(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	ds := uploadDB(t, ts.URL, uncertain.PaperExample())
+
+	job := decode[JobInfo](t, postJSON(t, ts.URL+"/v1/jobs", jobRequest{
+		Dataset: ds.ID,
+		Options: core.OptionsJSON{MinSup: 2, PFCT: 0.5, Seed: 1},
+	}))
+	job = waitJob(t, ts.URL, job.ID)
+	if job.Status != StatusDone {
+		t.Fatalf("seed job = %+v", job)
+	}
+
+	info := decode[JobInfo](t, postJSON(t, ts.URL+"/v1/sweeps", sweepRequest{
+		Dataset: ds.ID,
+		Options: core.OptionsJSON{MinSup: 2, PFCT: 0.8, Seed: 1},
+		Points:  []sweep.PointJSON{{PFCT: 0.5}, {PFCT: 0.8}},
+	}))
+	info = waitJob(t, ts.URL, info.ID)
+	if info.Status != StatusDone || info.Sweep == nil {
+		t.Fatalf("sweep = %+v", info)
+	}
+	if !info.Sweep.Points[0].Cached {
+		t.Error("point mined by the earlier job was not served from the cache")
+	}
+	if info.Sweep.Points[1].Cached {
+		t.Error("never-mined point cannot be a cache hit")
+	}
+	if !bytes.Equal(mustJSON(t, info.Sweep.Points[0].Itemsets), mustJSON(t, job.Result.Itemsets)) {
+		t.Error("cached sweep point differs from the job that produced it")
+	}
+}

@@ -1,0 +1,73 @@
+package sweep
+
+// Wire (JSON) forms of sweep requests and results, used by the pfcimd
+// service's POST /v1/sweeps endpoint and by clients of the facade.
+
+import "github.com/probdata/pfcim/internal/core"
+
+// PointJSON is the wire form of a grid point; omitted fields inherit from
+// the sweep's base options, mirroring Point itself.
+type PointJSON struct {
+	MinSup  int     `json:"min_sup,omitempty"`
+	PFCT    float64 `json:"pfct,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+}
+
+// Point converts the wire form.
+func (pj PointJSON) Point() Point {
+	return Point{MinSup: pj.MinSup, PFCT: pj.PFCT, Epsilon: pj.Epsilon, Delta: pj.Delta}
+}
+
+// JSON converts p to its wire form.
+func (p Point) JSON() PointJSON {
+	return PointJSON{MinSup: p.MinSup, PFCT: p.PFCT, Epsilon: p.Epsilon, Delta: p.Delta}
+}
+
+// PointResultJSON is the wire form of one grid point's outcome.
+type PointResultJSON struct {
+	Point   PointJSON        `json:"point"`
+	Options core.OptionsJSON `json:"options"`
+	Derived bool             `json:"derived,omitempty"`
+	// Cached is set by the service when the point was answered from the
+	// daemon's result cache rather than computed by this sweep.
+	Cached   bool                  `json:"cached,omitempty"`
+	WallMS   int64                 `json:"wall_ms"`
+	Itemsets []core.ResultItemJSON `json:"itemsets"`
+	Stats    core.Stats            `json:"stats"`
+}
+
+// ResultJSON is the wire form of a full sweep result.
+type ResultJSON struct {
+	Points []PointResultJSON `json:"points"`
+	Stats  Stats             `json:"stats"`
+}
+
+// CoreJSON renders the point's outcome as the per-point core.ResultJSON a
+// single mining job at the point's canonical options would produce — the
+// shape the daemon's result cache stores, so sweep points and single-point
+// jobs share cache entries. Itemsets are byte-identical to a direct run;
+// Stats records this point's attributed work (the derivation delta for
+// derived points), which is an execution diagnostic outside the
+// determinism contract.
+func (pr PointResult) CoreJSON() core.ResultJSON {
+	full := core.Result{Itemsets: pr.Itemsets, Stats: pr.Stats, Options: pr.Options}
+	return full.JSON()
+}
+
+// JSON converts the sweep result to its wire form.
+func (r *Result) JSON() ResultJSON {
+	out := ResultJSON{Points: make([]PointResultJSON, len(r.Points)), Stats: r.Stats}
+	for i, pr := range r.Points {
+		rj := pr.CoreJSON()
+		out.Points[i] = PointResultJSON{
+			Point:    pr.Point.JSON(),
+			Options:  rj.Options,
+			Derived:  pr.Derived,
+			WallMS:   pr.Wall.Milliseconds(),
+			Itemsets: rj.Itemsets,
+			Stats:    pr.Stats,
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+// Package sweep is the shared-computation parameter-sweep engine: it mines
+// one dataset at a grid of (MinSup, PFCT, Epsilon, Delta) operating points
+// while paying for as few full enumerations as possible.
+//
+// The planner groups grid points that share every result-affecting option
+// except pfct (in particular MinSup — the paper's Fig. 6 axis — starts a
+// new group, because support pruning reshapes the enumeration tree). Each
+// group runs ONE full core.Mine at the group's minimum pfct: MPFCI's
+// pruning is threshold-monotone — lowering pfct only weakens the
+// Chernoff-Hoeffding (Lemma 4.1) and Pr_FC-bound (Lemma 4.4) prunes, and
+// the structural prunes (Lemmas 4.2/4.3) only ever remove itemsets whose
+// frequent closed probability is exactly zero at every threshold — so the
+// base run's accepted set is a superset of every tighter point's result
+// set (DESIGN §10). Each tighter point is then derived by bound-aware
+// filtering through core.Evaluator: candidates whose cached Lemma 4.4
+// lower bound clears the tighter threshold are accepted outright,
+// candidates whose upper bound cannot reach it are rejected outright, and
+// only the straddlers re-run the exact/sampled ApproxFCP union — whose
+// per-node deterministic seeding makes every derived point byte-identical
+// to an independent Mine at that point.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// Point is one grid point of a sweep. Zero-valued fields inherit from the
+// sweep's base options, so a pure pfct sweep lists only PFCT values.
+type Point struct {
+	MinSup  int
+	PFCT    float64
+	Epsilon float64
+	Delta   float64
+}
+
+// Apply overlays the point on the base options, producing the effective
+// options of this grid point. Execution knobs (Parallelism, Trace, …) are
+// always the base's — a sweep varies result-affecting thresholds only.
+func (p Point) Apply(base core.Options) core.Options {
+	o := base
+	if p.MinSup != 0 {
+		o.MinSup = p.MinSup
+	}
+	if p.PFCT != 0 {
+		o.PFCT = p.PFCT
+	}
+	if p.Epsilon != 0 {
+		o.Epsilon = p.Epsilon
+	}
+	if p.Delta != 0 {
+		o.Delta = p.Delta
+	}
+	return o
+}
+
+// PointResult is the mining outcome at one grid point.
+type PointResult struct {
+	// Point echoes the requested grid point.
+	Point Point
+	// Options is the point's effective options in canonical form — the
+	// identity under which the result is cacheable (DESIGN §8.3).
+	Options core.Options
+	// Itemsets is exactly what core.Mine at Options would return.
+	Itemsets []core.ResultItem
+	// Derived reports whether the point was derived from its group's base
+	// enumeration (true) or is the base enumeration itself (false).
+	Derived bool
+	// Stats is the mining work attributable to this point: the full run's
+	// statistics for a base point, the re-evaluation delta for a derived
+	// point (NodesVisited is 0 there — no enumeration happened).
+	Stats core.Stats
+	// Wall is the wall-clock time attributed to this point.
+	Wall time.Duration
+}
+
+// Stats summarizes the engine's work across the whole sweep.
+type Stats struct {
+	Points            int // grid points requested
+	Groups            int // point groups (one per distinct non-pfct option set)
+	FullEnumerations  int // full core.Mine runs performed — equals Groups
+	DerivedPoints     int // points answered by filtering, without enumeration
+	CandidatesChecked int // candidate × derived-point re-evaluations
+	Reestimated       int // re-evaluations that re-ran an exact/sampled union
+}
+
+// Result is the outcome of a sweep: one PointResult per requested point, in
+// request order, plus engine statistics.
+type Result struct {
+	Points []PointResult
+	Stats  Stats
+}
+
+// groupPFCTSentinel replaces pfct when computing a point's group key, so
+// points differing only in pfct share a group. Any fixed valid value works;
+// it never reaches a miner.
+const groupPFCTSentinel = 0.5
+
+// resolved is one grid point with its effective and canonical options.
+type resolved struct {
+	point Point
+	eff   core.Options // effective options (base exec knobs retained)
+	canon core.Options // canonical form: the point's result identity
+}
+
+// group collects the points that share one base enumeration.
+type group struct {
+	minPFCT float64
+	members []int // indices into the request order
+}
+
+// plan validates every point and groups them by their pfct-masked canonical
+// key, preserving first-appearance order.
+func plan(points []Point, base core.Options) ([]resolved, []*group, error) {
+	res := make([]resolved, len(points))
+	var order []*group
+	byKey := make(map[string]*group)
+	for i, p := range points {
+		eff := p.Apply(base)
+		canon, err := eff.Canonical()
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: point %d (%+v): %w", i, p, err)
+		}
+		res[i] = resolved{point: p, eff: eff, canon: canon}
+		masked := canon
+		masked.PFCT = groupPFCTSentinel
+		key, err := masked.CanonicalKey()
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: point %d (%+v): %w", i, p, err)
+		}
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{minPFCT: canon.PFCT}
+			byKey[key] = g
+			order = append(order, g)
+		}
+		if canon.PFCT < g.minPFCT {
+			g.minPFCT = canon.PFCT
+		}
+		g.members = append(g.members, i)
+	}
+	return res, order, nil
+}
+
+// Groups reports the planner's partition of the grid without mining: each
+// inner slice lists the indices (into points) that share one base
+// enumeration, in first-appearance order. Callers that budget or meter
+// sweeps per enumeration (cmd/experiments) use this to slice a grid into
+// independently runnable sub-sweeps.
+func Groups(points []Point, base core.Options) ([][]int, error) {
+	_, order, err := plan(points, base)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, len(order))
+	for i, g := range order {
+		out[i] = append([]int(nil), g.members...)
+	}
+	return out, nil
+}
+
+// Mine executes the sweep over db. Every point is validated up front (an
+// invalid point fails the whole sweep with an error naming it); the engine
+// then runs one full enumeration per group and derives the rest.
+func Mine(ctx context.Context, db *uncertain.DB, points []Point, base core.Options) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: no grid points")
+	}
+	res, order, err := plan(points, base)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Points: make([]PointResult, len(points)),
+		Stats:  Stats{Points: len(points), Groups: len(order)},
+	}
+	for _, g := range order {
+		if err := runGroup(ctx, db, g, res, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runGroup mines one group's base enumeration at the group's minimum pfct
+// and fills in every member point — points at the minimum directly, tighter
+// points by bound-aware filtering through the Evaluator.
+func runGroup(ctx context.Context, db *uncertain.DB, g *group, res []resolved, out *Result) error {
+	runOpts := res[g.members[0]].eff
+	runOpts.PFCT = g.minPFCT
+
+	start := time.Now()
+	base, ev, err := core.MineEvaluated(ctx, db, runOpts)
+	if err != nil {
+		return err
+	}
+	baseWall := time.Since(start)
+	out.Stats.FullEnumerations++
+
+	baseAttributed := false
+	for _, i := range g.members {
+		r := res[i]
+		pr := PointResult{Point: r.point, Options: r.canon}
+		if r.canon.PFCT == g.minPFCT {
+			pr.Itemsets = base.Itemsets
+			pr.Stats = base.Stats
+			if !baseAttributed {
+				pr.Wall = baseWall
+				baseAttributed = true
+			}
+			out.Points[i] = pr
+			continue
+		}
+		prev := ev.Stats()
+		pointStart := time.Now()
+		items := make([]core.ResultItem, 0, len(base.Itemsets))
+		for _, cand := range base.Itemsets {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			ri, ok, err := ev.Evaluate(cand.Items, r.canon.PFCT)
+			if err != nil {
+				return err
+			}
+			if ok {
+				items = append(items, ri)
+			}
+		}
+		cur := ev.Stats()
+		delta := cur.Delta(prev)
+		pr.Itemsets = items
+		pr.Derived = true
+		pr.Stats = delta
+		pr.Wall = time.Since(pointStart)
+		out.Stats.DerivedPoints++
+		out.Stats.CandidatesChecked += len(base.Itemsets)
+		out.Stats.Reestimated += delta.ExactUnions + delta.Sampled
+		out.Points[i] = pr
+	}
+	return nil
+}

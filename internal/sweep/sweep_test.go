@@ -1,0 +1,174 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/gen"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// checkGrid is the sweep engine's central property: at every grid point the
+// sweep's itemsets are byte-identical (as ResultJSON itemsets) to an
+// independent core.Mine at that point's options, derived points did no
+// enumeration of their own, and the engine ran exactly one full enumeration
+// per group.
+func checkGrid(t *testing.T, db *uncertain.DB, points []Point, base core.Options, wantGroups int) *Result {
+	t.Helper()
+	res, err := Mine(context.Background(), db, points, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Points != len(points) || res.Stats.Groups != wantGroups {
+		t.Errorf("stats = %+v, want %d points in %d groups", res.Stats, len(points), wantGroups)
+	}
+	if res.Stats.FullEnumerations != wantGroups {
+		t.Errorf("FullEnumerations = %d, want exactly one per group (%d)",
+			res.Stats.FullEnumerations, wantGroups)
+	}
+	if res.Stats.DerivedPoints != len(points)-wantGroups {
+		t.Errorf("DerivedPoints = %d, want %d", res.Stats.DerivedPoints, len(points)-wantGroups)
+	}
+	for i, pr := range res.Points {
+		direct, err := core.Mine(db, pr.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mustJSON(t, pr.CoreJSON().Itemsets)
+		want := mustJSON(t, direct.JSON().Itemsets)
+		if !bytes.Equal(got, want) {
+			t.Errorf("point %d (%+v): sweep result differs from independent Mine\n got: %.200s\nwant: %.200s",
+				i, pr.Point, got, want)
+		}
+		if pr.Derived && pr.Stats.NodesVisited != 0 {
+			t.Errorf("point %d: derived point visited %d enumeration nodes, want 0",
+				i, pr.Stats.NodesVisited)
+		}
+	}
+	return res
+}
+
+// TestSweepTableII runs a mixed (MinSup × PFCT) grid over the paper's
+// Table II example: two MinSup groups, several pfct points each, one of
+// them straddling the Pr_FC(abcd) = 0.81 value.
+func TestSweepTableII(t *testing.T) {
+	db := uncertain.PaperExample()
+	base := core.Options{MinSup: 2, PFCT: 0.8, Seed: 1}
+	points := []Point{
+		{PFCT: 0.5}, {PFCT: 0.7}, {PFCT: 0.8}, {PFCT: 0.805}, {PFCT: 0.9},
+		{MinSup: 1, PFCT: 0.5}, {MinSup: 1, PFCT: 0.9},
+	}
+	res := checkGrid(t, db, points, base, 2)
+
+	// The pfct 0.8 point must report the paper's Pr_FC(abcd) = 0.81.
+	p3 := res.Points[2].CoreJSON()
+	found := false
+	for _, it := range p3.Itemsets {
+		if len(it.Items) == 4 && it.Prob > 0.8099 && it.Prob < 0.8101 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pfct 0.8 point misses abcd with Pr_FC = 0.81: %+v", p3.Itemsets)
+	}
+}
+
+// TestSweepQuest is the seeded-Quest grid of the acceptance criteria,
+// including an always-sample configuration so derived points exercise the
+// deterministic re-estimation path, not just bound filtering.
+func TestSweepQuest(t *testing.T) {
+	db := gen.AssignGaussian(gen.Quest(gen.QuestT20I10D30KP40(0.01, 7)), 0.8, 0.1, 8)
+	minSup := core.AbsoluteMinSup(db.N(), 0.25)
+	base := core.Options{MinSup: minSup, PFCT: 0.8, Seed: 7, MaxExactClauses: -1}
+	points := []Point{
+		{PFCT: 0.5}, {PFCT: 0.6}, {PFCT: 0.7}, {PFCT: 0.8}, {PFCT: 0.9},
+		{PFCT: 0.7, Epsilon: 0.05}, // distinct epsilon: own group
+	}
+	res := checkGrid(t, db, points, base, 2)
+	if res.Stats.CandidatesChecked == 0 {
+		t.Error("expected candidate re-evaluations on the derived points")
+	}
+}
+
+// TestSweepFig7SingleEnumeration pins the acceptance criterion verbatim: a
+// 5-point Fig. 7 pfct sweep performs exactly one full enumeration, asserted
+// through the per-point MineStats.
+func TestSweepFig7SingleEnumeration(t *testing.T) {
+	db := gen.AssignGaussian(gen.MushroomLike(0.02, 42), 0.5, 0.5, 43)
+	base := core.Options{MinSup: core.AbsoluteMinSup(db.N(), 0.4), PFCT: 0.8, Seed: 7}
+	points := []Point{{PFCT: 0.5}, {PFCT: 0.6}, {PFCT: 0.7}, {PFCT: 0.8}, {PFCT: 0.9}}
+	res := checkGrid(t, db, points, base, 1)
+	if res.Stats.FullEnumerations != 1 {
+		t.Fatalf("FullEnumerations = %d, want 1", res.Stats.FullEnumerations)
+	}
+	enumerations := 0
+	for _, pr := range res.Points {
+		if pr.Stats.NodesVisited > 0 {
+			enumerations++
+		}
+	}
+	if enumerations != 1 {
+		t.Errorf("%d points carry enumeration work, want only the base point", enumerations)
+	}
+	// The base run is the loosest point (pfct 0.5), which is not derived.
+	if res.Points[0].Derived || !res.Points[4].Derived {
+		t.Errorf("derivation flags wrong: %+v", res.Points)
+	}
+}
+
+// TestSweepErrors covers the validation surface: empty grids, invalid
+// points (bad pfct, negative epsilon), and cancellation.
+func TestSweepErrors(t *testing.T) {
+	db := uncertain.PaperExample()
+	base := core.Options{MinSup: 2, PFCT: 0.8}
+	if _, err := Mine(context.Background(), db, nil, base); err == nil {
+		t.Error("empty grid should error")
+	}
+	if _, err := Mine(context.Background(), db, []Point{{PFCT: 1.5}}, base); err == nil {
+		t.Error("pfct out of range should error")
+	}
+	if _, err := Mine(context.Background(), db, []Point{{Epsilon: -0.1}}, base); err == nil {
+		t.Error("negative epsilon should error")
+	}
+	if _, err := Mine(context.Background(), db, []Point{{MinSup: -3}}, base); err == nil {
+		t.Error("negative min_sup should error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Mine(ctx, db, []Point{{PFCT: 0.5}}, base); err == nil {
+		t.Error("canceled context should abort the sweep")
+	}
+}
+
+// TestSweepJSONRoundTrip sanity-checks the wire forms.
+func TestSweepJSONRoundTrip(t *testing.T) {
+	db := uncertain.PaperExample()
+	res, err := Mine(context.Background(), db,
+		[]Point{{PFCT: 0.5}, {PFCT: 0.8}}, core.Options{MinSup: 2, PFCT: 0.8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj := res.JSON()
+	if len(rj.Points) != 2 || rj.Stats.FullEnumerations != 1 {
+		t.Fatalf("wire form wrong: %+v", rj.Stats)
+	}
+	if !rj.Points[1].Derived || rj.Points[0].Derived {
+		t.Errorf("derivation flags lost in wire form")
+	}
+	p := PointJSON{MinSup: 3, PFCT: 0.7, Epsilon: 0.2, Delta: 0.3}
+	if got := p.Point().JSON(); got != p {
+		t.Errorf("Point JSON round trip: %+v != %+v", got, p)
+	}
+}

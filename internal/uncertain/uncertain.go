@@ -8,6 +8,7 @@ package uncertain
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/probdata/pfcim/internal/bitset"
 	"github.com/probdata/pfcim/internal/itemset"
@@ -24,6 +25,9 @@ type Transaction struct {
 type DB struct {
 	trans []Transaction
 	items itemset.Itemset // sorted universe of items that occur
+
+	indexOnce sync.Once
+	index     *Index
 }
 
 // NewDB validates and stores the given transactions. Probabilities must lie
@@ -130,8 +134,17 @@ type Index struct {
 	AllTrans *bitset.Bitset       // tidset of the empty itemset (all tids)
 }
 
-// Index builds the vertical index.
+// Index returns the vertical index, building it on first use. The index is
+// immutable once built (miners clone tidsets before intersecting), so one
+// instance is shared by every concurrent run over the same DB — repeated
+// mining of one dataset (sweeps, daemon jobs) pays for index construction
+// once.
 func (db *DB) Index() *Index {
+	db.indexOnce.Do(func() { db.index = db.buildIndex() })
+	return db.index
+}
+
+func (db *DB) buildIndex() *Index {
 	idx := &Index{
 		DB:      db,
 		Items:   db.Items(),

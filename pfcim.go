@@ -29,6 +29,32 @@
 //		fmt.Println(r.Items, r.Prob)
 //	}
 //
+// # Context-first convention
+//
+// Every mining entry point that can run long has a context-first form —
+// MineContext, MineTopKContext, MineSweep — that aborts with ctx.Err() at
+// the next enumeration-tree node once ctx is done. The context-free names
+// (Mine, MineTopK) are thin wrappers over their context-first counterparts
+// with context.Background(), kept for convenience; new code that may need
+// cancellation or deadlines should call the context-first forms directly.
+//
+// # Parameter sweeps
+//
+// Threshold tuning rarely needs one mining run: it needs a grid. MineSweep
+// mines one database at many (MinSup, PFCT, Epsilon, Delta) operating
+// points while running only one full enumeration per MinSup group — points
+// differing only in pfct are derived from the loosest run by bound-aware
+// filtering, byte-identical to independent Mine calls at those points (see
+// DESIGN §10).
+//
+// # Options validation
+//
+// All option structs (Options, FrequentOptions, RuleOptions) validate the
+// same way: a Canonical method checks ranges, applies the defaults the
+// miner would, and clears execution-only knobs, so equal canonical forms
+// guarantee identical result sets. Mining entry points reject invalid
+// options with an error naming the offending field.
+//
 // See the examples directory for complete programs and DESIGN.md for the
 // algorithm inventory.
 package pfcim
@@ -44,6 +70,7 @@ import (
 	"github.com/probdata/pfcim/internal/pfim"
 	"github.com/probdata/pfcim/internal/rules"
 	"github.com/probdata/pfcim/internal/stream"
+	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
 	"github.com/probdata/pfcim/internal/world"
 )
@@ -131,22 +158,54 @@ func CanonicalOptions(o Options) (Options, error) { return o.Canonical() }
 // for mining results; pfcimd's result cache uses exactly that.
 func OptionsKey(o Options) (string, error) { return o.CanonicalKey() }
 
-// Mine runs the MPFCI miner (or the variant selected by opts) and returns
-// every probabilistic frequent closed itemset of db.
-func Mine(db *Database, opts Options) (*Result, error) { return core.Mine(db, opts) }
-
-// MineContext is Mine with cancellation: once ctx is done the run aborts
-// with ctx.Err() at the next enumeration-tree node.
+// MineContext runs the MPFCI miner (or the variant selected by opts) and
+// returns every probabilistic frequent closed itemset of db; once ctx is
+// done the run aborts with ctx.Err() at the next enumeration-tree node.
 func MineContext(ctx context.Context, db *Database, opts Options) (*Result, error) {
 	return core.MineContext(ctx, db, opts)
 }
 
-// MineTopK returns the k itemsets with the highest frequent closed
+// Mine is MineContext with context.Background().
+func Mine(db *Database, opts Options) (*Result, error) {
+	return MineContext(context.Background(), db, opts)
+}
+
+// MineTopKContext returns the k itemsets with the highest frequent closed
 // probability at the given minimum support; no pfct is needed — the
 // acceptance threshold rises to the running k-th best, so the pruning
 // machinery keeps working. Results are sorted by descending probability.
+// Once ctx is done the run aborts with ctx.Err().
+func MineTopKContext(ctx context.Context, db *Database, minSup, k int, opts Options) ([]ResultItem, error) {
+	return core.MineTopKContext(ctx, db, minSup, k, opts)
+}
+
+// MineTopK is MineTopKContext with context.Background().
 func MineTopK(db *Database, minSup, k int, opts Options) ([]ResultItem, error) {
-	return core.MineTopK(db, minSup, k, opts)
+	return MineTopKContext(context.Background(), db, minSup, k, opts)
+}
+
+// SweepPoint is one grid point of a parameter sweep; zero-valued fields
+// inherit from the sweep's base Options.
+type SweepPoint = sweep.Point
+
+// SweepPointResult is the mining outcome at one grid point.
+type SweepPointResult = sweep.PointResult
+
+// SweepResult is a full sweep outcome: one SweepPointResult per requested
+// point, in request order, plus engine statistics.
+type SweepResult = sweep.Result
+
+// SweepStats summarizes the sweep engine's work — in particular
+// FullEnumerations, the number of full mining runs the grid cost.
+type SweepStats = sweep.Stats
+
+// MineSweep mines db at every grid point, sharing computation across
+// points: one full enumeration per group of points that differ only in
+// pfct, with tighter points derived by bound-aware filtering. Each point's
+// Itemsets are byte-identical to what MineContext at that point's options
+// would return (DESIGN §10).
+func MineSweep(ctx context.Context, db *Database, points []SweepPoint, opts Options) (*SweepResult, error) {
+	return sweep.Mine(ctx, db, points, opts)
 }
 
 // MineNaive is the baseline that first enumerates all probabilistic
@@ -162,13 +221,35 @@ func AbsoluteMinSup(n int, rel float64) int { return core.AbsoluteMinSup(n, rel)
 // the paper) with its exact frequent probability.
 type FrequentItemset = pfim.Itemset
 
-// FrequentOptions configures MineFrequent.
+// FrequentOptions configures MineFrequent. Like Options it validates and
+// defaults through a Canonical method; the MineFrequent family rejects
+// invalid thresholds with an error.
 type FrequentOptions = pfim.Options
+
+// CanonicalFrequentOptions validates o, applies the defaults MineFrequent
+// would, and clears the execution-only DisableCH knob — the FrequentOptions
+// counterpart of CanonicalOptions.
+func CanonicalFrequentOptions(o FrequentOptions) (FrequentOptions, error) { return o.Canonical() }
+
+// validFrequent validates opts for the MineFrequent family, keeping the
+// execution knobs (DisableCH) Canonical would clear.
+func validFrequent(opts FrequentOptions) (FrequentOptions, error) {
+	c, err := opts.Canonical()
+	if err != nil {
+		return opts, err
+	}
+	opts.MinSup = c.MinSup
+	return opts, nil
+}
 
 // MineFrequent returns every probabilistic frequent itemset of db: the
 // itemsets X with Pr{sup(X) ≥ MinSup} > PFT.
-func MineFrequent(db *Database, opts FrequentOptions) []FrequentItemset {
-	return pfim.Mine(db, opts)
+func MineFrequent(db *Database, opts FrequentOptions) ([]FrequentItemset, error) {
+	opts, err := validFrequent(opts)
+	if err != nil {
+		return nil, err
+	}
+	return pfim.Mine(db, opts), nil
 }
 
 // MineExpectedSupport returns all itemsets whose expected support reaches
@@ -180,14 +261,22 @@ func MineExpectedSupport(db *Database, minExpSup float64) []FrequentItemset {
 // MineFrequentTopDown returns the same set as MineFrequent using the
 // top-down strategy of the TODIS algorithm: discover the maximal
 // probabilistic frequent itemsets, then derive every subset.
-func MineFrequentTopDown(db *Database, opts FrequentOptions) []FrequentItemset {
-	return pfim.MineTopDown(db, opts)
+func MineFrequentTopDown(db *Database, opts FrequentOptions) ([]FrequentItemset, error) {
+	opts, err := validFrequent(opts)
+	if err != nil {
+		return nil, err
+	}
+	return pfim.MineTopDown(db, opts), nil
 }
 
 // MaximalFrequent returns only the maximal probabilistic frequent itemsets
 // — the border representation the top-down strategy is built on.
-func MaximalFrequent(db *Database, opts FrequentOptions) []Itemset {
-	return pfim.MaximalFrequent(db, opts)
+func MaximalFrequent(db *Database, opts FrequentOptions) ([]Itemset, error) {
+	opts, err := validFrequent(opts)
+	if err != nil {
+		return nil, err
+	}
+	return pfim.MaximalFrequent(db, opts), nil
 }
 
 // UFGrowth mines all itemsets whose expected support reaches minExpSup
@@ -223,8 +312,12 @@ func MineExpectedSupportItems(db *ItemDatabase, minExpSup float64) []FrequentIte
 
 // MineFrequentItems mines all probabilistic frequent itemsets of the
 // attribute-level model.
-func MineFrequentItems(db *ItemDatabase, opts FrequentOptions) []FrequentItemset {
-	return pfim.ItemLevelMine(db, opts)
+func MineFrequentItems(db *ItemDatabase, opts FrequentOptions) ([]FrequentItemset, error) {
+	opts, err := validFrequent(opts)
+	if err != nil {
+		return nil, err
+	}
+	return pfim.ItemLevelMine(db, opts), nil
 }
 
 // ProbabilisticSupport returns max{s : Pr[sup(X) ≥ s] ≥ pft} — the
@@ -326,8 +419,12 @@ func EstimateFreqClosedProb(db *Database, x Itemset, minSup int, eps, delta floa
 // CountFrequent returns the number of probabilistic frequent itemsets
 // without materializing them; analytic tail bounds settle most membership
 // decisions without the exact dynamic program. The count is exact.
-func CountFrequent(db *Database, opts FrequentOptions) int {
-	return pfim.Count(db, opts)
+func CountFrequent(db *Database, opts FrequentOptions) (int, error) {
+	opts, err := validFrequent(opts)
+	if err != nil {
+		return 0, err
+	}
+	return pfim.Count(db, opts), nil
 }
 
 // PaperExample returns the uncertain database of the paper's Table II — the

@@ -3,6 +3,7 @@ package pfcim_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"math"
@@ -28,7 +29,10 @@ func ExampleMine() {
 
 func ExampleMineFrequent() {
 	db := pfcim.PaperExample()
-	pfis := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: 2, PFT: 0.8})
+	pfis, err := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: 2, PFT: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(len(pfis), "probabilistic frequent itemsets")
 	// Output:
 	// 15 probabilistic frequent itemsets
@@ -113,7 +117,10 @@ func TestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pfis := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: ms, PFT: 0.8})
+	pfis, err := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: ms, PFT: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	pfiKeys := map[string]float64{}
 	for _, p := range pfis {
 		pfiKeys[p.Items.Key()] = p.FreqProb
@@ -147,17 +154,43 @@ func TestFacadeExtendedAPI(t *testing.T) {
 	db := pfcim.PaperExample()
 	opts := pfcim.FrequentOptions{MinSup: 2, PFT: 0.8}
 
-	td := pfcim.MineFrequentTopDown(db, opts)
-	bu := pfcim.MineFrequent(db, opts)
+	td, err := pfcim.MineFrequentTopDown(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := pfcim.MineFrequent(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(td) != len(bu) {
 		t.Errorf("top-down found %d PFIs, bottom-up %d", len(td), len(bu))
 	}
-	if got := pfcim.CountFrequent(db, opts); got != len(bu) {
-		t.Errorf("CountFrequent = %d, want %d", got, len(bu))
+	if got, err := pfcim.CountFrequent(db, opts); err != nil || got != len(bu) {
+		t.Errorf("CountFrequent = %d (err %v), want %d", got, err, len(bu))
 	}
-	maxes := pfcim.MaximalFrequent(db, opts)
+	maxes, err := pfcim.MaximalFrequent(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(maxes) != 1 {
 		t.Errorf("MaximalFrequent = %v", maxes)
+	}
+	// Uniform validation: every FrequentOptions consumer rejects bad
+	// thresholds with an error instead of mining garbage.
+	if _, err := pfcim.MineFrequent(db, pfcim.FrequentOptions{MinSup: -1, PFT: 0.5}); err == nil {
+		t.Error("MineFrequent accepted negative MinSup")
+	}
+	if _, err := pfcim.MineFrequentTopDown(db, pfcim.FrequentOptions{MinSup: 2, PFT: 1.2}); err == nil {
+		t.Error("MineFrequentTopDown accepted PFT > 1")
+	}
+	if _, err := pfcim.MaximalFrequent(db, pfcim.FrequentOptions{MinSup: 2, PFT: -0.1}); err == nil {
+		t.Error("MaximalFrequent accepted negative PFT")
+	}
+	if _, err := pfcim.CountFrequent(db, pfcim.FrequentOptions{MinSup: 2, PFT: 1}); err == nil {
+		t.Error("CountFrequent accepted PFT = 1 (no itemset can exceed it)")
+	}
+	if canon, err := pfcim.CanonicalFrequentOptions(pfcim.FrequentOptions{PFT: 0.3, DisableCH: true}); err != nil || canon.MinSup != 1 || canon.DisableCH {
+		t.Errorf("CanonicalFrequentOptions = %+v err %v, want MinSup 1, DisableCH cleared", canon, err)
 	}
 	uf := pfcim.UFGrowth(db, 2.0)
 	es := pfcim.MineExpectedSupport(db, 2.0)
@@ -211,4 +244,50 @@ func TestFacadeParallelMine(t *testing.T) {
 	if len(serial.Itemsets) != len(par.Itemsets) {
 		t.Errorf("parallel result differs: %d vs %d", len(par.Itemsets), len(serial.Itemsets))
 	}
+}
+
+func TestFacadeMineSweep(t *testing.T) {
+	db := pfcim.PaperExample()
+	base := pfcim.Options{MinSup: 2, PFCT: 0.8, Seed: 1}
+	points := []pfcim.SweepPoint{{PFCT: 0.5}, {PFCT: 0.8}, {PFCT: 0.9}}
+	res, err := pfcim.MineSweep(context.Background(), db, points, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FullEnumerations != 1 {
+		t.Errorf("FullEnumerations = %d, want 1 for a pure pfct sweep", res.Stats.FullEnumerations)
+	}
+	for i, pr := range res.Points {
+		direct, err := pfcim.Mine(db, pr.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mustJSONBytes(t, pr.CoreJSON().Itemsets)
+		want := mustJSONBytes(t, direct.JSON().Itemsets)
+		if !bytes.Equal(got, want) {
+			t.Errorf("point %d: sweep itemsets differ from independent Mine", i)
+		}
+	}
+}
+
+func TestFacadeMineTopKContext(t *testing.T) {
+	db := pfcim.PaperExample()
+	top, err := pfcim.MineTopKContext(context.Background(), db, 2, 1, pfcim.Options{Seed: 1})
+	if err != nil || len(top) != 1 {
+		t.Fatalf("MineTopKContext = %v, %v", top, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pfcim.MineTopKContext(ctx, db, 2, 1, pfcim.Options{Seed: 1}); err == nil {
+		t.Error("cancelled MineTopKContext should fail")
+	}
+}
+
+func mustJSONBytes(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
