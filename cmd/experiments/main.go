@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|example1|table7|table8|fig5..fig12]
+//	experiments [-exp all|example1|table7|table8|fig5..fig12|extra|profile]
 //	            [-mushroom-scale 0.1] [-quest-scale 0.02]
 //	            [-pfct 0.8] [-eps 0.1] [-delta 0.1]
 //	            [-seed 42] [-budget 60s]
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, example1, table7, table8, fig5..fig12")
+		exp        = flag.String("exp", "all", "experiment to run: all, example1, table7, table8, fig5..fig12, extra, profile")
 		mushScale  = flag.Float64("mushroom-scale", 0.1, "Mushroom-like dataset scale (1 = 8124 transactions)")
 		questScale = flag.Float64("quest-scale", 0.02, "T20I10D30KP40 scale (1 = 30000 transactions)")
 		pfct       = flag.Float64("pfct", 0.8, "probabilistic frequent closed threshold")

@@ -16,6 +16,8 @@
 //	-no-ch -no-super -no-sub -no-bound   disable individual prunings
 //	-frequent                also print probabilistic frequent itemsets
 //	-stats                   print pruning statistics
+//	-trace out.json          record phase spans: prints a phase/depth summary
+//	                         table and writes a Chrome trace-event file
 //	-parallel N              mine with N work-stealing workers
 //	-split-depth D           hand subtrees above depth D to idle workers
 //	-cpuprofile f.pb.gz      write a pprof CPU profile of the run
@@ -54,6 +56,7 @@ func main() {
 		splitDepth = flag.Int("split-depth", 0, "max enumeration depth at which subtrees are handed to idle workers (0 = default)")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of text")
 		showStats  = flag.Bool("stats", false, "print pruning statistics")
+		traceOut   = flag.String("trace", "", "record phase spans and write a Chrome trace-event JSON file (view in chrome://tracing or Perfetto)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the mining run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after mining) to this file")
 	)
@@ -90,6 +93,9 @@ func main() {
 		DisableBounds:   *noBound,
 		Parallelism:     *parallel,
 		SplitDepth:      *splitDepth,
+	}
+	if *traceOut != "" {
+		opts.Tracer = pfcim.NewTracer()
 	}
 
 	if *cpuProfile != "" {
@@ -188,6 +194,51 @@ func main() {
 		fmt.Printf("# stats: nodes=%d candidates=%d ch-pruned=%d freq-pruned=%d super-pruned=%d sub-pruned=%d bound-rejected=%d bound-accepted=%d exact-unions=%d sampled=%d samples=%d\n",
 			s.NodesVisited, s.CandidateItems, s.CHPruned, s.FreqPruned, s.SupersetPruned,
 			s.SubsetPruned, s.BoundRejected, s.BoundAccepted, s.ExactUnions, s.Sampled, s.SamplesDrawn)
+	}
+	if *traceOut != "" {
+		printProfile(res.Profile)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := opts.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# trace written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
+}
+
+// printProfile renders the phase profile as a summary table: where the
+// run's wall time went, phase by phase and depth by depth.
+func printProfile(p *pfcim.Profile) {
+	if p == nil {
+		return
+	}
+	total := float64(p.TotalNS)
+	fmt.Printf("# profile: total %.3fs\n", total/1e9)
+	fmt.Printf("# %-12s %10s %8s %10s\n", "phase", "wall", "share", "count")
+	for _, ph := range p.Phases {
+		if ph.Count == 0 {
+			continue
+		}
+		fmt.Printf("# %-12s %9.3fs %7.1f%% %10d\n",
+			ph.Phase, float64(ph.WallNS)/1e9, 100*float64(ph.WallNS)/total, ph.Count)
+	}
+	for _, d := range p.Depths {
+		fmt.Printf("# depth %-6d %9.3fs %7.1f%% %10d nodes\n",
+			d.Depth, float64(d.WallNS)/1e9, 100*float64(d.WallNS)/total, d.Nodes)
+	}
+	if len(p.Workers) > 1 {
+		for _, w := range p.Workers {
+			fmt.Printf("# worker %-5d %9.3fs busy, %d spans\n", w.Worker, float64(w.BusyNS)/1e9, w.Spans)
+		}
+	}
+	if p.SpansDropped > 0 {
+		fmt.Printf("# %d detailed spans dropped from the ring (aggregates are exact)\n", p.SpansDropped)
 	}
 }
 

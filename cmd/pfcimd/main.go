@@ -20,10 +20,15 @@
 //	                          one enumeration per min_sup group, per-point
 //	                          results shared with the single-job cache
 //	GET    /v1/jobs           list jobs (sweeps included)
-//	GET    /v1/jobs/{id}      job status + result
+//	GET    /v1/jobs/{id}      job status + result (wall_ms, queue_wait_ms)
+//	GET    /v1/jobs/{id}/trace  finished job's phase profile (per-phase and
+//	                          per-depth wall time, per-worker busy time)
 //	DELETE /v1/jobs/{id}      cancel a job
 //	GET    /healthz           liveness + load snapshot
-//	GET    /metrics           daemon counters (expvar-style JSON)
+//	GET    /metrics           daemon counters — Prometheus text exposition
+//	                          with Accept: text/plain, expvar-style JSON
+//	                          otherwise
+//	/debug/pprof/             net/http/pprof (only with -pprof)
 //
 // See README.md "Serving" for a curl walkthrough.
 package main
@@ -61,6 +66,9 @@ func run() int {
 		preload       = flag.String("preload", "", "comma-separated dataset files to register at startup")
 		grace         = flag.Duration("shutdown-grace", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
 		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		slowJob       = flag.Duration("slow-job-threshold", 0, "log a warning for jobs slower than this (0 disables)")
+		noJobTrace    = flag.Bool("no-job-trace", false, "disable the per-job phase tracer (GET /v1/jobs/{id}/trace returns 404)")
+		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -72,14 +80,17 @@ func run() int {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CacheSize:       *cacheSize,
-		MaxJobTime:      *maxJobTime,
-		TailMemoEntries: *tailMemo,
-		MaxUploadBytes:  *maxUpload,
-		AllowPathLoad:   *allowPathLoad,
-		Logger:          logger,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheSize:         *cacheSize,
+		MaxJobTime:        *maxJobTime,
+		TailMemoEntries:   *tailMemo,
+		MaxUploadBytes:    *maxUpload,
+		AllowPathLoad:     *allowPathLoad,
+		SlowJobThreshold:  *slowJob,
+		DisableJobTracing: *noJobTrace,
+		EnablePprof:       *enablePprof,
+		Logger:            logger,
 	})
 
 	for _, path := range strings.Split(*preload, ",") {

@@ -49,6 +49,10 @@ func (m *miner) mineBFS() error {
 			}
 			m.stats.NodesVisited++
 			depth := len(node.items)
+			// Level-wise nodes have no inline children, so the node's self
+			// time is simply everything outside evaluate (which records the
+			// checking-cascade spans itself).
+			nodeStart := m.rec.Now()
 			exts := m.extBuf(depth)
 			for pos := node.pos + 1; pos < len(m.cands); pos++ {
 				c := m.cands[pos]
@@ -74,9 +78,11 @@ func (m *miner) mineBFS() error {
 				}
 				exts = append(exts, rec)
 			}
+			selfNS := m.rec.Now() - nodeStart
 			ev, err := m.evaluate(node.items, node.tids, node.cnt, node.prF, exts)
 			if err != nil {
 				m.releaseExts(depth, exts)
+				m.rec.Node(depth, nodeStart, selfNS)
 				return err
 			}
 			if ev.accepted {
@@ -105,6 +111,7 @@ func (m *miner) mineBFS() error {
 			}
 			m.releaseExts(depth, exts)
 			m.putBuf(node.tids)
+			m.rec.Node(depth, nodeStart, selfNS)
 		}
 		level = next
 	}

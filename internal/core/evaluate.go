@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"github.com/probdata/pfcim/internal/bitset"
 	"github.com/probdata/pfcim/internal/dnf"
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 )
 
 // evaluation is the verdict on one candidate itemset.
@@ -36,6 +38,12 @@ type clause struct {
 func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, exts []extension) (evaluation, error) {
 	m.stats.Evaluated++
 
+	// The bound-check span covers the cascade up to the Lemma 4.4 verdict:
+	// clause construction, the clause system, and both bound levels. The
+	// exact/sampling resolutions that follow record their own spans.
+	depth := len(x)
+	boundStart := m.rec.Now()
+
 	clauses, slack, dead := m.buildClauses(x, tids, count, exts)
 	defer func() {
 		// Freelist-owned clause tidsets are dead once the verdict is in;
@@ -48,10 +56,12 @@ func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF 
 	}()
 	if dead {
 		// Some extension always co-occurs with X: Pr_FC(X) = 0.
+		m.rec.Span(obs.PhaseBoundCheck, depth, boundStart)
 		return evaluation{accepted: false, method: MethodExact}, nil
 	}
 	if len(clauses) == 0 && slack == 0 {
 		// No extension event is possible: X is closed whenever frequent.
+		m.rec.Span(obs.PhaseBoundCheck, depth, boundStart)
 		ev := evaluation{prob: prF, lower: prF, upper: prF, method: MethodNoClauses}
 		ev.accepted = ev.prob > m.opts.PFCT
 		return ev, nil
@@ -83,6 +93,7 @@ func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF 
 
 	if !m.opts.DisableBounds {
 		if ev, done := m.decideByBounds(prF, unionLower, unionUpper, m.opts.PFCT); done {
+			m.rec.Span(obs.PhaseBoundCheck, depth, boundStart)
 			return ev, nil
 		}
 		// Second-order (Lemma 4.4) bounds over the most probable clauses.
@@ -94,28 +105,26 @@ func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF 
 			unionUpper = hi
 		}
 		if ev, done := m.decideByBounds(prF, unionLower, unionUpper, m.opts.PFCT); done {
+			m.rec.Span(obs.PhaseBoundCheck, depth, boundStart)
 			return ev, nil
 		}
 	}
+	m.rec.Span(obs.PhaseBoundCheck, depth, boundStart)
 
 	// Checking phase: exact inclusion–exclusion when the clause system is
 	// small, the FPRAS sampler otherwise.
 	var union float64
 	method := MethodExact
 	if m.opts.MaxExactClauses >= 0 && len(clauses) <= m.opts.MaxExactClauses {
-		union, err = sys.ExactUnion()
+		union, err = m.exactUnion(sys, depth)
 		if err != nil {
 			return evaluation{}, err
 		}
-		m.stats.ExactUnions++
 	} else {
-		n := dnf.SampleSize(len(clauses), m.opts.Epsilon, m.opts.Delta)
-		union, err = sys.KarpLuby(m.nodeRNG(x), probs, n)
+		union, err = m.sampleUnion(sys, m.nodeRNG(x), probs, len(clauses), depth)
 		if err != nil {
 			return evaluation{}, err
 		}
-		m.stats.Sampled++
-		m.stats.SamplesDrawn += n
 		method = MethodSampled
 	}
 	union += slack / 2 // dropped-clause slack, ≤ len(clauses)·1e-15
@@ -134,6 +143,43 @@ func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF 
 	}
 	ev.accepted = ev.prob > m.opts.PFCT
 	return ev, nil
+}
+
+// exactUnion resolves the extension-event union by inclusion–exclusion
+// under an exact-union span. Shared by evaluate, the sweep Evaluator's
+// replay path, and the standalone FCP helpers so every caller's checking
+// time lands in the same phase bucket.
+func (m *miner) exactUnion(sys *dnf.System, depth int) (float64, error) {
+	t := m.rec.Now()
+	union, err := sys.ExactUnion()
+	m.rec.Span(obs.PhaseExactUnion, depth, t)
+	if err != nil {
+		return 0, err
+	}
+	m.stats.ExactUnions++
+	return union, nil
+}
+
+// sampleUnion estimates the union with the Karp–Luby FPRAS at the
+// (ε, δ)-derived sample size for nClauses clauses.
+func (m *miner) sampleUnion(sys *dnf.System, rng *rand.Rand, probs []float64, nClauses, depth int) (float64, error) {
+	n := dnf.SampleSize(nClauses, m.opts.Epsilon, m.opts.Delta)
+	return m.karpLuby(sys, rng, probs, n, depth)
+}
+
+// karpLuby runs the sampler for exactly n draws under a sampling span; the
+// standalone EstimateFCP entry point calls it directly with its own sample
+// size.
+func (m *miner) karpLuby(sys *dnf.System, rng *rand.Rand, probs []float64, n, depth int) (float64, error) {
+	t := m.rec.Now()
+	union, err := sys.KarpLuby(rng, probs, n)
+	m.rec.Span(obs.PhaseSample, depth, t)
+	if err != nil {
+		return 0, err
+	}
+	m.stats.Sampled++
+	m.stats.SamplesDrawn += n
+	return union, nil
 }
 
 // decideByBounds applies the Lemma 4.4 pruning rules at the given

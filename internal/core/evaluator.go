@@ -27,6 +27,7 @@ import (
 
 	"github.com/probdata/pfcim/internal/dnf"
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
 
@@ -82,6 +83,7 @@ func NewEvaluator(db *uncertain.DB, opts Options) (*Evaluator, error) {
 		probs:    db.Probs(),
 		allItems: idx.Items,
 		itemTids: idx.Tidsets,
+		rec:      opts.Tracer.Recorder(0),
 	}
 	return &Evaluator{m: m, idx: idx, profiles: make(map[string]*evalProfile)}, nil
 }
@@ -195,6 +197,11 @@ func (e *Evaluator) profile(x itemset.Itemset) (*evalProfile, error) {
 	p.prF = m.tailOf(tids, nil)
 	m.stats.Evaluated++
 
+	// The eager cascade stages — clause construction through the free
+	// first-order bounds — are bound-check work, same as in evaluate.
+	boundStart := m.rec.Now()
+	defer func() { m.rec.Span(obs.PhaseBoundCheck, len(x), boundStart) }()
+
 	clauses, slack, dead := m.buildClauses(x, tids, p.count, nil)
 	p.slack, p.dead = slack, dead
 	if dead {
@@ -234,7 +241,9 @@ func (e *Evaluator) ensurePairwise(p *evalProfile) {
 	if p.pwDone {
 		return
 	}
+	t := e.m.rec.Now()
 	p.pwLo, p.pwHi = e.m.pairwiseBounds(p.sys, p.probs, p.slack)
+	e.m.rec.Span(obs.PhaseBoundCheck, len(p.x), t)
 	p.pwDone = true
 }
 
@@ -248,23 +257,19 @@ func (e *Evaluator) ensureUnion(p *evalProfile) error {
 	}
 	m := e.m
 	if m.opts.MaxExactClauses >= 0 && len(p.clauses) <= m.opts.MaxExactClauses {
-		u, err := p.sys.ExactUnion()
+		u, err := m.exactUnion(p.sys, len(p.x))
 		if err != nil {
 			return err
 		}
 		p.union = u
 		p.method = MethodExact
-		m.stats.ExactUnions++
 	} else {
-		n := dnf.SampleSize(len(p.clauses), m.opts.Epsilon, m.opts.Delta)
-		u, err := p.sys.KarpLuby(m.nodeRNG(p.x), p.probs, n)
+		u, err := m.sampleUnion(p.sys, m.nodeRNG(p.x), p.probs, len(p.clauses), len(p.x))
 		if err != nil {
 			return err
 		}
 		p.union = u
 		p.method = MethodSampled
-		m.stats.Sampled++
-		m.stats.SamplesDrawn += n
 	}
 	p.unionDone = true
 	for _, c := range p.clauses {

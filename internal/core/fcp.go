@@ -87,7 +87,7 @@ func ExactFCP(db *uncertain.DB, x itemset.Itemset, minSup int) (float64, error) 
 	if ctx.system == nil {
 		return clamp01(ctx.prF - ctx.slack/2), nil
 	}
-	union, err := ctx.system.ExactUnion()
+	union, err := ctx.m.exactUnion(ctx.system, len(x))
 	if err != nil {
 		return 0, err
 	}
@@ -112,7 +112,7 @@ func EstimateFCP(db *uncertain.DB, x itemset.Itemset, minSup int, eps, delta flo
 		return clamp01(ctx.prF - ctx.slack/2), nil
 	}
 	n := dnf.SampleSize(len(ctx.probs), eps, delta)
-	union, err := ctx.system.KarpLuby(rand.New(rand.NewSource(seed)), ctx.probs, n)
+	union, err := ctx.m.karpLuby(ctx.system, rand.New(rand.NewSource(seed)), ctx.probs, n, len(x))
 	if err != nil {
 		return 0, err
 	}

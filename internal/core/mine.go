@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/probdata/pfcim/internal/bitset"
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/poibin"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
@@ -23,6 +25,12 @@ type miner struct {
 	results  []ResultItem
 	ctx      context.Context
 	worker   *worker // non-nil when mining inside the work-stealing pool
+
+	// rec receives phase-level wall-time spans when Options.Tracer is set;
+	// nil otherwise (every method is a nil-safe no-op, so the untraced hot
+	// path pays one nil check per call site). Parallel sub-miners each hold
+	// their own worker's recorder, so recording is lock-free.
+	rec *obs.Recorder
 
 	// Reusable scratch, one owner per miner (parallel sub-miners get their
 	// own): freeBufs is a freelist of tidset-sized bitsets, extBufs[d] backs
@@ -172,6 +180,7 @@ func mineWithMiner(ctx context.Context, db *uncertain.DB, opts Options) (*Result
 	if err != nil {
 		return nil, nil, err
 	}
+	start := time.Now()
 	idx := db.Index()
 	m := &miner{
 		opts:     opts,
@@ -180,8 +189,11 @@ func mineWithMiner(ctx context.Context, db *uncertain.DB, opts Options) (*Result
 		allItems: idx.Items,
 		itemTids: idx.Tidsets,
 		ctx:      ctx,
+		rec:      opts.Tracer.Recorder(0),
 	}
+	candStart := m.rec.Now()
 	m.buildCandidates()
+	m.rec.Span(obs.PhaseCandidates, 0, candStart)
 
 	switch opts.Search {
 	case BFS:
@@ -195,7 +207,12 @@ func mineWithMiner(ctx context.Context, db *uncertain.DB, opts Options) (*Result
 	sort.Slice(m.results, func(i, j int) bool {
 		return itemset.Compare(m.results[i].Items, m.results[j].Items) < 0
 	})
-	return &Result{Itemsets: m.results, Stats: m.stats, Options: opts}, m, nil
+	res := &Result{Itemsets: m.results, Stats: m.stats, Options: opts}
+	if opts.Tracer != nil {
+		opts.Tracer.AddMineWall(time.Since(start).Nanoseconds())
+		res.Profile = opts.Tracer.Profile()
+	}
+	return res, m, nil
 }
 
 // buildCandidates is the first phase of Fig. 1: construct the single-item
@@ -260,6 +277,14 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 	m.stats.NodesVisited++
 	m.trace("visit %v (count=%d, PrF=%.4f)", x, count, prF)
 
+	// Span bookkeeping (no-ops when untraced): the detailed span covers the
+	// whole subtree [nodeStart, record time], while the expand-phase
+	// aggregate receives only this node's self time — wall time net of
+	// inline child recursion (childNS) and of the checking cascade, which
+	// records its own spans inside evaluate — so phase totals stay additive.
+	nodeStart := m.rec.Now()
+	var childNS int64
+
 	// Superset pruning (Lemma 4.2): if some item e smaller than the last
 	// item of X (so X is not a prefix of X+e) and not in X satisfies
 	// count(X+e) = count(X), then X and every superset with X as prefix
@@ -279,6 +304,7 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 			if bitset.IsSubset(tids, c.tids) {
 				m.stats.SupersetPruned++
 				m.trace("  superset-prune %v: count(%v+%v) = count — subtree dead (Lemma 4.2)", x, x, itemset.Itemset{c.item})
+				m.rec.Node(len(x), nodeStart, m.rec.Now()-nodeStart)
 				return nil
 			}
 		}
@@ -326,20 +352,28 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 			// either. Only the X+e subtree can contain closed itemsets.
 			selfDead = true
 			m.stats.SubsetPruned++
+			t := m.rec.Now()
 			err = m.descend(x, c.item, buf, cc, childPrF, pos+1)
+			childNS += m.rec.Now() - t
 			break
 		}
-		if err = m.descend(x, c.item, buf, cc, childPrF, pos+1); err != nil {
+		t := m.rec.Now()
+		err = m.descend(x, c.item, buf, cc, childPrF, pos+1)
+		childNS += m.rec.Now() - t
+		if err != nil {
 			break
 		}
 	}
 
 	if err != nil || selfDead {
 		m.releaseExts(depth, exts)
+		m.rec.Node(depth, nodeStart, m.rec.Now()-nodeStart-childNS)
 		return err
 	}
+	selfNS := m.rec.Now() - nodeStart - childNS
 	ev, err := m.evaluate(x, tids, count, prF, exts)
 	m.releaseExts(depth, exts)
+	m.rec.Node(depth, nodeStart, selfNS)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 )
 
 // Search selects the enumeration framework (Table VII's last column).
@@ -104,6 +105,18 @@ type Options struct {
 	// evaluation verdict — the walk-through the paper's Fig. 4 depicts.
 	// Tracing forces serial DFS (Parallelism is ignored).
 	Trace io.Writer
+
+	// Tracer, when non-nil, records phase-level wall-time spans of the run
+	// — candidate construction, per-node DFS expansion (with depth and
+	// worker id), and the checking cascade split into bound check, exact
+	// inclusion–exclusion, and Monte-Carlo sampling. The aggregated Profile
+	// is attached to Result, and Tracer.WriteChromeTrace exports the
+	// detailed spans for chrome://tracing. Unlike Trace it composes with
+	// parallelism (each worker records into its own lock-free buffer) and
+	// never changes results: it only reads the monotonic clock, so output
+	// is byte-identical with the tracer on or off (DESIGN §11). Like the
+	// other execution knobs it is cleared by Canonical.
+	Tracer *obs.Tracer
 }
 
 const (
@@ -223,6 +236,12 @@ type Result struct {
 	Itemsets []ResultItem
 	Stats    Stats
 	Options  Options
+	// Profile is the phase-level wall-time attribution of the run; non-nil
+	// only when Options.Tracer was set. It is observability metadata, not
+	// part of the mined result: ResultJSON excludes it, and byte-identity
+	// guarantees (caching, determinism tests) are stated over Itemsets,
+	// Stats, and Options.
+	Profile *obs.Profile
 }
 
 // Stats counts the work the pruning rules saved; the ablation experiments

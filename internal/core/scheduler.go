@@ -215,7 +215,7 @@ func (m *miner) spawnable(parentDepth int) bool {
 // stats are byte-identical to a serial run (see rng.go).
 func (m *miner) mineDFSParallel() error {
 	s := newScheduler(m.opts.Parallelism)
-	for _, w := range s.workers {
+	for i, w := range s.workers {
 		sub := &miner{
 			opts:     m.opts,
 			db:       m.db,
@@ -224,6 +224,11 @@ func (m *miner) mineDFSParallel() error {
 			itemTids: m.itemTids,
 			cands:    m.cands,
 			ctx:      m.ctx,
+			// Pool worker i records as tracer worker i+1; recorder 0 stays
+			// with the coordinating miner (candidate phase). Per-worker
+			// recorders are single-writer, so tracing composes with
+			// work-stealing without locks.
+			rec: m.opts.Tracer.Recorder(i + 1),
 		}
 		sub.worker = w
 		w.sub = sub

@@ -14,17 +14,18 @@ import (
 
 // Canonical returns the canonical form of o: validation and defaulting
 // applied (exactly as Mine would), and every field that cannot change the
-// mined result — Trace, Parallelism, SplitDepth, TailMemoEntries, all pure
-// execution knobs per DESIGN §8.3 — cleared to the zero value. Two option
-// structs with equal canonical forms produce byte-identical result sets, so
-// the canonical form (or CanonicalKey, its string rendering) is a sound
-// cache key.
+// mined result — Trace, Tracer, Parallelism, SplitDepth, TailMemoEntries,
+// all pure execution knobs per DESIGN §8.3 — cleared to the zero value. Two
+// option structs with equal canonical forms produce byte-identical result
+// sets, so the canonical form (or CanonicalKey, its string rendering) is a
+// sound cache key.
 func (o Options) Canonical() (Options, error) {
 	c, err := o.normalize()
 	if err != nil {
 		return Options{}, err
 	}
 	c.Trace = nil
+	c.Tracer = nil
 	c.Parallelism = 0
 	c.SplitDepth = 0
 	c.TailMemoEntries = 0
@@ -44,10 +45,12 @@ func (o Options) CanonicalKey() (string, error) {
 		c.Search, c.MaxExactClauses, c.MaxPairClauses), nil
 }
 
-// OptionsJSON is the wire form of Options: every field except Trace, with
-// Search as a string. The zero value of every field means "use the
-// default", mirroring Options itself, so a client may send only min_sup and
-// pfct.
+// OptionsJSON is the wire form of Options: every field except the process-
+// local Trace writer and Tracer recorder, with Search as a string. The zero
+// value of every field means "use the default", mirroring Options itself,
+// so a client may send only min_sup and pfct. (pfcimd attaches its own
+// per-job Tracer server-side and serves the profile at
+// GET /v1/jobs/{id}/trace.)
 type OptionsJSON struct {
 	MinSup          int     `json:"min_sup"`
 	PFCT            float64 `json:"pfct"`
@@ -66,7 +69,7 @@ type OptionsJSON struct {
 	TailMemoEntries int     `json:"tail_memo_entries,omitempty"`
 }
 
-// JSON converts o to its wire form (Trace is dropped).
+// JSON converts o to its wire form (Trace and Tracer are dropped).
 func (o Options) JSON() OptionsJSON {
 	search := ""
 	if o.Search == BFS {
@@ -132,7 +135,10 @@ type ResultItemJSON struct {
 	Method   string  `json:"method"`
 }
 
-// ResultJSON is the wire form of a full mining result.
+// ResultJSON is the wire form of a full mining result. Result.Profile is
+// deliberately excluded: the wire form must be deterministic per (database,
+// canonical options) to be cacheable, and wall-time profiles never are —
+// the daemon serves them separately per job.
 type ResultJSON struct {
 	Itemsets []ResultItemJSON `json:"itemsets"`
 	Stats    Stats            `json:"stats"`

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/gen"
+	"github.com/probdata/pfcim/internal/obs"
+)
+
+// tracedWorkload is a Mushroom-like run dense enough to exercise every
+// phase: candidate pruning, deep expansion, bound verdicts, exact unions,
+// and Karp-Luby sampling.
+func tracedWorkload(t *testing.T) (dbOpts struct{}, run func(opts Options) *Result, base Options) {
+	t.Helper()
+	raw := gen.MushroomLike(0.03, 42)
+	db := gen.AssignGaussian(raw, 0.5, 0.5, 43)
+	base = Options{
+		MinSup: AbsoluteMinSup(db.N(), 0.2),
+		PFCT:   0.3,
+		Seed:   7,
+	}
+	run = func(opts Options) *Result {
+		t.Helper()
+		res, err := Mine(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	return
+}
+
+// normalizeScheduling zeroes the counters that legitimately depend on the
+// scheduler interleaving (task accounting and the tail-memo hit split),
+// mirroring TestParallelismInvariantResults.
+func normalizeScheduling(s Stats) Stats {
+	s.TasksSpawned, s.TasksStolen = 0, 0
+	s.TailEvaluations, s.TailMemoHits = s.TailEvaluations+s.TailMemoHits, 0
+	return s
+}
+
+// TestTracerDoesNotPerturbResults: attaching a Tracer must leave the wire
+// form of the result byte-identical — itemsets, probabilities, methods, and
+// every deterministic stat — including under the work-stealing parallel
+// scheduler. This is the "observability is read-only" contract of
+// DESIGN.md §11.
+func TestTracerDoesNotPerturbResults(t *testing.T) {
+	_, run, base := tracedWorkload(t)
+	for _, par := range []int{1, 4} {
+		plain := base
+		plain.Parallelism = par
+		traced := plain
+		traced.Tracer = obs.New()
+
+		a := run(plain)
+		b := run(traced)
+		if a.Profile != nil {
+			t.Fatalf("par=%d: untraced run carries a profile", par)
+		}
+		if b.Profile == nil {
+			t.Fatalf("par=%d: traced run is missing its profile", par)
+		}
+
+		aj, bj := a.JSON(), b.JSON()
+		aj.Stats = normalizeScheduling(aj.Stats)
+		bj.Stats = normalizeScheduling(bj.Stats)
+		ab, err := json.Marshal(aj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := json.Marshal(bj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Fatalf("par=%d: traced result differs from untraced:\n traced %s\nuntraced %s", par, bb, ab)
+		}
+	}
+}
+
+// TestTracerPhaseSums: the per-phase self times must partition the run —
+// in a serial run their sum approaches the total mine wall time (the
+// uninstrumented remainder is loop glue, sorting, and the profile merge).
+// The tight 5%% acceptance bound is checked by the benchmark harness on the
+// Fig. 5 workload; here a generous corridor keeps the unit test robust on
+// loaded CI machines.
+func TestTracerPhaseSums(t *testing.T) {
+	_, run, base := tracedWorkload(t)
+	opts := base
+	opts.Tracer = obs.New()
+	res := run(opts)
+	p := res.Profile
+	if p == nil || p.TotalNS <= 0 {
+		t.Fatalf("profile missing or empty: %+v", p)
+	}
+	var sum int64
+	for _, ph := range p.Phases {
+		if ph.WallNS < 0 {
+			t.Fatalf("negative wall time in phase %s: %d", ph.Phase, ph.WallNS)
+		}
+		sum += ph.WallNS
+	}
+	if sum > p.TotalNS*21/20 {
+		t.Errorf("phase sum %d exceeds total %d by more than 5%%", sum, p.TotalNS)
+	}
+	if sum < p.TotalNS/2 {
+		t.Errorf("phase sum %d attributes less than half of total %d", sum, p.TotalNS)
+	}
+	if p.PhaseWallNS("expand") == 0 {
+		t.Error("no expand time attributed")
+	}
+	if p.PhaseWallNS("bound-check") == 0 {
+		t.Error("no bound-check time attributed")
+	}
+	if len(p.Depths) == 0 {
+		t.Error("no per-depth profile")
+	}
+	if res.Stats.Sampled > 0 && p.PhaseWallNS("sampling") == 0 {
+		t.Error("run sampled but no sampling time attributed")
+	}
+	if res.Stats.ExactUnions > 0 && p.PhaseWallNS("exact-union") == 0 {
+		t.Error("run used exact unions but no exact-union time attributed")
+	}
+}
+
+// TestTracerParallelWorkers: at Parallelism=4 the profile must show the
+// pool workers' recorders (ids 1..4) alongside the coordinator (id 0), so
+// work-stealing imbalance is visible per worker.
+func TestTracerParallelWorkers(t *testing.T) {
+	_, run, base := tracedWorkload(t)
+	opts := base
+	opts.Parallelism = 4
+	opts.Tracer = obs.New()
+	res := run(opts)
+	p := res.Profile
+	if p == nil {
+		t.Fatal("missing profile")
+	}
+	if len(p.Workers) != 5 {
+		t.Fatalf("got %d worker profiles, want 5 (coordinator + 4 pool workers)", len(p.Workers))
+	}
+	var poolBusy int64
+	for _, w := range p.Workers[1:] {
+		poolBusy += w.BusyNS
+	}
+	if poolBusy == 0 {
+		t.Error("pool workers recorded no busy time")
+	}
+}
+
+// TestTracerBFS: the level-wise framework must attribute time through the
+// same taxonomy.
+func TestTracerBFS(t *testing.T) {
+	_, run, base := tracedWorkload(t)
+	opts := base
+	opts.Search = BFS
+	opts.Tracer = obs.New()
+	res := run(opts)
+	p := res.Profile
+	if p == nil {
+		t.Fatal("missing profile")
+	}
+	if p.PhaseWallNS("expand") == 0 || p.PhaseWallNS("bound-check") == 0 {
+		t.Errorf("BFS run left phases unattributed: %+v", p.Phases)
+	}
+}
+
+// TestTracerChromeExport: the traced run must export parseable Chrome
+// trace-event JSON with spans from every recorded phase that occurred.
+func TestTracerChromeExport(t *testing.T) {
+	_, run, base := tracedWorkload(t)
+	opts := base
+	opts.Tracer = obs.New()
+	run(opts)
+	var buf bytes.Buffer
+	if err := opts.Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("chrome trace is empty")
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		names[ev["name"].(string)] = true
+	}
+	for _, want := range []string{"candidates", "expand", "bound-check"} {
+		if !names[want] {
+			t.Errorf("chrome trace has no %q spans", want)
+		}
+	}
+}

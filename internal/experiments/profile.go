@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/obs"
+)
+
+// Profile runs the two workloads with the phase tracer on and prints where
+// mining wall time goes: per phase of the Bounding–Pruning–Checking cascade,
+// per enumeration depth, and — for the parallel run — per worker, so
+// work-stealing imbalance is visible as a busy-time spread. This is the
+// human-readable view of the same data mpfci -trace exports as a Chrome
+// trace and pfcimd serves at GET /v1/jobs/{id}/trace.
+func (s *Suite) Profile() error {
+	if err := s.profileRun(s.Mushroom, 0); err != nil {
+		return err
+	}
+	return s.profileRun(s.Quest, 4)
+}
+
+func (s *Suite) profileRun(ds Dataset, parallelism int) error {
+	opts := s.baseOptions(ds.DB, ds.DefaultMinSup)
+	opts.Parallelism = parallelism
+	opts.Tracer = obs.New()
+
+	start := time.Now()
+	res, err := core.Mine(ds.DB, opts)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	mode := "serial"
+	if parallelism > 1 {
+		mode = fmt.Sprintf("%d workers", parallelism)
+	}
+	fmt.Fprintf(s.Cfg.Out, "\nProfile (%s, %s): min_sup=%.2f, %d PFCIs in %s\n",
+		ds.Name, mode, ds.DefaultMinSup, len(res.Itemsets), formatDuration(wall))
+
+	p := res.Profile
+	// Phase/depth shares are relative to the attributed busy time: in a
+	// serial run that is the wall clock, in a parallel run the workers'
+	// summed busy time (≈ parallelism × wall), keeping shares ≤ 100%.
+	var busy int64
+	for _, ph := range p.Phases {
+		busy += ph.WallNS
+	}
+	total := float64(max64(p.TotalNS, busy))
+	if total == 0 {
+		total = 1 // empty run; shares print as 0
+	}
+	t := newTable(s.Cfg.Out)
+	t.row("phase", "wall", "share", "count")
+	for _, ph := range p.Phases {
+		if ph.Count == 0 {
+			continue
+		}
+		t.row(ph.Phase, formatDuration(time.Duration(ph.WallNS)),
+			fmt.Sprintf("%.1f%%", 100*float64(ph.WallNS)/total), fmt.Sprintf("%d", ph.Count))
+	}
+	t.flush()
+
+	t = newTable(s.Cfg.Out)
+	t.row("depth", "expand wall", "share", "nodes")
+	for _, d := range p.Depths {
+		t.row(fmt.Sprintf("%d", d.Depth), formatDuration(time.Duration(d.WallNS)),
+			fmt.Sprintf("%.1f%%", 100*float64(d.WallNS)/total), fmt.Sprintf("%d", d.Nodes))
+	}
+	t.flush()
+
+	if len(p.Workers) > 1 {
+		// Per-worker utilization is busy time over wall clock: a balanced
+		// work-stealing run shows every pool worker near 100%.
+		wall := float64(p.TotalNS)
+		if wall == 0 {
+			wall = 1
+		}
+		t = newTable(s.Cfg.Out)
+		t.row("worker", "busy", "util", "spans")
+		for _, w := range p.Workers {
+			t.row(fmt.Sprintf("%d", w.Worker), formatDuration(time.Duration(w.BusyNS)),
+				fmt.Sprintf("%.1f%%", 100*float64(w.BusyNS)/wall), fmt.Sprintf("%d", w.Spans))
+		}
+		t.flush()
+	}
+	if p.SpansDropped > 0 {
+		fmt.Fprintf(s.Cfg.Out, "(%d detailed spans dropped from the ring; aggregates are exact)\n", p.SpansDropped)
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -181,7 +181,7 @@ func (s *Suite) All() error {
 }
 
 // Run dispatches one experiment by name ("all", "example1", "table7",
-// "table8", "fig5" … "fig12").
+// "table8", "fig5" … "fig12", "extra", "profile").
 func (s *Suite) Run(name string) error {
 	switch name {
 	case "all", "":
@@ -212,6 +212,8 @@ func (s *Suite) Run(name string) error {
 		return s.Fig12()
 	case "extra":
 		return s.Extra()
+	case "profile":
+		return s.Profile()
 	}
 	return fmt.Errorf("experiments: unknown experiment %q", name)
 }

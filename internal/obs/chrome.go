@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteChromeTrace renders every retained detailed span as Chrome
+// trace-event JSON (the "JSON array format" of the trace-event spec):
+// complete ("X") events with microsecond timestamps, one trace thread per
+// mining worker, the enumeration depth in args. The output loads directly
+// into chrome://tracing or https://ui.perfetto.dev.
+//
+// Spans are emitted per worker in ring order (oldest retained first);
+// viewers order by timestamp themselves, so no global sort is needed.
+// Call only after the observed work has completed.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer has no trace")
+	}
+	t.mu.Lock()
+	recs := make([]*Recorder, len(t.recs))
+	copy(recs, t.recs)
+	t.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	for _, r := range recs {
+		emit := func(sp Span) error {
+			if !first {
+				if _, err := bw.WriteString(",\n"); err != nil {
+					return err
+				}
+			}
+			first = false
+			_, err := fmt.Fprintf(bw,
+				`{"name":%q,"cat":"mpfci","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"depth":%d}}`,
+				sp.Phase.String(), float64(sp.Start)/1e3, float64(sp.Dur)/1e3, sp.Worker, sp.Depth)
+			return err
+		}
+		// Ring order: once the ring wrapped, the oldest retained span sits
+		// at the overwrite cursor.
+		if len(r.spans) == cap(r.spans) && r.dropped > 0 {
+			for i := r.next; i < len(r.spans); i++ {
+				if err := emit(r.spans[i]); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < r.next; i++ {
+				if err := emit(r.spans[i]); err != nil {
+					return err
+				}
+			}
+		} else {
+			for _, sp := range r.spans {
+				if err := emit(sp); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation: per-bucket atomic counters, no locks, no allocation on the
+// Observe path. Bucket bounds are inclusive upper bounds in seconds,
+// ascending, with an implicit +Inf bucket — the exact shape Prometheus
+// exposition needs, so the daemon renders snapshots directly.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last = +Inf
+	sumNS  atomic.Int64
+	total  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (seconds). The bounds slice is retained.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// JobBuckets spans the daemon's job wall-time and queue-wait range:
+// sub-millisecond cache-adjacent work up to multi-minute mining runs.
+var JobBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// LookupBuckets spans in-memory lookup latencies (result cache hits are
+// sub-microsecond; contention pushes the tail out).
+var LookupBuckets = []float64{1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2}
+
+// Observe records one duration. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	h.total.Add(1)
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time read: cumulative
+// bucket counts aligned with Bounds (the +Inf bucket is Count), plus the
+// sum of observations in seconds. Individual fields are each atomically
+// read; Prometheus tolerates the per-field skew of concurrent observers.
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []int64 // len(Bounds); count of observations ≤ each bound
+	Count      int64
+	SumSeconds float64
+}
+
+// Snapshot reads the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{Bounds: h.bounds, Cumulative: make([]int64, len(h.bounds))}
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		snap.Cumulative[i] = cum
+	}
+	snap.Count = cum + h.counts[len(h.bounds)].Load()
+	snap.SumSeconds = float64(h.sumNS.Load()) / 1e9
+	return snap
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilFastPath: every Recorder method must be a no-op on a nil receiver
+// — this is the disabled path the miner takes when Options.Tracer is unset.
+func TestNilFastPath(t *testing.T) {
+	var r *Recorder
+	if got := r.Now(); got != 0 {
+		t.Fatalf("nil Recorder.Now() = %d, want 0", got)
+	}
+	r.Span(PhaseBoundCheck, 3, 0) // must not panic
+	r.Node(2, 0, 42)
+	var tr *Tracer
+	if tr.Recorder(0) != nil {
+		t.Fatal("nil Tracer.Recorder must return nil")
+	}
+	tr.AddMineWall(100)
+	if tr.Profile() != nil {
+		t.Fatal("nil Tracer.Profile must return nil")
+	}
+}
+
+// TestAggregation: phase and depth aggregates must reflect exactly what was
+// recorded, and Node must attribute selfNS (not the full span) to expand.
+func TestAggregation(t *testing.T) {
+	tr := New()
+	r := tr.Recorder(0)
+
+	start := r.Now()
+	time.Sleep(2 * time.Millisecond)
+	r.Span(PhaseCandidates, 0, start)
+
+	nodeStart := r.Now()
+	time.Sleep(time.Millisecond)
+	r.Node(3, nodeStart, 500) // self time deliberately smaller than the span
+
+	tr.AddMineWall(10_000_000)
+	p := tr.Profile()
+	if p.TotalNS != 10_000_000 {
+		t.Fatalf("TotalNS = %d", p.TotalNS)
+	}
+	if ns := p.PhaseWallNS("candidates"); ns < int64(time.Millisecond) {
+		t.Fatalf("candidates wall %dns, want ≥ 1ms", ns)
+	}
+	if ns := p.PhaseWallNS("expand"); ns != 500 {
+		t.Fatalf("expand self time = %dns, want exactly the 500ns attributed", ns)
+	}
+	if len(p.Depths) != 1 || p.Depths[0].Depth != 3 || p.Depths[0].Nodes != 1 || p.Depths[0].WallNS != 500 {
+		t.Fatalf("depth profile = %+v", p.Depths)
+	}
+	if len(p.Workers) != 1 || p.Workers[0].Spans != 2 {
+		t.Fatalf("worker profile = %+v", p.Workers)
+	}
+	if _, err := json.Marshal(p); err != nil {
+		t.Fatalf("profile must serialize: %v", err)
+	}
+}
+
+// TestRingOverwrite: a full ring keeps the most recent spans and counts the
+// evictions; aggregates stay exact.
+func TestRingOverwrite(t *testing.T) {
+	tr := NewWithCapacity(4)
+	r := tr.Recorder(0)
+	for i := 0; i < 10; i++ {
+		r.Span(PhaseSample, i, r.Now())
+	}
+	p := tr.Profile()
+	if p.SpansDropped != 6 {
+		t.Fatalf("SpansDropped = %d, want 6", p.SpansDropped)
+	}
+	if c := p.Phases[PhaseSample].Count; c != 10 {
+		t.Fatalf("aggregate count = %d, want 10 despite ring eviction", c)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// The 4 retained spans are depths 6..9, emitted oldest-first.
+	out := sb.String()
+	if strings.Count(out, `"ph":"X"`) != 4 {
+		t.Fatalf("chrome trace should hold 4 events:\n%s", out)
+	}
+	if !strings.Contains(out, `"args":{"depth":6}`) || strings.Contains(out, `"args":{"depth":5}`) {
+		t.Fatalf("ring should retain the most recent spans:\n%s", out)
+	}
+}
+
+// TestChromeTraceIsJSON: the exporter's output must parse as a JSON array
+// of events with the fields the trace viewers require.
+func TestChromeTraceIsJSON(t *testing.T) {
+	tr := New()
+	r0, r1 := tr.Recorder(0), tr.Recorder(1)
+	r0.Span(PhaseCandidates, 0, r0.Now())
+	r1.Node(2, r1.Now(), 10)
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		for _, k := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event missing %q: %v", k, ev)
+			}
+		}
+	}
+}
+
+// TestHistogram: bucket boundaries are inclusive upper bounds and the
+// snapshot is cumulative, matching Prometheus le semantics.
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // ≤ 1ms
+	h.Observe(time.Millisecond)       // ≤ 1ms (inclusive)
+	h.Observe(5 * time.Millisecond)   // ≤ 10ms
+	h.Observe(time.Second)            // +Inf
+	snap := h.Snapshot()
+	if want := []int64{2, 3, 3}; snap.Cumulative[0] != want[0] || snap.Cumulative[1] != want[1] || snap.Cumulative[2] != want[2] {
+		t.Fatalf("cumulative = %v, want %v", snap.Cumulative, want)
+	}
+	if snap.Count != 4 {
+		t.Fatalf("count = %d, want 4", snap.Count)
+	}
+	if snap.SumSeconds < 1.0065 || snap.SumSeconds > 1.0066 {
+		t.Fatalf("sum = %v", snap.SumSeconds)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines; run under
+// -race this is the data-race check, and the final count must be exact.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(JobBuckets)
+	const goroutines, per = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestTracerConcurrentRecorders: distinct workers may record concurrently
+// on one tracer (the parallel miner does); -race validates isolation.
+func TestTracerConcurrentRecorders(t *testing.T) {
+	tr := New()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := tr.Recorder(w)
+			for i := 0; i < 500; i++ {
+				r.Node(i%6, r.Now(), int64(i))
+				r.Span(PhaseBoundCheck, i%6, r.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+	p := tr.Profile()
+	if len(p.Workers) != workers {
+		t.Fatalf("got %d worker profiles, want %d", len(p.Workers), workers)
+	}
+	if c := p.Phases[PhaseBoundCheck].Count; c != workers*500 {
+		t.Fatalf("bound-check count = %d, want %d", c, workers*500)
+	}
+}

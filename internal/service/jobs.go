@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
@@ -68,40 +69,47 @@ type job struct {
 	started      time.Time
 	finished     time.Time
 	wallMillis   int64
+	queueWaitMS  int64
+	tracer       *obs.Tracer  // per-job span recorder (nil when tracing is off)
+	profile      *obs.Profile // merged at completion, served by /v1/jobs/{id}/trace
 	cancel       context.CancelFunc
 	userCanceled bool
 }
 
 // JobInfo is an immutable snapshot of a job, safe to serialize.
 type JobInfo struct {
-	ID          string            `json:"id"`
-	Kind        JobKind           `json:"kind,omitempty"`
-	Dataset     string            `json:"dataset"`
-	Status      JobStatus         `json:"status"`
-	Cached      bool              `json:"cached,omitempty"`
-	Error       string            `json:"error,omitempty"`
-	Options     core.OptionsJSON  `json:"options"`
-	SubmittedAt time.Time         `json:"submitted_at"`
-	StartedAt   *time.Time        `json:"started_at,omitempty"`
-	FinishedAt  *time.Time        `json:"finished_at,omitempty"`
-	WallMillis  int64             `json:"wall_ms,omitempty"`
-	Result      *core.ResultJSON  `json:"result,omitempty"`
-	Sweep       *sweep.ResultJSON `json:"sweep,omitempty"`
+	ID          string           `json:"id"`
+	Kind        JobKind          `json:"kind,omitempty"`
+	Dataset     string           `json:"dataset"`
+	Status      JobStatus        `json:"status"`
+	Cached      bool             `json:"cached,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	Options     core.OptionsJSON `json:"options"`
+	SubmittedAt time.Time        `json:"submitted_at"`
+	StartedAt   *time.Time       `json:"started_at,omitempty"`
+	FinishedAt  *time.Time       `json:"finished_at,omitempty"`
+	// WallMillis is the mining duration (start to completion); QueueWaitMillis
+	// the time spent queued before a worker picked the job up.
+	WallMillis      int64             `json:"wall_ms,omitempty"`
+	QueueWaitMillis int64             `json:"queue_wait_ms,omitempty"`
+	Result          *core.ResultJSON  `json:"result,omitempty"`
+	Sweep           *sweep.ResultJSON `json:"sweep,omitempty"`
 }
 
 func (j *job) snapshot() JobInfo {
 	info := JobInfo{
-		ID:          j.id,
-		Kind:        j.kind,
-		Dataset:     j.dataset,
-		Status:      j.status,
-		Cached:      j.cached,
-		Error:       j.errMsg,
-		Options:     j.options,
-		SubmittedAt: j.submitted,
-		WallMillis:  j.wallMillis,
-		Result:      j.result,
-		Sweep:       j.sweepRes,
+		ID:              j.id,
+		Kind:            j.kind,
+		Dataset:         j.dataset,
+		Status:          j.status,
+		Cached:          j.cached,
+		Error:           j.errMsg,
+		Options:         j.options,
+		SubmittedAt:     j.submitted,
+		WallMillis:      j.wallMillis,
+		QueueWaitMillis: j.queueWaitMS,
+		Result:          j.result,
+		Sweep:           j.sweepRes,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -123,7 +131,9 @@ type Manager struct {
 	metrics    *metrics
 	log        *slog.Logger
 	maxJobTime time.Duration
-	tailMemo   int // default Options.TailMemoEntries for jobs that leave it 0
+	tailMemo   int           // default Options.TailMemoEntries for jobs that leave it 0
+	slowJob    time.Duration // wall-time threshold for slow-job warnings (0 = off)
+	traceJobs  bool          // attach a per-job obs.Tracer to every mined job
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -137,20 +147,24 @@ type Manager struct {
 	closed bool
 }
 
-func newManager(workers, queueDepth int, maxJobTime time.Duration, tailMemo int, cache *resultCache, mtr *metrics, log *slog.Logger) *Manager {
+// newManager builds the job manager from the daemon Config (which New has
+// already defaulted) and starts the worker pool.
+func newManager(cfg Config, cache *resultCache, mtr *metrics, log *slog.Logger) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cache:      cache,
 		metrics:    mtr,
 		log:        log,
-		maxJobTime: maxJobTime,
-		tailMemo:   tailMemo,
+		maxJobTime: cfg.MaxJobTime,
+		tailMemo:   cfg.TailMemoEntries,
+		slowJob:    cfg.SlowJobThreshold,
+		traceJobs:  !cfg.DisableJobTracing,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *job, queueDepth),
+		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
 	}
-	for i := 0; i < workers; i++ {
+	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
@@ -194,7 +208,10 @@ func (m *Manager) Submit(ds *Dataset, oj core.OptionsJSON, timeout time.Duration
 	m.seq++
 	j.id = fmt.Sprintf("j%d", m.seq)
 
-	if res, ok := m.cache.get(j.cacheKey); ok {
+	lookupStart := time.Now()
+	res, ok := m.cache.get(j.cacheKey)
+	m.metrics.cacheGet.Observe(time.Since(lookupStart))
+	if ok {
 		j.status = StatusDone
 		j.cached = true
 		j.result = &res
@@ -233,6 +250,34 @@ func (m *Manager) Get(id string) (JobInfo, error) {
 		return JobInfo{}, ErrNoSuchJob
 	}
 	return j.snapshot(), nil
+}
+
+// Trace errors the HTTP layer maps to status codes.
+var (
+	ErrTracingDisabled = errors.New("service: job tracing is disabled (daemon started with -no-job-trace)")
+	ErrJobNotFinished  = errors.New("service: job has not finished; trace is available once it is terminal")
+	ErrNoTrace         = errors.New("service: job has no trace (served from cache or canceled before start)")
+)
+
+// Trace returns the finished job's phase profile. A cache-hit job never ran
+// the miner and has no profile.
+func (m *Manager) Trace(id string) (*obs.Profile, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNoSuchJob
+	}
+	if !m.traceJobs {
+		return nil, ErrTracingDisabled
+	}
+	if !j.status.Terminal() {
+		return nil, ErrJobNotFinished
+	}
+	if j.profile == nil {
+		return nil, ErrNoTrace
+	}
+	return j.profile, nil
 }
 
 // List returns snapshots of every job in submission order.
@@ -290,6 +335,16 @@ func (m *Manager) run(j *job) {
 	}
 	j.status = StatusRunning
 	j.started = time.Now()
+	queueWait := j.started.Sub(j.submitted)
+	j.queueWaitMS = queueWait.Milliseconds()
+	if m.traceJobs {
+		// One tracer per job: every enumeration of the job (a sweep job runs
+		// several) records into it, and the merged profile is served by
+		// GET /v1/jobs/{id}/trace. The canonical cache key clears the field,
+		// so tracing never splits the result cache.
+		j.tracer = obs.New()
+		j.opts.Tracer = j.tracer
+	}
 	var ctx context.Context
 	if j.timeout > 0 {
 		ctx, j.cancel = context.WithTimeout(m.baseCtx, j.timeout)
@@ -302,8 +357,9 @@ func (m *Manager) run(j *job) {
 	defer cancel()
 
 	m.metrics.JobsRunning.Add(1)
+	m.metrics.queueWait.Observe(queueWait)
 	m.log.Info("job started", "job", j.id, "kind", string(j.kind), "dataset", ds,
-		"min_sup", opts.MinSup, "pfct", opts.PFCT)
+		"queue_wait_ms", queueWait.Milliseconds(), "min_sup", opts.MinSup, "pfct", opts.PFCT)
 	res, sres, err := m.mine(ctx, j)
 	m.metrics.JobsRunning.Add(-1)
 	now := time.Now()
@@ -311,7 +367,20 @@ func (m *Manager) run(j *job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.finished = now
-	j.wallMillis = now.Sub(j.started).Milliseconds()
+	wall := now.Sub(j.started)
+	j.wallMillis = wall.Milliseconds()
+	m.metrics.jobWall.Observe(wall)
+	if j.tracer != nil {
+		// The pool has joined and the job is terminal: every recorder is
+		// quiescent, so the merge is race-free.
+		j.profile = j.tracer.Profile()
+	}
+	if m.slowJob > 0 && wall > m.slowJob {
+		m.metrics.SlowJobs.Add(1)
+		m.log.Warn("slow job", "job", j.id, "kind", string(j.kind), "dataset", j.dataset,
+			"wall_ms", j.wallMillis, "threshold_ms", m.slowJob.Milliseconds(),
+			"min_sup", j.opts.MinSup, "pfct", j.opts.PFCT)
+	}
 	switch {
 	case err == nil && j.kind == JobKindSweep:
 		j.sweepRes = m.assembleSweep(j, sres)

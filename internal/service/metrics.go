@@ -3,21 +3,26 @@ package service
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
+	"strings"
 
 	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/obs"
 )
 
 // metrics is the daemon's counter set, served by /metrics. The counters are
 // expvar vars created per Server rather than published to the global expvar
 // registry, so multiple servers (tests, embedding) never collide on
-// registration; the /metrics handler renders them in expvar's JSON shape.
+// registration. The handler content-negotiates: Prometheus text exposition
+// for scrapers that ask for text/plain, expvar-shaped JSON otherwise.
 type metrics struct {
 	JobsQueued   expvar.Int // jobs accepted into the queue
 	JobsRunning  expvar.Int // jobs currently executing (gauge)
 	JobsDone     expvar.Int // jobs finished successfully (cache hits included)
 	JobsFailed   expvar.Int // jobs finished with an error, timeout, or panic
 	JobsCanceled expvar.Int // jobs canceled by DELETE
+	SlowJobs     expvar.Int // jobs that exceeded the slow-job threshold
 
 	CacheHits   expvar.Int // submissions served from the result cache
 	CacheMisses expvar.Int // submissions that had to mine
@@ -32,50 +37,110 @@ type metrics struct {
 	MineWallMillis expvar.Int // cumulative wall time spent mining
 
 	// Cumulative core.Stats counters across every finished job — the
-	// daemon-level view of Fig. 6–9's per-run statistics.
+	// daemon-level view of Fig. 6–9's per-run statistics. Every field of
+	// core.Stats is mirrored here; keep the two lists in lockstep.
 	NodesVisited    expvar.Int
-	TailEvaluations expvar.Int
-	TailMemoHits    expvar.Int
+	CandidateItems  expvar.Int
+	CHPruned        expvar.Int
+	FreqPruned      expvar.Int
+	SupersetPruned  expvar.Int
+	SubsetPruned    expvar.Int
+	BoundRejected   expvar.Int
+	BoundAccepted   expvar.Int
+	ExactUnions     expvar.Int
+	Sampled         expvar.Int
 	SamplesDrawn    expvar.Int
 	Evaluated       expvar.Int
+	TailEvaluations expvar.Int
+	TailMemoHits    expvar.Int
+	ClauseEvaluated expvar.Int
+	TasksSpawned    expvar.Int
+	TasksStolen     expvar.Int
+
+	// Latency histograms (Prometheus exposition only; the JSON view stays
+	// flat counters for backward compatibility).
+	jobWall    *obs.Histogram // job wall time, submission kinds pooled
+	queueWait  *obs.Histogram // queued → started
+	cacheGet   *obs.Histogram // result-cache lookup latency at submit
+	sweepCache *obs.Histogram // per-point cache probes at sweep submit
 }
 
-// addStats accumulates one finished job's mining statistics.
+func newMetrics() *metrics {
+	return &metrics{
+		jobWall:    obs.NewHistogram(obs.JobBuckets),
+		queueWait:  obs.NewHistogram(obs.JobBuckets),
+		cacheGet:   obs.NewHistogram(obs.LookupBuckets),
+		sweepCache: obs.NewHistogram(obs.LookupBuckets),
+	}
+}
+
+// addStats accumulates one finished job's mining statistics — the full
+// core.Stats counter set, so /metrics exposes every pruning, bounding, and
+// scheduling counter the miner tracks.
 func (m *metrics) addStats(s core.Stats) {
 	m.NodesVisited.Add(int64(s.NodesVisited))
-	m.TailEvaluations.Add(int64(s.TailEvaluations))
-	m.TailMemoHits.Add(int64(s.TailMemoHits))
+	m.CandidateItems.Add(int64(s.CandidateItems))
+	m.CHPruned.Add(int64(s.CHPruned))
+	m.FreqPruned.Add(int64(s.FreqPruned))
+	m.SupersetPruned.Add(int64(s.SupersetPruned))
+	m.SubsetPruned.Add(int64(s.SubsetPruned))
+	m.BoundRejected.Add(int64(s.BoundRejected))
+	m.BoundAccepted.Add(int64(s.BoundAccepted))
+	m.ExactUnions.Add(int64(s.ExactUnions))
+	m.Sampled.Add(int64(s.Sampled))
 	m.SamplesDrawn.Add(int64(s.SamplesDrawn))
 	m.Evaluated.Add(int64(s.Evaluated))
+	m.TailEvaluations.Add(int64(s.TailEvaluations))
+	m.TailMemoHits.Add(int64(s.TailMemoHits))
+	m.ClauseEvaluated.Add(int64(s.ClauseEvaluated))
+	m.TasksSpawned.Add(int64(s.TasksSpawned))
+	m.TasksStolen.Add(int64(s.TasksStolen))
+}
+
+// metricVar is one counter's serving metadata: the flat JSON name, whether
+// it is a gauge (everything else is a monotonic Prometheus counter), and
+// the HELP line.
+type metricVar struct {
+	Name  string
+	Var   *expvar.Int
+	Gauge bool
+	Help  string
 }
 
 // vars lists every counter with its exported name, in serving order.
-func (m *metrics) vars() []struct {
-	Name string
-	Var  *expvar.Int
-} {
-	return []struct {
-		Name string
-		Var  *expvar.Int
-	}{
-		{"jobs_queued", &m.JobsQueued},
-		{"jobs_running", &m.JobsRunning},
-		{"jobs_done", &m.JobsDone},
-		{"jobs_failed", &m.JobsFailed},
-		{"jobs_canceled", &m.JobsCanceled},
-		{"cache_hits", &m.CacheHits},
-		{"cache_misses", &m.CacheMisses},
-		{"sweeps_done", &m.SweepsDone},
-		{"sweep_points_cached", &m.SweepPointsCached},
-		{"sweep_points_computed", &m.SweepPointsComputed},
-		{"sweep_enumerations", &m.SweepEnumerations},
-		{"datasets_registered", &m.DatasetsRegistered},
-		{"mine_wall_ms", &m.MineWallMillis},
-		{"nodes_visited", &m.NodesVisited},
-		{"tail_evaluations", &m.TailEvaluations},
-		{"tail_memo_hits", &m.TailMemoHits},
-		{"samples_drawn", &m.SamplesDrawn},
-		{"evaluated", &m.Evaluated},
+func (m *metrics) vars() []metricVar {
+	return []metricVar{
+		{"jobs_queued", &m.JobsQueued, false, "Jobs accepted into the queue."},
+		{"jobs_running", &m.JobsRunning, true, "Jobs currently executing."},
+		{"jobs_done", &m.JobsDone, false, "Jobs finished successfully, cache hits included."},
+		{"jobs_failed", &m.JobsFailed, false, "Jobs finished with an error, timeout, or panic."},
+		{"jobs_canceled", &m.JobsCanceled, false, "Jobs canceled by DELETE."},
+		{"slow_jobs", &m.SlowJobs, false, "Jobs whose wall time exceeded the slow-job threshold."},
+		{"cache_hits", &m.CacheHits, false, "Submissions served from the result cache."},
+		{"cache_misses", &m.CacheMisses, false, "Submissions that had to mine."},
+		{"sweeps_done", &m.SweepsDone, false, "Sweep jobs finished successfully."},
+		{"sweep_points_cached", &m.SweepPointsCached, false, "Sweep grid points answered from the cache at submit."},
+		{"sweep_points_computed", &m.SweepPointsComputed, false, "Sweep grid points the engine had to produce."},
+		{"sweep_enumerations", &m.SweepEnumerations, false, "Full enumerations sweep jobs actually ran."},
+		{"datasets_registered", &m.DatasetsRegistered, false, "Distinct datasets ever registered."},
+		{"mine_wall_ms", &m.MineWallMillis, false, "Cumulative wall time spent mining, in milliseconds."},
+		{"nodes_visited", &m.NodesVisited, false, "Enumeration-tree nodes visited."},
+		{"candidate_items", &m.CandidateItems, false, "Single items that survived the candidate phase."},
+		{"ch_pruned", &m.CHPruned, false, "Subtrees pruned by the Chernoff-Hoeffding bound (Lemma 4.1)."},
+		{"freq_pruned", &m.FreqPruned, false, "Subtrees pruned as probabilistically infrequent."},
+		{"superset_pruned", &m.SupersetPruned, false, "Nodes pruned by the superset condition (Lemma 4.2)."},
+		{"subset_pruned", &m.SubsetPruned, false, "Subtrees pruned by the subset condition (Lemma 4.3)."},
+		{"bound_rejected", &m.BoundRejected, false, "Candidates rejected by the Pr_FC bounds (Lemma 4.4)."},
+		{"bound_accepted", &m.BoundAccepted, false, "Candidates accepted by the Pr_FC bounds (Lemma 4.4)."},
+		{"exact_unions", &m.ExactUnions, false, "Extension-event unions resolved by exact inclusion-exclusion."},
+		{"sampled", &m.Sampled, false, "Extension-event unions resolved by the Karp-Luby sampler."},
+		{"samples_drawn", &m.SamplesDrawn, false, "Monte-Carlo samples drawn across all sampled unions."},
+		{"evaluated", &m.Evaluated, false, "Candidates that entered the checking cascade."},
+		{"tail_evaluations", &m.TailEvaluations, false, "Poisson-binomial tail computations performed."},
+		{"tail_memo_hits", &m.TailMemoHits, false, "Poisson-binomial tails answered from the memo."},
+		{"clause_evaluated", &m.ClauseEvaluated, false, "Extension-event clauses (and clause pairs) evaluated."},
+		{"tasks_spawned", &m.TasksSpawned, false, "Subtree tasks handed to the work-stealing pool."},
+		{"tasks_stolen", &m.TasksStolen, false, "Subtree tasks stolen from another worker's deque."},
 	}
 }
 
@@ -88,11 +153,74 @@ func (m *metrics) snapshot() map[string]int64 {
 	return out
 }
 
-// serveHTTP renders the counters as a flat JSON object, the same shape
-// expvar serves, under the daemon's own names.
-func (m *metrics) serveHTTP(w http.ResponseWriter, _ *http.Request) {
+// serveHTTP content-negotiates the metrics view: clients that accept
+// text/plain (Prometheus scrapers send "text/plain;version=0.0.4" first)
+// get the exposition format; everything else gets the original flat JSON,
+// so existing dashboards keep working.
+func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		m.servePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(m.snapshot())
+}
+
+// wantsPrometheus reports whether the Accept header asks for the text
+// exposition format. JSON stays the default: only an explicit text/plain
+// (or OpenMetrics) preference switches, and an explicit application/json
+// listed before it wins.
+func wantsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "application/json":
+			return false
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
+}
+
+// servePrometheus renders every counter, gauge, and histogram in the
+// Prometheus text exposition format 0.0.4, under the pfcimd_ namespace.
+// Monotonic counters get the conventional _total suffix.
+func (m *metrics) servePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	for _, v := range m.vars() {
+		name, kind := "pfcimd_"+v.Name, "gauge"
+		if !v.Gauge {
+			name, kind = name+"_total", "counter"
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, v.Help, name, kind, name, v.Var.Value())
+	}
+	writeHistogram(&b, "pfcimd_job_wall_seconds", "Job wall time from start to completion.", m.jobWall)
+	writeHistogram(&b, "pfcimd_job_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.", m.queueWait)
+	writeHistogram(&b, "pfcimd_cache_lookup_seconds", "Result-cache lookup latency at job submit.", m.cacheGet)
+	writeHistogram(&b, "pfcimd_sweep_point_lookup_seconds", "Per-point result-cache probe latency at sweep submit.", m.sweepCache)
+	w.Write([]byte(b.String()))
+}
+
+// writeHistogram renders one fixed-bucket histogram: cumulative _bucket
+// series with le labels (inclusive upper bounds, +Inf last), then _sum and
+// _count.
+func writeHistogram(b *strings.Builder, name, help string, h *obs.Histogram) {
+	snap := h.Snapshot()
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, bound := range snap.Bounds {
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatBound(bound), snap.Cumulative[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+	fmt.Fprintf(b, "%s_sum %g\n", name, snap.SumSeconds)
+	fmt.Fprintf(b, "%s_count %d\n", name, snap.Count)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest decimal that round-trips.
+func formatBound(v float64) string {
+	return fmt.Sprintf("%g", v)
 }

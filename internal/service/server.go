@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"time"
@@ -40,6 +41,17 @@ type Config struct {
 	// ({"path": ...} bodies). Off by default: with it on, any client can
 	// read any file the daemon can, so it is for trusted setups only.
 	AllowPathLoad bool
+	// SlowJobThreshold, when positive, logs a warning (and bumps the
+	// slow_jobs counter) for every job whose wall time exceeds it.
+	SlowJobThreshold time.Duration
+	// DisableJobTracing turns off the per-job phase tracer; jobs then skip
+	// the span-recording code paths entirely and GET /v1/jobs/{id}/trace
+	// returns 404. Tracing never changes results, so this exists only to
+	// shave the last percent of overhead on latency-critical deployments.
+	DisableJobTracing bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals, so opt in per deployment.
+	EnablePprof bool
 	// Logger receives structured logs. Default: slog.Default().
 	Logger *slog.Logger
 }
@@ -85,12 +97,11 @@ func New(cfg Config) *Server {
 		log:      cfg.Logger,
 		registry: NewRegistry(),
 		cache:    newResultCache(cfg.CacheSize),
-		metrics:  &metrics{},
+		metrics:  newMetrics(),
 		started:  time.Now(),
 		mux:      http.NewServeMux(),
 	}
-	s.jobs = newManager(cfg.Workers, cfg.QueueDepth, cfg.MaxJobTime,
-		cfg.TailMemoEntries, s.cache, s.metrics, s.log)
+	s.jobs = newManager(cfg, s.cache, s.metrics, s.log)
 
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
@@ -99,9 +110,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics.serveHTTP)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -357,6 +376,23 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, info)
+}
+
+// handleJobTrace serves the finished job's phase profile: per-phase and
+// per-depth wall-time attribution plus per-worker busy time, as recorded by
+// the job's tracer.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	p, err := s.jobs.Trace(r.PathValue("id"))
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrJobNotFinished):
+		s.writeError(w, http.StatusConflict, err)
+		return
+	default:
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, p)
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {

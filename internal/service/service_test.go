@@ -417,8 +417,8 @@ func TestJobTimeout(t *testing.T) {
 // (nil database) and checks the worker survives it and the job fails with
 // the panic recorded.
 func TestPanicIsolation(t *testing.T) {
-	mtr := &metrics{}
-	m := newManager(1, 4, 0, 0, newResultCache(4), mtr, quietLogger())
+	mtr := newMetrics()
+	m := newManager(Config{Workers: 1, QueueDepth: 4}, newResultCache(4), mtr, quietLogger())
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -77,7 +77,10 @@ func (m *Manager) SubmitSweep(ds *Dataset, oj core.OptionsJSON, pts []sweep.Poin
 
 	missing := 0
 	for i := range j.slots {
-		if res, ok := m.cache.get(j.slots[i].key); ok {
+		lookupStart := time.Now()
+		res, ok := m.cache.get(j.slots[i].key)
+		m.metrics.sweepCache.Observe(time.Since(lookupStart))
+		if ok {
 			r := res
 			j.slots[i].cached = &r
 			m.metrics.CacheHits.Add(1)

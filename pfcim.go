@@ -67,6 +67,7 @@ import (
 	"github.com/probdata/pfcim/internal/exact"
 	"github.com/probdata/pfcim/internal/gen"
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/pfim"
 	"github.com/probdata/pfcim/internal/rules"
 	"github.com/probdata/pfcim/internal/stream"
@@ -131,6 +132,23 @@ type ResultItem = core.ResultItem
 
 // MineStats counts the work each pruning rule saved during a run.
 type MineStats = core.Stats
+
+// Tracer records phase-level wall-time spans during a mining run without
+// perturbing its result: set Options.Tracer to a NewTracer() value and read
+// Result.Profile (or Tracer.Profile) afterwards. Unlike the Trace log
+// writer, a Tracer composes with Parallelism — each pool worker records
+// into its own lock-free ring. Export the detailed spans with
+// Tracer.WriteChromeTrace for chrome://tracing / Perfetto.
+type Tracer = obs.Tracer
+
+// Profile is the merged wall-time attribution of a traced run: per-phase
+// totals (candidates, expand, bound-check, exact-union, sampling),
+// per-depth expansion cost, and per-worker busy time.
+type Profile = obs.Profile
+
+// NewTracer returns a Tracer with the default per-worker span-ring
+// capacity.
+func NewTracer() *Tracer { return obs.New() }
 
 // OptionsJSON is the wire (JSON) form of Options: every field except the
 // Trace writer, with the search framework as a string. The zero value of
