@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping binary build in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "crosscheck")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSoakSmoke runs a short soak for every shape flag form and checks the
+// success banner; a 2-second budget still covers hundreds of cases.
+func TestSoakSmoke(t *testing.T) {
+	bin := buildBinary(t)
+	for _, args := range [][]string{
+		{"-seconds", "2", "-seed", "7"},
+		{"-seconds", "1", "-shape", "degenerate"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("crosscheck %v: %v\n%s", args, err, out)
+		}
+		if !strings.Contains(string(out), "crosscheck: OK") {
+			t.Errorf("crosscheck %v: missing OK banner:\n%s", args, out)
+		}
+	}
+}
+
+// TestBadShapeFlag pins the usage error path.
+func TestBadShapeFlag(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-seconds", "1", "-shape", "bogus").CombinedOutput()
+	if err == nil {
+		t.Fatalf("crosscheck -shape bogus should exit non-zero, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown shape") {
+		t.Errorf("expected unknown-shape error, got:\n%s", out)
+	}
+}

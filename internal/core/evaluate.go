@@ -104,6 +104,7 @@ func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF 
 		if hi < unionUpper {
 			unionUpper = hi
 		}
+		unionLower, unionUpper = reconcileBounds(unionLower, unionUpper)
 		if ev, done := m.decideByBounds(prF, unionLower, unionUpper, m.opts.PFCT); done {
 			m.rec.Span(obs.PhaseBoundCheck, depth, boundStart)
 			return ev, nil
@@ -188,6 +189,19 @@ func (m *miner) karpLuby(sys *dnf.System, rng *rand.Rand, probs []float64, n, de
 // otherwise. The threshold is a parameter (rather than read from opts)
 // because the sweep Evaluator replays the same bounds against tighter
 // thresholds than the base run's.
+// reconcileBounds intersects the first-order and pairwise union intervals.
+// Both contain the true union analytically, so an empty intersection can
+// only be float rounding noise of a few ulps (the de Caen lower bound and
+// the Kwerel upper bound evaluate the same moments in different orders);
+// collapse it to the midpoint so the Lemma 4.4 sandwich stays ordered.
+func reconcileBounds(lo, hi float64) (float64, float64) {
+	if hi < lo {
+		mid := (lo + hi) / 2
+		return mid, mid
+	}
+	return lo, hi
+}
+
 func (m *miner) decideByBounds(prF, unionLower, unionUpper, pfct float64) (evaluation, bool) {
 	fcLower := clamp01(prF - unionUpper)
 	fcUpper := clamp01(prF - unionLower)

@@ -141,6 +141,7 @@ func (e *Evaluator) Evaluate(x itemset.Itemset, pfct float64) (ResultItem, bool,
 		if p.pwHi < hi {
 			hi = p.pwHi
 		}
+		lo, hi = reconcileBounds(lo, hi)
 		if ev, done := e.m.decideByBounds(p.prF, lo, hi, pfct); done {
 			return p.item(ev), ev.accepted, nil
 		}

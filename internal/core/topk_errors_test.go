@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// TestMineTopKErrorPaths pins the thin edges of the top-k API: negative k,
+// an empty database, invalid option combinations (which are rejected even
+// when k asks for nothing — validation runs first), and the pfct domain
+// edges of the underlying threshold miner.
+func TestMineTopKErrorPaths(t *testing.T) {
+	db := uncertain.PaperExample()
+
+	// Negative k behaves like k=0: nothing, no error.
+	if got, err := MineTopK(db, 2, -3, Options{Seed: 1}); err != nil || got != nil {
+		t.Errorf("k=-3: got %v, %v; want nil, nil", got, err)
+	}
+
+	// Invalid options are rejected before the k short-circuit.
+	if _, err := MineTopK(db, 2, 0, Options{Epsilon: 2}); err == nil {
+		t.Error("Epsilon=2 should fail even with k=0")
+	}
+	if _, err := MineTopK(db, 0, 3, Options{}); err == nil {
+		t.Error("minSup=0 should fail")
+	}
+
+	// A database with zero transactions is valid input and mines to nothing.
+	empty, err := uncertain.NewDB(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := MineTopK(empty, 1, 5, Options{Seed: 1}); err != nil || len(got) != 0 {
+		t.Errorf("empty database: got %v, %v; want empty, nil", got, err)
+	}
+	if res, err := Mine(empty, Options{MinSup: 1, PFCT: 0.5}); err != nil || len(res.Itemsets) != 0 {
+		t.Errorf("Mine on empty database: got %+v, %v; want empty, nil", res, err)
+	}
+
+	// The threshold miner's pfct domain is the open interval (0,1).
+	for _, pfct := range []float64{0, 1, -0.1, 1.1} {
+		if _, err := Mine(db, Options{MinSup: 2, PFCT: pfct}); err == nil {
+			t.Errorf("Mine with pfct=%v should fail", pfct)
+		}
+	}
+
+	// k exceeding the result universe returns everything, prefix-consistent
+	// with smaller k.
+	all, err := MineTopK(db, 2, 1000, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := MineTopK(db, 2, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(three) > 3 || len(all) < len(three) {
+		t.Fatalf("k=1000 returned %d, k=3 returned %d", len(all), len(three))
+	}
+	for i := range three {
+		if !itemsEqualTopK(all[i].Items, three[i].Items) {
+			t.Fatalf("top-3 is not a prefix of top-1000 at %d: %v vs %v", i, all[i].Items, three[i].Items)
+		}
+	}
+}
+
+func itemsEqualTopK(a, b interface{ Key() string }) bool { return a.Key() == b.Key() }

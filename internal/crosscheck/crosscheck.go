@@ -1,0 +1,400 @@
+package crosscheck
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/dnf"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
+	"github.com/probdata/pfcim/internal/sweep"
+	"github.com/probdata/pfcim/internal/uncertain"
+	"github.com/probdata/pfcim/internal/world"
+)
+
+// tieEps is the borderline band around pfct: an itemset whose exact Pr_FC
+// lies within tieEps of the threshold may flip either way under float
+// rounding (the oracle and the miner accumulate the same quantities in
+// different orders), so differential checks exclude it. Everything farther
+// from the threshold must match exactly.
+const tieEps = 1e-9
+
+// Default case sizes. Differential cases must fit the 2ⁿ world oracle;
+// invariant cases go well beyond it to exercise the paths (sampling, deep
+// enumeration, parallel splitting) that tiny databases never reach.
+const (
+	DiffMaxTrans      = 8
+	DiffMaxItems      = 6
+	InvariantMaxTrans = 36
+	InvariantMaxItems = 10
+)
+
+// diffItemLimit bounds the item universe a differential case may have: the
+// exact inclusion–exclusion forced by Differential is 2^clauses and the
+// clause count is bounded by the universe size.
+const diffItemLimit = 12
+
+// Case is one reproducible cross-check: a database shape and a seed. The
+// seed drives both the generated database and the derived thresholds, so a
+// failure report of (shape, seed) reproduces the whole scenario.
+type Case struct {
+	Shape Shape
+	Seed  int64
+	// MaxTrans and MaxItems bound the generated database; zero means the
+	// differential defaults.
+	MaxTrans, MaxItems int
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("shape=%s seed=%d", c.Shape, c.Seed)
+}
+
+func (c Case) withDefaults() Case {
+	if c.MaxTrans == 0 {
+		c.MaxTrans = DiffMaxTrans
+	}
+	if c.MaxItems == 0 {
+		c.MaxItems = DiffMaxItems
+	}
+	return c
+}
+
+// Build generates the case's database and mining options. The pfct palette
+// deliberately includes near-0 and near-1 thresholds: certain tuples give
+// step-function tails, and a bound that has been loosened by as little as
+// 1e-3 mis-prunes exactly there.
+func (c Case) Build() (*uncertain.DB, core.Options) {
+	c = c.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	db := GenDB(c.Shape, rng, c.MaxTrans, c.MaxItems)
+	minSup := 1 + rng.Intn(3)
+	if minSup > db.N() {
+		minSup = db.N()
+	}
+	var pfct float64
+	switch rng.Intn(10) {
+	case 0:
+		pfct = 0.0005
+	case 1:
+		pfct = 0.9995
+	case 2:
+		pfct = 0.02 + rng.Float64()*0.96
+	default:
+		pfct = []float64{0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}[rng.Intn(7)]
+	}
+	return db, core.Options{MinSup: minSup, PFCT: pfct, Seed: c.Seed}
+}
+
+// variants are the miner configurations the differential suite rotates
+// through; every one must match the oracle on every case.
+var variants = []struct {
+	Name   string
+	Modify func(*core.Options)
+}{
+	{"mpfci", func(*core.Options) {}},
+	{"nobound", func(o *core.Options) { o.DisableBounds = true }},
+	{"noch", func(o *core.Options) { o.DisableCH = true }},
+	{"nosuper", func(o *core.Options) { o.DisableSuperset = true }},
+	{"nosub", func(o *core.Options) { o.DisableSubset = true }},
+	{"bfs", func(o *core.Options) { o.Search = core.BFS }},
+	{"alloff", func(o *core.Options) {
+		o.DisableCH = true
+		o.DisableSuperset = true
+		o.DisableSubset = true
+		o.DisableBounds = true
+	}},
+}
+
+// RunDifferential builds the case and cross-checks the full miner output
+// against exact possible-world enumeration: the plain MPFCI configuration,
+// its bound-free twin (isolating Lemma 4.4), and one further seed-chosen
+// variant. Any error embeds the case so it reproduces from (shape, seed).
+func RunDifferential(c Case) error {
+	db, opts := c.Build()
+	tab, err := world.AllProbs(db, opts.MinSup)
+	if err != nil {
+		return fmt.Errorf("crosscheck: %v: oracle: %w", c, err)
+	}
+	extra := 2 + int(uint64(c.Seed)%uint64(len(variants)-2))
+	for _, vi := range []int{0, 1, extra} {
+		v := variants[vi]
+		o := opts
+		v.Modify(&o)
+		if err := differential(db, o, tab); err != nil {
+			return fmt.Errorf("crosscheck: %v variant=%s: %w", c, v.Name, err)
+		}
+	}
+	return nil
+}
+
+// Differential mines db at opts with the checking phase forced exact and
+// asserts the result set equals the oracle's {X : Pr_FC(X) > pfct}, with
+// exact probabilities, exact Pr_F, and a Lemma 4.4 sandwich that contains
+// the true value. Only itemsets whose exact Pr_FC is within tieEps of the
+// threshold are allowed to differ.
+func Differential(db *uncertain.DB, opts core.Options) error {
+	tab, err := world.AllProbs(db, opts.MinSup)
+	if err != nil {
+		return fmt.Errorf("crosscheck: oracle: %w", err)
+	}
+	return differential(db, opts, tab)
+}
+
+func differential(db *uncertain.DB, opts core.Options, tab *world.ProbTable) error {
+	if db.N() > world.MaxTransactions {
+		return fmt.Errorf("crosscheck: %d transactions exceed the differential oracle limit %d", db.N(), world.MaxTransactions)
+	}
+	if n := len(db.Items()); n > diffItemLimit {
+		return fmt.Errorf("crosscheck: %d items exceed the differential limit %d", n, diffItemLimit)
+	}
+	// Force exact inclusion–exclusion: sampled estimates carry (ε, δ)
+	// guarantees, not equality, and every clause system here is small.
+	opts.MaxExactClauses = dnf.ExactUnionLimit
+	res, err := core.Mine(db, opts)
+	if err != nil {
+		return fmt.Errorf("crosscheck: mine: %w", err)
+	}
+	got := make(map[string]core.ResultItem, len(res.Itemsets))
+	for _, ri := range res.Itemsets {
+		got[ri.Items.Key()] = ri
+	}
+	var fail error
+	tab.ForEach(func(x itemset.Itemset, prF, _, prFC float64) {
+		if fail != nil {
+			return
+		}
+		ri, mined := got[x.Key()]
+		switch {
+		case prFC > opts.PFCT+tieEps && !mined:
+			fail = fmt.Errorf("missing itemset %v: exact Pr_FC=%.12g > pfct=%g (minSup=%d)", x, prFC, opts.PFCT, opts.MinSup)
+		case prFC <= opts.PFCT-tieEps && mined:
+			fail = fmt.Errorf("spurious itemset %v: exact Pr_FC=%.12g ≤ pfct=%g (minSup=%d, method=%v)", x, prFC, opts.PFCT, opts.MinSup, ri.Method)
+		}
+		if fail != nil || !mined {
+			return
+		}
+		if ri.Lower > prFC+tieEps || ri.Upper < prFC-tieEps {
+			fail = fmt.Errorf("itemset %v: exact Pr_FC=%.12g outside reported sandwich [%.12g, %.12g] (method=%v)",
+				x, prFC, ri.Lower, ri.Upper, ri.Method)
+			return
+		}
+		if d := ri.FreqProb - prF; d > tieEps || d < -tieEps {
+			fail = fmt.Errorf("itemset %v: reported Pr_F=%.12g, exact %.12g", x, ri.FreqProb, prF)
+			return
+		}
+		if ri.Method == core.MethodExact || ri.Method == core.MethodNoClauses {
+			if d := ri.Prob - prFC; d > tieEps || d < -tieEps {
+				fail = fmt.Errorf("itemset %v: reported Pr_FC=%.12g, exact %.12g (method=%v)", x, ri.Prob, prFC, ri.Method)
+				return
+			}
+		}
+	})
+	return fail
+}
+
+// RunInvariants builds the case at invariant sizes (beyond the oracle) and
+// checks every metamorphic property.
+func RunInvariants(c Case) error {
+	if c.MaxTrans == 0 {
+		c.MaxTrans = InvariantMaxTrans
+	}
+	if c.MaxItems == 0 {
+		c.MaxItems = InvariantMaxItems
+	}
+	db, opts := c.Build()
+	if err := Invariants(db, opts); err != nil {
+		return fmt.Errorf("crosscheck: %v: %w", c, err)
+	}
+	return nil
+}
+
+// Invariants checks the oracle-free metamorphic properties of a mining run
+// at opts: result well-formedness and the Lemma 4.4 sandwich, threshold
+// monotonicity in pfct and MinSup, byte-identical determinism across every
+// execution knob (parallelism, split depth, tail memo, tracer), DFS/BFS
+// agreement, and sweep-derived vs independently-mined byte-identity. These
+// hold on databases of any size.
+func Invariants(db *uncertain.DB, opts core.Options) error {
+	base, err := core.Mine(db, opts)
+	if err != nil {
+		return fmt.Errorf("mine: %w", err)
+	}
+	if err := wellFormed(base); err != nil {
+		return err
+	}
+
+	// Monotonicity in pfct: raising the threshold can only shrink the
+	// result set. Deterministic per-node seeding makes this exact even for
+	// sampled resolutions — the union estimate of an itemset is a function
+	// of (Seed, itemset), never of the threshold.
+	hi := opts
+	hi.PFCT = opts.PFCT + (1-opts.PFCT)*0.4
+	if hi.PFCT < 1 && hi.PFCT > opts.PFCT {
+		resHi, err := core.Mine(db, hi)
+		if err != nil {
+			return fmt.Errorf("mine at pfct=%g: %w", hi.PFCT, err)
+		}
+		baseKeys := keySet(base.Itemsets)
+		for _, ri := range resHi.Itemsets {
+			if !baseKeys[ri.Items.Key()] {
+				return fmt.Errorf("pfct monotonicity violated: %v accepted at pfct=%g but not at pfct=%g",
+					ri.Items, hi.PFCT, opts.PFCT)
+			}
+		}
+	}
+
+	// Monotonicity in MinSup: Pr_FC is pointwise non-increasing in the
+	// support threshold, so raising it shrinks the accepted set. Checked
+	// with the union forced exact (sampled estimates at different MinSup
+	// are different random variables), borderline band excluded.
+	ex := opts
+	ex.MaxExactClauses = dnf.ExactUnionLimit
+	if ex.MinSup < db.N() {
+		exBase, err := core.Mine(db, ex)
+		if err != nil {
+			return fmt.Errorf("mine exact: %w", err)
+		}
+		ms := ex
+		ms.MinSup++
+		resMs, err := core.Mine(db, ms)
+		if err != nil {
+			return fmt.Errorf("mine at minSup=%d: %w", ms.MinSup, err)
+		}
+		baseKeys := keySet(exBase.Itemsets)
+		for _, ri := range resMs.Itemsets {
+			if !baseKeys[ri.Items.Key()] && ri.Prob > opts.PFCT+tieEps && ri.Method != core.MethodBoundAccepted {
+				return fmt.Errorf("minSup monotonicity violated: %v (Pr_FC=%.12g) accepted at minSup=%d but not at minSup=%d",
+					ri.Items, ri.Prob, ms.MinSup, ex.MinSup)
+			}
+		}
+	}
+
+	// Determinism: results and scheduling-independent stats are
+	// byte-identical across every execution knob.
+	for _, k := range []struct {
+		name   string
+		modify func(*core.Options)
+	}{
+		{"parallel4", func(o *core.Options) { o.Parallelism = 4 }},
+		{"parallel3/split1/nomemo", func(o *core.Options) { o.Parallelism = 3; o.SplitDepth = 1; o.TailMemoEntries = -1 }},
+		{"tracer", func(o *core.Options) { o.Tracer = obs.New() }},
+	} {
+		alt := opts
+		k.modify(&alt)
+		resAlt, err := core.Mine(db, alt)
+		if err != nil {
+			return fmt.Errorf("mine %s: %w", k.name, err)
+		}
+		if !sameResults(resAlt.Itemsets, base.Itemsets) {
+			return fmt.Errorf("determinism violated: %s run differs from serial run (%d vs %d itemsets)",
+				k.name, len(resAlt.Itemsets), len(base.Itemsets))
+		}
+		if a, b := schedIndependent(resAlt.Stats), schedIndependent(base.Stats); a != b {
+			return fmt.Errorf("determinism violated: %s stats %+v differ from serial %+v", k.name, a, b)
+		}
+	}
+
+	// DFS/BFS agreement on the accepted set (exact-forced: the frameworks
+	// share the checking cascade but visit nodes in different orders, so
+	// only the verdicts are comparable, and only when they are exact).
+	if ex.MinSup <= db.N() {
+		exBase, err := core.Mine(db, ex)
+		if err != nil {
+			return fmt.Errorf("mine exact: %w", err)
+		}
+		bfs := ex
+		bfs.Search = core.BFS
+		resBFS, err := core.Mine(db, bfs)
+		if err != nil {
+			return fmt.Errorf("mine bfs: %w", err)
+		}
+		if !sameKeys(exBase.Itemsets, resBFS.Itemsets) {
+			return fmt.Errorf("DFS/BFS disagree: DFS %d itemsets, BFS %d", len(exBase.Itemsets), len(resBFS.Itemsets))
+		}
+	}
+
+	// Sweep-derived points are byte-identical to independent mining — the
+	// bound-replay shortcut must be invisible.
+	if hi.PFCT < 1 && hi.PFCT > opts.PFCT {
+		points := []sweep.Point{{PFCT: hi.PFCT}, {PFCT: opts.PFCT}}
+		sres, err := sweep.Mine(context.Background(), db, points, opts)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		for i, pr := range sres.Points {
+			ind, err := core.Mine(db, pr.Point.Apply(opts))
+			if err != nil {
+				return fmt.Errorf("sweep point %d independent mine: %w", i, err)
+			}
+			if !sameResults(pr.Itemsets, ind.Itemsets) {
+				return fmt.Errorf("sweep point %d (pfct=%g, derived=%t) differs from independent mine (%d vs %d itemsets)",
+					i, pr.Point.PFCT, pr.Derived, len(pr.Itemsets), len(ind.Itemsets))
+			}
+		}
+	}
+	return nil
+}
+
+// wellFormed checks the per-result invariants every mining run must
+// satisfy: lexicographic order without duplicates, probabilities in [0,1],
+// the Lemma 4.4 sandwich Lower ≤ Prob ≤ Upper, Pr_FC ≤ Pr_F, and strict
+// threshold acceptance.
+func wellFormed(res *core.Result) error {
+	for i, ri := range res.Itemsets {
+		if i > 0 && itemset.Compare(res.Itemsets[i-1].Items, ri.Items) >= 0 {
+			return fmt.Errorf("result not strictly lex-sorted at %d: %v then %v", i, res.Itemsets[i-1].Items, ri.Items)
+		}
+		if ri.Lower < 0 || ri.Upper > 1 || ri.Lower > ri.Prob || ri.Prob > ri.Upper {
+			return fmt.Errorf("itemset %v: sandwich violated: Lower=%.12g Prob=%.12g Upper=%.12g (method=%v)",
+				ri.Items, ri.Lower, ri.Prob, ri.Upper, ri.Method)
+		}
+		if ri.Prob > ri.FreqProb+tieEps {
+			return fmt.Errorf("itemset %v: Pr_FC=%.12g exceeds Pr_F=%.12g", ri.Items, ri.Prob, ri.FreqProb)
+		}
+		if ri.Prob <= res.Options.PFCT {
+			return fmt.Errorf("itemset %v: accepted with Pr_FC=%.12g ≤ pfct=%g", ri.Items, ri.Prob, res.Options.PFCT)
+		}
+	}
+	return nil
+}
+
+// schedIndependent zeroes the scheduling-dependent Stats fields (and folds
+// the memo hit/miss split into its invariant sum) so runs at different
+// parallelism compare equal.
+func schedIndependent(s core.Stats) core.Stats {
+	s.TasksSpawned, s.TasksStolen = 0, 0
+	s.TailEvaluations, s.TailMemoHits = s.TailEvaluations+s.TailMemoHits, 0
+	return s
+}
+
+func keySet(items []core.ResultItem) map[string]bool {
+	out := make(map[string]bool, len(items))
+	for _, ri := range items {
+		out[ri.Items.Key()] = true
+	}
+	return out
+}
+
+// sameResults is byte-identity over result slices, with the one concession
+// that a nil and an empty slice are the same empty result.
+func sameResults(a, b []core.ResultItem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || reflect.DeepEqual(a, b)
+}
+
+func sameKeys(a, b []core.ResultItem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Items.Key() != b[i].Items.Key() {
+			return false
+		}
+	}
+	return true
+}

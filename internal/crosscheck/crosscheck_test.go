@@ -1,0 +1,123 @@
+package crosscheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// casesPerShape is the differential property-suite budget. The acceptance
+// bar is ≥ 500 random databases per shape under a minute; each case mines
+// three miner variants against the exact possible-world oracle.
+const casesPerShape = 500
+
+// TestDifferentialProperty runs the full differential suite: for every
+// shape, 500 seeded random databases small enough for the 2ⁿ oracle, each
+// mined by the plain MPFCI configuration, the bound-free twin, and a
+// seed-chosen ablation variant, with exact-set equality required.
+//
+// A failure message embeds shape and seed; reproduce with
+//
+//	go test ./internal/crosscheck -run 'TestDifferentialProperty/<shape>' -count=1
+//
+// or minimize via TestReproduceCase below.
+func TestDifferentialProperty(t *testing.T) {
+	for _, shape := range Shapes {
+		shape := shape
+		t.Run(string(shape), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < casesPerShape; i++ {
+				c := Case{Shape: shape, Seed: int64(i)}
+				if err := RunDifferential(c); err != nil {
+					t.Fatalf("%v\nreproduce: crosscheck.RunDifferential(crosscheck.Case{Shape: %q, Seed: %d})", err, shape, c.Seed)
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantsProperty runs the metamorphic suite on databases beyond the
+// oracle's reach (up to 36 transactions, 10 items): sandwich and ordering
+// well-formedness, pfct and MinSup monotonicity, cross-knob determinism,
+// DFS/BFS agreement, and sweep byte-identity.
+func TestInvariantsProperty(t *testing.T) {
+	cases := 40
+	if testing.Short() {
+		cases = 8
+	}
+	for _, shape := range Shapes {
+		shape := shape
+		t.Run(string(shape), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < cases; i++ {
+				c := Case{Shape: shape, Seed: int64(1000 + i)}
+				if err := RunInvariants(c); err != nil {
+					t.Fatalf("%v\nreproduce: crosscheck.RunInvariants(crosscheck.Case{Shape: %q, Seed: %d})", err, shape, c.Seed)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialPaperExample anchors the harness itself: the Table II
+// database through the differential checker at the paper's thresholds.
+func TestDifferentialPaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	for _, pfct := range []float64{0.1, 0.5, 0.8, 0.9995} {
+		if err := Differential(db, core.Options{MinSup: 2, PFCT: pfct, Seed: 1}); err != nil {
+			t.Errorf("pfct=%g: %v", pfct, err)
+		}
+	}
+}
+
+// TestReproduceCase is the hook for minimizing a property-suite failure:
+// paste the reported shape and seed here and run
+//
+//	go test ./internal/crosscheck -run TestReproduceCase -v
+//
+// It is a no-op unless edited, but keeps the reproduction path compiled.
+func TestReproduceCase(t *testing.T) {
+	c := Case{Shape: ShapeDegenerate, Seed: 0}
+	if err := RunDifferential(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenDBShapes pins generator contracts: determinism per seed, bound
+// respect, and non-emptiness.
+func TestGenDBShapes(t *testing.T) {
+	for _, shape := range Shapes {
+		for seed := int64(0); seed < 50; seed++ {
+			a := GenDB(shape, newRng(seed), 8, 6)
+			b := GenDB(shape, newRng(seed), 8, 6)
+			if a.N() != b.N() {
+				t.Fatalf("%s seed %d: GenDB not deterministic (%d vs %d transactions)", shape, seed, a.N(), b.N())
+			}
+			if a.N() < 1 || a.N() > 8 {
+				t.Fatalf("%s seed %d: %d transactions outside [1, 8]", shape, seed, a.N())
+			}
+			for tid := 0; tid < a.N(); tid++ {
+				tr := a.Transaction(tid)
+				if len(tr.Items) == 0 {
+					t.Fatalf("%s seed %d: empty transaction %d", shape, seed, tid)
+				}
+				if tr.Prob <= 0 || tr.Prob > 1 {
+					t.Fatalf("%s seed %d: transaction %d probability %v outside (0, 1]", shape, seed, tid, tr.Prob)
+				}
+			}
+		}
+	}
+	if _, err := ParseShape("dense"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseShape("bogus"); err == nil {
+		t.Error("ParseShape should reject unknown shapes")
+	}
+}

@@ -62,6 +62,11 @@ func Tail(probs []float64, k int) float64 {
 		}
 		dist[0] *= q
 	}
+	// The absorbing sum of rounded products can land an ulp above 1
+	// (certain tuples, p = 1, make this routine); a probability never may.
+	if dist[k] > 1 {
+		return 1
+	}
 	return dist[k]
 }
 
@@ -72,12 +77,11 @@ func TailAll(probs []float64) []float64 {
 	tails := make([]float64, n+2)
 	for k := n; k >= 0; k-- {
 		tails[k] = tails[k+1] + pmf[k]
+		if tails[k] > 1 {
+			tails[k] = 1
+		}
 	}
-	tails = tails[:n+1]
-	if tails[0] > 1 {
-		tails[0] = 1
-	}
-	return tails
+	return tails[:n+1]
 }
 
 // PMF returns the full probability mass function Pr[S = c] for c in 0..n by

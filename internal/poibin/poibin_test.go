@@ -211,3 +211,20 @@ func TestTailLowerBound(t *testing.T) {
 		t.Error("TailLowerBound on empty distribution")
 	}
 }
+
+// TestTailClampedFuzzSeed158 is the minimized regression for a crosscheck
+// FuzzMine counterexample (degenerate shape, seed 158): with certain tuples
+// in the vector, the absorbing DP sum landed one ulp above 1, and the miner
+// then reported an itemset with Pr_F > 1 and a crossed Lemma 4.4 sandwich.
+// Tail and TailAll must never exceed 1.
+func TestTailClampedFuzzSeed158(t *testing.T) {
+	probs := []float64{1.6339363439570932e-07, 0.8950463782409095, 0.2225405058074865, 1, 1}
+	if got := Tail(probs, 2); got > 1 {
+		t.Errorf("Tail(probs, 2) = %b, exceeds 1", got)
+	}
+	for k, got := range TailAll(probs) {
+		if got > 1 {
+			t.Errorf("TailAll(probs)[%d] = %b, exceeds 1", k, got)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package rules
+
+import (
+	"testing"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// TestErrorPaths pins the thin edges of the rules API: negative option
+// fields, non-positive sample budgets, empty rule sides, and the exact
+// estimator's own validation — all rejected with errors, never panics.
+func TestErrorPaths(t *testing.T) {
+	db := uncertain.PaperExample()
+	x, y := itemset.FromInts(0), itemset.FromInts(1)
+
+	if _, err := Generate(db, nil, Options{MinConfidence: -0.5}); err == nil {
+		t.Error("negative MinConfidence should fail")
+	}
+	if _, err := Generate(db, nil, Options{MinConfidence: 0.5, MaxItems: -1}); err == nil {
+		t.Error("negative MaxItems should fail")
+	}
+
+	// MinConfidence = 1 is the closed upper edge of the domain: valid.
+	if _, err := Generate(db, []itemset.Itemset{itemset.FromInts(0, 1)}, Options{MinConfidence: 1}); err != nil {
+		t.Errorf("MinConfidence=1 should be accepted: %v", err)
+	}
+
+	for _, n := range []int{0, -10} {
+		if _, err := ConfidenceProb(db, x, y, 0.5, n, 1); err == nil {
+			t.Errorf("n=%d samples should fail", n)
+		}
+	}
+	if _, err := ConfidenceProb(db, nil, y, 0.5, 100, 1); err == nil {
+		t.Error("empty antecedent should fail")
+	}
+	if _, err := ConfidenceProb(db, x, nil, 0.5, 100, 1); err == nil {
+		t.Error("empty consequent should fail")
+	}
+	if _, err := ExactConfidenceProb(db, nil, y, 0.5); err == nil {
+		t.Error("ExactConfidenceProb with empty antecedent should fail")
+	}
+	if _, err := ExactConfidenceProb(db, x, x, 0.5); err == nil {
+		t.Error("ExactConfidenceProb with overlapping sides should fail")
+	}
+
+	// An empty database is valid input: no rules, no confidence mass.
+	empty, err := uncertain.NewDB(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := Generate(empty, []itemset.Itemset{itemset.FromInts(0, 1)}, Options{MinConfidence: 0.5})
+	if err != nil || len(rules) != 0 {
+		t.Errorf("empty database: got %v, %v; want no rules, nil", rules, err)
+	}
+	p, err := ConfidenceProb(empty, x, y, 0.5, 100, 1)
+	if err != nil || p != 0 {
+		t.Errorf("empty database confidence: got %v, %v; want 0, nil", p, err)
+	}
+}

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzJobsRequest throws arbitrary bytes at POST /v1/jobs on a daemon with
+// an empty dataset registry and pins the intake contract: the handler never
+// panics, never accepts (no dataset exists, so nothing can reach the mining
+// queue), and always answers 400 (body rejected by strict decoding) or 404
+// (body decoded, dataset unknown) with a well-formed JSON error object.
+//
+// Reproduce a failing input with
+//
+//	go test ./internal/service -run FuzzJobsRequest/<hash>
+func FuzzJobsRequest(f *testing.F) {
+	f.Add([]byte(`{"dataset": "sha256:abc", "options": {"min_sup": 2, "pfct": 0.8}}`))
+	f.Add([]byte(`{"dataset": "", "options": {"min_sup": 1, "pfct": 0.5}, "timeout_ms": 100}`))
+	f.Add([]byte(`{"datset": "typo-field"}`))
+	f.Add([]byte(`{"dataset": 42}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"dataset": "x", "options": {"min_sup": 2, "pfct": 0.8}, "timeout_ms": -1}`))
+	s := New(Config{Workers: 1, QueueDepth: 1, Logger: quietLogger()})
+	handler := s.Handler()
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != 400 && rec.Code != 404 {
+			t.Fatalf("POST /v1/jobs with no registered datasets returned %d (body %q), want 400 or 404",
+				rec.Code, truncate(body))
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+			t.Fatalf("status %d carried a non-JSON error body %q: %v", rec.Code, rec.Body.String(), err)
+		}
+		if er.Error == "" {
+			t.Fatalf("status %d carried an empty error message (body %q)", rec.Code, rec.Body.String())
+		}
+	})
+}
+
+func truncate(b []byte) []byte {
+	if len(b) > 200 {
+		return b[:200]
+	}
+	return b
+}

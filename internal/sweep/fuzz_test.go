@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// FuzzSweepPlan feeds arbitrary JSON grids through the sweep planner and
+// pins its contracts: Groups never panics, and on success it is an exact
+// partition of the point indices. Small valid grids are additionally mined
+// on the Table II database and every point compared byte-for-byte against
+// an independent core.Mine — the bound-replay shortcut must be invisible.
+//
+// Reproduce a failing input with
+//
+//	go test ./internal/sweep -run FuzzSweepPlan/<hash>
+func FuzzSweepPlan(f *testing.F) {
+	f.Add([]byte(`[{"pfct": 0.8}, {"pfct": 0.5}]`))
+	f.Add([]byte(`[{"pfct": 0.9, "min_sup": 2}, {"pfct": 0.3, "min_sup": 3}, {"pfct": 0.3}]`))
+	f.Add([]byte(`[{"min_sup": 1}, {"min_sup": 4}, {"pfct": 0.1, "min_sup": 1}]`))
+	f.Add([]byte(`[{"pfct": -3}, {"pfct": 2}]`))
+	f.Add([]byte(`[]`))
+	base := core.Options{MinSup: 2, PFCT: 0.8, Seed: 7}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pjs []PointJSON
+		if err := json.Unmarshal(data, &pjs); err != nil {
+			return
+		}
+		points := make([]Point, len(pjs))
+		for i, pj := range pjs {
+			points[i] = pj.Point()
+		}
+		groups, err := Groups(points, base)
+		if err != nil {
+			return // invalid grid: rejected, not panicked
+		}
+		seen := make(map[int]bool)
+		for _, g := range groups {
+			for _, idx := range g {
+				if idx < 0 || idx >= len(points) {
+					t.Fatalf("Groups emitted out-of-range index %d for %d points", idx, len(points))
+				}
+				if seen[idx] {
+					t.Fatalf("Groups emitted index %d twice", idx)
+				}
+				seen[idx] = true
+			}
+		}
+		if len(seen) != len(points) {
+			t.Fatalf("Groups covered %d of %d points", len(seen), len(points))
+		}
+
+		if len(points) == 0 || len(points) > 4 {
+			return
+		}
+		db := uncertain.PaperExample()
+		sres, err := Mine(context.Background(), db, points, base)
+		if err != nil {
+			return // e.g. a point's thresholds fail mine-time validation
+		}
+		for i, pr := range sres.Points {
+			ind, err := core.Mine(db, pr.Point.Apply(base))
+			if err != nil {
+				t.Fatalf("point %d: sweep accepted a grid independent Mine rejects: %v", i, err)
+			}
+			if len(pr.Itemsets) != len(ind.Itemsets) ||
+				(len(pr.Itemsets) > 0 && !reflect.DeepEqual(pr.Itemsets, ind.Itemsets)) {
+				t.Fatalf("point %d (pfct=%g min_sup=%d derived=%t): sweep result differs from independent Mine",
+					i, pr.Point.PFCT, pr.Point.MinSup, pr.Derived)
+			}
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package world
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// MaxItems bounds the itemset universe of the all-itemsets oracles; beyond
+// this the 2^|I| itemset loop is hopeless.
+const MaxItems = 20
+
+// ProbTable holds the exact frequent, closed, and frequent closed
+// probability of every non-empty itemset over db's item universe, computed
+// by a single enumeration of the 2ⁿ possible worlds. It is the bulk form of
+// FreqProb/ClosedProb/FreqClosedProb: the differential harness
+// (internal/crosscheck) needs all three maps for every itemset of a random
+// database, and calling the per-itemset functions re-enumerates the worlds
+// 3·2^|I| times where one pass suffices.
+type ProbTable struct {
+	// Items is the sorted item universe; itemset masks index into it.
+	Items itemset.Itemset
+	// MinSup is the support threshold the frequent probabilities use.
+	MinSup int
+
+	freq       []float64 // Pr_F by item-mask (index 0, the empty set, unused)
+	closed     []float64 // Pr_C by item-mask
+	freqClosed []float64 // Pr_FC by item-mask
+}
+
+// AllProbs computes the exact Pr_F, Pr_C and Pr_FC of every non-empty
+// itemset over db's item universe in one pass over the 2ⁿ possible worlds.
+// db must fit both MaxTransactions and MaxItems.
+func AllProbs(db *uncertain.DB, minSup int) (*ProbTable, error) {
+	items := db.Items()
+	if len(items) > MaxItems {
+		return nil, fmt.Errorf("world: %d items exceed enumeration limit %d", len(items), MaxItems)
+	}
+	if minSup < 1 {
+		return nil, fmt.Errorf("world: minSup must be ≥ 1, got %d", minSup)
+	}
+	nMasks := 1 << uint(len(items))
+	t := &ProbTable{
+		Items:      items,
+		MinSup:     minSup,
+		freq:       make([]float64, nMasks),
+		closed:     make([]float64, nMasks),
+		freqClosed: make([]float64, nMasks),
+	}
+
+	// contains[mask] is the tid-bitmask of transactions whose itemset
+	// contains the itemset encoded by mask, so sup_w(mask) is one popcount.
+	pos := make(map[itemset.Item]int, len(items))
+	for i, it := range items {
+		pos[it] = i
+	}
+	transMask := make([]uint32, db.N())
+	for tid := 0; tid < db.N(); tid++ {
+		var m uint32
+		for _, it := range db.Transaction(tid).Items {
+			m |= 1 << uint(pos[it])
+		}
+		transMask[tid] = m
+	}
+	contains := make([]uint32, nMasks)
+	for mask := 0; mask < nMasks; mask++ {
+		var tm uint32
+		for tid, im := range transMask {
+			if uint32(mask)&^im == 0 {
+				tm |= 1 << uint(tid)
+			}
+		}
+		contains[mask] = tm
+	}
+
+	err := Enumerate(db, func(w World) {
+		for mask := 1; mask < nMasks; mask++ {
+			sup := bits.OnesCount32(contains[mask] & w.Mask)
+			if sup == 0 {
+				continue
+			}
+			frequent := sup >= minSup
+			if frequent {
+				t.freq[mask] += w.Prob
+			}
+			// Single-item extensions suffice for the closedness test, as in
+			// IsClosedIn.
+			isClosed := true
+			for e := 0; e < len(items); e++ {
+				ext := mask | 1<<uint(e)
+				if ext == mask {
+					continue
+				}
+				if bits.OnesCount32(contains[ext]&w.Mask) == sup {
+					isClosed = false
+					break
+				}
+			}
+			if isClosed {
+				t.closed[mask] += w.Prob
+				if frequent {
+					t.freqClosed[mask] += w.Prob
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// maskOf encodes x as an index into the table; ok is false when x contains
+// an item outside the universe (all its probabilities are then zero).
+func (t *ProbTable) maskOf(x itemset.Itemset) (int, bool) {
+	mask := 0
+	for _, it := range x {
+		i := sort.Search(len(t.Items), func(i int) bool { return t.Items[i] >= it })
+		if i >= len(t.Items) || t.Items[i] != it {
+			return 0, false
+		}
+		mask |= 1 << uint(i)
+	}
+	return mask, true
+}
+
+// Freq returns the exact frequent probability Pr_F(x).
+func (t *ProbTable) Freq(x itemset.Itemset) float64 {
+	if mask, ok := t.maskOf(x); ok {
+		return t.freq[mask]
+	}
+	return 0
+}
+
+// Closed returns the exact closed probability Pr_C(x).
+func (t *ProbTable) Closed(x itemset.Itemset) float64 {
+	if mask, ok := t.maskOf(x); ok {
+		return t.closed[mask]
+	}
+	return 0
+}
+
+// FreqClosed returns the exact frequent closed probability Pr_FC(x).
+func (t *ProbTable) FreqClosed(x itemset.Itemset) float64 {
+	if mask, ok := t.maskOf(x); ok {
+		return t.freqClosed[mask]
+	}
+	return 0
+}
+
+// ForEach calls fn for every non-empty itemset of the universe with its
+// three exact probabilities, in ascending mask order.
+func (t *ProbTable) ForEach(fn func(x itemset.Itemset, prF, prC, prFC float64)) {
+	for mask := 1; mask < len(t.freq); mask++ {
+		var x itemset.Itemset
+		for i, it := range t.Items {
+			if mask&(1<<uint(i)) != 0 {
+				x = append(x, it)
+			}
+		}
+		fn(x, t.freq[mask], t.closed[mask], t.freqClosed[mask])
+	}
+}
+
+// FrequentClosed returns every itemset with Pr_FC > pfct, sorted
+// lexicographically — exactly MineExact's result set, served from the
+// precomputed table.
+func (t *ProbTable) FrequentClosed(pfct float64) []Result {
+	var out []Result
+	t.ForEach(func(x itemset.Itemset, _, _, prFC float64) {
+		if prFC > pfct {
+			out = append(out, Result{Items: x.Clone(), Prob: prFC})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return itemset.Compare(out[i].Items, out[j].Items) < 0 })
+	return out
+}

@@ -1,0 +1,125 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// TestAllProbsTableII pins the one-pass table to the paper's running
+// example: the Table II database at min_sup = 2 with the Example 1.2 and
+// Table III values.
+func TestAllProbsTableII(t *testing.T) {
+	db := uncertain.PaperExample()
+	tab, err := AllProbs(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc := itemset.FromInts(0, 1, 2)
+	abcd := itemset.FromInts(0, 1, 2, 3)
+	if got := tab.FreqClosed(abcd); math.Abs(got-0.81) > 1e-12 {
+		t.Errorf("Pr_FC(abcd) = %v, want 0.81 (Example 1.2)", got)
+	}
+	if got := tab.FreqClosed(abc); math.Abs(got-0.8754) > 1e-12 {
+		t.Errorf("Pr_FC(abc) = %v, want 0.8754", got)
+	}
+	// {a} always co-occurs with {a b c}: closed in no world.
+	if got := tab.Closed(itemset.FromInts(0)); got != 0 {
+		t.Errorf("Pr_C(a) = %v, want 0", got)
+	}
+	// Pr_F(abcd) = Pr[≥2 of T1,T4] = 0.9·0.9.
+	if got := tab.Freq(abcd); math.Abs(got-0.81) > 1e-12 {
+		t.Errorf("Pr_F(abcd) = %v, want 0.81", got)
+	}
+	// The result set at pfct 0.8 is exactly {abc, abcd} (Example 1.2).
+	fc := tab.FrequentClosed(0.8)
+	if len(fc) != 2 || !itemset.Equal(fc[0].Items, abc) || !itemset.Equal(fc[1].Items, abcd) {
+		t.Errorf("FrequentClosed(0.8) = %v, want [{a b c} {a b c d}]", fc)
+	}
+}
+
+// TestAllProbsMatchesPerItemsetOracles cross-checks the one-pass table
+// against the per-itemset enumeration functions on random small databases.
+func TestAllProbsMatchesPerItemsetOracles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(6) + 1
+		maxItems := rng.Intn(4) + 2
+		trans := make([]uncertain.Transaction, 0, n)
+		for i := 0; i < n; i++ {
+			var items []itemset.Item
+			for j := 0; j < maxItems; j++ {
+				if rng.Float64() < 0.6 {
+					items = append(items, itemset.Item(j))
+				}
+			}
+			if len(items) == 0 {
+				items = []itemset.Item{itemset.Item(rng.Intn(maxItems))}
+			}
+			trans = append(trans, uncertain.Transaction{
+				Items: itemset.New(items...),
+				Prob:  rng.Float64()*0.99 + 0.01,
+			})
+		}
+		db := uncertain.MustNewDB(trans)
+		minSup := rng.Intn(3) + 1
+		tab, err := AllProbs(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.ForEach(func(x itemset.Itemset, prF, prC, prFC float64) {
+			wantF, err := FreqProb(db, x, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantC, err := ClosedProb(db, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantFC, err := FreqClosedProb(db, x, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(prF-wantF) > 1e-12 || math.Abs(prC-wantC) > 1e-12 || math.Abs(prFC-wantFC) > 1e-12 {
+				t.Fatalf("trial %d itemset %v: table (F=%v C=%v FC=%v), per-itemset (F=%v C=%v FC=%v)",
+					trial, x, prF, prC, prFC, wantF, wantC, wantFC)
+			}
+		})
+		// The table's thresholded set matches MineExact digit for digit.
+		pfct := rng.Float64()*0.9 + 0.05
+		want, err := MineExact(db, minSup, pfct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tab.FrequentClosed(pfct)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: FrequentClosed(%v) has %d itemsets, MineExact %d", trial, pfct, len(got), len(want))
+		}
+		for i := range got {
+			if !itemset.Equal(got[i].Items, want[i].Items) || math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+				t.Fatalf("trial %d: FrequentClosed[%d] = %v (%v), MineExact %v (%v)",
+					trial, i, got[i].Items, got[i].Prob, want[i].Items, want[i].Prob)
+			}
+		}
+	}
+}
+
+// TestAllProbsLimits pins the guard rails.
+func TestAllProbsLimits(t *testing.T) {
+	db := uncertain.PaperExample()
+	if _, err := AllProbs(db, 0); err == nil {
+		t.Error("AllProbs with minSup 0 should fail")
+	}
+	var trans []uncertain.Transaction
+	for i := 0; i < MaxItems+1; i++ {
+		trans = append(trans, uncertain.Transaction{Items: itemset.FromInts(i), Prob: 0.5})
+	}
+	if len(trans) <= MaxTransactions {
+		if _, err := AllProbs(uncertain.MustNewDB(trans), 1); err == nil {
+			t.Error("AllProbs beyond MaxItems should fail")
+		}
+	}
+}
