@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"github.com/probdata/pfcim/internal/experiments"
@@ -35,8 +36,23 @@ func main() {
 		budget     = flag.Duration("budget", 60*time.Second, "per-point time budget; a series exceeding it skips its remaining points")
 		quick      = flag.Bool("quick", false, "trim every sweep to a few representative points")
 		benchJSON  = flag.String("bench-json", "", "run the benchmark suite and write the points to this JSON file, then exit")
+		benchLarge = flag.Bool("bench-large", false, "include the million-transaction quest-1m point in the benchmark suite")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := experiments.Config{
 		MushroomScale: *mushScale,
@@ -47,6 +63,7 @@ func main() {
 		Seed:          *seed,
 		Budget:        *budget,
 		Quick:         *quick,
+		BenchLarge:    *benchLarge,
 		Out:           os.Stdout,
 	}
 	suite := experiments.NewSuite(cfg)

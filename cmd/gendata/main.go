@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	gendata -kind mushroom|quest|example [-scale 0.1] [-mean 0.5] [-var 0.5]
-//	        [-seed 42] [-o data.txt]
+//	gendata -kind mushroom|quest|quest1m|example [-scale 0.1] [-mean 0.5]
+//	        [-var 0.5] [-seed 42] [-o data.txt]
 //
 // "mushroom" is the dense categorical Mushroom-like dataset, "quest" the
-// IBM-Quest T20I10D30KP40 synthetic dataset, and "example" the 4-tuple
-// running example of the paper's Table II.
+// IBM-Quest T20I10D30KP40 synthetic dataset, "quest1m" the sparse
+// million-transaction T10I4D1MP2K stress dataset, and "example" the
+// 4-tuple running example of the paper's Table II.
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "mushroom", "dataset: mushroom, quest, example")
+		kind     = flag.String("kind", "mushroom", "dataset: mushroom, quest, quest1m, example")
 		scale    = flag.Float64("scale", 0.1, "dataset scale (1 = paper size)")
 		mean     = flag.Float64("mean", 0.5, "Gaussian mean of tuple probabilities")
 		variance = flag.Float64("var", 0.5, "Gaussian variance of tuple probabilities")
@@ -37,6 +38,9 @@ func main() {
 		db = pfcim.AssignGaussian(data, *mean, *variance, *seed+1)
 	case "quest":
 		data := pfcim.GenerateQuest(pfcim.QuestT20I10D30KP40(*scale, *seed))
+		db = pfcim.AssignGaussian(data, *mean, *variance, *seed+1)
+	case "quest1m":
+		data := pfcim.GenerateQuest(pfcim.QuestT10I4D1MP2K(*scale, *seed))
 		db = pfcim.AssignGaussian(data, *mean, *variance, *seed+1)
 	case "example":
 		db = pfcim.PaperExample()

@@ -1,0 +1,70 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The kernels on the mining hot path must be allocation-free in steady
+// state: AndBatch into preallocated destinations, and AND+popcount in
+// every representation pairing. testing.AllocsPerRun asserts it directly,
+// mirroring the allocs/op regression guard in internal/experiments.
+
+func TestAndBatchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, k = 4096, 16
+	parent := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			parent.Set(i)
+		}
+	}
+	srcs := make([]*Bitset, k)
+	dsts := make([]*Bitset, k)
+	counts := make([]int, k)
+	for j := range srcs {
+		srcs[j] = New(n)
+		dsts[j] = New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				srcs[j].Set(i)
+			}
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		AndBatch(dsts, counts, parent, srcs)
+	}); allocs != 0 {
+		t.Errorf("AndBatch allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestAndCountAllocFreeAcrossForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 1 << 17
+	dx, sx := randSet(rng, n, 0.005)
+	dy, sy := randSet(rng, n, 0.005)
+	var sink int
+	cases := []struct {
+		name string
+		x, y *Bitset
+	}{
+		{"dense-dense", dx, dy},
+		{"sparse-sparse", sx, sy},
+		{"sparse-dense", sx, dy},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(100, func() {
+			sink = AndCount(c.x, c.y)
+		}); allocs != 0 {
+			t.Errorf("AndCount %s allocates %.1f objects per run, want 0", c.name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			if AndCountAtLeast(c.x, c.y, sink) {
+				sink++
+			}
+		}); allocs != 0 {
+			t.Errorf("AndCountAtLeast %s allocates %.1f objects per run, want 0", c.name, allocs)
+		}
+	}
+	_ = sink
+}

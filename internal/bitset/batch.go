@@ -1,0 +1,59 @@
+package bitset
+
+import "math/bits"
+
+// AndBatch intersects parent with every source, storing parent ∩ srcs[i]
+// into dsts[i] and |parent ∩ srcs[i]| into counts[i]. It is the batched
+// sibling-evaluation kernel (DESIGN §13): when all operands are dense the
+// intersections run as a column sweep — each parent word is loaded once and
+// ANDed against the corresponding word of every source — instead of one
+// full pass over the parent per sibling. Results are identical to
+// len(srcs) individual AndInto calls, including representation choice.
+//
+// dsts must not alias parent, the sources, or each other; all sets share
+// the parent's capacity. len(dsts) == len(counts) == len(srcs).
+func AndBatch(dsts []*Bitset, counts []int, parent *Bitset, srcs []*Bitset) {
+	if len(dsts) != len(srcs) || len(counts) != len(srcs) {
+		panic("bitset: AndBatch length mismatch")
+	}
+	sweep := !parent.sparse
+	if sweep {
+		for _, s := range srcs {
+			if s.sparse {
+				sweep = false
+				break
+			}
+		}
+	}
+	if !sweep {
+		// Sparse operands intersect in time linear in their id lists; a
+		// column sweep buys nothing there.
+		for i := range srcs {
+			counts[i] = AndInto(dsts[i], parent, srcs[i])
+		}
+		return
+	}
+	nw := len(parent.words)
+	for i, d := range dsts {
+		if d.n != parent.n || srcs[i].n != parent.n {
+			panic("bitset: AndBatch capacity mismatch")
+		}
+		d.ensureWords(nw)
+		d.sparse = false
+		counts[i] = 0
+	}
+	for wi := 0; wi < nw; wi++ {
+		pw := parent.words[wi]
+		if pw == 0 {
+			for _, d := range dsts {
+				d.words[wi] = 0
+			}
+			continue
+		}
+		for si, src := range srcs {
+			w := pw & src.words[wi]
+			dsts[si].words[wi] = w
+			counts[si] += bits.OnesCount64(w)
+		}
+	}
+}

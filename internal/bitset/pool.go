@@ -1,0 +1,62 @@
+package bitset
+
+// Pool is a slab allocator for same-capacity Bitsets — the miner's tidset
+// arena (DESIGN §13). Bitset structs and their dense word storage are
+// carved from slabs of poolSlabSets sets at a time, so a mining run
+// performs O(visited/64) tidset allocations instead of one per
+// intersection; returned sets go on a freelist and are handed out again
+// with undefined contents.
+//
+// Lifetime rules: Get returns a set whose contents are undefined — it is
+// valid only as a destination (AndInto, AndBatch, CopyFrom). Put parks a
+// set for reuse in any order; sets retained beyond the expansion that
+// produced them (memo entries, results) are simply never Put. A Pool is not
+// safe for concurrent use; each miner worker owns one.
+type Pool struct {
+	n      int
+	nwords int
+	free   []*Bitset
+	words  []uint64 // remainder of the current word slab
+	sets   []Bitset // remainder of the current struct slab
+}
+
+const poolSlabSets = 64
+
+// NewPool returns a pool of dense-capable Bitsets of capacity n bits.
+func NewPool(n int) *Pool {
+	if n < 0 {
+		panic("bitset: negative pool size")
+	}
+	return &Pool{n: n, nwords: (n + wordBits - 1) / wordBits}
+}
+
+// Get returns a Bitset of the pool's capacity with undefined contents.
+func (p *Pool) Get() *Bitset {
+	if k := len(p.free); k > 0 {
+		b := p.free[k-1]
+		p.free = p.free[:k-1]
+		return b
+	}
+	if len(p.sets) == 0 {
+		p.sets = make([]Bitset, poolSlabSets)
+	}
+	b := &p.sets[0]
+	p.sets = p.sets[1:]
+	if len(p.words) < p.nwords {
+		p.words = make([]uint64, p.nwords*poolSlabSets)
+	}
+	b.words = p.words[:p.nwords:p.nwords]
+	p.words = p.words[p.nwords:]
+	b.n = p.n
+	return b
+}
+
+// Put parks b for reuse. Sets of a different capacity (or nil) are dropped
+// rather than pooled, so callers may hand back any tidset they own without
+// tracking provenance.
+func (p *Pool) Put(b *Bitset) {
+	if b == nil || b.n != p.n {
+		return
+	}
+	p.free = append(p.free, b)
+}

@@ -1,0 +1,459 @@
+package bitset
+
+// Sparse-container operations (DESIGN §13). The sparse form stores member
+// ids as a sorted []uint32 — profitable below one member per 64-bit word.
+// Every routine here must produce results logically identical to the dense
+// code path, and when a routine computes floats downstream (it never does
+// directly, but iteration order feeds probability products), iteration is
+// strictly ascending, matching dense word order.
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// NewSparse returns a sparse Bitset of capacity n whose members are ids,
+// taking ownership of the slice. The ids must be strictly ascending and in
+// [0, n).
+func NewSparse(n int, ids []uint32) *Bitset {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	for i, id := range ids {
+		if int(id) >= n || (i > 0 && ids[i-1] >= id) {
+			panic("bitset: NewSparse ids must be strictly ascending and in [0, n)")
+		}
+	}
+	return &Bitset{ids: ids, n: n, sparse: true}
+}
+
+// IsSparse reports which representation is live.
+func (b *Bitset) IsSparse() bool { return b.sparse }
+
+// ShouldCompact reports whether a tidset with the given population count
+// benefits from the sparse form: fewer members than dense words (so the
+// id array is at most half the dense footprint and linear scans touch
+// less memory), on a capacity large enough for the difference to matter.
+func ShouldCompact(count, n int) bool {
+	return n >= 1024 && count < n/wordBits
+}
+
+// Compacted returns a copy of b in sparse form.
+func (b *Bitset) Compacted() *Bitset {
+	ids := make([]uint32, 0, b.Count())
+	b.ForEach(func(i int) bool {
+		ids = append(ids, uint32(i))
+		return true
+	})
+	return &Bitset{ids: ids, n: b.n, sparse: true}
+}
+
+// Materialized returns a copy of b in dense form.
+func (b *Bitset) Materialized() *Bitset {
+	dst := New(b.n)
+	b.writeWordsTo(dst.words)
+	return dst
+}
+
+// writeWordsTo renders b's contents into the given dense word slice (which
+// must be ceil(n/64) long).
+func (b *Bitset) writeWordsTo(words []uint64) {
+	if !b.sparse {
+		copy(words, b.words)
+		return
+	}
+	for i := range words {
+		words[i] = 0
+	}
+	for _, id := range b.ids {
+		words[id/wordBits] |= 1 << (id % wordBits)
+	}
+}
+
+func (b *Bitset) sparseTest(id uint32) bool {
+	i := sort.Search(len(b.ids), func(j int) bool { return b.ids[j] >= id })
+	return i < len(b.ids) && b.ids[i] == id
+}
+
+func (b *Bitset) sparseSet(id uint32) {
+	i := sort.Search(len(b.ids), func(j int) bool { return b.ids[j] >= id })
+	if i < len(b.ids) && b.ids[i] == id {
+		return
+	}
+	b.ids = append(b.ids, 0)
+	copy(b.ids[i+1:], b.ids[i:])
+	b.ids[i] = id
+}
+
+func (b *Bitset) sparseClear(id uint32) {
+	i := sort.Search(len(b.ids), func(j int) bool { return b.ids[j] >= id })
+	if i < len(b.ids) && b.ids[i] == id {
+		b.ids = append(b.ids[:i], b.ids[i+1:]...)
+	}
+}
+
+// resultIDs prepares the id slice an intersection-style op writes into.
+// When dst's id storage aliases one of the operands the in-place write is
+// safe (the write index never overtakes the read indexes), and the aliased
+// slice is always big enough; otherwise reuse dst's capacity or grow.
+func (dst *Bitset) resultIDs(need int, a, b []uint32) []uint32 {
+	res := dst.ids
+	if aliasIDs(res, a) || aliasIDs(res, b) {
+		return res[:cap(res)]
+	}
+	if cap(res) < need {
+		return make([]uint32, need)
+	}
+	return res[:cap(res)]
+}
+
+func aliasIDs(x, y []uint32) bool {
+	return cap(x) > 0 && cap(y) > 0 && &x[:cap(x)][0] == &y[:cap(y)][0]
+}
+
+// andIntoSparse handles AndInto when at least one operand is sparse. The
+// result is sparse: it is contained in the sparse operand, so it is at
+// least as compressible.
+func andIntoSparse(dst, x, y *Bitset) int {
+	switch {
+	case x.sparse && y.sparse:
+		return andSS(dst, x.ids, y.ids)
+	case x.sparse:
+		return andSD(dst, x.ids, y.words)
+	default:
+		return andSD(dst, y.ids, x.words)
+	}
+}
+
+// andSS intersects two sorted id slices into dst.
+func andSS(dst *Bitset, a, b []uint32) int {
+	need := len(a)
+	if len(b) < need {
+		need = len(b)
+	}
+	res := dst.resultIDs(need, a, b)
+	i, j, out := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		ai, bj := a[i], b[j]
+		switch {
+		case ai == bj:
+			res[out] = ai
+			out++
+			i++
+			j++
+		case ai < bj:
+			i++
+		default:
+			j++
+		}
+	}
+	dst.ids = res[:out]
+	dst.sparse = true
+	return out
+}
+
+// andSD filters a sorted id slice by a dense word array into dst.
+func andSD(dst *Bitset, ids []uint32, words []uint64) int {
+	res := dst.resultIDs(len(ids), ids, nil)
+	out := 0
+	for _, id := range ids {
+		if words[id/wordBits]&(1<<(id%wordBits)) != 0 {
+			res[out] = id
+			out++
+		}
+	}
+	dst.ids = res[:out]
+	dst.sparse = true
+	return out
+}
+
+func andCountSparse(x, y *Bitset) int {
+	switch {
+	case x.sparse && y.sparse:
+		a, b := x.ids, y.ids
+		i, j, c := 0, 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] == b[j]:
+				c++
+				i++
+				j++
+			case a[i] < b[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		return c
+	case x.sparse:
+		return countSD(x.ids, y.words)
+	default:
+		return countSD(y.ids, x.words)
+	}
+}
+
+func countSD(ids []uint32, words []uint64) int {
+	c := 0
+	for _, id := range ids {
+		if words[id/wordBits]&(1<<(id%wordBits)) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+func andCountAtLeastSparse(x, y *Bitset, k int) bool {
+	switch {
+	case x.sparse && y.sparse:
+		a, b := x.ids, y.ids
+		i, j, c := 0, 0, 0
+		for i < len(a) && j < len(b) {
+			rem := len(a) - i
+			if r2 := len(b) - j; r2 < rem {
+				rem = r2
+			}
+			if c+rem < k {
+				return false
+			}
+			switch {
+			case a[i] == b[j]:
+				c++
+				if c >= k {
+					return true
+				}
+				i++
+				j++
+			case a[i] < b[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		return false
+	case x.sparse:
+		return countAtLeastSD(x.ids, y.words, k)
+	default:
+		return countAtLeastSD(y.ids, x.words, k)
+	}
+}
+
+func countAtLeastSD(ids []uint32, words []uint64, k int) bool {
+	c := 0
+	for i, id := range ids {
+		if c+(len(ids)-i) < k {
+			return false
+		}
+		if words[id/wordBits]&(1<<(id%wordBits)) != 0 {
+			c++
+			if c >= k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func andNotSparse(x, y *Bitset) *Bitset {
+	if x.sparse {
+		ids := make([]uint32, 0, len(x.ids))
+		if y.sparse {
+			i, j := 0, 0
+			for i < len(x.ids) {
+				for j < len(y.ids) && y.ids[j] < x.ids[i] {
+					j++
+				}
+				if j >= len(y.ids) || y.ids[j] != x.ids[i] {
+					ids = append(ids, x.ids[i])
+				}
+				i++
+			}
+		} else {
+			for _, id := range x.ids {
+				if y.words[id/wordBits]&(1<<(id%wordBits)) == 0 {
+					ids = append(ids, id)
+				}
+			}
+		}
+		return &Bitset{ids: ids, n: x.n, sparse: true}
+	}
+	// x dense, y sparse: copy x and clear y's members.
+	dst := New(x.n)
+	copy(dst.words, x.words)
+	for _, id := range y.ids {
+		dst.words[id/wordBits] &^= 1 << (id % wordBits)
+	}
+	return dst
+}
+
+func isSubsetSparse(x, y *Bitset) bool {
+	if x.sparse {
+		if y.sparse {
+			i, j := 0, 0
+			for i < len(x.ids) {
+				for j < len(y.ids) && y.ids[j] < x.ids[i] {
+					j++
+				}
+				if j >= len(y.ids) || y.ids[j] != x.ids[i] {
+					return false
+				}
+				i++
+				j++
+			}
+			return true
+		}
+		for _, id := range x.ids {
+			if y.words[id/wordBits]&(1<<(id%wordBits)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	// x dense, y sparse: every set word of x must be covered by y's ids.
+	cur := wordCursor{ids: y.ids}
+	for wi, w := range x.words {
+		if w == 0 {
+			continue
+		}
+		if w&^cur.wordAt(wi) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func equalSparse(x, y *Bitset) bool {
+	if x.sparse && y.sparse {
+		if len(x.ids) != len(y.ids) {
+			return false
+		}
+		for i, id := range x.ids {
+			if y.ids[i] != id {
+				return false
+			}
+		}
+		return true
+	}
+	s, d := x, y
+	if !s.sparse {
+		s, d = y, x
+	}
+	cur := wordCursor{ids: s.ids}
+	for wi, w := range d.words {
+		if w != cur.wordAt(wi) {
+			return false
+		}
+	}
+	return true
+}
+
+// wordCursor renders a sorted id slice as dense words on demand. wordAt
+// must be called with non-decreasing word indices; it consumes ids as it
+// advances.
+type wordCursor struct {
+	ids []uint32
+	pos int
+}
+
+func (c *wordCursor) wordAt(wi int) uint64 {
+	for c.pos < len(c.ids) && int(c.ids[c.pos]/wordBits) < wi {
+		c.pos++
+	}
+	var w uint64
+	for c.pos < len(c.ids) && int(c.ids[c.pos]/wordBits) == wi {
+		w |= 1 << (c.ids[c.pos] % wordBits)
+		c.pos++
+	}
+	return w
+}
+
+// sparseHash replays the dense FNV-1a word stream without materializing it:
+// a run of z zero words multiplies the digest by prime^z (since
+// (h ^ 0)·prime = h·prime), computed by binary exponentiation.
+func (b *Bitset) sparseHash() uint64 {
+	h := uint64(fnvOffset64)
+	nw := (b.n + wordBits - 1) / wordBits
+	next := 0 // next dense word index to account for
+	i := 0
+	for i < len(b.ids) {
+		wi := int(b.ids[i] / wordBits)
+		h = hashZeroRun(h, wi-next)
+		var w uint64
+		for i < len(b.ids) && int(b.ids[i]/wordBits) == wi {
+			w |= 1 << (b.ids[i] % wordBits)
+			i++
+		}
+		h = (h ^ w) * fnvPrime64
+		next = wi + 1
+	}
+	return hashZeroRun(h, nw-next)
+}
+
+func hashZeroRun(h uint64, run int) uint64 {
+	p := uint64(fnvPrime64)
+	for e := uint(run); e > 0; e >>= 1 {
+		if e&1 == 1 {
+			h *= p
+		}
+		p *= p
+	}
+	return h
+}
+
+// ForEachDiff calls fn for every bit of x \ y in ascending order without
+// materializing the difference — the allocation-free replacement for
+// AndNot(x, y).ForEach(...) on the evaluation hot path. Iteration stops
+// early if fn returns false.
+func ForEachDiff(x, y *Bitset, fn func(i int) bool) {
+	if x.n != y.n {
+		panic("bitset: ForEachDiff capacity mismatch")
+	}
+	if x.sparse {
+		if y.sparse {
+			j := 0
+			for _, id := range x.ids {
+				for j < len(y.ids) && y.ids[j] < id {
+					j++
+				}
+				if j < len(y.ids) && y.ids[j] == id {
+					continue
+				}
+				if !fn(int(id)) {
+					return
+				}
+			}
+			return
+		}
+		for _, id := range x.ids {
+			if y.words[id/wordBits]&(1<<(id%wordBits)) == 0 {
+				if !fn(int(id)) {
+					return
+				}
+			}
+		}
+		return
+	}
+	if y.sparse {
+		cur := wordCursor{ids: y.ids}
+		for wi, w := range x.words {
+			w &^= cur.wordAt(wi)
+			for w != 0 {
+				tz := bits.TrailingZeros64(w)
+				if !fn(wi*wordBits + tz) {
+					return
+				}
+				w &= w - 1
+			}
+		}
+		return
+	}
+	for wi, w := range x.words {
+		w &^= y.words[wi]
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

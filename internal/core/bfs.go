@@ -54,10 +54,34 @@ func (m *miner) mineBFS() error {
 			// checking-cascade spans itself).
 			nodeStart := m.rec.Now()
 			exts := m.extBuf(depth)
-			for pos := node.pos + 1; pos < len(m.cands); pos++ {
+			// Sibling intersections run through the batched column-sweep
+			// kernel, chunked exactly like the DFS extension loop. BFS has
+			// no early break (no subset pruning), so every batch buffer is
+			// consumed.
+			startPos := node.pos + 1
+			nc := len(m.cands) - startPos
+			var dsts, srcs []*bitset.Bitset
+			var counts []int
+			if nc > 0 {
+				dsts, srcs, counts = m.batchBufs(depth, nc)
+			}
+			batched := 0
+			for pos := startPos; pos < len(m.cands); pos++ {
+				i := pos - startPos
+				if i >= batched {
+					hi := batched + batchChunk
+					if hi > nc {
+						hi = nc
+					}
+					for j := batched; j < hi; j++ {
+						srcs[j] = m.cands[startPos+j].tids
+						dsts[j] = m.getBuf()
+					}
+					bitset.AndBatch(dsts[batched:hi], counts[batched:hi], node.tids, srcs[batched:hi])
+					batched = hi
+				}
 				c := m.cands[pos]
-				buf := m.getBuf()
-				cc := bitset.AndInto(buf, node.tids, c.tids)
+				buf, cc := dsts[i], counts[i]
 				if cc < m.opts.MinSup {
 					m.putBuf(buf)
 					exts = append(exts, extension{item: c.item, cnt: cc})

@@ -2,13 +2,14 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"math/bits"
 	"sort"
 
 	"github.com/probdata/pfcim/internal/bitset"
 	"github.com/probdata/pfcim/internal/dnf"
 	"github.com/probdata/pfcim/internal/itemset"
 	"github.com/probdata/pfcim/internal/obs"
+	"github.com/probdata/pfcim/internal/poibin"
 )
 
 // evaluation is the verdict on one candidate itemset.
@@ -24,8 +25,27 @@ type clause struct {
 	item  itemset.Item
 	b     *bitset.Bitset // tidset of X + e_i (within tids of X)
 	prob  float64        // Pr(C_i)
-	owned bool           // b came from the freelist and must return there;
+	owned bool           // b came from the arena and must return there;
 	// borrowed clauses point into the caller's extension records
+}
+
+// clauseSorter orders clauses by descending probability. It is sorted
+// through a pointer receiver held on the miner so sort.Sort boxes a plain
+// pointer instead of copying a slice header to the heap per evaluation.
+type clauseSorter []clause
+
+func (s *clauseSorter) Len() int           { return len(*s) }
+func (s *clauseSorter) Less(i, j int) bool { return (*s)[i].prob > (*s)[j].prob }
+func (s *clauseSorter) Swap(i, j int)      { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
+
+// sortClauses sorts clauses in place by descending probability — the order
+// the pairwise bound budget and the Karp–Luby min-index check rely on.
+// evaluate and the Evaluator's profile construction must use the same
+// routine: bit-identity of the replay depends on equal-probability clauses
+// tieing the same way.
+func (m *miner) sortClauses(clauses []clause) {
+	m.clauseSort = clauses
+	sort.Sort(&m.clauseSort)
 }
 
 // evaluate decides whether X (with tidset tids, |tids| = count and exact
@@ -70,7 +90,7 @@ func (m *miner) evaluate(x itemset.Itemset, tids *bitset.Bitset, count int, prF 
 	// Sort by descending clause probability so that the pairwise bound
 	// budget and the Karp–Luby min-index check concentrate on the clauses
 	// that matter.
-	sort.Slice(clauses, func(i, j int) bool { return clauses[i].prob > clauses[j].prob })
+	m.sortClauses(clauses)
 
 	sys, probs, err := m.clauseSystem(tids, clauses)
 	if err != nil {
@@ -163,7 +183,7 @@ func (m *miner) exactUnion(sys *dnf.System, depth int) (float64, error) {
 
 // sampleUnion estimates the union with the Karp–Luby FPRAS at the
 // (ε, δ)-derived sample size for nClauses clauses.
-func (m *miner) sampleUnion(sys *dnf.System, rng *rand.Rand, probs []float64, nClauses, depth int) (float64, error) {
+func (m *miner) sampleUnion(sys *dnf.System, rng *poibin.SM64, probs []float64, nClauses, depth int) (float64, error) {
 	n := dnf.SampleSize(nClauses, m.opts.Epsilon, m.opts.Delta)
 	return m.karpLuby(sys, rng, probs, n, depth)
 }
@@ -171,7 +191,7 @@ func (m *miner) sampleUnion(sys *dnf.System, rng *rand.Rand, probs []float64, nC
 // karpLuby runs the sampler for exactly n draws under a sampling span; the
 // standalone EstimateFCP entry point calls it directly with its own sample
 // size.
-func (m *miner) karpLuby(sys *dnf.System, rng *rand.Rand, probs []float64, n, depth int) (float64, error) {
+func (m *miner) karpLuby(sys *dnf.System, rng *poibin.SM64, probs []float64, n, depth int) (float64, error) {
 	t := m.rec.Now()
 	union, err := sys.KarpLuby(rng, probs, n)
 	m.rec.Span(obs.PhaseSample, depth, t)
@@ -228,15 +248,51 @@ func (m *miner) decideByBounds(prF, unionLower, unionUpper, pfct float64) (evalu
 // the enumeration never probed — candidate positions below startPos and
 // non-candidate items — pay for an intersection and a Poisson-binomial
 // tail here.
+// clauseChunk is how many uncovered items are intersected per AndBatch
+// call inside buildClauses. Lazy chunking bounds the intersections wasted
+// when an early item proves the candidate dead.
+const clauseChunk = 32
+
 func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int, exts []extension) (clauses []clause, slack float64, dead bool) {
+	// The clause records live in a per-miner scratch slice; evaluate is
+	// never reentered on one miner, and callers that outlive the next
+	// evaluation (the Evaluator's profiles) clone what they retain.
+	clauses = m.clausesBuf[:0]
+
+	// Collect the items with no extension record up front, so their
+	// intersections can run through the batched sibling kernel; the main
+	// loop below still examines every item in ascending order, consuming
+	// batch results as it reaches them.
+	uncov := m.uncovBuf[:0]
+	j := 0
+	for _, e := range m.allItems {
+		for j < len(exts) && exts[j].item < e {
+			j++
+		}
+		if j < len(exts) && exts[j].item == e {
+			j++
+			continue
+		}
+		if !x.Contains(e) {
+			uncov = append(uncov, e)
+		}
+	}
+	m.uncovBuf = uncov
+	dsts, srcs, ucounts := m.uncovBufs(len(uncov))
+	ui, batched := 0, 0
+
 	release := func() {
 		for _, c := range clauses {
 			if c.owned {
 				m.putBuf(c.b)
 			}
 		}
+		for i := ui; i < batched; i++ {
+			m.putBuf(dsts[i])
+		}
+		m.clausesBuf = clauses[:0]
 	}
-	j := 0
+	j = 0
 	for _, e := range m.allItems {
 		for j < len(exts) && exts[j].item < e {
 			j++
@@ -276,8 +332,20 @@ func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int, 
 		if x.Contains(e) {
 			continue
 		}
-		b := m.getBuf()
-		bc := bitset.AndInto(b, tids, m.itemTids[e])
+		if ui >= batched {
+			hi := batched + clauseChunk
+			if hi > len(uncov) {
+				hi = len(uncov)
+			}
+			for i := batched; i < hi; i++ {
+				srcs[i] = m.itemTids[uncov[i]]
+				dsts[i] = m.getBuf()
+			}
+			bitset.AndBatch(dsts[batched:hi], ucounts[batched:hi], tids, srcs[batched:hi])
+			batched = hi
+		}
+		b, bc := dsts[ui], ucounts[ui]
+		ui++
 		if bc == count {
 			// tids(X) ⊆ tids(e): X and X+e always appear together. Release
 			// everything collected so far; the caller sees dead = true.
@@ -305,7 +373,19 @@ func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int, 
 		}
 		clauses = append(clauses, clause{item: e, b: b, prob: p, owned: true})
 	}
+	m.clausesBuf = clauses
 	return clauses, slack, false
+}
+
+// uncovBufs returns the uncovered-item batch buffers with room for nc
+// intersections.
+func (m *miner) uncovBufs(nc int) (dsts, srcs []*bitset.Bitset, counts []int) {
+	if cap(m.ubDsts) < nc {
+		m.ubDsts = make([]*bitset.Bitset, nc)
+		m.ubSrcs = make([]*bitset.Bitset, nc)
+		m.ubCounts = make([]int, nc)
+	}
+	return m.ubDsts[:nc], m.ubSrcs[:nc], m.ubCounts[:nc]
 }
 
 // absentFactor returns Pr(C_e)'s tuple-absence product
@@ -313,10 +393,7 @@ func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int, 
 // zeroClauseEps (the clause is then dropped and accounted as slack).
 func (m *miner) absentFactor(tids, b *bitset.Bitset) (absent float64, negligible bool) {
 	absent = 1.0
-	tids.ForEach(func(tid int) bool {
-		if b.Test(tid) {
-			return true
-		}
+	bitset.ForEachDiff(tids, b, func(tid int) bool {
 		absent *= 1 - m.probs[tid]
 		if absent < zeroClauseEps {
 			negligible = true
@@ -327,9 +404,30 @@ func (m *miner) absentFactor(tids, b *bitset.Bitset) (absent float64, negligible
 	return absent, negligible
 }
 
-// clauseSystem wraps the kept clauses in a dnf.System plus the probability
-// vector aligned with it.
+// clauseSystem wraps the kept clauses in the miner's reusable dnf.System
+// plus the probability vector aligned with it. The system, the clause
+// slice, and the probability vector are scratch — valid until the next
+// clauseSystem call on this miner; callers that retain them (the
+// Evaluator's profiles, the FCP helpers) use clauseSystemOwned. The
+// subset validation of dnf.NewSystem is skipped: every clause tidset here
+// is an AndInto/AndBatch intersection with tids, a subset by construction.
 func (m *miner) clauseSystem(tids *bitset.Bitset, clauses []clause) (*dnf.System, []float64, error) {
+	bs := m.sysBs[:0]
+	probs := m.sysProbs[:0]
+	for _, c := range clauses {
+		bs = append(bs, c.b)
+		probs = append(probs, c.prob)
+	}
+	m.sysBs, m.sysProbs = bs, probs
+	m.sysBuf.Reuse(tids, m.probs, m.opts.MinSup, bs)
+	m.sysBuf.TailFn = m.dnfTailFn()
+	return &m.sysBuf, probs, nil
+}
+
+// clauseSystemOwned is clauseSystem with caller-owned storage and the full
+// dnf.NewSystem validation, for callers whose clause system outlives the
+// next evaluation.
+func (m *miner) clauseSystemOwned(tids *bitset.Bitset, clauses []clause) (*dnf.System, []float64, error) {
 	bs := make([]*bitset.Bitset, len(clauses))
 	probs := make([]float64, len(clauses))
 	for i, c := range clauses {
@@ -340,6 +438,7 @@ func (m *miner) clauseSystem(tids *bitset.Bitset, clauses []clause) (*dnf.System
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: building clause system: %w", err)
 	}
+	sys.TailFn = m.dnfTailFn()
 	return sys, probs, nil
 }
 
@@ -353,8 +452,11 @@ func (m *miner) pairwiseBounds(sys *dnf.System, probs []float64, slack float64) 
 	if k > m.opts.MaxPairClauses {
 		k = m.opts.MaxPairClauses
 	}
-	sub := &dnf.System{Base: sys.Base, Probs: sys.Probs, MinSup: sys.MinSup, Clauses: sys.Clauses[:k]}
-	sums := sub.ComputeSums()
+	// The top-k prefix view lives in a second reusable System so its
+	// intersection and probability scratch persists across evaluations.
+	m.subBuf.Reuse(sys.Base, sys.Probs, sys.MinSup, sys.Clauses[:k])
+	m.subBuf.TailFn = sys.TailFn
+	sums := m.subBuf.ComputeSumsReuse()
 	m.stats.ClauseEvaluated += k * (k - 1) / 2
 	lo, hi = dnf.UnionBounds(sums)
 	rest := slack
@@ -374,6 +476,22 @@ func (m *miner) pairwiseBounds(sys *dnf.System, probs []float64, slack float64) 
 // probsOf again, so one buffer per miner suffices.
 func (m *miner) probsOf(b *bitset.Bitset) []float64 {
 	m.probsBuf = m.probsBuf[:0]
+	// Gather over the dense words directly: this runs once per tail
+	// evaluation and per clause build, and the per-bit closure call of
+	// ForEach is measurable there.
+	if words := b.DenseWords(); words != nil {
+		buf := m.probsBuf
+		probs := m.probs
+		for wi, w := range words {
+			base := wi * 64
+			for w != 0 {
+				buf = append(buf, probs[base+bits.TrailingZeros64(w)])
+				w &= w - 1
+			}
+		}
+		m.probsBuf = buf
+		return buf
+	}
 	b.ForEach(func(tid int) bool {
 		m.probsBuf = append(m.probsBuf, m.probs[tid])
 		return true

@@ -3,7 +3,7 @@ package core
 // Evaluator is the per-candidate re-evaluation hook the sweep engine
 // (internal/sweep) is built on: it decides "is X a probabilistic frequent
 // closed itemset at threshold pfct?" for caller-chosen itemsets and
-// thresholds, reusing the dataset index, the bitset freelist, and the
+// thresholds, reusing the dataset index, the bitset arena, and the
 // Poisson-binomial tail memo of the miner it wraps.
 //
 // The replay is sound and byte-identical because every quantity the
@@ -23,7 +23,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"github.com/probdata/pfcim/internal/dnf"
 	"github.com/probdata/pfcim/internal/itemset"
@@ -82,7 +81,7 @@ func NewEvaluator(db *uncertain.DB, opts Options) (*Evaluator, error) {
 		db:       db,
 		probs:    db.Probs(),
 		allItems: idx.Items,
-		itemTids: idx.Tidsets,
+		itemTids: tidsetsFor(idx, opts.Tidsets),
 		rec:      opts.Tracer.Recorder(0),
 	}
 	return &Evaluator{m: m, idx: idx, profiles: make(map[string]*evalProfile)}, nil
@@ -90,7 +89,7 @@ func NewEvaluator(db *uncertain.DB, opts Options) (*Evaluator, error) {
 
 // MineEvaluated is MineContext plus the per-candidate re-evaluation hook:
 // the returned Evaluator wraps the finished run's miner, so follow-up
-// Evaluate calls reuse its index, freelist, and tail memo. This is the
+// Evaluate calls reuse its index, arena, and tail memo. This is the
 // entry point the sweep engine uses — one full enumeration at the loosest
 // threshold, then per-candidate replay at the tighter ones.
 func MineEvaluated(ctx context.Context, db *uncertain.DB, opts Options) (*Result, *Evaluator, error) {
@@ -212,11 +211,15 @@ func (e *Evaluator) profile(x itemset.Itemset) (*evalProfile, error) {
 		p.noClauses = true
 		return p, nil
 	}
+	// buildClauses returns the miner's scratch slice; the profile outlives
+	// the next evaluation, so it keeps its own copy. (The clause tidsets
+	// themselves are arena sets the profile owns until ensureUnion.)
+	clauses = append([]clause(nil), clauses...)
 	// Mirror evaluate: sort by descending clause probability, then compute
 	// the free first-order bounds in sorted order (the summation order
 	// matters for bit-identity with a direct run).
-	sort.Slice(clauses, func(i, j int) bool { return clauses[i].prob > clauses[j].prob })
-	sys, probs, err := m.clauseSystem(tids, clauses)
+	m.sortClauses(clauses)
+	sys, probs, err := m.clauseSystemOwned(tids, clauses)
 	if err != nil {
 		delete(e.profiles, key)
 		return nil, err
@@ -251,7 +254,7 @@ func (e *Evaluator) ensurePairwise(p *evalProfile) {
 // ensureUnion resolves the extension-event union once per profile — exact
 // inclusion–exclusion for small clause systems, the Karp–Luby ApproxFCP
 // estimator otherwise, with the node's deterministic sampler seed — then
-// releases the clause bitsets back to the miner's freelist.
+// releases the clause bitsets back to the miner arena.
 func (e *Evaluator) ensureUnion(p *evalProfile) error {
 	if p.unionDone {
 		return nil

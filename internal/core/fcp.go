@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math/rand"
-
 	"github.com/probdata/pfcim/internal/dnf"
 	"github.com/probdata/pfcim/internal/itemset"
 	"github.com/probdata/pfcim/internal/poibin"
@@ -55,7 +53,7 @@ func newFCPContext(db *uncertain.DB, x itemset.Itemset, minSup int) (*fcpContext
 	if dead || len(clauses) == 0 {
 		return ctx, nil
 	}
-	sys, probs, err := m.clauseSystem(tids, clauses)
+	sys, probs, err := m.clauseSystemOwned(tids, clauses)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +110,10 @@ func EstimateFCP(db *uncertain.DB, x itemset.Itemset, minSup int, eps, delta flo
 		return clamp01(ctx.prF - ctx.slack/2), nil
 	}
 	n := dnf.SampleSize(len(ctx.probs), eps, delta)
-	union, err := ctx.m.karpLuby(ctx.system, rand.New(rand.NewSource(seed)), ctx.probs, n, len(x))
+	// The estimator's stream is the same splitmix64 generator the miner
+	// uses per node, seeded directly from the caller's seed; the estimate
+	// is ε/δ-bounded regardless of which uniform stream drives it.
+	union, err := ctx.m.karpLuby(ctx.system, poibin.NewSM64(splitmix64(uint64(seed))), ctx.probs, n, len(x))
 	if err != nil {
 		return 0, err
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/dnf"
 	"github.com/probdata/pfcim/internal/itemset"
 	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/poibin"
@@ -33,13 +34,38 @@ type miner struct {
 	rec *obs.Recorder
 
 	// Reusable scratch, one owner per miner (parallel sub-miners get their
-	// own): freeBufs is a freelist of tidset-sized bitsets, extBufs[d] backs
-	// the extension records of the node at recursion depth d, and probsBuf
-	// backs probsOf. All are safe because tidsets are never mutated once
-	// built and every probsOf result is consumed before the next call.
+	// own): pool is the slab arena all intermediate tidsets come from,
+	// extBufs[d] backs the extension records and sibling-batch buffers of
+	// the node at recursion depth d, pathBufs[d] backs the child itemset of
+	// the inline recursion at depth d, and probsBuf backs probsOf. All are
+	// safe because tidsets are never mutated once built and every probsOf
+	// result is consumed before the next call.
 	probsBuf []float64
-	freeBufs []*bitset.Bitset
-	extBufs  [][]extension
+	pool     *bitset.Pool
+	extBufs  []nodeScratch
+	pathBufs []itemset.Itemset
+
+	// tail is the reusable Poisson-binomial kernel scratch (DP vector and
+	// convolution-tree buffers); tailFn is the lazily bound tailForDNF
+	// method value injected into clause systems.
+	tail   poibin.Scratch
+	tailFn func(b *bitset.Bitset, probs []float64) float64
+
+	// Checking-cascade scratch (see evaluate.go): the clause records of the
+	// node under evaluation, the sorter view over them, the uncovered-item
+	// worklist with its batch buffers, and the reusable clause systems.
+	// evaluate is never reentered on one miner, so a single set suffices;
+	// the Evaluator's profiles clone what they retain.
+	clausesBuf []clause
+	clauseSort clauseSorter
+	uncovBuf   []itemset.Item
+	ubDsts     []*bitset.Bitset
+	ubSrcs     []*bitset.Bitset
+	ubCounts   []int
+	sysBs      []*bitset.Bitset
+	sysProbs   []float64
+	sysBuf     dnf.System
+	subBuf     dnf.System
 
 	// tailMemo caches exact Poisson-binomial tails by tidset content: dense
 	// data makes distinct enumeration nodes produce identical intersections
@@ -74,7 +100,7 @@ func (m *miner) tailOf(b *bitset.Bitset, probs []float64) float64 {
 			probs = m.probsOf(b)
 		}
 		m.stats.TailEvaluations++
-		return poibin.Tail(probs, m.opts.MinSup)
+		return m.tail.TailKernel(probs, m.opts.MinSup, m.opts.TailKernel)
 	}
 	h := b.Hash()
 	for _, e := range m.tailMemo[h] {
@@ -87,42 +113,97 @@ func (m *miner) tailOf(b *bitset.Bitset, probs []float64) float64 {
 		probs = m.probsOf(b)
 	}
 	m.stats.TailEvaluations++
-	prF := poibin.Tail(probs, m.opts.MinSup)
+	prF := m.tail.TailKernel(probs, m.opts.MinSup, m.opts.TailKernel)
 	if m.opts.TailMemoEntries > 0 && m.tailMemoSize < m.opts.TailMemoEntries {
 		if m.tailMemo == nil {
 			m.tailMemo = make(map[uint64][]tailEntry)
 		}
-		m.tailMemo[h] = append(m.tailMemo[h], tailEntry{tids: b.Clone(), prF: prF})
+		cl := m.getBuf()
+		cl.CopyFrom(b)
+		m.tailMemo[h] = append(m.tailMemo[h], tailEntry{tids: cl, prF: prF})
 		m.tailMemoSize++
 	}
 	return prF
 }
 
-// getBuf returns a tidset-sized scratch bitset from the miner's freelist.
-func (m *miner) getBuf() *bitset.Bitset {
-	if n := len(m.freeBufs); n > 0 {
-		b := m.freeBufs[n-1]
-		m.freeBufs = m.freeBufs[:n-1]
-		return b
+// tailForDNF is the tail evaluator injected into clause systems
+// (dnf.System.TailFn): it serves a clause tail from the memo when the
+// identical tidset was already evaluated by the enumeration — the common
+// case on dense data, where a clause tidset is exactly the extension
+// tidset of some X+e — and otherwise computes it on the miner's reusable
+// kernel scratch. It reads the memo but never inserts and never touches
+// the Stats counters, so the TailEvaluations/TailMemoHits split, the memo
+// contents, and every downstream hit/miss pattern stay byte-identical to
+// dnf calling poibin.Tail directly.
+func (m *miner) tailForDNF(b *bitset.Bitset, probs []float64) float64 {
+	if m.opts.TailMemoEntries >= 0 {
+		h := b.Hash()
+		for _, e := range m.tailMemo[h] {
+			if bitset.Equal(e.tids, b) {
+				return e.prF
+			}
+		}
 	}
-	return bitset.New(m.db.N())
+	return m.tail.TailKernel(probs, m.opts.MinSup, m.opts.TailKernel)
 }
 
-// putBuf returns scratch bitsets to the freelist.
+// dnfTailFn returns the miner's bound tailForDNF, creating the method
+// value once so clause-system construction stays allocation-free.
+func (m *miner) dnfTailFn() func(b *bitset.Bitset, probs []float64) float64 {
+	if m.tailFn == nil {
+		m.tailFn = m.tailForDNF
+	}
+	return m.tailFn
+}
+
+// getBuf returns a tidset-sized scratch bitset (undefined contents) from
+// the miner's slab arena.
+func (m *miner) getBuf() *bitset.Bitset {
+	if m.pool == nil {
+		m.pool = bitset.NewPool(m.db.N())
+	}
+	return m.pool.Get()
+}
+
+// putBuf returns scratch bitsets to the arena.
 func (m *miner) putBuf(bufs ...*bitset.Bitset) {
-	m.freeBufs = append(m.freeBufs, bufs...)
+	for _, b := range bufs {
+		m.pool.Put(b)
+	}
+}
+
+// nodeScratch is the per-recursion-depth scratch of one enumeration node:
+// its extension records plus the sibling-batch buffers of the batched
+// intersection kernel (destinations, source tidsets, counts).
+type nodeScratch struct {
+	exts   []extension
+	dsts   []*bitset.Bitset
+	srcs   []*bitset.Bitset
+	counts []int
 }
 
 // extBuf returns the (empty) extension-record slice for recursion depth d;
 // the backing array is reused across the siblings at that depth.
 func (m *miner) extBuf(d int) []extension {
 	for len(m.extBufs) <= d {
-		m.extBufs = append(m.extBufs, nil)
+		m.extBufs = append(m.extBufs, nodeScratch{})
 	}
-	return m.extBufs[d][:0]
+	return m.extBufs[d].exts[:0]
 }
 
-// releaseExts returns every retained extension tidset to the freelist and
+// batchBufs returns depth-d batch buffers with room for nc siblings.
+// extBuf(d) must have been called first (it sizes m.extBufs).
+func (m *miner) batchBufs(d, nc int) (dsts, srcs []*bitset.Bitset, counts []int) {
+	ns := &m.extBufs[d]
+	if cap(ns.dsts) < nc {
+		ns.dsts = make([]*bitset.Bitset, nc)
+		ns.srcs = make([]*bitset.Bitset, nc)
+		ns.counts = make([]int, nc)
+	}
+	return ns.dsts[:nc], ns.srcs[:nc], ns.counts[:nc]
+}
+
+// releaseExts returns every retained extension tidset to the arena and
 // parks the record slice for reuse at depth d.
 func (m *miner) releaseExts(d int, exts []extension) {
 	for i := range exts {
@@ -131,8 +212,14 @@ func (m *miner) releaseExts(d int, exts []extension) {
 			exts[i].tids = nil
 		}
 	}
-	m.extBufs[d] = exts[:0]
+	m.extBufs[d].exts = exts[:0]
 }
+
+// batchChunk is how many sibling extensions are intersected per AndBatch
+// column sweep. Chunking keeps the sweep's parent-word reuse while
+// bounding the work wasted when subset pruning (Lemma 4.3) abandons the
+// remaining siblings mid-loop.
+const batchChunk = 16
 
 // candidate is a single item that survived the candidate phase, with its
 // tidset, count and exact frequent probability.
@@ -187,7 +274,7 @@ func mineWithMiner(ctx context.Context, db *uncertain.DB, opts Options) (*Result
 		db:       db,
 		probs:    db.Probs(),
 		allItems: idx.Items,
-		itemTids: idx.Tidsets,
+		itemTids: tidsetsFor(idx, opts.Tidsets),
 		ctx:      ctx,
 		rec:      opts.Tracer.Recorder(0),
 	}
@@ -213,6 +300,27 @@ func mineWithMiner(ctx context.Context, db *uncertain.DB, opts Options) (*Result
 		res.Profile = opts.Tracer.Profile()
 	}
 	return res, m, nil
+}
+
+// tidsetsFor returns the per-item tidsets the run should mine on:
+// the index's own density-chosen representations (TidsetsAuto), or a
+// per-run copy with every tidset forced dense or compressed. Forcing never
+// changes results — the hybrid bitset contract makes every operation
+// representation-independent — it exists for the crosscheck equivalence
+// suite and for memory experiments.
+func tidsetsFor(idx *uncertain.Index, mode TidsetMode) map[itemset.Item]*bitset.Bitset {
+	if mode == TidsetsAuto {
+		return idx.Tidsets
+	}
+	out := make(map[itemset.Item]*bitset.Bitset, len(idx.Tidsets))
+	for it, b := range idx.Tidsets {
+		if mode == TidsetsCompressed {
+			out[it] = b.Compacted()
+		} else {
+			out[it] = b.Materialized()
+		}
+	}
+	return out
 }
 
 // buildCandidates is the first phase of Fig. 1: construct the single-item
@@ -275,7 +383,9 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 		}
 	}
 	m.stats.NodesVisited++
-	m.trace("visit %v (count=%d, PrF=%.4f)", x, count, prF)
+	if m.opts.Trace != nil {
+		m.trace("visit %v (count=%d, PrF=%.4f)", x, count, prF)
+	}
 
 	// Span bookkeeping (no-ops when untraced): the detailed span covers the
 	// whole subtree [nodeStart, record time], while the expand-phase
@@ -303,7 +413,9 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 			}
 			if bitset.IsSubset(tids, c.tids) {
 				m.stats.SupersetPruned++
-				m.trace("  superset-prune %v: count(%v+%v) = count — subtree dead (Lemma 4.2)", x, x, itemset.Itemset{c.item})
+				if m.opts.Trace != nil {
+					m.trace("  superset-prune %v: count(%v+%v) = count — subtree dead (Lemma 4.2)", x, x, itemset.Itemset{c.item})
+				}
 				m.rec.Node(len(x), nodeStart, m.rec.Now()-nodeStart)
 				return nil
 			}
@@ -314,10 +426,36 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 	exts := m.extBuf(depth)
 	selfDead := false
 	var err error
+	// Batched sibling evaluation (DESIGN §13): candidate-extension tidset
+	// intersections run through the AndBatch column sweep in chunks, so
+	// each parent word is loaded once per chunk instead of once per
+	// sibling. The per-sibling cascade below then consumes the
+	// ready-intersected buffers in candidate order, byte-identical to the
+	// former one-AndInto-per-sibling loop.
+	nc := len(m.cands) - startPos
+	var dsts, srcs []*bitset.Bitset
+	var counts []int
+	if nc > 0 {
+		dsts, srcs, counts = m.batchBufs(depth, nc)
+	}
+	batched, consumed := 0, 0
 	for pos := startPos; pos < len(m.cands); pos++ {
+		i := pos - startPos
+		if i >= batched {
+			hi := batched + batchChunk
+			if hi > nc {
+				hi = nc
+			}
+			for j := batched; j < hi; j++ {
+				srcs[j] = m.cands[startPos+j].tids
+				dsts[j] = m.getBuf()
+			}
+			bitset.AndBatch(dsts[batched:hi], counts[batched:hi], tids, srcs[batched:hi])
+			batched = hi
+		}
 		c := m.cands[pos]
-		buf := m.getBuf()
-		cc := bitset.AndInto(buf, tids, c.tids)
+		buf, cc := dsts[i], counts[i]
+		consumed = i + 1
 		if cc < m.opts.MinSup {
 			// Pr_F(X+e) = 0: no subtree, and later no extension event.
 			m.putBuf(buf)
@@ -330,7 +468,9 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 		if !m.opts.DisableCH {
 			if poibin.TailUpperBound(childProbs, m.opts.MinSup) <= m.opts.PFCT {
 				m.stats.CHPruned++
-				m.trace("  ch-prune %v (Lemma 4.1 bound ≤ pfct)", x.Extend(c.item))
+				if m.opts.Trace != nil {
+					m.trace("  ch-prune %v (Lemma 4.1 bound ≤ pfct)", x.Extend(c.item))
+				}
 				exts = append(exts, rec)
 				continue
 			}
@@ -341,11 +481,15 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 		if childPrF <= m.opts.PFCT {
 			// Pr_F is anti-monotone, so the whole X+e subtree is out.
 			m.stats.FreqPruned++
-			m.trace("  freq-prune %v (PrF=%.4f ≤ pfct)", x.Extend(c.item), childPrF)
+			if m.opts.Trace != nil {
+				m.trace("  freq-prune %v (PrF=%.4f ≤ pfct)", x.Extend(c.item), childPrF)
+			}
 			continue
 		}
 		if !m.opts.DisableSubset && cc == count {
-			m.trace("  subset-absorb %v into %v: later siblings skipped (Lemma 4.3)", x, x.Extend(c.item))
+			if m.opts.Trace != nil {
+				m.trace("  subset-absorb %v into %v: later siblings skipped (Lemma 4.3)", x, x.Extend(c.item))
+			}
 			// Subset pruning (Lemma 4.3): X+e always co-occurs with X, so
 			// X is never closed, and every later sibling X+f (f > e) and
 			// its descendants avoid e and are therefore never closed
@@ -364,6 +508,11 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 			break
 		}
 	}
+	// Siblings past an early break were intersected but never examined;
+	// their batch buffers go straight back to the arena.
+	for i := consumed; i < batched; i++ {
+		m.putBuf(dsts[i])
+	}
 
 	if err != nil || selfDead {
 		m.releaseExts(depth, exts)
@@ -377,8 +526,10 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 	if err != nil {
 		return err
 	}
-	m.trace("  evaluate %v: PrFC≈%.4f in [%.4f, %.4f] via %v → accepted=%v",
-		x, ev.prob, ev.lower, ev.upper, ev.method, ev.accepted)
+	if m.opts.Trace != nil {
+		m.trace("  evaluate %v: PrFC≈%.4f in [%.4f, %.4f] via %v → accepted=%v",
+			x, ev.prob, ev.lower, ev.upper, ev.method, ev.accepted)
+	}
 	if ev.accepted {
 		m.results = append(m.results, ResultItem{
 			Items:    x.Clone(),
@@ -394,14 +545,23 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 
 // descend recurses into the child X+e — inline in the common case, or as a
 // task on the work-stealing pool when the node is shallow enough and some
-// worker is starving. A spawned task owns a clone of the child tidset; the
-// caller's extension record keeps the original for its own evaluation.
+// worker is starving. A spawned task owns a clone of the child tidset and
+// its own itemset; the inline path renders X+e into a per-depth path
+// buffer instead (probFC never retains its itemset argument — results and
+// tasks clone it — so the buffer is free for the next sibling as soon as
+// the recursion returns).
 func (m *miner) descend(x itemset.Itemset, e itemset.Item, tids *bitset.Bitset, count int, prF float64, startPos int) error {
-	child := x.Extend(e)
 	if m.spawnable(len(x)) {
 		m.stats.TasksSpawned++
-		m.worker.push(task{items: child, tids: tids.Clone(), count: count, prF: prF, startPos: startPos})
+		m.worker.push(task{items: x.Extend(e), tids: tids.Clone(), count: count, prF: prF, startPos: startPos})
 		return nil
 	}
+	d := len(x)
+	for len(m.pathBufs) <= d {
+		m.pathBufs = append(m.pathBufs, nil)
+	}
+	child := append(m.pathBufs[d][:0], x...)
+	child = append(child, e)
+	m.pathBufs[d] = child
 	return m.probFC(child, tids, count, prF, startPos)
 }

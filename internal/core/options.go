@@ -10,6 +10,7 @@ import (
 
 	"github.com/probdata/pfcim/internal/itemset"
 	"github.com/probdata/pfcim/internal/obs"
+	"github.com/probdata/pfcim/internal/poibin"
 )
 
 // Search selects the enumeration framework (Table VII's last column).
@@ -29,6 +30,30 @@ func (s Search) String() string {
 		return "BFS"
 	}
 	return "DFS"
+}
+
+// TidsetMode selects the tidset representation a run works on.
+type TidsetMode int
+
+const (
+	// TidsetsAuto keeps each per-item tidset in the representation the
+	// index chose by density (bitset.ShouldCompact): compressed sorted-id
+	// lists for rare items on large databases, dense words otherwise.
+	TidsetsAuto TidsetMode = iota
+	// TidsetsDense forces every tidset to dense words.
+	TidsetsDense
+	// TidsetsCompressed forces every tidset to the compressed form.
+	TidsetsCompressed
+)
+
+func (t TidsetMode) String() string {
+	switch t {
+	case TidsetsDense:
+		return "dense"
+	case TidsetsCompressed:
+		return "compressed"
+	}
+	return "auto"
 }
 
 // Options configures a mining run. MinSup and PFCT are required; the
@@ -100,6 +125,22 @@ type Options struct {
 	// changes results — it is excluded from CanonicalKey.
 	TailMemoEntries int
 
+	// Tidsets forces the tidset representation of the run: dense words,
+	// compressed sorted-id lists, or (default) the density-driven choice
+	// the index already made. Every bitset operation is representation-
+	// independent by contract, so results are byte-identical across modes —
+	// this is a pure execution knob (cleared by Canonical), kept for the
+	// crosscheck representation-equivalence suite and memory experiments.
+	Tidsets TidsetMode
+
+	// TailKernel selects the Poisson-binomial tail algorithm. KernelAuto
+	// (default) runs the O(nk) DP below poibin.ConvCrossoverN probabilities
+	// and the divide-and-conquer convolution tree above it. Forcing
+	// KernelConv on inputs above the leaf size changes results within
+	// numerical tolerance (the merge order differs from the DP), so unlike
+	// Tidsets this knob participates in CanonicalKey.
+	TailKernel poibin.Kernel
+
 	// Trace, when non-nil, receives a line-per-event log of the DFS
 	// enumeration — node visits, every pruning decision, and every
 	// evaluation verdict — the walk-through the paper's Fig. 4 depicts.
@@ -165,6 +206,12 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.TailMemoEntries == 0 {
 		o.TailMemoEntries = defaultTailMemoEntries
+	}
+	if o.Tidsets < TidsetsAuto || o.Tidsets > TidsetsCompressed {
+		return o, fmt.Errorf("core: unknown TidsetMode %d", o.Tidsets)
+	}
+	if o.TailKernel < poibin.KernelAuto || o.TailKernel > poibin.KernelConv {
+		return o, fmt.Errorf("core: unknown TailKernel %d", o.TailKernel)
 	}
 	return o, nil
 }

@@ -92,25 +92,3 @@ func TestNodeSeedStability(t *testing.T) {
 		t.Error("nodeSeed is order-insensitive")
 	}
 }
-
-// TestNodeSourceStream sanity-checks the splitmix64-backed rand.Source64.
-func TestNodeSourceStream(t *testing.T) {
-	src := &nodeSource{state: 42}
-	seen := map[uint64]bool{}
-	for i := 0; i < 1000; i++ {
-		v := src.Uint64()
-		if seen[v] {
-			t.Fatalf("splitmix64 stream repeated after %d draws", i)
-		}
-		seen[v] = true
-	}
-	src.Seed(42)
-	first := src.Uint64()
-	src.Seed(42)
-	if src.Uint64() != first {
-		t.Error("Seed does not reset the stream")
-	}
-	if v := src.Int63(); v < 0 {
-		t.Errorf("Int63 returned negative %d", v)
-	}
-}

@@ -10,15 +10,19 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"github.com/probdata/pfcim/internal/poibin"
 )
 
 // Canonical returns the canonical form of o: validation and defaulting
 // applied (exactly as Mine would), and every field that cannot change the
 // mined result — Trace, Tracer, Parallelism, SplitDepth, TailMemoEntries,
-// all pure execution knobs per DESIGN §8.3 — cleared to the zero value. Two
-// option structs with equal canonical forms produce byte-identical result
-// sets, so the canonical form (or CanonicalKey, its string rendering) is a
-// sound cache key.
+// Tidsets, all pure execution knobs per DESIGN §8.3 — cleared to the zero
+// value. (TailKernel stays: forcing the convolution kernel can change
+// results within tolerance, so it is result-affecting.) Two option structs
+// with equal canonical forms produce byte-identical result sets, so the
+// canonical form (or CanonicalKey, its string rendering) is a sound cache
+// key.
 func (o Options) Canonical() (Options, error) {
 	c, err := o.normalize()
 	if err != nil {
@@ -29,6 +33,7 @@ func (o Options) Canonical() (Options, error) {
 	c.Parallelism = 0
 	c.SplitDepth = 0
 	c.TailMemoEntries = 0
+	c.Tidsets = TidsetsAuto
 	return c, nil
 }
 
@@ -39,10 +44,10 @@ func (o Options) CanonicalKey() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("minsup=%d pfct=%g eps=%g delta=%g seed=%d noch=%t nosuper=%t nosub=%t nobound=%t search=%s maxexact=%d maxpair=%d",
+	return fmt.Sprintf("minsup=%d pfct=%g eps=%g delta=%g seed=%d noch=%t nosuper=%t nosub=%t nobound=%t search=%s maxexact=%d maxpair=%d tailkern=%s",
 		c.MinSup, c.PFCT, c.Epsilon, c.Delta, c.Seed,
 		c.DisableCH, c.DisableSuperset, c.DisableSubset, c.DisableBounds,
-		c.Search, c.MaxExactClauses, c.MaxPairClauses), nil
+		c.Search, c.MaxExactClauses, c.MaxPairClauses, c.TailKernel), nil
 }
 
 // OptionsJSON is the wire form of Options: every field except the process-
@@ -67,6 +72,8 @@ type OptionsJSON struct {
 	Parallelism     int     `json:"parallelism,omitempty"`
 	SplitDepth      int     `json:"split_depth,omitempty"`
 	TailMemoEntries int     `json:"tail_memo_entries,omitempty"`
+	Tidsets         string  `json:"tidsets,omitempty"`
+	TailKernel      string  `json:"tail_kernel,omitempty"`
 }
 
 // JSON converts o to its wire form (Trace and Tracer are dropped).
@@ -74,6 +81,14 @@ func (o Options) JSON() OptionsJSON {
 	search := ""
 	if o.Search == BFS {
 		search = "BFS"
+	}
+	tidsets := ""
+	if o.Tidsets != TidsetsAuto {
+		tidsets = o.Tidsets.String()
+	}
+	tailKernel := ""
+	if o.TailKernel != poibin.KernelAuto {
+		tailKernel = o.TailKernel.String()
 	}
 	return OptionsJSON{
 		MinSup:          o.MinSup,
@@ -91,6 +106,8 @@ func (o Options) JSON() OptionsJSON {
 		Parallelism:     o.Parallelism,
 		SplitDepth:      o.SplitDepth,
 		TailMemoEntries: o.TailMemoEntries,
+		Tidsets:         tidsets,
+		TailKernel:      tailKernel,
 	}
 }
 
@@ -105,6 +122,28 @@ func (oj OptionsJSON) Options() (Options, error) {
 		search = BFS
 	default:
 		return Options{}, fmt.Errorf("core: unknown search framework %q (want \"DFS\" or \"BFS\")", oj.Search)
+	}
+	var tidsets TidsetMode
+	switch strings.ToLower(strings.TrimSpace(oj.Tidsets)) {
+	case "", "auto":
+		tidsets = TidsetsAuto
+	case "dense":
+		tidsets = TidsetsDense
+	case "compressed":
+		tidsets = TidsetsCompressed
+	default:
+		return Options{}, fmt.Errorf("core: unknown tidset mode %q (want \"auto\", \"dense\" or \"compressed\")", oj.Tidsets)
+	}
+	var tailKernel poibin.Kernel
+	switch strings.ToLower(strings.TrimSpace(oj.TailKernel)) {
+	case "", "auto":
+		tailKernel = poibin.KernelAuto
+	case "dp":
+		tailKernel = poibin.KernelDP
+	case "conv":
+		tailKernel = poibin.KernelConv
+	default:
+		return Options{}, fmt.Errorf("core: unknown tail kernel %q (want \"auto\", \"dp\" or \"conv\")", oj.TailKernel)
 	}
 	return Options{
 		MinSup:          oj.MinSup,
@@ -122,6 +161,8 @@ func (oj OptionsJSON) Options() (Options, error) {
 		Parallelism:     oj.Parallelism,
 		SplitDepth:      oj.SplitDepth,
 		TailMemoEntries: oj.TailMemoEntries,
+		Tidsets:         tidsets,
+		TailKernel:      tailKernel,
 	}, nil
 }
 

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"reflect"
 
 	"github.com/probdata/pfcim/internal/core"
 	"github.com/probdata/pfcim/internal/dnf"
 	"github.com/probdata/pfcim/internal/itemset"
 	"github.com/probdata/pfcim/internal/obs"
+	"github.com/probdata/pfcim/internal/poibin"
 	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
 	"github.com/probdata/pfcim/internal/world"
@@ -30,7 +32,26 @@ const (
 	DiffMaxItems      = 6
 	InvariantMaxTrans = 36
 	InvariantMaxItems = 10
+	// Representation cases for the sparsewide shape go to sizes where the
+	// auto tidset policy actually mixes dense and compressed sets (n ≥
+	// 1024) and frequent-item tails exceed the convolution leaf (512).
+	RepMaxTrans = 2048
+	RepMaxItems = 18
 )
+
+// forcedTidsets lets CI force the tidset representation for every case the
+// harness builds (CROSSCHECK_TIDSETS=dense|compressed). Tidsets is a pure
+// execution knob, so a forced run must reproduce the unforced suite
+// verbatim — any divergence fails the normal assertions.
+var forcedTidsets = func() core.TidsetMode {
+	switch os.Getenv("CROSSCHECK_TIDSETS") {
+	case "dense":
+		return core.TidsetsDense
+	case "compressed":
+		return core.TidsetsCompressed
+	}
+	return core.TidsetsAuto
+}()
 
 // diffItemLimit bounds the item universe a differential case may have: the
 // exact inclusion–exclusion forced by Differential is 2^clauses and the
@@ -85,7 +106,7 @@ func (c Case) Build() (*uncertain.DB, core.Options) {
 	default:
 		pfct = []float64{0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}[rng.Intn(7)]
 	}
-	return db, core.Options{MinSup: minSup, PFCT: pfct, Seed: c.Seed}
+	return db, core.Options{MinSup: minSup, PFCT: pfct, Seed: c.Seed, Tidsets: forcedTidsets}
 }
 
 // variants are the miner configurations the differential suite rotates
@@ -333,6 +354,123 @@ func Invariants(db *uncertain.DB, opts core.Options) error {
 				return fmt.Errorf("sweep point %d (pfct=%g, derived=%t) differs from independent mine (%d vs %d itemsets)",
 					i, pr.Point.PFCT, pr.Derived, len(pr.Itemsets), len(ind.Itemsets))
 			}
+		}
+	}
+	return nil
+}
+
+// RunRepresentation builds the case at representation sizes and checks
+// RepresentationEquivalence. The sparsewide shape goes to RepMaxTrans so
+// the compressed containers and the divide-and-conquer tail kernel are
+// genuinely exercised; the other shapes run at invariant sizes.
+func RunRepresentation(c Case) error {
+	if c.MaxTrans == 0 {
+		if c.Shape == ShapeSparseWide {
+			c.MaxTrans = RepMaxTrans
+		} else {
+			c.MaxTrans = InvariantMaxTrans
+		}
+	}
+	if c.MaxItems == 0 {
+		if c.Shape == ShapeSparseWide {
+			c.MaxItems = RepMaxItems
+		} else {
+			c.MaxItems = InvariantMaxItems
+		}
+	}
+	db, opts := c.Build()
+	if err := RepresentationEquivalence(db, opts); err != nil {
+		return fmt.Errorf("crosscheck: %v: %w", c, err)
+	}
+	return nil
+}
+
+// kernelEps tolerates the accumulated-rounding disagreement between the
+// dynamic-programming and divide-and-conquer tail kernels: both sum the
+// same products in different associations, so per-itemset probabilities
+// must agree to far better than this, and only itemsets within the band of
+// the threshold may appear under one kernel and not the other.
+const kernelEps = 1e-6
+
+// RepresentationEquivalence asserts the execution-representation contract
+// of DESIGN §13: forcing dense or compressed tidsets — at any parallelism,
+// in any mixture — yields byte-identical results and scheduling-independent
+// stats; the forced DP kernel reproduces the auto kernel bitwise below the
+// crossover; and the forced convolution kernel agrees to kernelEps.
+func RepresentationEquivalence(db *uncertain.DB, opts core.Options) error {
+	den := opts
+	den.Tidsets = core.TidsetsDense
+	base, err := core.Mine(db, den)
+	if err != nil {
+		return fmt.Errorf("mine dense: %w", err)
+	}
+	for _, k := range []struct {
+		name   string
+		modify func(*core.Options)
+	}{
+		{"compressed", func(o *core.Options) { o.Tidsets = core.TidsetsCompressed }},
+		{"compressed/parallel4", func(o *core.Options) { o.Tidsets = core.TidsetsCompressed; o.Parallelism = 4 }},
+		{"dense/parallel4", func(o *core.Options) { o.Tidsets = core.TidsetsDense; o.Parallelism = 4 }},
+		{"auto", func(o *core.Options) { o.Tidsets = core.TidsetsAuto }},
+		{"dp-kernel", func(o *core.Options) { o.Tidsets = core.TidsetsAuto; o.TailKernel = poibin.KernelDP }},
+	} {
+		alt := opts
+		k.modify(&alt)
+		res, err := core.Mine(db, alt)
+		if err != nil {
+			return fmt.Errorf("mine %s: %w", k.name, err)
+		}
+		if !sameResults(res.Itemsets, base.Itemsets) {
+			return fmt.Errorf("representation equivalence violated: %s run differs from dense serial (%d vs %d itemsets)",
+				k.name, len(res.Itemsets), len(base.Itemsets))
+		}
+		if a, b := schedIndependent(res.Stats), schedIndependent(base.Stats); a != b {
+			return fmt.Errorf("representation equivalence violated: %s stats %+v differ from dense %+v", k.name, a, b)
+		}
+	}
+	conv := opts
+	conv.TailKernel = poibin.KernelConv
+	resConv, err := core.Mine(db, conv)
+	if err != nil {
+		return fmt.Errorf("mine conv-kernel: %w", err)
+	}
+	if err := kernelConsistent(base.Itemsets, resConv.Itemsets, opts.PFCT); err != nil {
+		return fmt.Errorf("dp vs conv kernel: %w", err)
+	}
+	return nil
+}
+
+// kernelConsistent compares the result sets mined under the two tail
+// kernels: shared itemsets must agree on Pr_FC and Pr_F within kernelEps,
+// and an itemset accepted under only one kernel must sit within kernelEps
+// of the threshold.
+func kernelConsistent(a, b []core.ResultItem, pfct float64) error {
+	am := make(map[string]core.ResultItem, len(a))
+	for _, ri := range a {
+		am[ri.Items.Key()] = ri
+	}
+	bm := make(map[string]core.ResultItem, len(b))
+	for _, ri := range b {
+		bm[ri.Items.Key()] = ri
+	}
+	for key, ri := range am {
+		rj, ok := bm[key]
+		if !ok {
+			if ri.Prob > pfct+kernelEps {
+				return fmt.Errorf("itemset %v accepted only under DP with Pr_FC=%.12g, pfct=%g", ri.Items, ri.Prob, pfct)
+			}
+			continue
+		}
+		if d := ri.Prob - rj.Prob; d > kernelEps || d < -kernelEps {
+			return fmt.Errorf("itemset %v: Pr_FC %.12g (dp) vs %.12g (conv)", ri.Items, ri.Prob, rj.Prob)
+		}
+		if d := ri.FreqProb - rj.FreqProb; d > kernelEps || d < -kernelEps {
+			return fmt.Errorf("itemset %v: Pr_F %.12g (dp) vs %.12g (conv)", ri.Items, ri.FreqProb, rj.FreqProb)
+		}
+	}
+	for key, rj := range bm {
+		if _, ok := am[key]; !ok && rj.Prob > pfct+kernelEps {
+			return fmt.Errorf("itemset %v accepted only under conv with Pr_FC=%.12g, pfct=%g", rj.Items, rj.Prob, pfct)
 		}
 	}
 	return nil

@@ -63,6 +63,35 @@ func TestInvariantsProperty(t *testing.T) {
 	}
 }
 
+// TestRepresentationProperty runs the representation-equivalence suite:
+// dense vs compressed tidsets at parallelism 1 and 4 must be
+// byte-identical, the forced DP kernel must reproduce the auto kernel, and
+// the divide-and-conquer kernel must agree within accumulated rounding.
+// The sparsewide shape runs at RepMaxTrans (≥ 1024 transactions), where
+// the auto policy genuinely mixes representations and frequent-item tails
+// cross the convolution leaf size.
+func TestRepresentationProperty(t *testing.T) {
+	for _, shape := range Shapes {
+		shape := shape
+		t.Run(string(shape), func(t *testing.T) {
+			t.Parallel()
+			cases := 12
+			if shape == ShapeSparseWide {
+				cases = 6 // each case mines a ~2000-transaction database seven times
+			}
+			if testing.Short() {
+				cases = 2
+			}
+			for i := 0; i < cases; i++ {
+				c := Case{Shape: shape, Seed: int64(3000 + i)}
+				if err := RunRepresentation(c); err != nil {
+					t.Fatalf("%v\nreproduce: crosscheck.RunRepresentation(crosscheck.Case{Shape: %q, Seed: %d})", err, shape, c.Seed)
+				}
+			}
+		})
+	}
+}
+
 // TestDifferentialPaperExample anchors the harness itself: the Table II
 // database through the differential checker at the paper's thresholds.
 func TestDifferentialPaperExample(t *testing.T) {

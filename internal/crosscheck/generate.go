@@ -40,11 +40,18 @@ const (
 	ShapeSparse     Shape = "sparse"
 	ShapeCorrelated Shape = "correlated"
 	ShapeDegenerate Shape = "degenerate"
+	// ShapeSparseWide models the million-transaction regime at crosscheck
+	// scale: a handful of high-frequency items over a wide universe of rare
+	// ones, so at representation sizes per-item tidsets mix the dense and
+	// compressed forms and frequent-item tails exceed the convolution
+	// kernel's leaf size. Its transaction count is drawn from the upper
+	// half of the bound so large cases actually reach those paths.
+	ShapeSparseWide Shape = "sparsewide"
 )
 
 // Shapes lists every shape, in the order the soak binary and property
 // suite iterate them.
-var Shapes = []Shape{ShapeDense, ShapeSparse, ShapeCorrelated, ShapeDegenerate}
+var Shapes = []Shape{ShapeDense, ShapeSparse, ShapeCorrelated, ShapeDegenerate, ShapeSparseWide}
 
 // ParseShape validates a shape name (the cmd/crosscheck -shape flag).
 func ParseShape(s string) (Shape, error) {
@@ -53,7 +60,7 @@ func ParseShape(s string) (Shape, error) {
 			return sh, nil
 		}
 	}
-	return "", fmt.Errorf("crosscheck: unknown shape %q (want dense, sparse, correlated, or degenerate)", s)
+	return "", fmt.Errorf("crosscheck: unknown shape %q (want dense, sparse, correlated, degenerate, or sparsewide)", s)
 }
 
 // GenDB generates a random uncertain database of the given shape with at
@@ -72,6 +79,12 @@ func GenDB(shape Shape, rng *rand.Rand, maxTrans, maxItems int) *uncertain.DB {
 		trans = genCorrelated(rng, n, maxItems)
 	case ShapeDegenerate:
 		trans = genDegenerate(rng, n, maxItems)
+	case ShapeSparseWide:
+		n = maxTrans/2 + rng.Intn(maxTrans-maxTrans/2) + 1
+		if n > maxTrans {
+			n = maxTrans
+		}
+		trans = genSparseWide(rng, n, maxItems)
 	default: // ShapeDense
 		trans = genIndependent(rng, n, maxItems, 0.7, func() float64 { return 0.3 + rng.Float64()*0.7 })
 	}
@@ -93,6 +106,41 @@ func genIndependent(rng *rand.Rand, n, maxItems int, rate float64, probFn func()
 			items = []itemset.Item{itemset.Item(rng.Intn(maxItems))}
 		}
 		trans = append(trans, uncertain.Transaction{Items: itemset.New(items...), Prob: probFn()})
+	}
+	return trans
+}
+
+// genSparseWide draws a few always-available high-frequency items at rate
+// 0.6 and the rest of the universe at a rate targeting ~12 occurrences per
+// rare item regardless of n. At n ≥ 1024 the rare tidsets fall under the
+// ShouldCompact density threshold while the common ones stay dense, and
+// the common items' supports exceed the convolution kernel's 512-leaf.
+func genSparseWide(rng *rand.Rand, n, maxItems int) []uncertain.Transaction {
+	nCommon := 3
+	if nCommon > maxItems {
+		nCommon = maxItems
+	}
+	rare := 12.0 / float64(n)
+	if rare > 0.5 {
+		rare = 0.5
+	}
+	trans := make([]uncertain.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		var items []itemset.Item
+		for j := 0; j < nCommon; j++ {
+			if rng.Float64() < 0.6 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		for j := nCommon; j < maxItems; j++ {
+			if rng.Float64() < rare {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		if len(items) == 0 {
+			items = []itemset.Item{itemset.Item(rng.Intn(maxItems))}
+		}
+		trans = append(trans, uncertain.Transaction{Items: itemset.New(items...), Prob: 0.05 + rng.Float64()*0.95})
 	}
 	return trans
 }

@@ -2,6 +2,8 @@ package dnf
 
 import (
 	"math/rand"
+
+	"github.com/probdata/pfcim/internal/poibin"
 	"testing"
 
 	"github.com/probdata/pfcim/internal/bitset"
@@ -75,7 +77,7 @@ func BenchmarkKarpLubyM14Eps01(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.KarpLuby(rand.New(rand.NewSource(int64(i))), sums.Clause, n); err != nil {
+		if _, err := s.KarpLuby(poibin.NewSM64(uint64(i)), sums.Clause, n); err != nil {
 			b.Fatal(err)
 		}
 	}

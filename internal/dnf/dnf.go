@@ -32,6 +32,28 @@ type System struct {
 	MinSup int
 	// Clauses holds B_i ⊆ Base for every extension item e_i.
 	Clauses []*bitset.Bitset
+	// TailFn, when non-nil, computes the Poisson-binomial tail
+	// Pr[Σ Bernoulli(probs) ≥ MinSup] for the event tidset b, where probs
+	// is exactly the probability vector of b's members in ascending tid
+	// order. The miner injects its memoized tail evaluator here so clause
+	// evaluations share the mining run's memo (repeated intersections hit
+	// constantly on dense data); nil falls back to poibin.Tail. Any
+	// implementation must return values bit-identical to poibin.Tail.
+	TailFn func(b *bitset.Bitset, probs []float64) float64
+
+	probsBuf   []float64      // scratch for probsOf
+	interBuf   *bitset.Bitset // scratch for PairProb intersections
+	sumsClause []float64      // scratch for ComputeSumsReuse
+	sumsPair   [][]float64
+	sumsFlat   []float64
+}
+
+// Reuse repoints s at a new clause system while keeping its internal
+// scratch buffers (and TailFn); the miner calls it once per evaluated
+// node so the hot path allocates no per-node System state. Callers are
+// responsible for the NewSystem invariants (clauses ⊆ base).
+func (s *System) Reuse(base *bitset.Bitset, probs []float64, minSup int, clauses []*bitset.Bitset) {
+	s.Base, s.Probs, s.MinSup, s.Clauses = base, probs, minSup, clauses
 }
 
 // NewSystem validates the clause shapes.
@@ -51,10 +73,13 @@ func NewSystem(base *bitset.Bitset, probs []float64, minSup int, clauses []*bits
 func (s *System) M() int { return len(s.Clauses) }
 
 // eventProb returns the probability of the canonical event "every tid in
-// Base\B is absent AND at least MinSup tids of B are present".
+// Base\B is absent AND at least MinSup tids of B are present". The
+// ascending-tid iteration order of both the absence product and the
+// probability vector matches the dense word order exactly, keeping results
+// bit-identical across tidset representations.
 func (s *System) eventProb(b *bitset.Bitset) float64 {
 	absent := 1.0
-	bitset.AndNot(s.Base, b).ForEach(func(tid int) bool {
+	bitset.ForEachDiff(s.Base, b, func(tid int) bool {
 		absent *= 1 - s.Probs[tid]
 		return true
 	})
@@ -62,15 +87,21 @@ func (s *System) eventProb(b *bitset.Bitset) float64 {
 		return 0
 	}
 	probs := s.probsOf(b)
+	if s.TailFn != nil {
+		return absent * s.TailFn(b, probs)
+	}
 	return absent * poibin.Tail(probs, s.MinSup)
 }
 
+// probsOf collects b's probabilities into a scratch buffer valid until the
+// next probsOf call; callers must not retain it.
 func (s *System) probsOf(b *bitset.Bitset) []float64 {
-	out := make([]float64, 0, b.Count())
+	out := s.probsBuf[:0]
 	b.ForEach(func(tid int) bool {
 		out = append(out, s.Probs[tid])
 		return true
 	})
+	s.probsBuf = out
 	return out
 }
 
@@ -85,7 +116,24 @@ func (s *System) PairProb(i, j int) float64 {
 	if i == j {
 		return s.ClauseProb(i)
 	}
-	return s.eventProb(bitset.And(s.Clauses[i], s.Clauses[j]))
+	if s.interBuf == nil {
+		s.interBuf = bitset.New(s.Base.Len())
+	}
+	bitset.AndInto(s.interBuf, s.Clauses[i], s.Clauses[j])
+	return s.eventProb(s.interBuf)
+}
+
+// Prefix returns a view over the first k clauses, sharing the base, the
+// probability vector, and the tail hook. The view shares scratch state with
+// s, so use them serially, never concurrently.
+func (s *System) Prefix(k int) *System {
+	return &System{
+		Base:    s.Base,
+		Probs:   s.Probs,
+		MinSup:  s.MinSup,
+		Clauses: s.Clauses[:k],
+		TailFn:  s.TailFn,
+	}
 }
 
 // ExactUnionLimit bounds the inclusion–exclusion fallback.
@@ -103,7 +151,10 @@ func (s *System) ExactUnion() (float64, error) {
 		return 0, fmt.Errorf("dnf: %d clauses exceed exact inclusion-exclusion limit %d", m, ExactUnionLimit)
 	}
 	total := 0.0
-	inter := bitset.New(s.Base.Len())
+	if s.interBuf == nil {
+		s.interBuf = bitset.New(s.Base.Len())
+	}
+	inter := s.interBuf
 	for mask := 1; mask < 1<<uint(m); mask++ {
 		inter.CopyFrom(s.Base)
 		bits := 0
@@ -145,6 +196,31 @@ func (s *System) ComputeSums() Sums {
 	for i := 0; i < m; i++ {
 		sums.Pair[i] = make([]float64, m)
 	}
+	s.fillSums(&sums)
+	return sums
+}
+
+// ComputeSumsReuse is ComputeSums over scratch buffers held on s: the
+// returned Sums is valid until the next ComputeSums(Reuse) call on this
+// system. Values are identical to ComputeSums.
+func (s *System) ComputeSumsReuse() Sums {
+	m := len(s.Clauses)
+	if cap(s.sumsClause) < m {
+		s.sumsClause = make([]float64, m)
+		s.sumsPair = make([][]float64, m)
+		s.sumsFlat = make([]float64, m*m)
+	}
+	sums := Sums{Clause: s.sumsClause[:m], Pair: s.sumsPair[:m]}
+	flat := s.sumsFlat[: m*m : m*m]
+	for i := 0; i < m; i++ {
+		sums.Pair[i] = flat[i*m : (i+1)*m]
+	}
+	s.fillSums(&sums)
+	return sums
+}
+
+func (s *System) fillSums(sums *Sums) {
+	m := len(s.Clauses)
 	for i := 0; i < m; i++ {
 		sums.Clause[i] = s.ClauseProb(i)
 		sums.Pair[i][i] = sums.Clause[i]
@@ -154,7 +230,6 @@ func (s *System) ComputeSums() Sums {
 			sums.Pair[j][i] = p
 		}
 	}
-	return sums
 }
 
 // DeCaenLower returns de Caen's lower bound on Pr(∪C_i):

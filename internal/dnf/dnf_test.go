@@ -3,6 +3,8 @@ package dnf
 import (
 	"math"
 	"math/rand"
+
+	"github.com/probdata/pfcim/internal/poibin"
 	"testing"
 	"testing/quick"
 
@@ -183,7 +185,7 @@ func TestKarpLubyAccuracy(t *testing.T) {
 		}
 		sums := s.ComputeSums()
 		n := SampleSize(s.M(), 0.05, 0.05)
-		est, err := s.KarpLuby(rand.New(rand.NewSource(int64(trial))), sums.Clause, n)
+		est, err := s.KarpLuby(poibin.NewSM64(uint64(trial)), sums.Clause, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +197,7 @@ func TestKarpLubyAccuracy(t *testing.T) {
 
 func TestKarpLubyDegenerate(t *testing.T) {
 	s := randomSystem(rand.New(rand.NewSource(7)), 6, 3)
-	rng := rand.New(rand.NewSource(8))
+	rng := poibin.NewSM64(8)
 	// Zero samples / zero clauses.
 	if est, err := s.KarpLuby(rng, make([]float64, s.M()), 100); err != nil || est != 0 {
 		t.Errorf("all-zero clause probs should estimate 0, got %v, %v", est, err)

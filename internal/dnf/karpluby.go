@@ -2,7 +2,6 @@ package dnf
 
 import (
 	"fmt"
-	"math/rand"
 
 	"github.com/probdata/pfcim/internal/bitset"
 	"github.com/probdata/pfcim/internal/poibin"
@@ -23,7 +22,7 @@ import (
 // clauseProbs must be the exact Pr(C_i) values (e.g. Sums.Clause). The
 // estimator is unbiased; with nSamples = SampleSize(m, ε, δ) it is an
 // (ε, δ) additive approximation.
-func (s *System) KarpLuby(rng *rand.Rand, clauseProbs []float64, nSamples int) (float64, error) {
+func (s *System) KarpLuby(rng *poibin.SM64, clauseProbs []float64, nSamples int) (float64, error) {
 	m := len(s.Clauses)
 	if len(clauseProbs) != m {
 		return 0, fmt.Errorf("dnf: KarpLuby got %d clause probs for %d clauses", len(clauseProbs), m)
@@ -46,6 +45,7 @@ func (s *System) KarpLuby(rng *rand.Rand, clauseProbs []float64, nSamples int) (
 
 	hits := 0
 	present := bitset.New(s.Base.Len())
+	words := present.DenseWords()
 	for i, ni := range counts {
 		if ni == 0 {
 			continue
@@ -62,15 +62,11 @@ func (s *System) KarpLuby(rng *rand.Rand, clauseProbs []float64, nSamples int) (
 			// failure here indicates an inconsistent clause system.
 			return 0, fmt.Errorf("dnf: clause %d: %w", i, err)
 		}
-		draw := make([]bool, len(tids))
 		for k := 0; k < ni; k++ {
-			cs.Sample(rng, draw)
-			present.Reset()
-			for t, on := range draw {
-				if on {
-					present.Set(tids[t])
-				}
+			for w := range words {
+				words[w] = 0
 			}
+			cs.SampleWords(rng, tids, words)
 			if s.minSatisfied(present, clauseProbs) == i {
 				hits++
 			}
@@ -101,7 +97,7 @@ func (s *System) minSatisfied(present *bitset.Bitset, clauseProbs []float64) int
 
 // multinomial splits n samples across clauses proportionally to
 // clauseProbs/z by drawing each sample's clause index independently.
-func multinomial(rng *rand.Rand, n int, clauseProbs []float64, z float64) []int {
+func multinomial(rng *poibin.SM64, n int, clauseProbs []float64, z float64) []int {
 	cum := make([]float64, len(clauseProbs))
 	acc := 0.0
 	for i, p := range clauseProbs {

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/core"
+)
+
+// allocBaselinePath is the committed allocs/op baseline the CI bench-smoke
+// step guards against. Regenerate it (after a deliberate allocation-profile
+// change) with:
+//
+//	PFCIM_ALLOC_GUARD=write go test ./internal/experiments/ -run TestAllocRegressionGuard
+const allocBaselinePath = "testdata/alloc_baseline.json"
+
+// allocGuardTolerance is the accepted relative regression before the guard
+// fails: measured > baseline × 1.2.
+const allocGuardTolerance = 1.2
+
+// TestAllocRegressionGuard mines the two Fig. 5 scenarios once each (the
+// bench smoke) and compares their steady-state allocation counts against
+// the committed baseline. Gated behind PFCIM_ALLOC_GUARD so the default
+// `go test ./...` stays fast; CI runs it explicitly.
+func TestAllocRegressionGuard(t *testing.T) {
+	mode := os.Getenv("PFCIM_ALLOC_GUARD")
+	if mode == "" {
+		t.Skip("set PFCIM_ALLOC_GUARD=1 to run (or =write to regenerate the baseline)")
+	}
+	suite := NewSuite(Config{})
+	scenarios := []struct {
+		name string
+		ds   Dataset
+		rel  float64
+	}{
+		{"fig5-mushroom", suite.Mushroom, 0.2},
+		{"fig5-quest", suite.Quest, 0.4},
+	}
+	measured := map[string]float64{}
+	for _, sc := range scenarios {
+		opts := suite.baseOptions(sc.ds.DB, sc.rel)
+		// Warm once so lazily-built process state (none today) is excluded,
+		// and so a mining error surfaces as a test failure, not a panic
+		// inside AllocsPerRun.
+		if _, err := core.Mine(sc.ds.DB, opts); err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		measured[sc.name] = testing.AllocsPerRun(3, func() {
+			if _, err := core.Mine(sc.ds.DB, opts); err != nil {
+				panic(err)
+			}
+		})
+		t.Logf("%-16s %10.0f allocs/op", sc.name, measured[sc.name])
+	}
+
+	if mode == "write" {
+		buf, err := json.MarshalIndent(measured, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(allocBaselinePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(allocBaselinePath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", allocBaselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(allocBaselinePath)
+	if err != nil {
+		t.Fatalf("no baseline (%v); regenerate with PFCIM_ALLOC_GUARD=write", err)
+	}
+	baseline := map[string]float64{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range measured {
+		base, ok := baseline[name]
+		if !ok {
+			t.Errorf("%s: no baseline entry; regenerate with PFCIM_ALLOC_GUARD=write", name)
+			continue
+		}
+		if got > base*allocGuardTolerance {
+			t.Errorf("%s: %0.f allocs/op, baseline %.0f (+%.0f%% exceeds the %d%% guard)",
+				name, got, base, 100*(got/base-1), int(100*(allocGuardTolerance-1)))
+		} else if got < base/allocGuardTolerance {
+			t.Logf("%s: improved to %.0f allocs/op from %.0f — consider refreshing the baseline", name, got, base)
+		}
+	}
+}

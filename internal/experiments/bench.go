@@ -5,10 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"testing"
 
+	"github.com/probdata/pfcim/internal/bitset"
 	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/gen"
+	"github.com/probdata/pfcim/internal/poibin"
 	"github.com/probdata/pfcim/internal/sweep"
 )
 
@@ -22,6 +26,7 @@ type BenchPoint struct {
 	RelMinSup   float64    `json:"rel_min_sup"`
 	PFCT        float64    `json:"pfct"`
 	Parallelism int        `json:"parallelism"`
+	SplitDepth  int        `json:"split_depth,omitempty"`
 	NsPerOp     int64      `json:"ns_per_op"`
 	AllocsPerOp int64      `json:"allocs_per_op"`
 	BytesPerOp  int64      `json:"bytes_per_op"`
@@ -41,7 +46,15 @@ type BenchPoint struct {
 // sweep endpoints on Mushroom, where bound pruning is weakest (0.5) and
 // strongest (0.9).
 func (s *Suite) benchConfigs() []BenchPoint {
+	// The parallel point must actually exercise the scheduler: on a
+	// single-CPU box GOMAXPROCS is 1 and Parallelism 1 degenerates to the
+	// serial path (no tasks spawned), so clamp to at least two workers —
+	// results are byte-identical at any parallelism, only scheduling
+	// differs.
 	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		procs = 2
+	}
 	cfgs := []BenchPoint{
 		{Name: "fig5-mushroom", Dataset: s.Mushroom.Name, RelMinSup: 0.2, PFCT: s.Cfg.PFCT, Parallelism: 1},
 		{Name: "fig5-mushroom-parallel", Dataset: s.Mushroom.Name, RelMinSup: 0.2, PFCT: s.Cfg.PFCT, Parallelism: procs},
@@ -72,6 +85,11 @@ func (s *Suite) RunBench(w io.Writer) error {
 		}
 		cfg.Itemsets = len(res.Itemsets)
 		cfg.Stats = res.Stats
+		// Record the normalized execution settings the run actually used,
+		// not the requested ones (SplitDepth in particular is defaulted
+		// inside Mine).
+		cfg.Parallelism = res.Options.Parallelism
+		cfg.SplitDepth = res.Options.SplitDepth
 
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -93,6 +111,14 @@ func (s *Suite) RunBench(w io.Writer) error {
 		return err
 	}
 	points = append(points, sweepPoints...)
+	if s.Cfg.BenchLarge {
+		large, err := s.benchLargeQuest()
+		if err != nil {
+			return err
+		}
+		points = append(points, large)
+	}
+	points = append(points, s.benchKernels()...)
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -166,4 +192,139 @@ func (s *Suite) benchFig7Sweep() ([]BenchPoint, error) {
 	}
 	fmt.Fprintf(s.Cfg.Out, "fig7 sweep-engine speedup over per-point mining: %.2fx\n", speedup)
 	return out, nil
+}
+
+// benchLargeQuest generates the million-transaction sparse Quest dataset
+// (T10I4D1MP2K under the paper's mean-.8/var-.1 Gaussian regime) and
+// measures one full mining run at relative min_sup 0.01. The workload is
+// the antithesis of Mushroom: per-item tidsets are ~0.5% dense (the auto
+// representation compacts them), and frequent-item support distributions
+// are long enough that the divide-and-conquer tail kernel engages.
+func (s *Suite) benchLargeQuest() (BenchPoint, error) {
+	data := gen.Quest(gen.QuestT10I4D1MP2K(1, s.Cfg.Seed+5))
+	db := gen.AssignGaussian(data, 0.8, 0.1, s.Cfg.Seed+6)
+	cfg := BenchPoint{
+		Name: "quest-1m", Dataset: "T10I4D1MP2K",
+		RelMinSup: 0.01, PFCT: s.Cfg.PFCT, Parallelism: 1,
+	}
+	opts := s.baseOptions(db, cfg.RelMinSup)
+	opts.PFCT = cfg.PFCT
+	opts.Parallelism = cfg.Parallelism
+
+	res, err := core.Mine(db, opts)
+	if err != nil {
+		return BenchPoint{}, fmt.Errorf("bench %s: %w", cfg.Name, err)
+	}
+	cfg.Itemsets = len(res.Itemsets)
+	cfg.Stats = res.Stats
+	cfg.Parallelism = res.Options.Parallelism
+	cfg.SplitDepth = res.Options.SplitDepth
+
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Mine(db, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cfg.NsPerOp = br.NsPerOp()
+	cfg.AllocsPerOp = br.AllocsPerOp()
+	cfg.BytesPerOp = br.AllocedBytesPerOp()
+	fmt.Fprintf(s.Cfg.Out, "bench %-24s %12d ns/op %8d allocs/op  itemsets=%d tails=%d memo-hits=%d\n",
+		cfg.Name, cfg.NsPerOp, cfg.AllocsPerOp, cfg.Itemsets, cfg.Stats.TailEvaluations, cfg.Stats.TailMemoHits)
+	return cfg, nil
+}
+
+// benchKernels measures the overhauled kernels in isolation, outside any
+// mining run: the dynamic-programming vs divide-and-conquer
+// Poisson-binomial tail on an 8192-probability vector, the batched
+// 16-sibling column-sweep intersection vs sixteen independent AndInto
+// calls, and AND+popcount over dense vs compressed representations of the
+// same ~0.4%-dense 2²⁰-bit sets. Steady-state allocations should be zero
+// for all six (the alloc-guard test asserts it for the library paths).
+func (s *Suite) benchKernels() []BenchPoint {
+	rng := rand.New(rand.NewSource(s.Cfg.Seed))
+	const n = 8192
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = rng.Float64()
+	}
+	k := n / 2
+	var sc poibin.Scratch
+	sc.TailKernel(probs, k, poibin.KernelDP) // warm the scratch arena
+	sc.TailKernel(probs, k, poibin.KernelConv)
+
+	bench := func(f func()) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+	}
+	mk := func(name string, r testing.BenchmarkResult) BenchPoint {
+		return BenchPoint{
+			Name: name, Dataset: "synthetic",
+			NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		}
+	}
+
+	tailDP := bench(func() { sc.TailKernel(probs, k, poibin.KernelDP) })
+	tailConv := bench(func() { sc.TailKernel(probs, k, poibin.KernelConv) })
+
+	parent := bitset.New(n)
+	srcs := make([]*bitset.Bitset, 16)
+	dsts := make([]*bitset.Bitset, 16)
+	counts := make([]int, 16)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			parent.Set(i)
+		}
+	}
+	for j := range srcs {
+		srcs[j] = bitset.New(n)
+		dsts[j] = bitset.New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				srcs[j].Set(i)
+			}
+		}
+	}
+	batch := bench(func() { bitset.AndBatch(dsts, counts, parent, srcs) })
+	serial := bench(func() {
+		for j := range srcs {
+			counts[j] = bitset.AndInto(dsts[j], parent, srcs[j])
+		}
+	})
+
+	const big = 1 << 20
+	mkset := func() *bitset.Bitset {
+		b := bitset.New(big)
+		for i := 0; i < big; i++ {
+			if rng.Float64() < 0.004 {
+				b.Set(i)
+			}
+		}
+		return b
+	}
+	dx, dy := mkset(), mkset()
+	sx, sy := dx.Compacted(), dy.Compacted()
+	var sink int
+	andDense := bench(func() { sink = bitset.AndCount(dx, dy) })
+	andCompressed := bench(func() { sink = bitset.AndCount(sx, sy) })
+	_ = sink
+
+	out := []BenchPoint{
+		mk("kernel-tail-dp", tailDP),
+		mk("kernel-tail-conv", tailConv),
+		mk("kernel-and-batch16", batch),
+		mk("kernel-and-serial16", serial),
+		mk("kernel-and-dense", andDense),
+		mk("kernel-and-compressed", andCompressed),
+	}
+	for _, p := range out {
+		fmt.Fprintf(s.Cfg.Out, "bench %-24s %12d ns/op %8d allocs/op\n", p.Name, p.NsPerOp, p.AllocsPerOp)
+	}
+	return out
 }

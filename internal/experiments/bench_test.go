@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/probdata/pfcim/internal/core"
+)
+
+// benchMine mines one named bench configuration per iteration — the same
+// workload RunBench measures, exposed as a go-test benchmark so the mining
+// points can be profiled in isolation:
+//
+//	go test ./internal/experiments -run '^$' -bench 'BenchmarkMine/fig5-quest' -cpuprofile cpu.prof
+func benchMine(b *testing.B, name string) {
+	s := NewSuite(Config{Seed: 42})
+	for _, cfg := range s.benchConfigs() {
+		if cfg.Name != name {
+			continue
+		}
+		ds := s.Mushroom
+		if cfg.Dataset == s.Quest.Name {
+			ds = s.Quest
+		}
+		opts := s.baseOptions(ds.DB, cfg.RelMinSup)
+		opts.PFCT = cfg.PFCT
+		opts.Parallelism = cfg.Parallelism
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Mine(ds.DB, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	b.Fatalf("unknown bench configuration %q", name)
+}
+
+func BenchmarkMine(b *testing.B) {
+	for _, name := range []string{"fig5-mushroom", "fig5-quest"} {
+		b.Run(name, func(b *testing.B) { benchMine(b, name) })
+	}
+}

@@ -59,6 +59,26 @@ func QuestT20I10D30KP40(scale float64, seed int64) QuestConfig {
 	}
 }
 
+// QuestT10I4D1MP2K returns a sparse, large-n stress configuration: one
+// million short transactions (scale 1) over 2000 items with average
+// transaction length 10 and average pattern length 4. Per-item tidsets
+// average ~0.5% density, so the auto tidset representation goes sparse and
+// frequent-item tail lengths cross the divide-and-conquer kernel's
+// crossover — the workload BENCH_*.json tracks as quest-1m.
+func QuestT10I4D1MP2K(scale float64, seed int64) QuestConfig {
+	n := int(1000000 * scale)
+	if n < 1 {
+		n = 1
+	}
+	return QuestConfig{
+		NumTrans:      n,
+		NumItems:      2000,
+		AvgTransLen:   10,
+		AvgPatternLen: 4,
+		Seed:          seed,
+	}
+}
+
 // Quest generates an exact transaction dataset following the Quest
 // procedure: a pool of potentially frequent itemsets with exponential
 // weights and pairwise item overlap, from which transactions are assembled
@@ -72,6 +92,7 @@ func Quest(cfg QuestConfig) []itemset.Itemset {
 	for i := range itemWeights {
 		itemWeights[i] = rng.ExpFloat64() + 0.1
 	}
+	itemPick := newWeightedPicker(itemWeights)
 
 	// Pattern pool.
 	type pattern struct {
@@ -105,7 +126,7 @@ func Quest(cfg QuestConfig) []itemset.Itemset {
 			}
 		}
 		for len(items) < size {
-			it := itemset.Item(weightedPick(rng, itemWeights))
+			it := itemset.Item(itemPick.pick(rng))
 			if !chosen[it] {
 				chosen[it] = true
 				items = append(items, it)
@@ -120,6 +141,7 @@ func Quest(cfg QuestConfig) []itemset.Itemset {
 	for i, p := range patterns {
 		weights[i] = p.weight
 	}
+	patPick := newWeightedPicker(weights)
 
 	out := make([]itemset.Itemset, 0, cfg.NumTrans)
 	for len(out) < cfg.NumTrans {
@@ -129,7 +151,7 @@ func Quest(cfg QuestConfig) []itemset.Itemset {
 		}
 		chosen := map[itemset.Item]bool{}
 		for len(chosen) < size {
-			p := patterns[weightedPick(rng, weights)]
+			p := patterns[patPick.pick(rng)]
 			added := 0
 			for _, it := range p.items {
 				// Each item of the pattern survives corruption
@@ -152,7 +174,7 @@ func Quest(cfg QuestConfig) []itemset.Itemset {
 			if added == 0 {
 				// Fully corrupted pick; add a random filler item so the
 				// loop always progresses.
-				chosen[itemset.Item(weightedPick(rng, itemWeights))] = true
+				chosen[itemset.Item(itemPick.pick(rng))] = true
 			}
 		}
 		items := make([]itemset.Item, 0, len(chosen))
@@ -163,6 +185,54 @@ func Quest(cfg QuestConfig) []itemset.Itemset {
 		out = append(out, itemset.New(items...))
 	}
 	return out
+}
+
+// weightedPicker draws indices with probability proportional to a fixed
+// weight vector in O(log n) via binary search over inclusive prefix sums.
+// It is draw-equivalent — bitwise, for the same *rand.Rand state — to the
+// naive linear scan (total computed by the same left-to-right accumulation,
+// then the first index whose prefix sum reaches u), so switching the
+// generator to it does not change any generated dataset.
+type weightedPicker struct {
+	cum []float64 // inclusive prefix sums, left-to-right accumulation order
+}
+
+func newWeightedPicker(weights []float64) *weightedPicker {
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	return &weightedPicker{cum: cum}
+}
+
+func (p *weightedPicker) pick(rng *rand.Rand) int {
+	u := rng.Float64() * p.cum[len(p.cum)-1]
+	i := sort.SearchFloat64s(p.cum, u) // first i with cum[i] >= u, as in the scan
+	if i >= len(p.cum) {
+		i = len(p.cum) - 1
+	}
+	return i
+}
+
+// weightedPick is the one-shot linear-scan draw, for callers whose weight
+// vectors are tiny or vary (the Mushroom-like generator). Hot loops over
+// fixed weights should build a weightedPicker instead.
+func weightedPick(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u <= acc {
+			return i
+		}
+	}
+	return len(weights) - 1
 }
 
 // poisson draws from a Poisson distribution with the given mean (Knuth's
@@ -184,23 +254,6 @@ func poisson(rng *rand.Rand, mean float64) int {
 			return k
 		}
 	}
-}
-
-// weightedPick returns an index with probability proportional to weights.
-func weightedPick(rng *rand.Rand, weights []float64) int {
-	total := 0.0
-	for _, w := range weights {
-		total += w
-	}
-	u := rng.Float64() * total
-	acc := 0.0
-	for i, w := range weights {
-		acc += w
-		if u <= acc {
-			return i
-		}
-	}
-	return len(weights) - 1
 }
 
 // AssignGaussian attaches an existence probability drawn from

@@ -67,7 +67,7 @@ func BenchmarkCondSamplerDrawN500K150(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
+	rng := NewSM64(2)
 	dst := make([]bool, 500)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -2,7 +2,7 @@ package poibin
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
 )
 
 // CondSampler draws Bernoulli vectors x ∈ {0,1}ⁿ with x_i ~ Bernoulli(p_i)
@@ -14,13 +14,25 @@ import (
 //
 //	tail[i][r] = Pr[ x_i + … + x_{n-1} ≥ r ]
 //
-// after which each Sample costs O(n). Build the sampler once per clause and
-// reuse it across that clause's samples.
+// and the conditional success table
+//
+//	pone[i][r] = Pr[ x_i = 1 | x_i + … + x_{n-1} ≥ r ]
+//	           = p_i · tail[i+1][r−1] / tail[i][r]
+//
+// after which each Sample costs O(n) with one table load and one uniform
+// draw per step — no division on the sampling path. Build the sampler once
+// per clause and reuse it across that clause's samples; the construction
+// amortizes after a handful of draws.
 type CondSampler struct {
 	probs []float64
 	k     int
 	// tail is an (n+1)×(k+1) table in row-major order.
 	tail []float64
+	// pone is an n×(k+1) table stored transposed (entry [i][r] at r·n+i, the
+	// access order of the sampling walk); entry [i][r] is NaN when
+	// tail[i][r] underflowed to 0, marking the numerically impossible
+	// branch where only the forced-success path remains.
+	pone []float64
 	n    int
 }
 
@@ -52,6 +64,23 @@ func NewCondSampler(probs []float64, k int) (*CondSampler, error) {
 	if cs.tail[k] <= 0 {
 		return nil, fmt.Errorf("poibin: constraint sum ≥ %d has probability 0", k)
 	}
+	// pone is stored transposed — entry [i][r] lives at r·n + i — so the
+	// sampling walk (i advances every step, r only on success) touches
+	// consecutive memory instead of one cache line per step. One padding
+	// element lets SampleWords preload the fail-path candidate of the next
+	// step unconditionally, even from the table's last live cell.
+	cs.pone = make([]float64, n*(k+1)+1)
+	for i := 0; i < n; i++ {
+		row := cs.tail[i*(k+1) : (i+1)*(k+1)]
+		next := cs.tail[(i+1)*(k+1) : (i+2)*(k+1)]
+		for r := 1; r <= k; r++ {
+			if denom := row[r]; denom > 0 {
+				cs.pone[r*n+i] = probs[i] * next[r-1] / denom
+			} else {
+				cs.pone[r*n+i] = math.NaN()
+			}
+		}
+	}
 	return cs, nil
 }
 
@@ -61,7 +90,7 @@ func (cs *CondSampler) Prob() float64 { return cs.tail[cs.k] }
 
 // Sample fills dst (length n) with one conditioned draw. It panics if dst
 // has the wrong length.
-func (cs *CondSampler) Sample(rng *rand.Rand, dst []bool) {
+func (cs *CondSampler) Sample(rng *SM64, dst []bool) {
 	if len(dst) != cs.n {
 		panic(fmt.Sprintf("poibin: Sample dst length %d, want %d", len(dst), cs.n))
 	}
@@ -72,23 +101,87 @@ func (cs *CondSampler) Sample(rng *rand.Rand, dst []bool) {
 			dst[i] = rng.Float64() < cs.probs[i]
 			continue
 		}
-		row := cs.tail[i*(cs.k+1) : (i+1)*(cs.k+1)]
-		next := cs.tail[(i+1)*(cs.k+1) : (i+2)*(cs.k+1)]
-		// Pr[x_i = 1 | suffix from i ≥ r] = p_i · Pr[suffix from i+1 ≥ r−1] / Pr[suffix from i ≥ r].
-		denom := row[r]
-		if denom <= 0 {
-			// Numerically impossible branch: force the success path, which
-			// is the only way to still satisfy the constraint.
+		// Pr[x_i = 1 | suffix from i ≥ r], precomputed; NaN flags the
+		// numerically impossible branch where the success path is forced.
+		pOne := cs.pone[r*cs.n+i]
+		if pOne != pOne {
 			dst[i] = true
 			r--
 			continue
 		}
-		pOne := cs.probs[i] * next[r-1] / denom
 		if rng.Float64() < pOne {
 			dst[i] = true
 			r--
 		} else {
 			dst[i] = false
 		}
+	}
+}
+
+// SampleWords draws one conditioned world directly into the dense bit
+// words of a caller-cleared present-set: bit tids[i] is set iff x_i = 1
+// (bit t lives at words[t/64], mask 1<<(t%64)). The uniform-draw stream
+// and the resulting assignment are identical to Sample's; fusing the draw
+// with the bit write is what removes the per-bit bounds-checked Set calls
+// from the Karp–Luby inner loop.
+func (cs *CondSampler) SampleWords(rng *SM64, tids []int, words []uint64) {
+	if len(tids) != cs.n {
+		panic(fmt.Sprintf("poibin: SampleWords got %d tids, want %d", len(tids), cs.n))
+	}
+	n := cs.n
+	r := cs.k
+	pone := cs.pone
+	i := 0
+	// Walk the transposed pone table with a running index: step i advances
+	// one element (+1) and a success drops one row (−n), so the staircase
+	// is a near-sequential scan that never recomputes r·n+i. The walk is
+	// written to keep the table loads off the loop's critical path: both
+	// candidate cells for the next step — fail at idx+1 (the padding
+	// element makes that load safe everywhere), success at idx+1−n, which
+	// is ≥ 1 whenever r > 0 — are fetched before the draw resolves, so the
+	// memory latency overlaps the compare instead of serializing behind it.
+	if r > 0 && i < n {
+		idx := r * n
+		cur := pone[idx]
+		for ; i < n && r > 0; i++ {
+			var cand [2]float64
+			cand[0] = pone[idx+1]
+			cand[1] = pone[idx+1-n]
+			if cur != cur {
+				// Numerically forced success: no draw is consumed.
+				t := uint(tids[i])
+				words[t/64] |= 1 << (t % 64)
+				r--
+				idx += 1 - n
+				cur = cand[1]
+				continue
+			}
+			// Branchless success: the comparison becomes a 0/1 flag, the
+			// bit write is unconditional (OR of zero is a no-op), and the
+			// cursor moves by a flag-adjusted stride. A draw succeeds with
+			// roughly the tuple's own probability, so a conditional here is
+			// an unpredictable branch in the hottest loop of the miner —
+			// the mispredict stalls cost more than the occasional wasted OR.
+			s := 0
+			if rng.Float64() < cur {
+				s = 1
+			}
+			t := uint(tids[i])
+			words[t/64] |= uint64(s) << (t % 64)
+			r -= s
+			idx += 1 - s*n
+			cur = cand[s]
+		}
+	}
+	// Constraint met; the rest is unconditioned. The [:n] re-slice hands
+	// the prover len(probs) = n, eliminating the per-step bounds checks.
+	probs := cs.probs[:n]
+	for ; i < n; i++ {
+		s := uint64(0)
+		if rng.Float64() < probs[i] {
+			s = 1
+		}
+		t := uint(tids[i])
+		words[t/64] |= s << (t % 64)
 	}
 }

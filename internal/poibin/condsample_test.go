@@ -64,7 +64,7 @@ func TestCondSamplerDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(42))
+	rng := NewSM64(42)
 	const samples = 200000
 	counts := map[int]int{}
 	draw := make([]bool, n)
@@ -103,7 +103,7 @@ func TestCondSamplerUnconstrained(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(5))
+	rng := NewSM64(5)
 	const samples = 100000
 	ones := make([]int, len(probs))
 	draw := make([]bool, len(probs))
@@ -133,7 +133,7 @@ func TestCondSamplerWrongLengthPanics(t *testing.T) {
 			t.Error("Sample with wrong dst length should panic")
 		}
 	}()
-	cs.Sample(rand.New(rand.NewSource(1)), make([]bool, 3))
+	cs.Sample(NewSM64(1), make([]bool, 3))
 }
 
 func TestCondSamplerTightConstraint(t *testing.T) {
@@ -143,7 +143,7 @@ func TestCondSamplerTightConstraint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(6))
+	rng := NewSM64(6)
 	draw := make([]bool, 3)
 	for s := 0; s < 100; s++ {
 		cs.Sample(rng, draw)

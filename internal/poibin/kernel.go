@@ -1,0 +1,424 @@
+package poibin
+
+// Tail-kernel architecture (DESIGN §13). Two kernels compute the exact
+// Poisson-binomial tail Pr[S ≥ k]:
+//
+//   - The sequential DP (tailDP): the absorbing-truncated dynamic program of
+//     [22], O(n·min(k, n+1)) time. Tuples with p = 1 take a bitwise-exact
+//     shift fast path: dist[c]·0 + dist[c−1]·1 rounds to dist[c−1] exactly
+//     (all entries are non-negative finite floats), and the absorbing add
+//     dist[k] += dist[k−1]·1 performs the identical rounded addition, so the
+//     memmove produces bit-identical output to the generic loop.
+//
+//   - The divide-and-conquer convolution tree (tailConv): certain tuples
+//     (p = 1) shift the threshold down, impossible tuples (p = 0) drop out,
+//     and the remaining vector splits into convLeafN-sized blocks whose
+//     truncated PMFs merge pairwise by absorbing-truncated convolution — the
+//     generating-function composition ProFP-Growth exploits. The merge is a
+//     pure multiply-add stream (vectorizable, parallelizable across
+//     subtrees), unlike the strictly sequential DP. Subtrees of at least
+//     convParallelN tuples evaluate concurrently; the tree shape depends
+//     only on the input length, so results are deterministic regardless of
+//     how many goroutines actually run.
+//
+// The two kernels accumulate the same products in different orders, so
+// their outputs may differ in the last ulps once the tree has more than one
+// leaf. Tail therefore dispatches by a fixed, input-deterministic crossover
+// (ConvCrossoverN): every caller — miner, memo, sweep replay, daemon —
+// resolves the same probability vector with the same kernel, preserving the
+// system-wide byte-identity guarantees of DESIGN §8.3. Forcing a kernel via
+// TailKernel is a result-affecting choice above the crossover and is
+// treated like an ablation switch by core.Options.
+
+import (
+	"sync"
+)
+
+// Kernel selects the tail evaluation strategy.
+type Kernel int
+
+const (
+	// KernelAuto dispatches by the fixed crossover: the sequential DP below
+	// ConvCrossoverN tuples, the convolution tree at or above it.
+	KernelAuto Kernel = iota
+	// KernelDP forces the sequential dynamic program at every size.
+	KernelDP
+	// KernelConv forces the divide-and-conquer convolution tree. Inputs of
+	// at most convLeafN tuples are a single leaf, which is the DP itself, so
+	// forcing KernelConv on small inputs is bit-identical to KernelDP.
+	KernelConv
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelDP:
+		return "dp"
+	case KernelConv:
+		return "conv"
+	}
+	return "auto"
+}
+
+const (
+	// ConvCrossoverN is the KernelAuto crossover: probability vectors with
+	// at least this many tuples use the convolution tree. Every dataset of
+	// the paper's evaluation (Mushroom ≈ 8k·scale, Quest ≈ 30k·scale at the
+	// benchmarked scales) stays below it; the 10⁶-transaction Quest workload
+	// is what it exists for.
+	ConvCrossoverN = 4096
+
+	// convLeafN is the block size at which the convolution tree bottoms out
+	// into a sequential DP leaf.
+	convLeafN = 512
+
+	// convParallelN is the subtree size at or above which the left half is
+	// evaluated on its own goroutine.
+	convParallelN = 1 << 16
+)
+
+// Scratch holds reusable buffers for tail evaluation, eliminating the
+// per-call O(k) allocation of the DP distribution vector. The zero value is
+// ready to use. A Scratch is not safe for concurrent use; each miner worker
+// owns one.
+type Scratch struct {
+	dist []float64
+	bufs [][]float64 // convolution-tree vector freelist
+}
+
+// Tail is Tail with scratch reuse: Pr[S ≥ k] via the canonical
+// (KernelAuto) dispatch.
+func (s *Scratch) Tail(probs []float64, k int) float64 {
+	return s.TailKernel(probs, k, KernelAuto)
+}
+
+// TailKernel computes Pr[S ≥ k] with the given kernel. KernelAuto is the
+// canonical choice; forcing KernelDP or KernelConv exists for equivalence
+// testing and benchmarking.
+func (s *Scratch) TailKernel(probs []float64, k int, kern Kernel) float64 {
+	n := len(probs)
+	switch {
+	case k <= 0:
+		return 1
+	case k > n:
+		return 0
+	}
+	if kern == KernelAuto {
+		if n >= ConvCrossoverN {
+			kern = KernelConv
+		} else {
+			kern = KernelDP
+		}
+	}
+	if kern == KernelConv && n > convLeafN {
+		return s.tailConv(probs, k)
+	}
+	if cap(s.dist) < k+1 {
+		s.dist = make([]float64, k+1)
+	}
+	return tailDP(s.dist[:k+1], probs, k)
+}
+
+// tailDP runs the absorbing-truncated DP in dist (len k+1, contents
+// overwritten). Three bitwise-exact reductions keep the inner loop short;
+// logical cell c lives at dist[c-off] and the absorbing ≥ k bucket is the
+// scalar acc.
+//
+//   - Certain tuples (p = 1) shift the distribution by one. The generic
+//     recurrence dist[c]·0 + dist[c−1]·1 is an exact move in IEEE
+//     arithmetic, so the shift is tracked as the window offset off instead
+//     of an O(k) copy. Once off reaches k all mass is absorbed and every
+//     later round adds an exact +0, so the scan stops.
+//   - Cells below k − remaining can never climb back to k (an item adds at
+//     most one success), and their updates feed only other dead cells, so
+//     the loop floor rises as the scan nears the end. Skipped cells are
+//     never read again: round i reads one cell below its write floor,
+//     which is exactly round i−1's floor.
+//   - Walking downward, dist[c−1] is the next iteration's dist[c]; the
+//     load is carried across iterations.
+//
+// None of the three changes the sequence of rounded multiply-adds that
+// reaches the absorbing bucket, so the result is bit-identical to the
+// naive recurrence (the crosscheck suites and the bench-stat comparison
+// both pin this).
+func tailDP(dist []float64, probs []float64, k int) float64 {
+	for i := range dist {
+		dist[i] = 0
+	}
+	dist[0] = 1 // logical cell off
+	acc := 0.0  // absorbing ≥ k bucket (the old dist[k])
+	n := len(probs)
+	off := 0 // certain-tuple shift: logical cells below off are exactly zero
+	hi := 0  // highest logical index that can be non-zero
+	for idx, p := range probs {
+		if hi < k {
+			hi++
+		}
+		if p == 1 {
+			if hi == k {
+				acc += dist[k-1-off]
+			}
+			off++
+			if off >= k {
+				break
+			}
+			continue
+		}
+		q := 1 - p
+		if hi == k {
+			acc += dist[k-1-off] * p // absorb into ≥ k
+		}
+		top := hi
+		if top > k-1 {
+			top = k - 1
+		}
+		// Floor of the cells that can still reach k after this round.
+		lo := k - n + idx + 1
+		cLo := lo
+		if cLo <= off {
+			cLo = off + 1
+		}
+		if pTop, pLo := top-off, cLo-off; pTop >= pLo {
+			// Walk downward so each cell still holds the previous round.
+			// The recurrence dist[c] ← dist[c]·q + dist[c−1]·p has no
+			// arithmetic loop-carried dependency (each cell reads only
+			// previous-round values), so a 4-way unroll — same two
+			// multiplies and one add per cell, untouched order — exposes
+			// the instruction-level parallelism the rolled loop serializes
+			// behind its carried load.
+			pc := pTop
+			cur := dist[pc]
+			for ; pc >= pLo+3; pc -= 4 {
+				// Constant indices into a five-cell window let one slice
+				// check stand in for the nine per-element bounds checks
+				// the open-coded indices would incur.
+				w := dist[pc-4 : pc+1]
+				b := w[3]
+				c := w[2]
+				d := w[1]
+				e := w[0]
+				w[4] = cur*q + b*p
+				w[3] = b*q + c*p
+				w[2] = c*q + d*p
+				w[1] = d*q + e*p
+				cur = e
+			}
+			for ; pc >= pLo; pc-- {
+				below := dist[pc-1]
+				dist[pc] = cur*q + below*p
+				cur = below
+			}
+		}
+		if lo <= off {
+			dist[0] *= q
+		}
+	}
+	// The absorbing sum of rounded products can land an ulp above 1
+	// (certain tuples make this routine); a probability never may.
+	if acc > 1 {
+		return 1
+	}
+	return acc
+}
+
+// tailConv evaluates the tail with the convolution tree: extract the
+// degenerate tuples, then convolve the rest blockwise.
+func (s *Scratch) tailConv(probs []float64, k int) float64 {
+	rest := s.getBuf(len(probs))[:0]
+	certain := 0
+	for _, p := range probs {
+		switch p {
+		case 1:
+			certain++ // one guaranteed success: lowers the threshold
+		case 0:
+			// contributes nothing to the sum
+		default:
+			rest = append(rest, p)
+		}
+	}
+	k -= certain
+	var out float64
+	switch {
+	case k <= 0:
+		out = 1
+	case k > len(rest):
+		out = 0
+	default:
+		v := s.convTree(rest, k, true)
+		out = v[k] // len(v) == min(len(rest), k)+1 == k+1 here
+		s.putBuf(v)
+	}
+	s.putBuf(rest)
+	if out > 1 {
+		return 1
+	}
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// convTree returns the PMF of Σ Bernoulli(probs) truncated at k (index k
+// absorbs ≥ k when reachable); the returned vector has length
+// min(len(probs), k)+1 and comes from the scratch freelist — callers
+// release it with putBuf. Probabilities must lie strictly in (0, 1).
+// The recursion shape depends only on len(probs) and k, so the result is
+// deterministic whether or not subtrees run concurrently.
+func (s *Scratch) convTree(probs []float64, k int, root bool) []float64 {
+	n := len(probs)
+	if n <= convLeafN {
+		L := n
+		if L > k {
+			L = k
+		}
+		v := s.getBuf(L + 1)[:L+1]
+		leafPMF(v, probs, k)
+		return v
+	}
+	mid := n / 2
+	if root && n >= convParallelN {
+		// Kept out of line: the goroutine closure would force the halves'
+		// slice headers to the heap on the (far more common) sequential
+		// path too.
+		return s.convTreePar(probs, mid, k)
+	}
+	left := s.convTree(probs[:mid], k, root)
+	right := s.convTree(probs[mid:], k, root)
+	return s.mergeTrees(left, right, k)
+}
+
+// convTreePar evaluates the left half on its own goroutine.
+func (s *Scratch) convTreePar(probs []float64, mid, k int) []float64 {
+	var left []float64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ls Scratch // goroutine-local scratch; its buffers are discarded
+		left = ls.convTree(probs[:mid], k, true)
+	}()
+	right := s.convTree(probs[mid:], k, true)
+	wg.Wait()
+	return s.mergeTrees(left, right, k)
+}
+
+// mergeTrees convolves two subtree PMFs into a fresh scratch vector and
+// releases the inputs.
+func (s *Scratch) mergeTrees(left, right []float64, k int) []float64 {
+	lo := len(left) + len(right) - 2
+	if lo > k {
+		lo = k
+	}
+	out := s.getBuf(lo + 1)[:lo+1]
+	convMerge(out, left, right, k)
+	s.putBuf(left)
+	s.putBuf(right)
+	return out
+}
+
+// convMerge convolves the truncated PMFs a and b into out (length
+// min(La+Lb, k)+1, overwritten), lumping mass at or above index k into
+// out[k] when out reaches that far. The i-ascending, j-ascending summation
+// order is part of the kernel's definition — it makes the result
+// deterministic across runs. Skipping zero terms is exact: adding a·0
+// to a non-negative partial sum reproduces it bit-for-bit.
+func convMerge(out, a, b []float64, k int) {
+	for i := range out {
+		out[i] = 0
+	}
+	top := len(out) - 1
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		base := i
+		if base+len(b)-1 <= top {
+			// Fast path: no truncation in this row.
+			row := out[base : base+len(b)]
+			for j, bj := range b {
+				row[j] += ai * bj
+			}
+			continue
+		}
+		for j, bj := range b {
+			idx := base + j
+			if idx > top {
+				idx = top
+			}
+			out[idx] += ai * bj
+		}
+	}
+	// Absorbed bins accumulate rounded products and may drift an ulp above
+	// 1; clamp so downstream monotonicity invariants hold.
+	if out[top] > 1 {
+		out[top] = 1
+	}
+}
+
+// leafPMF fills v (length min(len(probs), k)+1) with the truncated PMF of
+// one block via the sequential DP. The top bin absorbs only when the block
+// reaches k; shorter blocks carry their exact full PMF.
+func leafPMF(v []float64, probs []float64, k int) {
+	L := len(v) - 1
+	for i := range v {
+		v[i] = 0
+	}
+	v[0] = 1
+	hi := 0
+	absorb := L == k
+	for _, p := range probs {
+		if hi < L {
+			hi++
+		}
+		q := 1 - p
+		top := hi
+		if absorb && hi == L {
+			v[L] += v[L-1] * p
+			top = L - 1
+		}
+		for c := top; c >= 1; c-- {
+			v[c] = v[c]*q + v[c-1]*p
+		}
+		v[0] *= q
+	}
+}
+
+// getBuf returns a float vector with capacity ≥ size from the freelist,
+// preferring the tightest fit so large buffers stay available for large
+// requests (first-fit would churn: a small request could consume the one
+// big buffer and force a fresh allocation on the next big request).
+func (s *Scratch) getBuf(size int) []float64 {
+	best := -1
+	for i := range s.bufs {
+		if cap(s.bufs[i]) >= size && (best < 0 || cap(s.bufs[i]) < cap(s.bufs[best])) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		b := s.bufs[best]
+		s.bufs[best] = s.bufs[len(s.bufs)-1]
+		s.bufs = s.bufs[:len(s.bufs)-1]
+		return b[:0]
+	}
+	return make([]float64, 0, size)
+}
+
+// putBuf parks a vector for reuse.
+func (s *Scratch) putBuf(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	if len(s.bufs) >= 8 {
+		// Keep the freelist small; drop the smallest buffer.
+		smallest := 0
+		for i := range s.bufs {
+			if cap(s.bufs[i]) < cap(s.bufs[smallest]) {
+				smallest = i
+			}
+		}
+		if cap(s.bufs[smallest]) < cap(b) {
+			s.bufs[smallest] = b[:0]
+		}
+		return
+	}
+	s.bufs = append(s.bufs, b[:0])
+}

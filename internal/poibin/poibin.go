@@ -30,44 +30,19 @@ func Variance(probs []float64) float64 {
 	return s
 }
 
-// Tail returns Pr[S ≥ k] exactly, where S = Σ Bernoulli(p_i), by dynamic
-// programming over counts truncated at k. Time O(n·min(k, n+1)), space
-// O(min(k, n+1)).
+// Tail returns Pr[S ≥ k] exactly, where S = Σ Bernoulli(p_i). Below the
+// ConvCrossoverN crossover this is dynamic programming over counts truncated
+// at k (time O(n·min(k, n+1)), space O(min(k, n+1))); at or above it, the
+// divide-and-conquer convolution tree of kernel.go. The dispatch is a fixed
+// function of len(probs), so every caller resolves a given vector with the
+// same kernel (see the kernel.go package comment for why that matters).
 //
 // This is the paper's "dynamic programming approach [22]" for computing the
-// frequent probability Pr{sup(X) ≥ min_sup}.
+// frequent probability Pr{sup(X) ≥ min_sup}. Callers on a hot path should
+// hold a Scratch and use Scratch.Tail, which reuses the DP buffer.
 func Tail(probs []float64, k int) float64 {
-	n := len(probs)
-	switch {
-	case k <= 0:
-		return 1
-	case k > n:
-		return 0
-	}
-	// dist[c] = Pr[min(count so far, k) = c]; dist[k] absorbs ≥ k.
-	dist := make([]float64, k+1)
-	dist[0] = 1
-	hi := 0 // highest index that can be non-zero
-	for _, p := range probs {
-		if hi < k {
-			hi++
-		}
-		q := 1 - p
-		// Walk downward so each dist[c] still holds the previous round.
-		if hi == k {
-			dist[k] += dist[k-1] * p // absorb into ≥ k
-		}
-		for c := min(hi, k-1); c >= 1; c-- {
-			dist[c] = dist[c]*q + dist[c-1]*p
-		}
-		dist[0] *= q
-	}
-	// The absorbing sum of rounded products can land an ulp above 1
-	// (certain tuples, p = 1, make this routine); a probability never may.
-	if dist[k] > 1 {
-		return 1
-	}
-	return dist[k]
+	var s Scratch
+	return s.TailKernel(probs, k, KernelAuto)
 }
 
 // TailAll returns Pr[S ≥ k] for every k in 0..n in one O(n²) pass.
@@ -197,11 +172,4 @@ func NormalTail(probs []float64, k int) float64 {
 	}
 	z := (float64(k) - 0.5 - mu) / math.Sqrt(v)
 	return 0.5 * math.Erfc(z/math.Sqrt2)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,99 @@
+package poibin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refWindowDP is the textbook absorbing-truncated DP, kept as the reference
+// implementation: full k+1 window every round, O(k) copy for p = 1 tuples.
+// The production tailDP must reproduce it bit for bit — its window offset,
+// rising floor, and early absorb-exit are all arguments about IEEE
+// exactness, and this test is where those arguments meet the hardware.
+func refWindowDP(dist []float64, probs []float64, k int) float64 {
+	for i := range dist {
+		dist[i] = 0
+	}
+	dist[0] = 1
+	hi := 0
+	for _, p := range probs {
+		if hi < k {
+			hi++
+		}
+		top := hi
+		if top > k-1 {
+			top = k - 1
+		}
+		if p == 1 {
+			if hi == k {
+				dist[k] += dist[k-1]
+			}
+			copy(dist[1:top+1], dist[:top])
+			dist[0] = 0
+			continue
+		}
+		q := 1 - p
+		if hi == k {
+			dist[k] += dist[k-1] * p
+		}
+		for c := top; c >= 1; c-- {
+			dist[c] = dist[c]*q + dist[c-1]*p
+		}
+		dist[0] *= q
+	}
+	if dist[k] > 1 {
+		return 1
+	}
+	return dist[k]
+}
+
+// TestTailDPMatchesReference fuzzes the windowed tailDP against the
+// reference DP and requires exact (==, not ≈) agreement, across vectors
+// mixing certain tuples, near-zero clamps, and generic probabilities, at
+// every threshold.
+func TestTailDPMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20000; trial++ {
+		n := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(n)
+		probs := make([]float64, n)
+		for i := range probs {
+			switch rng.Intn(5) {
+			case 0:
+				probs[i] = 1
+			case 1:
+				probs[i] = 0.01
+			default:
+				probs[i] = rng.Float64()
+			}
+		}
+		d1 := make([]float64, k+1)
+		d2 := make([]float64, k+1)
+		a := refWindowDP(d1, probs, k)
+		b := tailDP(d2, probs, k)
+		if a != b {
+			t.Fatalf("trial %d n=%d k=%d: ref=%v got=%v diff=%g\nprobs=%v", trial, n, k, a, b, a-b, probs)
+		}
+	}
+	// Long vectors with a high certain-tuple rate: the early absorb-exit
+	// (off ≥ k) and deep floor both engage.
+	for trial := 0; trial < 200; trial++ {
+		n := 200 + rng.Intn(400)
+		k := 1 + rng.Intn(n)
+		probs := make([]float64, n)
+		for i := range probs {
+			if rng.Float64() < 0.3 {
+				probs[i] = 1
+			} else {
+				probs[i] = rng.Float64()
+			}
+		}
+		d1 := make([]float64, k+1)
+		d2 := make([]float64, k+1)
+		a := refWindowDP(d1, probs, k)
+		b := tailDP(d2, probs, k)
+		if a != b {
+			t.Fatalf("long trial %d n=%d k=%d: ref=%v got=%v", trial, n, k, a, b)
+		}
+	}
+}

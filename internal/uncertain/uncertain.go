@@ -151,16 +151,44 @@ func (db *DB) buildIndex() *Index {
 		Tidsets: make(map[itemset.Item]*bitset.Bitset, len(db.items)),
 		ItemPos: make(map[itemset.Item]int, len(db.items)),
 	}
+	n := len(db.trans)
 	for pos, it := range idx.Items {
-		idx.Tidsets[it] = bitset.New(len(db.trans))
 		idx.ItemPos[it] = pos
+	}
+	// Two passes: count each item's occurrences, then build its tidset
+	// directly in its final representation — sparse id lists for
+	// low-density items, dense words otherwise. On a high-n sparse
+	// database (e.g. the 10⁶-transaction Quest preset) this avoids ever
+	// materializing |items|·n/8 bytes of mostly-empty words.
+	counts := make([]int, len(idx.Items))
+	for _, t := range db.trans {
+		for _, it := range t.Items {
+			counts[idx.ItemPos[it]]++
+		}
+	}
+	sparseIDs := make(map[itemset.Item][]uint32)
+	for pos, it := range idx.Items {
+		if bitset.ShouldCompact(counts[pos], n) {
+			sparseIDs[it] = make([]uint32, 0, counts[pos])
+		} else {
+			idx.Tidsets[it] = bitset.New(n)
+		}
 	}
 	for tid, t := range db.trans {
 		for _, it := range t.Items {
+			if ids, ok := sparseIDs[it]; ok {
+				if len(ids) == 0 || ids[len(ids)-1] != uint32(tid) {
+					sparseIDs[it] = append(ids, uint32(tid))
+				}
+				continue
+			}
 			idx.Tidsets[it].Set(tid)
 		}
 	}
-	idx.AllTrans = bitset.New(len(db.trans))
+	for it, ids := range sparseIDs {
+		idx.Tidsets[it] = bitset.NewSparse(n, ids)
+	}
+	idx.AllTrans = bitset.New(n)
 	idx.AllTrans.SetAll()
 	return idx
 }

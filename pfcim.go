@@ -492,6 +492,13 @@ func QuestT20I10D30KP40(scale float64, seed int64) QuestConfig {
 	return gen.QuestT20I10D30KP40(scale, seed)
 }
 
+// QuestT10I4D1MP2K returns the sparse million-transaction stress
+// configuration (2000 items, average transaction length 10), optionally
+// scaled down.
+func QuestT10I4D1MP2K(scale float64, seed int64) QuestConfig {
+	return gen.QuestT10I4D1MP2K(scale, seed)
+}
+
 // GenerateMushroomLike produces a dense categorical dataset with the
 // structural properties of the UCI Mushroom dataset (scale 1 ≈ 8124
 // transactions of length 23 over ≈119 items).
