@@ -41,27 +41,34 @@ func main() {
 	}
 
 	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
-	var differential, invariants int
+	var differential, invariants, sharded int
 	for i := int64(0); time.Now().Before(deadline); i++ {
 		for _, sh := range shapes {
-			// Every eighth case runs the (heavier) metamorphic invariants on
-			// a database beyond the oracle's reach; the rest are differential.
+			// The rotation interleaves the three checkers: every eighth case
+			// runs the (heavier) metamorphic invariants on a database beyond
+			// the oracle's reach, every eighth (offset 3) runs the shard-
+			// composability equivalence, and the rest are differential.
 			c := crosscheck.Case{Shape: sh, Seed: *seed + i}
 			var err error
-			if i%8 == 7 {
+			switch {
+			case i%8 == 7:
 				c.MaxTrans, c.MaxItems = crosscheck.InvariantMaxTrans, crosscheck.InvariantMaxItems
 				err = crosscheck.RunInvariants(c)
 				invariants++
-			} else {
+			case i%8 == 3:
+				err = crosscheck.RunShardEquivalence(c)
+				sharded++
+			default:
 				err = crosscheck.RunDifferential(c)
 				differential++
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "FAIL after %d differential + %d invariant cases:\n%v\n", differential, invariants, err)
+				fmt.Fprintf(os.Stderr, "FAIL after %d differential + %d invariant + %d shard cases:\n%v\n",
+					differential, invariants, sharded, err)
 				os.Exit(1)
 			}
 		}
 	}
-	fmt.Printf("crosscheck: OK — %d differential and %d invariant cases across %v in %ds\n",
-		differential, invariants, shapes, *seconds)
+	fmt.Printf("crosscheck: OK — %d differential, %d invariant and %d shard cases across %v in %ds\n",
+		differential, invariants, sharded, shapes, *seconds)
 }

@@ -30,6 +30,20 @@
 //	                          otherwise
 //	/debug/pprof/             net/http/pprof (only with -pprof)
 //
+// Distributed mining (README.md "Distributed quickstart"):
+//
+//	pfcimd -role=worker -addr :9101                      shard worker: holds
+//	                          range slices of registered datasets and
+//	                          answers per-shard tail/clause RPCs under
+//	                          /shard/v1/ (plus GET /healthz)
+//	pfcimd -role=coordinator -shard-workers :9101,:9102 -shards 4
+//	                          coordinator: the daemon above, with datasets
+//	                          range-partitioned onto the workers at
+//	                          registration and sharded jobs evaluated over
+//	                          RPC
+//	pfcimd -shards 4          single-process sharded mode: the same shard-
+//	                          composable arithmetic, evaluated in-memory
+//
 // See README.md "Serving" for a curl walkthrough.
 package main
 
@@ -47,6 +61,7 @@ import (
 	"time"
 
 	"github.com/probdata/pfcim/internal/service"
+	"github.com/probdata/pfcim/internal/shard"
 )
 
 func main() {
@@ -69,6 +84,11 @@ func run() int {
 		slowJob       = flag.Duration("slow-job-threshold", 0, "log a warning for jobs slower than this (0 disables)")
 		noJobTrace    = flag.Bool("no-job-trace", false, "disable the per-job phase tracer (GET /v1/jobs/{id}/trace returns 404)")
 		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		role          = flag.String("role", "", `process role: "" (standalone), "coordinator", or "worker"`)
+		shardWorkers  = flag.String("shard-workers", "", "comma-separated shard worker addresses (coordinator role)")
+		shards        = flag.Int("shards", 0, "default shard count for jobs that leave options.shards unset (≥ 2 partitions tail computation)")
+		shardTimeout  = flag.Duration("shard-rpc-timeout", 5*time.Second, "per-attempt shard RPC timeout")
+		shardHealth   = flag.Duration("shard-health-interval", 10*time.Second, "shard worker health probe period")
 	)
 	flag.Parse()
 
@@ -79,18 +99,41 @@ func run() int {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	var workerAddrs []string
+	for _, a := range strings.Split(*shardWorkers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			workerAddrs = append(workerAddrs, a)
+		}
+	}
+	switch *role {
+	case "", "coordinator":
+		if *role == "coordinator" && len(workerAddrs) == 0 {
+			fmt.Fprintln(os.Stderr, "pfcimd: -role=coordinator requires -shard-workers")
+			return 2
+		}
+	case "worker":
+		return runWorker(*addr, logger, *grace)
+	default:
+		fmt.Fprintf(os.Stderr, "pfcimd: bad -role %q (want \"\", coordinator, or worker)\n", *role)
+		return 2
+	}
+
 	srv := service.New(service.Config{
-		Workers:           *workers,
-		QueueDepth:        *queueDepth,
-		CacheSize:         *cacheSize,
-		MaxJobTime:        *maxJobTime,
-		TailMemoEntries:   *tailMemo,
-		MaxUploadBytes:    *maxUpload,
-		AllowPathLoad:     *allowPathLoad,
-		SlowJobThreshold:  *slowJob,
-		DisableJobTracing: *noJobTrace,
-		EnablePprof:       *enablePprof,
-		Logger:            logger,
+		Workers:             *workers,
+		QueueDepth:          *queueDepth,
+		CacheSize:           *cacheSize,
+		MaxJobTime:          *maxJobTime,
+		TailMemoEntries:     *tailMemo,
+		MaxUploadBytes:      *maxUpload,
+		AllowPathLoad:       *allowPathLoad,
+		SlowJobThreshold:    *slowJob,
+		DisableJobTracing:   *noJobTrace,
+		EnablePprof:         *enablePprof,
+		Shards:              *shards,
+		ShardWorkers:        workerAddrs,
+		ShardRPCTimeout:     *shardTimeout,
+		ShardHealthInterval: *shardHealth,
+		Logger:              logger,
 	})
 
 	for _, path := range strings.Split(*preload, ",") {
@@ -98,13 +141,13 @@ func run() int {
 		if path == "" {
 			continue
 		}
-		ds, _, err := srv.Registry().RegisterPath(path)
+		ds, err := srv.PreloadPath(path)
 		if err != nil {
 			logger.Error("preload failed", "path", path, "error", err)
 			return 1
 		}
 		logger.Info("dataset preloaded", "path", path, "dataset", ds.ID,
-			"transactions", ds.Stats.NumTransactions)
+			"transactions", ds.NumTransactions)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -141,6 +184,40 @@ func run() int {
 		logger.Warn("job drain incomplete, running jobs were canceled", "error", err)
 	} else {
 		logger.Info("drained cleanly")
+	}
+	return 0
+}
+
+// runWorker serves the shard worker protocol: it holds range slices of the
+// datasets a coordinator places on it and answers per-shard tail and
+// clause-factor RPCs. Workers keep no job state, so shutdown only waits for
+// in-flight requests.
+func runWorker(addr string, logger *slog.Logger, grace time.Duration) int {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", addr, "error", err)
+		return 1
+	}
+	logger.Info("pfcimd listening", "addr", ln.Addr().String(), "role", "worker")
+
+	hs := &http.Server{Handler: shard.NewWorker(logger)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		logger.Error("server failed", "error", err)
+		return 1
+	case <-ctx.Done():
+	}
+	logger.Info("shutdown signal received", "grace", grace.String())
+	graceCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hs.Shutdown(graceCtx); err != nil {
+		logger.Warn("http shutdown incomplete", "error", err)
 	}
 	return 0
 }

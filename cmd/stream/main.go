@@ -85,7 +85,10 @@ func main() {
 
 func emit(w *pfcim.StreamWindow, minsupRel, pft float64, topK int) {
 	minSup := pfcim.AbsoluteMinSup(w.Len(), minsupRel)
-	items := w.FrequentItems(minSup, pft)
+	items, err := w.FrequentItems(pfcim.StreamOptions{MinSup: minSup, PFT: pft})
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("after %d transactions (window %d, min_sup %d): %d frequent items:",
 		w.Pushes(), w.Len(), minSup, len(items))
 	for i, it := range items {

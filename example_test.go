@@ -44,7 +44,11 @@ func ExampleNewStreamWindow() {
 			log.Fatal(err)
 		}
 	}
-	for _, item := range w.FrequentItems(2, 0.5) {
+	items, err := w.FrequentItems(pfcim.StreamOptions{MinSup: 2, PFT: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, item := range items {
 		fmt.Printf("item %d: Pr_F=%.3f\n", item.Item, item.FreqProb)
 	}
 	// Output:

@@ -49,7 +49,10 @@ func main() {
 		// Report at regime boundaries and at the end.
 		if step%600 == 0 {
 			fmt.Printf("after %d readings (window %d, min_sup %d):\n", step, w.Len(), minSup)
-			freq := w.FrequentItems(minSup, 0.9)
+			freq, err := w.FrequentItems(pfcim.StreamOptions{MinSup: minSup, PFT: 0.9})
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  probabilistic frequent items (pft=0.9):")
 			for _, f := range freq {
 				fmt.Printf(" %d(%.2f)", f.Item, f.FreqProb)

@@ -96,7 +96,7 @@ func (m *miner) mineBFS() error {
 						continue
 					}
 				}
-				rec.prF, rec.hasPrF = m.tailOf(buf, probs), true
+				rec.prF, rec.hasPrF = m.tailOf(buf, probs, node.items, c.item), true
 				if rec.prF <= m.opts.PFCT {
 					m.stats.FreqPruned++
 				}

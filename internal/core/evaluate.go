@@ -309,7 +309,7 @@ func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int, 
 				// Pr_F(X+e) = 0, hence Pr(C_e) = 0.
 				continue
 			}
-			absent, negligible := m.absentFactor(tids, rec.tids)
+			absent, negligible := m.absentFactor(tids, rec.tids, x, e)
 			if negligible {
 				slack += zeroClauseEps // conservative cap on the dropped mass
 				continue
@@ -318,7 +318,7 @@ func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int, 
 			if !rec.hasPrF {
 				// The extension was Chernoff-Hoeffding-pruned, so its exact
 				// tail was never computed; pay for it now.
-				p = m.tailOf(rec.tids, nil)
+				p = m.tailOf(rec.tids, nil, x, e)
 			}
 			p *= absent
 			m.stats.ClauseEvaluated++
@@ -358,13 +358,13 @@ func (m *miner) buildClauses(x itemset.Itemset, tids *bitset.Bitset, count int, 
 			m.putBuf(b)
 			continue
 		}
-		absent, negligible := m.absentFactor(tids, b)
+		absent, negligible := m.absentFactor(tids, b, x, e)
 		if negligible {
 			slack += zeroClauseEps // conservative cap on the dropped mass
 			m.putBuf(b)
 			continue
 		}
-		p := absent * m.tailOf(b, nil)
+		p := absent * m.tailOf(b, nil, x, e)
 		m.stats.ClauseEvaluated++
 		if p < zeroClauseEps {
 			slack += p
@@ -390,8 +390,13 @@ func (m *miner) uncovBufs(nc int) (dsts, srcs []*bitset.Bitset, counts []int) {
 
 // absentFactor returns Pr(C_e)'s tuple-absence product
 // Π_{T ∈ tids\b}(1−p_T), flagging it as negligible once it falls below
-// zeroClauseEps (the clause is then dropped and accounted as slack).
-func (m *miner) absentFactor(tids, b *bitset.Bitset) (absent float64, negligible bool) {
+// zeroClauseEps (the clause is then dropped and accounted as slack). x and e
+// identify the clause (base itemset, extension item) for sharded runs, which
+// fold the product per shard instead (shard.go); unsharded runs ignore them.
+func (m *miner) absentFactor(tids, b *bitset.Bitset, x itemset.Itemset, e itemset.Item) (absent float64, negligible bool) {
+	if m.sharded() {
+		return m.shardAbsentFactor(tids, b, x, e)
+	}
 	absent = 1.0
 	bitset.ForEachDiff(tids, b, func(tid int) bool {
 		absent *= 1 - m.probs[tid]

@@ -194,7 +194,7 @@ func (e *Evaluator) profile(x itemset.Itemset) (*evalProfile, error) {
 	if p.count < m.opts.MinSup {
 		return p, nil
 	}
-	p.prF = m.tailOf(tids, nil)
+	p.prF = m.tailOf(tids, nil, x, -1)
 	m.stats.Evaluated++
 
 	// The eager cascade stages — clause construction through the free

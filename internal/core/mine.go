@@ -51,6 +51,12 @@ type miner struct {
 	tail   poibin.Scratch
 	tailFn func(b *bitset.Bitset, probs []float64) float64
 
+	// Sharded-run scratch (Options.Shards ≥ 2, see shard.go): per-shard bit
+	// counts of the tidset under evaluation and the per-shard truncated PMF
+	// views of the fold.
+	shardCounts []int
+	shardParts  [][]float64
+
 	// Checking-cascade scratch (see evaluate.go): the clause records of the
 	// node under evaluation, the sorter view over them, the uncovered-item
 	// worklist with its batch buffers, and the reusable clause systems.
@@ -93,27 +99,26 @@ const defaultTailMemoEntries = 1 << 16
 // tail Pr[support ≥ MinSup] over b's tuple probabilities — consulting the
 // memo first. probs, when non-nil, must be probsOf(b) (callers that already
 // materialized it for the Chernoff-Hoeffding check pass it to avoid a
-// second scan on a miss).
-func (m *miner) tailOf(b *bitset.Bitset, probs []float64) float64 {
+// second scan on a miss). x and e carry the itemset identity for sharded
+// runs — the target is x+e when e ≥ 0 (x may be nil: the single-item set
+// {e}), x alone when e < 0 — so an installed shard kernel can address the
+// same tidset on remote slices; unsharded runs ignore them. Memo misses on
+// sharded runs compute by the same sharded fold, so memo state never
+// changes results.
+func (m *miner) tailOf(b *bitset.Bitset, probs []float64, x itemset.Itemset, e itemset.Item) float64 {
 	if m.opts.TailMemoEntries < 0 {
-		if probs == nil {
-			probs = m.probsOf(b)
-		}
 		m.stats.TailEvaluations++
-		return m.tail.TailKernel(probs, m.opts.MinSup, m.opts.TailKernel)
+		return m.tailCompute(b, probs, x, e)
 	}
 	h := b.Hash()
-	for _, e := range m.tailMemo[h] {
-		if bitset.Equal(e.tids, b) {
+	for _, en := range m.tailMemo[h] {
+		if bitset.Equal(en.tids, b) {
 			m.stats.TailMemoHits++
-			return e.prF
+			return en.prF
 		}
 	}
-	if probs == nil {
-		probs = m.probsOf(b)
-	}
 	m.stats.TailEvaluations++
-	prF := m.tail.TailKernel(probs, m.opts.MinSup, m.opts.TailKernel)
+	prF := m.tailCompute(b, probs, x, e)
 	if m.opts.TailMemoEntries > 0 && m.tailMemoSize < m.opts.TailMemoEntries {
 		if m.tailMemo == nil {
 			m.tailMemo = make(map[uint64][]tailEntry)
@@ -124,6 +129,18 @@ func (m *miner) tailOf(b *bitset.Bitset, probs []float64) float64 {
 		m.tailMemoSize++
 	}
 	return prF
+}
+
+// tailCompute is the memo-miss tail computation: the sharded fold when
+// Shards ≥ 2, the selected single-vector kernel otherwise.
+func (m *miner) tailCompute(b *bitset.Bitset, probs []float64, x itemset.Itemset, e itemset.Item) float64 {
+	if m.sharded() {
+		return m.shardTail(b, probs, x, e)
+	}
+	if probs == nil {
+		probs = m.probsOf(b)
+	}
+	return m.tail.TailKernel(probs, m.opts.MinSup, m.opts.TailKernel)
 }
 
 // tailForDNF is the tail evaluator injected into clause systems
@@ -143,6 +160,12 @@ func (m *miner) tailForDNF(b *bitset.Bitset, probs []float64) float64 {
 				return e.prF
 			}
 		}
+	}
+	if m.sharded() {
+		// Clause tails are intersections with no itemset identity, so they
+		// are never delegated — but a sharded run must still fold them by
+		// shard so every tail in the run comes from the same arithmetic.
+		return m.shardTailLocal(b, probs)
 	}
 	return m.tail.TailKernel(probs, m.opts.MinSup, m.opts.TailKernel)
 }
@@ -342,7 +365,7 @@ func (m *miner) buildCandidates() {
 				continue
 			}
 		}
-		prF := m.tailOf(tids, probs)
+		prF := m.tailOf(tids, probs, nil, e)
 		if prF <= m.opts.PFCT {
 			m.stats.FreqPruned++
 			continue
@@ -475,7 +498,7 @@ func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF fl
 				continue
 			}
 		}
-		childPrF := m.tailOf(buf, childProbs)
+		childPrF := m.tailOf(buf, childProbs, x, c.item)
 		rec.prF, rec.hasPrF = childPrF, true
 		exts = append(exts, rec)
 		if childPrF <= m.opts.PFCT {

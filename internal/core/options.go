@@ -56,6 +56,28 @@ func (t TidsetMode) String() string {
 	return "auto"
 }
 
+// ShardKernel abstracts where per-shard tail PMFs and clause factors are
+// computed when Options.Shards ≥ 2. The miner asks the kernel for all N
+// per-shard quantities of one logical evaluation at once; the kernel returns
+// them in shard order. Implementations (shard.LocalKernel in-process,
+// shard.Client sessions over RPC) must compute the canonical per-shard
+// arithmetic — poibin.PMFTrunc over the shard's probability slice, and the
+// ascending-tid clause-absence partial product with the shard.NegligibleEps
+// early exit — so that delegating never changes results. x is the base
+// itemset and e an extension item: the target itemset is x plus e when
+// e ≥ 0, x alone when e < 0 (x may be nil only with e ≥ 0, meaning the
+// single-item set {e}). Returning ok = false declines the call; the miner
+// then computes the quantity locally, bit-identically. Implementations must
+// be safe for concurrent use by parallel miner workers.
+type ShardKernel interface {
+	// TailPMFs returns each shard's truncated-at-k support PMF of the
+	// target itemset, in shard order.
+	TailPMFs(x itemset.Itemset, e itemset.Item, k int) ([][]float64, bool)
+	// ClauseFactors returns each shard's partial of the Lemma 4.4 clause
+	// absence product Π (1−p_T) over tids(x)\tids(x+e), in shard order.
+	ClauseFactors(x itemset.Itemset, e itemset.Item) ([]float64, bool)
+}
+
 // Options configures a mining run. MinSup and PFCT are required; the
 // remaining fields have sensible defaults applied by normalize.
 type Options struct {
@@ -141,6 +163,33 @@ type Options struct {
 	// Tidsets this knob participates in CanonicalKey.
 	TailKernel poibin.Kernel
 
+	// Shards partitions the transaction space into that many contiguous
+	// ranges (shard.Layout) and evaluates every Poisson-binomial tail as
+	// per-shard truncated coefficient vectors merged by convolution, and
+	// every Lemma 4.4 clause absence product as per-shard partials folded in
+	// shard order — the arithmetic the distributed coordinator/worker mode
+	// runs over RPC, available in-process so tests and benches need no
+	// cluster. 0 or 1 is the unsharded single-node path (bit-for-bit
+	// untouched). Values ≥ 2 regroup the IEEE sums exactly like forcing the
+	// convolution tail kernel does, so results agree with unsharded mining
+	// within numerical tolerance but are not bitwise equal; like TailKernel,
+	// Shards is therefore result-affecting and participates in CanonicalKey
+	// (the canonical key's shard-layout field). For any fixed N ≥ 2, results
+	// are byte-identical across the inline path, a shard.LocalKernel, and
+	// the distributed HTTP path — the equivalence the crosscheck shard suite
+	// pins.
+	Shards int
+
+	// ShardKernel, when non-nil and Shards ≥ 2, delegates per-shard tail
+	// and clause computation (the service layer installs the RPC-backed
+	// shard.Client session here; shard.LocalKernel is the in-process
+	// implementation). The kernel performs the same canonical arithmetic the
+	// inline sharded path performs, so installing one never changes results
+	// — it is a pure execution knob, cleared by Canonical. A kernel may
+	// decline a call (ok = false), in which case the miner computes the
+	// quantity locally, bit-identically.
+	ShardKernel ShardKernel
+
 	// Trace, when non-nil, receives a line-per-event log of the DFS
 	// enumeration — node visits, every pruning decision, and every
 	// evaluation verdict — the walk-through the paper's Fig. 4 depicts.
@@ -212,6 +261,15 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.TailKernel < poibin.KernelAuto || o.TailKernel > poibin.KernelConv {
 		return o, fmt.Errorf("core: unknown TailKernel %d", o.TailKernel)
+	}
+	if o.Shards < 0 {
+		return o, fmt.Errorf("core: Shards must be ≥ 0, got %d", o.Shards)
+	}
+	if o.Shards == 1 {
+		// One shard covers the whole transaction range, which is exactly the
+		// unsharded computation; collapse so both spellings share a canonical
+		// key and the trivially-bitwise single-node path.
+		o.Shards = 0
 	}
 	return o, nil
 }

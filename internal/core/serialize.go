@@ -34,6 +34,7 @@ func (o Options) Canonical() (Options, error) {
 	c.SplitDepth = 0
 	c.TailMemoEntries = 0
 	c.Tidsets = TidsetsAuto
+	c.ShardKernel = nil
 	return c, nil
 }
 
@@ -44,10 +45,10 @@ func (o Options) CanonicalKey() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("minsup=%d pfct=%g eps=%g delta=%g seed=%d noch=%t nosuper=%t nosub=%t nobound=%t search=%s maxexact=%d maxpair=%d tailkern=%s",
+	return fmt.Sprintf("minsup=%d pfct=%g eps=%g delta=%g seed=%d noch=%t nosuper=%t nosub=%t nobound=%t search=%s maxexact=%d maxpair=%d tailkern=%s shards=%d",
 		c.MinSup, c.PFCT, c.Epsilon, c.Delta, c.Seed,
 		c.DisableCH, c.DisableSuperset, c.DisableSubset, c.DisableBounds,
-		c.Search, c.MaxExactClauses, c.MaxPairClauses, c.TailKernel), nil
+		c.Search, c.MaxExactClauses, c.MaxPairClauses, c.TailKernel, c.Shards), nil
 }
 
 // OptionsJSON is the wire form of Options: every field except the process-
@@ -74,6 +75,7 @@ type OptionsJSON struct {
 	TailMemoEntries int     `json:"tail_memo_entries,omitempty"`
 	Tidsets         string  `json:"tidsets,omitempty"`
 	TailKernel      string  `json:"tail_kernel,omitempty"`
+	Shards          int     `json:"shards,omitempty"`
 }
 
 // JSON converts o to its wire form (Trace and Tracer are dropped).
@@ -108,6 +110,7 @@ func (o Options) JSON() OptionsJSON {
 		TailMemoEntries: o.TailMemoEntries,
 		Tidsets:         tidsets,
 		TailKernel:      tailKernel,
+		Shards:          o.Shards,
 	}
 }
 
@@ -163,6 +166,7 @@ func (oj OptionsJSON) Options() (Options, error) {
 		TailMemoEntries: oj.TailMemoEntries,
 		Tidsets:         tidsets,
 		TailKernel:      tailKernel,
+		Shards:          oj.Shards,
 	}, nil
 }
 

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/shard"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// TestShardsOneCollapses: Shards = 1 is the whole-range partition, which is
+// definitionally the unsharded computation — it must normalize away, share
+// the unsharded canonical key, and return the byte-identical result.
+func TestShardsOneCollapses(t *testing.T) {
+	db := uncertain.PaperExample()
+	base, err := Mine(db, Options{MinSup: 2, PFCT: 0.8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Mine(db, Options{MinSup: 2, PFCT: 0.8, Seed: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Itemsets, one.Itemsets) || !reflect.DeepEqual(base.Stats, one.Stats) {
+		t.Fatalf("Shards=1 differs from unsharded:\nbase=%+v\none=%+v", base, one)
+	}
+	k0, err := Options{MinSup: 2, PFCT: 0.8, Seed: 1}.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := Options{MinSup: 2, PFCT: 0.8, Seed: 1, Shards: 1}.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 != k1 {
+		t.Fatalf("canonical keys differ: %q vs %q", k0, k1)
+	}
+	k2, _ := (Options{MinSup: 2, PFCT: 0.8, Seed: 1, Shards: 2}).CanonicalKey()
+	if k2 == k0 {
+		t.Fatal("Shards=2 must have a distinct canonical key")
+	}
+	if _, err := Mine(db, Options{MinSup: 2, PFCT: 0.8, Shards: -1}); err == nil {
+		t.Fatal("negative Shards must be rejected")
+	}
+}
+
+// TestShardedThreeWayByteIdentity pins the tentpole equivalence: for a fixed
+// shard count, mining with the inline partition arithmetic, with an
+// in-process LocalKernel, and with real HTTP workers produces byte-identical
+// itemsets and stats — the same float sequences flow through the same
+// PMFTrunc/ConvolvePMF fold on all three paths, and JSON round-trips float64
+// exactly.
+func TestShardedThreeWayByteIdentity(t *testing.T) {
+	for _, db := range []*uncertain.DB{uncertain.PaperExample(), shardTestDB(t)} {
+		for _, n := range []int{2, 4} {
+			opts := Options{MinSup: 2, PFCT: 0.5, Seed: 3, Shards: n}
+			inline, err := Mine(db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			kern, err := shard.NewLocalKernel(db, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			local := opts
+			local.ShardKernel = kern
+			viaLocal, err := Mine(db, local)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(inline.Itemsets, viaLocal.Itemsets) {
+				t.Fatalf("n=%d: LocalKernel itemsets differ from inline:\n%+v\n%+v",
+					n, inline.Itemsets, viaLocal.Itemsets)
+			}
+			if !reflect.DeepEqual(inline.Stats, viaLocal.Stats) {
+				t.Fatalf("n=%d: LocalKernel stats differ from inline:\n%+v\n%+v",
+					n, inline.Stats, viaLocal.Stats)
+			}
+
+			srv := httptest.NewServer(shard.NewWorker(nil))
+			client, err := shard.NewClient([]string{srv.URL}, time.Second, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := client.Place(context.Background(), "tw", db, n); err != nil {
+				t.Fatal(err)
+			}
+			sess, err := client.Kernel(context.Background(), nil, "tw")
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote := opts
+			remote.ShardKernel = sess
+			viaHTTP, err := Mine(db, remote)
+			srv.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(inline.Itemsets, viaHTTP.Itemsets) {
+				t.Fatalf("n=%d: HTTP itemsets differ from inline:\n%+v\n%+v",
+					n, inline.Itemsets, viaHTTP.Itemsets)
+			}
+			if !reflect.DeepEqual(inline.Stats, viaHTTP.Stats) {
+				t.Fatalf("n=%d: HTTP stats differ from inline:\n%+v\n%+v",
+					n, inline.Stats, viaHTTP.Stats)
+			}
+		}
+	}
+}
+
+// TestShardedVsUnshardedTolerance: sharded mining regroups IEEE sums, so it
+// is compared to the single-node result the way the conv-kernel ablation is
+// — same itemsets, probabilities within numerical tolerance.
+func TestShardedVsUnshardedTolerance(t *testing.T) {
+	const eps = 1e-6
+	for _, db := range []*uncertain.DB{uncertain.PaperExample(), shardTestDB(t)} {
+		base, err := Mine(db, Options{MinSup: 2, PFCT: 0.5, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{2, 3, 4} {
+			got, err := Mine(db, Options{MinSup: 2, PFCT: 0.5, Seed: 3, Shards: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Itemsets) != len(base.Itemsets) {
+				t.Fatalf("n=%d: %d itemsets, unsharded %d", n, len(got.Itemsets), len(base.Itemsets))
+			}
+			for i := range base.Itemsets {
+				b, g := base.Itemsets[i], got.Itemsets[i]
+				if !itemset.Equal(b.Items, g.Items) {
+					t.Fatalf("n=%d item %d: %v vs %v", n, i, b.Items, g.Items)
+				}
+				if math.Abs(b.Prob-g.Prob) > eps || math.Abs(b.FreqProb-g.FreqProb) > eps {
+					t.Errorf("n=%d %v: prob %v vs %v, freq %v vs %v",
+						n, b.Items, b.Prob, g.Prob, b.FreqProb, g.FreqProb)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedPaperExample: the Table II numbers survive sharding.
+func TestShardedPaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	for _, n := range []int{2, 4} {
+		res, err := Mine(db, Options{MinSup: 2, PFCT: 0.8, Seed: 1, Shards: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Itemsets) != 2 {
+			t.Fatalf("n=%d: got %d results, want 2", n, len(res.Itemsets))
+		}
+		if got := res.Itemsets[0].Prob; math.Abs(got-0.8754) > 1e-9 {
+			t.Errorf("n=%d: Pr_FC(abc) = %v, want 0.8754", n, got)
+		}
+		if got := res.Itemsets[1].Prob; math.Abs(got-0.81) > 1e-9 {
+			t.Errorf("n=%d: Pr_FC(abcd) = %v, want 0.81", n, got)
+		}
+	}
+}
+
+// TestShardedParallelMatchesSerial: the work-stealing scheduler composes
+// with sharding — results and scheduling-independent stats are unchanged.
+func TestShardedParallelMatchesSerial(t *testing.T) {
+	db := shardTestDB(t)
+	serial, err := Mine(db, Options{MinSup: 2, PFCT: 0.5, Seed: 3, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Mine(db, Options{MinSup: 2, PFCT: 0.5, Seed: 3, Shards: 2, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Itemsets, par.Itemsets) {
+		t.Fatalf("parallel sharded results differ:\n%+v\n%+v", serial.Itemsets, par.Itemsets)
+	}
+}
+
+// shardTestDB is a 12-transaction mixed-density database that splits
+// unevenly at 2, 3 and 4 shards.
+func shardTestDB(t *testing.T) *uncertain.DB {
+	t.Helper()
+	trans := []uncertain.Transaction{
+		{Items: itemset.FromInts(0, 1, 2), Prob: 0.9},
+		{Items: itemset.FromInts(0, 1), Prob: 0.75},
+		{Items: itemset.FromInts(1, 2, 3), Prob: 0.6},
+		{Items: itemset.FromInts(0, 2, 3), Prob: 0.85},
+		{Items: itemset.FromInts(3), Prob: 0.4},
+		{Items: itemset.FromInts(0, 1, 2, 3), Prob: 0.55},
+		{Items: itemset.FromInts(1, 3), Prob: 0.95},
+		{Items: itemset.FromInts(0, 2), Prob: 0.65},
+		{Items: itemset.FromInts(2, 3), Prob: 0.5},
+		{Items: itemset.FromInts(0, 1, 3), Prob: 0.7},
+		{Items: itemset.FromInts(1, 2), Prob: 0.8},
+		{Items: itemset.FromInts(0, 3), Prob: 0.45},
+	}
+	db, err := uncertain.NewDB(trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}

@@ -107,7 +107,7 @@ func MineTopKContext(ctx context.Context, db *uncertain.DB, minSup, k int, opts 
 				exts = append(exts, recX)
 				continue
 			}
-			childPrF := m.tailOf(buf, childProbs)
+			childPrF := m.tailOf(buf, childProbs, x, c.item)
 			recX.prF, recX.hasPrF = childPrF, true
 			exts = append(exts, recX)
 			if childPrF <= threshold() {

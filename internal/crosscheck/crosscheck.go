@@ -12,6 +12,7 @@ import (
 	"github.com/probdata/pfcim/internal/itemset"
 	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/shard"
 	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
 	"github.com/probdata/pfcim/internal/world"
@@ -127,6 +128,11 @@ var variants = []struct {
 		o.DisableSubset = true
 		o.DisableBounds = true
 	}},
+	// Sharded tails regroup IEEE sums by a few ulps — far inside the tieEps
+	// band — so the sharded paths must still match the exact oracle on every
+	// differential case.
+	{"shards2", func(o *core.Options) { o.Shards = 2 }},
+	{"shards4", func(o *core.Options) { o.Shards = 4 }},
 }
 
 // RunDifferential builds the case and cross-checks the full miner output
@@ -535,4 +541,80 @@ func sameKeys(a, b []core.ResultItem) bool {
 		}
 	}
 	return true
+}
+
+// ShardEquivalence asserts the shard-composability contract of DESIGN §14:
+// Shards = 1 reproduces the unsharded run byte-for-byte; for N ∈ {2, 4} the
+// inline sharded path and an in-process shard.LocalKernel are byte-identical
+// to each other (the distributed path is pinned to the same arithmetic by
+// the core and service suites), every sharded result is well-formed, and the
+// sharded results agree with the single-node run under the same comparator
+// the DP-vs-convolution kernel ablation uses — sharding regroups the exact
+// same IEEE sums a forced convolution tree does.
+func ShardEquivalence(db *uncertain.DB, opts core.Options) error {
+	base, err := core.Mine(db, opts)
+	if err != nil {
+		return fmt.Errorf("mine unsharded: %w", err)
+	}
+	one := opts
+	one.Shards = 1
+	resOne, err := core.Mine(db, one)
+	if err != nil {
+		return fmt.Errorf("mine shards=1: %w", err)
+	}
+	if !sameResults(resOne.Itemsets, base.Itemsets) {
+		return fmt.Errorf("shard equivalence violated: shards=1 differs from unsharded (%d vs %d itemsets)",
+			len(resOne.Itemsets), len(base.Itemsets))
+	}
+	if a, b := schedIndependent(resOne.Stats), schedIndependent(base.Stats); a != b {
+		return fmt.Errorf("shard equivalence violated: shards=1 stats %+v differ from unsharded %+v", a, b)
+	}
+	for _, n := range []int{2, 4} {
+		sh := opts
+		sh.Shards = n
+		inline, err := core.Mine(db, sh)
+		if err != nil {
+			return fmt.Errorf("mine shards=%d: %w", n, err)
+		}
+		if err := wellFormed(inline); err != nil {
+			return fmt.Errorf("shards=%d: %w", n, err)
+		}
+		kern, err := shard.NewLocalKernel(db, n)
+		if err != nil {
+			return fmt.Errorf("shards=%d kernel: %w", n, err)
+		}
+		lk := sh
+		lk.ShardKernel = kern
+		viaKern, err := core.Mine(db, lk)
+		if err != nil {
+			return fmt.Errorf("mine shards=%d via kernel: %w", n, err)
+		}
+		if !sameResults(inline.Itemsets, viaKern.Itemsets) {
+			return fmt.Errorf("shard equivalence violated: shards=%d kernel run differs from inline (%d vs %d itemsets)",
+				n, len(viaKern.Itemsets), len(inline.Itemsets))
+		}
+		if a, b := schedIndependent(viaKern.Stats), schedIndependent(inline.Stats); a != b {
+			return fmt.Errorf("shard equivalence violated: shards=%d kernel stats %+v differ from inline %+v", n, a, b)
+		}
+		if err := kernelConsistent(base.Itemsets, inline.Itemsets, opts.PFCT); err != nil {
+			return fmt.Errorf("unsharded vs shards=%d: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// RunShardEquivalence builds the case at invariant sizes (large enough to
+// make every shard non-trivial) and checks ShardEquivalence.
+func RunShardEquivalence(c Case) error {
+	if c.MaxTrans == 0 {
+		c.MaxTrans = InvariantMaxTrans
+	}
+	if c.MaxItems == 0 {
+		c.MaxItems = InvariantMaxItems
+	}
+	db, opts := c.Build()
+	if err := ShardEquivalence(db, opts); err != nil {
+		return fmt.Errorf("crosscheck: %v: %w", c, err)
+	}
+	return nil
 }

@@ -92,6 +92,40 @@ func TestRepresentationProperty(t *testing.T) {
 	}
 }
 
+// TestShardEquivalenceProperty runs the shard-composability suite across
+// the seeded shape generators: Shards = 1 byte-identical to unsharded,
+// inline vs LocalKernel byte-identical at 2 and 4 shards, and sharded vs
+// single-node agreement under the kernel comparator.
+func TestShardEquivalenceProperty(t *testing.T) {
+	cases := 25
+	if testing.Short() {
+		cases = 5
+	}
+	for _, shape := range Shapes {
+		shape := shape
+		t.Run(string(shape), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < cases; i++ {
+				c := Case{Shape: shape, Seed: int64(5000 + i)}
+				if err := RunShardEquivalence(c); err != nil {
+					t.Fatalf("%v\nreproduce: crosscheck.RunShardEquivalence(crosscheck.Case{Shape: %q, Seed: %d})", err, shape, c.Seed)
+				}
+			}
+		})
+	}
+}
+
+// TestShardEquivalencePaperExample anchors the shard checker on Table II at
+// the paper's thresholds.
+func TestShardEquivalencePaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	for _, pfct := range []float64{0.1, 0.5, 0.8} {
+		if err := ShardEquivalence(db, core.Options{MinSup: 2, PFCT: pfct, Seed: 1}); err != nil {
+			t.Errorf("pfct=%g: %v", pfct, err)
+		}
+	}
+}
+
 // TestDifferentialPaperExample anchors the harness itself: the Table II
 // database through the differential checker at the paper's thresholds.
 func TestDifferentialPaperExample(t *testing.T) {

@@ -26,6 +26,7 @@ type BenchPoint struct {
 	RelMinSup   float64    `json:"rel_min_sup"`
 	PFCT        float64    `json:"pfct"`
 	Parallelism int        `json:"parallelism"`
+	Shards      int        `json:"shards,omitempty"`
 	SplitDepth  int        `json:"split_depth,omitempty"`
 	NsPerOp     int64      `json:"ns_per_op"`
 	AllocsPerOp int64      `json:"allocs_per_op"`
@@ -59,6 +60,10 @@ func (s *Suite) benchConfigs() []BenchPoint {
 		{Name: "fig5-mushroom", Dataset: s.Mushroom.Name, RelMinSup: 0.2, PFCT: s.Cfg.PFCT, Parallelism: 1},
 		{Name: "fig5-mushroom-parallel", Dataset: s.Mushroom.Name, RelMinSup: 0.2, PFCT: s.Cfg.PFCT, Parallelism: procs},
 		{Name: "fig5-quest", Dataset: s.Quest.Name, RelMinSup: 0.4, PFCT: s.Cfg.PFCT, Parallelism: 1},
+		// The Fig. 5 Mushroom point mined with 4-way sharded tail/clause
+		// arithmetic (inline fold — byte-identical to the distributed
+		// evaluator, DESIGN §14), tracking the sharding overhead on one box.
+		{Name: "dist-mushroom", Dataset: s.Mushroom.Name, RelMinSup: 0.2, PFCT: s.Cfg.PFCT, Parallelism: 1, Shards: 4},
 		{Name: "fig7-mushroom-pfct0.5", Dataset: s.Mushroom.Name, RelMinSup: 0.4, PFCT: 0.5, Parallelism: 1},
 		{Name: "fig7-mushroom-pfct0.9", Dataset: s.Mushroom.Name, RelMinSup: 0.4, PFCT: 0.9, Parallelism: 1},
 	}
@@ -78,6 +83,7 @@ func (s *Suite) RunBench(w io.Writer) error {
 		opts := s.baseOptions(ds.DB, cfg.RelMinSup)
 		opts.PFCT = cfg.PFCT
 		opts.Parallelism = cfg.Parallelism
+		opts.Shards = cfg.Shards
 
 		res, err := core.Mine(ds.DB, opts)
 		if err != nil {

@@ -24,6 +24,7 @@ func benchMine(b *testing.B, name string) {
 		opts := s.baseOptions(ds.DB, cfg.RelMinSup)
 		opts.PFCT = cfg.PFCT
 		opts.Parallelism = cfg.Parallelism
+		opts.Shards = cfg.Shards
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

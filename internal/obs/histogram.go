@@ -31,6 +31,10 @@ var JobBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.
 // sub-microsecond; contention pushes the tail out).
 var LookupBuckets = []float64{1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2}
 
+// RPCBuckets spans shard RPC attempt latencies: sub-millisecond on
+// localhost up to the per-call timeout.
+var RPCBuckets = []float64{2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, .1, .25, .5, 1, 2.5, 5}
+
 // Observe records one duration. Nil-safe.
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {

@@ -11,6 +11,7 @@ import (
 
 	"github.com/probdata/pfcim/internal/core"
 	"github.com/probdata/pfcim/internal/obs"
+	"github.com/probdata/pfcim/internal/shard"
 	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
@@ -134,6 +135,8 @@ type Manager struct {
 	tailMemo   int           // default Options.TailMemoEntries for jobs that leave it 0
 	slowJob    time.Duration // wall-time threshold for slow-job warnings (0 = off)
 	traceJobs  bool          // attach a per-job obs.Tracer to every mined job
+	shards     int           // default Options.Shards for jobs that leave it 0
+	shardRPC   *shard.Client // nil unless the daemon coordinates shard workers
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -149,7 +152,7 @@ type Manager struct {
 
 // newManager builds the job manager from the daemon Config (which New has
 // already defaulted) and starts the worker pool.
-func newManager(cfg Config, cache *resultCache, mtr *metrics, log *slog.Logger) *Manager {
+func newManager(cfg Config, cache *resultCache, mtr *metrics, log *slog.Logger, sc *shard.Client) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cache:      cache,
@@ -159,6 +162,8 @@ func newManager(cfg Config, cache *resultCache, mtr *metrics, log *slog.Logger) 
 		tailMemo:   cfg.TailMemoEntries,
 		slowJob:    cfg.SlowJobThreshold,
 		traceJobs:  !cfg.DisableJobTracing,
+		shards:     cfg.Shards,
+		shardRPC:   sc,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -177,6 +182,9 @@ func newManager(cfg Config, cache *resultCache, mtr *metrics, log *slog.Logger) 
 func (m *Manager) Submit(ds *Dataset, oj core.OptionsJSON, timeout time.Duration) (JobInfo, error) {
 	opts, err := oj.Options()
 	if err != nil {
+		return JobInfo{}, err
+	}
+	if err := m.applyShards(&opts); err != nil {
 		return JobInfo{}, err
 	}
 	optKey, err := opts.CanonicalKey()
@@ -234,6 +242,24 @@ func (m *Manager) Submit(ds *Dataset, oj core.OptionsJSON, timeout time.Duration
 	m.addLocked(j)
 	m.log.Info("job queued", "job", j.id, "dataset", j.dataset)
 	return j.snapshot(), nil
+}
+
+// applyShards folds the daemon's default shard count into a submission's
+// options BEFORE the canonical key is computed, so the cache is keyed by
+// the layout that is actually mined. On a coordinator (shard workers
+// configured), an explicit shard count that differs from the placement
+// layout is rejected: the workers hold slices of exactly Config.Shards
+// ranges, so no other layout can be evaluated remotely.
+func (m *Manager) applyShards(opts *core.Options) error {
+	if opts.Shards == 0 {
+		opts.Shards = m.shards
+		return nil
+	}
+	if m.shardRPC != nil && opts.Shards != m.shards {
+		return fmt.Errorf("service: options request %d shards but this daemon places datasets at %d; omit the shards field or match the daemon's -shards",
+			opts.Shards, m.shards)
+	}
+	return nil
 }
 
 func (m *Manager) addLocked(j *job) {
@@ -345,22 +371,47 @@ func (m *Manager) run(j *job) {
 		j.tracer = obs.New()
 		j.opts.Tracer = j.tracer
 	}
-	var ctx context.Context
+	var parent context.Context
 	if j.timeout > 0 {
-		ctx, j.cancel = context.WithTimeout(m.baseCtx, j.timeout)
+		parent, j.cancel = context.WithTimeout(m.baseCtx, j.timeout)
 	} else {
-		ctx, j.cancel = context.WithCancel(m.baseCtx)
+		parent, j.cancel = context.WithCancel(m.baseCtx)
+	}
+	// The job context carries a cancellation cause: when a shard RPC
+	// ultimately fails, the session cancels the job with the structured
+	// RPCError, so the job fails promptly with "which worker, which shard"
+	// instead of hanging or reporting a bare context error.
+	ctx, fail := context.WithCancelCause(parent)
+	if m.shardRPC != nil && j.kind != JobKindSweep && j.opts.Shards >= 2 {
+		if sess, err := m.shardRPC.Kernel(ctx, fail, j.dataset); err == nil {
+			j.opts.ShardKernel = sess
+		} else {
+			// No placement (e.g. the dataset is smaller than the shard
+			// count): mine in-process — the inline sharded arithmetic is
+			// byte-identical, so the cached result is still exchangeable.
+			m.log.Warn("mining locally without shard workers", "job", j.id,
+				"dataset", j.dataset, "error", err)
+		}
 	}
 	cancel := j.cancel
 	ds, opts := j.dataset, j.opts
 	m.mu.Unlock()
 	defer cancel()
+	defer fail(nil)
 
 	m.metrics.JobsRunning.Add(1)
 	m.metrics.queueWait.Observe(queueWait)
 	m.log.Info("job started", "job", j.id, "kind", string(j.kind), "dataset", ds,
 		"queue_wait_ms", queueWait.Milliseconds(), "min_sup", opts.MinSup, "pfct", opts.PFCT)
 	res, sres, err := m.mine(ctx, j)
+	if err != nil {
+		// Surface the structured shard failure the session installed as the
+		// cancellation cause, not the miner's bare "context canceled".
+		var rpcErr *shard.RPCError
+		if errors.As(context.Cause(ctx), &rpcErr) {
+			err = fmt.Errorf("service: distributed evaluation failed: %w", rpcErr)
+		}
+	}
 	m.metrics.JobsRunning.Add(-1)
 	now := time.Now()
 

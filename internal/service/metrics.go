@@ -5,10 +5,14 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"github.com/probdata/pfcim/internal/core"
 	"github.com/probdata/pfcim/internal/obs"
+	"github.com/probdata/pfcim/internal/shard"
 )
 
 // metrics is the daemon's counter set, served by /metrics. The counters are
@@ -33,6 +37,13 @@ type metrics struct {
 	SweepEnumerations   expvar.Int // full enumerations sweep jobs actually ran
 
 	DatasetsRegistered expvar.Int // distinct datasets ever registered
+
+	// Distributed-path counters, fed by the shard.Client through the
+	// Observer interface the metrics struct implements.
+	ShardRetries         expvar.Int // shard RPC attempts that were retried after a failure
+	ShardTailEvaluations expvar.Int // worker-side per-shard tail computations
+	ShardTailMemoHits    expvar.Int // worker-side per-shard tail memo hits
+	ShardPlacements      expvar.Int // dataset shard placements completed
 
 	MineWallMillis expvar.Int // cumulative wall time spent mining
 
@@ -63,6 +74,11 @@ type metrics struct {
 	queueWait  *obs.Histogram // queued → started
 	cacheGet   *obs.Histogram // result-cache lookup latency at submit
 	sweepCache *obs.Histogram // per-point cache probes at sweep submit
+	shardRPC   *obs.Histogram // per-shard RPC attempt latency
+
+	// Per-worker health verdicts, rendered as a labeled worker_up gauge.
+	workerMu sync.Mutex
+	workerUp map[string]bool
 }
 
 func newMetrics() *metrics {
@@ -71,7 +87,42 @@ func newMetrics() *metrics {
 		queueWait:  obs.NewHistogram(obs.JobBuckets),
 		cacheGet:   obs.NewHistogram(obs.LookupBuckets),
 		sweepCache: obs.NewHistogram(obs.LookupBuckets),
+		shardRPC:   obs.NewHistogram(obs.RPCBuckets),
+		workerUp:   map[string]bool{},
 	}
+}
+
+// The metrics struct is the shard client's Observer: operational signals
+// from the distributed path land directly in the daemon's counter set.
+var _ shard.Observer = (*metrics)(nil)
+
+func (m *metrics) ShardRPC(d time.Duration) { m.shardRPC.Observe(d) }
+func (m *metrics) ShardRetry()              { m.ShardRetries.Add(1) }
+
+func (m *metrics) WorkerUp(addr string, up bool) {
+	m.workerMu.Lock()
+	m.workerUp[addr] = up
+	m.workerMu.Unlock()
+}
+
+func (m *metrics) ShardEvalStats(evals, memoHits int64) {
+	m.ShardTailEvaluations.Add(evals)
+	m.ShardTailMemoHits.Add(memoHits)
+}
+
+func (m *metrics) PlacementDone(string, int) { m.ShardPlacements.Add(1) }
+
+// workerUpSnapshot returns the health verdicts in address order.
+func (m *metrics) workerUpSnapshot() (addrs []string, up map[string]bool) {
+	m.workerMu.Lock()
+	defer m.workerMu.Unlock()
+	up = make(map[string]bool, len(m.workerUp))
+	for a, v := range m.workerUp {
+		addrs = append(addrs, a)
+		up[a] = v
+	}
+	sort.Strings(addrs)
+	return addrs, up
 }
 
 // addStats accumulates one finished job's mining statistics — the full
@@ -123,6 +174,10 @@ func (m *metrics) vars() []metricVar {
 		{"sweep_points_computed", &m.SweepPointsComputed, false, "Sweep grid points the engine had to produce."},
 		{"sweep_enumerations", &m.SweepEnumerations, false, "Full enumerations sweep jobs actually ran."},
 		{"datasets_registered", &m.DatasetsRegistered, false, "Distinct datasets ever registered."},
+		{"shard_retries", &m.ShardRetries, false, "Shard RPC attempts retried after a failure."},
+		{"shard_tail_evaluations", &m.ShardTailEvaluations, false, "Worker-side per-shard tail computations."},
+		{"shard_tail_memo_hits", &m.ShardTailMemoHits, false, "Worker-side per-shard tail memo hits."},
+		{"shard_placements", &m.ShardPlacements, false, "Dataset shard placements completed."},
 		{"mine_wall_ms", &m.MineWallMillis, false, "Cumulative wall time spent mining, in milliseconds."},
 		{"nodes_visited", &m.NodesVisited, false, "Enumeration-tree nodes visited."},
 		{"candidate_items", &m.CandidateItems, false, "Single items that survived the candidate phase."},
@@ -202,6 +257,18 @@ func (m *metrics) servePrometheus(w http.ResponseWriter) {
 	writeHistogram(&b, "pfcimd_job_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.", m.queueWait)
 	writeHistogram(&b, "pfcimd_cache_lookup_seconds", "Result-cache lookup latency at job submit.", m.cacheGet)
 	writeHistogram(&b, "pfcimd_sweep_point_lookup_seconds", "Per-point result-cache probe latency at sweep submit.", m.sweepCache)
+	writeHistogram(&b, "pfcimd_shard_rpc_seconds", "Shard RPC attempt latency, placement and evaluation pooled.", m.shardRPC)
+	if addrs, up := m.workerUpSnapshot(); len(addrs) > 0 {
+		fmt.Fprintf(&b, "# HELP pfcimd_shard_worker_up Last health-check verdict per shard worker (1 up, 0 down).\n")
+		fmt.Fprintf(&b, "# TYPE pfcimd_shard_worker_up gauge\n")
+		for _, addr := range addrs {
+			v := 0
+			if up[addr] {
+				v = 1
+			}
+			fmt.Fprintf(&b, "pfcimd_shard_worker_up{worker=%q} %d\n", addr, v)
+		}
+	}
 	w.Write([]byte(b.String()))
 }
 

@@ -105,9 +105,14 @@ func TestMetricsContentNegotiation(t *testing.T) {
 
 // TestPrometheusExpositionSyntax: every sample line must parse as
 // `name{labels} value` with a preceding # TYPE, and counters must carry the
-// _total suffix — the contract the CI smoke check scrapes for.
+// _total suffix — the contract the CI smoke check scrapes for. The server
+// runs as a coordinator so the distributed-path series — the shard RPC
+// histogram, the retry counter, and the labeled per-worker up gauge — are
+// in the scrape and subject to the same grammar.
 func TestPrometheusExpositionSyntax(t *testing.T) {
-	_, ts := testServer(t, Config{Workers: 1})
+	urls, _ := startShardWorkers(t, 2)
+	_, ts := testServer(t, Config{Workers: 1, Shards: 2, ShardWorkers: urls,
+		ShardHealthInterval: 50 * time.Millisecond})
 	ds := uploadDB(t, ts.URL, uncertain.PaperExample())
 	job := decode[JobInfo](t, postJSON(t, ts.URL+"/v1/jobs", jobRequest{
 		Dataset: ds.ID,
@@ -115,7 +120,28 @@ func TestPrometheusExpositionSyntax(t *testing.T) {
 	}))
 	waitJob(t, ts.URL, job.ID)
 
-	_, body := getWithAccept(t, ts.URL+"/metrics", "text/plain")
+	// The worker_up gauge appears once the startup health probe lands.
+	var body string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body = getWithAccept(t, ts.URL+"/metrics", "text/plain")
+		if strings.Contains(body, "pfcimd_shard_worker_up{worker=") || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"# TYPE pfcimd_shard_rpc_seconds histogram",
+		"pfcimd_shard_retries_total",
+		"pfcimd_shard_tail_evaluations_total",
+		"pfcimd_shard_placements_total 1",
+		`pfcimd_shard_worker_up{worker="` + urls[0] + `"} 1`,
+		`pfcimd_shard_worker_up{worker="` + urls[1] + `"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
 	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
 	typed := map[string]string{}
 	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/shard"
 	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
@@ -52,6 +53,24 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiles expose internals, so opt in per deployment.
 	EnablePprof bool
+	// Shards is the default core.Options.Shards applied to jobs (and sweep
+	// points) that leave the field at 0. ≥ 2 partitions every tail
+	// computation by transaction range; without ShardWorkers the partition
+	// arithmetic runs in-process, which changes results only at the
+	// floating-point regrouping level (≪ 1e-9) and gives distinct cache
+	// keys per layout.
+	Shards int
+	// ShardWorkers lists shard worker base addresses (host:port or full
+	// URLs). Non-empty runs the daemon as a coordinator: registered
+	// datasets are range-partitioned onto the workers over the consistent-
+	// hash ring, and sharded jobs evaluate per-shard tails over RPC.
+	// Shards < 2 is raised to max(2, len(ShardWorkers)).
+	ShardWorkers []string
+	// ShardRPCTimeout bounds each shard RPC attempt. Default 5s.
+	ShardRPCTimeout time.Duration
+	// ShardHealthInterval is the period of the background worker health
+	// probe loop. Default 10s.
+	ShardHealthInterval time.Duration
 	// Logger receives structured logs. Default: slog.Default().
 	Logger *slog.Logger
 }
@@ -69,6 +88,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 256 << 20
 	}
+	if len(c.ShardWorkers) > 0 && c.Shards < 2 {
+		c.Shards = len(c.ShardWorkers)
+		if c.Shards < 2 {
+			c.Shards = 2
+		}
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -79,14 +104,16 @@ func (c Config) withDefaults() Config {
 // metrics behind an http.Handler. Create with New, serve Handler(), and
 // call Drain on shutdown.
 type Server struct {
-	cfg      Config
-	log      *slog.Logger
-	registry *Registry
-	jobs     *Manager
-	cache    *resultCache
-	metrics  *metrics
-	started  time.Time
-	mux      *http.ServeMux
+	cfg       Config
+	log       *slog.Logger
+	registry  *Registry
+	jobs      *Manager
+	cache     *resultCache
+	metrics   *metrics
+	started   time.Time
+	mux       *http.ServeMux
+	shards    *shard.Client      // nil unless ShardWorkers were configured
+	shardStop context.CancelFunc // stops the worker health loop
 }
 
 // New builds a Server and starts its worker pool.
@@ -101,7 +128,21 @@ func New(cfg Config) *Server {
 		started:  time.Now(),
 		mux:      http.NewServeMux(),
 	}
-	s.jobs = newManager(cfg, s.cache, s.metrics, s.log)
+	if len(cfg.ShardWorkers) > 0 {
+		client, err := shard.NewClient(cfg.ShardWorkers, cfg.ShardRPCTimeout, s.metrics)
+		if err != nil {
+			// Only an empty worker list fails, and that is excluded above.
+			panic(fmt.Sprintf("service: shard client: %v", err))
+		}
+		s.shards = client
+		hctx, stop := context.WithCancel(context.Background())
+		s.shardStop = stop
+		go func() {
+			client.CheckHealth(hctx) // prime the worker_up gauges
+			client.HealthLoop(hctx, cfg.ShardHealthInterval)
+		}()
+	}
+	s.jobs = newManager(cfg, s.cache, s.metrics, s.log, s.shards)
 
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
@@ -139,8 +180,33 @@ func (s *Server) Metrics() map[string]int64 { return s.metrics.snapshot() }
 
 // Drain gracefully shuts the worker pool down: intake stops, queued jobs
 // are canceled, running jobs finish (until ctx expires, at which point they
-// are canceled and awaited).
-func (s *Server) Drain(ctx context.Context) error { return s.jobs.Drain(ctx) }
+// are canceled and awaited). The shard-worker health loop stops first.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.shardStop != nil {
+		s.shardStop()
+	}
+	return s.jobs.Drain(ctx)
+}
+
+// placeShards ships a freshly registered dataset's range partition to the
+// shard workers; a no-op on a non-coordinator. A dataset with fewer
+// transactions than shards is left unplaced — jobs against it mine
+// in-process with the byte-identical inline partition arithmetic.
+func (s *Server) placeShards(ctx context.Context, ds *Dataset) error {
+	if s.shards == nil || s.shards.Placed(ds.ID) {
+		return nil
+	}
+	if ds.DB().N() < s.cfg.Shards {
+		s.log.Warn("dataset smaller than shard count; its jobs mine in-process",
+			"dataset", ds.ID, "transactions", ds.DB().N(), "shards", s.cfg.Shards)
+		return nil
+	}
+	if err := s.shards.Place(ctx, ds.ID, ds.DB(), s.cfg.Shards); err != nil {
+		return fmt.Errorf("service: shard placement failed: %w", err)
+	}
+	s.log.Info("dataset placed on shard workers", "dataset", ds.ID, "shards", s.cfg.Shards)
+	return nil
+}
 
 // --- wire types ---
 
@@ -287,6 +353,13 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		s.log.Info("dataset registered", "dataset", ds.ID,
 			"transactions", ds.Stats.NumTransactions, "items", ds.Stats.NumItems)
 	}
+	// On a coordinator, registration includes placement: the dataset is not
+	// usable for distributed jobs until every worker holds (and has hash-
+	// verified) its slice. Re-registering retries a failed placement.
+	if err := s.placeShards(r.Context(), ds); err != nil {
+		s.writeError(w, http.StatusBadGateway, err)
+		return
+	}
 	s.writeJSON(w, status, datasetInfo(ds))
 }
 
@@ -427,7 +500,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// RegisterDB registers an in-process database (cmd/pfcimd's -preload).
+// PreloadPath registers a dataset from a server-local file at startup
+// (cmd/pfcimd's -preload), including shard placement on a coordinator.
+func (s *Server) PreloadPath(path string) (DatasetInfo, error) {
+	ds, fresh, err := s.registry.RegisterPath(path)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	if fresh {
+		s.metrics.DatasetsRegistered.Add(1)
+	}
+	if err := s.placeShards(context.Background(), ds); err != nil {
+		return DatasetInfo{}, err
+	}
+	return datasetInfo(ds), nil
+}
+
+// RegisterDB registers an in-process database, including shard placement
+// on a coordinator.
 func (s *Server) RegisterDB(db *uncertain.DB) (DatasetInfo, error) {
 	ds, fresh, err := s.registry.Register(db)
 	if err != nil {
@@ -435,6 +525,9 @@ func (s *Server) RegisterDB(db *uncertain.DB) (DatasetInfo, error) {
 	}
 	if fresh {
 		s.metrics.DatasetsRegistered.Add(1)
+	}
+	if err := s.placeShards(context.Background(), ds); err != nil {
+		return DatasetInfo{}, err
 	}
 	return datasetInfo(ds), nil
 }

@@ -418,7 +418,7 @@ func TestJobTimeout(t *testing.T) {
 // the panic recorded.
 func TestPanicIsolation(t *testing.T) {
 	mtr := newMetrics()
-	m := newManager(Config{Workers: 1, QueueDepth: 4}, newResultCache(4), mtr, quietLogger())
+	m := newManager(Config{Workers: 1, QueueDepth: 4}, newResultCache(4), mtr, quietLogger(), nil)
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -1,0 +1,156 @@
+package service
+
+// Distributed-path tests: a coordinator Server wired to real (httptest)
+// shard workers. The distributed evaluator is byte-identical to the inline
+// sharded arithmetic (see internal/core's three-way identity test), so
+// results are compared exactly.
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/shard"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// startShardWorkers launches n shard workers and returns their base URLs
+// plus the servers (so tests can kill them).
+func startShardWorkers(t *testing.T, n int) ([]string, []*httptest.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	srvs := make([]*httptest.Server, n)
+	for i := range srvs {
+		srvs[i] = httptest.NewServer(shard.NewWorker(quietLogger()))
+		urls[i] = srvs[i].URL
+		t.Cleanup(srvs[i].Close)
+	}
+	return urls, srvs
+}
+
+// waitManagerJob polls the manager until the job is terminal.
+func waitManagerJob(t *testing.T, m *Manager, id string, within time.Duration) JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		info, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Status.Terminal() {
+			return info
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach a terminal status within %v", id, within)
+	return JobInfo{}
+}
+
+func TestDistributedMineMatchesInline(t *testing.T) {
+	urls, _ := startShardWorkers(t, 2)
+	s, _ := testServer(t, Config{
+		Workers:         1,
+		Shards:          2,
+		ShardWorkers:    urls,
+		ShardRPCTimeout: 2 * time.Second,
+	})
+
+	db := uncertain.PaperExample()
+	info, err := s.RegisterDB(db) // placement happens here
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, ok := s.Registry().Get(info.ID)
+	if !ok {
+		t.Fatal("registered dataset missing")
+	}
+
+	job, err := s.Jobs().Submit(ds, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitManagerJob(t, s.Jobs(), job.ID, 30*time.Second)
+	if done.Status != StatusDone {
+		t.Fatalf("distributed job = %+v, want done", done)
+	}
+
+	// Byte-identical to mining the same layout in-process.
+	inline, err := core.Mine(db, core.Options{MinSup: 2, PFCT: 0.8, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inline.JSON()
+	if got, exp := mustJSON(t, done.Result.Itemsets), mustJSON(t, want.Itemsets); string(got) != string(exp) {
+		t.Fatalf("distributed result differs from inline sharded:\n%s\n%s", got, exp)
+	}
+	if got := done.Result.Itemsets[1].Prob; math.Abs(got-0.81) > 1e-9 {
+		t.Errorf("Pr_FC(abcd) = %v, want 0.81", got)
+	}
+
+	// Resubmission hits the result cache without touching the workers.
+	hit, err := s.Jobs().Submit(ds, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Status != StatusDone {
+		t.Fatalf("resubmission should be a cache hit, got %+v", hit)
+	}
+
+	// An explicit shard count that differs from the placement layout is a
+	// client error on a coordinator.
+	if _, err := s.Jobs().Submit(ds, core.OptionsJSON{MinSup: 2, PFCT: 0.8, Shards: 3}, 0); err == nil {
+		t.Error("mismatched options.shards must be rejected in distributed mode")
+	}
+
+	m := s.Metrics()
+	if m["shard_placements"] != 1 {
+		t.Errorf("shard_placements = %d, want 1", m["shard_placements"])
+	}
+	if m["shard_tail_evaluations"] == 0 {
+		t.Error("distributed mine should record worker-side tail evaluations")
+	}
+}
+
+// TestDistributedJobFailsOnDeadWorker is the regression test for the
+// coordinator hang: when a worker dies mid-job, the job must resolve
+// promptly with the structured shard error, not block until the job
+// timeout or forever.
+func TestDistributedJobFailsOnDeadWorker(t *testing.T) {
+	urls, srvs := startShardWorkers(t, 2)
+	s, _ := testServer(t, Config{
+		Workers:         1,
+		Shards:          2,
+		ShardWorkers:    urls,
+		ShardRPCTimeout: 500 * time.Millisecond,
+	})
+
+	info, err := s.RegisterDB(uncertain.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := s.Registry().Get(info.ID)
+
+	// Kill every worker after placement: whichever worker owns a shard, the
+	// first remote evaluation now hits a dropped connection.
+	for _, srv := range srvs {
+		srv.Close()
+	}
+
+	job, err := s.Jobs().Submit(ds, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitManagerJob(t, s.Jobs(), job.ID, 10*time.Second)
+	if done.Status != StatusFailed {
+		t.Fatalf("job with dead workers = %+v, want failed", done)
+	}
+	if !strings.Contains(done.Error, "shard rpc") {
+		t.Errorf("error %q should carry the structured shard RPC failure", done.Error)
+	}
+	if !strings.Contains(done.Error, ds.ID) {
+		t.Errorf("error %q should name dataset %s", done.Error, ds.ID)
+	}
+}

@@ -36,6 +36,13 @@ func (m *Manager) SubmitSweep(ds *Dataset, oj core.OptionsJSON, pts []sweep.Poin
 	if err != nil {
 		return JobInfo{}, err
 	}
+	// Sweeps always mine in-process — the inline sharded arithmetic is
+	// byte-identical to the distributed evaluator, so the per-point cache
+	// entries they produce stay interchangeable with single jobs mined over
+	// the workers.
+	if err := m.applyShards(&opts); err != nil {
+		return JobInfo{}, err
+	}
 	if opts.TailMemoEntries == 0 {
 		opts.TailMemoEntries = m.tailMemo
 	}

@@ -1,0 +1,352 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// RPCError is the structured failure of one shard RPC: which worker, which
+// dataset slice, which operation. It is installed as the job context's
+// cancellation cause, so a coordinator job that loses a worker mid-mine
+// fails with this error instead of hanging or reporting a bare
+// "context canceled".
+type RPCError struct {
+	Worker  string
+	Dataset string
+	Shard   int
+	Op      string
+	Err     error
+}
+
+func (e *RPCError) Error() string {
+	return fmt.Sprintf("shard rpc %s failed on worker %s (dataset %s, shard %d): %v",
+		e.Op, e.Worker, e.Dataset, e.Shard, e.Err)
+}
+
+func (e *RPCError) Unwrap() error { return e.Err }
+
+// Observer receives the client's operational signals; the service layer
+// maps them onto Prometheus metrics. All methods must be safe for
+// concurrent use. A nil Observer is replaced by a no-op.
+type Observer interface {
+	ShardRPC(d time.Duration)                // one completed RPC attempt (any outcome)
+	ShardRetry()                             // an RPC attempt is being retried
+	WorkerUp(addr string, up bool)           // health-check verdict for one worker
+	ShardEvalStats(evals, memoHits int64)    // worker-side tail accounting deltas
+	PlacementDone(dataset string, shards int) // a dataset finished placement
+}
+
+type noopObserver struct{}
+
+func (noopObserver) ShardRPC(time.Duration)          {}
+func (noopObserver) ShardRetry()                     {}
+func (noopObserver) WorkerUp(string, bool)           {}
+func (noopObserver) ShardEvalStats(int64, int64)     {}
+func (noopObserver) PlacementDone(string, int)       {}
+
+// Client is the coordinator side of the shard protocol: it places range
+// partitions on workers via the consistent-hash ring and evaluates
+// per-shard quantities over RPC with a per-call timeout and one bounded
+// retry.
+type Client struct {
+	workers []string
+	ring    *Ring
+	hc      *http.Client
+	timeout time.Duration
+	obs     Observer
+
+	mu     sync.Mutex
+	placed map[string]placement
+}
+
+type placement struct {
+	layout  Layout
+	workers []string // shard index → worker address
+}
+
+// NewClient builds a client over the given worker addresses (host:port or
+// full URLs). timeout bounds each RPC attempt; 0 means 5s.
+func NewClient(workers []string, timeout time.Duration, obs Observer) (*Client, error) {
+	ring, err := NewRing(workers)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	if obs == nil {
+		obs = noopObserver{}
+	}
+	return &Client{
+		workers: append([]string(nil), workers...),
+		ring:    ring,
+		hc:      &http.Client{},
+		timeout: timeout,
+		obs:     obs,
+		placed:  map[string]placement{},
+	}, nil
+}
+
+// Workers returns the configured worker addresses.
+func (c *Client) Workers() []string { return append([]string(nil), c.workers...) }
+
+// Place partitions db into shards range slices, ships each to the worker
+// the ring assigns it, and verifies the worker's content hash against the
+// coordinator's own rendering. Placement is idempotent — re-registering a
+// dataset re-ships the identical slices.
+func (c *Client) Place(ctx context.Context, dataset string, db *uncertain.DB, shards int) error {
+	if shards < 1 {
+		return fmt.Errorf("shard: placement needs ≥ 1 shard, got %d", shards)
+	}
+	l := Layout{N: shards, Total: db.N()}
+	pl := placement{layout: l, workers: make([]string, shards)}
+	for i := 0; i < shards; i++ {
+		addr := c.ring.Pick(dataset, i)
+		pl.workers[i] = addr
+		text, hash, err := RenderSlice(Slice(db, l, i))
+		if err != nil {
+			return fmt.Errorf("shard: rendering slice %d: %w", i, err)
+		}
+		req := PlaceRequest{Dataset: dataset, Shard: i, Shards: shards, Total: db.N(), Text: text}
+		var resp PlaceResponse
+		if err := c.call(ctx, addr, "/shard/v1/datasets", req, &resp); err != nil {
+			return &RPCError{Worker: addr, Dataset: dataset, Shard: i, Op: "place", Err: err}
+		}
+		if resp.Hash != hash {
+			return &RPCError{Worker: addr, Dataset: dataset, Shard: i, Op: "place",
+				Err: fmt.Errorf("slice hash mismatch: worker stored %s, coordinator rendered %s", resp.Hash, hash)}
+		}
+	}
+	c.mu.Lock()
+	c.placed[dataset] = pl
+	c.mu.Unlock()
+	c.obs.PlacementDone(dataset, shards)
+	return nil
+}
+
+// Placed reports whether dataset has a verified placement.
+func (c *Client) Placed(dataset string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.placed[dataset]
+	return ok
+}
+
+// Kernel returns a per-job session implementing core.Options.ShardKernel
+// over the dataset's placement. ctx bounds every RPC of the job; fail (may
+// be nil) is invoked with the structured RPCError when a shard call
+// ultimately fails, so the owning job is cancelled with a meaningful cause
+// while the miner falls back to bit-identical local computation for the
+// in-flight tail.
+func (c *Client) Kernel(ctx context.Context, fail context.CancelCauseFunc, dataset string) (*Session, error) {
+	c.mu.Lock()
+	pl, ok := c.placed[dataset]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("shard: dataset %s has no placement", dataset)
+	}
+	return &Session{c: c, ctx: ctx, fail: fail, dataset: dataset, pl: pl}, nil
+}
+
+// Session delegates one job's per-shard computation. It is safe for
+// concurrent use by parallel miner workers.
+type Session struct {
+	c       *Client
+	ctx     context.Context
+	fail    context.CancelCauseFunc
+	dataset string
+	pl      placement
+
+	failed sync.Once
+}
+
+// TailPMFs fans the (x, e, k) tail request out to every shard's worker
+// concurrently and returns the coefficient vectors in shard order. ok =
+// false means some shard ultimately failed: the session cancels its job
+// context with the structured RPCError and the caller computes the tail
+// locally (bit-identically) before the cancellation unwinds the job.
+func (s *Session) TailPMFs(x itemset.Itemset, e itemset.Item, k int) ([][]float64, bool) {
+	n := s.pl.layout.N
+	parts := make([][]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := EvalRequest{Dataset: s.dataset, Shard: i, Op: OpPMF, Items: toInts(x), Ext: int(e), K: k}
+			resp, err := s.c.eval(s.ctx, s.pl.workers[i], req)
+			if err == nil && len(resp.PMF) == 0 {
+				err = fmt.Errorf("worker returned empty PMF")
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			parts[i] = resp.PMF
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			s.failWith(&RPCError{Worker: s.pl.workers[i], Dataset: s.dataset, Shard: i, Op: OpPMF, Err: err})
+			return nil, false
+		}
+	}
+	return parts, true
+}
+
+// ClauseFactors fans the (x, e) clause-absence request out per shard and
+// returns the partial products in shard order.
+func (s *Session) ClauseFactors(x itemset.Itemset, e itemset.Item) ([]float64, bool) {
+	n := s.pl.layout.N
+	factors := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := EvalRequest{Dataset: s.dataset, Shard: i, Op: OpFactor, Items: toInts(x), Ext: int(e)}
+			resp, err := s.c.eval(s.ctx, s.pl.workers[i], req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			factors[i] = resp.Factor
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			s.failWith(&RPCError{Worker: s.pl.workers[i], Dataset: s.dataset, Shard: i, Op: OpFactor, Err: err})
+			return nil, false
+		}
+	}
+	return factors, true
+}
+
+func (s *Session) failWith(err *RPCError) {
+	if s.fail != nil {
+		s.failed.Do(func() { s.fail(err) })
+	}
+}
+
+// eval performs one shard RPC with the per-call timeout and one bounded
+// retry (skipped when the job context is already done).
+func (c *Client) eval(ctx context.Context, addr string, req EvalRequest) (EvalResponse, error) {
+	var resp EvalResponse
+	err := c.call(ctx, addr, "/shard/v1/eval", req, &resp)
+	if err != nil && ctx.Err() == nil {
+		c.obs.ShardRetry()
+		resp = EvalResponse{}
+		err = c.call(ctx, addr, "/shard/v1/eval", req, &resp)
+	}
+	if err != nil {
+		return EvalResponse{}, err
+	}
+	c.obs.ShardEvalStats(resp.Evals, resp.MemoHits)
+	return resp, nil
+}
+
+// call POSTs a JSON body and decodes the JSON response, observing the
+// attempt latency.
+func (c *Client) call(ctx context.Context, addr, path string, body, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, workerURL(addr, path), bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	httpResp, err := c.hc.Do(httpReq)
+	c.obs.ShardRPC(time.Since(start))
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode/100 != 2 {
+		var e errorResponse
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 1024))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return fmt.Errorf("status %d: %s", httpResp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("status %d: %s", httpResp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(httpResp.Body).Decode(out)
+}
+
+// CheckHealth probes every worker's /healthz once, reporting each verdict
+// to the observer and returning the up/down map.
+func (c *Client) CheckHealth(ctx context.Context) map[string]bool {
+	out := make(map[string]bool, len(c.workers))
+	for _, addr := range c.workers {
+		out[addr] = c.probe(ctx, addr)
+		c.obs.WorkerUp(addr, out[addr])
+	}
+	return out
+}
+
+func (c *Client) probe(ctx context.Context, addr string) bool {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, workerURL(addr, "/healthz"), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	return resp.StatusCode == http.StatusOK
+}
+
+// HealthLoop probes all workers every interval until ctx is done.
+func (c *Client) HealthLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.CheckHealth(ctx)
+		}
+	}
+}
+
+// workerURL joins a worker address (host:port or full URL) with a path.
+func workerURL(addr, path string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimSuffix(addr, "/") + path
+}
+
+func toInts(x itemset.Itemset) []int {
+	out := make([]int, len(x))
+	for i, it := range x {
+		out[i] = int(it)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package shard
+
+import (
+	"sync"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// LocalKernel serves per-shard tail PMFs and clause factors from in-process
+// Evaluators — the same computation a remote worker performs, without the
+// wire. It implements core.Options.ShardKernel, and exists so the
+// equivalence suite can pin the three sharded execution paths (inline
+// partition arithmetic, LocalKernel, HTTP workers) bit-identical to each
+// other, and so single-process deployments can exercise the kernel
+// delegation machinery without a cluster.
+//
+// A mutex serializes calls: parallel miner workers may delegate
+// concurrently, and each Evaluator owns non-reentrant scratch.
+type LocalKernel struct {
+	mu    sync.Mutex
+	evals []*Evaluator
+}
+
+// NewLocalKernel partitions db into n range shards and builds one
+// in-process Evaluator per shard.
+func NewLocalKernel(db *uncertain.DB, n int) (*LocalKernel, error) {
+	l := Layout{N: n, Total: db.N()}
+	evals := make([]*Evaluator, n)
+	for i := range evals {
+		e, err := NewEvaluator(db, l, i)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = e
+	}
+	return &LocalKernel{evals: evals}, nil
+}
+
+// TailPMFs returns the per-shard truncated coefficient vectors of x (plus e
+// when e ≥ 0) at threshold k, in shard order. The vectors are memo-owned
+// and read-only; ok is always true — a local kernel cannot fail.
+func (k *LocalKernel) TailPMFs(x itemset.Itemset, e itemset.Item, minSup int) ([][]float64, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	parts := make([][]float64, len(k.evals))
+	for i, ev := range k.evals {
+		parts[i] = ev.TailPMF(x, e, minSup)
+	}
+	return parts, true
+}
+
+// ClauseFactors returns the per-shard clause absence partials of (x, e) in
+// shard order.
+func (k *LocalKernel) ClauseFactors(x itemset.Itemset, e itemset.Item) ([]float64, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	factors := make([]float64, len(k.evals))
+	for i, ev := range k.evals {
+		factors[i] = ev.ClauseFactor(x, e)
+	}
+	return factors, true
+}
+
+// Stats drains the per-shard evaluation counters (total tail PMFs computed
+// and memo hits across all shards).
+func (k *LocalKernel) Stats() (evals, memoHits int64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, ev := range k.evals {
+		evals += ev.Evals
+		memoHits += ev.MemoHits
+	}
+	return evals, memoHits
+}

@@ -1,0 +1,66 @@
+package shard
+
+// Wire protocol of the coordinator/worker mode: JSON bodies over HTTP
+// (HTTP's Content-Length is the length prefix). Probability values survive
+// the trip bit-exactly — both the uncertain text format (%g) and
+// encoding/json render float64 with the shortest decimal that parses back
+// to the identical bits — which is what lets the distributed path stay
+// byte-identical to in-memory sharded mining.
+
+// PlaceRequest ships one range-partition slice of a dataset to the worker
+// the consistent-hash ring assigned it to.
+type PlaceRequest struct {
+	Dataset string `json:"dataset"` // content-hash id from the registry
+	Shard   int    `json:"shard"`   // shard index in [0, Shards)
+	Shards  int    `json:"shards"`  // layout N
+	Total   int    `json:"total"`   // layout Total (dataset transactions)
+	Text    string `json:"text"`    // slice in the uncertain text format
+}
+
+// PlaceResponse acknowledges a placement; Hash is the worker's content
+// hash of the slice it stored, which the coordinator verifies against its
+// own rendering.
+type PlaceResponse struct {
+	Dataset string `json:"dataset"`
+	Shard   int    `json:"shard"`
+	Trans   int    `json:"trans"`
+	Hash    string `json:"hash"`
+}
+
+// Eval ops.
+const (
+	OpPMF    = "pmf"    // truncated tail coefficient vector
+	OpFactor = "factor" // Lemma 4.4 clause absence partial
+)
+
+// EvalRequest asks a worker for one per-shard quantity of the itemset
+// Items (+Ext when Ext ≥ 0).
+type EvalRequest struct {
+	Dataset string `json:"dataset"`
+	Shard   int    `json:"shard"`
+	Op      string `json:"op"`
+	Items   []int  `json:"items"`
+	Ext     int    `json:"ext"` // -1 when absent
+	K       int    `json:"k,omitempty"`
+}
+
+// EvalResponse carries the requested quantity plus this call's evaluation
+// accounting (1/0 deltas, so the coordinator can aggregate exact totals).
+type EvalResponse struct {
+	PMF      []float64 `json:"pmf,omitempty"`
+	Factor   float64   `json:"factor"`
+	Evals    int64     `json:"evals"`
+	MemoHits int64     `json:"memo_hits"`
+}
+
+// HealthResponse is the worker health-check body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Slots  int    `json:"slots"` // (dataset, shard) slices held
+}
+
+// errorResponse is the structured error body workers return alongside a
+// non-2xx status.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,360 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+func TestLayoutBounds(t *testing.T) {
+	for _, tc := range []struct{ n, total int }{
+		{1, 4}, {2, 4}, {3, 7}, {4, 4}, {5, 3}, {2, 1},
+	} {
+		l := Layout{N: tc.n, Total: tc.total}
+		prev := 0
+		for i := 0; i < tc.n; i++ {
+			lo, hi := l.Bounds(i)
+			if lo != prev {
+				t.Errorf("layout %+v shard %d: lo=%d, want %d (contiguous)", l, i, lo, prev)
+			}
+			if hi < lo {
+				t.Errorf("layout %+v shard %d: hi=%d < lo=%d", l, i, hi, lo)
+			}
+			if hi != l.End(i) {
+				t.Errorf("layout %+v shard %d: End=%d, Bounds hi=%d", l, i, l.End(i), hi)
+			}
+			prev = hi
+		}
+		if prev != tc.total {
+			t.Errorf("layout %+v: shards cover [0,%d), want [0,%d)", l, prev, tc.total)
+		}
+		if l.End(tc.n) != tc.total || l.End(tc.n+3) != tc.total {
+			t.Errorf("layout %+v: End beyond N must clamp to Total", l)
+		}
+	}
+}
+
+func TestRingDeterministicAndSpreading(t *testing.T) {
+	workers := []string{"w1:8081", "w2:8082", "w3:8083"}
+	r1, err := NewRing(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"w3:8083", "w1:8081", "w2:8082"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for shard := 0; shard < 64; shard++ {
+		a := r1.Pick("mushroom", shard)
+		if b := r2.Pick("mushroom", shard); a != b {
+			t.Fatalf("ring not order-independent: shard %d → %s vs %s", shard, a, b)
+		}
+		seen[a]++
+	}
+	if len(seen) != len(workers) {
+		t.Errorf("64 shards landed on %d of %d workers: %v", len(seen), len(workers), seen)
+	}
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty worker list must be rejected")
+	}
+}
+
+func testDB(t *testing.T) *uncertain.DB {
+	t.Helper()
+	db, err := uncertain.NewDB([]uncertain.Transaction{
+		{Items: itemset.FromInts(0, 1), Prob: 0.9},
+		{Items: itemset.FromInts(0, 1, 2), Prob: 0.7},
+		{Items: itemset.FromInts(1, 2), Prob: 0.5},
+		{Items: itemset.FromInts(0, 2), Prob: 0.8},
+		{Items: itemset.FromInts(0, 1, 2), Prob: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestEvaluatorAgainstDirect: a shard evaluator's tail PMF and clause factor
+// must equal computing the same quantities directly on the slice.
+func TestEvaluatorAgainstDirect(t *testing.T) {
+	db := testDB(t)
+	l := Layout{N: 2, Total: db.N()}
+	for i := 0; i < l.N; i++ {
+		ev, err := NewEvaluator(db, l, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := l.Bounds(i)
+		x := itemset.FromInts(0)
+		ext := itemset.Item(1)
+
+		// Direct: gather probs of {0,1} within [lo,hi) in ascending order.
+		var probs []float64
+		var f float64 = 1
+		for tid := lo; tid < hi; tid++ {
+			items := db.Transaction(tid).Items
+			if items.Contains(0) && items.Contains(1) {
+				probs = append(probs, db.Prob(tid))
+			} else if items.Contains(0) {
+				f *= 1 - db.Prob(tid)
+			}
+		}
+		var s poibin.Scratch
+		want := s.PMFTrunc(probs, 2)
+		got := ev.TailPMF(x, ext, 2)
+		if len(got) != len(want) {
+			t.Fatalf("shard %d: PMF length %d, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("shard %d: PMF[%d] = %v, want %v", i, j, got[j], want[j])
+			}
+		}
+		s.ReleasePMF(want)
+
+		if gf := ev.ClauseFactor(x, ext); gf != f {
+			t.Fatalf("shard %d: clause factor %v, want %v", i, gf, f)
+		}
+
+		// Memo: a repeated call serves the identical vector and counts a hit.
+		if again := ev.TailPMF(x, ext, 2); &again[0] != &got[0] {
+			t.Fatalf("shard %d: repeated TailPMF did not hit the memo", i)
+		}
+		if ev.MemoHits != 1 || ev.Evals != 1 {
+			t.Fatalf("shard %d: evals=%d hits=%d, want 1/1", i, ev.Evals, ev.MemoHits)
+		}
+	}
+}
+
+// TestTailPartsMatchesWhole: folding the per-shard PMFs of a full coverage
+// reproduces the whole-vector tail within tolerance.
+func TestTailPartsMatchesWhole(t *testing.T) {
+	probs := []float64{0.9, 0.7, 0.5, 0.8, 0.3, 0.6, 0.2}
+	k := 3
+	var s poibin.Scratch
+	want := s.TailKernel(probs, k, poibin.KernelDP)
+	for _, n := range []int{1, 2, 3, 7} {
+		l := Layout{N: n, Total: len(probs)}
+		parts := make([][]float64, n)
+		for i := range parts {
+			lo, hi := l.Bounds(i)
+			parts[i] = s.PMFTrunc(probs[lo:hi], k)
+		}
+		got := TailParts(&s, parts, k)
+		for _, p := range parts {
+			s.ReleasePMF(p)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d: folded tail %v, whole %v", n, got, want)
+		}
+	}
+}
+
+func TestFoldFactors(t *testing.T) {
+	if got, neg := FoldFactors([]float64{0.5, 0.5}); neg || got != 0.25 {
+		t.Errorf("FoldFactors(0.5,0.5) = %v,%v", got, neg)
+	}
+	if _, neg := FoldFactors([]float64{0.5, 1e-16}); !neg {
+		t.Error("sub-eps shard factor must be negligible")
+	}
+	if got, neg := FoldFactors(nil); neg || got != 1 {
+		t.Errorf("empty fold = %v,%v, want 1,false", got, neg)
+	}
+}
+
+// TestWorkerClientRoundTrip places a dataset on two httptest workers and
+// checks that remote evaluation returns exactly the local evaluator's
+// values (JSON round-trips float64 bit-exactly).
+func TestWorkerClientRoundTrip(t *testing.T) {
+	db := testDB(t)
+	srv1 := httptest.NewServer(NewWorker(nil))
+	defer srv1.Close()
+	srv2 := httptest.NewServer(NewWorker(nil))
+	defer srv2.Close()
+
+	c, err := NewClient([]string{srv1.URL, srv2.URL}, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const shards = 2
+	if err := c.Place(ctx, "t", db, shards); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Placed("t") {
+		t.Fatal("placement not recorded")
+	}
+
+	sess, err := c.Kernel(ctx, nil, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := itemset.FromInts(0)
+	parts, ok := sess.TailPMFs(x, 1, 2)
+	if !ok || len(parts) != shards {
+		t.Fatalf("TailPMFs ok=%v len=%d", ok, len(parts))
+	}
+	factors, ok := sess.ClauseFactors(x, 1)
+	if !ok || len(factors) != shards {
+		t.Fatalf("ClauseFactors ok=%v len=%d", ok, len(factors))
+	}
+	l := Layout{N: shards, Total: db.N()}
+	for i := 0; i < shards; i++ {
+		ev, err := NewEvaluator(db, l, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ev.TailPMF(x, 1, 2)
+		if len(parts[i]) != len(want) {
+			t.Fatalf("shard %d: wire PMF length %d, want %d", i, len(parts[i]), len(want))
+		}
+		for j := range want {
+			if parts[i][j] != want[j] {
+				t.Fatalf("shard %d: wire PMF[%d] = %v, local %v (not bit-exact)", i, j, parts[i][j], want[j])
+			}
+		}
+		if wf := ev.ClauseFactor(x, 1); factors[i] != wf {
+			t.Fatalf("shard %d: wire factor %v, local %v", i, factors[i], wf)
+		}
+	}
+
+	// Health probes see both workers up.
+	up := c.CheckHealth(ctx)
+	for addr, ok := range up {
+		if !ok {
+			t.Errorf("worker %s reported down", addr)
+		}
+	}
+}
+
+// TestSessionFailsJobOnDeadWorker: killing a worker makes the session
+// decline (ok = false) and cancel the job context with the structured
+// RPCError — the coordinator-side half of the mid-job worker-loss bugfix.
+func TestSessionFailsJobOnDeadWorker(t *testing.T) {
+	db := testDB(t)
+	srv1 := httptest.NewServer(NewWorker(nil))
+	defer srv1.Close()
+	srv2 := httptest.NewServer(NewWorker(nil))
+
+	c, err := NewClient([]string{srv1.URL, srv2.URL}, 500*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(context.Background(), "t", db, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	jobCtx, fail := context.WithCancelCause(context.Background())
+	sess, err := c.Kernel(jobCtx, fail, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the worker that owns shard 0 (consistent hashing may have put
+	// both shards on either server).
+	c.mu.Lock()
+	owner := c.placed["t"].workers[0]
+	c.mu.Unlock()
+	if owner == srv1.URL {
+		srv1.Close()
+	} else {
+		srv2.Close()
+	}
+
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := sess.TailPMFs(itemset.FromInts(0), 1, 2)
+		done <- ok
+	}()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("session reported success with a dead worker")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session hung on dead worker")
+	}
+	select {
+	case <-jobCtx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("job context not cancelled after shard failure")
+	}
+	var rpcErr *RPCError
+	if cause := context.Cause(jobCtx); !errors.As(cause, &rpcErr) {
+		t.Fatalf("job cause = %v, want *RPCError", cause)
+	} else if rpcErr.Op != OpPMF {
+		t.Errorf("RPCError op = %q, want %q", rpcErr.Op, OpPMF)
+	}
+}
+
+// TestPlaceHashMismatchSurfaces: the coordinator verifies the worker-echoed
+// content hash, so a worker holding a different slice is an error, not a
+// silent wrong answer.
+func TestRenderSliceHash(t *testing.T) {
+	db := testDB(t)
+	l := Layout{N: 2, Total: db.N()}
+	text, h1, err := RenderSlice(Slice(db, l, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text == "" || len(h1) != 16 {
+		t.Fatalf("render: text=%q hash=%q", text, h1)
+	}
+	_, h2, err := RenderSlice(Slice(db, l, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("different slices must hash differently")
+	}
+	h3, err := HashSlice(Slice(db, l, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 != h1 {
+		t.Error("HashSlice disagrees with RenderSlice")
+	}
+}
+
+// TestEvaluatorMemoNeverChangesValues: memoized and fresh evaluators agree
+// bit-for-bit on every quantity.
+func TestEvaluatorMemoNeverChangesValues(t *testing.T) {
+	db := testDB(t)
+	l := Layout{N: 2, Total: db.N()}
+	warm, err := NewEvaluator(db, l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []struct {
+		x itemset.Itemset
+		e itemset.Item
+		k int
+	}{
+		{nil, 0, 2}, {nil, 1, 2}, {itemset.FromInts(0), 1, 2}, {itemset.FromInts(0), 1, 3},
+	}
+	for round := 0; round < 2; round++ {
+		for _, q := range queries {
+			fresh, err := NewEvaluator(db, l, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := warm.TailPMF(q.x, q.e, q.k)
+			b := fresh.TailPMF(q.x, q.e, q.k)
+			if len(a) != len(b) {
+				t.Fatalf("round %d %v+%d@%d: lengths differ", round, q.x, q.e, q.k)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("round %d %v+%d@%d: memoized %v != fresh %v", round, q.x, q.e, q.k, a[j], b[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// Worker is the HTTP surface of a shard worker: it accepts range-partition
+// slices at placement time and serves per-shard tail PMFs and clause
+// factors to the coordinator. One Worker can hold slices of many datasets
+// (keyed dataset/shard); evaluation on one slot is serialized, different
+// slots evaluate concurrently.
+type Worker struct {
+	log   *slog.Logger
+	mux   *http.ServeMux
+	mu    sync.Mutex
+	slots map[string]*workerSlot
+}
+
+type workerSlot struct {
+	mu   sync.Mutex
+	eval *Evaluator
+	hash string
+}
+
+// NewWorker builds a worker; log may be nil.
+func NewWorker(log *slog.Logger) *Worker {
+	if log == nil {
+		log = slog.Default()
+	}
+	w := &Worker{log: log, slots: map[string]*workerSlot{}, mux: http.NewServeMux()}
+	w.mux.HandleFunc("POST /shard/v1/datasets", w.handlePlace)
+	w.mux.HandleFunc("POST /shard/v1/eval", w.handleEval)
+	w.mux.HandleFunc("GET /healthz", w.handleHealthz)
+	return w
+}
+
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	w.mux.ServeHTTP(rw, req)
+}
+
+// Slots returns the number of (dataset, shard) slices held.
+func (w *Worker) Slots() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.slots)
+}
+
+func slotKey(dataset string, shard int) string {
+	return fmt.Sprintf("%s/%d", dataset, shard)
+}
+
+func (w *Worker) handlePlace(rw http.ResponseWriter, req *http.Request) {
+	var pr PlaceRequest
+	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil {
+		writeShardError(rw, http.StatusBadRequest, fmt.Errorf("decoding placement: %w", err))
+		return
+	}
+	if pr.Shards < 1 || pr.Shard < 0 || pr.Shard >= pr.Shards {
+		writeShardError(rw, http.StatusBadRequest, fmt.Errorf("shard %d of %d out of range", pr.Shard, pr.Shards))
+		return
+	}
+	db, err := uncertain.Read(strings.NewReader(pr.Text))
+	if err != nil {
+		writeShardError(rw, http.StatusBadRequest, err)
+		return
+	}
+	trans := db.Transactions()
+	l := Layout{N: pr.Shards, Total: pr.Total}
+	eval, err := NewEvaluatorFromSlice(trans, l, pr.Shard)
+	if err != nil {
+		writeShardError(rw, http.StatusBadRequest, err)
+		return
+	}
+	hash, err := HashSlice(trans)
+	if err != nil {
+		writeShardError(rw, http.StatusInternalServerError, err)
+		return
+	}
+	w.mu.Lock()
+	w.slots[slotKey(pr.Dataset, pr.Shard)] = &workerSlot{eval: eval, hash: hash}
+	w.mu.Unlock()
+	w.log.Info("shard placed", "dataset", pr.Dataset, "shard", pr.Shard, "trans", eval.Trans())
+	writeShardJSON(rw, http.StatusCreated, PlaceResponse{
+		Dataset: pr.Dataset, Shard: pr.Shard, Trans: eval.Trans(), Hash: hash,
+	})
+}
+
+func (w *Worker) handleEval(rw http.ResponseWriter, req *http.Request) {
+	var er EvalRequest
+	if err := json.NewDecoder(req.Body).Decode(&er); err != nil {
+		writeShardError(rw, http.StatusBadRequest, fmt.Errorf("decoding eval: %w", err))
+		return
+	}
+	w.mu.Lock()
+	slot, ok := w.slots[slotKey(er.Dataset, er.Shard)]
+	w.mu.Unlock()
+	if !ok {
+		writeShardError(rw, http.StatusNotFound, fmt.Errorf("no slice for dataset %s shard %d", er.Dataset, er.Shard))
+		return
+	}
+	x := itemset.FromInts(er.Items...)
+	ext := itemset.Item(er.Ext)
+
+	slot.mu.Lock()
+	evals0, hits0 := slot.eval.Evals, slot.eval.MemoHits
+	var resp EvalResponse
+	switch er.Op {
+	case OpPMF:
+		resp.PMF = slot.eval.TailPMF(x, ext, er.K)
+	case OpFactor:
+		resp.Factor = slot.eval.ClauseFactor(x, ext)
+	default:
+		slot.mu.Unlock()
+		writeShardError(rw, http.StatusBadRequest, fmt.Errorf("unknown op %q", er.Op))
+		return
+	}
+	resp.Evals = slot.eval.Evals - evals0
+	resp.MemoHits = slot.eval.MemoHits - hits0
+	slot.mu.Unlock()
+	writeShardJSON(rw, http.StatusOK, resp)
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, req *http.Request) {
+	writeShardJSON(rw, http.StatusOK, HealthResponse{Status: "ok", Slots: w.Slots()})
+}
+
+func writeShardJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func writeShardError(rw http.ResponseWriter, code int, err error) {
+	writeShardJSON(rw, code, errorResponse{Error: err.Error()})
+}

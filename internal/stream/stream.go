@@ -133,22 +133,59 @@ type ItemResult struct {
 	Count           int
 }
 
-// FrequentItems returns every item with Pr[sup ≥ minSup] > pft in the
+// Options configures a frequent-items query over the live window. As with
+// core.Options, pfim.Options and rules.Options, validation and defaulting
+// go through Canonical; query entry points canonicalize before computing,
+// so invalid thresholds surface as errors rather than silently empty
+// results.
+type Options struct {
+	// MinSup is the absolute minimum support within the window. Zero
+	// defaults to 1 (every possibly-appearing item); negative values are
+	// rejected.
+	MinSup int
+
+	// PFT is the probabilistic frequent threshold τ: an item qualifies
+	// when Pr[sup ≥ MinSup] > PFT. Must lie in [0, 1) — at 1 no item can
+	// ever qualify.
+	PFT float64
+}
+
+// Canonical validates o and applies defaults, returning the canonical
+// form used by the query.
+func (o Options) Canonical() (Options, error) {
+	if o.MinSup < 0 {
+		return o, fmt.Errorf("stream: MinSup must be ≥ 0, got %d", o.MinSup)
+	}
+	if o.MinSup == 0 {
+		o.MinSup = 1
+	}
+	if o.PFT < 0 || o.PFT >= 1 {
+		return o, fmt.Errorf("stream: PFT must be in [0, 1), got %v", o.PFT)
+	}
+	return o, nil
+}
+
+// FrequentItems returns every item with Pr[sup ≥ MinSup] > PFT in the
 // current window, sorted by descending frequent probability (ties by item
 // id). A Chernoff-Hoeffding prefilter avoids the exact dynamic program for
-// clearly infrequent items.
-func (w *Window) FrequentItems(minSup int, pft float64) []ItemResult {
+// clearly infrequent items. Options are canonicalized first; invalid
+// thresholds are an error.
+func (w *Window) FrequentItems(opts Options) ([]ItemResult, error) {
+	opts, err := opts.Canonical()
+	if err != nil {
+		return nil, err
+	}
 	var out []ItemResult
 	for it, c := range w.count {
-		if c < minSup {
+		if c < opts.MinSup {
 			continue
 		}
 		probs := w.itemProbs(it)
-		if poibin.TailUpperBound(probs, minSup) <= pft {
+		if poibin.TailUpperBound(probs, opts.MinSup) <= opts.PFT {
 			continue
 		}
-		prF := poibin.Tail(probs, minSup)
-		if prF > pft {
+		prF := poibin.Tail(probs, opts.MinSup)
+		if prF > opts.PFT {
 			out = append(out, ItemResult{
 				Item:            it,
 				FreqProb:        prF,
@@ -163,7 +200,7 @@ func (w *Window) FrequentItems(minSup int, pft float64) []ItemResult {
 		}
 		return out[i].Item < out[j].Item
 	})
-	return out
+	return out, nil
 }
 
 // TopK returns the k items with the highest expected support.

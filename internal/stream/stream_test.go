@@ -121,7 +121,10 @@ func TestFrequentItems(t *testing.T) {
 	w.Push(tr(0.9, 1))
 	w.Push(tr(0.9, 1, 2))
 	w.Push(tr(0.2, 3))
-	res := w.FrequentItems(2, 0.5)
+	res, err := w.FrequentItems(Options{MinSup: 2, PFT: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 2 {
 		t.Fatalf("FrequentItems = %v, want items 1 and 2", res)
 	}
@@ -139,9 +142,57 @@ func TestFrequentItems(t *testing.T) {
 		}
 	}
 	// Tighter threshold excludes item 2 (probs {.9,.9}, Pr[≥2]=0.81).
-	res = w.FrequentItems(2, 0.9)
+	res, err = w.FrequentItems(Options{MinSup: 2, PFT: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 1 || res[0].Item != 1 {
 		t.Errorf("at pft=0.9 only item 1 qualifies: %v", res)
+	}
+}
+
+// TestOptionsCanonical pins the uniform validation path: the same
+// Canonical() contract as core/pfim/rules — defaults applied, domains
+// enforced, bad thresholds surfaced as errors rather than empty results.
+func TestOptionsCanonical(t *testing.T) {
+	c, err := Options{}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MinSup != 1 {
+		t.Errorf("zero MinSup should default to 1, got %d", c.MinSup)
+	}
+	for _, bad := range []Options{
+		{MinSup: -1, PFT: 0.5},
+		{MinSup: 2, PFT: -0.1},
+		{MinSup: 2, PFT: 1},
+		{MinSup: 2, PFT: 1.5},
+	} {
+		if _, err := bad.Canonical(); err == nil {
+			t.Errorf("Canonical(%+v) should fail", bad)
+		}
+	}
+
+	// The query path must reject the same options and return no result.
+	w, _ := NewWindow(2)
+	w.Push(tr(0.9, 1))
+	if res, err := w.FrequentItems(Options{MinSup: 1, PFT: 1}); err == nil {
+		t.Errorf("FrequentItems with PFT=1 should fail, got %v", res)
+	}
+	if res, err := w.FrequentItems(Options{MinSup: -3, PFT: 0.5}); err == nil {
+		t.Errorf("FrequentItems with MinSup=-3 should fail, got %v", res)
+	}
+	// Defaulted MinSup=0 behaves as MinSup=1.
+	got, err := w.FrequentItems(Options{PFT: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.FrequentItems(Options{MinSup: 1, PFT: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) != 1 || got[0].Item != 1 {
+		t.Errorf("defaulted query = %v, explicit = %v", got, want)
 	}
 }
 

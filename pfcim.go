@@ -457,6 +457,10 @@ type StreamWindow = stream.Window
 // StreamItem is one probabilistically frequent item of a window query.
 type StreamItem = stream.ItemResult
 
+// StreamOptions configures a StreamWindow frequent-items query; it is
+// validated through the same Canonical() convention as Options.
+type StreamOptions = stream.Options
+
 // NewStreamWindow creates a sliding window over the most recent size
 // transactions.
 func NewStreamWindow(size int) (*StreamWindow, error) { return stream.NewWindow(size) }
