@@ -41,13 +41,15 @@ func main() {
 	}
 
 	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
-	var differential, invariants, sharded int
+	var differential, invariants, sharded, streamed int
 	for i := int64(0); time.Now().Before(deadline); i++ {
 		for _, sh := range shapes {
-			// The rotation interleaves the three checkers: every eighth case
+			// The rotation interleaves the four checkers: every eighth case
 			// runs the (heavier) metamorphic invariants on a database beyond
 			// the oracle's reach, every eighth (offset 3) runs the shard-
-			// composability equivalence, and the rest are differential.
+			// composability equivalence, every eighth (offset 5) slides the
+			// case through a window checking incremental ≡ from-scratch, and
+			// the rest are differential.
 			c := crosscheck.Case{Shape: sh, Seed: *seed + i}
 			var err error
 			switch {
@@ -58,17 +60,20 @@ func main() {
 			case i%8 == 3:
 				err = crosscheck.RunShardEquivalence(c)
 				sharded++
+			case i%8 == 5:
+				err = crosscheck.RunStreamEquivalence(c)
+				streamed++
 			default:
 				err = crosscheck.RunDifferential(c)
 				differential++
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "FAIL after %d differential + %d invariant + %d shard cases:\n%v\n",
-					differential, invariants, sharded, err)
+				fmt.Fprintf(os.Stderr, "FAIL after %d differential + %d invariant + %d shard + %d stream cases:\n%v\n",
+					differential, invariants, sharded, streamed, err)
 				os.Exit(1)
 			}
 		}
 	}
-	fmt.Printf("crosscheck: OK — %d differential, %d invariant and %d shard cases across %v in %ds\n",
-		differential, invariants, sharded, shapes, *seconds)
+	fmt.Printf("crosscheck: OK — %d differential, %d invariant, %d shard and %d stream cases across %v in %ds\n",
+		differential, invariants, sharded, streamed, shapes, *seconds)
 }

@@ -1,18 +1,24 @@
 // Command stream consumes an uncertain transaction stream from stdin (one
 // transaction per line, "item item … : prob") through a sliding window and
 // periodically reports the probabilistically frequent items — the
-// continuous-monitoring deployment of the miner.
+// continuous-monitoring deployment of the miner. With -pfct set it also
+// mines the probabilistic frequent closed itemsets of each reporting round
+// incrementally (only subtrees touched by the transactions that slid in or
+// out are re-evaluated) and prints the change set between rounds.
 //
 // Usage:
 //
 //	gendata -kind quest -scale 0.02 | stream -window 200 -minsup 0.3 -pft 0.8 -report 500
+//	gendata -kind quest -scale 0.02 | stream -window 200 -minsup 0.3 -pft 0.8 -pfct 0.6 -report 500
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	pfcim "github.com/probdata/pfcim"
@@ -23,8 +29,10 @@ func main() {
 		window    = flag.Int("window", 1000, "sliding window size (transactions)")
 		minsupRel = flag.Float64("minsup", 0.3, "relative minimum support within the window")
 		pft       = flag.Float64("pft", 0.8, "probabilistic frequent threshold")
+		pfct      = flag.Float64("pfct", 0, "when > 0, also mine frequent closed itemsets incrementally at this threshold")
 		report    = flag.Int("report", 1000, "report every N transactions")
 		topK      = flag.Int("top", 10, "report at most this many items")
+		track     = flag.Bool("track", true, "maintain per-item tails incrementally once the window fills")
 	)
 	flag.Parse()
 
@@ -43,19 +51,39 @@ func main() {
 	if *pft <= 0 || *pft >= 1 {
 		fatal(fmt.Errorf("-pft must be in (0,1), got %v", *pft))
 	}
+	if *pfct < 0 || *pfct >= 1 {
+		fatal(fmt.Errorf("-pfct must be in [0,1), got %v", *pfct))
+	}
 	if *topK < 0 {
 		fatal(fmt.Errorf("-top must be ≥ 0, got %d", *topK))
 	}
 
-	w, err := pfcim.NewStreamWindow(*window)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	w, err := pfcim.NewWindow(*window)
 	if err != nil {
 		fatal(err)
+	}
+	// The miner's absolute MinSup is fixed at the full window's threshold;
+	// until the window fills, rounds mine the partial content at that same
+	// (conservative) support.
+	fullMinSup := pfcim.AbsoluteMinSup(*window, *minsupRel)
+	var miner *pfcim.WindowMiner
+	if *pfct > 0 {
+		miner, err = pfcim.NewWindowMiner(w, pfcim.Options{MinSup: fullMinSup, PFCT: *pfct})
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
 	for sc.Scan() {
+		if ctx.Err() != nil {
+			break
+		}
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -66,26 +94,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stream: line %d skipped: %v\n", lineNo, err)
 			continue
 		}
-		if _, _, err := w.Push(db.Transaction(0)); err != nil {
+		if err := push(w, miner, db.Transaction(0)); err != nil {
 			fmt.Fprintf(os.Stderr, "stream: line %d skipped: %v\n", lineNo, err)
 			continue
 		}
+		// Maintained tails make each report O(1) per item instead of one
+		// dynamic program per item; only worthwhile once the per-report
+		// threshold stops moving (i.e. the window is full).
+		if *track && w.TrackedMinSup() == 0 && w.Len() == *window {
+			if err := w.TrackTails(fullMinSup); err != nil {
+				fatal(err)
+			}
+		}
 		if w.Pushes()%*report == 0 {
-			emit(w, *minsupRel, *pft, *topK)
+			emit(ctx, w, miner, *minsupRel, *pft, *topK)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
 	// Final report, unless the last push already triggered one.
-	if w.Len() > 0 && w.Pushes()%*report != 0 {
-		emit(w, *minsupRel, *pft, *topK)
+	if ctx.Err() == nil && w.Len() > 0 && w.Pushes()%*report != 0 {
+		emit(ctx, w, miner, *minsupRel, *pft, *topK)
 	}
 }
 
-func emit(w *pfcim.StreamWindow, minsupRel, pft float64, topK int) {
+// push routes the transaction through the miner when incremental mining is
+// on (so subtree invalidation sees every change) and straight into the
+// window otherwise.
+func push(w *pfcim.Window, miner *pfcim.WindowMiner, t pfcim.Transaction) error {
+	if miner != nil {
+		return miner.Push(t)
+	}
+	_, _, err := w.Push(t)
+	return err
+}
+
+func emit(ctx context.Context, w *pfcim.Window, miner *pfcim.WindowMiner, minsupRel, pft float64, topK int) {
 	minSup := pfcim.AbsoluteMinSup(w.Len(), minsupRel)
-	items, err := w.FrequentItems(pfcim.StreamOptions{MinSup: minSup, PFT: pft})
+	items, err := w.FrequentItemsContext(ctx, pfcim.StreamOptions{MinSup: minSup, PFT: pft})
 	if err != nil {
 		fatal(err)
 	}
@@ -99,6 +146,16 @@ func emit(w *pfcim.StreamWindow, minsupRel, pft float64, topK int) {
 		fmt.Printf(" %d(%.2f)", it.Item, it.FreqProb)
 	}
 	fmt.Println()
+	if miner == nil {
+		return
+	}
+	res, diff, err := pfcim.MineWindowContext(ctx, miner)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  closed itemsets: %d (+%d -%d ~%d, %d unchanged; %d subtrees reused)\n",
+		len(res.Itemsets), len(diff.Added), len(diff.Removed), len(diff.Changed),
+		diff.Unchanged, res.Stats.SubtreesReused)
 }
 
 func fatal(err error) {

@@ -1,11 +1,13 @@
 // Sensorstream demonstrates the streaming side of the library: a rolling
-// window over an uncertain sensor feed, with incrementally maintained
-// probabilistic frequent items and periodic full closed-itemset mining of
-// the window snapshot — the "continuous monitoring" deployment the paper's
-// traffic scenario implies.
+// window over an uncertain sensor feed with incrementally maintained
+// probabilistic frequent items (tracked per-item tails) and incremental
+// closed-itemset mining — each round re-evaluates only the enumeration
+// subtrees the slid-in/out readings touch and reports what changed, the
+// "continuous monitoring" deployment the paper's traffic scenario implies.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,10 +17,26 @@ import (
 
 func main() {
 	const windowSize = 400
-	w, err := pfcim.NewStreamWindow(windowSize)
+	minSup := windowSize / 5
+
+	w, err := pfcim.NewWindow(windowSize)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Maintained tails: every arrival folds its probability into each of its
+	// items' truncated PMFs, every eviction deconvolves it back out, so the
+	// per-report frequent-items query reads Pr[sup ≥ minSup] in O(1) per item.
+	if err := w.TrackTails(minSup); err != nil {
+		log.Fatal(err)
+	}
+	// Incremental closed-itemset mining over the same window: results are
+	// byte-identical to from-scratch mining of each snapshot, but unchanged
+	// subtrees replay from the previous round's recording.
+	miner, err := pfcim.NewWindowMiner(w, pfcim.Options{MinSup: minSup, PFCT: 0.8, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(21))
 
 	// The feed drifts: the dominant event pattern changes every 600
@@ -28,7 +46,6 @@ func main() {
 		{1, 11, 20}, // regime B
 		{2, 12, 21}, // regime C
 	}
-	minSup := windowSize / 5
 
 	for step := 1; step <= 1800; step++ {
 		regime := (step - 1) / 600
@@ -42,14 +59,15 @@ func main() {
 			items = items[1:]
 		}
 		conf := 0.6 + 0.35*rng.Float64()
-		if _, _, err := w.Push(pfcim.Transaction{Items: pfcim.NewItemset(items...), Prob: conf}); err != nil {
+		// Push through the miner so subtree invalidation sees every change.
+		if err := miner.Push(pfcim.Transaction{Items: pfcim.NewItemset(items...), Prob: conf}); err != nil {
 			log.Fatal(err)
 		}
 
 		// Report at regime boundaries and at the end.
 		if step%600 == 0 {
 			fmt.Printf("after %d readings (window %d, min_sup %d):\n", step, w.Len(), minSup)
-			freq, err := w.FrequentItems(pfcim.StreamOptions{MinSup: minSup, PFT: 0.9})
+			freq, err := w.FrequentItemsContext(ctx, pfcim.StreamOptions{MinSup: minSup, PFT: 0.9})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -59,12 +77,8 @@ func main() {
 			}
 			fmt.Println()
 
-			// Full closed-itemset mining of the live window.
-			db, err := w.Snapshot()
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := pfcim.Mine(db, pfcim.Options{MinSup: minSup, PFCT: 0.8, Seed: int64(step)})
+			// Incremental closed-itemset mining round.
+			res, diff, err := pfcim.MineWindowContext(ctx, miner)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -74,9 +88,15 @@ func main() {
 					longest = r
 				}
 			}
-			fmt.Printf("  %d probabilistic frequent closed itemsets; longest: %v (Pr_FC=%.2f)\n\n",
+			fmt.Printf("  %d probabilistic frequent closed itemsets; longest: %v (Pr_FC=%.2f)\n",
 				len(res.Itemsets), longest.Items, longest.Prob)
+			fmt.Printf("  round diff: +%d added, -%d removed, ~%d changed, %d unchanged (%d subtrees reused)\n\n",
+				len(diff.Added), len(diff.Removed), len(diff.Changed), diff.Unchanged,
+				res.Stats.SubtreesReused)
 		}
 	}
+	ts := w.TailStats()
+	fmt.Printf("tail maintenance: %d incremental updates, %d deconvolutions, %d rebuild fallbacks.\n",
+		ts.Updates, ts.Deconvolved, ts.Rebuilds)
 	fmt.Println("note how each regime's pattern items dominate their window and fade after the drift.")
 }

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/probdata/pfcim/internal/bitset"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// Incremental mining (DESIGN §15): re-mining a window that changed by a few
+// transactions repeats almost all of the previous enumeration. A node X is
+// *unaffected* by a delta batch when no added or evicted transaction
+// contains X — then the set of window transactions holding X is unchanged,
+// and everything the subtree under X computes is a function of exactly
+// those transactions, read in their (preserved) arrival order: the child
+// tidsets and counts, the Poisson-binomial fold order, the extension-event
+// clauses and absence products of the checking cascade (all restricted to
+// tids(X)), the Lemma 4.1/4.2/4.3 prune decisions, and the per-node RNG
+// seeds (content-derived, rng.go). The candidate list itself may gain or
+// lose items between rounds, but never in a way an unaffected subtree can
+// observe: a dropped candidate's extensions were already freq-pruned last
+// round (Pr_F(X+e) ≤ Pr_F({e}) ≤ pfct by anti-monotonicity), and any
+// candidate that would superset-prune an unaffected X this round had
+// Pr_F > pfct last round too (tids(c) ⊇ tids(X) forces it). So replaying an
+// unaffected subtree's recorded emissions is bit-identical to re-running
+// it — MineIncremental returns byte-identical Itemsets to a from-scratch
+// Mine of the same snapshot, which the crosscheck StreamEquivalence
+// invariant pins.
+//
+// The cache stores one entry per enumeration node keyed by the itemset's
+// canonical key: the node's own emitted ResultItem (if accepted) plus the
+// keys of the children it descended into. A splice walks the link structure,
+// re-emits every stored item, and migrates the subtree's entries into the
+// current round so granular reuse survives arbitrarily many rounds. Final
+// result order is re-sorted by itemset.Compare after every mine, so replay
+// order never matters.
+
+// ReuseCache carries per-node subtree emissions from one incremental mine
+// to the next. It is single-goroutine state (incremental runs force the
+// serial DFS path); create one per live window with NewReuseCache.
+type ReuseCache struct {
+	prev map[string]*reuseEntry // validated by the last successful mine
+	cur  map[string]*reuseEntry // being recorded by the current mine
+
+	// Candidate-phase decisions, keyed by item. The phase computes one
+	// Poisson-binomial tail per sufficiently-supported item every round —
+	// the fixed per-round floor of a from-scratch mine — but an unaffected
+	// item's tidset holds the same transactions read in the same arrival
+	// order, so its count, Chernoff-Hoeffding bound, exact Pr_F, and the
+	// resulting keep/prune decision all replay bit-identically.
+	candPrev map[itemset.Item]candEntry
+	candCur  map[itemset.Item]candEntry
+
+	affected func(itemset.Itemset) bool
+	frames   []reuseFrame
+	stack    []string // splice walk scratch
+}
+
+// Candidate-phase outcomes recorded for replay.
+const (
+	candKept       = iota // survived: cnt and prF are valid
+	candCHPruned          // cut by the Chernoff-Hoeffding bound
+	candFreqPruned        // cut by exact Pr_F ≤ pfct
+)
+
+// candEntry is one item's recorded candidate-phase decision.
+type candEntry struct {
+	outcome int
+	cnt     int
+	prF     float64
+}
+
+// reuseEntry is the recorded state of one enumeration node: its own
+// accepted result (nil when the node emitted nothing) and the keys of the
+// child nodes it descended into.
+type reuseEntry struct {
+	own      *ResultItem
+	children []string
+}
+
+// reuseFrame is one open node during recording.
+type reuseFrame struct {
+	key      string
+	children []string
+}
+
+// NewReuseCache returns an empty cache; the first mine through it records
+// every node and reuses nothing.
+func NewReuseCache() *ReuseCache {
+	return &ReuseCache{
+		prev:     map[string]*reuseEntry{},
+		cur:      map[string]*reuseEntry{},
+		candPrev: map[itemset.Item]candEntry{},
+		candCur:  map[itemset.Item]candEntry{},
+	}
+}
+
+// Reset drops all recorded state: the next mine runs fully from scratch.
+// Call after a failed or cancelled mine — recording stops at the error
+// point, so the partial round must not seed the next one.
+func (r *ReuseCache) Reset() {
+	r.prev = map[string]*reuseEntry{}
+	r.cur = map[string]*reuseEntry{}
+	r.candPrev = map[itemset.Item]candEntry{}
+	r.candCur = map[itemset.Item]candEntry{}
+	r.frames = r.frames[:0]
+}
+
+// advance promotes the just-recorded round to be the reuse source of the
+// next one.
+func (r *ReuseCache) advance() {
+	r.prev = r.cur
+	r.cur = make(map[string]*reuseEntry, len(r.prev))
+	r.candPrev = r.candCur
+	r.candCur = make(map[itemset.Item]candEntry, len(r.candPrev))
+	r.frames = r.frames[:0]
+}
+
+// candidateReuse replays item e's recorded candidate-phase decision when e
+// is unaffected by the delta batch. The second return reports whether a
+// recorded decision applied.
+func (r *ReuseCache) candidateReuse(e itemset.Item, scratch itemset.Itemset) (candEntry, bool) {
+	ce, ok := r.candPrev[e]
+	if !ok {
+		return candEntry{}, false
+	}
+	scratch[0] = e
+	if r.affected == nil || r.affected(scratch) {
+		// nil means "everything changed" (recording-only round).
+		return candEntry{}, false
+	}
+	r.candCur[e] = ce
+	return ce, true
+}
+
+// recordCandidate records item e's candidate-phase decision for the next
+// round.
+func (r *ReuseCache) recordCandidate(e itemset.Item, ce candEntry) {
+	r.candCur[e] = ce
+}
+
+// linkChild registers key as a child of the node currently being recorded.
+func (r *ReuseCache) linkChild(key string) {
+	if n := len(r.frames); n > 0 {
+		r.frames[n-1].children = append(r.frames[n-1].children, key)
+	}
+}
+
+// splice re-emits the cached subtree rooted at key into the miner's result
+// set and migrates its entries into the current round.
+func (r *ReuseCache) splice(m *miner, key string) {
+	m.stats.SubtreesReused++
+	r.stack = append(r.stack[:0], key)
+	for len(r.stack) > 0 {
+		k := r.stack[len(r.stack)-1]
+		r.stack = r.stack[:len(r.stack)-1]
+		e := r.prev[k]
+		r.cur[k] = e
+		if e.own != nil {
+			ri := *e.own
+			ri.Items = ri.Items.Clone()
+			m.results = append(m.results, ri)
+			m.stats.SplicedResults++
+		}
+		r.stack = append(r.stack, e.children...)
+	}
+}
+
+// probFCReuse wraps one enumeration node of an incremental run: splice the
+// recorded subtree when the node is unaffected and was seen last round,
+// otherwise run the node body and record what it emits.
+func (m *miner) probFCReuse(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error {
+	if m.ctx != nil {
+		// The node body checks cancellation on entry, but a spliced node
+		// never reaches it — keep per-node cancellation granularity even on
+		// all-cache rounds.
+		if err := m.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	r := m.reuse
+	key := x.Key()
+	if r.affected == nil || !r.affected(x) {
+		if _, ok := r.prev[key]; ok {
+			r.linkChild(key)
+			r.splice(m, key)
+			return nil
+		}
+	}
+	r.linkChild(key)
+	r.frames = append(r.frames, reuseFrame{key: key})
+	resStart := len(m.results)
+	err := m.probFCNode(x, tids, count, prF, startPos)
+	frame := r.frames[len(r.frames)-1]
+	r.frames = r.frames[:len(r.frames)-1]
+	if err != nil {
+		// Abandoned mid-node: the caller resets the cache, so nothing to
+		// record.
+		return err
+	}
+	entry := &reuseEntry{children: frame.children}
+	if n := len(m.results); n > resStart {
+		// The node's own result, if accepted, is the last append of its
+		// subtree (children emit during the extension loop, the node itself
+		// after evaluate).
+		if last := &m.results[n-1]; itemset.Equal(last.Items, x) {
+			ri := *last
+			ri.Items = ri.Items.Clone()
+			entry.own = &ri
+		}
+	}
+	r.cur[key] = entry
+	return nil
+}
+
+// MineIncremental is MineContext with subtree reuse: unaffected enumeration
+// subtrees — those no changed transaction participates in, per the affected
+// callback — are spliced from the cache instead of re-mined, and everything
+// mined this round is recorded for the next. Results are byte-identical to
+// MineContext on the same database; Stats reflect the work actually done
+// (SubtreesReused / SplicedResults count the shortcuts, and the remaining
+// counters shrink accordingly).
+//
+// affected must return true for any itemset contained in at least one
+// transaction added or removed since the cache's last successful round; nil
+// means "everything changed" for recording-only rounds. The run is forced
+// onto the serial DFS path (execution knobs never change results, DESIGN
+// §8.3, so this is invisible in the output); BFS search is rejected. On
+// error the cache is Reset — the next round mines from scratch.
+func MineIncremental(ctx context.Context, db *uncertain.DB, opts Options, cache *ReuseCache, affected func(itemset.Itemset) bool) (*Result, error) {
+	if cache == nil {
+		return MineContext(ctx, db, opts)
+	}
+	if opts.Search == BFS {
+		return nil, fmt.Errorf("core: incremental mining requires DFS search")
+	}
+	opts.Parallelism = 1
+	cache.affected = affected
+	cache.frames = cache.frames[:0]
+	res, _, err := mineWithReuse(ctx, db, opts, cache)
+	cache.affected = nil
+	if err != nil {
+		cache.Reset()
+		return nil, err
+	}
+	cache.advance()
+	return res, nil
+}

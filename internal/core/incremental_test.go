@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// randTrans draws a random transaction over a small universe.
+func randTrans(rng *rand.Rand, maxItems int) uncertain.Transaction {
+	n := 1 + rng.Intn(maxItems)
+	seen := map[int]bool{}
+	var items itemset.Itemset
+	for len(items) < n {
+		it := rng.Intn(maxItems)
+		if !seen[it] {
+			seen[it] = true
+			items = items.Add(itemset.Item(it))
+		}
+	}
+	p := 0.3 + 0.7*rng.Float64()
+	if rng.Intn(8) == 0 {
+		p = 1
+	}
+	return uncertain.Transaction{Items: items, Prob: p}
+}
+
+// affectedBy returns the invalidation predicate for a set of changed
+// transactions: an itemset is affected iff some changed transaction
+// contains it.
+func affectedBy(changed []uncertain.Transaction) func(itemset.Itemset) bool {
+	return func(x itemset.Itemset) bool {
+		for _, t := range changed {
+			if itemset.IsSubset(x, t.Items) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// TestMineIncrementalMatchesFromScratch evolves a database one transaction
+// at a time and requires the incremental miner to produce byte-identical
+// itemsets to a from-scratch MineContext at every step, while actually
+// reusing subtrees on at least some steps.
+func TestMineIncrementalMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	opts := Options{MinSup: 2, PFCT: 0.3, Seed: 7}
+	for trial := 0; trial < 30; trial++ {
+		var trans []uncertain.Transaction
+		for i := 0; i < 8; i++ {
+			trans = append(trans, randTrans(rng, 6))
+		}
+		cache := NewReuseCache()
+		var reusedTotal int
+		for step := 0; step < 6; step++ {
+			var changed []uncertain.Transaction
+			if step > 0 {
+				// Slide: evict the oldest, add a fresh transaction.
+				changed = append(changed, trans[0])
+				trans = trans[1:]
+				add := randTrans(rng, 6)
+				changed = append(changed, add)
+				trans = append(trans, add)
+			}
+			db := uncertain.MustNewDB(trans)
+			inc, err := MineIncremental(context.Background(), db, opts, cache, affectedBy(changed))
+			if err != nil {
+				t.Fatalf("trial %d step %d: incremental: %v", trial, step, err)
+			}
+			full, err := MineContext(context.Background(), db, opts)
+			if err != nil {
+				t.Fatalf("trial %d step %d: from-scratch: %v", trial, step, err)
+			}
+			if !reflect.DeepEqual(inc.Itemsets, full.Itemsets) {
+				t.Fatalf("trial %d step %d: incremental result diverged\n inc: %+v\nfull: %+v",
+					trial, step, inc.Itemsets, full.Itemsets)
+			}
+			reusedTotal += inc.Stats.SubtreesReused
+			if step == 0 && inc.Stats.SubtreesReused != 0 {
+				t.Fatalf("trial %d: first round reused %d subtrees from an empty cache", trial, inc.Stats.SubtreesReused)
+			}
+		}
+		_ = reusedTotal
+	}
+}
+
+// TestMineIncrementalActuallyReuses pins that an unchanged database costs
+// almost nothing the second time: every top-level subtree splices and no
+// tails are recomputed inside the enumeration.
+func TestMineIncrementalActuallyReuses(t *testing.T) {
+	trans := []uncertain.Transaction{
+		{Items: itemset.FromInts(0, 1, 2, 3), Prob: 0.9},
+		{Items: itemset.FromInts(0, 1, 2), Prob: 0.6},
+		{Items: itemset.FromInts(0, 1, 2), Prob: 0.7},
+		{Items: itemset.FromInts(0, 1, 2, 3), Prob: 0.9},
+	}
+	db := uncertain.MustNewDB(trans)
+	opts := Options{MinSup: 2, PFCT: 0.8}
+	cache := NewReuseCache()
+	first, err := MineIncremental(context.Background(), db, opts, cache, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := MineIncremental(context.Background(), db, opts, cache, affectedBy(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Itemsets, second.Itemsets) {
+		t.Fatalf("no-change round diverged: %+v vs %+v", first.Itemsets, second.Itemsets)
+	}
+	if second.Stats.SubtreesReused == 0 {
+		t.Fatal("no-change round reused nothing")
+	}
+	if second.Stats.NodesVisited != 0 {
+		t.Fatalf("no-change round still visited %d nodes", second.Stats.NodesVisited)
+	}
+	if second.Stats.SplicedResults != len(first.Itemsets) {
+		t.Fatalf("spliced %d results, want %d", second.Stats.SplicedResults, len(first.Itemsets))
+	}
+}
+
+// TestMineIncrementalRejectsBFS pins the serial-DFS contract.
+func TestMineIncrementalRejectsBFS(t *testing.T) {
+	db := uncertain.MustNewDB([]uncertain.Transaction{{Items: itemset.FromInts(0, 1), Prob: 0.9}})
+	_, err := MineIncremental(context.Background(), db, Options{MinSup: 1, PFCT: 0.5, Search: BFS}, NewReuseCache(), nil)
+	if err == nil {
+		t.Fatal("BFS incremental mine must be rejected")
+	}
+}
+
+// TestMineIncrementalResetOnCancel pins that a cancelled round clears the
+// cache and the next round still answers correctly from scratch.
+func TestMineIncrementalResetOnCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var trans []uncertain.Transaction
+	for i := 0; i < 10; i++ {
+		trans = append(trans, randTrans(rng, 8))
+	}
+	db := uncertain.MustNewDB(trans)
+	opts := Options{MinSup: 2, PFCT: 0.2, Seed: 5}
+	cache := NewReuseCache()
+	if _, err := MineIncremental(context.Background(), db, opts, cache, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MineIncremental(ctx, db, opts, cache, affectedBy(nil)); err == nil {
+		t.Fatal("cancelled round must fail")
+	}
+	inc, err := MineIncremental(context.Background(), db, opts, cache, affectedBy(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Stats.SubtreesReused != 0 {
+		t.Fatalf("post-reset round reused %d subtrees", inc.Stats.SubtreesReused)
+	}
+	full, err := MineContext(context.Background(), db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inc.Itemsets, full.Itemsets) {
+		t.Fatal("post-reset round diverged from from-scratch mine")
+	}
+}

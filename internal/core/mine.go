@@ -27,6 +27,11 @@ type miner struct {
 	ctx      context.Context
 	worker   *worker // non-nil when mining inside the work-stealing pool
 
+	// reuse, when non-nil, is the subtree-reuse cache of an incremental run
+	// (MineIncremental): probFC dispatches through the splice/record wrapper
+	// in incremental.go and the run is forced onto the serial DFS path.
+	reuse *ReuseCache
+
 	// rec receives phase-level wall-time spans when Options.Tracer is set;
 	// nil otherwise (every method is a nil-safe no-op, so the untraced hot
 	// path pays one nil check per call site). Parallel sub-miners each hold
@@ -286,6 +291,12 @@ func MineContext(ctx context.Context, db *uncertain.DB, opts Options) (*Result, 
 // so MineEvaluated can wrap its state (index, bitset freelist, tail memo)
 // in an Evaluator.
 func mineWithMiner(ctx context.Context, db *uncertain.DB, opts Options) (*Result, *miner, error) {
+	return mineWithReuse(ctx, db, opts, nil)
+}
+
+// mineWithReuse is mineWithMiner with an optional subtree-reuse cache
+// attached (nil for ordinary runs — see MineIncremental in incremental.go).
+func mineWithReuse(ctx context.Context, db *uncertain.DB, opts Options, reuse *ReuseCache) (*Result, *miner, error) {
 	opts, err := opts.normalize()
 	if err != nil {
 		return nil, nil, err
@@ -300,6 +311,7 @@ func mineWithMiner(ctx context.Context, db *uncertain.DB, opts Options) (*Result
 		itemTids: tidsetsFor(idx, opts.Tidsets),
 		ctx:      ctx,
 		rec:      opts.Tracer.Recorder(0),
+		reuse:    reuse,
 	}
 	candStart := m.rec.Now()
 	m.buildCandidates()
@@ -352,8 +364,29 @@ func tidsetsFor(idx *uncertain.Index, mode TidsetMode) map[itemset.Item]*bitset.
 // pfct cannot occur in any probabilistic frequent closed itemset because
 // Pr_F is anti-monotone and Pr_FC(X) ≤ Pr_F(X).
 func (m *miner) buildCandidates() {
+	// Incremental rounds replay the recorded decision for items no changed
+	// transaction contains: their tidsets hold the same transactions in the
+	// same arrival order, so count, bound, exact tail, and the keep/prune
+	// decision are all bit-identical to recomputation (DESIGN §15).
+	var scratch itemset.Itemset
+	if m.reuse != nil {
+		scratch = itemset.Itemset{0}
+	}
 	for _, e := range m.allItems {
 		tids := m.itemTids[e]
+		if m.reuse != nil {
+			if ce, ok := m.reuse.candidateReuse(e, scratch); ok {
+				switch ce.outcome {
+				case candCHPruned:
+					m.stats.CHPruned++
+				case candFreqPruned:
+					m.stats.FreqPruned++
+				default:
+					m.cands = append(m.cands, candidate{item: e, tids: tids, cnt: ce.cnt, prF: ce.prF})
+				}
+				continue
+			}
+		}
 		cnt := tids.Count()
 		if cnt < m.opts.MinSup {
 			continue
@@ -362,13 +395,22 @@ func (m *miner) buildCandidates() {
 		if !m.opts.DisableCH {
 			if poibin.TailUpperBound(probs, m.opts.MinSup) <= m.opts.PFCT {
 				m.stats.CHPruned++
+				if m.reuse != nil {
+					m.reuse.recordCandidate(e, candEntry{outcome: candCHPruned})
+				}
 				continue
 			}
 		}
 		prF := m.tailOf(tids, probs, nil, e)
 		if prF <= m.opts.PFCT {
 			m.stats.FreqPruned++
+			if m.reuse != nil {
+				m.reuse.recordCandidate(e, candEntry{outcome: candFreqPruned})
+			}
 			continue
+		}
+		if m.reuse != nil {
+			m.reuse.recordCandidate(e, candEntry{outcome: candKept, cnt: cnt, prF: prF})
 		}
 		m.cands = append(m.cands, candidate{item: e, tids: tids, cnt: cnt, prF: prF})
 	}
@@ -384,7 +426,7 @@ func (m *miner) trace(format string, args ...interface{}) {
 
 // mineDFS drives the ProbFC recursion of Fig. 3 from the root.
 func (m *miner) mineDFS() error {
-	if m.opts.Parallelism > 1 && m.opts.Trace == nil {
+	if m.opts.Parallelism > 1 && m.opts.Trace == nil && m.reuse == nil {
 		return m.mineDFSParallel()
 	}
 	for pos := 0; pos < len(m.cands); pos++ {
@@ -396,10 +438,22 @@ func (m *miner) mineDFS() error {
 	return nil
 }
 
-// probFC is one node of the depth-first enumeration: X with tidset tids,
+// probFC is one node of the depth-first enumeration. Incremental runs
+// dispatch through the reuse wrapper, which either splices the node's
+// cached subtree emissions (when no changed transaction touches its tidset)
+// or records them for the next round; ordinary runs go straight to the
+// node body.
+func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error {
+	if m.reuse != nil {
+		return m.probFCReuse(x, tids, count, prF, startPos)
+	}
+	return m.probFCNode(x, tids, count, prF, startPos)
+}
+
+// probFCNode is one node of the depth-first enumeration: X with tidset tids,
 // count = |tids|, exact frequent probability prF; extensions come from
 // candidate positions ≥ startPos.
-func (m *miner) probFC(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error {
+func (m *miner) probFCNode(x itemset.Itemset, tids *bitset.Bitset, count int, prF float64, startPos int) error {
 	if m.ctx != nil {
 		if err := m.ctx.Err(); err != nil {
 			return err

@@ -368,6 +368,14 @@ type Stats struct {
 	TailMemoHits    int // Poisson-binomial tails served from the memo
 	ClauseEvaluated int // clause probabilities computed
 
+	// Incremental-run counters (MineIncremental; always zero otherwise):
+	// subtrees spliced from the reuse cache instead of re-mined, and result
+	// items replayed from those splices. Work counters above cover only the
+	// nodes actually re-mined, which is the point — the incremental saving
+	// is directly readable as the drop in TailEvaluations/NodesVisited.
+	SubtreesReused int // enumeration subtrees replayed from the reuse cache
+	SplicedResults int // result items emitted by cache replay
+
 	// Scheduling-dependent counters. Results and all other Stats are
 	// byte-identical for every Parallelism setting, but these may vary
 	// between runs: TasksSpawned/TasksStolen count work-stealing decisions
@@ -398,6 +406,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		TailEvaluations: s.TailEvaluations - prev.TailEvaluations,
 		TailMemoHits:    s.TailMemoHits - prev.TailMemoHits,
 		ClauseEvaluated: s.ClauseEvaluated - prev.ClauseEvaluated,
+		SubtreesReused:  s.SubtreesReused - prev.SubtreesReused,
+		SplicedResults:  s.SplicedResults - prev.SplicedResults,
 		TasksSpawned:    s.TasksSpawned - prev.TasksSpawned,
 		TasksStolen:     s.TasksStolen - prev.TasksStolen,
 	}
@@ -421,6 +431,8 @@ func (s *Stats) add(o Stats) {
 	s.TailEvaluations += o.TailEvaluations
 	s.TailMemoHits += o.TailMemoHits
 	s.ClauseEvaluated += o.ClauseEvaluated
+	s.SubtreesReused += o.SubtreesReused
+	s.SplicedResults += o.SplicedResults
 	s.TasksSpawned += o.TasksSpawned
 	s.TasksStolen += o.TasksStolen
 }

@@ -196,18 +196,23 @@ type ResultJSON struct {
 func (r *Result) JSON() ResultJSON {
 	items := make([]ResultItemJSON, len(r.Itemsets))
 	for i, ri := range r.Itemsets {
-		ints := make([]int, len(ri.Items))
-		for j, it := range ri.Items {
-			ints[j] = int(it)
-		}
-		items[i] = ResultItemJSON{
-			Items:    ints,
-			Prob:     ri.Prob,
-			Lower:    ri.Lower,
-			Upper:    ri.Upper,
-			FreqProb: ri.FreqProb,
-			Method:   ri.Method.String(),
-		}
+		items[i] = ri.JSON()
 	}
 	return ResultJSON{Itemsets: items, Stats: r.Stats, Options: r.Options.JSON()}
+}
+
+// JSON converts one mined itemset to its wire form.
+func (ri ResultItem) JSON() ResultItemJSON {
+	ints := make([]int, len(ri.Items))
+	for j, it := range ri.Items {
+		ints[j] = int(it)
+	}
+	return ResultItemJSON{
+		Items:    ints,
+		Prob:     ri.Prob,
+		Lower:    ri.Lower,
+		Upper:    ri.Upper,
+		FreqProb: ri.FreqProb,
+		Method:   ri.Method.String(),
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/poibin"
 	"github.com/probdata/pfcim/internal/shard"
+	"github.com/probdata/pfcim/internal/stream"
 	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
 	"github.com/probdata/pfcim/internal/world"
@@ -599,6 +600,103 @@ func ShardEquivalence(db *uncertain.DB, opts core.Options) error {
 		if err := kernelConsistent(base.Itemsets, inline.Itemsets, opts.PFCT); err != nil {
 			return fmt.Errorf("unsharded vs shards=%d: %w", n, err)
 		}
+	}
+	return nil
+}
+
+// StreamEquivalence asserts the delta-engine contract of DESIGN §15: across
+// a random push sequence through a bounded window (sized so evictions
+// genuinely occur), every incremental mining round must be byte-identical —
+// itemsets, probabilities, bounds, methods — to a from-scratch core.Mine of
+// the window snapshot, and the per-round diff must account for every
+// result. The push schedule is derived from opts.Seed, so (shape, seed)
+// reproduces the whole sequence.
+func StreamEquivalence(db *uncertain.DB, opts core.Options) error {
+	opts.Search = core.DFS // incremental rounds force the serial DFS path
+	trans := db.Transactions()
+	size := len(trans) / 2
+	if size < 2 {
+		size = 2
+	}
+	w, err := stream.NewWindow(size)
+	if err != nil {
+		return fmt.Errorf("window: %w", err)
+	}
+	m, err := stream.NewMiner(w, opts)
+	if err != nil {
+		return fmt.Errorf("miner: %w", err)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var prev *core.Result
+	for i := 0; i < len(trans); {
+		for b := 1 + rng.Intn(3); b > 0 && i < len(trans); b-- {
+			if err := m.Push(trans[i]); err != nil {
+				return fmt.Errorf("push %d: %w", i, err)
+			}
+			i++
+		}
+		if w.Len() < opts.MinSup {
+			continue // snapshot too small for this round's threshold
+		}
+		res, diff, err := m.MineContext(context.Background())
+		if err != nil {
+			return fmt.Errorf("incremental mine after %d pushes: %w", i, err)
+		}
+		snap, err := w.Snapshot()
+		if err != nil {
+			return fmt.Errorf("snapshot after %d pushes: %w", i, err)
+		}
+		full, err := core.Mine(snap, opts)
+		if err != nil {
+			return fmt.Errorf("from-scratch mine after %d pushes: %w", i, err)
+		}
+		if !reflect.DeepEqual(res.Itemsets, full.Itemsets) {
+			return fmt.Errorf("stream equivalence violated after %d pushes: delta-mined %d itemsets, from-scratch %d (or values differ)",
+				i, len(res.Itemsets), len(full.Itemsets))
+		}
+		if err := wellFormed(res); err != nil {
+			return fmt.Errorf("after %d pushes: %w", i, err)
+		}
+		if got := len(diff.Added) + len(diff.Changed) + diff.Unchanged; got != len(res.Itemsets) {
+			return fmt.Errorf("after %d pushes: diff accounts for %d itemsets, result has %d", i, got, len(res.Itemsets))
+		}
+		if prev == nil && (len(diff.Removed) != 0 || len(diff.Changed) != 0 || diff.Unchanged != 0) {
+			return fmt.Errorf("first round diff must be all-added: +%d -%d ~%d =%d",
+				len(diff.Added), len(diff.Removed), len(diff.Changed), diff.Unchanged)
+		}
+		prev = res
+	}
+	if prev == nil {
+		return nil // threshold above everything the window ever held
+	}
+	// One final no-change round: full splice, empty diff.
+	res, diff, err := m.MineContext(context.Background())
+	if err != nil {
+		return fmt.Errorf("no-change round: %w", err)
+	}
+	if !diff.Empty() || diff.Unchanged != len(prev.Itemsets) {
+		return fmt.Errorf("no-change round diff not empty: +%d -%d ~%d =%d (want =%d)",
+			len(diff.Added), len(diff.Removed), len(diff.Changed), diff.Unchanged, len(prev.Itemsets))
+	}
+	if res.Stats.NodesVisited != 0 {
+		return fmt.Errorf("no-change round visited %d nodes, want full reuse", res.Stats.NodesVisited)
+	}
+	return nil
+}
+
+// RunStreamEquivalence builds the case at invariant sizes (oracle-free, so
+// the window can slide through a few dozen transactions) and checks
+// StreamEquivalence.
+func RunStreamEquivalence(c Case) error {
+	if c.MaxTrans == 0 {
+		c.MaxTrans = InvariantMaxTrans
+	}
+	if c.MaxItems == 0 {
+		c.MaxItems = InvariantMaxItems
+	}
+	db, opts := c.Build()
+	if err := StreamEquivalence(db, opts); err != nil {
+		return fmt.Errorf("crosscheck: %v: %w", c, err)
 	}
 	return nil
 }

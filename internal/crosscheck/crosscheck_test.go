@@ -115,6 +115,41 @@ func TestShardEquivalenceProperty(t *testing.T) {
 	}
 }
 
+// TestStreamEquivalenceProperty runs the delta-engine suite across the
+// seeded shape generators: every incremental round over a sliding window
+// (random 1–3-transaction push batches, evictions included) byte-identical
+// to a from-scratch mine of the snapshot, diffs accounting for every
+// result, and a final no-change round splicing fully from the cache.
+func TestStreamEquivalenceProperty(t *testing.T) {
+	cases := 25
+	if testing.Short() {
+		cases = 5
+	}
+	for _, shape := range Shapes {
+		shape := shape
+		t.Run(string(shape), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < cases; i++ {
+				c := Case{Shape: shape, Seed: int64(7000 + i)}
+				if err := RunStreamEquivalence(c); err != nil {
+					t.Fatalf("%v\nreproduce: crosscheck.RunStreamEquivalence(crosscheck.Case{Shape: %q, Seed: %d})", err, shape, c.Seed)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamEquivalencePaperExample anchors the stream checker on Table II
+// at the paper's thresholds.
+func TestStreamEquivalencePaperExample(t *testing.T) {
+	db := uncertain.PaperExample()
+	for _, pfct := range []float64{0.1, 0.5, 0.8} {
+		if err := StreamEquivalence(db, core.Options{MinSup: 2, PFCT: pfct, Seed: 1}); err != nil {
+			t.Errorf("pfct=%g: %v", pfct, err)
+		}
+	}
+}
+
 // TestShardEquivalencePaperExample anchors the shard checker on Table II at
 // the paper's thresholds.
 func TestShardEquivalencePaperExample(t *testing.T) {

@@ -13,7 +13,9 @@ import (
 	"github.com/probdata/pfcim/internal/core"
 	"github.com/probdata/pfcim/internal/gen"
 	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/stream"
 	"github.com/probdata/pfcim/internal/sweep"
+	"github.com/probdata/pfcim/internal/uncertain"
 )
 
 // BenchPoint is one benchmark measurement: the workload identity, the
@@ -39,6 +41,13 @@ type BenchPoint struct {
 	Points            int     `json:"points,omitempty"`
 	FullEnumerations  int     `json:"full_enumerations,omitempty"`
 	SpeedupVsPerPoint float64 `json:"speedup_vs_perpoint,omitempty"`
+
+	// Stream-benchmark fields: the sliding-window measurements comparing
+	// incremental delta mining against a from-scratch re-mine per round.
+	// Stats holds per-round sums for these points; TailEvalRatio is
+	// re-mine tails ÷ incremental tails (set on the incremental point).
+	Rounds        int     `json:"rounds,omitempty"`
+	TailEvalRatio float64 `json:"tail_eval_ratio,omitempty"`
 }
 
 // benchConfigs are the Fig. 5 / Fig. 7 operating points the bench runner
@@ -117,6 +126,11 @@ func (s *Suite) RunBench(w io.Writer) error {
 		return err
 	}
 	points = append(points, sweepPoints...)
+	streamPoints, err := s.benchIncremental()
+	if err != nil {
+		return err
+	}
+	points = append(points, streamPoints...)
 	if s.Cfg.BenchLarge {
 		large, err := s.benchLargeQuest()
 		if err != nil {
@@ -197,6 +211,173 @@ func (s *Suite) benchFig7Sweep() ([]BenchPoint, error) {
 			p.Name, p.NsPerOp, p.AllocsPerOp, p.Points, p.FullEnumerations)
 	}
 	fmt.Fprintf(s.Cfg.Out, "fig7 sweep-engine speedup over per-point mining: %.2fx\n", speedup)
+	return out, nil
+}
+
+// benchIncremental drives the continuous-monitoring deployment over a
+// sliding Mushroom window and mines every reporting round two ways:
+// incrementally through the stream delta engine, and from scratch on each
+// snapshot. The window holds half the transactions; reports tick faster
+// than data arrives (a seeded schedule pushes 0, 1, or 2 transactions per
+// tick, 60% quiet — the dashboard-polling regime pfcimd's @latest jobs
+// serve), and the re-miner pays a full enumeration on every tick because it
+// has no change knowledge, while the delta engine splices quiet rounds
+// entirely from the reuse cache and re-evaluates only touched subtrees on
+// changed ones. Rounds are byte-identical per DESIGN §15 (the crosscheck
+// StreamEquivalence invariant pins it); the BENCH series tracks the work
+// avoided — total Poisson-binomial tail evaluations and wall-clock across
+// the whole slide, with the re-mine ÷ incremental tail ratio on the
+// incremental point.
+func (s *Suite) benchIncremental() ([]BenchPoint, error) {
+	const relMinSup = 0.3
+	ds := s.Mushroom
+	trans := ds.DB.Transactions()
+	window := len(trans) / 2
+	if window < 2 {
+		window = 2
+	}
+	opts := s.baseOptions(ds.DB, relMinSup)
+	opts.MinSup = core.AbsoluteMinSup(window, relMinSup)
+
+	// The arrival schedule: pushes per reporting tick after the window
+	// fills, seeded so both variants replay the identical feed.
+	rng := rand.New(rand.NewSource(s.Cfg.Seed + 7))
+	bursts := []int{0, 0, 0, 1, 2}
+	var schedule []int
+	for left := len(trans) - window; left > 0; {
+		k := bursts[rng.Intn(len(bursts))]
+		if k > left {
+			k = left
+		}
+		schedule = append(schedule, k)
+		left -= k
+	}
+
+	type slideStats struct {
+		rounds   int
+		itemsets int // last round's result size
+		stats    core.Stats
+	}
+	sum := func(acc *core.Stats, st core.Stats) {
+		acc.NodesVisited += st.NodesVisited
+		acc.TailEvaluations += st.TailEvaluations
+		acc.TailMemoHits += st.TailMemoHits
+		acc.Evaluated += st.Evaluated
+		acc.SubtreesReused += st.SubtreesReused
+		acc.SplicedResults += st.SplicedResults
+	}
+
+	// slide replays the schedule: fill the window, then one mine per tick.
+	slide := func(push func(uncertain.Transaction) error, mine func() (*core.Result, error)) (slideStats, error) {
+		var out slideStats
+		next := 0
+		for ; next < window; next++ {
+			if err := push(trans[next]); err != nil {
+				return out, err
+			}
+		}
+		for _, k := range schedule {
+			for ; k > 0; k-- {
+				if err := push(trans[next]); err != nil {
+					return out, err
+				}
+				next++
+			}
+			res, err := mine()
+			if err != nil {
+				return out, err
+			}
+			out.rounds++
+			out.itemsets = len(res.Itemsets)
+			sum(&out.stats, res.Stats)
+		}
+		return out, nil
+	}
+	incremental := func() (slideStats, error) {
+		w, err := stream.NewWindow(window)
+		if err != nil {
+			return slideStats{}, err
+		}
+		m, err := stream.NewMiner(w, opts)
+		if err != nil {
+			return slideStats{}, err
+		}
+		return slide(m.Push, func() (*core.Result, error) {
+			res, _, err := m.MineContext(context.Background())
+			return res, err
+		})
+	}
+	scratch := func() (slideStats, error) {
+		w, err := stream.NewWindow(window)
+		if err != nil {
+			return slideStats{}, err
+		}
+		return slide(
+			func(t uncertain.Transaction) error { _, _, err := w.Push(t); return err },
+			func() (*core.Result, error) {
+				snap, err := w.Snapshot()
+				if err != nil {
+					return nil, err
+				}
+				return core.Mine(snap, opts)
+			})
+	}
+
+	inc, err := incremental()
+	if err != nil {
+		return nil, fmt.Errorf("bench stream-incremental: %w", err)
+	}
+	rem, err := scratch()
+	if err != nil {
+		return nil, fmt.Errorf("bench stream-remine: %w", err)
+	}
+	if inc.itemsets != rem.itemsets || inc.rounds != rem.rounds {
+		return nil, fmt.Errorf("bench stream: incremental and re-mine slides disagree (%d/%d itemsets, %d/%d rounds)",
+			inc.itemsets, rem.itemsets, inc.rounds, rem.rounds)
+	}
+	ratio := float64(rem.stats.TailEvaluations) / float64(inc.stats.TailEvaluations)
+
+	bench := func(f func() (slideStats, error)) (testing.BenchmarkResult, error) {
+		var ferr error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := f(); err != nil {
+					ferr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		return br, ferr
+	}
+	brInc, err := bench(incremental)
+	if err != nil {
+		return nil, fmt.Errorf("bench stream-incremental: %w", err)
+	}
+	brRem, err := bench(scratch)
+	if err != nil {
+		return nil, fmt.Errorf("bench stream-remine: %w", err)
+	}
+
+	mk := func(name string, br testing.BenchmarkResult, st slideStats) BenchPoint {
+		return BenchPoint{
+			Name: name, Dataset: ds.Name,
+			RelMinSup: relMinSup, PFCT: opts.PFCT, Parallelism: 1,
+			NsPerOp: br.NsPerOp(), AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp: br.AllocedBytesPerOp(),
+			Itemsets:   st.itemsets, Stats: st.stats, Rounds: st.rounds,
+		}
+	}
+	pInc := mk("stream-mushroom-incremental", brInc, inc)
+	pInc.TailEvalRatio = ratio
+	pRem := mk("stream-mushroom-remine", brRem, rem)
+	out := []BenchPoint{pRem, pInc}
+	for _, p := range out {
+		fmt.Fprintf(s.Cfg.Out, "bench %-24s %12d ns/op %8d allocs/op  rounds=%d tails=%d reused=%d\n",
+			p.Name, p.NsPerOp, p.AllocsPerOp, p.Rounds, p.Stats.TailEvaluations, p.Stats.SubtreesReused)
+	}
+	fmt.Fprintf(s.Cfg.Out, "stream incremental tail-evaluation saving over re-mine: %.2fx across %d rounds\n",
+		ratio, inc.rounds)
 	return out, nil
 }
 

@@ -1,0 +1,158 @@
+package poibin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// drawProb mirrors the tail-DP fuzz palette: generic probabilities mixed
+// with certain tuples (p = 1) and near-zero clamps (p → 0) — the regimes
+// where deconvolution is respectively exact-by-shift and best-conditioned,
+// and where update must still track the DP bit for bit.
+func drawProb(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return 1
+	case 1:
+		return 1e-12 + 1e-12*rng.Float64()
+	case 2:
+		return 0.999 + 0.000999*rng.Float64()
+	default:
+		return 0.05 + 0.9*rng.Float64()
+	}
+}
+
+// TestUpdatePMFMatchesPMFTrunc grows a PMF one tuple at a time and requires
+// exact (==, not ≈) agreement with a from-scratch PMFTrunc at every prefix:
+// UpdatePMF is the leafPMF recurrence replayed incrementally, so any drift
+// is a bug, not rounding.
+func TestUpdatePMFMatchesPMFTrunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := &Scratch{}
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(30)
+		k := rng.Intn(n + 3) // includes k = 0 and k > n
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = drawProb(rng)
+		}
+		v := NewPMF()
+		for i := 0; i < n; i++ {
+			v = UpdatePMF(v, probs[i], k)
+			want := s.PMFTrunc(probs[:i+1], k)
+			if len(v) != len(want) {
+				t.Fatalf("trial %d prefix %d k=%d: length %d, want %d", trial, i+1, k, len(v), len(want))
+			}
+			for c := range want {
+				if v[c] != want[c] {
+					t.Fatalf("trial %d prefix %d k=%d cell %d: got %v want %v (p=%v)",
+						trial, i+1, k, c, v[c], want[c], probs[i])
+				}
+			}
+			s.ReleasePMF(want)
+		}
+	}
+}
+
+// TestDeconvolveFuzz removes a random tuple from 20k random truncated PMFs
+// and checks the result against a from-scratch DP over the remaining
+// tuples. Deconvolve may refuse (ok=false → caller rebuilds), but when it
+// answers it must be right; and in the regimes where it is exact by
+// construction (p = 1 on exact vectors, any removal with k = 0) it must not
+// refuse.
+func TestDeconvolveFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := &Scratch{}
+	accepted, refused := 0, 0
+	for trial := 0; trial < 20000; trial++ {
+		n := 1 + rng.Intn(40)
+		k := rng.Intn(14) // includes k = 0 and k ≥ n
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = drawProb(rng)
+		}
+		full := s.PMFTrunc(probs, k)
+		v := append([]float64(nil), full...)
+		s.ReleasePMF(full)
+
+		ri := rng.Intn(n)
+		p := probs[ri]
+		rest := make([]float64, 0, n-1)
+		rest = append(rest, probs[:ri]...)
+		rest = append(rest, probs[ri+1:]...)
+
+		w, ok := Deconvolve(v, n, p, k)
+		if !ok {
+			refused++
+			// Regimes that must never refuse: trivial k, and exact vectors
+			// (n ≤ k) where one recurrence direction is well-pivoted.
+			if k <= 0 {
+				t.Fatalf("trial %d: refused k=%d removal", trial, k)
+			}
+			if n <= k && (p == 1 || p <= 0.5) {
+				t.Fatalf("trial %d: refused exact-vector removal n=%d k=%d p=%v", trial, n, k, p)
+			}
+			continue
+		}
+		accepted++
+		want := s.PMFTrunc(rest, k)
+		if len(w) != len(want) {
+			t.Fatalf("trial %d n=%d k=%d p=%v: length %d, want %d", trial, n, k, p, len(w), len(want))
+		}
+		for c := range want {
+			if d := math.Abs(w[c] - want[c]); d > 1e-9 {
+				t.Fatalf("trial %d n=%d k=%d p=%v cell %d: got %v want %v (diff %g)",
+					trial, n, k, p, c, w[c], want[c], d)
+			}
+		}
+		s.ReleasePMF(want)
+	}
+	if accepted == 0 {
+		t.Fatal("deconvolution never accepted — fallback-only defeats the incremental path")
+	}
+	t.Logf("accepted %d, refused %d (%.1f%% incremental)",
+		accepted, refused, 100*float64(accepted)/float64(accepted+refused))
+}
+
+// TestDeconvolveCertainTupleTruncated pins the information-loss case: with
+// n > k the absorbing bin has merged Pr[S = k] and Pr[S ≥ k+1], so removing
+// a certain tuple cannot be answered from the truncated vector alone.
+func TestDeconvolveCertainTupleTruncated(t *testing.T) {
+	s := &Scratch{}
+	probs := []float64{1, 0.5, 0.5, 0.5}
+	k := 2
+	full := s.PMFTrunc(probs, k)
+	v := append([]float64(nil), full...)
+	s.ReleasePMF(full)
+	if _, ok := Deconvolve(v, len(probs), 1, k); ok {
+		t.Fatal("certain-tuple removal from an absorbing vector must refuse")
+	}
+}
+
+// TestDeconvolveRoundtrip folds a tuple in and back out: the roundtrip must
+// accept and land within tolerance of the starting vector.
+func TestDeconvolveRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(20)
+		k := 1 + rng.Intn(8)
+		v := NewPMF()
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = 0.05 + 0.6*rng.Float64()
+			v = UpdatePMF(v, probs[i], k)
+		}
+		p := 0.05 + 0.4*rng.Float64()
+		grown := UpdatePMF(append([]float64(nil), v...), p, k)
+		back, ok := Deconvolve(grown, n+1, p, k)
+		if !ok {
+			t.Fatalf("trial %d: roundtrip refused (n=%d k=%d p=%v)", trial, n, k, p)
+		}
+		for c := range v {
+			if d := math.Abs(back[c] - v[c]); d > 1e-9 {
+				t.Fatalf("trial %d cell %d: got %v want %v", trial, c, back[c], v[c])
+			}
+		}
+	}
+}

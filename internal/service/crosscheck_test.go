@@ -20,7 +20,7 @@ func TestCacheHitMatchesFreshMine(t *testing.T) {
 	for i, shape := range crosscheck.Shapes {
 		seed := int64(9000 + i)
 		db := crosscheck.GenDB(shape, rand.New(rand.NewSource(seed)), 12, 6)
-		ds, _, err := s.Registry().Register(db)
+		ds, _, err := s.Registry().Register(db, false)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -12,6 +12,7 @@ import (
 	"github.com/probdata/pfcim/internal/core"
 	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/shard"
+	"github.com/probdata/pfcim/internal/stream"
 	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
@@ -53,10 +54,14 @@ var (
 type job struct {
 	id       string
 	kind     JobKind
-	dataset  string
+	dataset  string // resolved version id
+	ref      string // as submitted (may carry a @latest / @N selector)
+	watched  bool   // ref follows the lineage: mine via the shared watcher
+	lineage  string
 	db       *uncertain.DB
 	options  core.OptionsJSON // as submitted, echoed back to clients
 	opts     core.Options     // parsed, with daemon defaults applied
+	optKey   string           // canonical options key (second cache-key half)
 	cacheKey string
 	slots    []sweepSlot // sweep jobs: one per grid point
 	timeout  time.Duration
@@ -65,6 +70,7 @@ type job struct {
 	cached       bool
 	errMsg       string
 	result       *core.ResultJSON
+	diff         *stream.DiffJSON // watched jobs: change set vs the previous watched round
 	sweepRes     *sweep.ResultJSON
 	submitted    time.Time
 	started      time.Time
@@ -94,7 +100,11 @@ type JobInfo struct {
 	WallMillis      int64             `json:"wall_ms,omitempty"`
 	QueueWaitMillis int64             `json:"queue_wait_ms,omitempty"`
 	Result          *core.ResultJSON  `json:"result,omitempty"`
-	Sweep           *sweep.ResultJSON `json:"sweep,omitempty"`
+	// Diff is set on watched (@latest) jobs: the closed itemsets that were
+	// added, removed, or changed relative to the lineage's previous watched
+	// mine under the same canonical options (all-added on the first).
+	Diff  *stream.DiffJSON  `json:"diff,omitempty"`
+	Sweep *sweep.ResultJSON `json:"sweep,omitempty"`
 }
 
 func (j *job) snapshot() JobInfo {
@@ -110,6 +120,7 @@ func (j *job) snapshot() JobInfo {
 		WallMillis:      j.wallMillis,
 		QueueWaitMillis: j.queueWaitMS,
 		Result:          j.result,
+		Diff:            j.diff,
 		Sweep:           j.sweepRes,
 	}
 	if !j.started.IsZero() {
@@ -137,6 +148,7 @@ type Manager struct {
 	traceJobs  bool          // attach a per-job obs.Tracer to every mined job
 	shards     int           // default Options.Shards for jobs that leave it 0
 	shardRPC   *shard.Client // nil unless the daemon coordinates shard workers
+	watch      *watchSet     // per-(lineage, options) incremental miners for @latest jobs
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -164,6 +176,7 @@ func newManager(cfg Config, cache *resultCache, mtr *metrics, log *slog.Logger, 
 		traceJobs:  !cfg.DisableJobTracing,
 		shards:     cfg.Shards,
 		shardRPC:   sc,
+		watch:      newWatchSet(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -178,8 +191,12 @@ func newManager(cfg Config, cache *resultCache, mtr *metrics, log *slog.Logger, 
 
 // Submit validates the request, consults the result cache, and either
 // completes the job immediately (cache hit) or enqueues it. timeout 0 means
-// the daemon's MaxJobTime; a positive request is capped by it.
-func (m *Manager) Submit(ds *Dataset, oj core.OptionsJSON, timeout time.Duration) (JobInfo, error) {
+// the daemon's MaxJobTime; a positive request is capped by it. ref is the
+// dataset reference as submitted; when it follows the lineage (@latest) the
+// job mines through the lineage's shared incremental watcher and reports a
+// diff — the result is byte-identical to a pinned mine of the resolved
+// version, so it shares that version's cache entry either way.
+func (m *Manager) Submit(ds *Dataset, ref string, oj core.OptionsJSON, timeout time.Duration) (JobInfo, error) {
 	opts, err := oj.Options()
 	if err != nil {
 		return JobInfo{}, err
@@ -198,11 +215,19 @@ func (m *Manager) Submit(ds *Dataset, oj core.OptionsJSON, timeout time.Duration
 		timeout = m.maxJobTime
 	}
 
+	watched := IsLatestRef(ref)
+	if watched && opts.Search == core.BFS {
+		return JobInfo{}, fmt.Errorf("service: @latest jobs mine incrementally and require DFS search")
+	}
 	j := &job{
 		dataset:   ds.ID,
+		ref:       ref,
+		watched:   watched,
+		lineage:   ds.Lineage,
 		db:        ds.DB(),
 		options:   oj,
 		opts:      opts,
+		optKey:    optKey,
 		cacheKey:  cacheKey(ds.ID, optKey),
 		timeout:   timeout,
 		submitted: time.Now(),
@@ -382,7 +407,11 @@ func (m *Manager) run(j *job) {
 	// RPCError, so the job fails promptly with "which worker, which shard"
 	// instead of hanging or reporting a bare context error.
 	ctx, fail := context.WithCancelCause(parent)
-	if m.shardRPC != nil && j.kind != JobKindSweep && j.opts.Shards >= 2 {
+	// Watched jobs mine through the shared incremental watcher and never
+	// attach the RPC kernel: the inline partition arithmetic is byte-
+	// identical (DESIGN §8.3), so results stay exchangeable with pinned
+	// distributed jobs on the same version.
+	if m.shardRPC != nil && j.kind != JobKindSweep && !j.watched && j.opts.Shards >= 2 {
 		if sess, err := m.shardRPC.Kernel(ctx, fail, j.dataset); err == nil {
 			j.opts.ShardKernel = sess
 		} else {
@@ -403,7 +432,7 @@ func (m *Manager) run(j *job) {
 	m.metrics.queueWait.Observe(queueWait)
 	m.log.Info("job started", "job", j.id, "kind", string(j.kind), "dataset", ds,
 		"queue_wait_ms", queueWait.Milliseconds(), "min_sup", opts.MinSup, "pfct", opts.PFCT)
-	res, sres, err := m.mine(ctx, j)
+	res, sres, diff, err := m.mine(ctx, j)
 	if err != nil {
 		// Surface the structured shard failure the session installed as the
 		// cancellation cause, not the miner's bare "context canceled".
@@ -449,13 +478,18 @@ func (m *Manager) run(j *job) {
 	case err == nil:
 		rj := res.JSON()
 		j.result = &rj
+		j.diff = diff
 		j.status = StatusDone
 		m.cache.put(j.cacheKey, rj)
 		m.metrics.JobsDone.Add(1)
+		if j.watched {
+			m.metrics.WatchedMines.Add(1)
+		}
 		m.metrics.MineWallMillis.Add(j.wallMillis)
 		m.metrics.addStats(res.Stats)
 		m.log.Info("job done", "job", j.id, "wall_ms", j.wallMillis,
-			"itemsets", len(rj.Itemsets), "nodes", res.Stats.NodesVisited)
+			"itemsets", len(rj.Itemsets), "nodes", res.Stats.NodesVisited,
+			"watched", j.watched, "subtrees_reused", res.Stats.SubtreesReused)
 	case j.userCanceled:
 		j.status = StatusCanceled
 		j.errMsg = err.Error()
@@ -469,10 +503,11 @@ func (m *Manager) run(j *job) {
 	}
 }
 
-// mine runs the miner (or, for a sweep job, the sweep engine over the
-// points the cache missed) with panic isolation: a panicking job fails with
-// the recovered value and stack instead of killing the daemon's worker.
-func (m *Manager) mine(ctx context.Context, j *job) (res *core.Result, sres *sweep.Result, err error) {
+// mine runs the miner (for a sweep job, the sweep engine over the points
+// the cache missed; for a watched job, the lineage's incremental watcher)
+// with panic isolation: a panicking job fails with the recovered value and
+// stack instead of killing the daemon's worker.
+func (m *Manager) mine(ctx context.Context, j *job) (res *core.Result, sres *sweep.Result, diff *stream.DiffJSON, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("service: job panicked: %v\n%s", r, debug.Stack())
@@ -480,10 +515,18 @@ func (m *Manager) mine(ctx context.Context, j *job) (res *core.Result, sres *swe
 	}()
 	if j.kind == JobKindSweep {
 		sres, err = sweep.Mine(ctx, j.db, missingPoints(j), j.opts)
-		return nil, sres, err
+		return nil, sres, nil, err
+	}
+	if j.watched {
+		w, werr := m.watch.get(j.lineage, j.optKey, j.opts)
+		if werr != nil {
+			return nil, nil, nil, werr
+		}
+		res, diff, err = w.mine(ctx, j.db, j.opts)
+		return res, nil, diff, err
 	}
 	res, err = core.MineContext(ctx, j.db, j.opts)
-	return res, nil, err
+	return res, nil, nil, err
 }
 
 // Drain stops intake, cancels jobs still queued, and waits for running jobs

@@ -37,6 +37,8 @@ type metrics struct {
 	SweepEnumerations   expvar.Int // full enumerations sweep jobs actually ran
 
 	DatasetsRegistered expvar.Int // distinct datasets ever registered
+	DatasetsAppended   expvar.Int // dataset versions created by append
+	WatchedMines       expvar.Int // @latest jobs mined through the incremental engine
 
 	// Distributed-path counters, fed by the shard.Client through the
 	// Observer interface the metrics struct implements.
@@ -65,6 +67,8 @@ type metrics struct {
 	TailEvaluations expvar.Int
 	TailMemoHits    expvar.Int
 	ClauseEvaluated expvar.Int
+	SubtreesReused  expvar.Int
+	SplicedResults  expvar.Int
 	TasksSpawned    expvar.Int
 	TasksStolen     expvar.Int
 
@@ -144,6 +148,8 @@ func (m *metrics) addStats(s core.Stats) {
 	m.TailEvaluations.Add(int64(s.TailEvaluations))
 	m.TailMemoHits.Add(int64(s.TailMemoHits))
 	m.ClauseEvaluated.Add(int64(s.ClauseEvaluated))
+	m.SubtreesReused.Add(int64(s.SubtreesReused))
+	m.SplicedResults.Add(int64(s.SplicedResults))
 	m.TasksSpawned.Add(int64(s.TasksSpawned))
 	m.TasksStolen.Add(int64(s.TasksStolen))
 }
@@ -174,6 +180,8 @@ func (m *metrics) vars() []metricVar {
 		{"sweep_points_computed", &m.SweepPointsComputed, false, "Sweep grid points the engine had to produce."},
 		{"sweep_enumerations", &m.SweepEnumerations, false, "Full enumerations sweep jobs actually ran."},
 		{"datasets_registered", &m.DatasetsRegistered, false, "Distinct datasets ever registered."},
+		{"datasets_appended", &m.DatasetsAppended, false, "Dataset versions created by append."},
+		{"watched_mines", &m.WatchedMines, false, "@latest jobs mined through the incremental engine."},
 		{"shard_retries", &m.ShardRetries, false, "Shard RPC attempts retried after a failure."},
 		{"shard_tail_evaluations", &m.ShardTailEvaluations, false, "Worker-side per-shard tail computations."},
 		{"shard_tail_memo_hits", &m.ShardTailMemoHits, false, "Worker-side per-shard tail memo hits."},
@@ -194,6 +202,8 @@ func (m *metrics) vars() []metricVar {
 		{"tail_evaluations", &m.TailEvaluations, false, "Poisson-binomial tail computations performed."},
 		{"tail_memo_hits", &m.TailMemoHits, false, "Poisson-binomial tails answered from the memo."},
 		{"clause_evaluated", &m.ClauseEvaluated, false, "Extension-event clauses (and clause pairs) evaluated."},
+		{"subtrees_reused", &m.SubtreesReused, false, "Enumeration subtrees replayed from the incremental reuse cache."},
+		{"spliced_results", &m.SplicedResults, false, "Result items emitted by incremental cache replay."},
 		{"tasks_spawned", &m.TasksSpawned, false, "Subtree tasks handed to the work-stealing pool."},
 		{"tasks_stolen", &m.TasksStolen, false, "Subtree tasks stolen from another worker's deque."},
 	}

@@ -1,36 +1,61 @@
 // Package service implements pfcimd, the long-lived mining daemon: a
-// content-hashed dataset registry, an async job queue running the MPFCI
-// miner on a bounded worker pool, a result cache keyed by (dataset hash,
-// canonical options), and an observability surface (/healthz, /metrics,
-// structured logs). See DESIGN.md §9 for the architecture and the
-// determinism argument that makes the cache sound.
+// content-hashed, versioned dataset registry, an async job queue running
+// the MPFCI miner on a bounded worker pool, a result cache keyed by
+// (dataset version hash, canonical options), and an observability surface
+// (/healthz, /metrics, structured logs). See DESIGN.md §9 for the
+// architecture and the determinism argument that makes the cache sound,
+// and §15 for the versioned-lineage model behind live data.
 package service
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/probdata/pfcim/internal/uncertain"
 )
 
-// Dataset is one registered uncertain database. ID is derived from the
-// content hash, so registering the same data twice (regardless of source —
-// upload or path) yields the same Dataset.
+// Registry errors the HTTP layer maps to status codes.
+var (
+	ErrNoSuchDataset = errors.New("service: no such dataset")
+	ErrNoSuchVersion = errors.New("service: no such dataset version")
+	// ErrImmutable rejects appends to a dataset registered as immutable
+	// (mapped to 409 Conflict on the wire).
+	ErrImmutable = errors.New("service: dataset is immutable")
+)
+
+// Dataset is one registered uncertain database — a single immutable version
+// within a lineage. ID is derived from the content hash, so registering the
+// same data twice (regardless of source — upload, path, or append) yields
+// the same Dataset.
 type Dataset struct {
 	// ID is the first 16 hex digits of the SHA-256 of the canonical text
 	// serialization — enough that a collision needs ~2^32 distinct datasets
 	// in one daemon, far beyond any registry this process can hold.
 	ID string
+	// Lineage is the ID of the lineage root (version 1). A freshly
+	// registered dataset roots its own lineage, so Lineage == ID there;
+	// appended versions share their root's Lineage.
+	Lineage string
+	// Version is the 1-based position within the lineage. Versions are
+	// append-only: version N+1 is exactly version N's transactions followed
+	// by the appended batch.
+	Version int
+	// Immutable marks the lineage as closed to appends (a property of the
+	// root registration, inherited by the whole lineage).
+	Immutable bool
 	// Stats are the Table VIII-style characteristics, computed once at
 	// registration and reported to clients.
 	Stats uncertain.Stats
-	// RegisteredAt is the first registration time.
+	// RegisteredAt is the first registration time of this version.
 	RegisteredAt time.Time
 
 	db *uncertain.DB
@@ -41,15 +66,30 @@ type Dataset struct {
 // it without copying — that sharing is the point of the daemon.
 func (d *Dataset) DB() *uncertain.DB { return d.db }
 
-// Registry is the thread-safe dataset store.
+// lineage tracks one append-only version chain. versions is ascending by
+// Version; versions[0] is the root.
+type lineage struct {
+	root      string
+	immutable bool
+	versions  []*Dataset
+}
+
+// Registry is the thread-safe dataset store. Every version is directly
+// addressable by its content hash; lineages tie versions into append-only
+// chains addressed by the root hash plus a version selector ("id@latest",
+// "id@3").
 type Registry struct {
-	mu   sync.RWMutex
-	byID map[string]*Dataset
+	mu       sync.RWMutex
+	byID     map[string]*Dataset
+	lineages map[string]*lineage // keyed by root ID
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byID: make(map[string]*Dataset)}
+	return &Registry{
+		byID:     make(map[string]*Dataset),
+		lineages: make(map[string]*lineage),
+	}
 }
 
 // hashDB content-hashes a database via its canonical text serialization
@@ -63,10 +103,11 @@ func hashDB(db *uncertain.DB) (string, error) {
 	return hex.EncodeToString(h.Sum(nil))[:16], nil
 }
 
-// Register adds db under its content hash and returns the Dataset plus
-// whether it was newly added (false: the same content was already
-// registered, and the existing record is returned).
-func (r *Registry) Register(db *uncertain.DB) (*Dataset, bool, error) {
+// Register adds db under its content hash as the root of a fresh lineage
+// and returns the Dataset plus whether it was newly added (false: the same
+// content was already registered — as a root or as an appended version —
+// and the existing record is returned unchanged, immutability included).
+func (r *Registry) Register(db *uncertain.DB, immutable bool) (*Dataset, bool, error) {
 	id, err := hashDB(db)
 	if err != nil {
 		return nil, false, err
@@ -76,34 +117,193 @@ func (r *Registry) Register(db *uncertain.DB) (*Dataset, bool, error) {
 	if d, ok := r.byID[id]; ok {
 		return d, false, nil
 	}
-	d := &Dataset{ID: id, Stats: db.Stats(), RegisteredAt: time.Now(), db: db}
+	d := &Dataset{
+		ID:           id,
+		Lineage:      id,
+		Version:      1,
+		Immutable:    immutable,
+		Stats:        db.Stats(),
+		RegisteredAt: time.Now(),
+		db:           db,
+	}
 	r.byID[id] = d
+	r.lineages[id] = &lineage{root: id, immutable: immutable, versions: []*Dataset{d}}
 	return d, true, nil
 }
 
 // RegisterText parses the text interchange format from rd and registers the
 // result.
-func (r *Registry) RegisterText(rd io.Reader) (*Dataset, bool, error) {
+func (r *Registry) RegisterText(rd io.Reader, immutable bool) (*Dataset, bool, error) {
 	db, err := uncertain.Read(rd)
 	if err != nil {
 		return nil, false, err
 	}
-	return r.Register(db)
+	return r.Register(db, immutable)
 }
 
 // RegisterPath loads the text interchange format from a local file and
 // registers the result. The HTTP layer only routes here when the daemon was
 // started with path loading enabled.
-func (r *Registry) RegisterPath(path string) (*Dataset, bool, error) {
+func (r *Registry) RegisterPath(path string, immutable bool) (*Dataset, bool, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, false, fmt.Errorf("service: load dataset: %w", err)
 	}
 	defer f.Close()
-	return r.RegisterText(f)
+	return r.RegisterText(f, immutable)
 }
 
-// Get returns the dataset with the given id.
+// Append creates the next version of the lineage ref resolves into: the
+// latest version's transactions followed by extra, content-hashed and
+// registered like any dataset. Appending the same batch to the same latest
+// version is idempotent (the existing version returns with fresh=false);
+// appending to an immutable lineage fails with ErrImmutable. The new
+// version becomes the lineage's @latest.
+func (r *Registry) Append(ref string, extra []uncertain.Transaction) (*Dataset, bool, error) {
+	if len(extra) == 0 {
+		return nil, false, fmt.Errorf("service: append requires at least one transaction")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	base, err := r.resolveLocked(ref)
+	if err != nil {
+		return nil, false, err
+	}
+	lin := r.lineages[base.Lineage]
+	if lin == nil { // cannot happen: every dataset's lineage is recorded
+		return nil, false, ErrNoSuchDataset
+	}
+	if lin.immutable {
+		return nil, false, fmt.Errorf("%w: %s", ErrImmutable, lin.root)
+	}
+	latest := lin.versions[len(lin.versions)-1]
+	// Retry idempotency: if the latest version is exactly the previous one
+	// plus this batch, the append already committed (the client lost the
+	// response and resent) — return the existing version instead of growing
+	// the lineage by a duplicate batch.
+	if latest.Version > 1 {
+		prev := lin.versions[latest.Version-2]
+		if prev.DB().N()+len(extra) == latest.DB().N() {
+			if db, err := uncertain.NewDB(append(prev.DB().Transactions(), extra...)); err == nil {
+				if id, err := hashDB(db); err == nil && id == latest.ID {
+					return latest, false, nil
+				}
+			}
+		}
+	}
+	trans := append(latest.DB().Transactions(), extra...)
+	db, err := uncertain.NewDB(trans)
+	if err != nil {
+		return nil, false, err
+	}
+	id, err := hashDB(db)
+	if err != nil {
+		return nil, false, err
+	}
+	if d, ok := r.byID[id]; ok {
+		if d.Lineage == lin.root {
+			return d, false, nil // same batch appended twice
+		}
+		// A cross-lineage content collision: the appended content is already
+		// registered as (a version of) a different dataset. A Dataset belongs
+		// to exactly one lineage, so this cannot become a new version here.
+		return nil, false, fmt.Errorf("service: appended content is already registered as dataset %s of a different lineage", d.ID)
+	}
+	d := &Dataset{
+		ID:           id,
+		Lineage:      lin.root,
+		Version:      latest.Version + 1,
+		Stats:        db.Stats(),
+		RegisteredAt: time.Now(),
+		db:           db,
+	}
+	r.byID[id] = d
+	lin.versions = append(lin.versions, d)
+	return d, true, nil
+}
+
+// AppendText parses the text interchange format from rd and appends the
+// transactions to the lineage ref resolves into.
+func (r *Registry) AppendText(ref string, rd io.Reader) (*Dataset, bool, error) {
+	db, err := uncertain.Read(rd)
+	if err != nil {
+		return nil, false, err
+	}
+	return r.Append(ref, db.Transactions())
+}
+
+// AppendPath loads transactions from a local file and appends them. The
+// HTTP layer only routes here when path loading is enabled.
+func (r *Registry) AppendPath(ref, path string) (*Dataset, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("service: load dataset: %w", err)
+	}
+	defer f.Close()
+	return r.AppendText(ref, f)
+}
+
+// Resolve parses a dataset reference and returns the version it denotes:
+//
+//	"id"        — the exact version with that content hash
+//	"id@latest" — the newest version of the lineage containing id
+//	"id@N"      — version N (1-based) of the lineage containing id
+//
+// The base id may be any version's hash, not just the root's, so clients
+// can navigate a lineage from whichever version they hold.
+func (r *Registry) Resolve(ref string) (*Dataset, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.resolveLocked(ref)
+}
+
+func (r *Registry) resolveLocked(ref string) (*Dataset, error) {
+	base, sel, hasSel := strings.Cut(ref, "@")
+	d, ok := r.byID[base]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDataset, ref)
+	}
+	if !hasSel {
+		return d, nil
+	}
+	lin := r.lineages[d.Lineage]
+	if lin == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDataset, ref)
+	}
+	if sel == "latest" {
+		return lin.versions[len(lin.versions)-1], nil
+	}
+	n, err := strconv.Atoi(sel)
+	if err != nil {
+		return nil, fmt.Errorf("service: bad version selector %q (want \"latest\" or a version number)", sel)
+	}
+	if n < 1 || n > len(lin.versions) {
+		return nil, fmt.Errorf("%w: %q has versions 1..%d", ErrNoSuchVersion, base, len(lin.versions))
+	}
+	return lin.versions[n-1], nil
+}
+
+// IsLatestRef reports whether ref follows its lineage rather than pinning a
+// version.
+func IsLatestRef(ref string) bool { return strings.HasSuffix(ref, "@latest") }
+
+// LatestVersion returns the newest version number of the lineage containing
+// id (0 when id is unknown).
+func (r *Registry) LatestVersion(id string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byID[id]
+	if !ok {
+		return 0
+	}
+	lin := r.lineages[d.Lineage]
+	if lin == nil {
+		return 0
+	}
+	return lin.versions[len(lin.versions)-1].Version
+}
+
+// Get returns the dataset version with the given exact id.
 func (r *Registry) Get(id string) (*Dataset, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -111,7 +311,7 @@ func (r *Registry) Get(id string) (*Dataset, bool) {
 	return d, ok
 }
 
-// List returns every registered dataset, ordered by id.
+// List returns every registered dataset version, ordered by id.
 func (r *Registry) List() []*Dataset {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -123,7 +323,7 @@ func (r *Registry) List() []*Dataset {
 	return out
 }
 
-// Len returns the number of registered datasets.
+// Len returns the number of registered dataset versions.
 func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

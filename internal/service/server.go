@@ -147,6 +147,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
+	s.mux.HandleFunc("POST /v1/datasets/{id}/append", s.handleAppendDataset)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
@@ -210,9 +211,17 @@ func (s *Server) placeShards(ctx context.Context, ds *Dataset) error {
 
 // --- wire types ---
 
-// DatasetInfo is the wire form of a registered dataset.
+// DatasetInfo is the wire form of a registered dataset version. Lineage is
+// the root version's id (== ID for a freshly registered dataset), Version
+// this version's 1-based position, LatestVersion the lineage's newest —
+// when Version < LatestVersion, this version has been superseded by
+// appends (it stays addressable and minable forever).
 type DatasetInfo struct {
 	ID              string    `json:"id"`
+	Lineage         string    `json:"lineage"`
+	Version         int       `json:"version"`
+	LatestVersion   int       `json:"latest_version"`
+	Immutable       bool      `json:"immutable,omitempty"`
 	NumTransactions int       `json:"num_transactions"`
 	NumItems        int       `json:"num_items"`
 	AvgLength       float64   `json:"avg_length"`
@@ -221,9 +230,13 @@ type DatasetInfo struct {
 	RegisteredAt    time.Time `json:"registered_at"`
 }
 
-func datasetInfo(d *Dataset) DatasetInfo {
+func (s *Server) datasetInfo(d *Dataset) DatasetInfo {
 	return DatasetInfo{
 		ID:              d.ID,
+		Lineage:         d.Lineage,
+		Version:         d.Version,
+		LatestVersion:   s.registry.LatestVersion(d.Lineage),
+		Immutable:       d.Immutable,
 		NumTransactions: d.Stats.NumTransactions,
 		NumItems:        d.Stats.NumItems,
 		AvgLength:       d.Stats.AvgLength,
@@ -314,9 +327,12 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 // handleRegisterDataset accepts either the text interchange format (any
 // non-JSON content type) or, when path loading is enabled, a JSON body
 // {"path": "/file/on/the/server"}. Registration is idempotent: the same
-// content returns the same id with 200 instead of 201.
+// content returns the same id with 200 instead of 201. ?immutable=true
+// closes the new lineage to appends (ignored when the content already
+// exists — the first registration's choice sticks).
 func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	immutable := r.URL.Query().Get("immutable") == "true"
 	var (
 		ds    *Dataset
 		fresh bool
@@ -338,9 +354,9 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusForbidden, fmt.Errorf("service: path loading is disabled (start pfcimd with -allow-path-load)"))
 			return
 		}
-		ds, fresh, err = s.registry.RegisterPath(req.Path)
+		ds, fresh, err = s.registry.RegisterPath(req.Path, immutable)
 	} else {
-		ds, fresh, err = s.registry.RegisterText(body)
+		ds, fresh, err = s.registry.RegisterText(body, immutable)
 	}
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -351,7 +367,8 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusCreated
 		s.metrics.DatasetsRegistered.Add(1)
 		s.log.Info("dataset registered", "dataset", ds.ID,
-			"transactions", ds.Stats.NumTransactions, "items", ds.Stats.NumItems)
+			"transactions", ds.Stats.NumTransactions, "items", ds.Stats.NumItems,
+			"immutable", ds.Immutable)
 	}
 	// On a coordinator, registration includes placement: the dataset is not
 	// usable for distributed jobs until every worker holds (and has hash-
@@ -360,25 +377,98 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadGateway, err)
 		return
 	}
-	s.writeJSON(w, status, datasetInfo(ds))
+	s.writeJSON(w, status, s.datasetInfo(ds))
+}
+
+// handleAppendDataset creates the next version of the dataset's lineage:
+// the current latest version's transactions plus the posted batch, content-
+// hashed into a new addressable (and independently minable) version. The
+// body is the text interchange format, or {"path": ...} when path loading
+// is enabled. The path {id} accepts the same references as job submission
+// ("id", "id@latest", "id@N" — the append always extends the lineage's
+// latest version regardless of which one was named). Appending the same
+// batch twice is idempotent (200, not 201); appending to an immutable
+// dataset is a 409.
+func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request) {
+	ref := r.PathValue("id")
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	var (
+		ds    *Dataset
+		fresh bool
+		err   error
+	)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Path string `json:"path"`
+		}
+		if err := decodeStrict(body, &req); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Path == "" {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: JSON append requires \"path\""))
+			return
+		}
+		if !s.cfg.AllowPathLoad {
+			s.writeError(w, http.StatusForbidden, fmt.Errorf("service: path loading is disabled (start pfcimd with -allow-path-load)"))
+			return
+		}
+		ds, fresh, err = s.registry.AppendPath(ref, req.Path)
+	} else {
+		ds, fresh, err = s.registry.AppendText(ref, body)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrImmutable):
+		s.writeError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, ErrNoSuchDataset), errors.Is(err, ErrNoSuchVersion):
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	default:
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusOK
+	if fresh {
+		status = http.StatusCreated
+		s.metrics.DatasetsRegistered.Add(1)
+		s.metrics.DatasetsAppended.Add(1)
+		s.log.Info("dataset appended", "dataset", ds.ID, "lineage", ds.Lineage,
+			"version", ds.Version, "transactions", ds.Stats.NumTransactions)
+	}
+	if err := s.placeShards(r.Context(), ds); err != nil {
+		s.writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	s.writeJSON(w, status, s.datasetInfo(ds))
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 	list := s.registry.List()
 	out := make([]DatasetInfo, len(list))
 	for i, d := range list {
-		out[i] = datasetInfo(d)
+		out[i] = s.datasetInfo(d)
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
-	d, ok := s.registry.Get(r.PathValue("id"))
-	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: no such dataset"))
+	d, err := s.registry.Resolve(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, s.resolveStatus(err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, datasetInfo(d))
+	s.writeJSON(w, http.StatusOK, s.datasetInfo(d))
+}
+
+// resolveStatus maps a Registry.Resolve error to its HTTP status: unknown
+// ids and versions are 404, a malformed selector is 400.
+func (s *Server) resolveStatus(err error) int {
+	if errors.Is(err, ErrNoSuchDataset) || errors.Is(err, ErrNoSuchVersion) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
 }
 
 // --- job handlers ---
@@ -389,12 +479,12 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ds, ok := s.registry.Get(req.Dataset)
-	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: no such dataset %q", req.Dataset))
+	ds, err := s.registry.Resolve(req.Dataset)
+	if err != nil {
+		s.writeError(w, s.resolveStatus(err), err)
 		return
 	}
-	info, err := s.jobs.Submit(ds, req.Options, time.Duration(req.TimeoutMS)*time.Millisecond)
+	info, err := s.jobs.Submit(ds, req.Dataset, req.Options, time.Duration(req.TimeoutMS)*time.Millisecond)
 	s.writeSubmitResult(w, info, err)
 }
 
@@ -404,9 +494,11 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ds, ok := s.registry.Get(req.Dataset)
-	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: no such dataset %q", req.Dataset))
+	// Sweeps resolve references like jobs but always pin the resolved
+	// version: a sweep is a batch exploration, not a live watch.
+	ds, err := s.registry.Resolve(req.Dataset)
+	if err != nil {
+		s.writeError(w, s.resolveStatus(err), err)
 		return
 	}
 	info, err := s.jobs.SubmitSweep(ds, req.Options, req.Points, time.Duration(req.TimeoutMS)*time.Millisecond)
@@ -503,7 +595,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // PreloadPath registers a dataset from a server-local file at startup
 // (cmd/pfcimd's -preload), including shard placement on a coordinator.
 func (s *Server) PreloadPath(path string) (DatasetInfo, error) {
-	ds, fresh, err := s.registry.RegisterPath(path)
+	ds, fresh, err := s.registry.RegisterPath(path, false)
 	if err != nil {
 		return DatasetInfo{}, err
 	}
@@ -513,13 +605,13 @@ func (s *Server) PreloadPath(path string) (DatasetInfo, error) {
 	if err := s.placeShards(context.Background(), ds); err != nil {
 		return DatasetInfo{}, err
 	}
-	return datasetInfo(ds), nil
+	return s.datasetInfo(ds), nil
 }
 
 // RegisterDB registers an in-process database, including shard placement
 // on a coordinator.
 func (s *Server) RegisterDB(db *uncertain.DB) (DatasetInfo, error) {
-	ds, fresh, err := s.registry.Register(db)
+	ds, fresh, err := s.registry.Register(db, false)
 	if err != nil {
 		return DatasetInfo{}, err
 	}
@@ -529,5 +621,5 @@ func (s *Server) RegisterDB(db *uncertain.DB) (DatasetInfo, error) {
 	if err := s.placeShards(context.Background(), ds); err != nil {
 		return DatasetInfo{}, err
 	}
-	return datasetInfo(ds), nil
+	return s.datasetInfo(ds), nil
 }

@@ -107,18 +107,18 @@ func waitJob(t *testing.T, baseURL, id string) JobInfo {
 
 func TestRegistryContentHash(t *testing.T) {
 	r := NewRegistry()
-	d1, fresh, err := r.Register(uncertain.PaperExample())
+	d1, fresh, err := r.Register(uncertain.PaperExample(), false)
 	if err != nil || !fresh {
 		t.Fatalf("first registration: fresh=%v err=%v", fresh, err)
 	}
-	d2, fresh, err := r.Register(uncertain.PaperExample())
+	d2, fresh, err := r.Register(uncertain.PaperExample(), false)
 	if err != nil || fresh {
 		t.Fatalf("re-registration should dedupe: fresh=%v err=%v", fresh, err)
 	}
 	if d1.ID != d2.ID || d1 != d2 {
 		t.Errorf("same content must map to the same dataset: %q vs %q", d1.ID, d2.ID)
 	}
-	d3, _, err := r.Register(uncertain.PaperExampleExtended())
+	d3, _, err := r.Register(uncertain.PaperExampleExtended(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,11 +445,11 @@ func TestPanicIsolation(t *testing.T) {
 	}
 
 	// The pool is still alive: a real job still runs to completion.
-	ds, _, err := NewRegistry().Register(uncertain.PaperExample())
+	ds, _, err := NewRegistry().Register(uncertain.PaperExample(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := m.Submit(ds, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
+	ok, err := m.Submit(ds, ds.ID, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,7 +502,7 @@ func TestDrainCancelsQueuedAndStopsIntake(t *testing.T) {
 		t.Errorf("running job after drain = %+v, want terminal", r)
 	}
 	// Intake is closed.
-	if _, err := s.Jobs().Submit(mustDataset(t, s), core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0); err != ErrShuttingDown {
+	if _, err := s.Jobs().Submit(mustDataset(t, s), "x", core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0); err != ErrShuttingDown {
 		t.Errorf("post-drain submit error = %v, want ErrShuttingDown", err)
 	}
 	// Second drain is a no-op and returns promptly.
@@ -515,7 +515,7 @@ func TestDrainCancelsQueuedAndStopsIntake(t *testing.T) {
 
 func mustDataset(t *testing.T, s *Server) *Dataset {
 	t.Helper()
-	ds, _, err := s.Registry().Register(uncertain.PaperExample())
+	ds, _, err := s.Registry().Register(uncertain.PaperExample(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

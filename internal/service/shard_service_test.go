@@ -68,7 +68,7 @@ func TestDistributedMineMatchesInline(t *testing.T) {
 		t.Fatal("registered dataset missing")
 	}
 
-	job, err := s.Jobs().Submit(ds, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
+	job, err := s.Jobs().Submit(ds, ds.ID, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestDistributedMineMatchesInline(t *testing.T) {
 	}
 
 	// Resubmission hits the result cache without touching the workers.
-	hit, err := s.Jobs().Submit(ds, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
+	hit, err := s.Jobs().Submit(ds, ds.ID, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestDistributedMineMatchesInline(t *testing.T) {
 
 	// An explicit shard count that differs from the placement layout is a
 	// client error on a coordinator.
-	if _, err := s.Jobs().Submit(ds, core.OptionsJSON{MinSup: 2, PFCT: 0.8, Shards: 3}, 0); err == nil {
+	if _, err := s.Jobs().Submit(ds, ds.ID, core.OptionsJSON{MinSup: 2, PFCT: 0.8, Shards: 3}, 0); err == nil {
 		t.Error("mismatched options.shards must be rejected in distributed mode")
 	}
 
@@ -139,7 +139,7 @@ func TestDistributedJobFailsOnDeadWorker(t *testing.T) {
 		srv.Close()
 	}
 
-	job, err := s.Jobs().Submit(ds, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
+	job, err := s.Jobs().Submit(ds, ds.ID, core.OptionsJSON{MinSup: 2, PFCT: 0.8}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

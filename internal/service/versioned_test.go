@@ -1,0 +1,281 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+func extraBatch() []uncertain.Transaction {
+	return []uncertain.Transaction{
+		{Items: itemset.FromInts(0, 1, 2, 3), Prob: 0.9},
+	}
+}
+
+func TestRegistryVersioning(t *testing.T) {
+	r := NewRegistry()
+	root, fresh, err := r.Register(uncertain.PaperExample(), false)
+	if err != nil || !fresh {
+		t.Fatalf("register: fresh=%v err=%v", fresh, err)
+	}
+	if root.Lineage != root.ID || root.Version != 1 {
+		t.Fatalf("root lineage/version: %+v", root)
+	}
+
+	v2, fresh, err := r.Append(root.ID, extraBatch())
+	if err != nil || !fresh {
+		t.Fatalf("append: fresh=%v err=%v", fresh, err)
+	}
+	if v2.Lineage != root.ID || v2.Version != 2 {
+		t.Fatalf("appended version: lineage=%s version=%d", v2.Lineage, v2.Version)
+	}
+	if v2.DB().N() != root.DB().N()+1 {
+		t.Fatalf("appended DB has %d transactions, want %d", v2.DB().N(), root.DB().N()+1)
+	}
+	if v2.ID == root.ID {
+		t.Fatal("appended version shares the root's content hash")
+	}
+
+	// Appending the same batch to the same latest version is idempotent.
+	again, fresh, err := r.Append(root.ID, extraBatch())
+	if err != nil || fresh || again.ID != v2.ID {
+		t.Fatalf("re-append: fresh=%v id=%s err=%v", fresh, again.ID, err)
+	}
+
+	// Every reference shape resolves.
+	for ref, want := range map[string]string{
+		root.ID:             root.ID,
+		v2.ID:               v2.ID,
+		root.ID + "@latest": v2.ID, // follows the lineage
+		v2.ID + "@latest":   v2.ID, // navigable from any version
+		root.ID + "@1":      root.ID,
+		root.ID + "@2":      v2.ID,
+		v2.ID + "@1":        root.ID,
+	} {
+		got, err := r.Resolve(ref)
+		if err != nil {
+			t.Fatalf("resolve %q: %v", ref, err)
+		}
+		if got.ID != want {
+			t.Fatalf("resolve %q = %s, want %s", ref, got.ID, want)
+		}
+	}
+	for _, bad := range []string{"ffff000011112222", root.ID + "@3", root.ID + "@0", root.ID + "@x"} {
+		if _, err := r.Resolve(bad); err == nil {
+			t.Fatalf("resolve %q must fail", bad)
+		}
+	}
+	if got := r.LatestVersion(root.ID); got != 2 {
+		t.Fatalf("LatestVersion = %d, want 2", got)
+	}
+	if !IsLatestRef(root.ID+"@latest") || IsLatestRef(root.ID+"@2") || IsLatestRef(root.ID) {
+		t.Fatal("IsLatestRef misclassifies")
+	}
+}
+
+func TestRegistryAppendImmutable(t *testing.T) {
+	r := NewRegistry()
+	root, _, err := r.Register(uncertain.PaperExample(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.Immutable {
+		t.Fatal("root not marked immutable")
+	}
+	if _, _, err := r.Append(root.ID, extraBatch()); err == nil {
+		t.Fatal("append to immutable lineage must fail")
+	} else if !strings.Contains(err.Error(), "immutable") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestVersionedHTTPFlow drives the full live-data sequence over the wire:
+// register → watched @latest job → append → second watched job with a
+// populated diff → pinned re-submission served from the per-version cache.
+func TestVersionedHTTPFlow(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+
+	root := uploadDB(t, ts.URL, uncertain.PaperExample())
+	if root.Version != 1 || root.LatestVersion != 1 || root.Lineage != root.ID {
+		t.Fatalf("fresh dataset version fields: %+v", root)
+	}
+
+	// First watched job: everything is Added.
+	sub := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"dataset": root.ID + "@latest",
+		"options": map[string]any{"min_sup": 2, "pfct": 0.8},
+	})
+	if sub.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit @latest: status %d", sub.StatusCode)
+	}
+	j1 := waitJob(t, ts.URL, decode[JobInfo](t, sub).ID)
+	if j1.Status != StatusDone {
+		t.Fatalf("watched job 1: %+v", j1)
+	}
+	if j1.Diff == nil || len(j1.Diff.Added) != len(j1.Result.Itemsets) || j1.Diff.Unchanged != 0 {
+		t.Fatalf("first watched diff must be all-added: %+v", j1.Diff)
+	}
+	if j1.Dataset != root.ID {
+		t.Fatalf("watched job resolved to %s, want %s", j1.Dataset, root.ID)
+	}
+
+	// Append one transaction; a new addressable version appears.
+	resp, err := http.Post(ts.URL+"/v1/datasets/"+root.ID+"/append", "text/plain",
+		bytes.NewReader([]byte("0 1 2 3 : 0.9\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("append: status %d", resp.StatusCode)
+	}
+	v2 := decode[DatasetInfo](t, resp)
+	if v2.Version != 2 || v2.Lineage != root.ID || v2.ID == root.ID {
+		t.Fatalf("appended version info: %+v", v2)
+	}
+
+	// The root's info now reports the newer latest version.
+	gotRoot := decode[DatasetInfo](t, mustGet(t, ts.URL+"/v1/datasets/"+root.ID))
+	if gotRoot.LatestVersion != 2 || gotRoot.Version != 1 {
+		t.Fatalf("root info after append: %+v", gotRoot)
+	}
+	// @latest resolves to the new version over the wire too.
+	gotLatest := decode[DatasetInfo](t, mustGet(t, ts.URL+"/v1/datasets/"+root.ID+"@latest"))
+	if gotLatest.ID != v2.ID {
+		t.Fatalf("GET @latest = %s, want %s", gotLatest.ID, v2.ID)
+	}
+
+	// Second watched job: incremental, diff vs round 1, byte-identical to a
+	// from-scratch mine of version 2.
+	sub = postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"dataset": root.ID + "@latest",
+		"options": map[string]any{"min_sup": 2, "pfct": 0.8},
+	})
+	j2 := waitJob(t, ts.URL, decode[JobInfo](t, sub).ID)
+	if j2.Status != StatusDone || j2.Dataset != v2.ID {
+		t.Fatalf("watched job 2: %+v", j2)
+	}
+	if j2.Diff == nil || j2.Diff.Unchanged == len(j2.Result.Itemsets) {
+		t.Fatalf("appending a transaction must change some itemset: %+v", j2.Diff)
+	}
+	v2db, err := uncertain.NewDB(append(uncertain.PaperExample().Transactions(), extraBatch()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.Mine(v2db, core.Options{MinSup: 2, PFCT: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j2.Result.Itemsets, full.JSON().Itemsets) {
+		t.Fatalf("watched result diverged from from-scratch mine of v2\n got: %+v\nwant: %+v",
+			j2.Result.Itemsets, full.JSON().Itemsets)
+	}
+
+	// Pinned submissions hit the per-version cache entries the watched mines
+	// populated — both versions, no recompute.
+	for _, pin := range []string{root.ID, v2.ID} {
+		sub := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+			"dataset": pin,
+			"options": map[string]any{"min_sup": 2, "pfct": 0.8},
+		})
+		if sub.StatusCode != http.StatusOK {
+			t.Fatalf("pinned %s: status %d, want 200 cache hit", pin, sub.StatusCode)
+		}
+		info := decode[JobInfo](t, sub)
+		if !info.Cached {
+			t.Fatalf("pinned %s not served from cache: %+v", pin, info)
+		}
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return resp
+}
+
+// TestAppendHTTPErrors pins the structured error surface of the append
+// endpoint: 404 unknown lineage, 409 immutable, 400 unknown JSON field with
+// the offending field named, 400 bad payload.
+func TestAppendHTTPErrors(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+
+	resp, err := http.Post(ts.URL+"/v1/datasets/deadbeef00000000/append", "text/plain",
+		bytes.NewReader([]byte("0 1 : 0.5\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("append to unknown dataset: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Immutable lineage: 409.
+	var buf bytes.Buffer
+	if err := uncertain.Write(&buf, uncertain.PaperExample()); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := http.Post(ts.URL+"/v1/datasets?immutable=true", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := decode[DatasetInfo](t, reg)
+	if !frozen.Immutable {
+		t.Fatalf("registered dataset not immutable: %+v", frozen)
+	}
+	resp, err = http.Post(ts.URL+"/v1/datasets/"+frozen.ID+"/append", "text/plain",
+		bytes.NewReader([]byte("0 1 : 0.5\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("append to immutable dataset: status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown field in the JSON form is a structured 400 naming the field.
+	resp = postJSON(t, ts.URL+"/v1/datasets/"+frozen.ID+"/append", map[string]any{"pathh": "/x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown append field: status %d, want 400", resp.StatusCode)
+	}
+	if e := decode[errorResponse](t, resp); e.Field != "pathh" {
+		t.Fatalf("unknown-field response must name the field: %+v", e)
+	}
+
+	// Malformed transaction text is a 400.
+	resp, err = http.Post(ts.URL+"/v1/datasets/"+frozen.ID+"/append", "text/plain",
+		bytes.NewReader([]byte("not a transaction\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict && resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed append body: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestWatchedJobRejectsBFS pins eager validation: @latest jobs mine
+// incrementally, which forces the serial DFS path.
+func TestWatchedJobRejectsBFS(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	root := uploadDB(t, ts.URL, uncertain.PaperExample())
+	resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{
+		"dataset": root.ID + "@latest",
+		"options": map[string]any{"min_sup": 2, "pfct": 0.8, "search": "BFS"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("BFS @latest job: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/stream"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// Watched mines (DESIGN §15): a job submitted against "id@latest" follows
+// the lineage instead of pinning a version. The daemon keeps one watcher per
+// (lineage, canonical options) pair — a stream.Miner over an unbounded
+// window holding the lineage's transactions pushed so far. Each watched job
+// syncs the watcher to the target version by pushing the suffix the watcher
+// has not seen (sound because lineages are append-only: version N's
+// transactions are a prefix of version N+1's), then mines incrementally.
+// The result is byte-identical to a from-scratch mine of the version
+// (DESIGN §15's splice-identity argument), so it lands in the result cache
+// under the version's own (hash, options) key like any pinned job — and the
+// job additionally reports the changed-itemsets diff against the watcher's
+// previous round.
+type watcher struct {
+	mu    sync.Mutex
+	miner *stream.Miner
+	n     int // transactions pushed so far (== length of the last synced version)
+}
+
+// watchSet owns the daemon's watchers, keyed by lineage root + canonical
+// options key.
+type watchSet struct {
+	mu sync.Mutex
+	m  map[string]*watcher
+}
+
+func newWatchSet() *watchSet { return &watchSet{m: make(map[string]*watcher)} }
+
+// get returns the watcher for (lineage, optKey), creating it on first use.
+// opts must already carry the daemon defaults; the first submission's
+// execution knobs win (they cannot change results — DESIGN §8.3).
+func (ws *watchSet) get(lineageID, optKey string, opts core.Options) (*watcher, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	key := lineageID + "\n" + optKey
+	if w, ok := ws.m[key]; ok {
+		return w, nil
+	}
+	miner, err := stream.NewMiner(stream.NewUnboundedWindow(), opts)
+	if err != nil {
+		return nil, err
+	}
+	w := &watcher{miner: miner}
+	ws.m[key] = w
+	return w, nil
+}
+
+// mine syncs the watcher to target's transactions and mines incrementally,
+// returning the result and the diff against the watcher's previous round.
+// A watcher ahead of the target (the job raced an append and resolved an
+// older snapshot than the watcher has already consumed) falls back to a
+// plain from-scratch mine with a nil diff — results stay exchangeable, only
+// the incremental saving and the diff are lost for that one job. The
+// watcher's lock serializes watched mines per (lineage, options).
+func (w *watcher) mine(ctx context.Context, target *uncertain.DB, opts core.Options) (*core.Result, *stream.DiffJSON, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	trans := target.Transactions()
+	if w.n > len(trans) {
+		res, err := core.MineContext(ctx, target, opts)
+		return res, nil, err
+	}
+	for _, t := range trans[w.n:] {
+		if err := w.miner.Push(t); err != nil {
+			// Cannot happen: target passed NewDB validation, which is
+			// strictly stricter than Push's. Fail the job rather than panic.
+			return nil, nil, err
+		}
+		w.n++
+	}
+	res, diff, err := w.miner.MineContext(ctx)
+	if err != nil {
+		// The miner reset its reuse cache internally; the watcher stays
+		// synced (pushes are recorded) and the next round mines from
+		// scratch into a fresh recording.
+		return nil, nil, err
+	}
+	dj := diff.JSON()
+	return res, &dj, nil
+}

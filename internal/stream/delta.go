@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// Delta engine (DESIGN §15): incremental MPFCI over a live window. The
+// Miner wraps a Window and a core.ReuseCache; pushes record which
+// transactions changed since the last mine, and each MineContext
+// re-evaluates only the enumeration subtrees at least one changed
+// transaction participates in — an itemset X is invalidated iff some added
+// or evicted transaction contains X, because only then does the set of
+// window transactions holding X (and with it anything the subtree computes)
+// change. Everything else is spliced from the previous round's recording,
+// and the full result is byte-identical to a from-scratch core.Mine of the
+// window snapshot (the crosscheck StreamEquivalence invariant pins this).
+
+// Miner mines probabilistic frequent closed itemsets incrementally over a
+// live window. Construct with NewMiner; not safe for concurrent use.
+type Miner struct {
+	w     *Window
+	opts  core.Options
+	cache *core.ReuseCache
+
+	// pending holds the item sets of every transaction added to or evicted
+	// from the window since the last successful mine.
+	pending []itemset.Itemset
+	last    *core.Result
+	rounds  int
+}
+
+// NewMiner wraps a window for incremental mining with the given options.
+// Options are validated eagerly; BFS search is rejected (incremental runs
+// force the serial DFS path — an execution detail that never changes
+// results, DESIGN §8.3).
+func NewMiner(w *Window, opts core.Options) (*Miner, error) {
+	if w == nil {
+		return nil, fmt.Errorf("stream: nil window")
+	}
+	if opts.Search == core.BFS {
+		return nil, fmt.Errorf("stream: incremental mining requires DFS search")
+	}
+	if _, err := opts.Canonical(); err != nil {
+		return nil, err
+	}
+	return &Miner{w: w, opts: opts, cache: core.NewReuseCache()}, nil
+}
+
+// Window returns the underlying window. Push through the miner, not the
+// window, so invalidation tracking stays sound; queries are fine either
+// way.
+func (m *Miner) Window() *Window { return m.w }
+
+// Last returns the result of the last successful mine, nil before the
+// first.
+func (m *Miner) Last() *core.Result { return m.last }
+
+// Rounds returns the number of successful mines.
+func (m *Miner) Rounds() int { return m.rounds }
+
+// Push appends a transaction to the window (evicting the oldest once a
+// bounded window is full) and records both sides of the change for subtree
+// invalidation at the next mine.
+func (m *Miner) Push(t uncertain.Transaction) error {
+	evicted, didEvict, err := m.w.Push(t)
+	if err != nil {
+		return err
+	}
+	m.pending = append(m.pending, t.Items.Clone())
+	if didEvict {
+		// The window no longer references the evicted transaction's items;
+		// safe to retain without cloning.
+		m.pending = append(m.pending, evicted.Items)
+	}
+	return nil
+}
+
+// affected reports whether some changed transaction contains x.
+func (m *Miner) affected(x itemset.Itemset) bool {
+	for _, t := range m.pending {
+		if itemset.IsSubset(x, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// MineContext mines the current window incrementally: subtrees untouched by
+// the transactions pushed since the last mine are replayed from the reuse
+// cache, the rest are re-mined, and the result is byte-identical to a
+// from-scratch core.Mine of Window.Snapshot(). The returned Diff compares
+// against the previous round (everything Added on the first). On error —
+// including cancellation — the reuse cache resets and the next round mines
+// from scratch; the Diff baseline is unaffected.
+func (m *Miner) MineContext(ctx context.Context) (*core.Result, Diff, error) {
+	db, err := m.w.Snapshot()
+	if err != nil {
+		return nil, Diff{}, err
+	}
+	res, err := core.MineIncremental(ctx, db, m.opts, m.cache, m.affected)
+	if err != nil {
+		// MineIncremental already Reset the cache; the pending set is now
+		// meaningless (there is no recorded round to diff against), so
+		// clear it too.
+		m.pending = m.pending[:0]
+		return nil, Diff{}, err
+	}
+	diff := computeDiff(m.last, res)
+	m.last = res
+	m.rounds++
+	m.pending = m.pending[:0]
+	return res, diff, nil
+}
+
+// Diff is the change set between two consecutive mining rounds over the
+// same lineage: closed itemsets that appeared, disappeared, or kept their
+// identity but changed any reported number (Pr_FC, bounds, Pr_F, or the
+// resolution method). Changed carries the new values.
+type Diff struct {
+	Added     []core.ResultItem
+	Removed   []core.ResultItem
+	Changed   []core.ResultItem
+	Unchanged int
+}
+
+// Empty reports whether the rounds were identical.
+func (d Diff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Changed) == 0
+}
+
+// computeDiff merge-walks two lexicographically sorted result sets.
+// prev == nil (first round) yields everything Added.
+func computeDiff(prev, cur *core.Result) Diff {
+	var d Diff
+	var old []core.ResultItem
+	if prev != nil {
+		old = prev.Itemsets
+	}
+	i, j := 0, 0
+	for i < len(old) && j < len(cur.Itemsets) {
+		switch c := itemset.Compare(old[i].Items, cur.Itemsets[j].Items); {
+		case c < 0:
+			d.Removed = append(d.Removed, old[i])
+			i++
+		case c > 0:
+			d.Added = append(d.Added, cur.Itemsets[j])
+			j++
+		default:
+			if sameValues(old[i], cur.Itemsets[j]) {
+				d.Unchanged++
+			} else {
+				d.Changed = append(d.Changed, cur.Itemsets[j])
+			}
+			i++
+			j++
+		}
+	}
+	d.Removed = append(d.Removed, old[i:]...)
+	d.Added = append(d.Added, cur.Itemsets[j:]...)
+	return d
+}
+
+// sameValues compares every reported number of one itemset across rounds.
+// Mining is deterministic per (content, canonical options), so exact float
+// equality is the right test: an unchanged subtree replays bit-identically.
+func sameValues(a, b core.ResultItem) bool {
+	return a.Prob == b.Prob && a.Lower == b.Lower && a.Upper == b.Upper &&
+		a.FreqProb == b.FreqProb && a.Method == b.Method
+}
+
+// DiffJSON is the wire form of a Diff.
+type DiffJSON struct {
+	Added     []core.ResultItemJSON `json:"added,omitempty"`
+	Removed   []core.ResultItemJSON `json:"removed,omitempty"`
+	Changed   []core.ResultItemJSON `json:"changed,omitempty"`
+	Unchanged int                   `json:"unchanged"`
+}
+
+// JSON converts the diff to its wire form.
+func (d Diff) JSON() DiffJSON {
+	conv := func(items []core.ResultItem) []core.ResultItemJSON {
+		if len(items) == 0 {
+			return nil
+		}
+		out := make([]core.ResultItemJSON, len(items))
+		for i, ri := range items {
+			out[i] = ri.JSON()
+		}
+		return out
+	}
+	return DiffJSON{
+		Added:     conv(d.Added),
+		Removed:   conv(d.Removed),
+		Changed:   conv(d.Changed),
+		Unchanged: d.Unchanged,
+	}
+}

@@ -1,0 +1,296 @@
+package stream
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/poibin"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+func randStreamTrans(rng *rand.Rand, universe int) uncertain.Transaction {
+	n := 1 + rng.Intn(universe)
+	seen := map[int]bool{}
+	var items itemset.Itemset
+	for len(items) < n {
+		it := rng.Intn(universe)
+		if !seen[it] {
+			seen[it] = true
+			items = items.Add(itemset.Item(it))
+		}
+	}
+	p := 0.3 + 0.7*rng.Float64()
+	switch rng.Intn(10) {
+	case 0:
+		p = 1
+	case 1:
+		p = 1e-9
+	}
+	return uncertain.Transaction{Items: items, Prob: p}
+}
+
+// TestTopKNegative pins the regression: TopK(-1) used to slice out[:-1]
+// and panic.
+func TestTopKNegative(t *testing.T) {
+	w, err := NewWindow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Push(uncertain.Transaction{Items: itemset.FromInts(0, 1), Prob: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{-1, -100, 0} {
+		if got := w.TopK(k); len(got) != 0 {
+			t.Fatalf("TopK(%d) = %d items, want 0", k, len(got))
+		}
+	}
+	if got := w.TopK(1); len(got) != 1 {
+		t.Fatalf("TopK(1) = %d items, want 1", len(got))
+	}
+	if got := w.TopK(100); len(got) != 2 {
+		t.Fatalf("TopK(100) = %d items, want 2", len(got))
+	}
+}
+
+// TestUnboundedWindowNeverEvicts pins the append-only shape.
+func TestUnboundedWindowNeverEvicts(t *testing.T) {
+	w := NewUnboundedWindow()
+	for i := 0; i < 100; i++ {
+		_, didEvict, err := w.Push(uncertain.Transaction{Items: itemset.FromInts(i % 5), Prob: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if didEvict {
+			t.Fatal("unbounded window evicted")
+		}
+	}
+	if w.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", w.Len())
+	}
+	db, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() != 100 {
+		t.Fatalf("snapshot N = %d, want 100", db.N())
+	}
+}
+
+// TestTrackedTailsMatchExactDP slides a window with tracking on and checks
+// every item's maintained tail against the exact DP after each push — both
+// the deconvolution path and the rebuild fallback must stay within the
+// verified tolerance (and bit-exact while nothing was ever deconvolved).
+func TestTrackedTailsMatchExactDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	w, err := NewWindow(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const minSup = 3
+	if err := w.TrackTails(minSup); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if _, _, err := w.Push(randStreamTrans(rng, 6)); err != nil {
+			t.Fatal(err)
+		}
+		for it := range w.count {
+			got := w.FreqProb(it, minSup)
+			want := poibin.Tail(w.itemProbs(it), minSup)
+			if d := math.Abs(got - want); d > 1e-9 {
+				t.Fatalf("push %d item %d: maintained tail %v, exact %v (diff %g)", i, it, got, want, d)
+			}
+		}
+	}
+	st := w.TailStats()
+	if st.Updates == 0 || st.Deconvolved == 0 {
+		t.Fatalf("maintenance never exercised: %+v", st)
+	}
+	t.Logf("tail stats: %+v", st)
+}
+
+// TestFrequentItemsTrackedMatchesUntracked pins that the O(1) tracked read
+// and the exact query agree on the qualifying set.
+func TestFrequentItemsTrackedMatchesUntracked(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tracked, _ := NewWindow(10)
+	plain, _ := NewWindow(10)
+	if err := tracked.TrackTails(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		tr := randStreamTrans(rng, 5)
+		if _, _, err := tracked.Push(tr); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := plain.Push(tr); err != nil {
+			t.Fatal(err)
+		}
+		a, err := tracked.FrequentItems(Options{MinSup: 2, PFT: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := plain.FrequentItems(Options{MinSup: 2, PFT: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("push %d: tracked %d items, untracked %d", i, len(a), len(b))
+		}
+		// Compare by item: tails within deconvolution tolerance can reorder
+		// exact ties, so positional comparison would flag ulp artifacts.
+		byItem := make(map[itemset.Item]float64, len(b))
+		for _, r := range b {
+			byItem[r.Item] = r.FreqProb
+		}
+		for _, r := range a {
+			want, ok := byItem[r.Item]
+			if !ok {
+				t.Fatalf("push %d: tracked item %d missing from untracked set", i, r.Item)
+			}
+			if math.Abs(r.FreqProb-want) > 1e-9 {
+				t.Fatalf("push %d item %d: tracked %v vs untracked %v", i, r.Item, r.FreqProb, want)
+			}
+		}
+	}
+}
+
+// TestFrequentItemsContextCancel pins the context-first error path.
+func TestFrequentItemsContextCancel(t *testing.T) {
+	w, _ := NewWindow(4)
+	if _, _, err := w.Push(uncertain.Transaction{Items: itemset.FromInts(0), Prob: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.FrequentItemsContext(ctx, Options{MinSup: 1, PFT: 0.1}); err == nil {
+		t.Fatal("cancelled query must fail")
+	}
+}
+
+// TestMinerMatchesFromScratch is the core delta-engine property: across a
+// random push sequence over a bounded window (so evictions happen), every
+// mining round must be byte-identical to a from-scratch core.Mine of the
+// window snapshot, and the diffs must replay one round into the next.
+func TestMinerMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	opts := core.Options{MinSup: 2, PFCT: 0.25, Seed: 9}
+	for trial := 0; trial < 10; trial++ {
+		w, err := NewWindow(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMiner(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused := 0
+		for round := 0; round < 8; round++ {
+			for b := 0; b < 1+rng.Intn(3); b++ {
+				if err := m.Push(randStreamTrans(rng, 6)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, diff, err := m.MineContext(context.Background())
+			if err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+			db, err := w.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := core.Mine(db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Itemsets, full.Itemsets) {
+				t.Fatalf("trial %d round %d: delta-mined result diverged\n got: %+v\nwant: %+v",
+					trial, round, res.Itemsets, full.Itemsets)
+			}
+			if round == 0 && (len(diff.Removed) != 0 || len(diff.Changed) != 0 || diff.Unchanged != 0) {
+				t.Fatalf("trial %d: first-round diff must be all-added, got %+v", trial, diff)
+			}
+			if got := len(diff.Added) + len(diff.Changed) + diff.Unchanged; got != len(res.Itemsets) {
+				t.Fatalf("trial %d round %d: diff accounts for %d itemsets, result has %d",
+					trial, round, got, len(res.Itemsets))
+			}
+			reused += res.Stats.SubtreesReused
+		}
+		if m.Rounds() != 8 {
+			t.Fatalf("trial %d: %d rounds recorded", trial, m.Rounds())
+		}
+		_ = reused
+	}
+}
+
+// TestMinerNoChangeRound pins that mining twice without pushes reuses the
+// whole tree and reports an empty diff.
+func TestMinerNoChangeRound(t *testing.T) {
+	w, _ := NewWindow(8)
+	m, err := NewMiner(w, core.Options{MinSup: 2, PFCT: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table2 := []uncertain.Transaction{
+		{Items: itemset.FromInts(0, 1, 2, 3), Prob: 0.9},
+		{Items: itemset.FromInts(0, 1, 2), Prob: 0.6},
+		{Items: itemset.FromInts(0, 1, 2), Prob: 0.7},
+		{Items: itemset.FromInts(0, 1, 2, 3), Prob: 0.9},
+	}
+	for _, tr := range table2 {
+		if err := m.Push(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, _, err := m.MineContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Itemsets) == 0 {
+		t.Fatal("Table II mine returned nothing")
+	}
+	second, diff, err := m.MineContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Empty() {
+		t.Fatalf("no-change diff not empty: %+v", diff)
+	}
+	if diff.Unchanged != len(first.Itemsets) {
+		t.Fatalf("unchanged = %d, want %d", diff.Unchanged, len(first.Itemsets))
+	}
+	if second.Stats.NodesVisited != 0 || second.Stats.SubtreesReused == 0 {
+		t.Fatalf("no-change round did real work: %+v", second.Stats)
+	}
+}
+
+// TestMinerRejectsBFS pins eager option validation.
+func TestMinerRejectsBFS(t *testing.T) {
+	w, _ := NewWindow(4)
+	if _, err := NewMiner(w, core.Options{MinSup: 2, PFCT: 0.5, Search: core.BFS}); err == nil {
+		t.Fatal("BFS miner must be rejected")
+	}
+	if _, err := NewMiner(w, core.Options{MinSup: -1, PFCT: 0.5}); err == nil {
+		t.Fatal("invalid options must be rejected")
+	}
+}
+
+// TestDiffJSONShape pins the wire form.
+func TestDiffJSONShape(t *testing.T) {
+	d := Diff{
+		Added:     []core.ResultItem{{Items: itemset.FromInts(0, 1), Prob: 0.5}},
+		Unchanged: 3,
+	}
+	j := d.JSON()
+	if len(j.Added) != 1 || j.Added[0].Items[1] != 1 || j.Unchanged != 3 {
+		t.Fatalf("unexpected wire form: %+v", j)
+	}
+	if j.Removed != nil || j.Changed != nil {
+		t.Fatalf("empty slices must be omitted: %+v", j)
+	}
+}

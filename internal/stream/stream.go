@@ -12,6 +12,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -20,17 +21,26 @@ import (
 	"github.com/probdata/pfcim/internal/uncertain"
 )
 
-// Window is a fixed-size sliding window over an uncertain transaction
-// stream. The zero value is not usable; construct with NewWindow.
+// Window is a sliding window over an uncertain transaction stream: bounded
+// (the most recent size transactions) or unbounded (append-only, for
+// long-lived watched datasets that only ever grow). The zero value is not
+// usable; construct with NewWindow or NewUnboundedWindow.
 type Window struct {
-	size int
+	size int // 0 = unbounded
 	ring []uncertain.Transaction
-	head int // position of the next write
-	n    int // number of live transactions (≤ size)
+	head int // position of the next write (bounded windows only)
+	n    int // number of live transactions (≤ size when bounded)
 
 	// Incremental per-item aggregates over the live window.
 	expSup map[itemset.Item]float64
 	count  map[itemset.Item]int
+
+	// Maintained per-item truncated PMFs (see tails.go); tailK == 0 when
+	// tracking is off.
+	tailK       int
+	tails       map[itemset.Item][]float64
+	tailStats   TailStats
+	tailRebuild []itemset.Item
 
 	pushes int
 }
@@ -49,6 +59,16 @@ func NewWindow(size int) (*Window, error) {
 	}, nil
 }
 
+// NewUnboundedWindow creates an append-only window: Push never evicts, so
+// the window is the full history. This is the shape of a versioned dataset
+// lineage that only ever appends.
+func NewUnboundedWindow() *Window {
+	return &Window{
+		expSup: map[itemset.Item]float64{},
+		count:  map[itemset.Item]int{},
+	}
+}
+
 // Push appends a transaction, evicting the oldest one once the window is
 // full. It returns the evicted transaction and whether an eviction
 // happened.
@@ -59,10 +79,13 @@ func (w *Window) Push(t uncertain.Transaction) (evicted uncertain.Transaction, d
 	if len(t.Items) == 0 {
 		return evicted, false, fmt.Errorf("stream: empty transaction")
 	}
-	if w.n == w.size {
+	if w.size > 0 && w.n == w.size {
 		evicted = w.ring[w.head]
 		didEvict = true
 		for _, it := range evicted.Items {
+			if w.tailK > 0 {
+				w.dropTail(it, evicted.Prob, w.count[it])
+			}
 			w.expSup[it] -= evicted.Prob
 			w.count[it]--
 			if w.count[it] == 0 {
@@ -73,14 +96,22 @@ func (w *Window) Push(t uncertain.Transaction) (evicted uncertain.Transaction, d
 		w.n--
 	}
 	stored := uncertain.Transaction{Items: t.Items.Clone(), Prob: t.Prob}
-	w.ring[w.head] = stored
-	w.head = (w.head + 1) % w.size
+	if w.size > 0 {
+		w.ring[w.head] = stored
+		w.head = (w.head + 1) % w.size
+	} else {
+		w.ring = append(w.ring, stored)
+	}
 	w.n++
 	w.pushes++
 	for _, it := range stored.Items {
 		w.expSup[it] += stored.Prob
 		w.count[it]++
+		if w.tailK > 0 {
+			w.addTail(it, stored.Prob)
+		}
 	}
+	w.flushTailRebuilds()
 	return evicted, didEvict, nil
 }
 
@@ -110,6 +141,12 @@ func (w *Window) itemProbs(x itemset.Item) []float64 {
 }
 
 func (w *Window) forEachLive(fn func(uncertain.Transaction)) {
+	if w.size == 0 {
+		for i := 0; i < w.n; i++ {
+			fn(w.ring[i])
+		}
+		return
+	}
 	start := w.head - w.n
 	if start < 0 {
 		start += w.size
@@ -119,9 +156,15 @@ func (w *Window) forEachLive(fn func(uncertain.Transaction)) {
 	}
 }
 
-// FreqProb returns the exact frequent probability Pr[sup(x) ≥ minSup] of
-// item x over the current window.
+// FreqProb returns the frequent probability Pr[sup(x) ≥ minSup] of item x
+// over the current window: read off the maintained truncated PMF when
+// tracking is active at this threshold (tails.go — exact up to the verified
+// deconvolution tolerance), computed by the exact dynamic program
+// otherwise.
 func (w *Window) FreqProb(x itemset.Item, minSup int) float64 {
+	if w.tailK > 0 && w.tailK == minSup {
+		return poibin.TailOfPMF(w.tails[x], minSup)
+	}
 	return poibin.Tail(w.itemProbs(x), minSup)
 }
 
@@ -167,24 +210,42 @@ func (o Options) Canonical() (Options, error) {
 
 // FrequentItems returns every item with Pr[sup ≥ MinSup] > PFT in the
 // current window, sorted by descending frequent probability (ties by item
-// id). A Chernoff-Hoeffding prefilter avoids the exact dynamic program for
-// clearly infrequent items. Options are canonicalized first; invalid
-// thresholds are an error.
+// id). It is FrequentItemsContext without cancellation.
 func (w *Window) FrequentItems(opts Options) ([]ItemResult, error) {
+	return w.FrequentItemsContext(context.Background(), opts)
+}
+
+// FrequentItemsContext is the context-first frequent-items query, mirroring
+// core.MineContext: the scan aborts with ctx.Err() between items once ctx
+// is done. When tail tracking is active at the query's MinSup (tails.go)
+// each item's frequent probability is read off its maintained PMF in O(1);
+// otherwise a Chernoff-Hoeffding prefilter avoids the exact dynamic program
+// for clearly infrequent items. Options are canonicalized first; invalid
+// thresholds are an error.
+func (w *Window) FrequentItemsContext(ctx context.Context, opts Options) ([]ItemResult, error) {
 	opts, err := opts.Canonical()
 	if err != nil {
 		return nil, err
 	}
+	tracked := w.tailK > 0 && w.tailK == opts.MinSup
 	var out []ItemResult
 	for it, c := range w.count {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if c < opts.MinSup {
 			continue
 		}
-		probs := w.itemProbs(it)
-		if poibin.TailUpperBound(probs, opts.MinSup) <= opts.PFT {
-			continue
+		var prF float64
+		if tracked {
+			prF = poibin.TailOfPMF(w.tails[it], opts.MinSup)
+		} else {
+			probs := w.itemProbs(it)
+			if poibin.TailUpperBound(probs, opts.MinSup) <= opts.PFT {
+				continue
+			}
+			prF = poibin.Tail(probs, opts.MinSup)
 		}
-		prF := poibin.Tail(probs, opts.MinSup)
 		if prF > opts.PFT {
 			out = append(out, ItemResult{
 				Item:            it,
@@ -203,8 +264,13 @@ func (w *Window) FrequentItems(opts Options) ([]ItemResult, error) {
 	return out, nil
 }
 
-// TopK returns the k items with the highest expected support.
+// TopK returns the k items with the highest expected support. Non-positive
+// k returns an empty slice (a negative k used to slice out of range and
+// panic).
 func (w *Window) TopK(k int) []ItemResult {
+	if k <= 0 {
+		return nil
+	}
 	out := make([]ItemResult, 0, len(w.expSup))
 	for it, e := range w.expSup {
 		out = append(out, ItemResult{Item: it, ExpectedSupport: e, Count: w.count[it]})

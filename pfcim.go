@@ -449,21 +449,65 @@ func CountFrequent(db *Database, opts FrequentOptions) (int, error) {
 // running example used throughout the documentation and tests.
 func PaperExample() *Database { return uncertain.PaperExample() }
 
-// StreamWindow maintains probabilistic frequent items over a sliding
-// window of an uncertain transaction stream, with incrementally maintained
-// expected supports and on-demand exact frequent probabilities.
+// Window maintains a live view over an uncertain transaction stream:
+// bounded (the most recent size transactions, NewWindow) or unbounded
+// (append-only history, NewUnboundedWindow). Expected supports are
+// maintained incrementally; per-item frequent-probability tails can be
+// maintained too (TrackTails), making FrequentItemsContext O(1) per item.
+type Window = stream.Window
+
+// StreamWindow is the window type under its original facade name.
+//
+// Deprecated: use Window — the two names alias the same type.
 type StreamWindow = stream.Window
 
 // StreamItem is one probabilistically frequent item of a window query.
 type StreamItem = stream.ItemResult
 
-// StreamOptions configures a StreamWindow frequent-items query; it is
+// StreamOptions configures a Window frequent-items query; it is
 // validated through the same Canonical() convention as Options.
 type StreamOptions = stream.Options
 
 // NewStreamWindow creates a sliding window over the most recent size
-// transactions.
+// transactions. It is stream-facade shorthand for NewWindow.
 func NewStreamWindow(size int) (*StreamWindow, error) { return stream.NewWindow(size) }
+
+// NewWindow creates a sliding window over the most recent size
+// transactions.
+func NewWindow(size int) (*Window, error) { return stream.NewWindow(size) }
+
+// NewUnboundedWindow creates an append-only window that never evicts — the
+// shape of a versioned dataset lineage that only ever grows.
+func NewUnboundedWindow() *Window { return stream.NewUnboundedWindow() }
+
+// WindowMiner mines probabilistic frequent closed itemsets incrementally
+// over a live Window: each mining round re-evaluates only the enumeration
+// subtrees touched by transactions pushed (or evicted) since the previous
+// round and splices everything else from the recorded previous round, with
+// results byte-identical to a from-scratch Mine of the window snapshot.
+type WindowMiner = stream.Miner
+
+// StreamDiff is the change set between two consecutive WindowMiner rounds:
+// closed itemsets added, removed, changed (any reported number differs),
+// and the count left untouched.
+type StreamDiff = stream.Diff
+
+// NewWindowMiner wraps a window for incremental mining. Options are
+// validated eagerly; BFS search is rejected (incremental rounds force the
+// serial DFS path, an execution detail that never changes results).
+func NewWindowMiner(w *Window, opts Options) (*WindowMiner, error) {
+	return stream.NewMiner(w, opts)
+}
+
+// MineWindowContext runs one incremental mining round over the miner's
+// window, returning the full (byte-identical to from-scratch) result and
+// the diff against the previous round. It is the context-first form per
+// the package convention; cancellation aborts at the next enumeration node
+// and resets the miner's reuse state, so the next round mines from
+// scratch.
+func MineWindowContext(ctx context.Context, m *WindowMiner) (*Result, StreamDiff, error) {
+	return m.MineContext(ctx)
+}
 
 // Rule is an association rule derived from mined itemsets.
 type Rule = rules.Rule

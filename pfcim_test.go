@@ -291,3 +291,44 @@ func mustJSONBytes(t *testing.T, v interface{}) []byte {
 	}
 	return b
 }
+
+func TestFacadeWindowMiner(t *testing.T) {
+	w, err := pfcim.NewWindow(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pfcim.NewWindowMiner(w, pfcim.Options{MinSup: 2, PFCT: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range pfcim.PaperExample().Transactions() {
+		if err := m.Push(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, diff, err := pfcim.MineWindowContext(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Itemsets) != 2 || len(diff.Added) != 2 {
+		t.Fatalf("Table II window mine: %d itemsets, diff %+v", len(res.Itemsets), diff)
+	}
+	// Round two without pushes: full reuse, empty diff.
+	res2, diff2, err := pfcim.MineWindowContext(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff2.Empty() || diff2.Unchanged != 2 || res2.Stats.SubtreesReused == 0 {
+		t.Fatalf("no-change round: diff %+v stats %+v", diff2, res2.Stats)
+	}
+	// The unbounded window is append-only.
+	u := pfcim.NewUnboundedWindow()
+	for i := 0; i < 50; i++ {
+		if _, evicted, err := u.Push(pfcim.Transaction{Items: pfcim.NewItemset(i % 3), Prob: 0.5}); err != nil || evicted {
+			t.Fatalf("unbounded push %d: evicted=%v err=%v", i, evicted, err)
+		}
+	}
+	if u.Len() != 50 {
+		t.Fatalf("unbounded Len = %d", u.Len())
+	}
+}
