@@ -1,0 +1,458 @@
+package main
+
+// The load engine: a seeded, replayable mixed workload driven against a
+// live pfcimd (standalone or coordinator). Each worker goroutine owns a
+// deterministic RNG (seed + worker index), so the *sequence* of operations
+// is reproducible run to run — only the timings vary with the deployment
+// under test. Latencies are recorded per endpoint class and reduced to the
+// BENCH-form SLO report written as BENCH_7.json.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/gen"
+	"github.com/probdata/pfcim/internal/sweep"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// Endpoint classes of the mixed workload. Submits and replays hit the same
+// endpoint but are reported separately: a replay is a deliberate re-submit
+// of options already mined, so its latency is the cache path's.
+const (
+	classSubmit  = "submit"       // POST /v1/jobs, fresh options
+	classReplay  = "cache-replay" // POST /v1/jobs, options mined before
+	classWatched = "watched"      // POST /v1/jobs against id@latest
+	classSweep   = "sweep"        // POST /v1/sweeps
+	classAppend  = "append"       // POST /v1/datasets/{id}/append
+	classStatus  = "status"       // GET /v1/jobs/{id}
+	classTrace   = "trace"        // GET /v1/jobs/{id}/trace
+	classMetrics = "metrics"      // GET /metrics
+)
+
+type loadConfig struct {
+	Target      string
+	Duration    time.Duration
+	Concurrency int
+	Seed        int64
+	// JobTimeout bounds how long a worker polls one job before giving up
+	// on it (the job keeps running server-side; the poll abandonment is
+	// counted as a saturation signal, not an error).
+	JobTimeout time.Duration
+}
+
+// classStats accumulates one endpoint class's observations.
+type classStats struct {
+	latencies []time.Duration
+	errors    int64
+	saturated int64 // 503 queue-full responses and abandoned job waits
+}
+
+type recorder struct {
+	mu      sync.Mutex
+	classes map[string]*classStats
+	jobsOK  int64
+	jobsErr int64
+}
+
+func newRecorder() *recorder {
+	return &recorder{classes: make(map[string]*classStats)}
+}
+
+func (r *recorder) observe(class string, d time.Duration, err bool, saturated bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := r.classes[class]
+	if cs == nil {
+		cs = &classStats{}
+		r.classes[class] = cs
+	}
+	cs.latencies = append(cs.latencies, d)
+	if err {
+		cs.errors++
+	}
+	if saturated {
+		cs.saturated++
+	}
+}
+
+// ReportPoint is one BENCH_7.json entry: either one endpoint class's
+// latency distribution or the run's summary line. The field layout follows
+// the repo's BENCH convention — an array of named points, flat scalars
+// first.
+type ReportPoint struct {
+	Name        string  `json:"name"`
+	Class       string  `json:"class,omitempty"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Saturated   int64   `json:"saturated,omitempty"`
+	P50Millis   float64 `json:"p50_ms,omitempty"`
+	P95Millis   float64 `json:"p95_ms,omitempty"`
+	P99Millis   float64 `json:"p99_ms,omitempty"`
+	MaxMillis   float64 `json:"max_ms,omitempty"`
+	MeanMillis  float64 `json:"mean_ms,omitempty"`
+	PerSecond   float64 `json:"per_second,omitempty"`
+	// Summary-only fields.
+	Target      string  `json:"target,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	JobsDone    int64   `json:"jobs_done,omitempty"`
+	JobsFailed  int64   `json:"jobs_failed,omitempty"`
+}
+
+// percentile is nearest-rank over a sorted slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func (r *recorder) report(cfg loadConfig, elapsed time.Duration) []ReportPoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.classes))
+	for name := range r.classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+	var out []ReportPoint
+	var totalReq, totalErr, totalSat int64
+	for _, name := range names {
+		cs := r.classes[name]
+		lats := append([]time.Duration(nil), cs.latencies...)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		n := int64(len(lats))
+		totalReq += n
+		totalErr += cs.errors
+		totalSat += cs.saturated
+		pt := ReportPoint{
+			Name:      "loadgen-" + name,
+			Class:     name,
+			Requests:  n,
+			Errors:    cs.errors,
+			Saturated: cs.saturated,
+			P50Millis: ms(percentile(lats, 0.50)),
+			P95Millis: ms(percentile(lats, 0.95)),
+			P99Millis: ms(percentile(lats, 0.99)),
+			PerSecond: float64(n) / elapsed.Seconds(),
+		}
+		if n > 0 {
+			pt.MeanMillis = ms(sum / time.Duration(n))
+			pt.MaxMillis = ms(lats[n-1])
+		}
+		out = append(out, pt)
+	}
+	out = append(out, ReportPoint{
+		Name:        "loadgen-total",
+		Requests:    totalReq,
+		Errors:      totalErr,
+		Saturated:   totalSat,
+		PerSecond:   float64(totalReq) / elapsed.Seconds(),
+		Target:      cfg.Target,
+		Seed:        cfg.Seed,
+		Concurrency: cfg.Concurrency,
+		DurationSec: elapsed.Seconds(),
+		JobsDone:    r.jobsOK,
+		JobsFailed:  r.jobsErr,
+	})
+	return out
+}
+
+// jobInfoWire is the slice of the daemon's job representation the load
+// engine needs; decoding into it keeps loadgen independent of the service
+// package's full types.
+type jobInfoWire struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error"`
+	Cached bool   `json:"cached"`
+}
+
+func terminal(status string) bool {
+	switch status {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// loadRun drives the workload and returns the SLO report.
+type loadRun struct {
+	cfg     loadConfig
+	hc      *http.Client
+	rec     *recorder
+	pinned  string // content-addressed dataset for submits/sweeps/replays
+	lineage string // append-target dataset for watched jobs and appends
+
+	mu        sync.Mutex
+	doneJobs  []string // terminal job IDs, for the trace class
+	appendSeq int      // distinct append batches, so every append is fresh
+}
+
+// optionsAt returns the i-th point of a small deterministic options grid
+// for the pinned dataset. Replays pick an index already used; fresh submits
+// walk forward. The MinSup floor keeps one sharded-over-RPC job in the
+// hundreds of tail evaluations, not thousands — jobs complete in well under
+// a second, so the generator exercises throughput rather than queue depth.
+func optionsAt(i int) core.OptionsJSON {
+	pfcts := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	return core.OptionsJSON{
+		MinSup: 6 + (i/len(pfcts))%3,
+		PFCT:   pfcts[i%len(pfcts)],
+	}
+}
+
+// watchedOptionsAt is the grid for watched jobs against the (small, growing)
+// lineage dataset, where low absolute supports stay cheap and keep the
+// round diffs non-trivial.
+func watchedOptionsAt(i int) core.OptionsJSON {
+	pfcts := []float64{0.5, 0.7, 0.9}
+	return core.OptionsJSON{
+		MinSup: 1 + (i/len(pfcts))%2,
+		PFCT:   pfcts[i%len(pfcts)],
+	}
+}
+
+func (lr *loadRun) do(class string, method, path string, contentType string, body []byte) (*http.Response, []byte, error) {
+	req, err := http.NewRequest(method, lr.cfg.Target+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	start := time.Now()
+	resp, err := lr.hc.Do(req)
+	d := time.Since(start)
+	if err != nil {
+		lr.rec.observe(class, d, true, false)
+		return nil, nil, err
+	}
+	blob, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if readErr != nil {
+		lr.rec.observe(class, d, true, false)
+		return nil, nil, readErr
+	}
+	isErr := resp.StatusCode >= 400 && resp.StatusCode != http.StatusServiceUnavailable
+	lr.rec.observe(class, d, isErr, resp.StatusCode == http.StatusServiceUnavailable)
+	return resp, blob, nil
+}
+
+// submitAndWait posts a job and polls it to a terminal state. The submit's
+// latency lands in submitClass; every poll lands in the status class.
+func (lr *loadRun) submitAndWait(submitClass, dataset string, opts core.OptionsJSON) {
+	body, _ := json.Marshal(map[string]any{"dataset": dataset, "options": opts})
+	resp, blob, err := lr.do(submitClass, http.MethodPost, "/v1/jobs", "application/json", body)
+	if err != nil || resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return
+	}
+	var ji jobInfoWire
+	if json.Unmarshal(blob, &ji) != nil || ji.ID == "" {
+		return
+	}
+	deadline := time.Now().Add(lr.cfg.JobTimeout)
+	for {
+		if terminal(ji.Status) {
+			lr.mu.Lock()
+			if ji.Status == "done" {
+				lr.rec.jobsOK++
+				// Cache-served jobs mined nothing, so their trace endpoint
+				// answers 404 by design — only freshly mined jobs are
+				// trace-fetch targets.
+				if !ji.Cached {
+					lr.doneJobs = append(lr.doneJobs, ji.ID)
+				}
+			} else {
+				lr.rec.jobsErr++
+			}
+			lr.mu.Unlock()
+			return
+		}
+		if time.Now().After(deadline) {
+			lr.rec.observe(classStatus, 0, false, true) // abandoned wait = saturation
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, blob, err = lr.do(classStatus, http.MethodGet, "/v1/jobs/"+ji.ID, "", nil)
+		if err != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(blob, &ji) != nil {
+			return
+		}
+	}
+}
+
+func (lr *loadRun) opSweep(rng *rand.Rand) {
+	pts := make([]sweep.PointJSON, 2+rng.Intn(2))
+	base := rng.Intn(8)
+	for i := range pts {
+		o := optionsAt(base + i)
+		pts[i] = sweep.PointJSON{MinSup: o.MinSup, PFCT: o.PFCT}
+	}
+	body, _ := json.Marshal(map[string]any{
+		"dataset": lr.pinned,
+		"options": core.OptionsJSON{MinSup: 1, PFCT: 0.5},
+		"points":  pts,
+	})
+	resp, blob, err := lr.do(classSweep, http.MethodPost, "/v1/sweeps", "application/json", body)
+	if err != nil || resp.StatusCode >= 300 {
+		return
+	}
+	var ji jobInfoWire
+	if json.Unmarshal(blob, &ji) == nil && ji.ID != "" && !terminal(ji.Status) {
+		// Poll sweeps like jobs so queue back-pressure is visible.
+		deadline := time.Now().Add(lr.cfg.JobTimeout)
+		for !terminal(ji.Status) && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			resp, blob, err = lr.do(classStatus, http.MethodGet, "/v1/jobs/"+ji.ID, "", nil)
+			if err != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(blob, &ji) != nil {
+				return
+			}
+		}
+	}
+}
+
+func (lr *loadRun) opAppend(rng *rand.Rand) {
+	lr.mu.Lock()
+	lr.appendSeq++
+	seq := lr.appendSeq
+	lr.mu.Unlock()
+	// A fresh single-transaction batch: distinct item tail per batch so the
+	// append is never the idempotent duplicate path, probability from the
+	// RNG rounded to keep the text round-trip exact.
+	p := float64(50+rng.Intn(50)) / 100
+	line := fmt.Sprintf("1 2 %d : %.2f\n", 100+seq, p)
+	lr.do(classAppend, http.MethodPost, "/v1/datasets/"+lr.lineage+"/append", "text/plain", []byte(line))
+}
+
+func (lr *loadRun) opTrace(rng *rand.Rand) {
+	lr.mu.Lock()
+	var id string
+	if len(lr.doneJobs) > 0 {
+		id = lr.doneJobs[rng.Intn(len(lr.doneJobs))]
+	}
+	lr.mu.Unlock()
+	if id == "" {
+		lr.do(classMetrics, http.MethodGet, "/metrics", "", nil)
+		return
+	}
+	lr.do(classTrace, http.MethodGet, "/v1/jobs/"+id+"/trace", "", nil)
+}
+
+// worker is one generator goroutine: a deterministic op stream until the
+// stop time.
+func (lr *loadRun) worker(idx int, stop time.Time) {
+	rng := rand.New(rand.NewSource(lr.cfg.Seed + int64(idx)))
+	fresh := idx * 1000 // per-worker region of the options grid
+	for time.Now().Before(stop) {
+		switch roll := rng.Intn(100); {
+		case roll < 30: // fresh submit
+			lr.submitAndWait(classSubmit, lr.pinned, optionsAt(fresh))
+			fresh++
+		case roll < 50: // cache replay of an options point mined before
+			if fresh == idx*1000 {
+				lr.submitAndWait(classSubmit, lr.pinned, optionsAt(fresh))
+				fresh++
+				continue
+			}
+			lr.submitAndWait(classReplay, lr.pinned, optionsAt(idx*1000+rng.Intn(fresh-idx*1000)))
+		case roll < 65: // watched mine against the lineage head
+			lr.submitAndWait(classWatched, lr.lineage+"@latest", watchedOptionsAt(rng.Intn(6)))
+		case roll < 75:
+			lr.opAppend(rng)
+		case roll < 85:
+			lr.opSweep(rng)
+		case roll < 95:
+			lr.do(classMetrics, http.MethodGet, "/metrics", "", nil)
+		default:
+			lr.opTrace(rng)
+		}
+	}
+}
+
+// registerDatasets uploads the two workload datasets (content-addressed, so
+// re-running against a warm daemon reuses them) and returns their IDs.
+func (lr *loadRun) registerDatasets() error {
+	put := func(db *uncertain.DB) (string, error) {
+		var buf bytes.Buffer
+		if err := uncertain.Write(&buf, db); err != nil {
+			return "", err
+		}
+		resp, err := lr.hc.Post(lr.cfg.Target+"/v1/datasets", "text/plain", &buf)
+		if err != nil {
+			return "", err
+		}
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("dataset upload: status %d: %s", resp.StatusCode, strings.TrimSpace(string(blob)))
+		}
+		var di struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(blob, &di); err != nil {
+			return "", err
+		}
+		return di.ID, nil
+	}
+	var err error
+	// The pinned dataset is a small generated workload — large enough that
+	// fresh submits do real mining, small enough for sub-second jobs.
+	if lr.pinned, err = put(gen.AssignGaussian(gen.MushroomLike(0.005, lr.cfg.Seed), 0.5, 0.2, lr.cfg.Seed+1)); err != nil {
+		return err
+	}
+	// The lineage dataset starts from the paper's example and grows by the
+	// append ops; watched jobs follow its head.
+	lr.lineage, err = put(uncertain.PaperExample())
+	return err
+}
+
+// runLoad executes the configured workload and returns the report.
+func runLoad(cfg loadConfig) ([]ReportPoint, error) {
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 30 * time.Second
+	}
+	cfg.Target = strings.TrimRight(cfg.Target, "/")
+	lr := &loadRun{cfg: cfg, hc: &http.Client{Timeout: 30 * time.Second}, rec: newRecorder()}
+	if err := lr.registerDatasets(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	stop := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			lr.worker(idx, stop)
+		}(i)
+	}
+	wg.Wait()
+	return lr.rec.report(cfg, time.Since(start)), nil
+}

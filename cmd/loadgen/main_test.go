@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/probdata/pfcim/internal/service"
+	"github.com/probdata/pfcim/internal/shard"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestRunLoadAgainstCoordinator drives a short load against an in-process
+// coordinator+2-worker deployment — the acceptance deployment shape — and
+// checks the report's form: every endpoint class present with sane
+// percentiles, no errors, and a summary line that adds up.
+func TestRunLoadAgainstCoordinator(t *testing.T) {
+	urls := make([]string, 2)
+	for i := range urls {
+		srv := httptest.NewServer(shard.NewWorker(quietLogger()))
+		urls[i] = srv.URL
+		defer srv.Close()
+	}
+	s := service.New(service.Config{
+		Workers:         2,
+		Logger:          quietLogger(),
+		Shards:          2,
+		ShardWorkers:    urls,
+		ShardRPCTimeout: 5 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+
+	report, err := runLoad(loadConfig{
+		Target:      ts.URL,
+		Duration:    2 * time.Second,
+		Concurrency: 2,
+		Seed:        7,
+		JobTimeout:  20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report) < 2 {
+		t.Fatalf("report has %d points, want classes + summary", len(report))
+	}
+
+	classes := map[string]ReportPoint{}
+	var total ReportPoint
+	for _, pt := range report {
+		if pt.Name == "loadgen-total" {
+			total = pt
+			continue
+		}
+		classes[pt.Class] = pt
+	}
+	// The mix visits all mutation classes quickly; scrape-only classes may
+	// be rarer but submits/watched/appends dominate the weights.
+	for _, want := range []string{classSubmit, classWatched, classStatus} {
+		pt, ok := classes[want]
+		if !ok {
+			t.Errorf("report missing class %q (got %v)", want, classes)
+			continue
+		}
+		if pt.Requests == 0 {
+			t.Errorf("class %q has 0 requests", want)
+		}
+		if pt.Errors != 0 {
+			t.Errorf("class %q saw %d errors", want, pt.Errors)
+		}
+		if pt.P50Millis <= 0 || pt.P99Millis < pt.P50Millis {
+			t.Errorf("class %q percentiles implausible: p50=%v p99=%v", want, pt.P50Millis, pt.P99Millis)
+		}
+	}
+	var sum int64
+	for _, pt := range classes {
+		sum += pt.Requests
+		if pt.Errors != 0 {
+			t.Errorf("class %q saw %d errors", pt.Class, pt.Errors)
+		}
+	}
+	if total.Requests != sum {
+		t.Errorf("summary requests = %d, want the class sum %d", total.Requests, sum)
+	}
+	if total.JobsDone == 0 {
+		t.Error("no jobs completed during the load")
+	}
+	if total.JobsFailed != 0 {
+		t.Errorf("%d jobs failed during the load", total.JobsFailed)
+	}
+	if total.Seed != 7 || total.Concurrency != 2 || total.DurationSec <= 0 {
+		t.Errorf("summary misses run parameters: %+v", total)
+	}
+
+	// The report must round-trip as BENCH-form JSON (array of named points).
+	blob, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("report is not an array of points: %v", err)
+	}
+	for _, pt := range back {
+		if _, ok := pt["name"]; !ok {
+			t.Errorf("point without name: %v", pt)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{{0.50, 5}, {0.90, 9}, {0.95, 10}, {0.99, 10}, {1.0, 10}} {
+		if got := percentile(lats, tc.p); got != tc.want {
+			t.Errorf("percentile(%.2f) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %d, want 0", got)
+	}
+}

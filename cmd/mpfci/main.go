@@ -20,11 +20,15 @@
 //	                         table and writes a Chrome trace-event file
 //	-parallel N              mine with N work-stealing workers
 //	-split-depth D           hand subtrees above depth D to idle workers
+//	-shards N                partition the tail arithmetic into N range shards
+//	-shard-workers a,b       evaluate shards on live workers over RPC; with
+//	                         -trace, their spans merge into the export
 //	-cpuprofile f.pb.gz      write a pprof CPU profile of the run
 //	-memprofile f.pb.gz      write a pprof heap profile after the run
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,8 +36,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	pfcim "github.com/probdata/pfcim"
+	"github.com/probdata/pfcim/internal/shard"
 )
 
 func main() {
@@ -57,6 +63,8 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of text")
 		showStats  = flag.Bool("stats", false, "print pruning statistics")
 		traceOut   = flag.String("trace", "", "record phase spans and write a Chrome trace-event JSON file (view in chrome://tracing or Perfetto)")
+		shards     = flag.Int("shards", 0, "partition the tail arithmetic into N transaction-range shards (0 = unsharded)")
+		shardAddrs = flag.String("shard-workers", "", "comma-separated shard worker addresses; places the dataset and evaluates shards over RPC (default: in-process)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the mining run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after mining) to this file")
 	)
@@ -96,6 +104,31 @@ func main() {
 	}
 	if *traceOut != "" {
 		opts.Tracer = pfcim.NewTracer()
+	}
+	opts.Shards = *shards
+	if *shardAddrs != "" {
+		// Distributed run: place the dataset on the workers and evaluate
+		// the per-shard tails over RPC. With -trace, the workers' span
+		// batches come back in the responses and land in the summary table
+		// and the Chrome export as labeled worker threads (DESIGN §16).
+		list := strings.Split(*shardAddrs, ",")
+		if opts.Shards < 2 {
+			opts.Shards = max(2, len(list))
+		}
+		client, err := shard.NewClient(list, 0, nil)
+		if err != nil {
+			fatal(err)
+		}
+		ctx := context.Background()
+		if err := client.Place(ctx, "mpfci", db, opts.Shards); err != nil {
+			fatal(err)
+		}
+		sess, err := client.Kernel(ctx, nil, "mpfci")
+		if err != nil {
+			fatal(err)
+		}
+		sess.SetTracer(opts.Tracer)
+		opts.ShardKernel = sess
 	}
 
 	if *cpuProfile != "" {
@@ -234,6 +267,10 @@ func printProfile(p *pfcim.Profile) {
 	}
 	if len(p.Workers) > 1 {
 		for _, w := range p.Workers {
+			if w.Label != "" {
+				fmt.Printf("# remote %-12s %9.3fs busy, %d spans\n", w.Label, float64(w.BusyNS)/1e9, w.Spans)
+				continue
+			}
 			fmt.Printf("# worker %-5d %9.3fs busy, %d spans\n", w.Worker, float64(w.BusyNS)/1e9, w.Spans)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/shard"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
@@ -98,8 +99,8 @@ func TestShardedThreeWayByteIdentity(t *testing.T) {
 			remote := opts
 			remote.ShardKernel = sess
 			viaHTTP, err := Mine(db, remote)
-			srv.Close()
 			if err != nil {
+				srv.Close()
 				t.Fatal(err)
 			}
 			if !reflect.DeepEqual(inline.Itemsets, viaHTTP.Itemsets) {
@@ -109,6 +110,51 @@ func TestShardedThreeWayByteIdentity(t *testing.T) {
 			if !reflect.DeepEqual(inline.Stats, viaHTTP.Stats) {
 				t.Fatalf("n=%d: HTTP stats differ from inline:\n%+v\n%+v",
 					n, inline.Stats, viaHTTP.Stats)
+			}
+
+			// Tracing must be pure observation on every path: the same
+			// itemsets and stats with a tracer installed, over the inline
+			// arithmetic, the remote session (whose workers now ship span
+			// batches back), and the parallel scheduler.
+			traced := opts
+			traced.Tracer = obs.New()
+			viaTraced, err := Mine(db, traced)
+			if err != nil {
+				srv.Close()
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(inline.Itemsets, viaTraced.Itemsets) ||
+				!reflect.DeepEqual(inline.Stats, viaTraced.Stats) {
+				t.Fatalf("n=%d: tracer changed the inline result", n)
+			}
+
+			tracedRemote := opts
+			tracedRemote.Tracer = obs.New()
+			tracedRemote.ShardKernel = sess
+			sess.SetTracer(tracedRemote.Tracer)
+			viaTracedHTTP, err := Mine(db, tracedRemote)
+			sess.SetTracer(nil)
+			srv.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(inline.Itemsets, viaTracedHTTP.Itemsets) ||
+				!reflect.DeepEqual(inline.Stats, viaTracedHTTP.Stats) {
+				t.Fatalf("n=%d: tracer changed the HTTP-sharded result", n)
+			}
+			if wp := tracedRemote.Tracer.Profile().RemoteWorker(srv.URL); wp == nil || wp.Spans == 0 {
+				t.Fatalf("n=%d: traced HTTP mine imported no worker spans", n)
+			}
+
+			tracedPar := opts
+			tracedPar.Parallelism = 4
+			tracedPar.Tracer = obs.New()
+			viaTracedPar, err := Mine(db, tracedPar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(inline.Itemsets, viaTracedPar.Itemsets) {
+				t.Fatalf("n=%d: tracer changed the parallel sharded result", n)
 			}
 		}
 	}

@@ -9,8 +9,9 @@ import (
 // WriteChromeTrace renders every retained detailed span as Chrome
 // trace-event JSON (the "JSON array format" of the trace-event spec):
 // complete ("X") events with microsecond timestamps, one trace thread per
-// mining worker, the enumeration depth in args. The output loads directly
-// into chrome://tracing or https://ui.perfetto.dev.
+// mining worker (plus one per imported remote shard worker, named by its
+// label via thread_name metadata), the enumeration depth in args. The
+// output loads directly into chrome://tracing or https://ui.perfetto.dev.
 //
 // Spans are emitted per worker in ring order (oldest retained first);
 // viewers order by timestamp themselves, so no global sort is needed.
@@ -22,6 +23,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	t.mu.Lock()
 	recs := make([]*Recorder, len(t.recs))
 	copy(recs, t.recs)
+	remotes := t.remoteRecorders()
 	t.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
@@ -29,38 +31,53 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		return err
 	}
 	first := true
-	for _, r := range recs {
-		emit := func(sp Span) error {
-			if !first {
-				if _, err := bw.WriteString(",\n"); err != nil {
-					return err
-				}
+	sep := func() error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
 			}
-			first = false
-			_, err := fmt.Fprintf(bw,
+		}
+		first = false
+		return nil
+	}
+	emitRec := func(r *Recorder, tid int) error {
+		for _, sp := range r.ordered() {
+			if err := sep(); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(bw,
 				`{"name":%q,"cat":"mpfci","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"depth":%d}}`,
-				sp.Phase.String(), float64(sp.Start)/1e3, float64(sp.Dur)/1e3, sp.Worker, sp.Depth)
+				sp.Phase.String(), float64(sp.Start)/1e3, float64(sp.Dur)/1e3, tid, sp.Depth); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	name := func(tid int, label string) error {
+		if err := sep(); err != nil {
 			return err
 		}
-		// Ring order: once the ring wrapped, the oldest retained span sits
-		// at the overwrite cursor.
-		if len(r.spans) == cap(r.spans) && r.dropped > 0 {
-			for i := r.next; i < len(r.spans); i++ {
-				if err := emit(r.spans[i]); err != nil {
-					return err
-				}
-			}
-			for i := 0; i < r.next; i++ {
-				if err := emit(r.spans[i]); err != nil {
-					return err
-				}
-			}
-		} else {
-			for _, sp := range r.spans {
-				if err := emit(sp); err != nil {
-					return err
-				}
-			}
+		_, err := fmt.Fprintf(bw,
+			`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, tid, label)
+		return err
+	}
+	for _, r := range recs {
+		if err := name(int(r.worker), fmt.Sprintf("worker %d", r.worker)); err != nil {
+			return err
+		}
+		if err := emitRec(r, int(r.worker)); err != nil {
+			return err
+		}
+	}
+	// Remote shard workers land on threads after the local ones, named by
+	// their import label (typically the worker address).
+	for i, r := range remotes {
+		tid := len(recs) + i
+		if err := name(tid, r.label); err != nil {
+			return err
+		}
+		if err := emitRec(r, tid); err != nil {
+			return err
 		}
 	}
 	if _, err := bw.WriteString("\n]\n"); err != nil {

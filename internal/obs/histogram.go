@@ -35,6 +35,10 @@ var LookupBuckets = []float64{1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e
 // localhost up to the per-call timeout.
 var RPCBuckets = []float64{2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, .1, .25, .5, 1, 2.5, 5}
 
+// RatioBuckets spans unitless ratios in [0, 1] — e.g. a watched round's
+// subtree-splice reuse share. The 0 bucket isolates rounds with no reuse.
+var RatioBuckets = []float64{0, .1, .25, .5, .75, .9, .95, .99, 1}
+
 // Observe records one duration. Nil-safe.
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
@@ -47,6 +51,22 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.counts[i].Add(1)
 	h.sumNS.Add(d.Nanoseconds())
+	h.total.Add(1)
+}
+
+// ObserveValue records one unitless observation (a ratio, a count) against
+// the same buckets; SumSeconds in the snapshot then reads as the plain sum
+// of observed values. Nil-safe.
+func (h *Histogram) ObserveValue(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(v * 1e9))
 	h.total.Add(1)
 }
 

@@ -97,7 +97,8 @@ type Tracer struct {
 	ringCap  int
 	mu       sync.Mutex
 	recs     []*Recorder
-	totalNS  int64 // mine wall time accumulated via AddMineWall
+	remote   map[string]*Recorder // imported remote batches, keyed by worker label
+	totalNS  int64                // mine wall time accumulated via AddMineWall
 	mineRuns int64
 }
 
@@ -153,6 +154,7 @@ func (t *Tracer) AddMineWall(ns int64) {
 type Recorder struct {
 	t      *Tracer
 	worker int16
+	label  string // non-empty for imported remote recorders
 
 	phaseNS    [NumPhases]int64
 	phaseCount [NumPhases]int64
@@ -239,11 +241,20 @@ type DepthProfile struct {
 }
 
 // WorkerProfile is one worker's share of the attributed time; comparing
-// BusyNS across workers makes work-stealing imbalance visible.
+// BusyNS across workers makes work-stealing imbalance visible. Remote shard
+// workers carry their address in Label (Worker is -1) plus their own
+// per-phase breakdown — their busy time is deliberately NOT folded into the
+// profile's global phase aggregates, because the coordinator's bound-check
+// spans already cover the RPC waits those remote spans sit inside
+// (DESIGN §16: that exclusion is what keeps phase sums ≈ wall time).
 type WorkerProfile struct {
-	Worker int   `json:"worker"`
-	BusyNS int64 `json:"busy_ns"`
-	Spans  int64 `json:"spans"`
+	Worker int    `json:"worker"`
+	Label  string `json:"label,omitempty"`
+	BusyNS int64  `json:"busy_ns"`
+	Spans  int64  `json:"spans"`
+	// Phases is the per-phase breakdown of a remote worker's spans; empty
+	// for local workers (their time is in Profile.Phases).
+	Phases []PhaseProfile `json:"phases,omitempty"`
 }
 
 // Profile is the merged wall-time attribution of everything the tracer
@@ -281,6 +292,7 @@ func (t *Tracer) Profile() *Profile {
 	t.mu.Lock()
 	recs := make([]*Recorder, len(t.recs))
 	copy(recs, t.recs)
+	remotes := t.remoteRecorders()
 	p := &Profile{TotalNS: t.totalNS}
 	t.mu.Unlock()
 
@@ -314,5 +326,30 @@ func (t *Tracer) Profile() *Profile {
 		}
 		p.Depths = append(p.Depths, DepthProfile{Depth: d, WallNS: depthNS[d], Nodes: depthCount[d]})
 	}
+	// Remote workers: labeled, with their own phase breakdown, excluded
+	// from the global phase sums (see WorkerProfile).
+	for _, r := range remotes {
+		wp := WorkerProfile{Worker: -1, Label: r.label}
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			if r.phaseCount[ph] == 0 {
+				continue
+			}
+			wp.BusyNS += r.phaseNS[ph]
+			wp.Spans += r.phaseCount[ph]
+			wp.Phases = append(wp.Phases, PhaseProfile{Phase: ph.String(), WallNS: r.phaseNS[ph], Count: r.phaseCount[ph]})
+		}
+		p.SpansDropped += r.dropped
+		p.Workers = append(p.Workers, wp)
+	}
 	return p
+}
+
+// RemoteWorker returns the labeled remote worker's profile entry, or nil.
+func (p *Profile) RemoteWorker(label string) *WorkerProfile {
+	for i := range p.Workers {
+		if p.Workers[i].Label == label {
+			return &p.Workers[i]
+		}
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -107,15 +108,24 @@ func TestChromeTraceIsJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
 		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, sb.String())
 	}
-	if len(events) != 2 {
-		t.Fatalf("got %d events, want 2", len(events))
-	}
+	var spans, names int
 	for _, ev := range events {
+		if ev["ph"] == "M" {
+			if ev["name"] != "thread_name" {
+				t.Fatalf("unexpected metadata event: %v", ev)
+			}
+			names++
+			continue
+		}
+		spans++
 		for _, k := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
 			if _, ok := ev[k]; !ok {
 				t.Fatalf("event missing %q: %v", k, ev)
 			}
 		}
+	}
+	if spans != 2 || names != 2 {
+		t.Fatalf("got %d spans and %d thread names, want 2 and 2", spans, names)
 	}
 }
 
@@ -184,5 +194,134 @@ func TestTracerConcurrentRecorders(t *testing.T) {
 	}
 	if c := p.Phases[PhaseBoundCheck].Count; c != workers*500 {
 		t.Fatalf("bound-check count = %d, want %d", c, workers*500)
+	}
+}
+
+// TestImportBatchMergesRemoteSpans: a remote batch lands as a labeled
+// worker with its own per-phase breakdown, shifted by the import offset,
+// and is excluded from the global phase aggregates (that exclusion is what
+// keeps phase sums ≈ wall time when RPC waits are already covered by the
+// coordinator's own bound-check spans — DESIGN §16).
+func TestImportBatchMergesRemoteSpans(t *testing.T) {
+	tr := New()
+	r := tr.Recorder(0)
+	r.Span(PhaseBoundCheck, 1, r.Now())
+	localBound := tr.Profile().PhaseWallNS("bound-check")
+
+	batch := SpanBatch{BusyNS: 500, Spans: []SpanWire{
+		{StartNS: 10, DurNS: 100, Phase: uint8(PhaseBoundCheck), Depth: 2},
+		{StartNS: 120, DurNS: 50, Phase: uint8(PhaseBoundCheck), Depth: 3},
+	}}
+	tr.ImportBatch("w1:9101", 1000, batch)
+
+	p := tr.Profile()
+	if got := p.PhaseWallNS("bound-check"); got != localBound {
+		t.Errorf("global bound-check = %d, want unchanged %d (remote time must not fold in)", got, localBound)
+	}
+	wp := p.RemoteWorker("w1:9101")
+	if wp == nil {
+		t.Fatalf("no remote worker profile: %+v", p.Workers)
+	}
+	if wp.Worker != -1 || wp.BusyNS != 150 || wp.Spans != 2 {
+		t.Errorf("remote profile = %+v, want worker -1, busy 150, spans 2", wp)
+	}
+	if len(wp.Phases) != 1 || wp.Phases[0].Phase != "bound-check" || wp.Phases[0].WallNS != 150 {
+		t.Errorf("remote phases = %+v", wp.Phases)
+	}
+
+	// The Chrome export shifts the spans onto the importer's timeline and
+	// names the remote thread by its label.
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"name":"w1:9101"`) {
+		t.Errorf("chrome trace lacks the remote thread name:\n%s", out)
+	}
+	if !strings.Contains(out, `"ts":1.010`) { // (1000+10) ns → 1.010 µs
+		t.Errorf("remote span not shifted by the offset:\n%s", out)
+	}
+}
+
+// TestImportBatchRingOverflow: imported spans obey the same ring bound as
+// local recorders — the aggregate stays exact, the overflow is counted.
+func TestImportBatchRingOverflow(t *testing.T) {
+	tr := NewWithCapacity(4)
+	spans := make([]SpanWire, 10)
+	for i := range spans {
+		spans[i] = SpanWire{StartNS: int64(i), DurNS: 1, Phase: uint8(PhaseBoundCheck), Depth: int16(i)}
+	}
+	tr.ImportBatch("w", 0, SpanBatch{Spans: spans})
+	p := tr.Profile()
+	if p.SpansDropped != 6 {
+		t.Errorf("dropped = %d, want 6", p.SpansDropped)
+	}
+	wp := p.RemoteWorker("w")
+	if wp == nil || wp.Spans != 10 || wp.BusyNS != 10 {
+		t.Errorf("aggregates must be exact despite the ring bound: %+v", wp)
+	}
+	// An out-of-range phase from a future producer is skipped, not a panic.
+	tr.ImportBatch("w", 0, SpanBatch{Spans: []SpanWire{{Phase: 200, DurNS: 5}}})
+	if got := tr.Profile().RemoteWorker("w").Spans; got != 10 {
+		t.Errorf("unknown phase should be ignored, spans = %d", got)
+	}
+}
+
+// TestImportBatchConcurrent: parallel RPC completions import into one
+// tracer while local recorders write; -race validates the locking.
+func TestImportBatchConcurrent(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			label := fmt.Sprintf("w%d", g%3)
+			for i := 0; i < 200; i++ {
+				tr.ImportBatch(label, int64(i), SpanBatch{Spans: []SpanWire{
+					{StartNS: 0, DurNS: 1, Phase: uint8(PhaseBoundCheck)},
+				}})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := tr.Recorder(0)
+		for i := 0; i < 500; i++ {
+			r.Span(PhaseExpand, 1, r.Now())
+		}
+	}()
+	wg.Wait()
+	p := tr.Profile()
+	var remoteSpans int64
+	for _, wp := range p.Workers {
+		if wp.Label != "" {
+			remoteSpans += wp.Spans
+		}
+	}
+	if remoteSpans != 8*200 {
+		t.Errorf("remote spans = %d, want %d", remoteSpans, 8*200)
+	}
+}
+
+// TestWireSpansRoundTrip: a producer-side tracer drains to a batch that an
+// importer reconstructs faithfully.
+func TestWireSpansRoundTrip(t *testing.T) {
+	prod := New()
+	r := prod.Recorder(0)
+	r.Span(PhaseBoundCheck, 2, r.Now())
+	b := prod.WireSpans()
+	if len(b.Spans) != 1 || b.BusyNS <= 0 {
+		t.Fatalf("batch = %+v", b)
+	}
+	if b.Spans[0].Depth != 2 || Phase(b.Spans[0].Phase) != PhaseBoundCheck {
+		t.Fatalf("span = %+v", b.Spans[0])
+	}
+	cons := New()
+	cons.ImportBatch("x", 0, b)
+	if wp := cons.Profile().RemoteWorker("x"); wp == nil || wp.Spans != 1 {
+		t.Fatalf("round trip lost the span: %+v", cons.Profile().Workers)
 	}
 }

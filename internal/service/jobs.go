@@ -63,6 +63,7 @@ type job struct {
 	opts     core.Options     // parsed, with daemon defaults applied
 	optKey   string           // canonical options key (second cache-key half)
 	cacheKey string
+	traceID  string // minted at submit when tracing is on; rides every shard RPC of the job
 	slots    []sweepSlot // sweep jobs: one per grid point
 	timeout  time.Duration
 
@@ -85,7 +86,11 @@ type job struct {
 
 // JobInfo is an immutable snapshot of a job, safe to serialize.
 type JobInfo struct {
-	ID          string           `json:"id"`
+	ID string `json:"id"`
+	// TraceID correlates the job across processes: it tags the daemon's log
+	// lines and rides every shard RPC of the job as the X-Pfcim-Trace
+	// header, so worker logs join on it. Empty when tracing is disabled.
+	TraceID     string           `json:"trace_id,omitempty"`
 	Kind        JobKind          `json:"kind,omitempty"`
 	Dataset     string           `json:"dataset"`
 	Status      JobStatus        `json:"status"`
@@ -110,6 +115,7 @@ type JobInfo struct {
 func (j *job) snapshot() JobInfo {
 	info := JobInfo{
 		ID:              j.id,
+		TraceID:         j.traceID,
 		Kind:            j.kind,
 		Dataset:         j.dataset,
 		Status:          j.status,
@@ -176,7 +182,16 @@ func newManager(cfg Config, cache *resultCache, mtr *metrics, log *slog.Logger, 
 		traceJobs:  !cfg.DisableJobTracing,
 		shards:     cfg.Shards,
 		shardRPC:   sc,
-		watch:      newWatchSet(),
+		watch: newWatchSet(func(label string, ri stream.RoundInfo) {
+			mtr.observeWatchRound(label, watchRoundObs{
+				Wall:       ri.Wall,
+				Added:      int64(len(ri.Diff.Added)),
+				Removed:    int64(len(ri.Diff.Removed)),
+				Changed:    int64(len(ri.Diff.Changed)),
+				Unchanged:  int64(ri.Diff.Unchanged),
+				ReuseRatio: ri.ReuseRatio(),
+			})
+		}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -240,6 +255,11 @@ func (m *Manager) Submit(ds *Dataset, ref string, oj core.OptionsJSON, timeout t
 	}
 	m.seq++
 	j.id = fmt.Sprintf("j%d", m.seq)
+	if m.traceJobs {
+		// The job id doubles as the distributed trace id: it is unique per
+		// daemon, tags every log line, and rides every shard RPC of the job.
+		j.traceID = j.id
+	}
 
 	lookupStart := time.Now()
 	res, ok := m.cache.get(j.cacheKey)
@@ -407,12 +427,20 @@ func (m *Manager) run(j *job) {
 	// RPCError, so the job fails promptly with "which worker, which shard"
 	// instead of hanging or reporting a bare context error.
 	ctx, fail := context.WithCancelCause(parent)
+	if j.traceID != "" {
+		// Every shard RPC of the job carries the trace id, so worker logs
+		// correlate with this job's records and trace.
+		ctx = shard.WithTraceID(ctx, j.traceID)
+	}
 	// Watched jobs mine through the shared incremental watcher and never
 	// attach the RPC kernel: the inline partition arithmetic is byte-
 	// identical (DESIGN §8.3), so results stay exchangeable with pinned
 	// distributed jobs on the same version.
 	if m.shardRPC != nil && j.kind != JobKindSweep && !j.watched && j.opts.Shards >= 2 {
 		if sess, err := m.shardRPC.Kernel(ctx, fail, j.dataset); err == nil {
+			// The session merges worker-side span batches into the job's
+			// tracer, attributed per worker address (nil tracer: no-op).
+			sess.SetTracer(j.tracer)
 			j.opts.ShardKernel = sess
 		} else {
 			// No placement (e.g. the dataset is smaller than the shard
@@ -430,7 +458,7 @@ func (m *Manager) run(j *job) {
 
 	m.metrics.JobsRunning.Add(1)
 	m.metrics.queueWait.Observe(queueWait)
-	m.log.Info("job started", "job", j.id, "kind", string(j.kind), "dataset", ds,
+	m.log.Info("job started", "job", j.id, "trace", j.traceID, "kind", string(j.kind), "dataset", ds,
 		"queue_wait_ms", queueWait.Milliseconds(), "min_sup", opts.MinSup, "pfct", opts.PFCT)
 	res, sres, diff, err := m.mine(ctx, j)
 	if err != nil {
@@ -522,7 +550,7 @@ func (m *Manager) mine(ctx context.Context, j *job) (res *core.Result, sres *swe
 		if werr != nil {
 			return nil, nil, nil, werr
 		}
-		res, diff, err = w.mine(ctx, j.db, j.opts)
+		res, diff, err = w.mine(ctx, j.db, j.opts, j.tracer)
 		return res, nil, diff, err
 	}
 	res, err = core.MineContext(ctx, j.db, j.opts)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -80,9 +81,21 @@ type metrics struct {
 	sweepCache *obs.Histogram // per-point cache probes at sweep submit
 	shardRPC   *obs.Histogram // per-shard RPC attempt latency
 
-	// Per-worker health verdicts, rendered as a labeled worker_up gauge.
+	// Per-worker health state, rendered as labeled worker_up and
+	// last-probe-age gauges. Removing a worker from the ring deletes its
+	// entry so the series disappear instead of freezing at a stale 1.
 	workerMu sync.Mutex
-	workerUp map[string]bool
+	workerUp map[string]workerHealth
+
+	// Per-watched-job round telemetry, labeled by (lineage, options).
+	watchMu sync.Mutex
+	watch   map[string]*watchMetrics
+}
+
+// workerHealth is one shard worker's last probe verdict and when it landed.
+type workerHealth struct {
+	up      bool
+	probeAt time.Time
 }
 
 func newMetrics() *metrics {
@@ -92,7 +105,8 @@ func newMetrics() *metrics {
 		cacheGet:   obs.NewHistogram(obs.LookupBuckets),
 		sweepCache: obs.NewHistogram(obs.LookupBuckets),
 		shardRPC:   obs.NewHistogram(obs.RPCBuckets),
-		workerUp:   map[string]bool{},
+		workerUp:   map[string]workerHealth{},
+		watch:      map[string]*watchMetrics{},
 	}
 }
 
@@ -105,7 +119,15 @@ func (m *metrics) ShardRetry()              { m.ShardRetries.Add(1) }
 
 func (m *metrics) WorkerUp(addr string, up bool) {
 	m.workerMu.Lock()
-	m.workerUp[addr] = up
+	m.workerUp[addr] = workerHealth{up: up, probeAt: time.Now()}
+	m.workerMu.Unlock()
+}
+
+// WorkerRemoved retires the address's health series: a removed worker must
+// drop out of the exposition rather than scrape forever as a stale 1.
+func (m *metrics) WorkerRemoved(addr string) {
+	m.workerMu.Lock()
+	delete(m.workerUp, addr)
 	m.workerMu.Unlock()
 }
 
@@ -116,17 +138,72 @@ func (m *metrics) ShardEvalStats(evals, memoHits int64) {
 
 func (m *metrics) PlacementDone(string, int) { m.ShardPlacements.Add(1) }
 
-// workerUpSnapshot returns the health verdicts in address order.
-func (m *metrics) workerUpSnapshot() (addrs []string, up map[string]bool) {
+// workerUpSnapshot returns the health states in address order.
+func (m *metrics) workerUpSnapshot() (addrs []string, up map[string]workerHealth) {
 	m.workerMu.Lock()
 	defer m.workerMu.Unlock()
-	up = make(map[string]bool, len(m.workerUp))
+	up = make(map[string]workerHealth, len(m.workerUp))
 	for a, v := range m.workerUp {
 		addrs = append(addrs, a)
 		up[a] = v
 	}
 	sort.Strings(addrs)
 	return addrs, up
+}
+
+// watchMetrics is one watched (lineage, options) stream's round telemetry.
+// Counter fields are guarded by the owning metrics' watchMu; the histograms
+// are internally atomic.
+type watchMetrics struct {
+	rounds    int64
+	added     int64
+	removed   int64
+	changed   int64
+	unchanged int64
+	roundWall *obs.Histogram // incremental round wall time
+	reuse     *obs.Histogram // per-round splice reuse ratio in [0, 1]
+}
+
+// watchRoundObs is one incremental round's telemetry as reported by a
+// watched job after MineContext returns.
+type watchRoundObs struct {
+	Wall                               time.Duration
+	Added, Removed, Changed, Unchanged int64
+	ReuseRatio                         float64 // spliced results / round results; 0 for an empty round
+}
+
+// observeWatchRound folds one round into the labeled per-stream series.
+func (m *metrics) observeWatchRound(label string, r watchRoundObs) {
+	m.watchMu.Lock()
+	w := m.watch[label]
+	if w == nil {
+		w = &watchMetrics{
+			roundWall: obs.NewHistogram(obs.JobBuckets),
+			reuse:     obs.NewHistogram(obs.RatioBuckets),
+		}
+		m.watch[label] = w
+	}
+	w.rounds++
+	w.added += r.Added
+	w.removed += r.Removed
+	w.changed += r.Changed
+	w.unchanged += r.Unchanged
+	m.watchMu.Unlock()
+	w.roundWall.Observe(r.Wall)
+	w.reuse.ObserveValue(r.ReuseRatio)
+}
+
+// watchSnapshot returns the watch labels in order plus their series.
+func (m *metrics) watchSnapshot() (labels []string, ws map[string]watchMetrics) {
+	m.watchMu.Lock()
+	defer m.watchMu.Unlock()
+	ws = make(map[string]watchMetrics, len(m.watch))
+	for l, w := range m.watch {
+		labels = append(labels, l)
+		ws[l] = *w
+	}
+	sort.Strings(labels)
+	return labels, ws
 }
 
 // addStats accumulates one finished job's mining statistics — the full
@@ -234,20 +311,48 @@ func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // wantsPrometheus reports whether the Accept header asks for the text
-// exposition format. JSON stays the default: only an explicit text/plain
-// (or OpenMetrics) preference switches, and an explicit application/json
-// listed before it wins.
+// exposition format. JSON stays the default: only a text/plain,
+// OpenMetrics, or text/* preference outranking any JSON preference
+// switches. Media ranges are weighted by their q parameter (q=0 excludes a
+// range); at equal q a more specific range beats a wildcard, and at equal
+// q and specificity the earlier-listed range wins — so the pre-q behavior
+// ("application/json listed first wins") is preserved.
 func wantsPrometheus(accept string) bool {
+	bestQ, bestSpec := -1.0, -1
+	prom := false
 	for _, part := range strings.Split(accept, ",") {
-		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		fields := strings.Split(part, ";")
+		mt := strings.ToLower(strings.TrimSpace(fields[0]))
+		q := 1.0
+		for _, p := range fields[1:] {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(p), "q="); ok {
+				if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+					q = f
+				}
+			}
+		}
+		if q <= 0 {
+			continue
+		}
+		var isProm bool
+		var spec int
 		switch mt {
-		case "application/json":
-			return false
 		case "text/plain", "application/openmetrics-text":
-			return true
+			isProm, spec = true, 2
+		case "application/json":
+			isProm, spec = false, 2
+		case "text/*":
+			isProm, spec = true, 1
+		case "*/*":
+			isProm, spec = false, 0 // full wildcard keeps the JSON default
+		default:
+			continue
+		}
+		if q > bestQ || (q == bestQ && spec > bestSpec) {
+			bestQ, bestSpec, prom = q, spec, isProm
 		}
 	}
-	return false
+	return prom
 }
 
 // servePrometheus renders every counter, gauge, and histogram in the
@@ -273,13 +378,63 @@ func (m *metrics) servePrometheus(w http.ResponseWriter) {
 		fmt.Fprintf(&b, "# TYPE pfcimd_shard_worker_up gauge\n")
 		for _, addr := range addrs {
 			v := 0
-			if up[addr] {
+			if up[addr].up {
 				v = 1
 			}
 			fmt.Fprintf(&b, "pfcimd_shard_worker_up{worker=%q} %d\n", addr, v)
 		}
+		now := time.Now()
+		fmt.Fprintf(&b, "# HELP pfcimd_shard_worker_last_probe_age_seconds Seconds since the worker's last health probe landed.\n")
+		fmt.Fprintf(&b, "# TYPE pfcimd_shard_worker_last_probe_age_seconds gauge\n")
+		for _, addr := range addrs {
+			fmt.Fprintf(&b, "pfcimd_shard_worker_last_probe_age_seconds{worker=%q} %g\n",
+				addr, now.Sub(up[addr].probeAt).Seconds())
+		}
 	}
+	m.writeWatchSeries(&b)
 	w.Write([]byte(b.String()))
+}
+
+// writeWatchSeries renders the per-watched-stream round telemetry:
+// labeled diff counters plus labeled round-wall and reuse-ratio
+// histograms, one watch="<lineage>@<options-hash>" label per stream.
+func (m *metrics) writeWatchSeries(b *strings.Builder) {
+	labels, ws := m.watchSnapshot()
+	if len(labels) == 0 {
+		return
+	}
+	counter := func(name, help string, get func(watchMetrics) int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, l := range labels {
+			fmt.Fprintf(b, "%s{watch=%q} %d\n", name, l, get(ws[l]))
+		}
+	}
+	counter("pfcimd_watch_rounds_total", "Incremental rounds mined per watched (lineage, options) stream.",
+		func(w watchMetrics) int64 { return w.rounds })
+	counter("pfcimd_watch_diff_added_total", "Result itemsets added across a stream's incremental rounds.",
+		func(w watchMetrics) int64 { return w.added })
+	counter("pfcimd_watch_diff_removed_total", "Result itemsets removed across a stream's incremental rounds.",
+		func(w watchMetrics) int64 { return w.removed })
+	counter("pfcimd_watch_diff_changed_total", "Result itemsets whose probability or support changed across rounds.",
+		func(w watchMetrics) int64 { return w.changed })
+	counter("pfcimd_watch_diff_unchanged_total", "Result itemsets carried over unchanged across rounds.",
+		func(w watchMetrics) int64 { return w.unchanged })
+	hist := func(name, help string, get func(watchMetrics) *obs.Histogram) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, l := range labels {
+			snap := get(ws[l]).Snapshot()
+			for i, bound := range snap.Bounds {
+				fmt.Fprintf(b, "%s_bucket{watch=%q,le=%q} %d\n", name, l, formatBound(bound), snap.Cumulative[i])
+			}
+			fmt.Fprintf(b, "%s_bucket{watch=%q,le=\"+Inf\"} %d\n", name, l, snap.Count)
+			fmt.Fprintf(b, "%s_sum{watch=%q} %g\n", name, l, snap.SumSeconds)
+			fmt.Fprintf(b, "%s_count{watch=%q} %d\n", name, l, snap.Count)
+		}
+	}
+	hist("pfcimd_watch_round_seconds", "Wall time of one incremental mining round.",
+		func(w watchMetrics) *obs.Histogram { return w.roundWall })
+	hist("pfcimd_watch_reuse_ratio", "Share of a round's result items spliced from the reuse cache.",
+		func(w watchMetrics) *obs.Histogram { return w.reuse })
 }
 
 // writeHistogram renders one fixed-bucket histogram: cumulative _bucket

@@ -119,6 +119,15 @@ func TestPrometheusExpositionSyntax(t *testing.T) {
 		Options: core.OptionsJSON{MinSup: 2, PFCT: 0.8},
 	}))
 	waitJob(t, ts.URL, job.ID)
+	// A watched job populates the labeled per-stream round series, putting
+	// them under the same grammar check.
+	// Distinct options so the submit misses the cache entry the pinned job
+	// just created — a cache-served watched job runs no round.
+	watched := decode[JobInfo](t, postJSON(t, ts.URL+"/v1/jobs", jobRequest{
+		Dataset: ds.ID + "@latest",
+		Options: core.OptionsJSON{MinSup: 2, PFCT: 0.7},
+	}))
+	waitJob(t, ts.URL, watched.ID)
 
 	// The worker_up gauge appears once the startup health probe lands.
 	var body string
@@ -137,6 +146,10 @@ func TestPrometheusExpositionSyntax(t *testing.T) {
 		"pfcimd_shard_placements_total 1",
 		`pfcimd_shard_worker_up{worker="` + urls[0] + `"} 1`,
 		`pfcimd_shard_worker_up{worker="` + urls[1] + `"} 1`,
+		`pfcimd_shard_worker_last_probe_age_seconds{worker="` + urls[0] + `"}`,
+		"# TYPE pfcimd_watch_rounds_total counter",
+		"pfcimd_watch_round_seconds_bucket",
+		"pfcimd_watch_reuse_ratio_count",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("prometheus exposition missing %q", want)

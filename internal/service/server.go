@@ -11,6 +11,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/probdata/pfcim/internal/core"
@@ -112,6 +113,8 @@ type Server struct {
 	metrics   *metrics
 	started   time.Time
 	mux       *http.ServeMux
+	handler   http.Handler // mux behind the request-ID middleware
+	reqSeq    atomic.Int64 // request-ID sequence
 	shards    *shard.Client      // nil unless ShardWorkers were configured
 	shardStop context.CancelFunc // stops the worker health loop
 }
@@ -163,11 +166,14 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	s.handler = s.withRequestID(s.mux)
 	return s
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler (request-ID middleware
+// included: every response carries X-Request-Id and every handler log line
+// the matching request_id attribute).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Registry exposes the dataset registry (cmd/pfcimd preloads datasets
 // through it).
@@ -485,6 +491,12 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info, err := s.jobs.Submit(ds, req.Dataset, req.Options, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if err == nil {
+		// The correlation line: request_id (logger) ↔ job id ↔ trace id, so
+		// client logs, daemon logs, and worker logs join on either key.
+		s.rlog(r).Info("job submitted", "job", info.ID, "trace", info.TraceID,
+			"dataset", info.Dataset, "cached", info.Cached)
+	}
 	s.writeSubmitResult(w, info, err)
 }
 
@@ -502,6 +514,10 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info, err := s.jobs.SubmitSweep(ds, req.Options, req.Points, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if err == nil {
+		s.rlog(r).Info("sweep submitted", "job", info.ID, "trace", info.TraceID,
+			"dataset", info.Dataset, "points", len(req.Points))
+	}
 	s.writeSubmitResult(w, info, err)
 }
 

@@ -81,6 +81,9 @@ func (m *Manager) SubmitSweep(ds *Dataset, oj core.OptionsJSON, pts []sweep.Poin
 	}
 	m.seq++
 	j.id = fmt.Sprintf("j%d", m.seq)
+	if m.traceJobs {
+		j.traceID = j.id
+	}
 
 	missing := 0
 	for i := range j.slots {

@@ -1,0 +1,391 @@
+package service
+
+// Distributed-tracing and round-telemetry tests: worker-attributed spans in
+// job traces, the request-ID correlation chain, Accept negotiation, worker
+// gauge retirement, and the watched-stream metric accounting.
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/obs"
+	"github.com/probdata/pfcim/internal/shard"
+	"github.com/probdata/pfcim/internal/uncertain"
+)
+
+// startWorkersWithHandles is startShardWorkers plus access to the worker
+// structs, so tests can ask which workers actually hold slices.
+func startWorkersWithHandles(t *testing.T, n int) ([]string, []*shard.Worker) {
+	t.Helper()
+	urls := make([]string, n)
+	workers := make([]*shard.Worker, n)
+	for i := range workers {
+		workers[i] = shard.NewWorker(quietLogger())
+		srv := httptest.NewServer(workers[i])
+		urls[i] = srv.URL
+		t.Cleanup(srv.Close)
+	}
+	return urls, workers
+}
+
+// TestDistributedTraceAttributesWorkers is the PR's acceptance test: a
+// sharded job's trace must contain spans from every worker that holds a
+// slice of the dataset, attributed per worker address and mapped to the
+// paper's bound-check phase.
+func TestDistributedTraceAttributesWorkers(t *testing.T) {
+	urls, workers := startWorkersWithHandles(t, 2)
+	_, ts := testServer(t, Config{
+		Workers:         1,
+		Shards:          2,
+		ShardWorkers:    urls,
+		ShardRPCTimeout: 2 * time.Second,
+	})
+	ds := uploadDB(t, ts.URL, uncertain.PaperExample())
+
+	job := decode[JobInfo](t, postJSON(t, ts.URL+"/v1/jobs", jobRequest{
+		Dataset: ds.ID,
+		Options: core.OptionsJSON{MinSup: 2, PFCT: 0.8},
+	}))
+	if job.TraceID == "" {
+		t.Error("submitted job carries no trace_id")
+	}
+	info := waitJob(t, ts.URL, job.ID)
+	if info.Status != StatusDone {
+		t.Fatalf("job = %+v, want done", info)
+	}
+
+	resp, body := getWithAccept(t, ts.URL+"/v1/jobs/"+job.ID+"/trace", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d: %s", resp.StatusCode, body)
+	}
+	var p obs.Profile
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("trace body: %v", err)
+	}
+
+	remote := map[string]obs.WorkerProfile{}
+	for _, w := range p.Workers {
+		if w.Label == "" {
+			continue
+		}
+		remote[w.Label] = w
+		if w.Worker != -1 {
+			t.Errorf("remote worker %s has Worker=%d, want -1", w.Label, w.Worker)
+		}
+		if w.Spans == 0 || w.BusyNS <= 0 {
+			t.Errorf("remote worker %s: spans=%d busy=%d, want both > 0", w.Label, w.Spans, w.BusyNS)
+		}
+		for _, ph := range w.Phases {
+			if ph.Phase != "bound-check" {
+				t.Errorf("remote worker %s attributed phase %q, want bound-check", w.Label, ph.Phase)
+			}
+		}
+	}
+	// Every worker holding a slice served evals, so each must appear.
+	for i, w := range workers {
+		if w.Slots() == 0 {
+			continue
+		}
+		if _, ok := remote[urls[i]]; !ok {
+			t.Errorf("worker %s holds %d slots but has no spans in the trace (remote: %v)",
+				urls[i], w.Slots(), remote)
+		}
+	}
+	if len(remote) == 0 {
+		t.Fatal("trace contains no worker-attributed spans")
+	}
+}
+
+// TestDistributedTraceConcurrentAndNoLeak hammers a coordinator with
+// sharded traced jobs while scraping /metrics and the trace endpoints, then
+// checks the goroutine count settles back — the -race gate for the merged
+// worker tracers and the leak gate for the RPC fan-out.
+func TestDistributedTraceConcurrentAndNoLeak(t *testing.T) {
+	urls, _ := startWorkersWithHandles(t, 2)
+	_, ts := testServer(t, Config{
+		Workers:         2,
+		QueueDepth:      64,
+		CacheSize:       -1,
+		Shards:          2,
+		ShardWorkers:    urls,
+		ShardRPCTimeout: 2 * time.Second,
+	})
+	ds := uploadDB(t, ts.URL, uncertain.PaperExample())
+	base := runtime.NumGoroutine()
+
+	const jobs = 6
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	ids := make([]string, jobs)
+	for i := range ids {
+		ids[i] = decode[JobInfo](t, postJSON(t, ts.URL+"/v1/jobs", jobRequest{
+			Dataset: ds.ID,
+			Options: core.OptionsJSON{MinSup: 2, PFCT: 0.8, Seed: int64(i + 1)},
+		})).ID
+	}
+	// Scrapers race the running jobs: trace fetches answer 409 while a job
+	// runs and 200 after — either way they read the job table and profile
+	// concurrently with the RPC goroutines importing span batches.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, id := range ids {
+					getWithAccept(t, ts.URL+"/v1/jobs/"+id+"/trace", "")
+				}
+				getWithAccept(t, ts.URL+"/metrics", "text/plain")
+			}
+		}()
+	}
+	for _, id := range ids {
+		if info := waitJob(t, ts.URL, id); info.Status != StatusDone {
+			t.Errorf("job %s = %s (%s)", id, info.Status, info.Error)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	for _, id := range ids {
+		resp, body := getWithAccept(t, ts.URL+"/v1/jobs/"+id+"/trace", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("trace %s = %d: %s", id, resp.StatusCode, body)
+			continue
+		}
+		if !strings.Contains(body, `"label"`) {
+			t.Errorf("trace %s has no worker-attributed spans", id)
+		}
+	}
+
+	// The fan-out goroutines and per-job contexts must all be gone once the
+	// jobs are terminal; allow the HTTP keep-alive pool a moment to drain.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+5 || time.Now().After(deadline) {
+			if n > base+5 {
+				t.Errorf("goroutines grew from %d to %d after jobs finished", base, n)
+			}
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAcceptNegotiationTable pins the /metrics content negotiation: q-value
+// weighting, the text/* and */* wildcards, q=0 exclusion, and the legacy
+// order tiebreak.
+func TestAcceptNegotiationTable(t *testing.T) {
+	for _, tc := range []struct {
+		accept string
+		prom   bool
+	}{
+		{"", false},
+		{"text/plain", true},
+		{"text/plain;version=0.0.4", true},
+		{"application/openmetrics-text;version=1.0.0", true},
+		{"application/json", false},
+		{"application/json, text/plain", false},       // equal q, equal specificity: first wins
+		{"text/plain, application/json", true},        // and symmetrically
+		{"application/json;q=0.5, text/plain", true},  // higher q wins regardless of order
+		{"text/plain;q=0.2, application/json;q=0.9", false},
+		{"text/plain;q=0", false},                     // q=0 excludes the range
+		{"text/*", true},                              // wildcard text family
+		{"text/*;q=0.9, application/json;q=0.5", true},
+		{"text/*, application/json", false},           // specific beats wildcard at equal q
+		{"*/*", false},                                // full wildcard keeps the JSON default
+		{"*/*;q=0.1, text/plain;q=0.05", false},
+		{"text/html", false},                          // unrelated types are ignored
+		{"text/plain; q=0.8, text/html", true},
+		{"garbage;;q=,", false},
+	} {
+		if got := wantsPrometheus(tc.accept); got != tc.prom {
+			t.Errorf("wantsPrometheus(%q) = %v, want %v", tc.accept, got, tc.prom)
+		}
+	}
+}
+
+// TestWorkerRemovalRetiresSeries: removing a worker deletes its worker_up
+// and last-probe-age series instead of leaving a stale 1, and the age gauge
+// is exposed for live workers.
+func TestWorkerRemovalRetiresSeries(t *testing.T) {
+	m := newMetrics()
+	m.WorkerUp("w1:9101", true)
+	m.WorkerUp("w2:9102", false)
+
+	scrape := func() string {
+		rec := httptest.NewRecorder()
+		m.servePrometheus(rec)
+		return rec.Body.String()
+	}
+	body := scrape()
+	for _, want := range []string{
+		`pfcimd_shard_worker_up{worker="w1:9101"} 1`,
+		`pfcimd_shard_worker_up{worker="w2:9102"} 0`,
+		`pfcimd_shard_worker_last_probe_age_seconds{worker="w1:9101"}`,
+		`pfcimd_shard_worker_last_probe_age_seconds{worker="w2:9102"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	m.WorkerRemoved("w1:9101")
+	body = scrape()
+	if strings.Contains(body, "w1:9101") {
+		t.Errorf("removed worker still exposed:\n%s", body)
+	}
+	if !strings.Contains(body, `pfcimd_shard_worker_up{worker="w2:9102"} 0`) {
+		t.Errorf("surviving worker series lost:\n%s", body)
+	}
+
+	// End-to-end: the client notifies the daemon metrics on removal.
+	c, err := shard.NewClient([]string{"a:1", "b:2"}, time.Second, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.WorkerUp("a:1", true)
+	if err := c.RemoveWorker("a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(scrape(), `worker="a:1"`) {
+		t.Error("client removal did not retire the series")
+	}
+}
+
+// TestWatchMetricsAccounting: the per-stream diff counters must sum to the
+// per-round result totals — added + changed + unchanged across rounds
+// equals the sum of each round's result size — and the round histograms
+// must count one observation per round.
+func TestWatchMetricsAccounting(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	ds := uploadDB(t, ts.URL, uncertain.PaperExample())
+	opts := core.OptionsJSON{MinSup: 2, PFCT: 0.8}
+
+	submitWatched := func() JobInfo {
+		t.Helper()
+		job := decode[JobInfo](t, postJSON(t, ts.URL+"/v1/jobs", jobRequest{
+			Dataset: ds.ID + "@latest", Options: opts,
+		}))
+		info := waitJob(t, ts.URL, job.ID)
+		if info.Status != StatusDone {
+			t.Fatalf("watched job = %+v, want done", info)
+		}
+		return info
+	}
+	first := submitWatched()
+
+	// Append one transaction so the second round has a real diff.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/datasets/"+ds.ID+"/append",
+		strings.NewReader("1 2 3 : 0.9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("append status = %d", resp.StatusCode)
+	}
+	second := submitWatched()
+
+	_, body := getWithAccept(t, ts.URL+"/metrics", "text/plain")
+	series := func(name string) int64 {
+		re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `\{watch="[^"]*"[^}]*\} (\d+)$`)
+		ms := re.FindAllStringSubmatch(body, -1)
+		if len(ms) != 1 {
+			t.Fatalf("want exactly one %s series, got %d:\n%s", name, len(ms), body)
+		}
+		v, err := strconv.ParseInt(ms[0][1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := series("pfcimd_watch_rounds_total"); got != 2 {
+		t.Errorf("rounds_total = %d, want 2", got)
+	}
+	added := series("pfcimd_watch_diff_added_total")
+	changed := series("pfcimd_watch_diff_changed_total")
+	unchanged := series("pfcimd_watch_diff_unchanged_total")
+	wantTotal := int64(len(first.Result.Itemsets) + len(second.Result.Itemsets))
+	if got := added + changed + unchanged; got != wantTotal {
+		t.Errorf("added(%d)+changed(%d)+unchanged(%d) = %d, want the summed round results %d",
+			added, changed, unchanged, got, wantTotal)
+	}
+	if added < int64(len(first.Result.Itemsets)) {
+		t.Errorf("added = %d, want ≥ the first round's %d (first round is all-added)",
+			added, len(first.Result.Itemsets))
+	}
+	// One histogram observation per round, for both wall time and reuse.
+	label := regexp.MustCompile(`pfcimd_watch_rounds_total\{watch="([^"]*)"\}`).FindStringSubmatch(body)
+	if label == nil {
+		t.Fatal("no watch label found")
+	}
+	for _, h := range []string{"pfcimd_watch_round_seconds", "pfcimd_watch_reuse_ratio"} {
+		want := fmt.Sprintf(`%s_count{watch="%s"} 2`, h, label[1])
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The diff reported by the second job matches the counters' delta.
+	if second.Diff == nil {
+		t.Fatal("second watched job reported no diff")
+	}
+}
+
+// TestRequestIDCorrelation: every response carries X-Request-Id, and the
+// submit handler logs the request_id ↔ job ↔ trace correlation line.
+func TestRequestIDCorrelation(t *testing.T) {
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	_, ts := testServer(t, Config{Workers: 1, Logger: logger})
+
+	resp, _ := getWithAccept(t, ts.URL+"/healthz", "")
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("healthz response missing X-Request-Id")
+	}
+
+	ds := uploadDB(t, ts.URL, uncertain.PaperExample())
+	job := decode[JobInfo](t, postJSON(t, ts.URL+"/v1/jobs", jobRequest{
+		Dataset: ds.ID,
+		Options: core.OptionsJSON{MinSup: 2, PFCT: 0.8},
+	}))
+	if job.TraceID != job.ID {
+		t.Errorf("trace_id = %q, want the job id %q", job.TraceID, job.ID)
+	}
+	waitJob(t, ts.URL, job.ID)
+
+	logs := logBuf.String()
+	var correlated bool
+	for _, line := range strings.Split(logs, "\n") {
+		if strings.Contains(line, "job submitted") &&
+			strings.Contains(line, "request_id=") &&
+			strings.Contains(line, "job="+job.ID) &&
+			strings.Contains(line, "trace="+job.TraceID) {
+			correlated = true
+		}
+	}
+	if !correlated {
+		t.Errorf("no request_id ↔ job ↔ trace correlation line in logs:\n%s", logs)
+	}
+}

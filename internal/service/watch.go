@@ -2,9 +2,12 @@ package service
 
 import (
 	"context"
+	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"github.com/probdata/pfcim/internal/core"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/stream"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
@@ -28,17 +31,34 @@ type watcher struct {
 }
 
 // watchSet owns the daemon's watchers, keyed by lineage root + canonical
-// options key.
+// options key. onRound (may be nil) receives every successful round's
+// telemetry under the stream's metric label.
 type watchSet struct {
-	mu sync.Mutex
-	m  map[string]*watcher
+	mu      sync.Mutex
+	m       map[string]*watcher
+	onRound func(label string, ri stream.RoundInfo)
 }
 
-func newWatchSet() *watchSet { return &watchSet{m: make(map[string]*watcher)} }
+func newWatchSet(onRound func(label string, ri stream.RoundInfo)) *watchSet {
+	return &watchSet{m: make(map[string]*watcher), onRound: onRound}
+}
+
+// watchLabel is the stream's metric label: the lineage id plus a short
+// stable hash of the canonical options key — readable, bounded-cardinality
+// (one series set per distinct watched configuration), and collision-safe
+// enough for a label (the full key still keys the watcher map).
+func watchLabel(lineageID, optKey string) string {
+	h := fnv.New32a()
+	h.Write([]byte(optKey))
+	return fmt.Sprintf("%s@%08x", lineageID, h.Sum32())
+}
 
 // get returns the watcher for (lineage, optKey), creating it on first use.
 // opts must already carry the daemon defaults; the first submission's
-// execution knobs win (they cannot change results — DESIGN §8.3).
+// execution knobs win (they cannot change results — DESIGN §8.3). The
+// creating submission's Tracer is deliberately stripped: rounds record into
+// the tracer of the job that runs them (threaded through mine), never into
+// the first submitter's.
 func (ws *watchSet) get(lineageID, optKey string, opts core.Options) (*watcher, error) {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
@@ -46,9 +66,15 @@ func (ws *watchSet) get(lineageID, optKey string, opts core.Options) (*watcher, 
 	if w, ok := ws.m[key]; ok {
 		return w, nil
 	}
+	opts.Tracer = nil
 	miner, err := stream.NewMiner(stream.NewUnboundedWindow(), opts)
 	if err != nil {
 		return nil, err
+	}
+	if ws.onRound != nil {
+		label := watchLabel(lineageID, optKey)
+		fn := ws.onRound
+		miner.SetOnRound(func(ri stream.RoundInfo) { fn(label, ri) })
 	}
 	w := &watcher{miner: miner}
 	ws.m[key] = w
@@ -57,12 +83,14 @@ func (ws *watchSet) get(lineageID, optKey string, opts core.Options) (*watcher, 
 
 // mine syncs the watcher to target's transactions and mines incrementally,
 // returning the result and the diff against the watcher's previous round.
-// A watcher ahead of the target (the job raced an append and resolved an
-// older snapshot than the watcher has already consumed) falls back to a
-// plain from-scratch mine with a nil diff — results stay exchangeable, only
-// the incremental saving and the diff are lost for that one job. The
-// watcher's lock serializes watched mines per (lineage, options).
-func (w *watcher) mine(ctx context.Context, target *uncertain.DB, opts core.Options) (*core.Result, *stream.DiffJSON, error) {
+// tr (may be nil) receives the round's phase spans — each round records
+// into the tracer of the job that runs it. A watcher ahead of the target
+// (the job raced an append and resolved an older snapshot than the watcher
+// has already consumed) falls back to a plain from-scratch mine with a nil
+// diff — results stay exchangeable, only the incremental saving and the
+// diff are lost for that one job. The watcher's lock serializes watched
+// mines per (lineage, options).
+func (w *watcher) mine(ctx context.Context, target *uncertain.DB, opts core.Options, tr *obs.Tracer) (*core.Result, *stream.DiffJSON, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	trans := target.Transactions()
@@ -78,7 +106,7 @@ func (w *watcher) mine(ctx context.Context, target *uncertain.DB, opts core.Opti
 		}
 		w.n++
 	}
-	res, diff, err := w.miner.MineContext(ctx)
+	res, diff, err := w.miner.MineTraced(ctx, tr)
 	if err != nil {
 		// The miner reset its reuse cache internally; the watcher stays
 		// synced (pushes are recorded) and the next round mines from

@@ -12,8 +12,29 @@ import (
 	"time"
 
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
+
+// traceIDKey carries the job's trace ID through the RPC context so every
+// hop stamps the X-Pfcim-Trace header without widening call signatures.
+type traceIDKey struct{}
+
+// WithTraceID returns a context whose shard RPCs carry id in the
+// X-Pfcim-Trace header. The coordinator wraps the job context once; every
+// eval and placement RPC of that job then correlates in worker logs.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID installed by WithTraceID ("" if none).
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
 
 // RPCError is the structured failure of one shard RPC: which worker, which
 // dataset slice, which operation. It is installed as the job context's
@@ -42,6 +63,7 @@ type Observer interface {
 	ShardRPC(d time.Duration)                // one completed RPC attempt (any outcome)
 	ShardRetry()                             // an RPC attempt is being retried
 	WorkerUp(addr string, up bool)           // health-check verdict for one worker
+	WorkerRemoved(addr string)               // worker taken out of the ring
 	ShardEvalStats(evals, memoHits int64)    // worker-side tail accounting deltas
 	PlacementDone(dataset string, shards int) // a dataset finished placement
 }
@@ -51,6 +73,7 @@ type noopObserver struct{}
 func (noopObserver) ShardRPC(time.Duration)          {}
 func (noopObserver) ShardRetry()                     {}
 func (noopObserver) WorkerUp(string, bool)           {}
+func (noopObserver) WorkerRemoved(string)            {}
 func (noopObserver) ShardEvalStats(int64, int64)     {}
 func (noopObserver) PlacementDone(string, int)       {}
 
@@ -59,14 +82,14 @@ func (noopObserver) PlacementDone(string, int)       {}
 // per-shard quantities over RPC with a per-call timeout and one bounded
 // retry.
 type Client struct {
-	workers []string
-	ring    *Ring
 	hc      *http.Client
 	timeout time.Duration
 	obs     Observer
 
-	mu     sync.Mutex
-	placed map[string]placement
+	mu      sync.Mutex
+	workers []string
+	ring    *Ring
+	placed  map[string]placement
 }
 
 type placement struct {
@@ -97,8 +120,50 @@ func NewClient(workers []string, timeout time.Duration, obs Observer) (*Client, 
 	}, nil
 }
 
-// Workers returns the configured worker addresses.
-func (c *Client) Workers() []string { return append([]string(nil), c.workers...) }
+// Workers returns the current worker addresses (removed workers excluded).
+func (c *Client) Workers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.workers...)
+}
+
+// RemoveWorker takes addr out of the ring: future placements no longer
+// route to it, health probes stop covering it, and the observer is told so
+// metric series for the address are retired rather than frozen at their
+// last value. Existing placements keep their recorded shard→worker map —
+// jobs over them fail with a structured RPCError and re-registering the
+// dataset re-places it over the shrunken ring. The last worker cannot be
+// removed (an empty ring cannot place anything).
+func (c *Client) RemoveWorker(addr string) error {
+	c.mu.Lock()
+	idx := -1
+	for i, w := range c.workers {
+		if w == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("shard: worker %s is not in the ring", addr)
+	}
+	if len(c.workers) == 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("shard: cannot remove the last worker %s", addr)
+	}
+	rest := make([]string, 0, len(c.workers)-1)
+	rest = append(rest, c.workers[:idx]...)
+	rest = append(rest, c.workers[idx+1:]...)
+	ring, err := NewRing(rest)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.workers, c.ring = rest, ring
+	c.mu.Unlock()
+	c.obs.WorkerRemoved(addr)
+	return nil
+}
 
 // Place partitions db into shards range slices, ships each to the worker
 // the ring assigns it, and verifies the worker's content hash against the
@@ -110,8 +175,11 @@ func (c *Client) Place(ctx context.Context, dataset string, db *uncertain.DB, sh
 	}
 	l := Layout{N: shards, Total: db.N()}
 	pl := placement{layout: l, workers: make([]string, shards)}
+	c.mu.Lock()
+	ring := c.ring
+	c.mu.Unlock()
 	for i := 0; i < shards; i++ {
-		addr := c.ring.Pick(dataset, i)
+		addr := ring.Pick(dataset, i)
 		pl.workers[i] = addr
 		text, hash, err := RenderSlice(Slice(db, l, i))
 		if err != nil {
@@ -166,8 +234,37 @@ type Session struct {
 	fail    context.CancelCauseFunc
 	dataset string
 	pl      placement
+	tracer  *obs.Tracer
 
 	failed sync.Once
+}
+
+// SetTracer makes the session's eval RPCs request worker-side span batches
+// and merge them into tr, attributed per worker address and shifted onto
+// tr's timeline by the clock offset derived from each round trip
+// (DESIGN §16). Must be called before mining starts — the field is read
+// without synchronization by the fan-out goroutines. Tracing changes no
+// computed value: responses carry the same PMFs and factors either way.
+func (s *Session) SetTracer(tr *obs.Tracer) { s.tracer = tr }
+
+// evalShard performs one traced-or-not eval RPC against shard i's worker.
+// With a tracer set it brackets the call with tracer timestamps and imports
+// the returned span batch at offset t0 + (rtt − busy)/2 — the symmetric-
+// network estimate of where the worker's handler epoch sits on the job
+// timeline (never earlier than the request went out).
+func (s *Session) evalShard(i int, req EvalRequest) (EvalResponse, error) {
+	tr := s.tracer
+	req.Trace = tr != nil
+	t0 := tr.Now()
+	resp, err := s.c.eval(s.ctx, s.pl.workers[i], req)
+	if err == nil && tr != nil && len(resp.Spans) > 0 {
+		off := t0
+		if rtt := tr.Now() - t0; resp.BusyNS > 0 && rtt > resp.BusyNS {
+			off = t0 + (rtt-resp.BusyNS)/2
+		}
+		tr.ImportBatch(s.pl.workers[i], off, obs.SpanBatch{BusyNS: resp.BusyNS, Spans: resp.Spans})
+	}
+	return resp, err
 }
 
 // TailPMFs fans the (x, e, k) tail request out to every shard's worker
@@ -185,7 +282,7 @@ func (s *Session) TailPMFs(x itemset.Itemset, e itemset.Item, k int) ([][]float6
 		go func(i int) {
 			defer wg.Done()
 			req := EvalRequest{Dataset: s.dataset, Shard: i, Op: OpPMF, Items: toInts(x), Ext: int(e), K: k}
-			resp, err := s.c.eval(s.ctx, s.pl.workers[i], req)
+			resp, err := s.evalShard(i, req)
 			if err == nil && len(resp.PMF) == 0 {
 				err = fmt.Errorf("worker returned empty PMF")
 			}
@@ -218,7 +315,7 @@ func (s *Session) ClauseFactors(x itemset.Itemset, e itemset.Item) ([]float64, b
 		go func(i int) {
 			defer wg.Done()
 			req := EvalRequest{Dataset: s.dataset, Shard: i, Op: OpFactor, Items: toInts(x), Ext: int(e)}
-			resp, err := s.c.eval(s.ctx, s.pl.workers[i], req)
+			resp, err := s.evalShard(i, req)
 			if err != nil {
 				errs[i] = err
 				return
@@ -273,6 +370,9 @@ func (c *Client) call(ctx context.Context, addr, path string, body, out any) err
 		return err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if id := TraceIDFrom(ctx); id != "" {
+		httpReq.Header.Set(TraceHeader, id)
+	}
 	start := time.Now()
 	httpResp, err := c.hc.Do(httpReq)
 	c.obs.ShardRPC(time.Since(start))
@@ -294,8 +394,9 @@ func (c *Client) call(ctx context.Context, addr, path string, body, out any) err
 // CheckHealth probes every worker's /healthz once, reporting each verdict
 // to the observer and returning the up/down map.
 func (c *Client) CheckHealth(ctx context.Context) map[string]bool {
-	out := make(map[string]bool, len(c.workers))
-	for _, addr := range c.workers {
+	workers := c.Workers()
+	out := make(map[string]bool, len(workers))
+	for _, addr := range workers {
 		out[addr] = c.probe(ctx, addr)
 		c.obs.WorkerUp(addr, out[addr])
 	}

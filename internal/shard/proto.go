@@ -1,5 +1,7 @@
 package shard
 
+import "github.com/probdata/pfcim/internal/obs"
+
 // Wire protocol of the coordinator/worker mode: JSON bodies over HTTP
 // (HTTP's Content-Length is the length prefix). Probability values survive
 // the trip bit-exactly — both the uncertain text format (%g) and
@@ -34,7 +36,9 @@ const (
 )
 
 // EvalRequest asks a worker for one per-shard quantity of the itemset
-// Items (+Ext when Ext ≥ 0).
+// Items (+Ext when Ext ≥ 0). Trace asks the worker to run the evaluation
+// under its own phase-span tracer and return the recorded spans — pure
+// observability, the computed values are identical either way.
 type EvalRequest struct {
 	Dataset string `json:"dataset"`
 	Shard   int    `json:"shard"`
@@ -42,15 +46,22 @@ type EvalRequest struct {
 	Items   []int  `json:"items"`
 	Ext     int    `json:"ext"` // -1 when absent
 	K       int    `json:"k,omitempty"`
+	Trace   bool   `json:"trace,omitempty"`
 }
 
 // EvalResponse carries the requested quantity plus this call's evaluation
 // accounting (1/0 deltas, so the coordinator can aggregate exact totals).
+// When the request asked for tracing, Spans holds the worker-side phase
+// spans with timestamps relative to the handler start and BusyNS the
+// handler wall time — the coordinator derives the clock offset from the
+// RPC round trip (DESIGN §16) and merges them into the job's tracer.
 type EvalResponse struct {
-	PMF      []float64 `json:"pmf,omitempty"`
-	Factor   float64   `json:"factor"`
-	Evals    int64     `json:"evals"`
-	MemoHits int64     `json:"memo_hits"`
+	PMF      []float64      `json:"pmf,omitempty"`
+	Factor   float64        `json:"factor"`
+	Evals    int64          `json:"evals"`
+	MemoHits int64          `json:"memo_hits"`
+	BusyNS   int64          `json:"busy_ns,omitempty"`
+	Spans    []obs.SpanWire `json:"spans,omitempty"`
 }
 
 // HealthResponse is the worker health-check body.

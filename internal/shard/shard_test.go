@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"math"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/poibin"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
@@ -356,5 +359,215 @@ func TestEvaluatorMemoNeverChangesValues(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSessionTracedEvalImportsWorkerSpans: a session with a tracer set must
+// return exactly the untraced values (tracing is observability only) while
+// the job tracer accumulates one bound-check span per shard eval,
+// attributed to the owning worker's address.
+func TestSessionTracedEvalImportsWorkerSpans(t *testing.T) {
+	db := testDB(t)
+	srv1 := httptest.NewServer(NewWorker(nil))
+	defer srv1.Close()
+	srv2 := httptest.NewServer(NewWorker(nil))
+	defer srv2.Close()
+
+	c, err := NewClient([]string{srv1.URL, srv2.URL}, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const shards = 2
+	if err := c.Place(ctx, "t", db, shards); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := c.Kernel(ctx, nil, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	sess.SetTracer(tr)
+
+	x := itemset.FromInts(0)
+	parts, ok := sess.TailPMFs(x, 1, 2)
+	if !ok {
+		t.Fatal("traced TailPMFs failed")
+	}
+	factors, ok := sess.ClauseFactors(x, 1)
+	if !ok {
+		t.Fatal("traced ClauseFactors failed")
+	}
+
+	// Byte-identity against the local evaluator, exactly as the untraced
+	// round-trip test checks.
+	l := Layout{N: shards, Total: db.N()}
+	for i := 0; i < shards; i++ {
+		ev, err := NewEvaluator(db, l, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ev.TailPMF(x, 1, 2)
+		for j := range want {
+			if parts[i][j] != want[j] {
+				t.Fatalf("shard %d: traced PMF[%d] = %v, local %v", i, j, parts[i][j], want[j])
+			}
+		}
+		if wf := ev.ClauseFactor(x, 1); factors[i] != wf {
+			t.Fatalf("shard %d: traced factor %v, local %v", i, factors[i], wf)
+		}
+	}
+
+	// 2 ops × 2 shards = 4 remote spans, all bound-check, attributed to the
+	// placement's worker addresses (the ring may have put both shards on
+	// one worker).
+	p := tr.Profile()
+	var remoteSpans int64
+	seen := map[string]bool{}
+	for _, w := range p.Workers {
+		if w.Label == "" {
+			continue
+		}
+		seen[w.Label] = true
+		remoteSpans += w.Spans
+		for _, ph := range w.Phases {
+			if ph.Phase != obs.PhaseBoundCheck.String() {
+				t.Errorf("remote worker %s recorded phase %s, want %s", w.Label, ph.Phase, obs.PhaseBoundCheck)
+			}
+		}
+		if w.Worker != -1 {
+			t.Errorf("remote worker %s has Worker=%d, want -1", w.Label, w.Worker)
+		}
+	}
+	if remoteSpans != 4 {
+		t.Errorf("remote spans = %d, want 4", remoteSpans)
+	}
+	owners := map[string]bool{}
+	c.mu.Lock()
+	for _, addr := range c.placed["t"].workers {
+		owners[addr] = true
+	}
+	c.mu.Unlock()
+	if len(seen) != len(owners) {
+		t.Errorf("traced workers %v, placement owners %v", seen, owners)
+	}
+	for addr := range owners {
+		if !seen[addr] {
+			t.Errorf("placement owner %s missing from trace", addr)
+		}
+	}
+}
+
+// TestTraceIDHeaderReachesWorker: a trace ID installed on the job context
+// must arrive as the X-Pfcim-Trace header on every RPC of that job.
+func TestTraceIDHeaderReachesWorker(t *testing.T) {
+	db := testDB(t)
+	var mu sync.Mutex
+	var headers []string
+	w := NewWorker(nil)
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headers = append(headers, r.Header.Get(TraceHeader))
+		mu.Unlock()
+		w.ServeHTTP(rw, r)
+	}))
+	defer srv.Close()
+
+	c, err := NewClient([]string{srv.URL}, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithTraceID(context.Background(), "job-42")
+	if got := TraceIDFrom(ctx); got != "job-42" {
+		t.Fatalf("TraceIDFrom = %q, want job-42", got)
+	}
+	if err := c.Place(ctx, "t", db, 1); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Kernel(ctx, nil, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sess.TailPMFs(itemset.FromInts(0), 1, 2); !ok {
+		t.Fatal("TailPMFs failed")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(headers) < 2 { // 1 place + 1 eval at minimum
+		t.Fatalf("saw %d RPCs, want ≥ 2", len(headers))
+	}
+	for i, h := range headers {
+		if h != "job-42" {
+			t.Errorf("RPC %d carried trace header %q, want job-42", i, h)
+		}
+	}
+}
+
+// removalObserver records WorkerRemoved notifications.
+type removalObserver struct {
+	noopObserver
+	mu      sync.Mutex
+	removed []string
+}
+
+func (o *removalObserver) WorkerRemoved(addr string) {
+	o.mu.Lock()
+	o.removed = append(o.removed, addr)
+	o.mu.Unlock()
+}
+
+// TestRemoveWorker: removal shrinks the ring, notifies the observer so the
+// metric series retire, keeps future placements off the removed address,
+// and refuses to empty the ring.
+func TestRemoveWorker(t *testing.T) {
+	db := testDB(t)
+	srv := httptest.NewServer(NewWorker(nil))
+	defer srv.Close()
+
+	o := &removalObserver{}
+	c, err := NewClient([]string{srv.URL, "w2:9102", "w3:9103"}, time.Second, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveWorker("nope:1"); err == nil {
+		t.Error("removing an unknown worker must fail")
+	}
+	if err := c.RemoveWorker("w2:9102"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveWorker("w3:9103"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Workers(); len(got) != 1 || got[0] != srv.URL {
+		t.Fatalf("Workers() = %v, want [%s]", got, srv.URL)
+	}
+	if err := c.RemoveWorker(srv.URL); err == nil {
+		t.Error("removing the last worker must fail")
+	}
+
+	o.mu.Lock()
+	removed := append([]string(nil), o.removed...)
+	o.mu.Unlock()
+	if len(removed) != 2 || removed[0] != "w2:9102" || removed[1] != "w3:9103" {
+		t.Errorf("observer saw removals %v, want [w2:9102 w3:9103]", removed)
+	}
+
+	// New placements route every shard to the one surviving worker, and
+	// health checks no longer probe the removed addresses.
+	if err := c.Place(context.Background(), "t", db, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	for i, addr := range c.placed["t"].workers {
+		if addr != srv.URL {
+			t.Errorf("shard %d placed on %s after removal, want %s", i, addr, srv.URL)
+		}
+	}
+	c.mu.Unlock()
+	up := c.CheckHealth(context.Background())
+	if len(up) != 1 || !up[srv.URL] {
+		t.Errorf("CheckHealth = %v, want only %s up", up, srv.URL)
 	}
 }

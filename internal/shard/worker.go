@@ -9,8 +9,17 @@ import (
 	"sync"
 
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
+
+// TraceHeader carries the coordinator's trace/job ID on every shard RPC so
+// worker logs correlate with the coordinator's job records.
+const TraceHeader = "X-Pfcim-Trace"
+
+// workerTraceRing bounds the per-request tracer on the worker: each eval
+// RPC records exactly one span, so a small ring suffices.
+const workerTraceRing = 8
 
 // Worker is the HTTP surface of a shard worker: it accepts range-partition
 // slices at placement time and serves per-shard tail PMFs and clause
@@ -87,7 +96,8 @@ func (w *Worker) handlePlace(rw http.ResponseWriter, req *http.Request) {
 	w.mu.Lock()
 	w.slots[slotKey(pr.Dataset, pr.Shard)] = &workerSlot{eval: eval, hash: hash}
 	w.mu.Unlock()
-	w.log.Info("shard placed", "dataset", pr.Dataset, "shard", pr.Shard, "trans", eval.Trans())
+	w.log.Info("shard placed", "dataset", pr.Dataset, "shard", pr.Shard,
+		"trans", eval.Trans(), "trace", req.Header.Get(TraceHeader))
 	writeShardJSON(rw, http.StatusCreated, PlaceResponse{
 		Dataset: pr.Dataset, Shard: pr.Shard, Trans: eval.Trans(), Hash: hash,
 	})
@@ -109,9 +119,26 @@ func (w *Worker) handleEval(rw http.ResponseWriter, req *http.Request) {
 	x := itemset.FromInts(er.Items...)
 	ext := itemset.Item(er.Ext)
 
+	// When the coordinator asks for a trace, the evaluation runs under a
+	// short-lived per-request tracer whose spans ship back in the response.
+	// Both eval ops are shard-side halves of the coordinator's bound check,
+	// so they carry PhaseBoundCheck at the itemset's enumeration depth —
+	// mirroring how the inline kernel attributes the same work.
+	var tr *obs.Tracer
+	var rec *obs.Recorder
+	if er.Trace {
+		tr = obs.NewWithCapacity(workerTraceRing)
+		rec = tr.Recorder(0)
+		if tid := req.Header.Get(TraceHeader); tid != "" {
+			w.log.Debug("shard eval traced", "trace", tid, "op", er.Op,
+				"dataset", er.Dataset, "shard", er.Shard, "depth", len(er.Items))
+		}
+	}
+
 	slot.mu.Lock()
 	evals0, hits0 := slot.eval.Evals, slot.eval.MemoHits
 	var resp EvalResponse
+	start := rec.Now()
 	switch er.Op {
 	case OpPMF:
 		resp.PMF = slot.eval.TailPMF(x, ext, er.K)
@@ -122,9 +149,14 @@ func (w *Worker) handleEval(rw http.ResponseWriter, req *http.Request) {
 		writeShardError(rw, http.StatusBadRequest, fmt.Errorf("unknown op %q", er.Op))
 		return
 	}
+	rec.Span(obs.PhaseBoundCheck, len(er.Items), start)
 	resp.Evals = slot.eval.Evals - evals0
 	resp.MemoHits = slot.eval.MemoHits - hits0
 	slot.mu.Unlock()
+	if tr != nil {
+		b := tr.WireSpans()
+		resp.BusyNS, resp.Spans = b.BusyNS, b.Spans
+	}
 	writeShardJSON(rw, http.StatusOK, resp)
 }
 

@@ -3,9 +3,11 @@ package stream
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/probdata/pfcim/internal/core"
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
 
@@ -32,7 +34,36 @@ type Miner struct {
 	pending []itemset.Itemset
 	last    *core.Result
 	rounds  int
+
+	// onRound, when set, receives every successful round's telemetry after
+	// the round's state (Last, Rounds, the reuse cache) has been updated.
+	onRound func(RoundInfo)
 }
+
+// RoundInfo is one successful incremental round's telemetry: what the
+// round cost, what changed against the previous round, and how much of the
+// result was spliced from the reuse cache instead of re-mined.
+type RoundInfo struct {
+	Round   int           // 1-based index of the round just completed
+	Wall    time.Duration // wall time of the incremental mine
+	Results int           // itemsets in the round's full result
+	Diff    Diff
+	Stats   core.Stats
+}
+
+// ReuseRatio is the share of the round's result items replayed from the
+// reuse cache, in [0, 1]; 0 when the round produced nothing.
+func (ri RoundInfo) ReuseRatio() float64 {
+	if ri.Results == 0 {
+		return 0
+	}
+	return float64(ri.Stats.SplicedResults) / float64(ri.Results)
+}
+
+// SetOnRound installs the per-round telemetry hook (nil disables). The
+// service layer uses it to feed the watched-stream metrics; the hook runs
+// synchronously on the mining goroutine, so it must be cheap.
+func (m *Miner) SetOnRound(fn func(RoundInfo)) { m.onRound = fn }
 
 // NewMiner wraps a window for incremental mining with the given options.
 // Options are validated eagerly; BFS search is rejected (incremental runs
@@ -102,6 +133,7 @@ func (m *Miner) MineContext(ctx context.Context) (*core.Result, Diff, error) {
 	if err != nil {
 		return nil, Diff{}, err
 	}
+	start := time.Now()
 	res, err := core.MineIncremental(ctx, db, m.opts, m.cache, m.affected)
 	if err != nil {
 		// MineIncremental already Reset the cache; the pending set is now
@@ -114,7 +146,29 @@ func (m *Miner) MineContext(ctx context.Context) (*core.Result, Diff, error) {
 	m.last = res
 	m.rounds++
 	m.pending = m.pending[:0]
+	if m.onRound != nil {
+		m.onRound(RoundInfo{
+			Round:   m.rounds,
+			Wall:    time.Since(start),
+			Results: len(res.Itemsets),
+			Diff:    diff,
+			Stats:   res.Stats,
+		})
+	}
 	return res, diff, nil
+}
+
+// MineTraced runs one incremental round with tr attached as the round's
+// tracer, restoring the miner's configured tracer afterwards. The tracer
+// never influences mining (it is excluded from the canonical option key and
+// the kernels only write to it), so a traced round stays byte-identical to
+// an untraced one — this is how a watched job's per-round phase spans land
+// in the owning job's trace.
+func (m *Miner) MineTraced(ctx context.Context, tr *obs.Tracer) (*core.Result, Diff, error) {
+	prev := m.opts.Tracer
+	m.opts.Tracer = tr
+	defer func() { m.opts.Tracer = prev }()
+	return m.MineContext(ctx)
 }
 
 // Diff is the change set between two consecutive mining rounds over the

@@ -9,6 +9,7 @@ import (
 
 	"github.com/probdata/pfcim/internal/core"
 	"github.com/probdata/pfcim/internal/itemset"
+	"github.com/probdata/pfcim/internal/obs"
 	"github.com/probdata/pfcim/internal/poibin"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
@@ -292,5 +293,75 @@ func TestDiffJSONShape(t *testing.T) {
 	}
 	if j.Removed != nil || j.Changed != nil {
 		t.Fatalf("empty slices must be omitted: %+v", j)
+	}
+}
+
+// TestMinerRoundHook pins the per-round telemetry: the hook fires once per
+// successful round, its diff accounting covers the full result, the reuse
+// ratio hits 1 on a no-change round, and a traced round is byte-identical
+// to the untraced baseline.
+func TestMinerRoundHook(t *testing.T) {
+	table2 := []uncertain.Transaction{
+		{Items: itemset.FromInts(0, 1, 2, 3), Prob: 0.9},
+		{Items: itemset.FromInts(0, 1, 2), Prob: 0.6},
+		{Items: itemset.FromInts(0, 1, 2), Prob: 0.7},
+		{Items: itemset.FromInts(0, 1, 2, 3), Prob: 0.9},
+	}
+	opts := core.Options{MinSup: 2, PFCT: 0.8}
+	w, _ := NewWindow(8)
+	m, err := NewMiner(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []RoundInfo
+	m.SetOnRound(func(ri RoundInfo) { rounds = append(rounds, ri) })
+	for _, tr := range table2 {
+		if err := m.Push(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, _, err := m.MineContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	second, _, err := m.MineTraced(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Itemsets, second.Itemsets) {
+		t.Fatal("traced no-change round diverged from baseline")
+	}
+	if m.opts.Tracer != nil {
+		t.Fatal("MineTraced leaked the tracer into the miner's options")
+	}
+
+	if len(rounds) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(rounds))
+	}
+	r1, r2 := rounds[0], rounds[1]
+	if r1.Round != 1 || r2.Round != 2 {
+		t.Fatalf("round numbers %d, %d, want 1, 2", r1.Round, r2.Round)
+	}
+	if r1.Wall <= 0 || r2.Wall <= 0 {
+		t.Errorf("round wall times %v, %v must be positive", r1.Wall, r2.Wall)
+	}
+	// Diff accounting: added + changed + unchanged covers the round result.
+	for i, ri := range rounds {
+		if got := len(ri.Diff.Added) + len(ri.Diff.Changed) + ri.Diff.Unchanged; got != ri.Results {
+			t.Errorf("round %d: diff accounts for %d itemsets, result has %d", i+1, got, ri.Results)
+		}
+	}
+	if len(r1.Diff.Added) != len(first.Itemsets) {
+		t.Errorf("first round added %d, want %d", len(r1.Diff.Added), len(first.Itemsets))
+	}
+	if r1.ReuseRatio() != 0 {
+		t.Errorf("first-round reuse ratio %v, want 0", r1.ReuseRatio())
+	}
+	if r2.ReuseRatio() != 1 {
+		t.Errorf("no-change round reuse ratio %v, want 1", r2.ReuseRatio())
+	}
+	if (RoundInfo{}).ReuseRatio() != 0 {
+		t.Error("empty round must report reuse ratio 0")
 	}
 }
