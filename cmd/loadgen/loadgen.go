@@ -14,9 +14,11 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"os/exec"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/probdata/pfcim/internal/core"
@@ -48,6 +50,19 @@ type loadConfig struct {
 	// on it (the job keeps running server-side; the poll abandonment is
 	// counted as a saturation signal, not an error).
 	JobTimeout time.Duration
+
+	// RestartCmd, when set, is a shell command run RestartAfter into the run
+	// that kills and restarts the daemon (the durability scenario: the
+	// restarted process must recover from its -store-dir). Observations made
+	// during the outage — from firing the command until /healthz answers —
+	// land in "outage-"-prefixed classes, and requests on behalf of
+	// operations begun before the restart that fail after it (job polls
+	// whose in-memory job died with the old process) count as outage too,
+	// not as errors. Errors observed after recovery are the SLO headline:
+	// the summary's post_recovery_errors must be zero for a clean recovery.
+	RestartCmd      string
+	RestartAfter    time.Duration // default: half the run
+	RecoveryTimeout time.Duration // default: 60s
 }
 
 // classStats accumulates one endpoint class's observations.
@@ -58,17 +73,18 @@ type classStats struct {
 }
 
 type recorder struct {
-	mu      sync.Mutex
-	classes map[string]*classStats
-	jobsOK  int64
-	jobsErr int64
+	mu           sync.Mutex
+	classes      map[string]*classStats
+	jobsOK       int64
+	jobsErr      int64
+	postRecovery int64 // errors observed after a restart's recovery point
 }
 
 func newRecorder() *recorder {
 	return &recorder{classes: make(map[string]*classStats)}
 }
 
-func (r *recorder) observe(class string, d time.Duration, err bool, saturated bool) {
+func (r *recorder) observe(class string, d time.Duration, err bool, saturated bool, postRecovery bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	cs := r.classes[class]
@@ -79,6 +95,9 @@ func (r *recorder) observe(class string, d time.Duration, err bool, saturated bo
 	cs.latencies = append(cs.latencies, d)
 	if err {
 		cs.errors++
+		if postRecovery {
+			r.postRecovery++
+		}
 	}
 	if saturated {
 		cs.saturated++
@@ -90,17 +109,17 @@ func (r *recorder) observe(class string, d time.Duration, err bool, saturated bo
 // the repo's BENCH convention — an array of named points, flat scalars
 // first.
 type ReportPoint struct {
-	Name        string  `json:"name"`
-	Class       string  `json:"class,omitempty"`
-	Requests    int64   `json:"requests"`
-	Errors      int64   `json:"errors"`
-	Saturated   int64   `json:"saturated,omitempty"`
-	P50Millis   float64 `json:"p50_ms,omitempty"`
-	P95Millis   float64 `json:"p95_ms,omitempty"`
-	P99Millis   float64 `json:"p99_ms,omitempty"`
-	MaxMillis   float64 `json:"max_ms,omitempty"`
-	MeanMillis  float64 `json:"mean_ms,omitempty"`
-	PerSecond   float64 `json:"per_second,omitempty"`
+	Name       string  `json:"name"`
+	Class      string  `json:"class,omitempty"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Saturated  int64   `json:"saturated,omitempty"`
+	P50Millis  float64 `json:"p50_ms,omitempty"`
+	P95Millis  float64 `json:"p95_ms,omitempty"`
+	P99Millis  float64 `json:"p99_ms,omitempty"`
+	MaxMillis  float64 `json:"max_ms,omitempty"`
+	MeanMillis float64 `json:"mean_ms,omitempty"`
+	PerSecond  float64 `json:"per_second,omitempty"`
 	// Summary-only fields.
 	Target      string  `json:"target,omitempty"`
 	Seed        int64   `json:"seed,omitempty"`
@@ -108,6 +127,11 @@ type ReportPoint struct {
 	DurationSec float64 `json:"duration_sec,omitempty"`
 	JobsDone    int64   `json:"jobs_done,omitempty"`
 	JobsFailed  int64   `json:"jobs_failed,omitempty"`
+	// Restart-scenario fields (summary only, present when RestartCmd ran).
+	// PostRecoveryErrors is a pointer so a clean recovery serializes as an
+	// explicit 0 rather than vanishing under omitempty.
+	PostRecoveryErrors *int64  `json:"post_recovery_errors,omitempty"`
+	OutageMillis       float64 `json:"outage_ms,omitempty"`
 }
 
 // percentile is nearest-rank over a sorted slice.
@@ -125,7 +149,7 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
-func (r *recorder) report(cfg loadConfig, elapsed time.Duration) []ReportPoint {
+func (r *recorder) report(cfg loadConfig, elapsed, outage time.Duration) []ReportPoint {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.classes))
@@ -166,7 +190,7 @@ func (r *recorder) report(cfg loadConfig, elapsed time.Duration) []ReportPoint {
 		}
 		out = append(out, pt)
 	}
-	out = append(out, ReportPoint{
+	total := ReportPoint{
 		Name:        "loadgen-total",
 		Requests:    totalReq,
 		Errors:      totalErr,
@@ -178,8 +202,13 @@ func (r *recorder) report(cfg loadConfig, elapsed time.Duration) []ReportPoint {
 		DurationSec: elapsed.Seconds(),
 		JobsDone:    r.jobsOK,
 		JobsFailed:  r.jobsErr,
-	})
-	return out
+	}
+	if cfg.RestartCmd != "" {
+		pr := r.postRecovery
+		total.PostRecoveryErrors = &pr
+		total.OutageMillis = float64(outage) / float64(time.Millisecond)
+	}
+	return append(out, total)
 }
 
 // jobInfoWire is the slice of the daemon's job representation the load
@@ -207,6 +236,16 @@ type loadRun struct {
 	rec     *recorder
 	pinned  string // content-addressed dataset for submits/sweeps/replays
 	lineage string // append-target dataset for watched jobs and appends
+
+	// Restart-scenario state. phase is 0 before the restart fires, 1 during
+	// the outage, 2 once /healthz answers again. epoch counts completed
+	// recoveries: an operation captures it at start, and failures whose
+	// epoch is stale (the daemon restarted underneath them) are outage, not
+	// errors — the canonical case is a job poll 404ing because the job table
+	// died with the old process.
+	phase    atomic.Int32
+	epoch    atomic.Int64
+	outageNS atomic.Int64
 
 	mu        sync.Mutex
 	doneJobs  []string // terminal job IDs, for the trace class
@@ -237,7 +276,12 @@ func watchedOptionsAt(i int) core.OptionsJSON {
 	}
 }
 
-func (lr *loadRun) do(class string, method, path string, contentType string, body []byte) (*http.Response, []byte, error) {
+// do issues one request on behalf of an operation begun at epoch ep
+// (lr.epoch.Load() at the operation's start; standalone requests pass the
+// current epoch). Failures are demoted from error to outage when the outage
+// is in progress or the operation's epoch is stale — losing in-flight work
+// to a kill is the scenario, not an SLO violation.
+func (lr *loadRun) do(class string, method, path string, contentType string, body []byte, ep int64) (*http.Response, []byte, error) {
 	req, err := http.NewRequest(method, lr.cfg.Target+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, nil, err
@@ -248,26 +292,43 @@ func (lr *loadRun) do(class string, method, path string, contentType string, bod
 	start := time.Now()
 	resp, err := lr.hc.Do(req)
 	d := time.Since(start)
+	code := 0
+	var blob []byte
+	if err == nil {
+		var readErr error
+		blob, readErr = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			err = readErr
+		} else {
+			code = resp.StatusCode
+		}
+	}
+	// 503 (queue full pre-dates quotas) and 429 (quota or queue shed) are
+	// back-pressure working as designed: saturation, not errors.
+	saturated := code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests
+	isErr := err != nil || (code >= 400 && !saturated)
+	inOutage := lr.phase.Load() == 1
+	demoted := isErr && (inOutage || lr.epoch.Load() != ep)
+	if demoted {
+		isErr, saturated = false, true
+	}
+	if inOutage || demoted {
+		class = "outage-" + class
+	}
+	lr.rec.observe(class, d, isErr, saturated, lr.phase.Load() == 2)
 	if err != nil {
-		lr.rec.observe(class, d, true, false)
 		return nil, nil, err
 	}
-	blob, readErr := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if readErr != nil {
-		lr.rec.observe(class, d, true, false)
-		return nil, nil, readErr
-	}
-	isErr := resp.StatusCode >= 400 && resp.StatusCode != http.StatusServiceUnavailable
-	lr.rec.observe(class, d, isErr, resp.StatusCode == http.StatusServiceUnavailable)
 	return resp, blob, nil
 }
 
 // submitAndWait posts a job and polls it to a terminal state. The submit's
 // latency lands in submitClass; every poll lands in the status class.
 func (lr *loadRun) submitAndWait(submitClass, dataset string, opts core.OptionsJSON) {
+	ep := lr.epoch.Load()
 	body, _ := json.Marshal(map[string]any{"dataset": dataset, "options": opts})
-	resp, blob, err := lr.do(submitClass, http.MethodPost, "/v1/jobs", "application/json", body)
+	resp, blob, err := lr.do(submitClass, http.MethodPost, "/v1/jobs", "application/json", body, ep)
 	if err != nil || resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
 		return
 	}
@@ -294,11 +355,13 @@ func (lr *loadRun) submitAndWait(submitClass, dataset string, opts core.OptionsJ
 			return
 		}
 		if time.Now().After(deadline) {
-			lr.rec.observe(classStatus, 0, false, true) // abandoned wait = saturation
+			lr.rec.observe(classStatus, 0, false, true, false) // abandoned wait = saturation
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
-		resp, blob, err = lr.do(classStatus, http.MethodGet, "/v1/jobs/"+ji.ID, "", nil)
+		// Polls ride the submit's epoch: a 404 because the restart wiped the
+		// in-memory job table is outage, not an error.
+		resp, blob, err = lr.do(classStatus, http.MethodGet, "/v1/jobs/"+ji.ID, "", nil, ep)
 		if err != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(blob, &ji) != nil {
 			return
 		}
@@ -306,6 +369,7 @@ func (lr *loadRun) submitAndWait(submitClass, dataset string, opts core.OptionsJ
 }
 
 func (lr *loadRun) opSweep(rng *rand.Rand) {
+	ep := lr.epoch.Load()
 	pts := make([]sweep.PointJSON, 2+rng.Intn(2))
 	base := rng.Intn(8)
 	for i := range pts {
@@ -317,7 +381,7 @@ func (lr *loadRun) opSweep(rng *rand.Rand) {
 		"options": core.OptionsJSON{MinSup: 1, PFCT: 0.5},
 		"points":  pts,
 	})
-	resp, blob, err := lr.do(classSweep, http.MethodPost, "/v1/sweeps", "application/json", body)
+	resp, blob, err := lr.do(classSweep, http.MethodPost, "/v1/sweeps", "application/json", body, ep)
 	if err != nil || resp.StatusCode >= 300 {
 		return
 	}
@@ -327,7 +391,7 @@ func (lr *loadRun) opSweep(rng *rand.Rand) {
 		deadline := time.Now().Add(lr.cfg.JobTimeout)
 		for !terminal(ji.Status) && time.Now().Before(deadline) {
 			time.Sleep(10 * time.Millisecond)
-			resp, blob, err = lr.do(classStatus, http.MethodGet, "/v1/jobs/"+ji.ID, "", nil)
+			resp, blob, err = lr.do(classStatus, http.MethodGet, "/v1/jobs/"+ji.ID, "", nil, ep)
 			if err != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(blob, &ji) != nil {
 				return
 			}
@@ -345,10 +409,11 @@ func (lr *loadRun) opAppend(rng *rand.Rand) {
 	// RNG rounded to keep the text round-trip exact.
 	p := float64(50+rng.Intn(50)) / 100
 	line := fmt.Sprintf("1 2 %d : %.2f\n", 100+seq, p)
-	lr.do(classAppend, http.MethodPost, "/v1/datasets/"+lr.lineage+"/append", "text/plain", []byte(line))
+	lr.do(classAppend, http.MethodPost, "/v1/datasets/"+lr.lineage+"/append", "text/plain", []byte(line), lr.epoch.Load())
 }
 
 func (lr *loadRun) opTrace(rng *rand.Rand) {
+	ep := lr.epoch.Load()
 	lr.mu.Lock()
 	var id string
 	if len(lr.doneJobs) > 0 {
@@ -356,10 +421,10 @@ func (lr *loadRun) opTrace(rng *rand.Rand) {
 	}
 	lr.mu.Unlock()
 	if id == "" {
-		lr.do(classMetrics, http.MethodGet, "/metrics", "", nil)
+		lr.do(classMetrics, http.MethodGet, "/metrics", "", nil, ep)
 		return
 	}
-	lr.do(classTrace, http.MethodGet, "/v1/jobs/"+id+"/trace", "", nil)
+	lr.do(classTrace, http.MethodGet, "/v1/jobs/"+id+"/trace", "", nil, ep)
 }
 
 // worker is one generator goroutine: a deterministic op stream until the
@@ -386,7 +451,7 @@ func (lr *loadRun) worker(idx int, stop time.Time) {
 		case roll < 85:
 			lr.opSweep(rng)
 		case roll < 95:
-			lr.do(classMetrics, http.MethodGet, "/metrics", "", nil)
+			lr.do(classMetrics, http.MethodGet, "/metrics", "", nil, lr.epoch.Load())
 		default:
 			lr.opTrace(rng)
 		}
@@ -430,6 +495,50 @@ func (lr *loadRun) registerDatasets() error {
 	return err
 }
 
+// restartScenario fires the configured restart command mid-run, waits for
+// /healthz to answer again, and flips the run into its post-recovery phase.
+// It returns an error when the daemon never comes back.
+func (lr *loadRun) restartScenario() error {
+	after := lr.cfg.RestartAfter
+	if after <= 0 {
+		after = lr.cfg.Duration / 2
+	}
+	timeout := lr.cfg.RecoveryTimeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	time.Sleep(after)
+
+	lr.phase.Store(1)
+	outageStart := time.Now()
+	if out, err := exec.Command("sh", "-c", lr.cfg.RestartCmd).CombinedOutput(); err != nil {
+		return fmt.Errorf("restart command: %w: %s", err, strings.TrimSpace(string(out)))
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := lr.hc.Get(lr.cfg.Target + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon did not answer /healthz within %s of the restart", timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	lr.outageNS.Store(int64(time.Since(outageStart)))
+	// Trace targets died with the old process's job table; forget them so
+	// the trace class only fetches jobs mined by the recovered daemon.
+	lr.mu.Lock()
+	lr.doneJobs = nil
+	lr.mu.Unlock()
+	lr.epoch.Add(1)
+	lr.phase.Store(2)
+	return nil
+}
+
 // runLoad executes the configured workload and returns the report.
 func runLoad(cfg loadConfig) ([]ReportPoint, error) {
 	if cfg.Concurrency < 1 {
@@ -445,6 +554,12 @@ func runLoad(cfg loadConfig) ([]ReportPoint, error) {
 	}
 	start := time.Now()
 	stop := start.Add(cfg.Duration)
+	restartErr := make(chan error, 1)
+	if cfg.RestartCmd != "" {
+		go func() { restartErr <- lr.restartScenario() }()
+	} else {
+		restartErr <- nil
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Concurrency; i++ {
 		wg.Add(1)
@@ -454,5 +569,8 @@ func runLoad(cfg loadConfig) ([]ReportPoint, error) {
 		}(i)
 	}
 	wg.Wait()
-	return lr.rec.report(cfg, time.Since(start)), nil
+	if err := <-restartErr; err != nil {
+		return nil, err
+	}
+	return lr.rec.report(cfg, time.Since(start), time.Duration(lr.outageNS.Load())), nil
 }

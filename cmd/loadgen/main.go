@@ -15,6 +15,17 @@
 // runs against equivalent deployments replay the same request mix. The
 // daemon is left warm: datasets are content-addressed, so re-runs reuse
 // them, and the result cache keeps whatever the run minted.
+//
+// The durability scenario (-restart-cmd) kills and restarts the daemon
+// mid-run via a shell command and keeps generating through the outage:
+// observations during the outage land in "outage-"-prefixed classes, job
+// polls orphaned by the restart count as outage rather than errors, and
+// the summary gains post_recovery_errors and outage_ms — a clean recovery
+// from -store-dir reports post_recovery_errors: 0 (CI writes this report
+// as BENCH_8.json):
+//
+//	loadgen -target http://127.0.0.1:18080 -duration 20s \
+//	        -restart-cmd './kill-and-restart.sh' -out BENCH_8.json
 package main
 
 import (
@@ -37,15 +48,21 @@ func run() int {
 		seed        = flag.Int64("seed", 1, "workload seed (same seed = same request sequence)")
 		jobTimeout  = flag.Duration("job-timeout", 30*time.Second, "per-job wait bound before abandoning the poll")
 		out         = flag.String("out", "BENCH_7.json", "report path (- for stdout)")
+		restartCmd  = flag.String("restart-cmd", "", "shell command that kills and restarts the daemon mid-run (durability scenario)")
+		restartAt   = flag.Duration("restart-after", 0, "when into the run to fire -restart-cmd (0 = halfway)")
+		recoveryTO  = flag.Duration("recovery-timeout", 60*time.Second, "how long to wait for /healthz after -restart-cmd")
 	)
 	flag.Parse()
 
 	report, err := runLoad(loadConfig{
-		Target:      *target,
-		Duration:    *duration,
-		Concurrency: *concurrency,
-		Seed:        *seed,
-		JobTimeout:  *jobTimeout,
+		Target:          *target,
+		Duration:        *duration,
+		Concurrency:     *concurrency,
+		Seed:            *seed,
+		JobTimeout:      *jobTimeout,
+		RestartCmd:      *restartCmd,
+		RestartAfter:    *restartAt,
+		RecoveryTimeout: *recoveryTO,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -68,5 +85,12 @@ func run() int {
 	total := report[len(report)-1]
 	fmt.Printf("loadgen: %d requests (%.1f/s), %d errors, %d saturated, %d jobs done, %d failed → %s\n",
 		total.Requests, total.PerSecond, total.Errors, total.Saturated, total.JobsDone, total.JobsFailed, *out)
+	if total.PostRecoveryErrors != nil {
+		fmt.Printf("loadgen: restart scenario: outage %.0f ms, post-recovery errors %d\n",
+			total.OutageMillis, *total.PostRecoveryErrors)
+		if *total.PostRecoveryErrors > 0 {
+			return 1
+		}
+	}
 	return 0
 }

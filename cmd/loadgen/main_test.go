@@ -28,13 +28,16 @@ func TestRunLoadAgainstCoordinator(t *testing.T) {
 		urls[i] = srv.URL
 		defer srv.Close()
 	}
-	s := service.New(service.Config{
+	s, err := service.New(service.Config{
 		Workers:         2,
 		Logger:          quietLogger(),
 		Shards:          2,
 		ShardWorkers:    urls,
 		ShardRPCTimeout: 5 * time.Second,
 	})
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
 		ts.Close()
@@ -117,6 +120,92 @@ func TestRunLoadAgainstCoordinator(t *testing.T) {
 		if _, ok := pt["name"]; !ok {
 			t.Errorf("point without name: %v", pt)
 		}
+	}
+}
+
+// TestRunLoadRestartScenarioPlumbing runs the restart scenario with a no-op
+// restart command against an in-process daemon: the phase machinery must
+// fire (outage measured, epoch bumped), the summary must carry an explicit
+// post_recovery_errors — zero, since nothing actually died — and the post-
+// recovery traffic must all succeed. The real kill-restart run is CI's
+// BENCH_8.json step against the built binary.
+func TestRunLoadRestartScenarioPlumbing(t *testing.T) {
+	s, err := service.New(service.Config{Workers: 2, Logger: quietLogger()})
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+
+	report, err := runLoad(loadConfig{
+		Target:       ts.URL,
+		Duration:     2 * time.Second,
+		Concurrency:  2,
+		Seed:         3,
+		JobTimeout:   20 * time.Second,
+		RestartCmd:   "true",
+		RestartAfter: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := report[len(report)-1]
+	if total.Name != "loadgen-total" {
+		t.Fatalf("last point is %q, want the summary", total.Name)
+	}
+	if total.PostRecoveryErrors == nil {
+		t.Fatal("restart run summary lacks post_recovery_errors")
+	}
+	if *total.PostRecoveryErrors != 0 {
+		t.Fatalf("post_recovery_errors = %d, want 0 (nothing was killed)", *total.PostRecoveryErrors)
+	}
+	if total.OutageMillis <= 0 {
+		t.Fatalf("outage_ms = %v, want > 0 (healthz round-trip at least)", total.OutageMillis)
+	}
+	if total.Errors != 0 {
+		t.Fatalf("no-op restart produced %d errors", total.Errors)
+	}
+	// The summary must round-trip with the explicit zero present.
+	blob, err := json.Marshal(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back["post_recovery_errors"]; !ok || v != float64(0) {
+		t.Fatalf("summary JSON lacks explicit post_recovery_errors: %s", blob)
+	}
+}
+
+func TestRunLoadRestartCommandFailure(t *testing.T) {
+	s, err := service.New(service.Config{Workers: 1, Logger: quietLogger()})
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	_, err = runLoad(loadConfig{
+		Target:       ts.URL,
+		Duration:     1 * time.Second,
+		Concurrency:  1,
+		Seed:         4,
+		RestartCmd:   "exit 7",
+		RestartAfter: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("failing restart command should fail the run")
 	}
 }
 

@@ -72,7 +72,7 @@ func run() int {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		workers       = flag.Int("workers", 0, "mining worker pool size (0 = GOMAXPROCS)")
-		queueDepth    = flag.Int("queue-depth", 64, "maximum queued jobs before submissions get 503")
+		queueDepth    = flag.Int("queue-depth", 64, "maximum queued jobs before submissions are shed with 429")
 		cacheSize     = flag.Int("cache-size", 128, "result cache entries (-1 disables caching)")
 		maxJobTime    = flag.Duration("max-job-time", 0, "per-job wall-time cap (0 = unlimited)")
 		tailMemo      = flag.Int("tail-memo-entries", 0, "default Options.TailMemoEntries for jobs that leave it unset (0 = library default, negative disables)")
@@ -89,6 +89,9 @@ func run() int {
 		shards        = flag.Int("shards", 0, "default shard count for jobs that leave options.shards unset (≥ 2 partitions tail computation)")
 		shardTimeout  = flag.Duration("shard-rpc-timeout", 5*time.Second, "per-attempt shard RPC timeout")
 		shardHealth   = flag.Duration("shard-health-interval", 10*time.Second, "shard worker health probe period")
+		storeDir      = flag.String("store-dir", "", "durable store directory: lineages and results persist across restarts (empty = in-memory only)")
+		quota         = flag.Float64("quota", 0, "per-tenant job/sweep submissions per second, shed with 429 beyond it (0 = unlimited)")
+		quotaBurst    = flag.Int("quota-burst", 0, "per-tenant token-bucket burst behind -quota (0 derives one second's worth)")
 	)
 	flag.Parse()
 
@@ -118,7 +121,7 @@ func run() int {
 		return 2
 	}
 
-	srv := service.New(service.Config{
+	srv, err := service.New(service.Config{
 		Workers:             *workers,
 		QueueDepth:          *queueDepth,
 		CacheSize:           *cacheSize,
@@ -133,8 +136,15 @@ func run() int {
 		ShardWorkers:        workerAddrs,
 		ShardRPCTimeout:     *shardTimeout,
 		ShardHealthInterval: *shardHealth,
+		StoreDir:            *storeDir,
+		QuotaRate:           *quota,
+		QuotaBurst:          *quotaBurst,
 		Logger:              logger,
 	})
+	if err != nil {
+		logger.Error("daemon init failed", "error", err)
+		return 1
+	}
 
 	for _, path := range strings.Split(*preload, ",") {
 		path = strings.TrimSpace(path)

@@ -33,7 +33,14 @@ func buildBinary(t *testing.T) string {
 // for the listen address.
 func startDaemon(t *testing.T, args ...string) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(buildBinary(t), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	return startDaemonBin(t, buildBinary(t), args...)
+}
+
+// startDaemonBin is startDaemon with a pre-built binary, so kill-restart
+// tests reuse one build across daemon generations.
+func startDaemonBin(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

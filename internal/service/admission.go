@@ -1,0 +1,113 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantHeader names the request header that attributes a submission to a
+// tenant for quota accounting. Absent or empty means the shared default
+// tenant — quotas still apply, so an anonymous flood cannot starve the pool.
+const TenantHeader = "X-Pfcim-Tenant"
+
+const defaultTenant = "default"
+
+// maxTenantBuckets bounds the tenant table so unbounded tenant-name
+// cardinality (malicious or buggy clients minting fresh names per request)
+// cannot grow memory without limit. Full (= idle) buckets are evicted
+// first; evicting one only forgets that the tenant was idle, which is the
+// state a brand-new bucket starts in anyway, so eviction never grants or
+// steals tokens.
+const maxTenantBuckets = 4096
+
+// admission is the per-tenant token-bucket gate in front of the job queue:
+// each tenant accrues rate tokens per second up to burst, and a submission
+// spends one. It shapes sustained load per tenant; the bounded queue depth
+// behind it still caps the daemon's total backlog.
+type admission struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	now     func() time.Time // test seam
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newAdmission builds the gate; rate ≤ 0 disables quotas (nil gate).
+func newAdmission(rate float64, burst int) *admission {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		// A burst below the rate would shed inside the first second even at
+		// the allowed pace; default to one second's worth, minimum 1.
+		burst = int(math.Max(1, math.Ceil(rate)))
+	}
+	return &admission{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*tokenBucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token from tenant's bucket. When the bucket is empty it
+// reports how long until the next token accrues, so the 429 can carry a
+// meaningful retry hint.
+func (a *admission) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	b := a.buckets[tenant]
+	if b == nil {
+		if len(a.buckets) >= maxTenantBuckets {
+			a.evictIdleLocked(now)
+		}
+		b = &tokenBucket{tokens: a.burst, last: now}
+		a.buckets[tenant] = b
+	}
+	b.tokens = math.Min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.rate)
+	b.last = now
+	if b.tokens < 1 {
+		return false, time.Duration((1 - b.tokens) / a.rate * float64(time.Second))
+	}
+	b.tokens--
+	return true, 0
+}
+
+// evictIdleLocked drops buckets that have refilled to (near) full — idle
+// tenants whose state a fresh bucket reproduces — and, if every tenant is
+// somehow active at the cap, the stalest bucket as a last resort.
+func (a *admission) evictIdleLocked(now time.Time) {
+	var stalest string
+	var stalestAt time.Time
+	for name, b := range a.buckets {
+		idle := math.Min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.rate) >= a.burst-1e-9
+		if idle {
+			delete(a.buckets, name)
+			continue
+		}
+		if stalest == "" || b.last.Before(stalestAt) {
+			stalest, stalestAt = name, b.last
+		}
+	}
+	if len(a.buckets) >= maxTenantBuckets && stalest != "" {
+		delete(a.buckets, stalest)
+	}
+}
+
+// tenants returns the number of tracked tenant buckets.
+func (a *admission) tenants() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buckets)
+}

@@ -13,11 +13,17 @@ import (
 // probabilities, and all scheduling-independent statistics are
 // byte-identical across runs, parallelism settings, and memo budgets — so a
 // cached entry is indistinguishable from re-mining.
+// With a durable store attached the cache becomes its read/write-through
+// front: a finished result is snapshotted to disk as it enters the LRU, and
+// a miss consults the store before reporting failure, promoting disk hits —
+// so a restarted daemon (or an entry the LRU evicted) still answers as a
+// cache hit instead of re-mining.
 type resultCache struct {
 	mu      sync.Mutex
 	max     int
 	ll      *list.List // front = most recently used
 	entries map[string]*list.Element
+	persist *persister // nil without -store-dir
 }
 
 type cacheEntry struct {
@@ -35,21 +41,42 @@ func newResultCache(max int) *resultCache {
 	return &resultCache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// get returns the cached result for key, promoting it to most recent.
+// get returns the cached result for key, promoting it to most recent. On an
+// LRU miss with a store attached, the stored snapshot is read through and
+// promoted — indistinguishable from a memory hit to callers, which is the
+// point: restored results count as cache hits, not re-mines.
 func (c *resultCache) get(key string) (core.ResultJSON, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+	if c.persist == nil {
+		return core.ResultJSON{}, false
+	}
+	res, ok := c.persist.loadResult(key)
 	if !ok {
 		return core.ResultJSON{}, false
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	c.putMem(key, res)
+	return res, true
 }
 
 // put stores a result, evicting the least recently used entry beyond the
-// capacity. A zero or negative capacity disables the cache.
+// capacity, and snapshots it to the durable store when one is attached. A
+// zero or negative capacity disables the in-memory tier but not the store:
+// durability does not depend on the LRU budget.
 func (c *resultCache) put(key string, res core.ResultJSON) {
+	c.putMem(key, res)
+	if c.persist != nil {
+		c.persist.saveResult(key, res)
+	}
+}
+
+func (c *resultCache) putMem(key string, res core.ResultJSON) {
 	if c.max <= 0 {
 		return
 	}

@@ -25,7 +25,10 @@ func FuzzJobsRequest(f *testing.F) {
 	f.Add([]byte(`{"dataset": 42}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"dataset": "x", "options": {"min_sup": 2, "pfct": 0.8}, "timeout_ms": -1}`))
-	s := New(Config{Workers: 1, QueueDepth: 1, Logger: quietLogger()})
+	s, err := New(Config{Workers: 1, QueueDepth: 1, Logger: quietLogger()})
+	if err != nil {
+		f.Fatalf("New: %v", err)
+	}
 	handler := s.Handler()
 	f.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -63,7 +63,7 @@ type job struct {
 	opts     core.Options     // parsed, with daemon defaults applied
 	optKey   string           // canonical options key (second cache-key half)
 	cacheKey string
-	traceID  string // minted at submit when tracing is on; rides every shard RPC of the job
+	traceID  string      // minted at submit when tracing is on; rides every shard RPC of the job
 	slots    []sweepSlot // sweep jobs: one per grid point
 	timeout  time.Duration
 
@@ -102,9 +102,9 @@ type JobInfo struct {
 	FinishedAt  *time.Time       `json:"finished_at,omitempty"`
 	// WallMillis is the mining duration (start to completion); QueueWaitMillis
 	// the time spent queued before a worker picked the job up.
-	WallMillis      int64             `json:"wall_ms,omitempty"`
-	QueueWaitMillis int64             `json:"queue_wait_ms,omitempty"`
-	Result          *core.ResultJSON  `json:"result,omitempty"`
+	WallMillis      int64            `json:"wall_ms,omitempty"`
+	QueueWaitMillis int64            `json:"queue_wait_ms,omitempty"`
+	Result          *core.ResultJSON `json:"result,omitempty"`
 	// Diff is set on watched (@latest) jobs: the closed itemsets that were
 	// added, removed, or changed relative to the lineage's previous watched
 	// mine under the same canonical options (all-added on the first).

@@ -48,6 +48,20 @@ type metrics struct {
 	ShardTailMemoHits    expvar.Int // worker-side per-shard tail memo hits
 	ShardPlacements      expvar.Int // dataset shard placements completed
 
+	// Durable-store counters (all zero without -store-dir).
+	StoreDatasetsPersisted expvar.Int // dataset versions written through to the store
+	StoreLineagesPersisted expvar.Int // lineage records written through to the store
+	StoreResultsPersisted  expvar.Int // finished results snapshotted to the store
+	StoreRestoredDatasets  expvar.Int // dataset versions restored at startup
+	StoreRestoredResults   expvar.Int // results served from disk by cache read-through
+	StoreQuarantined       expvar.Int // segments quarantined by recovery at startup
+	StoreErrors            expvar.Int // store reads/writes that failed or failed validation
+
+	// Admission-control counters: submissions rejected before touching the
+	// queue or the pool.
+	JobsShedQueueFull expvar.Int // submissions shed because the queue was full
+	JobsShedQuota     expvar.Int // submissions shed by a tenant's token quota
+
 	MineWallMillis expvar.Int // cumulative wall time spent mining
 
 	// Cumulative core.Stats counters across every finished job — the
@@ -263,6 +277,15 @@ func (m *metrics) vars() []metricVar {
 		{"shard_tail_evaluations", &m.ShardTailEvaluations, false, "Worker-side per-shard tail computations."},
 		{"shard_tail_memo_hits", &m.ShardTailMemoHits, false, "Worker-side per-shard tail memo hits."},
 		{"shard_placements", &m.ShardPlacements, false, "Dataset shard placements completed."},
+		{"store_datasets_persisted", &m.StoreDatasetsPersisted, false, "Dataset versions written through to the durable store."},
+		{"store_lineages_persisted", &m.StoreLineagesPersisted, false, "Lineage records written through to the durable store."},
+		{"store_results_persisted", &m.StoreResultsPersisted, false, "Finished results snapshotted to the durable store."},
+		{"store_restored_datasets", &m.StoreRestoredDatasets, false, "Dataset versions restored from the store at startup."},
+		{"store_restored_results", &m.StoreRestoredResults, false, "Results served from disk by cache read-through."},
+		{"store_quarantined", &m.StoreQuarantined, false, "Store segments quarantined by recovery at startup."},
+		{"store_errors", &m.StoreErrors, false, "Store operations that failed or failed validation."},
+		{"jobs_shed_queue_full", &m.JobsShedQueueFull, false, "Submissions shed because the job queue was full."},
+		{"jobs_shed_quota", &m.JobsShedQuota, false, "Submissions shed by a tenant's token quota."},
 		{"mine_wall_ms", &m.MineWallMillis, false, "Cumulative wall time spent mining, in milliseconds."},
 		{"nodes_visited", &m.NodesVisited, false, "Enumeration-tree nodes visited."},
 		{"candidate_items", &m.CandidateItems, false, "Single items that survived the candidate phase."},

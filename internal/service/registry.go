@@ -82,6 +82,10 @@ type Registry struct {
 	mu       sync.RWMutex
 	byID     map[string]*Dataset
 	lineages map[string]*lineage // keyed by root ID
+	// persist, when set, write-throughs every mutation to the durable store
+	// before acknowledging it; a failed write rolls the mutation back so the
+	// registry never claims state the disk does not hold.
+	persist *persister
 }
 
 // NewRegistry returns an empty registry.
@@ -126,8 +130,14 @@ func (r *Registry) Register(db *uncertain.DB, immutable bool) (*Dataset, bool, e
 		RegisteredAt: time.Now(),
 		db:           db,
 	}
+	lin := &lineage{root: id, immutable: immutable, versions: []*Dataset{d}}
+	if r.persist != nil {
+		if err := r.persist.saveDataset(d, lin); err != nil {
+			return nil, false, fmt.Errorf("service: durable store rejected registration: %w", err)
+		}
+	}
 	r.byID[id] = d
-	r.lineages[id] = &lineage{root: id, immutable: immutable, versions: []*Dataset{d}}
+	r.lineages[id] = lin
 	return d, true, nil
 }
 
@@ -217,8 +227,14 @@ func (r *Registry) Append(ref string, extra []uncertain.Transaction) (*Dataset, 
 		RegisteredAt: time.Now(),
 		db:           db,
 	}
-	r.byID[id] = d
 	lin.versions = append(lin.versions, d)
+	if r.persist != nil {
+		if err := r.persist.saveDataset(d, lin); err != nil {
+			lin.versions = lin.versions[:len(lin.versions)-1]
+			return nil, false, fmt.Errorf("service: durable store rejected append: %w", err)
+		}
+	}
+	r.byID[id] = d
 	return d, true, nil
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"github.com/probdata/pfcim/internal/core"
 	"github.com/probdata/pfcim/internal/shard"
+	"github.com/probdata/pfcim/internal/store"
 	"github.com/probdata/pfcim/internal/sweep"
 	"github.com/probdata/pfcim/internal/uncertain"
 )
@@ -72,6 +73,20 @@ type Config struct {
 	// ShardHealthInterval is the period of the background worker health
 	// probe loop. Default 10s.
 	ShardHealthInterval time.Duration
+	// StoreDir, when set, makes the daemon durable: dataset lineages are
+	// written through to a disk store before being acknowledged, finished
+	// results are snapshotted on write, and startup restores both — prior
+	// results then serve as cache hits and lineages resume at their
+	// recorded version. Empty keeps the daemon fully in-memory.
+	StoreDir string
+	// QuotaRate, when positive, admits at most this many job/sweep
+	// submissions per second per tenant (X-Pfcim-Tenant header; absent maps
+	// to a shared default tenant). Excess submissions are shed with a
+	// structured 429. Zero disables per-tenant quotas.
+	QuotaRate float64
+	// QuotaBurst is the token-bucket depth behind QuotaRate; 0 derives one
+	// second's worth of tokens (minimum 1).
+	QuotaBurst int
 	// Logger receives structured logs. Default: slog.Default().
 	Logger *slog.Logger
 }
@@ -111,16 +126,22 @@ type Server struct {
 	jobs      *Manager
 	cache     *resultCache
 	metrics   *metrics
+	store     *store.Store // nil without StoreDir
+	persist   *persister   // nil without StoreDir
+	quota     *admission   // nil without QuotaRate
 	started   time.Time
 	mux       *http.ServeMux
-	handler   http.Handler // mux behind the request-ID middleware
-	reqSeq    atomic.Int64 // request-ID sequence
+	handler   http.Handler       // mux behind the request-ID middleware
+	reqSeq    atomic.Int64       // request-ID sequence
 	shards    *shard.Client      // nil unless ShardWorkers were configured
 	shardStop context.CancelFunc // stops the worker health loop
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool. With a StoreDir it opens
+// (tolerantly — damaged segments are quarantined, not fatal) and restores
+// the durable store first, so the returned server already serves every
+// recorded lineage and snapshotted result.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -128,14 +149,35 @@ func New(cfg Config) *Server {
 		registry: NewRegistry(),
 		cache:    newResultCache(cfg.CacheSize),
 		metrics:  newMetrics(),
+		quota:    newAdmission(cfg.QuotaRate, cfg.QuotaBurst),
 		started:  time.Now(),
 		mux:      http.NewServeMux(),
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.Recover(cfg.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: open durable store: %w", err)
+		}
+		s.store = st
+		s.persist = &persister{st: st, log: s.log, mtr: s.metrics}
+		s.registry.persist = s.persist
+		s.cache.persist = s.persist
+		if q := st.Quarantined(); len(q) > 0 {
+			s.metrics.StoreQuarantined.Add(int64(len(q)))
+			s.log.Warn("durable store quarantined damaged segments", "files", q)
+		}
+		restored, err := s.registry.restore(s.persist)
+		if err != nil {
+			return nil, fmt.Errorf("service: restore durable store: %w", err)
+		}
+		_, _, results := st.Counts()
+		s.log.Info("durable store restored", "dir", cfg.StoreDir,
+			"datasets", restored, "results", results)
 	}
 	if len(cfg.ShardWorkers) > 0 {
 		client, err := shard.NewClient(cfg.ShardWorkers, cfg.ShardRPCTimeout, s.metrics)
 		if err != nil {
-			// Only an empty worker list fails, and that is excluded above.
-			panic(fmt.Sprintf("service: shard client: %v", err))
+			return nil, fmt.Errorf("service: shard client: %w", err)
 		}
 		s.shards = client
 		hctx, stop := context.WithCancel(context.Background())
@@ -167,7 +209,7 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	s.handler = s.withRequestID(s.mux)
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler (request-ID middleware
@@ -270,9 +312,15 @@ type sweepRequest struct {
 
 // errorResponse is every error body; Field is set when the error is
 // attributable to one request field (e.g. an unknown or mistyped one).
+// Load-shed rejections (429) additionally carry the machine-readable
+// Reason ("quota" or "queue_full"), the tenant that was throttled, and a
+// retry hint mirroring the Retry-After header.
 type errorResponse struct {
-	Error string `json:"error"`
-	Field string `json:"field,omitempty"`
+	Error        string `json:"error"`
+	Field        string `json:"field,omitempty"`
+	Reason       string `json:"reason,omitempty"`
+	Tenant       string `json:"tenant,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // badFieldError carries the name of the request field that caused a 400.
@@ -480,6 +528,9 @@ func (s *Server) resolveStatus(err error) int {
 // --- job handlers ---
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var req jobRequest
 	if err := decodeStrict(io.LimitReader(r.Body, 1<<20), &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -501,6 +552,9 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var req sweepRequest
 	if err := decodeStrict(io.LimitReader(r.Body, 1<<20), &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -522,11 +576,21 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeSubmitResult maps a submission outcome to the HTTP response shared
-// by jobs and sweeps: 202 queued, 200 cache hit, 503 overload, 400 invalid.
+// by jobs and sweeps: 202 queued, 200 cache hit, 429 shed (queue full — a
+// structured, retryable rejection distinct from the 503 a shutting-down
+// daemon returns), 400 invalid.
 func (s *Server) writeSubmitResult(w http.ResponseWriter, info JobInfo, err error) {
 	switch {
 	case err == nil:
-	case err == ErrQueueFull, err == ErrShuttingDown:
+	case err == ErrQueueFull:
+		s.metrics.JobsShedQueueFull.Add(1)
+		s.writeShed(w, errorResponse{
+			Error:        err.Error(),
+			Reason:       "queue_full",
+			RetryAfterMS: 1000, // no per-job ETA; one second is the honest generic hint
+		})
+		return
+	case err == ErrShuttingDown:
 		s.writeError(w, http.StatusServiceUnavailable, err)
 		return
 	default:
@@ -538,6 +602,43 @@ func (s *Server) writeSubmitResult(w http.ResponseWriter, info JobInfo, err erro
 		status = http.StatusOK
 	}
 	s.writeJSON(w, status, info)
+}
+
+// writeShed renders one structured 429 with its Retry-After header
+// (rounded up to whole seconds, the header's resolution).
+func (s *Server) writeShed(w http.ResponseWriter, resp errorResponse) {
+	retrySec := (resp.RetryAfterMS + 999) / 1000
+	if retrySec < 1 {
+		retrySec = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retrySec))
+	s.writeJSON(w, http.StatusTooManyRequests, resp)
+}
+
+// admit applies the per-tenant quota to one submission; on rejection it has
+// already written the 429 and the caller must return.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.quota == nil {
+		return true
+	}
+	tenant := r.Header.Get(TenantHeader)
+	ok, retryAfter := s.quota.allow(tenant)
+	if ok {
+		return true
+	}
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	s.metrics.JobsShedQuota.Add(1)
+	s.rlog(r).Warn("submission shed by quota", "tenant", tenant,
+		"retry_after_ms", retryAfter.Milliseconds())
+	s.writeShed(w, errorResponse{
+		Error:        fmt.Sprintf("service: tenant %q exceeded its submission quota (%g/s)", tenant, s.cfg.QuotaRate),
+		Reason:       "quota",
+		Tenant:       tenant,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+	return false
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {

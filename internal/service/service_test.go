@@ -29,7 +29,10 @@ func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Logger == nil {
 		cfg.Logger = quietLogger()
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -361,7 +364,7 @@ func TestCancelQueuedJob(t *testing.T) {
 }
 
 func TestQueueFullRejects(t *testing.T) {
-	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 1})
+	s, ts := testServer(t, Config{Workers: 1, QueueDepth: 1})
 	hard := uploadDB(t, ts.URL, hardDB(t))
 	submit := func(minSup int) *http.Response {
 		return postJSON(t, ts.URL+"/v1/jobs", jobRequest{
@@ -371,22 +374,31 @@ func TestQueueFullRejects(t *testing.T) {
 	var ids []string
 	sawFull := false
 	// One job occupies the worker, one fills the queue; a submission after
-	// that must be rejected with 503. The worker may dequeue between our
-	// submissions, so allow a few attempts.
+	// that must be shed with a structured 429. The worker may dequeue
+	// between our submissions, so allow a few attempts.
 	for minSup := 4; minSup < 10 && !sawFull; minSup++ {
 		resp := submit(minSup)
 		switch resp.StatusCode {
 		case http.StatusAccepted:
 			ids = append(ids, decode[JobInfo](t, resp).ID)
-		case http.StatusServiceUnavailable:
+		case http.StatusTooManyRequests:
 			sawFull = true
-			resp.Body.Close()
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("queue-full 429 lacks Retry-After")
+			}
+			er := decode[errorResponse](t, resp)
+			if er.Reason != "queue_full" {
+				t.Errorf("queue-full reason = %q, want queue_full", er.Reason)
+			}
 		default:
 			t.Fatalf("unexpected status %d", resp.StatusCode)
 		}
 	}
 	if !sawFull {
 		t.Error("queue never reported full")
+	}
+	if s.Metrics()["jobs_shed_queue_full"] < 1 {
+		t.Error("jobs_shed_queue_full not counted")
 	}
 	for _, id := range ids { // drain fast
 		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)

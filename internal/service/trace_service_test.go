@@ -201,17 +201,17 @@ func TestAcceptNegotiationTable(t *testing.T) {
 		{"text/plain;version=0.0.4", true},
 		{"application/openmetrics-text;version=1.0.0", true},
 		{"application/json", false},
-		{"application/json, text/plain", false},       // equal q, equal specificity: first wins
-		{"text/plain, application/json", true},        // and symmetrically
-		{"application/json;q=0.5, text/plain", true},  // higher q wins regardless of order
+		{"application/json, text/plain", false},      // equal q, equal specificity: first wins
+		{"text/plain, application/json", true},       // and symmetrically
+		{"application/json;q=0.5, text/plain", true}, // higher q wins regardless of order
 		{"text/plain;q=0.2, application/json;q=0.9", false},
-		{"text/plain;q=0", false},                     // q=0 excludes the range
-		{"text/*", true},                              // wildcard text family
+		{"text/plain;q=0", false}, // q=0 excludes the range
+		{"text/*", true},          // wildcard text family
 		{"text/*;q=0.9, application/json;q=0.5", true},
-		{"text/*, application/json", false},           // specific beats wildcard at equal q
-		{"*/*", false},                                // full wildcard keeps the JSON default
+		{"text/*, application/json", false}, // specific beats wildcard at equal q
+		{"*/*", false},                      // full wildcard keeps the JSON default
 		{"*/*;q=0.1, text/plain;q=0.05", false},
-		{"text/html", false},                          // unrelated types are ignored
+		{"text/html", false}, // unrelated types are ignored
 		{"text/plain; q=0.8, text/html", true},
 		{"garbage;;q=,", false},
 	} {

@@ -60,22 +60,22 @@ func (e *RPCError) Unwrap() error { return e.Err }
 // maps them onto Prometheus metrics. All methods must be safe for
 // concurrent use. A nil Observer is replaced by a no-op.
 type Observer interface {
-	ShardRPC(d time.Duration)                // one completed RPC attempt (any outcome)
-	ShardRetry()                             // an RPC attempt is being retried
-	WorkerUp(addr string, up bool)           // health-check verdict for one worker
-	WorkerRemoved(addr string)               // worker taken out of the ring
-	ShardEvalStats(evals, memoHits int64)    // worker-side tail accounting deltas
+	ShardRPC(d time.Duration)                 // one completed RPC attempt (any outcome)
+	ShardRetry()                              // an RPC attempt is being retried
+	WorkerUp(addr string, up bool)            // health-check verdict for one worker
+	WorkerRemoved(addr string)                // worker taken out of the ring
+	ShardEvalStats(evals, memoHits int64)     // worker-side tail accounting deltas
 	PlacementDone(dataset string, shards int) // a dataset finished placement
 }
 
 type noopObserver struct{}
 
-func (noopObserver) ShardRPC(time.Duration)          {}
-func (noopObserver) ShardRetry()                     {}
-func (noopObserver) WorkerUp(string, bool)           {}
-func (noopObserver) WorkerRemoved(string)            {}
-func (noopObserver) ShardEvalStats(int64, int64)     {}
-func (noopObserver) PlacementDone(string, int)       {}
+func (noopObserver) ShardRPC(time.Duration)      {}
+func (noopObserver) ShardRetry()                 {}
+func (noopObserver) WorkerUp(string, bool)       {}
+func (noopObserver) WorkerRemoved(string)        {}
+func (noopObserver) ShardEvalStats(int64, int64) {}
+func (noopObserver) PlacementDone(string, int)   {}
 
 // Client is the coordinator side of the shard protocol: it places range
 // partitions on workers via the consistent-hash ring and evaluates

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// faultWorkload drives a store through a fixed operation sequence on fs,
+// recording for every key the value whose Put succeeded (committed) and the
+// value of the last attempt (attempted, committed or not). It stops at the
+// first error — after a crash-mode fault nothing else can succeed anyway.
+type faultWorkload struct {
+	committed map[string][]byte // "kind/key" → last successfully written value
+	attempted map[string][]byte // "kind/key" → value of the in-flight write, if any
+}
+
+func runFaultWorkload(fs FS, dir string) *faultWorkload {
+	w := &faultWorkload{committed: map[string][]byte{}, attempted: map[string][]byte{}}
+	s, err := OpenFS(fs, dir, true)
+	if err != nil {
+		return w
+	}
+	step := func(label string, value []byte, put func() error) bool {
+		w.attempted[label] = value
+		if err := put(); err != nil {
+			return false
+		}
+		w.committed[label] = value
+		delete(w.attempted, label)
+		return true
+	}
+	ops := []struct {
+		label string
+		value []byte
+		put   func(v []byte) error
+	}{
+		{"dataset/d1", []byte("2 2\n0:0.5\n1:0.25\n"), func(v []byte) error { return s.PutDataset("d1", v) }},
+		{"lineage/d1", []byte(`{"versions":["d1"]}`), func(v []byte) error { return s.PutLineage("d1", v) }},
+		{"result/d1\nminsup=2", []byte(`{"itemsets":[1]}`), func(v []byte) error { return s.PutResult("d1\nminsup=2", v) }},
+		{"dataset/d2", []byte("1 1\n0:0.75\n"), func(v []byte) error { return s.PutDataset("d2", v) }},
+		{"lineage/d1", []byte(`{"versions":["d1","d2"]}`), func(v []byte) error { return s.PutLineage("d1", v) }},
+		{"result/d2\nminsup=1", []byte(`{"itemsets":[2]}`), func(v []byte) error { return s.PutResult("d2\nminsup=1", v) }},
+	}
+	for _, op := range ops {
+		op := op
+		if !step(op.label, op.value, func() error { return op.put(op.value) }) {
+			return w
+		}
+	}
+	return w
+}
+
+// readBack fetches one workload key from a recovered store.
+func readBack(t *testing.T, s *Store, label string) ([]byte, bool) {
+	t.Helper()
+	var (
+		got []byte
+		ok  bool
+		err error
+	)
+	switch {
+	case len(label) > 8 && label[:8] == "dataset/":
+		got, ok, err = s.GetDataset(label[8:])
+	case len(label) > 8 && label[:8] == "lineage/":
+		got, ok, err = s.GetLineage(label[8:])
+	case len(label) > 7 && label[:7] == "result/":
+		got, ok, err = s.GetResult(label[7:])
+	default:
+		t.Fatalf("bad workload label %q", label)
+	}
+	if err != nil {
+		t.Fatalf("read %q from recovered store: %v", label, err)
+	}
+	return got, ok
+}
+
+// TestFaultInjectionAtomicity is the package's central property test: for
+// every fault mode and every possible injection point N, a workload driven
+// into the fault and then recovered must show each entry either fully
+// applied (byte-identical to a value that was written for it) or cleanly
+// absent — never a third state — and crash-protocol faults must leave
+// nothing to quarantine.
+func TestFaultInjectionAtomicity(t *testing.T) {
+	modes := []struct {
+		name string
+		mode FaultMode
+	}{
+		{"error", FaultError},
+		{"crash", FaultCrash},
+		{"short-write", FaultShortWrite},
+		{"torn-rename", FaultTornRename},
+	}
+	for _, m := range modes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			t.Parallel()
+			for n := 1; ; n++ {
+				dir := t.TempDir()
+				ffs := NewFaultFS(OS(), m.mode, n)
+				w := runFaultWorkload(ffs, dir)
+				if !ffs.Fired() {
+					// The workload finished before op N: every later N is a
+					// clean run too, so the space is exhausted.
+					if n < 10 {
+						t.Fatalf("workload used only %d mutating ops — too few to be a real test", n-1)
+					}
+					break
+				}
+
+				rec, err := Recover(dir)
+				if err != nil {
+					t.Fatalf("n=%d: Recover after fault: %v", n, err)
+				}
+
+				// Properties 1+2: every entry is fully applied or cleanly
+				// absent. A present value must be byte-identical to a value
+				// that was actually written for that key — never a splice.
+				// Absence is legal only when nothing was committed, with one
+				// carve-out: a torn rename may destroy the destination of the
+				// one in-flight overwrite (no write protocol survives a
+				// non-atomic rename damaging its target); the damaged file
+				// must then be quarantined, which the reads below prove by
+				// the entry reading back absent rather than corrupt.
+				labels := map[string]bool{}
+				for l := range w.committed {
+					labels[l] = true
+				}
+				for l := range w.attempted {
+					labels[l] = true
+				}
+				for label := range labels {
+					got, ok := readBack(t, rec, label)
+					prev, hadPrev := w.committed[label]
+					want, inFlight := w.attempted[label]
+					if ok {
+						if (hadPrev && bytes.Equal(got, prev)) || (inFlight && bytes.Equal(got, want)) {
+							continue // fully applied (old or new value)
+						}
+						t.Fatalf("n=%d: %q holds %q — neither committed %q nor attempted %q",
+							n, label, got, prev, want)
+					}
+					if hadPrev && !(m.mode == FaultTornRename && inFlight) {
+						t.Fatalf("n=%d: committed %q lost after recovery", n, label)
+					}
+				}
+				// Property 3: the atomic protocol never leaves damage for the
+				// crash and error modes; a torn rename may damage at most the
+				// one in-flight destination, and that file is quarantined,
+				// never served (the reads above already proved non-serving).
+				q := rec.Quarantined()
+				if m.mode == FaultTornRename {
+					if len(q) > 1 {
+						t.Fatalf("n=%d: torn rename quarantined %d files: %v", n, len(q), q)
+					}
+				} else if len(q) != 0 {
+					t.Fatalf("n=%d: %s fault left corrupt files: %v", n, m.name, q)
+				}
+
+				// Property 4: after recovery the store is strictly valid again
+				// (quarantine moved any damage out of the data directories).
+				if _, err := Open(dir); err != nil {
+					t.Fatalf("n=%d: strict Open after recovery: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultErrorIsTransient pins FaultError semantics: the failed write
+// surfaces ErrInjected, and the store keeps working afterwards.
+func TestFaultErrorIsTransient(t *testing.T) {
+	dir := t.TempDir()
+	clean, err := Open(dir) // initialize with a clean FS
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = clean
+	// Open consumes 4 MkdirAll ops on an initialized dir; arm op 5 so
+	// the fault hits the first write of PutResult.
+	ffs := NewFaultFS(OS(), FaultError, 5)
+	s, err := OpenFS(ffs, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutResult("k", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("PutResult under fault: %v, want ErrInjected", err)
+	}
+	if err := s.PutResult("k", []byte("v")); err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	got, ok, err := s.GetResult("k")
+	if err != nil || !ok || string(got) != "v" {
+		t.Fatalf("after retry: (%q, %v, %v)", got, ok, err)
+	}
+}
+
+// TestFaultCrashLatches pins crash semantics: once tripped, every later
+// mutating op fails too.
+func TestFaultCrashLatches(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS(), FaultCrash, 5) // past the 4 MkdirAll ops of open
+	s, err := OpenFS(ffs, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.PutResult(fmt.Sprintf("k%d", i), []byte("v")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d after crash: %v, want ErrInjected", i, err)
+		}
+	}
+}

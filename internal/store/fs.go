@@ -1,0 +1,247 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FS is the slice of filesystem behaviour the store needs, factored out so
+// tests can inject faults (errors, short writes, torn renames) at any point
+// of the write protocol. The production implementation is osFS; FaultFS
+// wraps any FS and fails the Nth mutating operation. Every durability claim
+// in this package is pinned by a property test that drives the store
+// through FaultFS and asserts the on-disk state recovers cleanly.
+type FS interface {
+	MkdirAll(dir string) error
+	ReadDir(dir string) ([]string, error) // entry names, files only
+	ReadFile(path string) ([]byte, error)
+	Create(path string) (File, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	// SyncDir fsyncs the directory so a completed rename survives power
+	// loss. On filesystems without directory handles it may be a no-op.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle Create returns: written, synced, closed —
+// in that order — by the atomic-write protocol.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OS returns the production filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems refuse to fsync directories (EINVAL); the rename
+		// is still atomic, only its persistence across power loss weakens.
+		if errors.Is(err, os.ErrInvalid) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// ErrInjected is the error every FaultFS failure returns (wrapped with the
+// operation that failed), so tests can tell injected faults from real ones.
+var ErrInjected = errors.New("store: injected fault")
+
+// FaultMode selects how FaultFS fails the target operation.
+type FaultMode int
+
+const (
+	// FaultError fails the Nth mutating op with ErrInjected; later ops
+	// proceed normally (a transient fault — the caller's cleanup runs).
+	FaultError FaultMode = iota
+	// FaultCrash fails the Nth and every later mutating op, modeling the
+	// process dying mid-protocol: not even cleanup runs.
+	FaultCrash
+	// FaultShortWrite writes only the first half of the Nth write's bytes
+	// before failing, then behaves like FaultCrash — modeling a torn page
+	// hitting disk as the process dies.
+	FaultShortWrite
+	// FaultTornRename copies only a prefix of the source to the destination
+	// on the Nth rename (then crashes), modeling a filesystem whose rename
+	// is not atomic across power loss. The destination is corrupt; the
+	// store must quarantine it, never serve it.
+	FaultTornRename
+)
+
+// FaultFS wraps an FS and fails the Nth mutating operation (1-based)
+// according to Mode. Reads never fail: the injection models write-path
+// faults; recovery reopens the directory with a clean FS anyway.
+type FaultFS struct {
+	Inner FS
+	Mode  FaultMode
+
+	mu      sync.Mutex
+	n       int  // ops until the fault fires (counts down)
+	crashed bool // FaultCrash/FaultShortWrite/FaultTornRename tripped
+	fired   bool
+}
+
+// NewFaultFS arms a fault at the nth mutating operation.
+func NewFaultFS(inner FS, mode FaultMode, n int) *FaultFS {
+	return &FaultFS{Inner: inner, Mode: mode, n: n}
+}
+
+// Fired reports whether the armed fault triggered.
+func (f *FaultFS) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// step consumes one mutating operation and reports whether it must fail.
+func (f *FaultFS) step() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return true
+	}
+	f.n--
+	if f.n > 0 {
+		return false
+	}
+	if f.n < 0 {
+		return false // FaultError already fired; later ops succeed
+	}
+	f.fired = true
+	if f.Mode != FaultError {
+		f.crashed = true
+	}
+	return true
+}
+
+func (f *FaultFS) fail(op string) error { return fmt.Errorf("%w: %s", ErrInjected, op) }
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if f.step() {
+		return f.fail("mkdir " + dir)
+	}
+	return f.Inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.Inner.ReadFile(path) }
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if f.step() {
+		return nil, f.fail("create " + path)
+	}
+	file, err := f.Inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, path: path}, nil
+}
+
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if f.step() {
+		if f.Mode == FaultTornRename {
+			// Model a non-atomic rename torn by power loss: the destination
+			// materializes with a prefix of the source, the source survives.
+			if data, err := f.Inner.ReadFile(oldPath); err == nil {
+				if dst, err := f.Inner.Create(newPath); err == nil {
+					dst.Write(data[:len(data)/2])
+					dst.Sync()
+					dst.Close()
+				}
+			}
+		}
+		return f.fail("rename " + oldPath)
+	}
+	return f.Inner.Rename(oldPath, newPath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if f.step() {
+		return f.fail("remove " + path)
+	}
+	return f.Inner.Remove(path)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if f.step() {
+		return f.fail("syncdir " + dir)
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+// faultFile threads the write/sync/close ops of one file through the
+// injection counter.
+type faultFile struct {
+	fs   *FaultFS
+	f    File
+	path string
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.fs.step() {
+		if ff.fs.Mode == FaultShortWrite && len(p) > 0 {
+			n, _ := ff.f.Write(p[:len(p)/2])
+			return n, ff.fs.fail("short write " + ff.path)
+		}
+		return 0, ff.fs.fail("write " + ff.path)
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.fs.step() {
+		return ff.fs.fail("sync " + ff.path)
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	if ff.fs.step() {
+		ff.f.Close() // release the descriptor either way
+		return ff.fs.fail("close " + ff.path)
+	}
+	return ff.f.Close()
+}
+
+// join is filepath.Join under a short local name (the store builds many
+// paths).
+func join(parts ...string) string { return filepath.Join(parts...) }

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreOpen pins the strict-open contract against arbitrary on-disk
+// bytes: two fuzz-controlled files are planted in a store (one posing as a
+// result segment, one as a dataset segment) next to a valid manifest, and
+// Open must either succeed — in which case every indexed entry must read
+// back and re-encode byte-identically, i.e. only genuinely valid segments
+// are ever served — or fail with a structured *CorruptError/*VersionError.
+// It must never panic and never serve bytes that fail the checksum.
+func FuzzStoreOpen(f *testing.F) {
+	// Seed the interesting shapes: valid segments of each kind, the empty
+	// file, bare magic, truncations, bit flips, a future version, trailing
+	// garbage, oversized length fields, and a kind/directory mismatch.
+	valid := encodeSegment(KindResult, "abc\nminsup=2 tau=0.9", []byte(`{"itemsets":[[1,2]]}`))
+	validDS := encodeSegment(KindDataset, "abc", []byte("2 2\n0:0.5 1:0.7\n1:1\n"))
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x01
+	future := append([]byte(nil), valid...)
+	future[7] = 2
+	badKind := append([]byte(nil), valid...)
+	badKind[8] = 0xee
+	f.Add(valid, validDS)
+	f.Add(validDS, valid) // kinds swapped into the wrong directories
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte(segMagic), []byte("not a segment at all"))
+	f.Add(valid[:len(valid)/3], validDS[:10])
+	f.Add(flip, future)
+	f.Add(badKind, append(valid, 0xaa))
+	f.Add(encodeSegment(KindManifest, manifestKey, []byte(`{"schema":1}`)), []byte{})
+
+	f.Fuzz(func(t *testing.T, resultBytes, datasetBytes []byte) {
+		dir := t.TempDir()
+		if _, err := Open(dir); err != nil { // lay down a valid manifest + layout
+			t.Fatalf("init: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, dirResults, "fuzz.seg"), resultBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, dirDatasets, "fuzz.seg"), datasetBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s, err := Open(dir)
+		if err != nil {
+			var ce *CorruptError
+			var ve *VersionError
+			if !errors.As(err, &ce) && !errors.As(err, &ve) {
+				t.Fatalf("unstructured rejection: %v", err)
+			}
+			return
+		}
+		// Open accepted the files: they must be exactly valid segments —
+		// every served payload re-reads and re-encodes to the planted bytes.
+		for _, key := range s.ResultKeys() {
+			payload, ok, err := s.GetResult(key)
+			if err != nil || !ok {
+				t.Fatalf("indexed result %q unreadable: (%v, %v)", key, ok, err)
+			}
+			if !bytes.Equal(encodeSegment(KindResult, key, payload), resultBytes) {
+				t.Fatalf("served result is not the canonical encoding of the file")
+			}
+		}
+		for _, id := range s.DatasetIDs() {
+			payload, ok, err := s.GetDataset(id)
+			if err != nil || !ok {
+				t.Fatalf("indexed dataset %q unreadable: (%v, %v)", id, ok, err)
+			}
+			if !bytes.Equal(encodeSegment(KindDataset, id, payload), datasetBytes) {
+				t.Fatalf("served dataset is not the canonical encoding of the file")
+			}
+		}
+
+		// Recover on the same bytes must also hold the line: anything it
+		// keeps must be servable, anything else quarantined, never both.
+		rec, err := Recover(dir)
+		if err != nil {
+			t.Fatalf("Recover after accepting Open: %v", err)
+		}
+		if len(rec.Quarantined()) != 0 {
+			t.Fatalf("Recover quarantined files strict Open accepted: %v", rec.Quarantined())
+		}
+	})
+}

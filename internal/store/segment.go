@@ -1,0 +1,172 @@
+package store
+
+// The on-disk unit is the segment: one self-validating file holding one
+// entry. The layout is versioned and checksummed end to end:
+//
+//	offset        size  field
+//	0             4     magic "PFCS"
+//	4             4     format version, big-endian uint32 (currently 1)
+//	8             1     kind (manifest / dataset / lineage / result)
+//	9             4     key length K, big-endian uint32
+//	13            K     key, UTF-8
+//	13+K          8     payload length P, big-endian uint64
+//	21+K          P     payload
+//	21+K+P        32    SHA-256 over bytes [0, 21+K+P)
+//
+// A segment is written with the atomic protocol (temp file in the same
+// directory → write → fsync → close → rename → fsync directory), so a
+// crash at any point leaves either the previous state or the complete new
+// segment — never a half-written one under the final name. The checksum
+// footer exists for everything the rename protocol cannot promise: torn
+// non-atomic renames, bit rot, truncation, and hand-edited files. Decoding
+// rejects trailing bytes, so a segment file is exactly one segment.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	segMagic   = "PFCS"
+	segVersion = 1
+	// segOverhead is the byte cost of a segment beyond key and payload.
+	segOverhead = 4 + 4 + 1 + 4 + 8 + sha256.Size
+	// maxKeyLen bounds decoded key lengths so corrupt length fields cannot
+	// drive huge allocations. Cache keys are a dataset hash plus a rendered
+	// option list — well under this.
+	maxKeyLen = 1 << 12
+	// maxPayloadLen likewise bounds payloads (64 MiB — far beyond any
+	// serialized result or lineage record; datasets cap uploads earlier).
+	maxPayloadLen = 64 << 20
+)
+
+// Kind tags what a segment holds.
+type Kind byte
+
+const (
+	KindManifest Kind = 1
+	KindDataset  Kind = 2
+	KindLineage  Kind = 3
+	KindResult   Kind = 4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindManifest:
+		return "manifest"
+	case KindDataset:
+		return "dataset"
+	case KindLineage:
+		return "lineage"
+	case KindResult:
+		return "result"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+func (k Kind) valid() bool { return k >= KindManifest && k <= KindResult }
+
+// CorruptError is the structured rejection for any segment that fails
+// validation: wrong magic, unknown kind, bad lengths, checksum mismatch,
+// trailing garbage. Strict Open returns it; Recover quarantines the file
+// instead and records it.
+type CorruptError struct {
+	Path   string // segment file (may be empty when decoding raw bytes)
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("store: corrupt segment: %s", e.Reason)
+	}
+	return fmt.Sprintf("store: corrupt segment %s: %s", e.Path, e.Reason)
+}
+
+// VersionError rejects segments written by a future (or mangled) format
+// version — distinct from CorruptError so a migration tool can tell "not
+// ours" from "damaged".
+type VersionError struct {
+	Path    string
+	Version uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("store: segment %s has format version %d; this build reads version %d",
+		e.Path, e.Version, segVersion)
+}
+
+// encodeSegment renders one segment's canonical bytes.
+func encodeSegment(kind Kind, key string, payload []byte) []byte {
+	buf := make([]byte, 0, segOverhead+len(key)+len(payload))
+	buf = append(buf, segMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, segVersion)
+	buf = append(buf, byte(kind))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// decodeSegment validates data as exactly one segment and returns its
+// parts. path only labels errors.
+func decodeSegment(path string, data []byte) (Kind, string, []byte, error) {
+	corrupt := func(format string, args ...any) error {
+		return &CorruptError{Path: path, Reason: fmt.Sprintf(format, args...)}
+	}
+	if len(data) < segOverhead {
+		return 0, "", nil, corrupt("%d bytes is shorter than the minimal segment (%d)", len(data), segOverhead)
+	}
+	if string(data[:4]) != segMagic {
+		return 0, "", nil, corrupt("bad magic %q", data[:4])
+	}
+	if v := binary.BigEndian.Uint32(data[4:8]); v != segVersion {
+		return 0, "", nil, &VersionError{Path: path, Version: v}
+	}
+	kind := Kind(data[8])
+	if !kind.valid() {
+		return 0, "", nil, corrupt("unknown kind %d", data[8])
+	}
+	keyLen := binary.BigEndian.Uint32(data[9:13])
+	if keyLen > maxKeyLen {
+		return 0, "", nil, corrupt("key length %d exceeds the limit %d", keyLen, maxKeyLen)
+	}
+	if uint64(len(data)) < uint64(13)+uint64(keyLen)+8 {
+		return 0, "", nil, corrupt("truncated inside the key")
+	}
+	key := string(data[13 : 13+keyLen])
+	payloadLen := binary.BigEndian.Uint64(data[13+keyLen : 21+keyLen])
+	if payloadLen > maxPayloadLen {
+		return 0, "", nil, corrupt("payload length %d exceeds the limit %d", payloadLen, maxPayloadLen)
+	}
+	body := uint64(21) + uint64(keyLen) + payloadLen
+	if uint64(len(data)) < body+sha256.Size {
+		return 0, "", nil, corrupt("truncated inside the payload")
+	}
+	if uint64(len(data)) != body+sha256.Size {
+		return 0, "", nil, corrupt("%d trailing bytes after the checksum", uint64(len(data))-body-sha256.Size)
+	}
+	sum := sha256.Sum256(data[:body])
+	if !bytes.Equal(sum[:], data[body:]) {
+		return 0, "", nil, corrupt("checksum mismatch")
+	}
+	payload := make([]byte, payloadLen)
+	copy(payload, data[21+keyLen:body])
+	return kind, key, payload, nil
+}
+
+// readSegment loads and fully re-validates one segment file. Validation on
+// every read (not just at Open) means an entry that rots after startup is
+// still rejected rather than served.
+func readSegment(fs FS, path string) (Kind, string, []byte, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return 0, "", nil, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	return decodeSegment(path, data)
+}
+
+const tmpSuffix = ".tmp"

@@ -1,0 +1,395 @@
+// Package store is pfcimd's durable tier: a disk-backed, content-addressed
+// store for dataset lineages and mined results. Everything it holds is
+// immutable-by-key (datasets and results are content-addressed; lineage
+// records are replaced atomically), every file is a self-validating
+// checksummed segment (see segment.go), and every write follows the
+// temp-fsync-rename protocol, so the store is crash-safe by construction:
+// a SIGKILL at any instant leaves each entry either fully applied or
+// cleanly absent. The fault-injection property test and FuzzStoreOpen pin
+// those claims. Caching mined results on disk is sound for the same reason
+// the in-memory cache is: mining is deterministic per (dataset content,
+// canonical options) — DESIGN §8.3 — so a restored result is
+// byte-identical to re-mining.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	manifestName = "MANIFEST.seg"
+	manifestKey  = "pfcim-store"
+	// schemaVersion is the directory-layout version recorded in the
+	// manifest payload; the segment header versions the file format.
+	schemaVersion = 1
+
+	dirDatasets = "datasets"
+	dirLineages = "lineages"
+	dirResults  = "results"
+)
+
+// manifestPayload is the manifest segment's JSON body.
+type manifestPayload struct {
+	Schema int `json:"schema"`
+}
+
+// Store is one open store directory. All methods are safe for concurrent
+// use.
+type Store struct {
+	fs     FS
+	dir    string
+	tmpSeq atomic.Int64 // unique temp-file names under concurrent writes
+
+	mu          sync.Mutex
+	datasets    map[string]string // dataset id → file name
+	lineages    map[string]string // lineage root → file name
+	results     map[string]string // result cache key → file name
+	quarantined []string          // files moved aside by Recover
+}
+
+// Open opens (creating if absent) the store at dir, validating every
+// committed segment. Any invalid segment fails Open with a structured
+// *CorruptError or *VersionError — strict mode never guesses. Stray temp
+// files from interrupted writes are removed; they are expected crash
+// artifacts, not corruption.
+func Open(dir string) (*Store, error) { return OpenFS(OS(), dir, true) }
+
+// Recover opens the store tolerantly: invalid segments are moved aside to
+// "<name>.corrupt" — never served, never deleted — and recorded in
+// Quarantined. The daemon opens its store this way so one damaged entry
+// costs that entry, not startup.
+func Recover(dir string) (*Store, error) { return OpenFS(OS(), dir, false) }
+
+// OpenFS is Open/Recover over an explicit filesystem (the test seam).
+func OpenFS(fs FS, dir string, strict bool) (*Store, error) {
+	s := &Store{
+		fs:       fs,
+		dir:      dir,
+		datasets: map[string]string{},
+		lineages: map[string]string{},
+		results:  map[string]string{},
+	}
+	for _, d := range []string{dir, join(dir, dirDatasets), join(dir, dirLineages), join(dir, dirResults)} {
+		if err := fs.MkdirAll(d); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	// Sweep interrupted manifest writes in the root (scanDir handles the
+	// kind subdirectories).
+	if names, err := fs.ReadDir(dir); err == nil {
+		for _, name := range names {
+			if strings.HasSuffix(name, tmpSuffix) {
+				fs.Remove(join(dir, name))
+			}
+		}
+	}
+	if err := s.openManifest(strict); err != nil {
+		return nil, err
+	}
+	for _, sub := range []struct {
+		dir  string
+		kind Kind
+		idx  map[string]string
+	}{
+		{dirDatasets, KindDataset, s.datasets},
+		{dirLineages, KindLineage, s.lineages},
+		{dirResults, KindResult, s.results},
+	} {
+		if err := s.scanDir(sub.dir, sub.kind, sub.idx, strict); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// openManifest validates (or initializes) the store marker. A directory
+// with segments but no manifest is rejected in strict mode: it means the
+// commit point of initialization was never reached or the marker was lost,
+// either way the layout is unaccounted for.
+func (s *Store) openManifest(strict bool) error {
+	path := join(s.dir, manifestName)
+	data, err := s.fs.ReadFile(path)
+	switch {
+	case err == nil:
+		kind, key, payload, derr := decodeSegment(path, data)
+		if derr == nil && (kind != KindManifest || key != manifestKey) {
+			derr = &CorruptError{Path: path, Reason: fmt.Sprintf("manifest has kind %s key %q", kind, key)}
+		}
+		var m manifestPayload
+		if derr == nil {
+			if jerr := json.Unmarshal(payload, &m); jerr != nil {
+				derr = &CorruptError{Path: path, Reason: "manifest payload is not valid JSON"}
+			} else if m.Schema != schemaVersion {
+				derr = &VersionError{Path: path, Version: uint32(m.Schema)}
+			}
+		}
+		if derr == nil {
+			return nil
+		}
+		if strict {
+			return derr
+		}
+		if qerr := s.quarantine(s.dir, manifestName); qerr != nil {
+			return qerr
+		}
+		return s.writeManifest()
+	default:
+		// No manifest. An empty store initializes; a populated one without
+		// its marker is suspicious in strict mode.
+		if strict {
+			for _, sub := range []string{dirDatasets, dirLineages, dirResults} {
+				names, _ := s.fs.ReadDir(join(s.dir, sub))
+				for _, name := range names {
+					if strings.HasSuffix(name, ".seg") {
+						return &CorruptError{Path: path, Reason: fmt.Sprintf("manifest missing but %s/%s exists", sub, name)}
+					}
+				}
+			}
+		}
+		return s.writeManifest()
+	}
+}
+
+func (s *Store) writeManifest() error {
+	payload, err := json.Marshal(manifestPayload{Schema: schemaVersion})
+	if err != nil {
+		return err
+	}
+	return s.write(s.dir, manifestName, KindManifest, manifestKey, payload)
+}
+
+// scanDir sweeps temp files, validates every segment, and indexes keys.
+func (s *Store) scanDir(sub string, kind Kind, idx map[string]string, strict bool) error {
+	dir := join(s.dir, sub)
+	names, err := s.fs.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := join(dir, name)
+		if strings.HasSuffix(name, tmpSuffix) {
+			// An interrupted write's temp file: the entry was never
+			// committed, so removing it is the correct recovery.
+			s.fs.Remove(path)
+			continue
+		}
+		if !strings.HasSuffix(name, ".seg") {
+			continue // quarantined .corrupt files and foreign debris
+		}
+		gotKind, key, _, err := readSegment(s.fs, path)
+		if err == nil && gotKind != kind {
+			err = &CorruptError{Path: path, Reason: fmt.Sprintf("segment kind %s in the %s directory", gotKind, sub)}
+		}
+		if err == nil {
+			if prev, dup := idx[key]; dup {
+				err = &CorruptError{Path: path, Reason: fmt.Sprintf("key %q already held by %s", key, prev)}
+			}
+		}
+		if err != nil {
+			if strict {
+				return err
+			}
+			if qerr := s.quarantine(dir, name); qerr != nil {
+				return qerr
+			}
+			continue
+		}
+		idx[key] = name
+	}
+	return nil
+}
+
+// quarantine moves a damaged file aside so it is never served but stays
+// available for forensics.
+func (s *Store) quarantine(dir, name string) error {
+	path := join(dir, name)
+	if err := s.fs.Rename(path, path+".corrupt"); err != nil {
+		return fmt.Errorf("store: quarantine %s: %w", path, err)
+	}
+	s.mu.Lock()
+	s.quarantined = append(s.quarantined, path)
+	s.mu.Unlock()
+	return nil
+}
+
+// write persists one segment under a collision-free temp name.
+func (s *Store) write(dir, name string, kind Kind, key string, payload []byte) error {
+	data := encodeSegment(kind, key, payload)
+	final := join(dir, name)
+	tmp := fmt.Sprintf("%s.%d%s", final, s.tmpSeq.Add(1), tmpSuffix)
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", final, err)
+	}
+	cleanup := func(err error) error {
+		s.fs.Remove(tmp) // best effort; Open sweeps stray temps anyway
+		return fmt.Errorf("store: write %s: %w", final, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		return cleanup(err)
+	}
+	if err := s.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: write %s: %w", final, err)
+	}
+	return nil
+}
+
+// get reads and re-validates one indexed entry. Validation happens on
+// every read, not just at Open: an entry that rots after startup is
+// rejected, never served.
+func (s *Store) get(sub string, kind Kind, idx map[string]string, key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	name, ok := idx[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	path := join(s.dir, sub, name)
+	gotKind, gotKey, payload, err := readSegment(s.fs, path)
+	if err != nil {
+		return nil, false, err
+	}
+	if gotKind != kind || gotKey != key {
+		return nil, false, &CorruptError{Path: path,
+			Reason: fmt.Sprintf("segment holds (%s, %q), index expected (%s, %q)", gotKind, gotKey, kind, key)}
+	}
+	return payload, true, nil
+}
+
+func (s *Store) put(sub string, kind Kind, idx map[string]string, key, name string, payload []byte) error {
+	if err := s.write(join(s.dir, sub), name, kind, key, payload); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	idx[key] = name
+	s.mu.Unlock()
+	return nil
+}
+
+// PutDataset stores one dataset version's canonical text serialization
+// under its content hash. Rewriting an existing id is idempotent (the
+// content is the same by definition of the key).
+func (s *Store) PutDataset(id string, text []byte) error {
+	return s.put(dirDatasets, KindDataset, s.datasets, id, id+".seg", text)
+}
+
+// GetDataset returns the dataset version's serialized form.
+func (s *Store) GetDataset(id string) ([]byte, bool, error) {
+	return s.get(dirDatasets, KindDataset, s.datasets, id)
+}
+
+// PutLineage atomically replaces the lineage record for root. The lineage
+// record is the commit point of registration and append: a dataset segment
+// not referenced by any lineage record is invisible to restore, so the
+// two-step write (dataset, then lineage) is all-or-nothing at this write.
+func (s *Store) PutLineage(root string, record []byte) error {
+	return s.put(dirLineages, KindLineage, s.lineages, root, root+".seg", record)
+}
+
+// GetLineage returns one lineage record.
+func (s *Store) GetLineage(root string) ([]byte, bool, error) {
+	return s.get(dirLineages, KindLineage, s.lineages, root)
+}
+
+// Lineages returns every lineage record, keyed by root, in one read pass.
+func (s *Store) Lineages() (map[string][]byte, error) {
+	s.mu.Lock()
+	roots := make([]string, 0, len(s.lineages))
+	for root := range s.lineages {
+		roots = append(roots, root)
+	}
+	s.mu.Unlock()
+	sort.Strings(roots)
+	out := make(map[string][]byte, len(roots))
+	for _, root := range roots {
+		rec, ok, err := s.GetLineage(root)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[root] = rec
+		}
+	}
+	return out, nil
+}
+
+// resultName derives a result segment's file name from its cache key (the
+// key itself holds spaces and a newline, so it cannot be a file name). The
+// binding is advisory: the authoritative key is the one inside the
+// checksummed segment.
+func resultName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16]) + ".seg"
+}
+
+// PutResult stores one mined result's wire form under its cache key
+// (dataset id + canonical options key).
+func (s *Store) PutResult(key string, payload []byte) error {
+	return s.put(dirResults, KindResult, s.results, key, resultName(key), payload)
+}
+
+// GetResult returns the stored result for key, re-validating the segment.
+func (s *Store) GetResult(key string) ([]byte, bool, error) {
+	return s.get(dirResults, KindResult, s.results, key)
+}
+
+// ResultKeys lists every stored result key in sorted order.
+func (s *Store) ResultKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.results))
+	for k := range s.results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DatasetIDs lists every stored dataset id in sorted order.
+func (s *Store) DatasetIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.datasets))
+	for id := range s.datasets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Quarantined lists the files Recover moved aside (empty after a strict
+// Open by definition).
+func (s *Store) Quarantined() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.quarantined...)
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Counts reports how many entries of each kind the store holds.
+func (s *Store) Counts() (datasets, lineages, results int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.datasets), len(s.lineages), len(s.results)
+}

@@ -1,0 +1,333 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+
+	dataset := []byte("3 4\n0:0.5 1:0.7\n2:0.4\n1:1\n")
+	lineage := []byte(`{"root":"abc","versions":["abc"]}`)
+	result := []byte(`{"itemsets":[],"stats":{}}`)
+	key := "abc\nminsup=2 tau=0.9"
+
+	if err := s.PutDataset("abc", dataset); err != nil {
+		t.Fatalf("PutDataset: %v", err)
+	}
+	if err := s.PutLineage("abc", lineage); err != nil {
+		t.Fatalf("PutLineage: %v", err)
+	}
+	if err := s.PutResult(key, result); err != nil {
+		t.Fatalf("PutResult: %v", err)
+	}
+
+	check := func(s *Store, label string) {
+		t.Helper()
+		got, ok, err := s.GetDataset("abc")
+		if err != nil || !ok || !bytes.Equal(got, dataset) {
+			t.Fatalf("%s GetDataset = (%q, %v, %v)", label, got, ok, err)
+		}
+		got, ok, err = s.GetLineage("abc")
+		if err != nil || !ok || !bytes.Equal(got, lineage) {
+			t.Fatalf("%s GetLineage = (%q, %v, %v)", label, got, ok, err)
+		}
+		got, ok, err = s.GetResult(key)
+		if err != nil || !ok || !bytes.Equal(got, result) {
+			t.Fatalf("%s GetResult = (%q, %v, %v)", label, got, ok, err)
+		}
+		if d, l, r := s.Counts(); d != 1 || l != 1 || r != 1 {
+			t.Fatalf("%s Counts = (%d, %d, %d), want (1, 1, 1)", label, d, l, r)
+		}
+	}
+	check(s, "fresh")
+
+	// A second open must restore the exact same contents from disk.
+	check(mustOpen(t, dir), "reopened")
+
+	// Misses are (nil, false, nil), not errors.
+	if _, ok, err := s.GetResult("no such key"); ok || err != nil {
+		t.Fatalf("miss = (ok=%v, err=%v)", ok, err)
+	}
+}
+
+func TestLineageOverwriteIsAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.PutLineage("root", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutLineage("root", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := mustOpen(t, dir).GetLineage("root")
+	if err != nil || !ok || string(got) != "v2" {
+		t.Fatalf("GetLineage after overwrite = (%q, %v, %v)", got, ok, err)
+	}
+}
+
+func TestLineagesListsAll(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	want := map[string][]byte{"a": []byte("ra"), "b": []byte("rb"), "c": []byte("rc")}
+	for root, rec := range want {
+		if err := s.PutLineage(root, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Lineages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Lineages returned %d records, want %d", len(got), len(want))
+	}
+	for root, rec := range want {
+		if !bytes.Equal(got[root], rec) {
+			t.Fatalf("Lineages[%q] = %q, want %q", root, got[root], rec)
+		}
+	}
+}
+
+func TestOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	mustOpen(t, dir) // initialize layout
+	stray := filepath.Join(dir, dirResults, "deadbeef.seg.7.tmp")
+	if err := os.WriteFile(stray, []byte("half a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir)
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived reopen: stat err = %v", err)
+	}
+	if _, _, r := s.Counts(); r != 0 {
+		t.Fatalf("stray temp was indexed: %d results", r)
+	}
+}
+
+func TestStrictOpenRejectsCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.PutResult("k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, dirResults, resultName("k"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40 // flip one bit mid-file
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("strict Open on bit-flipped segment: err = %v, want *CorruptError", err)
+	}
+
+	// Recover quarantines the damaged file and serves the rest.
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if q := rec.Quarantined(); len(q) != 1 || q[0] != path {
+		t.Fatalf("Quarantined = %v, want [%s]", q, path)
+	}
+	if _, ok, err := rec.GetResult("k"); ok || err != nil {
+		t.Fatalf("quarantined entry served: (ok=%v, err=%v)", ok, err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	// The quarantined bytes must still be intact for forensics.
+	kept, err := os.ReadFile(path + ".corrupt")
+	if err != nil || !bytes.Equal(kept, data) {
+		t.Fatalf("quarantine altered the evidence: %v", err)
+	}
+}
+
+func TestStrictOpenRejectsMissingManifest(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.PutDataset("abc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "manifest missing") {
+		t.Fatalf("Open without manifest: %v", err)
+	}
+}
+
+func TestOpenRejectsFutureVersion(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.PutResult("k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, dirResults, resultName("k"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[7] = 99 // bump the version field; the checksum no longer matters —
+	// version is checked before the footer so future formats are not "corrupt"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Version != 99 {
+		t.Fatalf("Open on future version: %v", err)
+	}
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.PutResult("k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the segment under a second name: two files now claim key "k".
+	src := filepath.Join(dir, dirResults, resultName("k"))
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, dirResults, "zzduplicate.seg"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "already held") {
+		t.Fatalf("Open with duplicate key: %v", err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Quarantined()) != 1 {
+		t.Fatalf("Quarantined = %v, want exactly the duplicate", rec.Quarantined())
+	}
+	if got, ok, err := rec.GetResult("k"); err != nil || !ok || string(got) != "payload" {
+		t.Fatalf("original entry lost: (%q, %v, %v)", got, ok, err)
+	}
+}
+
+func TestSegmentRejectsTrailingBytes(t *testing.T) {
+	data := encodeSegment(KindResult, "k", []byte("p"))
+	data = append(data, 0)
+	_, _, _, err := decodeSegment("x", data)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "trailing") {
+		t.Fatalf("decode with trailing byte: %v", err)
+	}
+}
+
+func TestSegmentRejectsOversizedLengths(t *testing.T) {
+	data := encodeSegment(KindResult, "k", []byte("p"))
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte)
+	}{
+		{"huge key length", func(b []byte) { b[9], b[10], b[11], b[12] = 0xff, 0xff, 0xff, 0xff }},
+		{"huge payload length", func(b []byte) { b[14], b[15] = 0xff, 0xff }},
+	} {
+		mut := append([]byte(nil), data...)
+		tc.mutate(mut)
+		_, _, _, err := decodeSegment("x", mut)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: err = %v, want *CorruptError", tc.name, err)
+		}
+	}
+}
+
+func TestConcurrentPutsSameKey(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	payload := []byte("deterministic bytes")
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- s.PutResult("k", payload) }()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent PutResult: %v", err)
+		}
+	}
+	got, ok, err := mustOpen(t, dir).GetResult("k")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("after concurrent puts: (%q, %v, %v)", got, ok, err)
+	}
+	// No temp debris left behind.
+	names, err := os.ReadDir(filepath.Join(dir, dirResults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		if strings.Contains(e.Name(), tmpSuffix) {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindManifest: "manifest", KindDataset: "dataset",
+		KindLineage: "lineage", KindResult: "result", Kind(9): "kind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", byte(k), got, want)
+		}
+	}
+}
+
+func TestResultNameIsStable(t *testing.T) {
+	if a, b := resultName("k"), resultName("k"); a != b {
+		t.Fatalf("resultName not deterministic: %s vs %s", a, b)
+	}
+	if a, b := resultName("k"), resultName("k2"); a == b {
+		t.Fatalf("resultName collides for distinct keys")
+	}
+	if !strings.HasSuffix(resultName("k"), ".seg") {
+		t.Fatalf("resultName lacks .seg suffix: %s", resultName("k"))
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	ce := &CorruptError{Path: "p", Reason: "r"}
+	if !strings.Contains(ce.Error(), "p") || !strings.Contains(ce.Error(), "r") {
+		t.Fatalf("CorruptError.Error() = %q", ce.Error())
+	}
+	if (&CorruptError{Reason: "r"}).Error() == "" {
+		t.Fatal("pathless CorruptError has empty message")
+	}
+	ve := &VersionError{Path: "p", Version: 9}
+	if !strings.Contains(ve.Error(), "9") {
+		t.Fatalf("VersionError.Error() = %q", ve.Error())
+	}
+	if fmt.Sprintf("%v", ErrInjected) == "" {
+		t.Fatal("ErrInjected has empty message")
+	}
+}
